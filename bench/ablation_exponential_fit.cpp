@@ -1,0 +1,118 @@
+// Experiment E12 — distribution-level test of the paper's Eq. 8
+// assumption: "for each individual injection port ... we are able to
+// define an exponential distribution whose expected time is the total
+// waiting times experienced by the header flit".
+//
+// The simulator records every measured stream's total waiting time per
+// port; this bench compares the empirical distribution of each port's
+// waits against Exp(1/mean) via the Kolmogorov-Smirnov distance
+// sup_x |F_emp(x) - F_exp(x)| and reports the mass at exactly zero (a
+// point the exponential fit cannot carry when waits are frequent but the
+// network is often idle).
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "common.hpp"
+#include "quarc/sim/simulator.hpp"
+#include "quarc/topo/quarc.hpp"
+#include "quarc/traffic/pattern.hpp"
+
+namespace {
+
+using namespace quarc;
+
+struct Fit {
+  double mean = 0.0;
+  double ks = 0.0;
+  double zero_mass = 0.0;
+  std::size_t samples = 0;
+};
+
+Fit fit_exponential(std::vector<double> xs) {
+  Fit f;
+  f.samples = xs.size();
+  if (xs.empty()) return f;
+  std::sort(xs.begin(), xs.end());
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  f.mean = sum / static_cast<double>(xs.size());
+  std::size_t zeros = 0;
+  for (double x : xs) {
+    if (x <= 1e-9) ++zeros;
+  }
+  f.zero_mass = static_cast<double>(zeros) / static_cast<double>(xs.size());
+  if (f.mean <= 1e-9) return f;  // degenerate: all-zero waits
+  const double rate = 1.0 / f.mean;
+  double worst = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double fexp = 1.0 - std::exp(-rate * xs[i]);
+    const double lo = static_cast<double>(i) / static_cast<double>(xs.size());
+    const double hi = static_cast<double>(i + 1) / static_cast<double>(xs.size());
+    worst = std::max({worst, std::abs(fexp - lo), std::abs(fexp - hi)});
+  }
+  f.ks = worst;
+  return f;
+}
+
+void run_config(int nodes, double rate_fraction, double alpha, int msg, Cycle measure) {
+  QuarcTopology topo(nodes);
+  Workload base;
+  base.multicast_fraction = alpha;
+  base.message_length = msg;
+  base.pattern = RingRelativePattern::broadcast(nodes);
+  const double rate = rate_fraction * model_saturation_rate(topo, base);
+
+  sim::SimConfig c;
+  c.workload = base;
+  c.workload.message_rate = rate;
+  c.warmup_cycles = 5000;
+  c.measure_cycles = measure;
+  c.collect_stream_samples = true;
+  c.seed = 88;
+  const auto r = sim::Simulator(topo, c).run();
+  if (!r.completed) {
+    std::cout << "\n(config N=" << nodes << " at " << rate_fraction
+              << " of saturation did not complete; skipped)\n";
+    return;
+  }
+
+  static const char* kPort[] = {"L", "CL", "CR", "R"};
+  Table table({"port", "samples", "mean wait", "P(wait=0)", "KS distance"}, 3);
+  for (std::size_t p = 0; p < r.stream_wait_samples.size(); ++p) {
+    const Fit f = fit_exponential(r.stream_wait_samples[p]);
+    if (f.samples == 0) continue;
+    table.add_row({std::string(kPort[p]), static_cast<std::int64_t>(f.samples), f.mean,
+                   f.zero_mass, f.ks});
+  }
+  std::ostringstream title;
+  title << "exponential fit of per-port stream waits: N=" << nodes << "  M=" << msg
+        << "  alpha=" << alpha * 100 << "%  rate=" << rate_fraction << " x saturation";
+  table.print_titled(title.str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  bench::banner("E12 ablation_exponential_fit",
+                "Moadeli & Vanderbauwhede, IPDPS 2009, Eq. 8",
+                "how exponential are the per-port stream waiting times?");
+
+  const Cycle measure = quick ? 40000 : 150000;
+  for (double fraction : {0.3, 0.5, 0.7}) {
+    run_config(16, fraction, 0.15, 16, measure);
+  }
+  run_config(32, 0.5, 0.1, 32, measure);
+
+  std::cout << "\nReading: at light load most streams wait zero cycles (large point\n"
+               "mass at 0), which an exponential cannot represent — KS distances are\n"
+               "sizeable there, yet the E[max] estimate errs little because all waits\n"
+               "are small. As load grows the zero mass shrinks and the exponential\n"
+               "shape improves exactly where the approximation matters, explaining\n"
+               "the paper's empirical accuracy.\n";
+  return 0;
+}

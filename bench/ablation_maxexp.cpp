@@ -1,0 +1,104 @@
+// Experiment E10 — isolating the paper's core approximation.
+//
+// Section 2 argues that taking "the latency experienced by the largest
+// network subset" as the multicast latency is unreliable, and instead
+// models the per-port waits as independent exponentials, predicting the
+// group wait as E[max] (Eq. 9-13). This bench feeds the *simulator's own*
+// empirical per-port mean waits into three estimators and compares each
+// against the simulator's empirical group wait:
+//
+//   naive-slowest : max_c W_c      (the "largest subset" heuristic)
+//   Eq. 12        : E[max Exp(1/W_c)]
+//   upper bound   : sum_c W_c      (fully serialized)
+//
+// This evaluates the order-statistics step in isolation — independent of
+// any M/G/1 queueing error, because the inputs come from the simulation.
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "common.hpp"
+#include "quarc/model/maxexp.hpp"
+#include "quarc/sim/simulator.hpp"
+#include "quarc/topo/quarc.hpp"
+#include "quarc/traffic/pattern.hpp"
+
+namespace {
+
+using namespace quarc;
+
+void run_config(int nodes, double alpha, int msg, std::shared_ptr<const MulticastPattern> pattern,
+                const std::string& label, Cycle measure) {
+  QuarcTopology topo(nodes);
+  Workload base;
+  base.multicast_fraction = alpha;
+  base.message_length = msg;
+  base.pattern = pattern;
+
+  const auto rates = rate_grid_to_saturation(topo, base, 5, 0.8);
+
+  Table table({"rate", "W_L", "W_CL", "W_CR", "W_R", "sim group wait", "naive max",
+               "Eq.12 E[max]", "naive err", "Eq.12 err"},
+              2);
+  for (double rate : rates) {
+    sim::SimConfig c;
+    c.workload = base;
+    c.workload.message_rate = rate;
+    c.warmup_cycles = 5000;
+    c.measure_cycles = measure;
+    c.seed = 77;
+    const auto r = sim::Simulator(topo, c).run();
+    if (!r.completed || r.multicast_wait.count == 0) continue;
+
+    std::vector<double> port_waits;
+    for (const auto& s : r.stream_wait_by_port) {
+      if (s.count > 0) port_waits.push_back(s.mean);
+    }
+    double naive = 0.0;
+    for (double w : port_waits) naive = std::max(naive, w);
+    const double eq12 = expected_max_from_means(port_waits);
+    const double actual = r.multicast_wait.mean;
+
+    auto err = [actual](double est) -> Cell {
+      if (actual <= 0.5) return std::string("-");  // waits too small to resolve
+      return bench::fmt_double((est - actual) / actual * 100.0, 1) + "%";
+    };
+    auto wait_cell = [&](std::size_t p) -> Cell {
+      if (p >= r.stream_wait_by_port.size() || r.stream_wait_by_port[p].count == 0) {
+        return std::string("-");
+      }
+      return r.stream_wait_by_port[p].mean;
+    };
+    table.add_row({bench::fmt_double(rate, 5), wait_cell(0), wait_cell(1), wait_cell(2),
+                   wait_cell(3), actual, naive, eq12, err(naive), err(eq12)});
+  }
+  table.print_titled("order-statistics isolation: " + label);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  bench::banner("E10 ablation_maxexp",
+                "Moadeli & Vanderbauwhede, IPDPS 2009, Section 2 (Eq. 9-13)",
+                "exponential max-order-statistics vs the naive largest-subset heuristic");
+
+  const Cycle measure = quick ? 30000 : 120000;
+  run_config(16, 0.1, 16, RingRelativePattern::broadcast(16), "N=16 broadcast, M=16", measure);
+  {
+    Rng rng(5);
+    run_config(16, 0.1, 32, RingRelativePattern::random(16, 6, rng),
+               "N=16 random fanout 6, M=32", measure);
+  }
+  {
+    Rng rng(6);
+    run_config(32, 0.05, 32, RingRelativePattern::random(32, 8, rng),
+               "N=32 random fanout 8, M=32", measure);
+  }
+
+  std::cout << "\nExpected shape: the naive estimate sits consistently below the\n"
+               "empirical group wait (the slowest *mean* ignores that any stream can\n"
+               "be the straggler); Eq. 12 recovers most of the gap, supporting the\n"
+               "paper's modelling choice for asynchronous multi-port routers.\n";
+  return 0;
+}

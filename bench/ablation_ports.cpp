@@ -1,0 +1,70 @@
+// Experiment E5 — port-architecture ablation (paper Section 1/Fig. 1 and
+// the Section 2 claim, after Robinson et al. [8], that multi-port routers
+// significantly improve collective operations).
+//
+// The same Quarc network is driven with its native all-port routers and
+// with a one-port variant in which all four multicast streams (and all
+// unicasts) share a single injection channel. The asynchronous multi-port
+// model (Eq. 12) applies to the former; the latter serializes stream
+// injection and its multicast latency collapses to injection queueing.
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "common.hpp"
+#include "quarc/topo/quarc.hpp"
+#include "quarc/traffic/pattern.hpp"
+
+namespace {
+
+using namespace quarc;
+
+void run_scheme(PortScheme scheme, int nodes, int msg_len, double alpha, int rate_points,
+                Cycle measure_cycles, const std::vector<double>& rates) {
+  QuarcTopology topo(nodes, scheme);
+  Workload base;
+  base.multicast_fraction = alpha;
+  base.message_length = msg_len;
+  base.pattern = RingRelativePattern::broadcast(nodes);
+
+  SweepConfig sweep;
+  sweep.sim.warmup_cycles = 4000;
+  sweep.sim.measure_cycles = measure_cycles;
+  sweep.sim.seed = 46;
+  (void)rate_points;
+  const auto points = sweep_rates(topo, base, rates, sweep);
+
+  std::ostringstream title;
+  title << (scheme == PortScheme::AllPort ? "all-port" : "one-port") << " Quarc: N=" << nodes
+        << "  M=" << msg_len << "  alpha=" << alpha * 100 << "%  (broadcast pattern)";
+  bench::print_sweep(title.str(), points);
+  bench::print_agreement_summary(points, /*multicast=*/true);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  bench::banner("E5 ablation_ports",
+                "Moadeli & Vanderbauwhede, IPDPS 2009, Fig. 1 / Section 2",
+                "all-port vs one-port injection with identical topology & traffic");
+
+  const int nodes = 16, msg = 16;
+  const double alpha = 0.1;
+  // A shared rate grid sized by the one-port saturation (the tighter one)
+  // so both schemes are evaluated at identical offered loads.
+  QuarcTopology one_port(nodes, PortScheme::OnePort);
+  Workload base;
+  base.multicast_fraction = alpha;
+  base.message_length = msg;
+  base.pattern = RingRelativePattern::broadcast(nodes);
+  const auto rates = rate_grid_to_saturation(one_port, base, quick ? 4 : 8, 0.85);
+
+  run_scheme(PortScheme::AllPort, nodes, msg, alpha, quick ? 4 : 8, quick ? 15000 : 50000, rates);
+  run_scheme(PortScheme::OnePort, nodes, msg, alpha, quick ? 4 : 8, quick ? 15000 : 50000, rates);
+
+  std::cout << "\nExpected shape: at equal offered load the one-port multicast latency\n"
+               "sits roughly 3 injection services above the all-port latency at low\n"
+               "rate (the 4 streams serialize) and saturates earlier.\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Experiment E6 — simulator sensitivity ablation.
+//
+// The analytical model has no notion of flit-buffer depth (its channels
+// are queues of whole messages), so the reproduction is only meaningful if
+// the simulator's latency is not dominated by that substrate knob. This
+// bench quantifies the sensitivity: buffer depths 1..8 at a fixed
+// moderate-load configuration, plus the measurement-window convergence.
+#include <cstdlib>
+#include <iostream>
+
+#include "common.hpp"
+#include "quarc/model/performance_model.hpp"
+#include "quarc/topo/quarc.hpp"
+#include "quarc/traffic/pattern.hpp"
+
+namespace {
+
+using namespace quarc;
+
+sim::SimConfig make_config(double rate, Cycle measure) {
+  sim::SimConfig c;
+  c.workload.message_rate = rate;
+  c.workload.multicast_fraction = 0.05;
+  c.workload.message_length = 32;
+  c.workload.pattern = RingRelativePattern::broadcast(16);
+  c.warmup_cycles = 4000;
+  c.measure_cycles = measure;
+  c.seed = 47;
+  return c;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  bench::banner("E6 ablation_sim_params", "substrate sensitivity (DESIGN.md section 4)",
+                "flit-buffer depth and measurement-window effects on simulated latency");
+
+  QuarcTopology topo(16);
+  const double rate = 0.004;
+  const Cycle measure = quick ? 20000 : 60000;
+
+  Workload w = make_config(rate, measure).workload;
+  const auto model = PerformanceModel(topo, w).evaluate();
+  std::cout << "\nmodel reference: unicast " << bench::fmt_double(model.avg_unicast_latency, 2)
+            << "  multicast " << bench::fmt_double(model.avg_multicast_latency, 2)
+            << " (buffer-depth agnostic)\n";
+
+  Table buffers({"buffer depth (flits/VC)", "sim unicast", "sim multicast", "max util"}, 3);
+  for (int depth : {1, 2, 4, 8}) {
+    sim::SimConfig c = make_config(rate, measure);
+    c.buffer_depth = depth;
+    const auto r = sim::Simulator(topo, c).run();
+    buffers.add_row({static_cast<std::int64_t>(depth),
+                     bench::sim_cell(r.unicast_latency, true, r.completed),
+                     bench::sim_cell(r.multicast_latency, true, r.completed),
+                     r.max_channel_utilization});
+  }
+  buffers.print_titled("buffer-depth sweep (N=16, M=32, alpha=5%, rate=0.004)");
+
+  Table windows({"measure cycles", "sim unicast", "sim multicast"}, 3);
+  for (Cycle cycles : {5000, 15000, 45000, 135000}) {
+    const auto r = sim::Simulator(topo, make_config(rate, cycles)).run();
+    windows.add_row({static_cast<std::int64_t>(cycles),
+                     bench::sim_cell(r.unicast_latency, true, r.completed),
+                     bench::sim_cell(r.multicast_latency, true, r.completed)});
+  }
+  windows.print_titled("measurement-window convergence");
+
+  Table seeds({"seed", "sim unicast", "sim multicast"}, 3);
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL}) {
+    sim::SimConfig c = make_config(rate, measure);
+    c.seed = seed;
+    const auto r = sim::Simulator(topo, c).run();
+    seeds.add_row({static_cast<std::int64_t>(seed),
+                   bench::sim_cell(r.unicast_latency, true, r.completed),
+                   bench::sim_cell(r.multicast_latency, true, r.completed)});
+  }
+  seeds.print_titled("seed-to-seed variability");
+
+  std::cout << "\nExpected shape: depth 1 halves effective link bandwidth under the\n"
+               "conservative two-phase update (visibly higher latency); depths >= 2\n"
+               "agree closely, supporting the default of 2 and the model comparison.\n";
+  return 0;
+}

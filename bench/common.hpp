@@ -1,0 +1,96 @@
+// Shared output helpers for the figure-reproduction benches.
+//
+// Every bench binary regenerates one experiment from DESIGN.md section 3:
+// it prints the configuration, then one table per (N, M, alpha, pattern)
+// cell with the model and simulation series the paper's figures plot.
+#pragma once
+
+#include <cmath>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "quarc/sweep/sweep.hpp"
+#include "quarc/util/table.hpp"
+
+namespace quarc::bench {
+
+inline std::string fmt_double(double v, int precision = 4) {
+  std::ostringstream os;
+  os.precision(precision);
+  os << std::fixed << v;
+  return os.str();
+}
+
+inline Cell latency_cell(double v) {
+  if (!std::isfinite(v)) return std::string("saturated");
+  return v;
+}
+
+inline Cell error_cell(double err) {
+  if (std::isnan(err)) return std::string("-");
+  return fmt_double(err * 100.0, 1) + "%";
+}
+
+inline Cell sim_cell(const StatSummary& s, bool run, bool completed) {
+  if (!run) return std::string("-");
+  if (!completed) return std::string("unstable");
+  if (s.count == 0) return std::string("-");
+  std::ostringstream os;
+  os.precision(2);
+  os << std::fixed << s.mean;
+  if (std::isfinite(s.ci95)) os << " +-" << s.ci95;
+  return os.str();
+}
+
+/// Prints the standard model-vs-simulation sweep table used by all figure
+/// benches: one row per injection rate.
+inline void print_sweep(const std::string& title, const std::vector<RatePointResult>& points,
+                        bool with_multicast = true) {
+  std::vector<std::string> headers = {"rate (msg/cyc/node)", "model uni", "sim uni", "uni err"};
+  if (with_multicast) {
+    headers.insert(headers.end(), {"model mcast", "sim mcast", "mcast err"});
+  }
+  Table table(headers, 2);
+  for (const auto& p : points) {
+    std::vector<Cell> row;
+    row.push_back(fmt_double(p.rate, 5));
+    row.push_back(latency_cell(p.model.avg_unicast_latency));
+    row.push_back(sim_cell(p.sim.unicast_latency, p.sim_run, p.sim.completed));
+    row.push_back(error_cell(p.unicast_error()));
+    if (with_multicast) {
+      row.push_back(latency_cell(p.model.avg_multicast_latency));
+      row.push_back(sim_cell(p.sim.multicast_latency, p.sim_run, p.sim.completed));
+      row.push_back(error_cell(p.multicast_error()));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print_titled(title);
+}
+
+/// Worst finite relative multicast error across a sweep (for the summary
+/// line benches print under each table).
+inline void print_agreement_summary(const std::vector<RatePointResult>& points, bool multicast) {
+  double worst = 0.0;
+  int counted = 0;
+  for (const auto& p : points) {
+    const double e = multicast ? p.multicast_error() : p.unicast_error();
+    if (std::isnan(e)) continue;
+    worst = std::max(worst, std::abs(e));
+    ++counted;
+  }
+  if (counted > 0) {
+    std::cout << "  worst |model-sim|/sim over " << counted
+              << " comparable points: " << fmt_double(worst * 100.0, 1) << "%\n";
+  }
+}
+
+inline void banner(const std::string& experiment, const std::string& paper_ref,
+                   const std::string& what) {
+  std::cout << "\n################################################################\n"
+            << "# " << experiment << " — " << paper_ref << "\n"
+            << "# " << what << "\n"
+            << "################################################################\n";
+}
+
+}  // namespace quarc::bench

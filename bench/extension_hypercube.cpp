@@ -1,0 +1,78 @@
+// Experiment E11 — third future-work network: the binary hypercube with
+// e-cube routing and multi-port (per-dimension) routers, the architecture
+// family of the paper's antecedents [8]/[18]. Uniform unicast model vs
+// simulation, plus a software-broadcast comparison showing where the
+// hypercube's logarithmic diameter does and does not help collectives.
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "common.hpp"
+#include "quarc/topo/hypercube.hpp"
+#include "quarc/topo/quarc.hpp"
+#include "quarc/traffic/pattern.hpp"
+
+namespace {
+
+using namespace quarc;
+
+void run_unicast(int dims, int msg_len, int rate_points, Cycle measure_cycles) {
+  HypercubeTopology cube(dims);
+  Workload base;
+  base.message_length = msg_len;
+
+  const auto rates = rate_grid_to_saturation(cube, base, rate_points, 0.85);
+  SweepConfig sweep;
+  sweep.sim.warmup_cycles = 5000;
+  sweep.sim.measure_cycles = measure_cycles;
+  sweep.sim.seed = 50;
+  const auto points = sweep_rates(cube, base, rates, sweep);
+
+  std::ostringstream title;
+  title << cube.name() << " (" << cube.num_nodes() << " nodes): M=" << msg_len
+        << " (uniform unicast)";
+  bench::print_sweep(title.str(), points, /*with_multicast=*/false);
+  bench::print_agreement_summary(points, /*multicast=*/false);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  bench::banner("E11 extension_hypercube",
+                "context of Robinson et al. [8] / Shahrabi et al. [18]",
+                "multi-port hypercube, e-cube unicast: model vs simulation");
+
+  const int rate_points = quick ? 4 : 8;
+  run_unicast(3, 16, rate_points, quick ? 15000 : 50000);
+  run_unicast(4, 16, rate_points, quick ? 15000 : 50000);
+  run_unicast(5, 32, rate_points, quick ? 15000 : 40000);
+  run_unicast(6, 32, rate_points, quick ? 15000 : 30000);
+
+  // Collective comparison at matched node count: Quarc true broadcast vs
+  // hypercube software broadcast (consecutive unicasts over log-diameter
+  // paths). Low load, model estimates.
+  Table table({"nodes", "Quarc true bcast (model)", "hypercube sw bcast (model)"}, 2);
+  for (int dims : {3, 4, 5, 6}) {
+    const int n = 1 << dims;
+    auto pattern = RingRelativePattern::broadcast(n);
+    Workload w;
+    w.message_rate = 0.05 / (n * static_cast<double>(n));
+    w.multicast_fraction = 0.05;
+    w.message_length = 32;
+    w.pattern = pattern;
+    QuarcTopology quarc(n);
+    HypercubeTopology cube(dims);
+    const auto q = PerformanceModel(quarc, w).evaluate();
+    const auto h = PerformanceModel(cube, w).evaluate();
+    table.add_row({static_cast<std::int64_t>(n), bench::latency_cell(q.avg_multicast_latency),
+                   bench::latency_cell(h.avg_multicast_latency)});
+  }
+  table.print_titled("broadcast: Quarc hardware streams vs hypercube software unicasts");
+
+  std::cout << "\nExpected shape: unicast latency ~ M + d/2 + 1 at zero load (mean hop\n"
+               "count d/2); the software broadcast pays (N-1)-fold injection\n"
+               "serialization regardless of the cube's short paths, echoing the\n"
+               "paper's argument for hardware multi-port multicast support.\n";
+  return 0;
+}

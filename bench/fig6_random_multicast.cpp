@@ -1,0 +1,88 @@
+// Experiment E1 — paper Fig. 6: analytical model vs flit-level simulation
+// for *random* multicast destination sets on the Quarc NoC.
+//
+// The paper sweeps network sizes 16..128 nodes, message lengths
+// 16/32/48/64 flits and multicast fractions 3%/5%/10%, plotting average
+// multicast latency against the per-node message rate with the curve
+// rising to the saturation asymptote. The destination bitstring of each
+// configuration is drawn once (fixed for the whole run), relative to the
+// initiating node — the same protocol as the paper's "multicast
+// destinations are selected randomly at the beginning of the simulation".
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "common.hpp"
+#include "quarc/topo/quarc.hpp"
+#include "quarc/traffic/pattern.hpp"
+
+namespace {
+
+using namespace quarc;
+
+struct Config {
+  int nodes;
+  int msg_len;
+  double alpha;
+  int fanout;
+};
+
+void run_config(const Config& cfg, int rate_points, Cycle measure_cycles) {
+  QuarcTopology topo(cfg.nodes);
+  if (cfg.msg_len <= topo.diameter()) {
+    std::cout << "\n(skipping N=" << cfg.nodes << " M=" << cfg.msg_len
+              << ": violates the paper's M > diameter assumption)\n";
+    return;
+  }
+  Rng rng(0xF16'0000u + static_cast<unsigned>(cfg.nodes * 131 + cfg.msg_len * 7) +
+          static_cast<unsigned>(cfg.alpha * 1000));
+  auto pattern = RingRelativePattern::random(cfg.nodes, cfg.fanout, rng);
+
+  Workload base;
+  base.multicast_fraction = cfg.alpha;
+  base.message_length = cfg.msg_len;
+  base.pattern = pattern;
+
+  const auto rates = rate_grid_to_saturation(topo, base, rate_points, 0.85);
+
+  SweepConfig sweep;
+  sweep.sim.warmup_cycles = 5000;
+  sweep.sim.measure_cycles = measure_cycles;
+  sweep.sim.seed = 42;
+  const auto points = sweep_rates(topo, base, rates, sweep);
+
+  std::ostringstream title;
+  title << "Fig.6 cell: N=" << cfg.nodes << "  M=" << cfg.msg_len << " flits  alpha="
+        << cfg.alpha * 100 << "%  pattern=" << pattern->describe();
+  bench::print_sweep(title.str(), points);
+  bench::print_agreement_summary(points, /*multicast=*/true);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  bench::banner("E1 fig6_random_multicast",
+                "Moadeli & Vanderbauwhede, IPDPS 2009, Figure 6",
+                "model vs simulation, random multicast destination sets");
+
+  // One column per network size: the alpha sweep at M=32 plus the message
+  // length sweep at alpha=5%, spanning exactly the ranges the paper states.
+  std::vector<Config> grid;
+  for (int n : {16, 32, 64, 128}) {
+    const int fanout = std::max(3, n / 8);  // random bitstring population
+    for (double alpha : {0.03, 0.05, 0.10}) grid.push_back({n, 32, alpha, fanout});
+    for (int m : {16, 48, 64}) grid.push_back({n, m, 0.05, fanout});
+  }
+
+  const int rate_points = quick ? 4 : 8;
+  for (const auto& cfg : grid) {
+    const Cycle measure = quick ? 15000 : (cfg.nodes >= 64 ? 30000 : 50000);
+    run_config(cfg, rate_points, measure);
+  }
+
+  std::cout << "\nExpected shape (paper): latency flat near M+D+1 at low rate, rising\n"
+               "convexly to the saturation asymptote; model tracks simulation closely\n"
+               "at low-to-moderate load and degrades gracefully near saturation.\n";
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Experiment E9a — microbenchmarks of the analytical-model kernels
+// (google-benchmark): the Eq. 12 order-statistics kernels, the P-K wait,
+// channel-graph construction and full model solves across network sizes.
+#include <benchmark/benchmark.h>
+
+#include "quarc/model/channel_graph.hpp"
+#include "quarc/model/maxexp.hpp"
+#include "quarc/model/mg1.hpp"
+#include "quarc/model/performance_model.hpp"
+#include "quarc/topo/quarc.hpp"
+#include "quarc/traffic/pattern.hpp"
+
+namespace {
+
+using namespace quarc;
+
+void BM_MaxExpInclusionExclusion(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  std::vector<double> rates(m);
+  for (std::size_t i = 0; i < m; ++i) rates[i] = 0.1 + static_cast<double>(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(expected_max_exponential(rates));
+  }
+}
+BENCHMARK(BM_MaxExpInclusionExclusion)->Arg(2)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_MaxExpRecursive(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  std::vector<double> rates(m);
+  for (std::size_t i = 0; i < m; ++i) rates[i] = 0.1 + static_cast<double>(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(expected_max_exponential_recursive(rates));
+  }
+}
+BENCHMARK(BM_MaxExpRecursive)->Arg(2)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_PollaczekKhinchine(benchmark::State& state) {
+  double lambda = 0.001;
+  for (auto _ : state) {
+    lambda = lambda < 0.02 ? lambda + 1e-6 : 0.001;
+    benchmark::DoNotOptimize(mg1_waiting_time(lambda, 20.0, 4.0));
+  }
+}
+BENCHMARK(BM_PollaczekKhinchine);
+
+Workload bench_load(int n) {
+  Workload w;
+  w.message_rate = 0.002;
+  w.multicast_fraction = 0.05;
+  // Scale with size so the paper's M > diameter assumption holds at N=128.
+  w.message_length = 16 + n / 4;
+  w.pattern = RingRelativePattern::broadcast(n);
+  return w;
+}
+
+void BM_ChannelGraphBuild(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  QuarcTopology topo(n);
+  const Workload w = bench_load(n);
+  for (auto _ : state) {
+    ChannelGraph g(topo, w);
+    benchmark::DoNotOptimize(g.total_injection_rate());
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_ChannelGraphBuild)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Complexity();
+
+void BM_FullModelSolve(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  QuarcTopology topo(n);
+  const Workload w = bench_load(n);
+  for (auto _ : state) {
+    PerformanceModel model(topo, w);
+    benchmark::DoNotOptimize(model.evaluate().avg_multicast_latency);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_FullModelSolve)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Complexity();
+
+void BM_QuarcRouteConstruction(benchmark::State& state) {
+  QuarcTopology topo(64);
+  NodeId d = 1;
+  for (auto _ : state) {
+    d = d % 63 + 1;
+    benchmark::DoNotOptimize(topo.unicast_route(0, d).hops());
+  }
+}
+BENCHMARK(BM_QuarcRouteConstruction);
+
+void BM_QuarcBroadcastStreams(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  QuarcTopology topo(n);
+  std::vector<NodeId> all;
+  for (NodeId i = 1; i < n; ++i) all.push_back(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topo.multicast_streams(0, all).size());
+  }
+}
+BENCHMARK(BM_QuarcBroadcastStreams)->Arg(16)->Arg(64)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// Experiment E9b — simulator throughput microbenchmarks (google-benchmark):
+// cycles per second across network sizes and traffic classes, so sweep
+// budgets in the figure benches can be sized knowingly.
+#include <benchmark/benchmark.h>
+
+#include "quarc/sim/simulator.hpp"
+#include "quarc/topo/quarc.hpp"
+#include "quarc/traffic/pattern.hpp"
+
+namespace {
+
+using namespace quarc;
+
+sim::SimConfig micro_config(int n, double alpha) {
+  sim::SimConfig c;
+  // Keep the offered load comfortably below saturation at every size (the
+  // rim load scales ~ rate * N/16), so the run measures engine throughput
+  // rather than drain behaviour.
+  c.workload.message_rate = 0.03 / n;
+  c.workload.multicast_fraction = alpha;
+  // Scale with size so the paper's M > diameter assumption holds at N=128.
+  c.workload.message_length = 16 + n / 4;
+  if (alpha > 0.0) c.workload.pattern = RingRelativePattern::broadcast(n);
+  c.warmup_cycles = 0;
+  c.measure_cycles = 4000;
+  c.drain_cap_cycles = 20000;
+  c.seed = 99;
+  return c;
+}
+
+void BM_SimulatorUnicast(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  QuarcTopology topo(n);
+  const auto cfg = micro_config(n, 0.0);
+  std::int64_t cycles = 0;
+  for (auto _ : state) {
+    sim::Simulator simulator(topo, cfg);
+    const auto r = simulator.run();
+    cycles += r.cycles_run;
+    benchmark::DoNotOptimize(r.unicast_latency.mean);
+  }
+  state.counters["cycles/s"] =
+      benchmark::Counter(static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorUnicast)->Arg(16)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
+
+void BM_SimulatorMulticast(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  QuarcTopology topo(n);
+  const auto cfg = micro_config(n, 0.1);
+  std::int64_t cycles = 0;
+  for (auto _ : state) {
+    sim::Simulator simulator(topo, cfg);
+    const auto r = simulator.run();
+    cycles += r.cycles_run;
+    benchmark::DoNotOptimize(r.multicast_latency.mean);
+  }
+  state.counters["cycles/s"] =
+      benchmark::Counter(static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorMulticast)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_SimulatorConstruction(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  QuarcTopology topo(n);
+  const auto cfg = micro_config(n, 0.1);
+  for (auto _ : state) {
+    sim::Simulator simulator(topo, cfg);
+    benchmark::DoNotOptimize(&simulator);
+  }
+}
+BENCHMARK(BM_SimulatorConstruction)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Experiment E13 — offered vs accepted throughput through saturation.
+//
+// The latency figures (E1-E3) stop at the saturation asymptote; this bench
+// drives the simulator *past* it and reports the accepted message
+// throughput, verifying that (a) below saturation accepted == offered,
+// (b) beyond it the network plateaus rather than collapsing (the FIFO
+// non-preemptive switches have no livelock), and (c) the model's
+// saturation prediction brackets the simulator's knee.
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "common.hpp"
+#include "quarc/sim/simulator.hpp"
+#include "quarc/sweep/sweep.hpp"
+#include "quarc/topo/quarc.hpp"
+#include "quarc/topo/spidergon.hpp"
+#include "quarc/traffic/pattern.hpp"
+
+namespace {
+
+using namespace quarc;
+
+void run_topology(const Topology& topo, const Workload& base, const std::string& label,
+                  Cycle cycles) {
+  const double sat = model_saturation_rate(topo, base);
+
+  Table table({"offered (msg/cyc/node)", "x model sat", "accepted (msg/cyc/node)", "drained",
+               "max link util"},
+              4);
+  for (double f : {0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0}) {
+    sim::SimConfig c;
+    c.workload = base;
+    c.workload.message_rate = f * sat;
+    c.warmup_cycles = 2000;
+    c.measure_cycles = cycles;
+    c.drain_cap_cycles = 0;          // fixed observation window
+    c.max_queue_length = 1 << 20;    // let backlog build; window is bounded
+    c.seed = 91;
+    const auto r = sim::Simulator(topo, c).run();
+    const double total_cycles = static_cast<double>(r.cycles_run);
+    const double accepted =
+        (static_cast<double>(r.unicast_delivered_total) +
+         static_cast<double>(r.multicast_groups_delivered_total)) /
+        total_cycles / static_cast<double>(topo.num_nodes());
+    table.add_row({f * sat, f, accepted, std::string(r.completed ? "yes" : "no"),
+                   r.max_channel_utilization});
+  }
+  std::ostringstream title;
+  title << label << " — model saturation " << bench::fmt_double(sat, 5) << " msg/cyc/node";
+  table.print_titled(title.str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  bench::banner("E13 throughput_saturation", "supplementary (latency figures' asymptote)",
+                "offered vs accepted throughput across the saturation point");
+
+  const Cycle cycles = quick ? 20000 : 60000;
+
+  {
+    QuarcTopology topo(16);
+    Workload w;
+    w.multicast_fraction = 0.05;
+    w.message_length = 16;
+    w.pattern = RingRelativePattern::broadcast(16);
+    run_topology(topo, w, "quarc-16, alpha=5%, M=16", cycles);
+  }
+  {
+    QuarcTopology topo(64);
+    Workload w;
+    w.message_length = 32;
+    run_topology(topo, w, "quarc-64, unicast, M=32", cycles);
+  }
+  {
+    SpidergonTopology topo(16);
+    Workload w;
+    w.message_length = 16;
+    run_topology(topo, w, "spidergon-16, unicast, M=16", cycles);
+  }
+
+  std::cout << "\nExpected shape: accepted tracks offered up to roughly the model's\n"
+               "saturation estimate (the analytical knee is conservative by design),\n"
+               "then plateaus at the network's capacity while runs report unstable.\n";
+  return 0;
+}

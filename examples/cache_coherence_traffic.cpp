@@ -1,0 +1,71 @@
+// Scenario: invalidation multicast in a directory coherence protocol.
+//
+// A chip multiprocessor keeps directories at each node; a write to a line
+// shared by k cores multicasts invalidations to the sharers — a multicast
+// whose destination set is *localized* (sharers cluster near the home node
+// in many workloads) or *scattered* (random sharing). This is precisely
+// the Fig. 6 vs Fig. 7 distinction. The example contrasts the two sharing
+// patterns at identical load and shows why localized sharing is cheaper:
+// a single injection port serves the whole invalidation fan-out.
+#include <iostream>
+#include <sstream>
+
+#include "quarc/model/performance_model.hpp"
+#include "quarc/sim/simulator.hpp"
+#include "quarc/topo/quarc.hpp"
+#include "quarc/traffic/pattern.hpp"
+#include "quarc/util/table.hpp"
+
+int main() {
+  using namespace quarc;
+
+  const int nodes = 64;
+  const int inval_flits = 20;   // short invalidation packets (> diameter 16)
+  const double alpha = 0.10;    // invalidations are 10% of NoC traffic
+  const int sharers = 6;
+
+  QuarcTopology topo(nodes);
+  Rng rng(7);
+  auto scattered = RingRelativePattern::random(nodes, sharers, rng);
+  // Sharers clustered on the left rim of the home node.
+  auto clustered = RingRelativePattern::localized(nodes, 1, nodes / 4, sharers, rng);
+
+  Table table({"sharing pattern", "rate", "model inval latency", "sim inval latency",
+               "sim unicast latency"},
+              2);
+
+  for (double rate : {0.0005, 0.001}) {
+    for (const auto& [name, pattern] :
+         {std::pair<std::string, std::shared_ptr<const MulticastPattern>>{"scattered", scattered},
+          {"clustered", clustered}}) {
+      Workload w;
+      w.message_rate = rate;
+      w.multicast_fraction = alpha;
+      w.message_length = inval_flits;
+      w.pattern = pattern;
+
+      const auto model = PerformanceModel(topo, w).evaluate();
+
+      sim::SimConfig c;
+      c.workload = w;
+      c.warmup_cycles = 4000;
+      c.measure_cycles = 40000;
+      c.seed = 5;
+      const auto sim = sim::Simulator(topo, c).run();
+
+      std::ostringstream rate_str;
+      rate_str << rate;
+      table.add_row({name, rate_str.str(), model.avg_multicast_latency,
+                     sim.multicast_latency.mean, sim.unicast_latency.mean});
+    }
+  }
+  table.print_titled("invalidation multicast: scattered vs clustered sharers (N=64, 6 sharers)");
+
+  std::cout << "\nReading: scattered sharers span up to four quadrants, so the\n"
+               "invalidation completes when the *slowest* of four asynchronous\n"
+               "streams delivers (the paper's max-of-exponentials); clustered\n"
+               "sharers ride one stream and finish with the farthest sharer.\n"
+               "Use the model to bound directory invalidation round-trips before\n"
+               "fixing the protocol's timeout budgets.\n";
+  return 0;
+}

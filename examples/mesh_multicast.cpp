@@ -1,0 +1,76 @@
+// Scenario: porting the model beyond Quarc — dual-path multicast on a
+// multi-port 2D mesh (the paper's stated future work).
+//
+// Shows the anatomy of a Hamiltonian dual-path multicast (the two
+// asynchronous port streams with their absorb-and-forward stops), then
+// validates the m = 2 instance of the Eq. 12 model against simulation.
+#include <iostream>
+
+#include "quarc/model/performance_model.hpp"
+#include "quarc/sim/simulator.hpp"
+#include "quarc/topo/mesh.hpp"
+#include "quarc/traffic/pattern.hpp"
+
+int main() {
+  using namespace quarc;
+
+  MeshTopology mesh(4, 4, MeshRouting::Hamiltonian);
+  const auto& lab = mesh.labeling();
+
+  // Anatomy: multicast from the snake midpoint to four targets.
+  const NodeId source = lab.node_at(6);
+  const std::vector<NodeId> targets = {lab.node_at(1), lab.node_at(4), lab.node_at(11),
+                                       lab.node_at(14)};
+  std::cout << "mesh 4x4, Hamiltonian labeling (node ids by snake position):\n";
+  for (int y = mesh.height() - 1; y >= 0; --y) {
+    std::cout << "  ";
+    for (int x = 0; x < mesh.width(); ++x) {
+      std::cout << lab.label_of(mesh.node_id(x, y)) << "\t";
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\nmulticast from node " << source << " (label 6) to labels {1, 4, 11, 14}:\n";
+  for (const MulticastStream& st : mesh.multicast_streams(source, targets)) {
+    std::cout << "  port " << (st.port == MeshTopology::kHigh ? "HIGH" : "LOW ") << ": "
+              << st.hops() << " hops, stops at nodes";
+    for (const auto& stop : st.stops) {
+      std::cout << " " << stop.node << "(label " << lab.label_of(stop.node) << ", hop "
+                << stop.hop << ")";
+    }
+    std::cout << "\n";
+  }
+
+  // Model vs simulation at two load points.
+  std::vector<std::vector<NodeId>> dests(static_cast<std::size_t>(mesh.num_nodes()));
+  for (NodeId s = 0; s < mesh.num_nodes(); ++s) {
+    // Every node invalidates the same relative snake offsets, clipped.
+    std::vector<NodeId> v;
+    for (int off : {-5, 3, 7}) {
+      const int l = lab.label_of(s) + off;
+      if (l >= 0 && l < mesh.num_nodes()) v.push_back(lab.node_at(l));
+    }
+    dests[static_cast<std::size_t>(s)] = v;
+  }
+  auto pattern = std::make_shared<ExplicitPattern>(dests, "snake-offsets{-5,3,7}");
+
+  std::cout << "\nmodel vs simulation (alpha=10%, M=32):\n";
+  for (double rate : {0.0005, 0.001}) {
+    Workload w;
+    w.message_rate = rate;
+    w.multicast_fraction = 0.10;
+    w.message_length = 32;
+    w.pattern = pattern;
+    const auto model = PerformanceModel(mesh, w).evaluate();
+
+    sim::SimConfig c;
+    c.workload = w;
+    c.warmup_cycles = 4000;
+    c.measure_cycles = 40000;
+    const auto sim = sim::Simulator(mesh, c).run();
+    std::cout << "  rate " << rate << ": model " << model.avg_multicast_latency << "  sim "
+              << sim.multicast_latency.to_string() << "\n";
+  }
+  std::cout << "\nThe same max-of-exponentials machinery (Eq. 12) predicts the mesh's\n"
+               "two-stream multicast; no Quarc-specific assumptions are involved.\n";
+  return 0;
+}

@@ -1,0 +1,259 @@
+#include "quarc/cli/cli.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "quarc/sweep/sweep.hpp"
+#include "quarc/topo/hypercube.hpp"
+#include "quarc/topo/mesh.hpp"
+#include "quarc/topo/quarc.hpp"
+#include "quarc/topo/spidergon.hpp"
+#include "quarc/topo/torus.hpp"
+#include "quarc/traffic/pattern.hpp"
+#include "quarc/util/error.hpp"
+#include "quarc/util/table.hpp"
+
+namespace quarc::cli {
+
+namespace {
+
+long long parse_int(const std::string& flag, const std::string& value) {
+  long long out = 0;
+  const auto* begin = value.data();
+  const auto* end = begin + value.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  QUARC_REQUIRE(ec == std::errc{} && ptr == end, flag + " expects an integer, got '" + value + "'");
+  return out;
+}
+
+double parse_double(const std::string& flag, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const double out = std::stod(value, &used);
+    QUARC_REQUIRE(used == value.size(), flag + " expects a number, got '" + value + "'");
+    return out;
+  } catch (const std::exception&) {
+    throw InvalidArgument(flag + " expects a number, got '" + value + "'");
+  }
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::string token;
+  std::istringstream is(s);
+  while (std::getline(is, token, sep)) parts.push_back(token);
+  return parts;
+}
+
+}  // namespace
+
+std::string usage() {
+  return R"(quarcnoc — analytical model & flit-level simulator for wormhole NoC multicast
+(reproduction of Moadeli & Vanderbauwhede, IPDPS 2009)
+
+usage: quarcnoc [options]
+
+topology:
+  --topology T       quarc | quarc1p | spidergon | mesh | mesh-ham | torus |
+                     hypercube                                [default quarc]
+  --nodes N          ring sizes (multiple of 4)                  [default 16]
+  --width W --height H   mesh/torus dimensions                  [default 4x4]
+  --dims D           hypercube dimensions                         [default 4]
+
+workload:
+  --rate R           messages/cycle/node (Poisson)            [default 0.004]
+  --alpha A          multicast fraction                           [default 0]
+  --msg M            message length in flits                     [default 32]
+  --pattern P        broadcast | random:K | localized:LO:HI:K
+                     (offsets relative to the source)     [default broadcast]
+  --seed S           RNG seed (pattern + simulation)              [default 1]
+
+evaluation:
+  --sim              also run the flit-level simulator
+  --warmup C         simulator warmup cycles                   [default 5000]
+  --measure C        simulator measurement window              [default 40000]
+  --sweep P          sweep P rates up to --fill * saturation instead of
+                     evaluating --rate
+  --fill F           sweep endpoint as a fraction of saturation [default 0.85]
+  --csv              emit CSV instead of aligned tables
+  --help             this text
+)";
+}
+
+Options parse(std::span<const std::string> args) {
+  Options opts;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto next = [&](const char* what) -> const std::string& {
+      QUARC_REQUIRE(i + 1 < args.size(), std::string(what) + " requires a value");
+      return args[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      opts.help = true;
+    } else if (arg == "--topology") {
+      opts.topology = next("--topology");
+    } else if (arg == "--nodes") {
+      opts.nodes = static_cast<int>(parse_int(arg, next("--nodes")));
+    } else if (arg == "--width") {
+      opts.width = static_cast<int>(parse_int(arg, next("--width")));
+    } else if (arg == "--height") {
+      opts.height = static_cast<int>(parse_int(arg, next("--height")));
+    } else if (arg == "--dims") {
+      opts.dims = static_cast<int>(parse_int(arg, next("--dims")));
+    } else if (arg == "--rate") {
+      opts.rate = parse_double(arg, next("--rate"));
+    } else if (arg == "--alpha") {
+      opts.alpha = parse_double(arg, next("--alpha"));
+    } else if (arg == "--msg") {
+      opts.msg = static_cast<int>(parse_int(arg, next("--msg")));
+    } else if (arg == "--pattern") {
+      opts.pattern = next("--pattern");
+    } else if (arg == "--seed") {
+      opts.seed = static_cast<std::uint64_t>(parse_int(arg, next("--seed")));
+    } else if (arg == "--sim") {
+      opts.run_sim = true;
+    } else if (arg == "--warmup") {
+      opts.warmup = parse_int(arg, next("--warmup"));
+    } else if (arg == "--measure") {
+      opts.measure = parse_int(arg, next("--measure"));
+    } else if (arg == "--sweep") {
+      opts.sweep_points = static_cast<int>(parse_int(arg, next("--sweep")));
+    } else if (arg == "--fill") {
+      opts.fill = parse_double(arg, next("--fill"));
+    } else if (arg == "--csv") {
+      opts.csv = true;
+    } else {
+      throw InvalidArgument("unknown option '" + arg + "' (try --help)");
+    }
+  }
+  return opts;
+}
+
+std::unique_ptr<Topology> make_topology(const Options& opts) {
+  if (opts.topology == "quarc") return std::make_unique<QuarcTopology>(opts.nodes);
+  if (opts.topology == "quarc1p") {
+    return std::make_unique<QuarcTopology>(opts.nodes, PortScheme::OnePort);
+  }
+  if (opts.topology == "spidergon") return std::make_unique<SpidergonTopology>(opts.nodes);
+  if (opts.topology == "mesh") {
+    return std::make_unique<MeshTopology>(opts.width, opts.height, MeshRouting::XY);
+  }
+  if (opts.topology == "mesh-ham") {
+    return std::make_unique<MeshTopology>(opts.width, opts.height, MeshRouting::Hamiltonian);
+  }
+  if (opts.topology == "torus") return std::make_unique<TorusTopology>(opts.width, opts.height);
+  if (opts.topology == "hypercube") return std::make_unique<HypercubeTopology>(opts.dims);
+  throw InvalidArgument("unknown topology '" + opts.topology + "' (try --help)");
+}
+
+Workload make_workload(const Options& opts, const Topology& topo) {
+  Workload w;
+  w.message_rate = opts.rate;
+  w.multicast_fraction = opts.alpha;
+  w.message_length = opts.msg;
+  if (opts.alpha > 0.0) {
+    Rng rng(opts.seed);
+    const int n = topo.num_nodes();
+    const auto parts = split(opts.pattern, ':');
+    if (parts.empty()) throw InvalidArgument("empty --pattern");
+    if (parts[0] == "broadcast") {
+      QUARC_REQUIRE(parts.size() == 1, "--pattern broadcast takes no arguments");
+      w.pattern = RingRelativePattern::broadcast(n);
+    } else if (parts[0] == "random") {
+      QUARC_REQUIRE(parts.size() == 2, "--pattern random:K");
+      const int k = static_cast<int>(parse_int("--pattern random", parts[1]));
+      w.pattern = RingRelativePattern::random(n, k, rng);
+    } else if (parts[0] == "localized") {
+      QUARC_REQUIRE(parts.size() == 4, "--pattern localized:LO:HI:K");
+      const int lo = static_cast<int>(parse_int("--pattern localized", parts[1]));
+      const int hi = static_cast<int>(parse_int("--pattern localized", parts[2]));
+      const int k = static_cast<int>(parse_int("--pattern localized", parts[3]));
+      w.pattern = RingRelativePattern::localized(n, lo, hi, k, rng);
+    } else {
+      throw InvalidArgument("unknown pattern '" + parts[0] + "' (try --help)");
+    }
+  }
+  w.validate(topo);
+  return w;
+}
+
+namespace {
+
+Cell latency_cell(double v) {
+  if (!std::isfinite(v)) return std::string("saturated");
+  return v;
+}
+
+Cell sim_latency_cell(const StatSummary& s, const sim::SimResult& r) {
+  if (!r.completed) return std::string("unstable");
+  if (s.count == 0) return std::string("-");
+  std::ostringstream os;
+  os.precision(2);
+  os << std::fixed << s.mean;
+  if (std::isfinite(s.ci95)) os << " +-" << s.ci95;
+  return os.str();
+}
+
+}  // namespace
+
+int run(const Options& opts, std::ostream& out) {
+  if (opts.help) {
+    out << usage();
+    return 0;
+  }
+  const auto topo = make_topology(opts);
+  const Workload base = make_workload(opts, *topo);
+
+  out << "topology: " << topo->name() << "  (" << topo->num_nodes() << " nodes, diameter "
+      << topo->diameter() << ")\n"
+      << "workload: " << base.describe() << "\n";
+
+  std::vector<double> rates;
+  if (opts.sweep_points > 0) {
+    rates = rate_grid_to_saturation(*topo, base, opts.sweep_points, opts.fill);
+    out << "sweep: " << opts.sweep_points << " points up to " << opts.fill
+        << " of model saturation (" << rates.back() / opts.fill << ")\n";
+  } else {
+    rates.push_back(opts.rate);
+  }
+
+  SweepConfig cfg;
+  cfg.run_sim = opts.run_sim;
+  cfg.sim.seed = opts.seed;
+  cfg.sim.warmup_cycles = opts.warmup;
+  cfg.sim.measure_cycles = opts.measure;
+  const auto points = sweep_rates(*topo, base, rates, cfg);
+
+  const bool mc = base.multicast_rate() > 0.0;
+  std::vector<std::string> headers = {"rate", "model unicast"};
+  if (mc) headers.push_back("model multicast");
+  if (opts.run_sim) {
+    headers.push_back("sim unicast");
+    if (mc) headers.push_back("sim multicast");
+  }
+  Table table(headers, 3);
+  for (const auto& p : points) {
+    std::vector<Cell> row;
+    std::ostringstream r;
+    r << p.rate;
+    row.emplace_back(r.str());
+    row.push_back(latency_cell(p.model.avg_unicast_latency));
+    if (mc) row.push_back(latency_cell(p.model.avg_multicast_latency));
+    if (opts.run_sim) {
+      row.push_back(sim_latency_cell(p.sim.unicast_latency, p.sim));
+      if (mc) row.push_back(sim_latency_cell(p.sim.multicast_latency, p.sim));
+    }
+    table.add_row(std::move(row));
+  }
+  if (opts.csv) {
+    table.print_csv(out);
+  } else {
+    table.print(out);
+  }
+  return 0;
+}
+
+}  // namespace quarc::cli

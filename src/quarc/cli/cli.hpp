@@ -1,0 +1,57 @@
+// Command-line front end for the model and simulator (the `quarcnoc`
+// tool). Parsing and object construction live in the library so they are
+// unit-testable; tools/quarcnoc.cpp is a thin main().
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "quarc/topo/topology.hpp"
+#include "quarc/traffic/workload.hpp"
+
+namespace quarc::cli {
+
+struct Options {
+  /// quarc | quarc1p | spidergon | mesh | mesh-ham | torus | hypercube
+  std::string topology = "quarc";
+  int nodes = 16;        ///< ring topologies
+  int width = 4;         ///< mesh/torus
+  int height = 4;        ///< mesh/torus
+  int dims = 4;          ///< hypercube
+  double rate = 0.004;   ///< messages/cycle/node
+  double alpha = 0.0;    ///< multicast fraction
+  int msg = 32;          ///< flits per message
+  /// broadcast | random:K | localized:LO:HI:K  (ring topologies; random:K
+  /// falls back to independent per-source sets elsewhere)
+  std::string pattern = "broadcast";
+  std::uint64_t seed = 1;
+  bool run_sim = false;
+  std::int64_t warmup = 5000;
+  std::int64_t measure = 40000;
+  /// 0 = evaluate the single rate above; otherwise sweep this many points
+  /// up to fill * saturation.
+  int sweep_points = 0;
+  double fill = 0.85;
+  bool csv = false;
+  bool help = false;
+};
+
+/// Parses argv-style arguments (without the program name). Throws
+/// InvalidArgument with a helpful message on malformed input.
+Options parse(std::span<const std::string> args);
+
+/// The --help text.
+std::string usage();
+
+/// Instantiates the requested topology.
+std::unique_ptr<Topology> make_topology(const Options& opts);
+
+/// Builds the workload, including the multicast pattern when alpha > 0.
+Workload make_workload(const Options& opts, const Topology& topo);
+
+/// Runs the tool end to end; returns a process exit code. Output goes to
+/// the given stream (tables or CSV per opts.csv).
+int run(const Options& opts, std::ostream& out);
+
+}  // namespace quarc::cli

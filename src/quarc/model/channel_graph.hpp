@@ -1,0 +1,56 @@
+// Per-channel traffic rates and channel-to-channel transition rates,
+// accumulated from the deterministic routes of a (topology, workload)
+// pair. This is the input of the Eq. 6 service-time recursion:
+//
+//   lambda_j         total arrival rate at channel j
+//   r_{i->j}         rate of traffic that uses channel j immediately after
+//                    channel i (so P_{i->j} = r_{i->j} / lambda_i, and the
+//                    self-traffic discount of Eq. 6 is r_{i->j}/lambda_j)
+//
+// Unicast: every (s,d) pair contributes lambda_u/(N-1) along its route.
+// Multicast (hardware streams): every per-port stream contributes the full
+// multicast rate along its path; clone absorptions at intermediate stops
+// load the stop's ejection channel but add no transition edge — the
+// forward link gates the worm's progress, the ejection clone is a leaf
+// (matching the simulator's resource-acquisition order).
+// Multicast on topologies without hardware support is expanded into the
+// consecutive unicasts the traffic layer would send.
+#pragma once
+
+#include <vector>
+
+#include "quarc/topo/topology.hpp"
+#include "quarc/traffic/workload.hpp"
+
+namespace quarc {
+
+class ChannelGraph {
+ public:
+  ChannelGraph(const Topology& topo, const Workload& load);
+
+  /// Total arrival rate at channel c (messages/cycle).
+  double lambda(ChannelId c) const { return lambda_[static_cast<std::size_t>(c)]; }
+
+  /// Rate of traffic taking j directly after i; 0 if no such flow.
+  double transition_rate(ChannelId i, ChannelId j) const;
+
+  /// All outgoing flows of channel i as (next channel, rate) pairs.
+  const std::vector<std::pair<ChannelId, double>>& outgoing(ChannelId i) const {
+    return out_[static_cast<std::size_t>(i)];
+  }
+
+  /// Aggregate generation rate actually offered (for sanity checks):
+  /// sum over injection channels of lambda.
+  double total_injection_rate() const;
+
+ private:
+  void add_flow(ChannelId from, ChannelId to, double rate);
+  void add_route(const UnicastRoute& r, double rate);
+  void add_stream(const MulticastStream& st, double rate);
+
+  std::vector<double> lambda_;
+  std::vector<std::vector<std::pair<ChannelId, double>>> out_;
+  const Topology* topo_;
+};
+
+}  // namespace quarc

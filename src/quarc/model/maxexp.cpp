@@ -1,0 +1,77 @@
+#include "quarc/model/maxexp.hpp"
+
+#include <vector>
+
+#include "quarc/util/error.hpp"
+
+namespace quarc {
+
+double expected_max_exponential(std::span<const double> rates) {
+  const std::size_t m = rates.size();
+  if (m == 0) return 0.0;
+  QUARC_REQUIRE(m <= 20, "subset expansion limited to 20 variables");
+  for (double mu : rates) QUARC_REQUIRE(mu > 0.0, "exponential rates must be positive");
+
+  double total = 0.0;
+  const std::size_t subsets = std::size_t{1} << m;
+  for (std::size_t mask = 1; mask < subsets; ++mask) {
+    double rate_sum = 0.0;
+    int bits = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (mask & (std::size_t{1} << i)) {
+        rate_sum += rates[i];
+        ++bits;
+      }
+    }
+    total += ((bits % 2 == 1) ? 1.0 : -1.0) / rate_sum;
+  }
+  return total;
+}
+
+namespace {
+
+double recurse(std::span<const double> rates, std::size_t mask, std::vector<double>& memo) {
+  if (mask == 0) return 0.0;
+  double& slot = memo[mask];
+  if (slot >= 0.0) return slot;
+
+  // Eq. 10/12: first event fires after 1/sum(mu); by memorylessness the
+  // remaining maximum restarts over the survivors, weighted by which
+  // variable fired first (probability mu_i / sum).
+  double rate_sum = 0.0;
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    if (mask & (std::size_t{1} << i)) rate_sum += rates[i];
+  }
+  double value = 1.0 / rate_sum;
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    const std::size_t bit = std::size_t{1} << i;
+    if (mask & bit) {
+      value += (rates[i] / rate_sum) * recurse(rates, mask & ~bit, memo);
+    }
+  }
+  slot = value;
+  return value;
+}
+
+}  // namespace
+
+double expected_max_exponential_recursive(std::span<const double> rates) {
+  const std::size_t m = rates.size();
+  if (m == 0) return 0.0;
+  QUARC_REQUIRE(m <= 20, "subset expansion limited to 20 variables");
+  for (double mu : rates) QUARC_REQUIRE(mu > 0.0, "exponential rates must be positive");
+  std::vector<double> memo(std::size_t{1} << m, -1.0);
+  return recurse(rates, (std::size_t{1} << m) - 1, memo);
+}
+
+double expected_max_from_means(std::span<const double> means, double eps) {
+  std::vector<double> rates;
+  rates.reserve(means.size());
+  for (double w : means) {
+    QUARC_REQUIRE(w >= 0.0, "waiting times must be non-negative");
+    if (w > eps) rates.push_back(1.0 / w);
+  }
+  return expected_max_exponential(rates);
+}
+
+}  // namespace quarc

@@ -1,0 +1,35 @@
+// Expected value of the maximum of independent exponential random
+// variables — the paper's core device for asynchronous multi-port
+// multicast (Eq. 9-13).
+//
+// The multicast waiting time is the time until the *last* of the m port
+// streams delivers; associating each stream's total waiting time with
+// Exp(mu_c), the expectation of the maximum follows from memorylessness
+// (recursion of Eq. 12). The closed inclusion-exclusion form
+//
+//   E[max] = sum over non-empty subsets S of (-1)^{|S|+1} / sum_{i in S} mu_i
+//
+// is algebraically identical; both are implemented and cross-checked in the
+// test-suite.
+#pragma once
+
+#include <span>
+
+namespace quarc {
+
+/// E[max of Exp(rates[i])] via inclusion-exclusion. Rates must be positive;
+/// size may be 0 (returns 0) and is limited to 20 (2^m subset expansion —
+/// far above any router port count).
+double expected_max_exponential(std::span<const double> rates);
+
+/// Same quantity via the paper's Eq. 12 recursion (memoized over subsets).
+double expected_max_exponential_recursive(std::span<const double> rates);
+
+/// Convenience for the model: expectation of the maximum where each entry
+/// is the *mean* (total waiting time W_{j,c}, so mu = 1/W). Entries <= eps
+/// are treated as degenerate point masses at zero (they cannot be the
+/// maximum unless all are zero). This is the exact limit of Eq. 12 as
+/// mu -> infinity.
+double expected_max_from_means(std::span<const double> means, double eps = 1e-12);
+
+}  // namespace quarc

@@ -1,0 +1,24 @@
+#include "quarc/model/mg1.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "quarc/util/error.hpp"
+
+namespace quarc {
+
+double mg1_waiting_time(double lambda, double mean, double sigma) {
+  QUARC_ASSERT(mean >= 0.0 && sigma >= 0.0, "negative service statistics");
+  if (lambda <= 0.0) return 0.0;
+  const double rho = lambda * mean;
+  if (rho >= 1.0) return std::numeric_limits<double>::infinity();
+  return lambda * (mean * mean + sigma * sigma) / (2.0 * (1.0 - rho));
+}
+
+double mg1_utilization(double lambda, double mean) { return std::max(0.0, lambda * mean); }
+
+double service_sigma(double service_mean, int message_length) {
+  return std::max(0.0, service_mean - static_cast<double>(message_length));
+}
+
+}  // namespace quarc

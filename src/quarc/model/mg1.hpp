@@ -1,0 +1,33 @@
+// M/G/1 waiting-time kernel (paper Eq. 3-5).
+//
+// Every network channel is modeled as an M/G/1 queue. The paper's Eq. 3 as
+// printed ("W = lambda*rho / (2(1-lambda*x)) * (1 + sigma^2/x^2)") is
+// dimensionally inconsistent (it yields 1/time); the standard
+// Pollaczek-Khinchine mean wait used throughout this model family
+// ([12],[16],[18] and Kleinrock [14]) is
+//
+//   W = lambda * x^2 * (1 + sigma^2 / x^2) / (2 (1 - lambda x))
+//     = lambda (x^2 + sigma^2) / (2 (1 - rho)),
+//
+// which we implement. The service-time variance uses the paper's
+// approximation sigma = x - msg (Eq. 5): the service time of a wormhole
+// channel varies between the pure drain time (msg flits) and the blocked
+// mean x.
+#pragma once
+
+namespace quarc {
+
+/// Mean M/G/1 waiting time for arrival rate `lambda`, mean service time
+/// `mean` and service-time standard deviation `sigma`. Returns 0 for an
+/// idle channel (lambda <= 0) and +infinity at or beyond saturation
+/// (lambda * mean >= 1).
+double mg1_waiting_time(double lambda, double mean, double sigma);
+
+/// Channel utilisation rho = lambda * mean (Eq. 4).
+double mg1_utilization(double lambda, double mean);
+
+/// The paper's Eq. 5 variance approximation: sigma = service mean minus the
+/// message drain time, floored at zero (service can never beat the drain).
+double service_sigma(double service_mean, int message_length);
+
+}  // namespace quarc

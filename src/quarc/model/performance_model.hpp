@@ -1,0 +1,76 @@
+// Facade assembling the paper's full analytical model (Sections 2.1-2.2).
+//
+// Pipeline: ChannelGraph (rates, Eq. 1-2 port partitioning via the
+// topology's streams) -> ServiceTimeSolver (Eq. 3-6) -> latency assembly:
+//
+//   unicast  (Eq. 7):  L(s,d) = sum of path waits + (D+1) + M, averaged
+//                      over all source/destination pairs;
+//   multicast (Eq. 8-16): per-port stream waits W_{j,c} define rates
+//                      mu_{j,c} = 1/W_{j,c}; the multicast wait is
+//                      E[max of Exp(mu_{j,c})] (Eq. 12-13), the hop term is
+//                      D_j = max_c D_{j,c} (Eq. 15), and the network
+//                      average is the mean over initiating nodes (Eq. 16).
+//
+// The +1 in the hop terms accounts for the ejection stage so that the
+// zero-load latency is exactly M + D + 1 cycles, matching the simulator's
+// timing cycle-for-cycle (see DESIGN.md "zero-load anchor").
+//
+// Topologies without hardware multicast (Spidergon, torus) get a
+// batch-of-unicasts estimate: the i-th unicast of the software multicast
+// additionally waits i service times at the shared injection channel and
+// the group latency is the maximum over the batch. This extends the paper
+// (which models only the all-port case) and is validated against the
+// simulator in bench/broadcast_scaling.
+#pragma once
+
+#include <vector>
+
+#include "quarc/model/solver.hpp"
+#include "quarc/traffic/workload.hpp"
+
+namespace quarc {
+
+struct ModelOptions {
+  SolverOptions solver;
+};
+
+struct ModelResult {
+  SolveStatus status = SolveStatus::Converged;
+  /// Mean unicast latency over all (s,d) pairs; +inf when saturated.
+  double avg_unicast_latency = 0.0;
+  /// Mean multicast latency (Eq. 16); +inf when saturated; meaningful only
+  /// when has_multicast.
+  double avg_multicast_latency = 0.0;
+  bool has_multicast = false;
+  /// Eq. 14 per initiating node (empty without multicast traffic).
+  std::vector<double> per_node_multicast_latency;
+  double max_utilization = 0.0;
+  ChannelId bottleneck = kInvalidChannel;
+  int solver_iterations = 0;
+  /// Converged per-channel queueing quantities (index = ChannelId).
+  std::vector<ChannelSolution> channels;
+};
+
+class PerformanceModel {
+ public:
+  /// The workload is validated against the topology on construction.
+  PerformanceModel(const Topology& topo, Workload load, ModelOptions options = {});
+
+  /// Solves the model. Deterministic; safe to call repeatedly.
+  ModelResult evaluate() const;
+
+  /// Mean waiting a message experiences along (injection, links..., eject),
+  /// i.e. W_inj plus the self-discounted waits of every subsequent channel
+  /// (the sum-of-w_l of Eq. 7). Exposed for tests and diagnostics; requires
+  /// the per-channel solution and graph from a solved model.
+  static double path_waiting(const ChannelGraph& graph,
+                             const std::vector<ChannelSolution>& channels, ChannelId injection,
+                             const std::vector<ChannelId>& links, ChannelId ejection);
+
+ private:
+  const Topology* topo_;
+  Workload load_;
+  ModelOptions options_;
+};
+
+}  // namespace quarc

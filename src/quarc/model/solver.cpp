@@ -1,0 +1,110 @@
+#include "quarc/model/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "quarc/model/mg1.hpp"
+#include "quarc/util/error.hpp"
+
+namespace quarc {
+
+std::string to_string(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::Converged:
+      return "converged";
+    case SolveStatus::Saturated:
+      return "saturated";
+    case SolveStatus::MaxIterationsReached:
+      return "max-iterations";
+  }
+  return "unknown";
+}
+
+ServiceTimeSolver::ServiceTimeSolver(const Topology& topo, const ChannelGraph& graph,
+                                     int message_length, SolverOptions options)
+    : topo_(&topo), graph_(&graph), message_length_(message_length), options_(options) {
+  QUARC_REQUIRE(message_length >= 1, "message length must be positive");
+  QUARC_REQUIRE(options_.damping > 0.0 && options_.damping <= 1.0, "damping must be in (0,1]");
+}
+
+SolveStatus ServiceTimeSolver::solve() {
+  const auto nch = static_cast<std::size_t>(topo_->num_channels());
+  const double msg = static_cast<double>(message_length_);
+
+  solution_.assign(nch, ChannelSolution{});
+  for (std::size_t c = 0; c < nch; ++c) {
+    solution_[c].lambda = graph_->lambda(static_cast<ChannelId>(c));
+    solution_[c].service_time = msg;  // drain time is the floor of any service time
+  }
+
+  iterations_used_ = 0;
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    iterations_used_ = iter + 1;
+
+    // Refresh waits and check the stability guard with current x.
+    for (std::size_t c = 0; c < nch; ++c) {
+      ChannelSolution& s = solution_[c];
+      if (s.lambda <= 0.0) {
+        s.waiting_time = 0.0;
+        s.utilization = 0.0;
+        continue;
+      }
+      s.utilization = mg1_utilization(s.lambda, s.service_time);
+      if (s.utilization >= options_.utilization_guard) return SolveStatus::Saturated;
+      s.waiting_time =
+          mg1_waiting_time(s.lambda, s.service_time, service_sigma(s.service_time, message_length_));
+      if (!std::isfinite(s.waiting_time)) return SolveStatus::Saturated;
+    }
+
+    // Gauss-Seidel sweep of Eq. 6 with damping.
+    double max_delta = 0.0;
+    for (const ChannelInfo& ch : topo_->channels()) {
+      if (ch.kind == ChannelKind::Ejection) continue;  // fixed x = msg
+      ChannelSolution& s = solution_[static_cast<std::size_t>(ch.id)];
+      if (s.lambda <= 0.0) continue;  // unused channel; x irrelevant
+      const auto& flows = graph_->outgoing(ch.id);
+      QUARC_ASSERT(!flows.empty(), "loaded non-ejection channel has no next channel");
+
+      double update = 0.0;
+      for (const auto& [next, rate] : flows) {
+        const ChannelSolution& t = solution_[static_cast<std::size_t>(next)];
+        const double p = rate / s.lambda;                    // P_{i->j}
+        const double self_share = rate / t.lambda;           // fraction of j's load from i
+        update += p * ((1.0 - self_share) * t.waiting_time + t.service_time + 1.0);
+      }
+      const double damped =
+          options_.damping * update + (1.0 - options_.damping) * s.service_time;
+      max_delta = std::max(max_delta, std::abs(damped - s.service_time));
+      s.service_time = damped;
+    }
+
+    if (max_delta < options_.tolerance) {
+      // Final wait refresh so callers see W consistent with converged x.
+      for (std::size_t c = 0; c < nch; ++c) {
+        ChannelSolution& s = solution_[c];
+        if (s.lambda <= 0.0) continue;
+        s.utilization = mg1_utilization(s.lambda, s.service_time);
+        if (s.utilization >= options_.utilization_guard) return SolveStatus::Saturated;
+        s.waiting_time = mg1_waiting_time(s.lambda, s.service_time,
+                                          service_sigma(s.service_time, message_length_));
+      }
+      return SolveStatus::Converged;
+    }
+  }
+  return SolveStatus::MaxIterationsReached;
+}
+
+double ServiceTimeSolver::max_utilization(ChannelId* argmax) const {
+  double best = 0.0;
+  ChannelId best_id = kInvalidChannel;
+  for (std::size_t c = 0; c < solution_.size(); ++c) {
+    if (solution_[c].utilization > best) {
+      best = solution_[c].utilization;
+      best_id = static_cast<ChannelId>(c);
+    }
+  }
+  if (argmax != nullptr) *argmax = best_id;
+  return best;
+}
+
+}  // namespace quarc

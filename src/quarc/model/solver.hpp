@@ -1,0 +1,73 @@
+// Fixed-point solver for the Eq. 6 service-time recursion.
+//
+// Service time of an ejection channel is the message length (the sink
+// drains one flit per cycle); the service time of any other channel is the
+// expected time its worm needs to clear it, which depends on the waiting
+// and service times of the channels taken *next*:
+//
+//   x_i = sum_j P_{i->j} [ (1 - r_{i->j}/lambda_j) W_j + x_j + 1 ]
+//
+// with W_j the M/G/1 wait of channel j (Eq. 3/5) and the discount term
+// removing the share of j's load that is channel i's own traffic (a worm
+// never queues behind itself; in particular an ejection channel fed by a
+// single link contributes zero waiting, as it must physically).
+//
+// Ring topologies make the next-channel graph cyclic (CW[i] feeds CW[i+1]
+// all the way around), so the recursion is solved by damped fixed-point
+// iteration. Saturation (rho >= 1 on any channel) is reported as a status
+// rather than an error: latency curves legitimately end at an asymptote.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "quarc/model/channel_graph.hpp"
+#include "quarc/topo/topology.hpp"
+
+namespace quarc {
+
+enum class SolveStatus { Converged, Saturated, MaxIterationsReached };
+
+std::string to_string(SolveStatus s);
+
+struct SolverOptions {
+  int max_iterations = 20000;
+  double tolerance = 1e-9;       ///< max |delta x| per sweep for convergence
+  double damping = 0.5;          ///< new x = damping*update + (1-damping)*old
+  double utilization_guard = 1.0 - 1e-6;  ///< rho at/above this => Saturated
+};
+
+/// Converged per-channel quantities.
+struct ChannelSolution {
+  double lambda = 0.0;        ///< arrival rate (messages/cycle)
+  double service_time = 0.0;  ///< mean service time x (cycles)
+  double waiting_time = 0.0;  ///< M/G/1 mean wait W (cycles)
+  double utilization = 0.0;   ///< rho = lambda * x
+};
+
+class ServiceTimeSolver {
+ public:
+  ServiceTimeSolver(const Topology& topo, const ChannelGraph& graph, int message_length,
+                    SolverOptions options = {});
+
+  /// Runs the iteration; idempotent (re-running re-solves from scratch).
+  SolveStatus solve();
+
+  const std::vector<ChannelSolution>& channels() const { return solution_; }
+  const ChannelSolution& channel(ChannelId c) const {
+    return solution_[static_cast<std::size_t>(c)];
+  }
+  int iterations_used() const { return iterations_used_; }
+  /// Highest channel utilisation and the channel achieving it.
+  double max_utilization(ChannelId* argmax = nullptr) const;
+
+ private:
+  const Topology* topo_;
+  const ChannelGraph* graph_;
+  int message_length_;
+  SolverOptions options_;
+  std::vector<ChannelSolution> solution_;
+  int iterations_used_ = 0;
+};
+
+}  // namespace quarc

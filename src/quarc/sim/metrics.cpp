@@ -1,0 +1,88 @@
+#include "quarc/sim/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace quarc::sim {
+
+Metrics::Metrics(int batch_count, int num_ports, bool collect_stream_samples)
+    : unicast_batches_(batch_count),
+      multicast_batches_(batch_count),
+      stream_wait_(static_cast<std::size_t>(num_ports)),
+      collect_samples_(collect_stream_samples),
+      samples_(static_cast<std::size_t>(num_ports)) {}
+
+void Metrics::on_created(bool multicast, bool measured) {
+  ++total_created_;
+  if (!measured) return;
+  if (multicast) {
+    ++multicast_created_;
+  } else {
+    ++unicast_created_;
+  }
+}
+
+void Metrics::on_unicast_done(Cycle latency, bool measured) {
+  if (!measured) return;
+  ++unicast_done_;
+  unicast_batches_.add(static_cast<double>(latency));
+  unicast_stats_.add(static_cast<double>(latency));
+}
+
+void Metrics::on_multicast_done(Cycle latency, bool measured) {
+  if (!measured) return;
+  ++multicast_done_;
+  multicast_batches_.add(static_cast<double>(latency));
+  multicast_stats_.add(static_cast<double>(latency));
+}
+
+void Metrics::on_stream_done(PortId port, double wait, bool measured) {
+  if (!measured) return;
+  const double clamped = std::max(0.0, wait);
+  stream_wait_[static_cast<std::size_t>(port)].add(clamped);
+  if (collect_samples_) samples_[static_cast<std::size_t>(port)].push_back(clamped);
+}
+
+void Metrics::on_group_wait(double wait, bool measured) {
+  if (!measured) return;
+  group_wait_.add(std::max(0.0, wait));
+}
+
+StatSummary Metrics::summarize(const RunningStats& stats) {
+  StatSummary s;
+  s.count = stats.count();
+  s.mean = stats.mean();
+  s.ci95 = stats.count() > 1 ? 2.0 * stats.stddev() / std::sqrt(static_cast<double>(stats.count()))
+                             : std::numeric_limits<double>::infinity();
+  s.min = stats.empty() ? 0.0 : stats.min();
+  s.max = stats.empty() ? 0.0 : stats.max();
+  return s;
+}
+
+std::vector<StatSummary> Metrics::stream_wait_by_port() const {
+  std::vector<StatSummary> out;
+  out.reserve(stream_wait_.size());
+  for (const RunningStats& s : stream_wait_) out.push_back(summarize(s));
+  return out;
+}
+
+StatSummary Metrics::group_wait_summary() const { return summarize(group_wait_); }
+
+StatSummary Metrics::summarize(const BatchMeans& batches, const RunningStats& stats) {
+  StatSummary s;
+  s.count = stats.count();
+  s.mean = stats.mean();
+  s.ci95 = batches.ci_halfwidth();
+  s.min = stats.empty() ? 0.0 : stats.min();
+  s.max = stats.empty() ? 0.0 : stats.max();
+  return s;
+}
+
+StatSummary Metrics::unicast_summary() const { return summarize(unicast_batches_, unicast_stats_); }
+
+StatSummary Metrics::multicast_summary() const {
+  return summarize(multicast_batches_, multicast_stats_);
+}
+
+}  // namespace quarc::sim

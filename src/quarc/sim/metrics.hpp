@@ -1,0 +1,70 @@
+// Measurement collection for the simulator.
+//
+// Latency definitions follow paper Section 4 exactly:
+//   * unicast latency: generation at the source until the last flit is
+//     absorbed by the destination's sink;
+//   * multicast latency: generation until the last flit is absorbed at the
+//     *last* destination, across all asynchronous port streams.
+// Only messages *created* inside the measurement window contribute, and a
+// run is complete only when all of them have been delivered.
+#pragma once
+
+#include <vector>
+
+#include "quarc/util/stats.hpp"
+#include "quarc/util/types.hpp"
+
+namespace quarc::sim {
+
+class Metrics {
+ public:
+  Metrics(int batch_count, int num_ports, bool collect_stream_samples = false);
+
+  void on_created(bool multicast, bool measured);
+  void on_unicast_done(Cycle latency, bool measured);
+  void on_multicast_done(Cycle latency, bool measured);
+  /// Total waiting time (latency minus the zero-load floor) of one
+  /// multicast port stream — the empirical counterpart of the paper's
+  /// W_{j,c} (Eq. 8). Waits can dip one cycle below zero when round-robin
+  /// link arbitration favours a stream; clamped at zero.
+  void on_stream_done(PortId port, double wait, bool measured);
+  /// Same quantity for the whole multicast group (the last stream): the
+  /// empirical counterpart of Eq. 13.
+  void on_group_wait(double wait, bool measured);
+
+  bool all_measured_done() const {
+    return unicast_done_ == unicast_created_ && multicast_done_ == multicast_created_;
+  }
+  std::int64_t measured_created() const { return unicast_created_ + multicast_created_; }
+  std::int64_t total_created() const { return total_created_; }
+
+  StatSummary unicast_summary() const;
+  StatSummary multicast_summary() const;
+  /// Mean stream wait per injection port (empirical W_{j,c} averaged over
+  /// sources and messages).
+  std::vector<StatSummary> stream_wait_by_port() const;
+  /// Empirical multicast group wait (Eq. 13 counterpart).
+  StatSummary group_wait_summary() const;
+  /// Raw per-port samples (empty unless sample collection was enabled).
+  const std::vector<std::vector<double>>& stream_wait_samples() const { return samples_; }
+
+ private:
+  static StatSummary summarize(const BatchMeans& batches, const RunningStats& stats);
+  static StatSummary summarize(const RunningStats& stats);
+
+  BatchMeans unicast_batches_;
+  BatchMeans multicast_batches_;
+  RunningStats unicast_stats_;
+  RunningStats multicast_stats_;
+  std::vector<RunningStats> stream_wait_;
+  RunningStats group_wait_;
+  bool collect_samples_;
+  std::vector<std::vector<double>> samples_;
+  std::int64_t unicast_created_ = 0;
+  std::int64_t multicast_created_ = 0;
+  std::int64_t unicast_done_ = 0;
+  std::int64_t multicast_done_ = 0;
+  std::int64_t total_created_ = 0;
+};
+
+}  // namespace quarc::sim

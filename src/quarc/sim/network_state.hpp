@@ -1,0 +1,145 @@
+// Dynamic state of the flit-level wormhole simulation.
+//
+// A *worm* is one wormhole message: a train of `msg_len` flits flowing
+// through a fixed sequence of stages (injection channel, external links,
+// ejection channel). Stage k's buffer sits at the downstream end of channel
+// stages[k]; moving a flit across boundary k-1 -> k consumes one cycle of
+// channel stages[k]'s bandwidth. Per-stage enter/exit cycle stamps give
+// exact start-of-cycle-snapshot semantics (a flit that entered a buffer
+// this cycle cannot leave it this cycle; space is judged on start-of-cycle
+// occupancy), which makes the movement phase independent of processing
+// order and therefore deterministic.
+//
+// Multicast worms carry *taps*: at an absorb-and-forward stop after link h,
+// every flit crossing boundary h -> h+1 is simultaneously cloned into the
+// node's ejection channel (paper Section 3.3.2: the ingress multiplexer
+// clones the flits). The tap must hold that ejection channel before the
+// header may cross — acquired strictly *after* the forward channel, making
+// ejection channels leaf resources and the acquisition order acyclic.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "quarc/topo/topology.hpp"
+#include "quarc/util/types.hpp"
+
+namespace quarc::sim {
+
+/// Per-stage dynamic buffer state with snapshot stamps.
+struct StageDyn {
+  std::uint16_t occ = 0;      ///< flits currently in this stage's buffer
+  std::uint32_t exited = 0;   ///< flits that have left this stage (ever)
+  Cycle last_enter = -1;      ///< cycle of the most recent entry
+  Cycle last_exit = -1;       ///< cycle of the most recent exit
+
+  /// A flit was present at the start of cycle t.
+  bool avail(Cycle t) const { return occ > static_cast<std::uint16_t>(last_enter == t ? 1 : 0); }
+  /// Start-of-cycle occupancy (entries this cycle excluded, exits restored).
+  int occ_at_start(Cycle t) const {
+    return static_cast<int>(occ) - (last_enter == t ? 1 : 0) + (last_exit == t ? 1 : 0);
+  }
+  void on_enter(Cycle t) {
+    ++occ;
+    last_enter = t;
+  }
+  void on_exit(Cycle t) {
+    --occ;
+    ++exited;
+    last_exit = t;
+  }
+};
+
+/// Absorb-and-forward clone point of a multicast worm.
+struct TapState {
+  int boundary = 0;           ///< flits crossing stage `boundary` -> boundary+1 are cloned
+  NodeId node = kInvalidNode; ///< absorbing node
+  ChannelId eject = kInvalidChannel;
+  bool allocated = false;     ///< tap holds its ejection channel
+  StageDyn buf;               ///< clone buffer inside the ejection channel
+  int cloned = 0;             ///< flits cloned so far
+  int absorbed = 0;           ///< clone flits consumed by the sink
+};
+
+struct Worm {
+  std::int64_t id = 0;
+  /// Index in the simulator's active-worm pool (maintained on swap-remove).
+  std::size_t slot = 0;
+  /// Multicast group id (also used for software-multicast batches); -1 for
+  /// a plain unicast.
+  std::int64_t group = -1;
+  Cycle created = 0;
+  bool measured = false;
+  NodeId source = kInvalidNode;
+  /// Injection port this worm uses (for per-port stream statistics).
+  PortId port = 0;
+  int msg_len = 0;
+
+  std::vector<ChannelId> stages;      ///< injection, links..., ejection
+  std::vector<std::uint8_t> stage_vc; ///< virtual channel per stage
+  std::vector<StageDyn> dyn;          ///< parallel to stages
+  std::vector<TapState> taps;         ///< ordered by boundary; sized at build
+
+  int flits_to_inject = 0;  ///< flits still at the source PE
+  int head_stage = -1;      ///< furthest stage the header has entered
+  int allocated_through = -1;
+  int absorbed = 0;         ///< flits consumed by the sink at the last stage
+
+  int last_stage() const { return static_cast<int>(stages.size()) - 1; }
+  bool fully_absorbed() const { return absorbed == msg_len; }
+  bool taps_done() const {
+    for (const TapState& tp : taps) {
+      if (tp.absorbed != msg_len) return false;
+    }
+    return true;
+  }
+  /// Tap cloning at the crossing out of stage `boundary`, or nullptr.
+  TapState* tap_at_boundary(int boundary) {
+    for (TapState& tp : taps) {
+      if (tp.boundary == boundary) return &tp;
+    }
+    return nullptr;
+  }
+  const TapState* tap_at_boundary(int boundary) const {
+    for (const TapState& tp : taps) {
+      if (tp.boundary == boundary) return &tp;
+    }
+    return nullptr;
+  }
+
+  /// Builds the stage arrays from a unicast route.
+  static Worm from_route(const UnicastRoute& r, int msg_len);
+  /// Builds the stage arrays (and taps) from a multicast stream.
+  static Worm from_stream(const MulticastStream& st, int msg_len);
+};
+
+/// A pending claim on a (channel, vc): either a worm header waiting to
+/// enter stage `stage`, or a multicast tap waiting for its ejection channel.
+struct Claim {
+  Worm* worm = nullptr;
+  int stage = -1;
+  TapState* tap = nullptr;  ///< non-null for tap claims
+
+  bool is_tap() const { return tap != nullptr; }
+};
+
+struct VcState {
+  Claim owner;                ///< empty worm pointer => free
+  std::deque<Claim> waiters;  ///< FIFO, non-preemptive (paper Section 4)
+
+  bool is_free() const { return owner.worm == nullptr; }
+};
+
+struct ChannelState {
+  std::vector<VcState> vcs;
+  /// Dedicated ejection channels only (ChannelInfo::dedicated): the set of
+  /// absorptions currently in progress. Absorption through a dedicated sink
+  /// is allocation-free — the physical channel is fed by a single input
+  /// link, so the paper's ingress-multiplexer clone can never block on it.
+  std::vector<Claim> absorbers;
+  std::uint32_t rr = 0;             ///< round-robin pointer for link bandwidth
+  std::int64_t flits_crossed = 0;   ///< utilisation accounting
+};
+
+}  // namespace quarc::sim

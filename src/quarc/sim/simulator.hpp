@@ -1,0 +1,170 @@
+// Cycle-accurate flit-level wormhole simulator.
+//
+// Replaces the paper's OMNeT++ validation simulator (Section 4) with the
+// same semantics: Poisson per-node sources, messages queued per injection
+// port in creation order, non-preemptive channels granted FIFO to blocked
+// messages, flits forwarded one hop per cycle, absorb-and-forward multicast
+// with per-port asynchronous streams, and latency measured from message
+// creation to absorption of the last flit (at the last destination for a
+// multicast). See network_state.hpp for the movement semantics and
+// DESIGN.md for the zero-load timing anchor (latency == M + D + 1).
+//
+// Determinism: a run is a pure function of (topology, config). Sweeps may
+// run many Simulator instances concurrently (one per parameter point).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "quarc/sim/metrics.hpp"
+#include "quarc/sim/network_state.hpp"
+#include "quarc/sim/source.hpp"
+#include "quarc/traffic/workload.hpp"
+#include "quarc/util/stats.hpp"
+
+namespace quarc::sim {
+
+struct SimConfig {
+  Workload workload;
+  std::uint64_t seed = 1;
+  /// Cycles before the measurement window opens (network warm-up).
+  Cycle warmup_cycles = 5000;
+  /// Length of the measurement window; messages *created* inside it are the
+  /// measured population.
+  Cycle measure_cycles = 30000;
+  /// Extra cycles allowed after the window for in-flight measured messages
+  /// to drain; exceeding it marks the run incomplete (saturation symptom).
+  Cycle drain_cap_cycles = 2000000;
+  /// Flit buffer depth per virtual channel (>= 2 sustains 1 flit/cycle
+  /// under the conservative two-phase update; see DESIGN.md).
+  int buffer_depth = 2;
+  /// Batch count for the batch-means confidence intervals.
+  int batch_count = 16;
+  /// An injection queue longer than this marks the run unstable and aborts
+  /// it (the offered load exceeds capacity).
+  std::size_t max_queue_length = 20000;
+  /// Cycles without any flit movement while worms are active before the
+  /// simulator declares (and aborts on) deadlock. The routing schemes
+  /// implemented here are deadlock-free, so this is a canary, not policy.
+  Cycle stall_watchdog = 1000;
+  /// Record every measured multicast stream's waiting time (enables
+  /// distribution-level analysis of the paper's Eq. 8 exponential
+  /// assumption; costs memory proportional to the measured population).
+  bool collect_stream_samples = false;
+  /// Validate global engine invariants (per-worm flit conservation, buffer
+  /// bounds, allocation consistency) every `invariant_check_interval`
+  /// cycles; aborts on violation. Off by default (costs a full state scan);
+  /// the stress test-suite runs with it on.
+  bool check_invariants = false;
+  Cycle invariant_check_interval = 64;
+};
+
+struct SimResult {
+  StatSummary unicast_latency;
+  StatSummary multicast_latency;
+  /// Empirical mean total waiting time of multicast port streams, per
+  /// injection port (the W_{j,c} of paper Eq. 8, averaged over sources).
+  std::vector<StatSummary> stream_wait_by_port;
+  /// Empirical multicast group waiting time (the W_j of Eq. 13): group
+  /// latency minus the zero-load floor M + max_c D_c + 1.
+  StatSummary multicast_wait;
+  /// Raw per-port stream wait samples (only when
+  /// SimConfig::collect_stream_samples; index = port).
+  std::vector<std::vector<double>> stream_wait_samples;
+  /// Time-average number of worms in flight (injection queue + network).
+  double avg_active_worms = 0.0;
+  /// Worm sojourn time: creation until the worm and all its clone taps are
+  /// fully absorbed. With avg_active_worms this closes Little's law
+  /// (L = lambda_worm * W_sojourn), a global conservation check.
+  StatSummary worm_sojourn;
+  /// All deliveries including unmeasured ones (throughput accounting).
+  std::int64_t unicast_delivered_total = 0;
+  std::int64_t multicast_groups_delivered_total = 0;
+  std::int64_t messages_generated = 0;
+  Cycle cycles_run = 0;
+  /// All messages created in the measurement window were delivered.
+  bool completed = false;
+  /// No queue-length blow-up was detected (offered load below saturation).
+  bool stable = true;
+  double max_channel_utilization = 0.0;
+  /// Flits crossed per cycle per channel (index = ChannelId).
+  std::vector<double> channel_utilization;
+  std::int64_t flits_injected = 0;
+  std::int64_t flits_absorbed = 0;  ///< includes multicast clone absorptions
+};
+
+class Simulator {
+ public:
+  /// The workload is validated against the topology; routes and multicast
+  /// streams are precomputed per node (the destination sets are fixed for
+  /// a whole run, paper Section 4).
+  Simulator(const Topology& topo, SimConfig config);
+
+  /// Runs to completion and returns the measurements. One-shot: construct a
+  /// fresh Simulator per run.
+  SimResult run();
+
+ private:
+  struct Group {
+    Cycle created = 0;
+    int stops_left = 0;
+    bool measured = false;
+    /// Zero-load group latency M + max_c D_c + 1 (for wait extraction).
+    double zero_load_floor = 0.0;
+  };
+
+  void arrivals_phase();
+  void allocation_phase();
+  void movement_phase();
+
+  void spawn(const Worm& proto, std::int64_t group, bool measured);
+  void create_multicast(NodeId s, bool measured);
+
+  void request(ChannelId ch, int vc, Claim claim);
+  void grant(ChannelId ch, int vc, Claim claim);
+  void release(ChannelId ch, int vc);
+
+  bool transfer_candidate(const Claim& o) const;
+  void do_transfer(const Claim& o);
+  void on_stop_complete(Worm& w);
+  void on_stream_absorbed(Worm& w);
+  void maybe_destroy(Worm* w);
+  bool injection_queues_exceeded() const;
+  /// Aborts (QUARC_ASSERT) if any engine invariant is violated.
+  void validate_state() const;
+
+  const Topology* topo_;
+  SimConfig config_;
+
+  std::vector<ChannelState> channel_state_;
+  std::vector<std::pair<ChannelId, int>> pending_grants_;
+  std::vector<std::unique_ptr<Worm>> worms_;
+  std::unordered_map<std::int64_t, Group> groups_;
+  std::vector<TrafficSource> sources_;
+  std::vector<Arrival> arrival_scratch_;
+  Metrics metrics_;
+
+  // Precomputed prototypes (zeroed dynamic state, full flit budget).
+  std::vector<std::vector<Worm>> unicast_proto_;        // [s][dest index]
+  std::vector<std::vector<Worm>> multicast_protos_;     // [s][stream]
+  std::vector<int> multicast_stop_count_;               // [s]
+  std::vector<int> multicast_max_hops_;                 // [s]
+  std::vector<ChannelId> injection_channels_;
+
+  Cycle cycle_ = 0;
+  Cycle last_movement_ = 0;
+  double active_worm_integral_ = 0.0;
+  RunningStats worm_sojourn_;
+  std::int64_t unicast_delivered_total_ = 0;
+  std::int64_t multicast_groups_delivered_total_ = 0;
+  std::int64_t next_worm_id_ = 0;
+  std::int64_t next_group_id_ = 0;
+  std::int64_t flits_injected_ = 0;
+  std::int64_t flits_absorbed_ = 0;
+  std::size_t active_worms_ = 0;
+  bool stable_ = true;
+};
+
+}  // namespace quarc::sim

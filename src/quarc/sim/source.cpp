@@ -1,0 +1,34 @@
+#include "quarc/sim/source.hpp"
+
+#include <limits>
+
+#include "quarc/util/error.hpp"
+
+namespace quarc::sim {
+
+TrafficSource::TrafficSource(NodeId node, const Workload& load, int num_nodes, Rng rng)
+    : node_(node),
+      num_nodes_(num_nodes),
+      rate_(load.message_rate),
+      multicast_fraction_(load.multicast_fraction),
+      rng_(rng) {
+  QUARC_REQUIRE(num_nodes >= 2, "source needs at least two nodes");
+  next_arrival_ = rate_ > 0.0 ? rng_.exponential(rate_)
+                              : std::numeric_limits<double>::infinity();
+}
+
+void TrafficSource::poll(Cycle t, std::vector<Arrival>& out) {
+  while (next_arrival_ < static_cast<double>(t + 1)) {
+    Arrival a;
+    a.multicast = rng_.bernoulli(multicast_fraction_);
+    if (!a.multicast) {
+      // Uniform over the other N-1 nodes.
+      const auto pick = static_cast<NodeId>(rng_.uniform_below(static_cast<std::uint64_t>(num_nodes_ - 1)));
+      a.unicast_dest = pick >= node_ ? pick + 1 : pick;
+    }
+    out.push_back(a);
+    next_arrival_ += rng_.exponential(rate_);
+  }
+}
+
+}  // namespace quarc::sim

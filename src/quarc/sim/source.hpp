@@ -1,0 +1,42 @@
+// Poisson message source of one node (paper Section 4: "the source
+// produces the messages according to a Poisson distribution").
+//
+// Inter-arrival times are exponential with the node's message rate; an
+// arrival occurring in continuous time [t, t+1) is presented at the start
+// of cycle t. Each arrival is classified multicast with probability alpha
+// (the workload's multicast fraction) and unicast destinations are drawn
+// uniformly from the other nodes — all from the node's private Rng, so a
+// simulation is a deterministic function of (topology, workload, seed).
+#pragma once
+
+#include <vector>
+
+#include "quarc/traffic/workload.hpp"
+#include "quarc/util/rng.hpp"
+#include "quarc/util/types.hpp"
+
+namespace quarc::sim {
+
+struct Arrival {
+  bool multicast = false;
+  NodeId unicast_dest = kInvalidNode;  ///< valid iff !multicast
+};
+
+class TrafficSource {
+ public:
+  TrafficSource(NodeId node, const Workload& load, int num_nodes, Rng rng);
+
+  /// Appends all arrivals that occur in cycle t (possibly none or several).
+  /// Must be called with strictly increasing t.
+  void poll(Cycle t, std::vector<Arrival>& out);
+
+ private:
+  NodeId node_;
+  int num_nodes_;
+  double rate_;
+  double multicast_fraction_;
+  double next_arrival_;
+  Rng rng_;
+};
+
+}  // namespace quarc::sim

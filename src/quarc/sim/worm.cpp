@@ -1,0 +1,61 @@
+#include "quarc/sim/network_state.hpp"
+
+#include "quarc/util/error.hpp"
+
+namespace quarc::sim {
+
+Worm Worm::from_route(const UnicastRoute& r, int msg_len) {
+  QUARC_ASSERT(msg_len >= 1, "worm needs at least one flit");
+  Worm w;
+  w.source = r.source;
+  w.port = r.port;
+  w.msg_len = msg_len;
+  w.flits_to_inject = msg_len;
+  w.stages.reserve(r.links.size() + 2);
+  w.stage_vc.reserve(r.links.size() + 2);
+  w.stages.push_back(r.injection);
+  w.stage_vc.push_back(0);
+  for (std::size_t i = 0; i < r.links.size(); ++i) {
+    w.stages.push_back(r.links[i]);
+    w.stage_vc.push_back(r.link_vcs[i]);
+  }
+  w.stages.push_back(r.ejection);
+  w.stage_vc.push_back(0);
+  w.dyn.assign(w.stages.size(), StageDyn{});
+  return w;
+}
+
+Worm Worm::from_stream(const MulticastStream& st, int msg_len) {
+  QUARC_ASSERT(msg_len >= 1, "worm needs at least one flit");
+  QUARC_ASSERT(!st.stops.empty(), "stream must have at least one stop");
+  Worm w;
+  w.source = st.source;
+  w.port = st.port;
+  w.msg_len = msg_len;
+  w.flits_to_inject = msg_len;
+  w.stages.reserve(st.links.size() + 2);
+  w.stage_vc.reserve(st.links.size() + 2);
+  w.stages.push_back(st.injection);
+  w.stage_vc.push_back(0);
+  for (std::size_t i = 0; i < st.links.size(); ++i) {
+    w.stages.push_back(st.links[i]);
+    w.stage_vc.push_back(st.link_vcs[i]);
+  }
+  // The final stop's ejection channel is the worm's last stage; earlier
+  // stops become taps on the boundary out of their arrival link's stage
+  // (link h occupies stage h since the injection channel is stage 0).
+  w.stages.push_back(st.stops.back().ejection);
+  w.stage_vc.push_back(0);
+  w.taps.reserve(st.stops.size() - 1);
+  for (std::size_t i = 0; i + 1 < st.stops.size(); ++i) {
+    TapState tp;
+    tp.boundary = st.stops[i].hop;
+    tp.node = st.stops[i].node;
+    tp.eject = st.stops[i].ejection;
+    w.taps.push_back(tp);
+  }
+  w.dyn.assign(w.stages.size(), StageDyn{});
+  return w;
+}
+
+}  // namespace quarc::sim

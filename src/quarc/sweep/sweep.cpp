@@ -1,0 +1,89 @@
+#include "quarc/sweep/sweep.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "quarc/util/error.hpp"
+#include "quarc/util/parallel.hpp"
+
+namespace quarc {
+
+namespace {
+
+double nan_value() { return std::numeric_limits<double>::quiet_NaN(); }
+
+double relative_error(double model, double sim) {
+  if (!std::isfinite(model) || !std::isfinite(sim) || sim <= 0.0) return nan_value();
+  return (model - sim) / sim;
+}
+
+}  // namespace
+
+double RatePointResult::multicast_error() const {
+  if (!sim_run || sim.multicast_latency.count == 0) return nan_value();
+  return relative_error(model.avg_multicast_latency, sim.multicast_latency.mean);
+}
+
+double RatePointResult::unicast_error() const {
+  if (!sim_run || sim.unicast_latency.count == 0) return nan_value();
+  return relative_error(model.avg_unicast_latency, sim.unicast_latency.mean);
+}
+
+double model_saturation_rate(const Topology& topo, const Workload& base, ModelOptions options) {
+  auto converges = [&](double rate) {
+    Workload w = base;
+    w.message_rate = rate;
+    return PerformanceModel(topo, w, options).evaluate().status == SolveStatus::Converged;
+  };
+  double lo = 0.0;
+  double hi = 1e-4;
+  while (converges(hi)) {
+    lo = hi;
+    hi *= 2.0;
+    QUARC_ASSERT(hi < 1e6, "saturation search runaway");
+  }
+  for (int i = 0; i < 40 && (hi - lo) > 1e-3 * hi; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    (converges(mid) ? lo : hi) = mid;
+  }
+  return lo;
+}
+
+std::vector<double> rate_grid_to_saturation(const Topology& topo, const Workload& base, int points,
+                                            double fill, ModelOptions options) {
+  QUARC_REQUIRE(points >= 1, "grid needs at least one point");
+  QUARC_REQUIRE(fill > 0.0 && fill <= 1.0, "fill must be in (0,1]");
+  const double sat = model_saturation_rate(topo, base, options);
+  std::vector<double> rates;
+  rates.reserve(static_cast<std::size_t>(points));
+  for (int i = 1; i <= points; ++i) {
+    rates.push_back(sat * fill * static_cast<double>(i) / static_cast<double>(points));
+  }
+  return rates;
+}
+
+std::vector<RatePointResult> sweep_rates(const Topology& topo, const Workload& base,
+                                         std::span<const double> rates, const SweepConfig& cfg) {
+  std::vector<RatePointResult> out(rates.size());
+  parallel_for(
+      rates.size(),
+      [&](std::size_t i) {
+        RatePointResult& point = out[i];
+        point.rate = rates[i];
+        Workload w = base;
+        w.message_rate = rates[i];
+        point.model = PerformanceModel(topo, w, cfg.model).evaluate();
+        if (cfg.run_sim) {
+          sim::SimConfig sc = cfg.sim;
+          sc.workload = w;
+          sc.seed = cfg.sim.seed + static_cast<std::uint64_t>(i) * 0x9E3779B97F4A7C15ULL;
+          sim::Simulator simulator(topo, sc);
+          point.sim = simulator.run();
+          point.sim_run = true;
+        }
+      },
+      cfg.threads);
+  return out;
+}
+
+}  // namespace quarc

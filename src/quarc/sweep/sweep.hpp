@@ -1,0 +1,56 @@
+// Rate-sweep harness shared by the bench binaries and examples.
+//
+// The paper's figures plot latency against the per-node message rate for a
+// fixed (N, M, alpha, pattern) configuration, with curves ending at the
+// saturation asymptote. This module (a) finds the model's saturation rate
+// by bisection so grids span the interesting region automatically, and
+// (b) evaluates model and simulator over a rate grid, one parallel task
+// per point (deterministic per-point seeds).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "quarc/model/performance_model.hpp"
+#include "quarc/sim/simulator.hpp"
+#include "quarc/traffic/workload.hpp"
+
+namespace quarc {
+
+struct RatePointResult {
+  double rate = 0.0;
+  ModelResult model;
+  sim::SimResult sim;
+  bool sim_run = false;
+
+  /// Relative error of the model's multicast latency against simulation;
+  /// NaN when either side is unavailable.
+  double multicast_error() const;
+  /// Same for unicast latency.
+  double unicast_error() const;
+};
+
+struct SweepConfig {
+  /// Simulator settings; the workload inside is ignored (the sweep's base
+  /// workload with a per-point rate is used), the rest applies per point.
+  sim::SimConfig sim;
+  ModelOptions model;
+  bool run_sim = true;
+  int threads = -1;  ///< parallel_for worker count (<=0: default)
+};
+
+/// Largest per-node message rate for which the analytical model still
+/// converges, found by doubling + bisection (relative precision ~1e-3).
+double model_saturation_rate(const Topology& topo, const Workload& base,
+                             ModelOptions options = {});
+
+/// `points` rates evenly spaced in (0, fill * saturation].
+std::vector<double> rate_grid_to_saturation(const Topology& topo, const Workload& base,
+                                            int points, double fill = 0.9,
+                                            ModelOptions options = {});
+
+/// Evaluates model (and optionally simulator) at every rate.
+std::vector<RatePointResult> sweep_rates(const Topology& topo, const Workload& base,
+                                         std::span<const double> rates, const SweepConfig& cfg);
+
+}  // namespace quarc

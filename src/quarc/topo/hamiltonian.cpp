@@ -1,0 +1,33 @@
+#include "quarc/topo/hamiltonian.hpp"
+
+#include "quarc/util/error.hpp"
+
+namespace quarc {
+
+HamiltonianLabeling::HamiltonianLabeling(int width, int height) : width_(width), height_(height) {
+  QUARC_REQUIRE(width >= 1 && height >= 1, "grid dimensions must be positive");
+  const int n = width * height;
+  label_of_.assign(static_cast<std::size_t>(n), 0);
+  node_at_.assign(static_cast<std::size_t>(n), 0);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const int snake_x = (y % 2 == 0) ? x : (width - 1 - x);
+      const int label = y * width + snake_x;
+      const NodeId node = static_cast<NodeId>(y * width + x);
+      label_of_[static_cast<std::size_t>(node)] = label;
+      node_at_[static_cast<std::size_t>(label)] = node;
+    }
+  }
+}
+
+int HamiltonianLabeling::label_of(NodeId node) const {
+  QUARC_REQUIRE(node >= 0 && node < size(), "node out of range");
+  return label_of_[static_cast<std::size_t>(node)];
+}
+
+NodeId HamiltonianLabeling::node_at(int label) const {
+  QUARC_REQUIRE(label >= 0 && label < size(), "label out of range");
+  return node_at_[static_cast<std::size_t>(label)];
+}
+
+}  // namespace quarc

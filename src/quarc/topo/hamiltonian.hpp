@@ -1,0 +1,37 @@
+// Boustrophedon Hamiltonian labeling of a W x H grid.
+//
+// Used by the mesh extension's dual-path multicast (Lin/Ni-style): nodes
+// are ranked along a Hamiltonian path that snakes row by row, consecutive
+// labels are grid neighbours, and the two directions of the path define the
+// acyclic "high" (increasing label) and "low" (decreasing label)
+// sub-networks in which path-based multicast is deadlock-free.
+#pragma once
+
+#include <vector>
+
+#include "quarc/util/types.hpp"
+
+namespace quarc {
+
+class HamiltonianLabeling {
+ public:
+  /// Builds the labeling for a width x height grid (both >= 1).
+  HamiltonianLabeling(int width, int height);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  int size() const { return width_ * height_; }
+
+  /// Label (position along the snake path, 0-based) of a node id
+  /// (node = y * width + x).
+  int label_of(NodeId node) const;
+  /// Node id holding the given label.
+  NodeId node_at(int label) const;
+
+ private:
+  int width_, height_;
+  std::vector<int> label_of_;    // node -> label
+  std::vector<NodeId> node_at_;  // label -> node
+};
+
+}  // namespace quarc

@@ -1,0 +1,86 @@
+#include "quarc/topo/hypercube.hpp"
+
+#include "quarc/util/error.hpp"
+
+namespace quarc {
+
+HypercubeTopology::HypercubeTopology(int dimensions)
+    : Topology(1 << dimensions, dimensions), dimensions_(dimensions) {
+  QUARC_REQUIRE(dimensions >= 2 && dimensions <= 10, "hypercube needs 2..10 dimensions");
+
+  const int n = num_nodes();
+  link_.resize(static_cast<std::size_t>(n));
+  inj_.resize(static_cast<std::size_t>(n));
+  ej_.resize(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    const auto uv = static_cast<std::size_t>(v);
+    for (int i = 0; i < dimensions_; ++i) {
+      inj_[uv].push_back(add_channel(ChannelKind::Injection, v, v, i, 1,
+                                     "inj[" + std::to_string(v) + "." + std::to_string(i) + "]"));
+    }
+    for (int i = 0; i < dimensions_; ++i) {
+      link_[uv].push_back(add_channel(ChannelKind::External, v, neighbor(v, i), -1, 1,
+                                      "D" + std::to_string(i) + "[" + std::to_string(v) + "]"));
+    }
+    for (int i = 0; i < dimensions_; ++i) {
+      // Per-arrival-dimension sinks: fed by a single input link each.
+      ej_[uv].push_back(add_channel(ChannelKind::Ejection, v, v, i, 1,
+                                    "ej[" + std::to_string(v) + "." + std::to_string(i) + "]",
+                                    /*dedicated=*/true));
+    }
+  }
+}
+
+std::string HypercubeTopology::name() const {
+  return "hypercube-" + std::to_string(dimensions_) + "d";
+}
+
+NodeId HypercubeTopology::neighbor(NodeId node, int dimension) const {
+  QUARC_REQUIRE(node >= 0 && node < num_nodes(), "node out of range");
+  QUARC_REQUIRE(dimension >= 0 && dimension < dimensions_, "dimension out of range");
+  return node ^ (1 << dimension);
+}
+
+ChannelId HypercubeTopology::link(NodeId node, int dimension) const {
+  QUARC_REQUIRE(node >= 0 && node < num_nodes(), "node out of range");
+  QUARC_REQUIRE(dimension >= 0 && dimension < dimensions_, "dimension out of range");
+  return link_[static_cast<std::size_t>(node)][static_cast<std::size_t>(dimension)];
+}
+
+ChannelId HypercubeTopology::injection_channel(NodeId node, PortId port) const {
+  QUARC_REQUIRE(node >= 0 && node < num_nodes(), "node out of range");
+  QUARC_REQUIRE(port >= 0 && port < num_ports(), "port out of range");
+  return inj_[static_cast<std::size_t>(node)][static_cast<std::size_t>(port)];
+}
+
+ChannelId HypercubeTopology::ejection_channel(NodeId node, int arrival_dimension) const {
+  QUARC_REQUIRE(node >= 0 && node < num_nodes(), "node out of range");
+  QUARC_REQUIRE(arrival_dimension >= 0 && arrival_dimension < dimensions_,
+                "dimension out of range");
+  return ej_[static_cast<std::size_t>(node)][static_cast<std::size_t>(arrival_dimension)];
+}
+
+UnicastRoute HypercubeTopology::unicast_route(NodeId s, NodeId d) const {
+  check_pair(s, d);
+  UnicastRoute r;
+  r.source = s;
+  r.dest = d;
+  const unsigned diff = static_cast<unsigned>(s) ^ static_cast<unsigned>(d);
+  NodeId at = s;
+  int first = -1, last = -1;
+  for (int i = 0; i < dimensions_; ++i) {
+    if (!(diff & (1u << i))) continue;
+    if (first < 0) first = i;
+    last = i;
+    r.links.push_back(link(at, i));
+    r.link_vcs.push_back(0);
+    at = neighbor(at, i);
+  }
+  QUARC_ASSERT(at == d, "e-cube walk did not reach destination");
+  r.port = first;
+  r.injection = injection_channel(s, first);
+  r.ejection = ejection_channel(d, last);
+  return r;
+}
+
+}  // namespace quarc

@@ -1,0 +1,49 @@
+// Binary d-cube with multi-port routers and e-cube (ascending dimension-
+// ordered) routing.
+//
+// The hypercube is the architecture family behind the paper's antecedents:
+// Robinson et al. [8] study all-port hypercube multicast and Shahrabi et
+// al. [18] model hypercube broadcast (but with non-wormhole broadcast and
+// one-port routers — the gap this paper fills). Including it lets the
+// channel model be exercised on a third "relevant interconnection network"
+// (paper Section 5) with logarithmic diameter.
+//
+// Routing: e-cube — flip differing address bits in ascending dimension
+// order. The channel dependency graph is acyclic (a worm only ever waits
+// for a strictly higher dimension), so a single virtual channel suffices.
+// Ports are per-dimension (the injection port is the first dimension
+// flipped; the ejection channel the last). Hardware multicast is not
+// provided: deadlock-free path-based multicast conforming to e-cube needs
+// the full BRCP ordering machinery of [1], so collective traffic uses the
+// software consecutive-unicast path, as on Spidergon.
+#pragma once
+
+#include "quarc/topo/topology.hpp"
+
+namespace quarc {
+
+class HypercubeTopology final : public Topology {
+ public:
+  /// Builds a 2^dimensions-node cube; requires 2 <= dimensions <= 10.
+  explicit HypercubeTopology(int dimensions);
+
+  std::string name() const override;
+  UnicastRoute unicast_route(NodeId s, NodeId d) const override;
+  /// The diameter of a binary d-cube is d.
+  int diameter() const override { return dimensions_; }
+
+  int dimensions() const { return dimensions_; }
+  NodeId neighbor(NodeId node, int dimension) const;
+
+  ChannelId link(NodeId node, int dimension) const;
+  ChannelId injection_channel(NodeId node, PortId port) const;
+  ChannelId ejection_channel(NodeId node, int arrival_dimension) const;
+
+ private:
+  int dimensions_;
+  std::vector<std::vector<ChannelId>> link_;  // [node][dim]
+  std::vector<std::vector<ChannelId>> inj_;   // [node][dim]
+  std::vector<std::vector<ChannelId>> ej_;    // [node][dim]
+};
+
+}  // namespace quarc

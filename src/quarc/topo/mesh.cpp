@@ -1,0 +1,194 @@
+#include "quarc/topo/mesh.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "quarc/util/error.hpp"
+
+namespace quarc {
+
+namespace {
+constexpr std::array<const char*, 4> kDirName = {"E", "W", "N", "S"};
+}
+
+MeshTopology::MeshTopology(int width, int height, MeshRouting mode)
+    : Topology(width * height, mode == MeshRouting::XY ? 4 : 2),
+      width_(width),
+      height_(height),
+      mode_(mode),
+      labeling_(width, height) {
+  QUARC_REQUIRE(width >= 2 && height >= 2, "mesh requires width, height >= 2");
+
+  const int n = num_nodes();
+  link_.resize(static_cast<std::size_t>(n), {kInvalidChannel, kInvalidChannel, kInvalidChannel,
+                                             kInvalidChannel});
+  inj_.resize(static_cast<std::size_t>(n));
+  ej_.resize(static_cast<std::size_t>(n));
+
+  for (NodeId i = 0; i < n; ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    const int x = x_of(i);
+    const int y = y_of(i);
+    for (PortId p = 0; p < num_ports(); ++p) {
+      inj_[ui].push_back(add_channel(ChannelKind::Injection, i, i, p, 1,
+                                     "inj[" + std::to_string(i) + "." + std::to_string(p) + "]"));
+    }
+    if (x + 1 < width_) {
+      link_[ui][kEast] = add_channel(ChannelKind::External, i, node_id(x + 1, y), -1, 1,
+                                     "E[" + std::to_string(i) + "]");
+    }
+    if (x - 1 >= 0) {
+      link_[ui][kWest] = add_channel(ChannelKind::External, i, node_id(x - 1, y), -1, 1,
+                                     "W[" + std::to_string(i) + "]");
+    }
+    if (y + 1 < height_) {
+      link_[ui][kNorth] = add_channel(ChannelKind::External, i, node_id(x, y + 1), -1, 1,
+                                      "N[" + std::to_string(i) + "]");
+    }
+    if (y - 1 >= 0) {
+      link_[ui][kSouth] = add_channel(ChannelKind::External, i, node_id(x, y - 1), -1, 1,
+                                      "S[" + std::to_string(i) + "]");
+    }
+    for (int d = 0; d < 4; ++d) {
+      ej_[ui][static_cast<std::size_t>(d)] =
+          add_channel(ChannelKind::Ejection, i, i, d, 1,
+                      "ej[" + std::to_string(i) + "." + kDirName[static_cast<std::size_t>(d)] + "]",
+                      /*dedicated=*/true);
+    }
+  }
+}
+
+std::string MeshTopology::name() const {
+  return "mesh-" + std::to_string(width_) + "x" + std::to_string(height_) +
+         (mode_ == MeshRouting::XY ? "-xy" : "-ham");
+}
+
+NodeId MeshTopology::node_id(int x, int y) const {
+  QUARC_REQUIRE(x >= 0 && x < width_ && y >= 0 && y < height_, "grid coordinate out of range");
+  return static_cast<NodeId>(y * width_ + x);
+}
+
+ChannelId MeshTopology::link(NodeId node, Dir dir) const {
+  QUARC_REQUIRE(node >= 0 && node < num_nodes(), "node out of range");
+  return link_[static_cast<std::size_t>(node)][static_cast<std::size_t>(dir)];
+}
+
+ChannelId MeshTopology::injection_channel(NodeId node, PortId port) const {
+  QUARC_REQUIRE(node >= 0 && node < num_nodes(), "node out of range");
+  QUARC_REQUIRE(port >= 0 && port < num_ports(), "port out of range");
+  return inj_[static_cast<std::size_t>(node)][static_cast<std::size_t>(port)];
+}
+
+ChannelId MeshTopology::ejection_channel(NodeId node, Dir arrival_dir) const {
+  QUARC_REQUIRE(node >= 0 && node < num_nodes(), "node out of range");
+  return ej_[static_cast<std::size_t>(node)][static_cast<std::size_t>(arrival_dir)];
+}
+
+MeshTopology::Dir MeshTopology::step_dir(NodeId a, NodeId b) const {
+  const int ax = x_of(a), ay = y_of(a), bx = x_of(b), by = y_of(b);
+  if (bx == ax + 1 && by == ay) return kEast;
+  if (bx == ax - 1 && by == ay) return kWest;
+  if (by == ay + 1 && bx == ax) return kNorth;
+  if (by == ay - 1 && bx == ax) return kSouth;
+  QUARC_ASSERT(false, "step_dir on non-adjacent nodes");
+}
+
+MeshTopology::Dir MeshTopology::append_ham_walk(int from_label, int to_label,
+                                                std::vector<ChannelId>& links,
+                                                std::vector<std::uint8_t>& vcs) const {
+  QUARC_ASSERT(from_label != to_label, "empty Hamiltonian walk");
+  const int step = to_label > from_label ? 1 : -1;
+  Dir last = kEast;
+  for (int l = from_label + step; l != to_label + step; l += step) {
+    const NodeId a = labeling_.node_at(l - step);
+    const NodeId b = labeling_.node_at(l);
+    last = step_dir(a, b);
+    const ChannelId ch = link(a, last);
+    QUARC_ASSERT(ch != kInvalidChannel, "Hamiltonian walk crossed a missing link");
+    links.push_back(ch);
+    vcs.push_back(0);
+  }
+  return last;
+}
+
+UnicastRoute MeshTopology::unicast_route(NodeId s, NodeId d) const {
+  check_pair(s, d);
+  UnicastRoute r;
+  r.source = s;
+  r.dest = d;
+
+  if (mode_ == MeshRouting::XY) {
+    // Dimension-ordered: resolve x first, then y.
+    NodeId at = s;
+    Dir last = kEast;
+    while (x_of(at) != x_of(d)) {
+      last = x_of(d) > x_of(at) ? kEast : kWest;
+      const ChannelId ch = link(at, last);
+      QUARC_ASSERT(ch != kInvalidChannel, "XY route crossed a missing link");
+      r.links.push_back(ch);
+      r.link_vcs.push_back(0);
+      at = channel(ch).dst;
+    }
+    while (y_of(at) != y_of(d)) {
+      last = y_of(d) > y_of(at) ? kNorth : kSouth;
+      const ChannelId ch = link(at, last);
+      QUARC_ASSERT(ch != kInvalidChannel, "XY route crossed a missing link");
+      r.links.push_back(ch);
+      r.link_vcs.push_back(0);
+      at = channel(ch).dst;
+    }
+    r.port = static_cast<PortId>(step_dir(s, channel(r.links.front()).dst));
+    r.injection = inj_[static_cast<std::size_t>(s)][static_cast<std::size_t>(r.port)];
+    r.ejection = ejection_channel(d, last);
+    return r;
+  }
+
+  // Hamiltonian dual-path: all traffic walks the snake.
+  const int ls = labeling_.label_of(s);
+  const int ld = labeling_.label_of(d);
+  r.port = ld > ls ? kHigh : kLow;
+  r.injection = inj_[static_cast<std::size_t>(s)][static_cast<std::size_t>(r.port)];
+  const Dir last = append_ham_walk(ls, ld, r.links, r.link_vcs);
+  r.ejection = ejection_channel(d, last);
+  return r;
+}
+
+std::vector<MulticastStream> MeshTopology::multicast_streams(
+    NodeId s, const std::vector<NodeId>& dests) const {
+  QUARC_REQUIRE(mode_ == MeshRouting::Hamiltonian,
+                "mesh multicast requires Hamiltonian routing mode");
+  QUARC_REQUIRE(s >= 0 && s < num_nodes(), "source node out of range");
+  const int ls = labeling_.label_of(s);
+
+  std::vector<int> high, low;
+  for (NodeId d : dests) {
+    check_pair(s, d);
+    const int l = labeling_.label_of(d);
+    (l > ls ? high : low).push_back(l);
+  }
+  std::sort(high.begin(), high.end());
+  std::sort(low.begin(), low.end(), std::greater<>());
+
+  std::vector<MulticastStream> streams;
+  auto build = [&](PortId port, const std::vector<int>& labels) {
+    if (labels.empty()) return;
+    MulticastStream st;
+    st.source = s;
+    st.port = port;
+    st.injection = inj_[static_cast<std::size_t>(s)][static_cast<std::size_t>(port)];
+    // Walk label by label so each stop's arrival direction is known.
+    int prev = ls;
+    for (int l : labels) {
+      const Dir arrival = append_ham_walk(prev, l, st.links, st.link_vcs);
+      const NodeId node = labeling_.node_at(l);
+      st.stops.push_back({static_cast<int>(st.links.size()), node, ejection_channel(node, arrival)});
+      prev = l;
+    }
+    streams.push_back(std::move(st));
+  };
+  build(kHigh, high);
+  build(kLow, low);
+  return streams;
+}
+
+}  // namespace quarc

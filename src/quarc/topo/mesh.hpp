@@ -1,0 +1,72 @@
+// 2D mesh with multi-port routers — the first half of the paper's stated
+// future work ("multi-port mesh and torus").
+//
+// Two routing modes:
+//   * XY: dimension-ordered shortest-path unicast (deadlock-free with a
+//     single VC); injection port = first-hop direction (all-port router).
+//     No hardware multicast (no deadlock-free path-based scheme conforms
+//     to XY without extra machinery).
+//   * Hamiltonian: dual-path routing in the Lin/Ni style. All traffic
+//     follows the boustrophedon Hamiltonian path; messages to
+//     higher-labeled nodes use the "high" sub-network (port 0), lower use
+//     "low" (port 1). Both sub-networks are acyclic, so unicast AND
+//     path-based multicast with absorb-and-forward are deadlock-free, and
+//     a multicast becomes at most two asynchronous streams — exactly the
+//     m = 2 instance of the paper's max-of-exponentials model.
+#pragma once
+
+#include <array>
+
+#include "quarc/topo/hamiltonian.hpp"
+#include "quarc/topo/topology.hpp"
+
+namespace quarc {
+
+enum class MeshRouting { XY, Hamiltonian };
+
+class MeshTopology final : public Topology {
+ public:
+  enum Dir : PortId { kEast = 0, kWest = 1, kNorth = 2, kSouth = 3 };
+  enum HamPort : PortId { kHigh = 0, kLow = 1 };
+
+  /// Builds a width x height mesh (both >= 2).
+  MeshTopology(int width, int height, MeshRouting mode = MeshRouting::XY);
+
+  std::string name() const override;
+  UnicastRoute unicast_route(NodeId s, NodeId d) const override;
+  bool supports_multicast() const override { return mode_ == MeshRouting::Hamiltonian; }
+  std::vector<MulticastStream> multicast_streams(NodeId s,
+                                                 const std::vector<NodeId>& dests) const override;
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  MeshRouting mode() const { return mode_; }
+  const HamiltonianLabeling& labeling() const { return labeling_; }
+
+  NodeId node_id(int x, int y) const;
+  int x_of(NodeId node) const { return node % width_; }
+  int y_of(NodeId node) const { return node / width_; }
+
+  /// External channel leaving `node` in direction `dir`; kInvalidChannel at
+  /// a mesh edge.
+  ChannelId link(NodeId node, Dir dir) const;
+  ChannelId injection_channel(NodeId node, PortId port) const;
+  ChannelId ejection_channel(NodeId node, Dir arrival_dir) const;
+
+ private:
+  /// Direction of the (adjacent) step a -> b.
+  Dir step_dir(NodeId a, NodeId b) const;
+  /// Appends the Hamiltonian-path walk from label `from` to label `to`
+  /// (exclusive of from, inclusive of to) and reports the final arrival dir.
+  Dir append_ham_walk(int from_label, int to_label, std::vector<ChannelId>& links,
+                      std::vector<std::uint8_t>& vcs) const;
+
+  int width_, height_;
+  MeshRouting mode_;
+  HamiltonianLabeling labeling_;
+  std::vector<std::array<ChannelId, 4>> link_;  // [node][dir]
+  std::vector<std::vector<ChannelId>> inj_;     // [node][port]
+  std::vector<std::array<ChannelId, 4>> ej_;    // [node][arrival dir]
+};
+
+}  // namespace quarc

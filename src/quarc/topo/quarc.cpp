@@ -1,0 +1,254 @@
+#include "quarc/topo/quarc.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "quarc/util/error.hpp"
+
+namespace quarc {
+
+namespace {
+constexpr int kRimVcs = 2;  // Spidergon/Quarc rim links carry two VCs (dateline scheme).
+}
+
+QuarcTopology::QuarcTopology(int num_nodes, PortScheme scheme)
+    : Topology(num_nodes, scheme == PortScheme::AllPort ? 4 : 1), scheme_(scheme) {
+  QUARC_REQUIRE(num_nodes >= 8, "Quarc requires at least 8 nodes");
+  QUARC_REQUIRE(num_nodes % 4 == 0, "Quarc requires a node count divisible by 4");
+
+  const auto n = static_cast<std::size_t>(num_nodes);
+  inj_.resize(n);
+  ej_.resize(n);
+  cw_.resize(n);
+  ccw_.resize(n);
+  xl_.resize(n);
+  xr_.resize(n);
+
+  static constexpr std::array<const char*, 4> kPortName = {"L", "CL", "CR", "R"};
+  static constexpr std::array<const char*, 4> kDirName = {"fromCW", "fromCCW", "fromXL", "fromXR"};
+
+  for (NodeId i = 0; i < num_nodes; ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    for (PortId p = 0; p < num_ports(); ++p) {
+      const char* pname = scheme_ == PortScheme::AllPort ? kPortName[static_cast<std::size_t>(p)] : "inj";
+      inj_[ui].push_back(add_channel(ChannelKind::Injection, i, i, p, 1,
+                                     "inj[" + std::to_string(i) + "." + pname + "]"));
+    }
+    cw_[ui] = add_channel(ChannelKind::External, i, wrap(i + 1), -1, kRimVcs,
+                          "CW[" + std::to_string(i) + "]");
+    ccw_[ui] = add_channel(ChannelKind::External, i, wrap(i - 1), -1, kRimVcs,
+                           "CCW[" + std::to_string(i) + "]");
+    xl_[ui] = add_channel(ChannelKind::External, i, wrap(i + num_nodes / 2), -1, 1,
+                          "XL[" + std::to_string(i) + "]");
+    xr_[ui] = add_channel(ChannelKind::External, i, wrap(i + num_nodes / 2), -1, 1,
+                          "XR[" + std::to_string(i) + "]");
+    // Ejection stays per-arrival-direction in both schemes: each of the
+    // four sinks is fed by exactly one input link, so absorption (and the
+    // absorb-and-forward clone) never contends. The OnePort ablation
+    // restricts the *injection* side only, which is where the paper's
+    // multi-port argument (Eq. 12) lives.
+    for (PortId d = 0; d < 4; ++d) {
+      ej_[ui].push_back(add_channel(ChannelKind::Ejection, i, i, d, 1,
+                                    "ej[" + std::to_string(i) + "." +
+                                        kDirName[static_cast<std::size_t>(d)] + "]",
+                                    /*dedicated=*/true));
+    }
+  }
+}
+
+std::string QuarcTopology::name() const {
+  return "quarc-" + std::to_string(num_nodes()) +
+         (scheme_ == PortScheme::AllPort ? "" : "-oneport");
+}
+
+int QuarcTopology::cw_distance(NodeId s, NodeId d) const {
+  check_pair(s, d);
+  return static_cast<int>(wrap(static_cast<std::int64_t>(d) - s));
+}
+
+QuarcTopology::Port QuarcTopology::quadrant_of_distance(int k) const {
+  const int q = num_nodes() / 4;
+  QUARC_REQUIRE(k >= 1 && k < num_nodes(), "clockwise distance out of range");
+  if (k <= q) return kL;
+  if (k <= 2 * q) return kCL;
+  if (k < 3 * q) return kCR;
+  return kR;
+}
+
+int QuarcTopology::hops_for_distance(int k) const {
+  const int n = num_nodes();
+  switch (quadrant_of_distance(k)) {
+    case kL:
+      return k;
+    case kCL:
+      return 1 + (n / 2 - k);
+    case kCR:
+      return 1 + (k - n / 2);
+    case kR:
+      return n - k;
+  }
+  QUARC_ASSERT(false, "unreachable quadrant");
+}
+
+ChannelId QuarcTopology::injection_channel(NodeId node, PortId port) const {
+  QUARC_REQUIRE(node >= 0 && node < num_nodes(), "node out of range");
+  QUARC_REQUIRE(port >= 0 && port < num_ports(), "port out of range");
+  return inj_[static_cast<std::size_t>(node)][static_cast<std::size_t>(port)];
+}
+
+ChannelId QuarcTopology::ejection_channel(NodeId node, EjectDir dir) const {
+  QUARC_REQUIRE(node >= 0 && node < num_nodes(), "node out of range");
+  return ej_[static_cast<std::size_t>(node)][static_cast<std::size_t>(dir)];
+}
+
+void QuarcTopology::append_cw_chain(NodeId entry, int count, std::vector<ChannelId>& links,
+                                    std::vector<std::uint8_t>& vcs) const {
+  for (int t = 0; t < count; ++t) {
+    const NodeId c = wrap(static_cast<std::int64_t>(entry) + t);
+    links.push_back(cw_[static_cast<std::size_t>(c)]);
+    // Dateline: a worm entering the CW ring at `entry` switches to VC1 once
+    // its channel index wraps below the entry index.
+    vcs.push_back(c < entry ? 1 : 0);
+  }
+}
+
+void QuarcTopology::append_ccw_chain(NodeId entry, int count, std::vector<ChannelId>& links,
+                                     std::vector<std::uint8_t>& vcs) const {
+  for (int t = 0; t < count; ++t) {
+    const NodeId c = wrap(static_cast<std::int64_t>(entry) - t);
+    links.push_back(ccw_[static_cast<std::size_t>(c)]);
+    vcs.push_back(c > entry ? 1 : 0);
+  }
+}
+
+UnicastRoute QuarcTopology::unicast_route(NodeId s, NodeId d) const {
+  const int k = cw_distance(s, d);
+  const int n = num_nodes();
+  const Port quadrant = quadrant_of_distance(k);
+
+  UnicastRoute r;
+  r.source = s;
+  r.dest = d;
+  r.port = scheme_ == PortScheme::AllPort ? quadrant : 0;
+  r.injection = inj_[static_cast<std::size_t>(s)][static_cast<std::size_t>(r.port)];
+
+  const NodeId antipode = wrap(static_cast<std::int64_t>(s) + n / 2);
+  switch (quadrant) {
+    case kL:
+      append_cw_chain(s, k, r.links, r.link_vcs);
+      r.ejection = ejection_channel(d, kFromCW);
+      break;
+    case kCL:
+      r.links.push_back(xl_[static_cast<std::size_t>(s)]);
+      r.link_vcs.push_back(0);
+      append_ccw_chain(antipode, n / 2 - k, r.links, r.link_vcs);
+      r.ejection = ejection_channel(d, k == n / 2 ? kFromXL : kFromCCW);
+      break;
+    case kCR:
+      r.links.push_back(xr_[static_cast<std::size_t>(s)]);
+      r.link_vcs.push_back(0);
+      append_cw_chain(antipode, k - n / 2, r.links, r.link_vcs);
+      r.ejection = ejection_channel(d, kFromCW);
+      break;
+    case kR:
+      append_ccw_chain(s, n - k, r.links, r.link_vcs);
+      r.ejection = ejection_channel(d, kFromCCW);
+      break;
+  }
+  QUARC_ASSERT(r.hops() == hops_for_distance(k), "hop count mismatch with closed form");
+  return r;
+}
+
+struct QuarcTopology::QuadrantTargets {
+  std::vector<int> ks;  // clockwise distances of targets in this quadrant
+};
+
+std::vector<MulticastStream> QuarcTopology::multicast_streams(
+    NodeId s, const std::vector<NodeId>& dests) const {
+  QUARC_REQUIRE(s >= 0 && s < num_nodes(), "source node out of range");
+  const int n = num_nodes();
+
+  std::array<QuadrantTargets, 4> quad;
+  for (NodeId d : dests) {
+    check_pair(s, d);
+    const int k = cw_distance(s, d);
+    quad[static_cast<std::size_t>(quadrant_of_distance(k))].ks.push_back(k);
+  }
+
+  const NodeId antipode = wrap(static_cast<std::int64_t>(s) + n / 2);
+  std::vector<MulticastStream> streams;
+
+  auto make_stream = [&](Port port) {
+    MulticastStream st;
+    st.source = s;
+    st.port = scheme_ == PortScheme::AllPort ? port : 0;
+    st.injection = inj_[static_cast<std::size_t>(s)][static_cast<std::size_t>(st.port)];
+    return st;
+  };
+
+  // Port L: visits k = 1, 2, ... in order; stream extends to the largest k.
+  if (!quad[kL].ks.empty()) {
+    auto ks = quad[kL].ks;
+    std::sort(ks.begin(), ks.end());
+    MulticastStream st = make_stream(kL);
+    append_cw_chain(s, ks.back(), st.links, st.link_vcs);
+    for (int k : ks) {
+      const NodeId node = wrap(static_cast<std::int64_t>(s) + k);
+      st.stops.push_back({k, node, ejection_channel(node, kFromCW)});
+    }
+    streams.push_back(std::move(st));
+  }
+
+  // Port CL: crosses to the antipode (hop 1, distance N/2) then walks the
+  // rim counter-clockwise, so targets are visited in *decreasing* k order;
+  // the stream's last node is the target with the smallest k.
+  if (!quad[kCL].ks.empty()) {
+    auto ks = quad[kCL].ks;
+    std::sort(ks.begin(), ks.end(), std::greater<>());
+    MulticastStream st = make_stream(kCL);
+    st.links.push_back(xl_[static_cast<std::size_t>(s)]);
+    st.link_vcs.push_back(0);
+    append_ccw_chain(antipode, n / 2 - ks.back(), st.links, st.link_vcs);
+    for (int k : ks) {
+      const int hop = 1 + (n / 2 - k);
+      const NodeId node = wrap(static_cast<std::int64_t>(s) + k);
+      st.stops.push_back({hop, node, ejection_channel(node, k == n / 2 ? kFromXL : kFromCCW)});
+    }
+    streams.push_back(std::move(st));
+  }
+
+  // Port CR: crosses then walks clockwise; targets visited in increasing k.
+  if (!quad[kCR].ks.empty()) {
+    auto ks = quad[kCR].ks;
+    std::sort(ks.begin(), ks.end());
+    MulticastStream st = make_stream(kCR);
+    st.links.push_back(xr_[static_cast<std::size_t>(s)]);
+    st.link_vcs.push_back(0);
+    append_cw_chain(antipode, ks.back() - n / 2, st.links, st.link_vcs);
+    for (int k : ks) {
+      const int hop = 1 + (k - n / 2);
+      const NodeId node = wrap(static_cast<std::int64_t>(s) + k);
+      st.stops.push_back({hop, node, ejection_channel(node, kFromCW)});
+    }
+    streams.push_back(std::move(st));
+  }
+
+  // Port R: walks counter-clockwise from the source, so targets are visited
+  // in decreasing k order; last node is the smallest k.
+  if (!quad[kR].ks.empty()) {
+    auto ks = quad[kR].ks;
+    std::sort(ks.begin(), ks.end(), std::greater<>());
+    MulticastStream st = make_stream(kR);
+    append_ccw_chain(s, n - ks.back(), st.links, st.link_vcs);
+    for (int k : ks) {
+      const int hop = n - k;
+      const NodeId node = wrap(static_cast<std::int64_t>(s) + k);
+      st.stops.push_back({hop, node, ejection_channel(node, kFromCCW)});
+    }
+    streams.push_back(std::move(st));
+  }
+
+  return streams;
+}
+
+}  // namespace quarc

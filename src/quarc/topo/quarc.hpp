@@ -1,0 +1,93 @@
+// The Quarc NoC (paper Section 3; Moadeli et al. [17]).
+//
+// N nodes (N a positive multiple of 4) on a ring with, per node:
+//   * a clockwise rim link   CW[i]  : i -> i+1
+//   * a counter-clockwise rim link CCW[i] : i -> i-1
+//   * two cross links XL[i], XR[i] : i -> i + N/2 (the Spidergon cross link
+//     split in two so the left and right cross quadrants have private
+//     bandwidth — Quarc change (i))
+//
+// Routing is quadrant-based and requires no switch logic: the injection
+// port fully determines the path (paper Section 3.3.1). For a destination
+// at clockwise distance k (q = N/4):
+//
+//   port L  (left rim)    1 <= k <= q        CW rim,          k hops
+//   port CL (cross-left)  q <  k <= 2q       XL then CCW rim, 1 + (N/2 - k) hops
+//   port CR (cross-right) 2q < k <  3q       XR then CW rim,  1 + (k - N/2) hops
+//   port R  (right rim)   3q <= k <= N-1     CCW rim,         N - k hops
+//
+// Broadcast/multicast is BRCP path-based with absorb-and-forward (Section
+// 3.3.2/3.3.3): one stream per port, tagged with the last node on the
+// quadrant path; every stream of a broadcast is exactly N/4 hops.
+//
+// Rim links carry two virtual channels with a dateline scheme (inherited
+// from Spidergon) so that rim-ring dependency cycles cannot deadlock.
+#pragma once
+
+#include "quarc/topo/topology.hpp"
+
+namespace quarc {
+
+/// Router port architecture (paper Fig. 1). AllPort is the Quarc design;
+/// OnePort is the ablation baseline in which all traffic shares a single
+/// injection and a single ejection channel per node.
+enum class PortScheme { AllPort, OnePort };
+
+class QuarcTopology final : public Topology {
+ public:
+  /// Quadrant/injection-port indices.
+  enum Port : PortId { kL = 0, kCL = 1, kCR = 2, kR = 3 };
+  /// Ejection arrival directions (all-port scheme).
+  enum EjectDir : PortId { kFromCW = 0, kFromCCW = 1, kFromXL = 2, kFromXR = 3 };
+
+  /// Builds a Quarc NoC of `num_nodes` nodes; requires num_nodes >= 8 and
+  /// num_nodes % 4 == 0 (quadrant symmetry).
+  explicit QuarcTopology(int num_nodes, PortScheme scheme = PortScheme::AllPort);
+
+  std::string name() const override;
+  UnicastRoute unicast_route(NodeId s, NodeId d) const override;
+  bool supports_multicast() const override { return true; }
+  std::vector<MulticastStream> multicast_streams(NodeId s,
+                                                 const std::vector<NodeId>& dests) const override;
+  /// Quarc's diameter is N/4 in closed form; overridden to avoid the scan.
+  int diameter() const override { return num_nodes() / 4; }
+
+  PortScheme scheme() const { return scheme_; }
+
+  /// Clockwise distance (d - s) mod N; in [1, N-1] for distinct nodes.
+  int cw_distance(NodeId s, NodeId d) const;
+  /// Quadrant (== injection port) serving clockwise distance k.
+  Port quadrant_of_distance(int k) const;
+  /// Hop count for a unicast at clockwise distance k.
+  int hops_for_distance(int k) const;
+
+  // Channel lookups (used by tests and the closed-form cross-checks).
+  ChannelId injection_channel(NodeId node, PortId port) const;
+  ChannelId cw_channel(NodeId node) const { return cw_[static_cast<std::size_t>(node)]; }
+  ChannelId ccw_channel(NodeId node) const { return ccw_[static_cast<std::size_t>(node)]; }
+  ChannelId xl_channel(NodeId node) const { return xl_[static_cast<std::size_t>(node)]; }
+  ChannelId xr_channel(NodeId node) const { return xr_[static_cast<std::size_t>(node)]; }
+  ChannelId ejection_channel(NodeId node, EjectDir dir) const;
+
+ private:
+  struct QuadrantTargets;
+
+  NodeId wrap(std::int64_t v) const {
+    const int n = num_nodes();
+    return static_cast<NodeId>(((v % n) + n) % n);
+  }
+
+  /// CW rim chain s, s+1, ..., length `count`, with dateline VCs relative to
+  /// entry node `entry`. Appends to links/vcs.
+  void append_cw_chain(NodeId entry, int count, std::vector<ChannelId>& links,
+                       std::vector<std::uint8_t>& vcs) const;
+  void append_ccw_chain(NodeId entry, int count, std::vector<ChannelId>& links,
+                        std::vector<std::uint8_t>& vcs) const;
+
+  PortScheme scheme_;
+  std::vector<std::vector<ChannelId>> inj_;  // [node][port]
+  std::vector<ChannelId> cw_, ccw_, xl_, xr_;
+  std::vector<std::vector<ChannelId>> ej_;  // [node][dir] (single entry for OnePort)
+};
+
+}  // namespace quarc

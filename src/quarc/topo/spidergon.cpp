@@ -1,0 +1,88 @@
+#include "quarc/topo/spidergon.hpp"
+
+#include "quarc/util/error.hpp"
+
+namespace quarc {
+
+SpidergonTopology::SpidergonTopology(int num_nodes) : Topology(num_nodes, 1) {
+  QUARC_REQUIRE(num_nodes >= 8, "Spidergon requires at least 8 nodes");
+  QUARC_REQUIRE(num_nodes % 4 == 0, "Spidergon (as built here) requires node count divisible by 4");
+
+  for (NodeId i = 0; i < num_nodes; ++i) {
+    inj_.push_back(add_channel(ChannelKind::Injection, i, i, 0, 1, "inj[" + std::to_string(i) + "]"));
+    cw_.push_back(add_channel(ChannelKind::External, i, wrap(i + 1), -1, 2,
+                              "CW[" + std::to_string(i) + "]"));
+    ccw_.push_back(add_channel(ChannelKind::External, i, wrap(i - 1), -1, 2,
+                               "CCW[" + std::to_string(i) + "]"));
+    cross_.push_back(add_channel(ChannelKind::External, i, wrap(i + num_nodes / 2), -1, 1,
+                                 "X[" + std::to_string(i) + "]"));
+    // One-port: the single ejection channel is shared by all three input
+    // links, so absorption contends and is FIFO-arbitrated (not dedicated).
+    ej_.push_back(add_channel(ChannelKind::Ejection, i, i, 0, 1, "ej[" + std::to_string(i) + "]"));
+  }
+}
+
+std::string SpidergonTopology::name() const { return "spidergon-" + std::to_string(num_nodes()); }
+
+int SpidergonTopology::cw_distance(NodeId s, NodeId d) const {
+  check_pair(s, d);
+  return static_cast<int>(wrap(static_cast<std::int64_t>(d) - s));
+}
+
+int SpidergonTopology::hops_for_distance(int k) const {
+  const int n = num_nodes();
+  QUARC_REQUIRE(k >= 1 && k < n, "clockwise distance out of range");
+  const int q = n / 4;
+  if (k <= q) return k;            // clockwise rim
+  if (k >= 3 * q) return n - k;    // counter-clockwise rim
+  if (k == n / 2) return 1;        // cross only
+  if (k < n / 2) return 1 + (n / 2 - k);  // cross then counter-clockwise
+  return 1 + (k - n / 2);                 // cross then clockwise
+}
+
+UnicastRoute SpidergonTopology::unicast_route(NodeId s, NodeId d) const {
+  const int k = cw_distance(s, d);
+  const int n = num_nodes();
+  const int q = n / 4;
+
+  UnicastRoute r;
+  r.source = s;
+  r.dest = d;
+  r.port = 0;
+  r.injection = inj_[static_cast<std::size_t>(s)];
+  r.ejection = ej_[static_cast<std::size_t>(d)];
+
+  auto cw_chain = [&](NodeId entry, int count) {
+    for (int t = 0; t < count; ++t) {
+      const NodeId c = wrap(static_cast<std::int64_t>(entry) + t);
+      r.links.push_back(cw_[static_cast<std::size_t>(c)]);
+      r.link_vcs.push_back(c < entry ? 1 : 0);  // dateline
+    }
+  };
+  auto ccw_chain = [&](NodeId entry, int count) {
+    for (int t = 0; t < count; ++t) {
+      const NodeId c = wrap(static_cast<std::int64_t>(entry) - t);
+      r.links.push_back(ccw_[static_cast<std::size_t>(c)]);
+      r.link_vcs.push_back(c > entry ? 1 : 0);
+    }
+  };
+
+  const NodeId antipode = wrap(static_cast<std::int64_t>(s) + n / 2);
+  if (k <= q) {
+    cw_chain(s, k);
+  } else if (k >= 3 * q) {
+    ccw_chain(s, n - k);
+  } else {
+    r.links.push_back(cross_[static_cast<std::size_t>(s)]);
+    r.link_vcs.push_back(0);
+    if (k < n / 2) {
+      ccw_chain(antipode, n / 2 - k);
+    } else if (k > n / 2) {
+      cw_chain(antipode, k - n / 2);
+    }
+  }
+  QUARC_ASSERT(r.hops() == hops_for_distance(k), "hop count mismatch with closed form");
+  return r;
+}
+
+}  // namespace quarc

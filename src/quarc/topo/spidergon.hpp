@@ -1,0 +1,52 @@
+// The Spidergon NoC (paper Section 3.1; Coppola et al. [15]).
+//
+// Same ring of N nodes as Quarc but with a *single* cross link per node and
+// a one-port router: all locally generated traffic shares one injection
+// channel and all absorbed traffic one ejection channel. Routing is
+// "across-first" shortest path: rim for the near quarters, cross link then
+// rim for the far half. Rim links carry two virtual channels (dateline).
+//
+// Spidergon switches cannot replicate flits, so hardware multicast is not
+// supported; collective operations are emulated by consecutive unicasts
+// (paper: "deadlock-free broadcast/multicast can only be achieved by
+// consecutive unicast transmissions"). The traffic layer performs that
+// expansion; this class only reports supports_multicast() == false.
+#pragma once
+
+#include "quarc/topo/topology.hpp"
+
+namespace quarc {
+
+class SpidergonTopology final : public Topology {
+ public:
+  /// Builds a Spidergon NoC; requires num_nodes >= 8 and divisible by 4
+  /// (even N suffices for the topology, but quadrant-symmetric sizes keep
+  /// routing ties deterministic and match all paper configurations).
+  explicit SpidergonTopology(int num_nodes);
+
+  std::string name() const override;
+  UnicastRoute unicast_route(NodeId s, NodeId d) const override;
+  /// Diameter is N/4 in closed form: the rim-quarter edge takes N/4 hops
+  /// and the worst cross path (k = N/4 + 1) takes 1 + (N/4 - 1).
+  int diameter() const override { return num_nodes() / 4; }
+
+  int cw_distance(NodeId s, NodeId d) const;
+  /// Hop count of the across-first shortest path for clockwise distance k.
+  int hops_for_distance(int k) const;
+
+  ChannelId injection_channel(NodeId node) const { return inj_[static_cast<std::size_t>(node)]; }
+  ChannelId ejection_channel(NodeId node) const { return ej_[static_cast<std::size_t>(node)]; }
+  ChannelId cw_channel(NodeId node) const { return cw_[static_cast<std::size_t>(node)]; }
+  ChannelId ccw_channel(NodeId node) const { return ccw_[static_cast<std::size_t>(node)]; }
+  ChannelId cross_channel(NodeId node) const { return cross_[static_cast<std::size_t>(node)]; }
+
+ private:
+  NodeId wrap(std::int64_t v) const {
+    const int n = num_nodes();
+    return static_cast<NodeId>(((v % n) + n) % n);
+  }
+
+  std::vector<ChannelId> inj_, ej_, cw_, ccw_, cross_;
+};
+
+}  // namespace quarc

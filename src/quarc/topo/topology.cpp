@@ -1,0 +1,159 @@
+#include "quarc/topo/topology.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "quarc/util/error.hpp"
+
+namespace quarc {
+
+Topology::Topology(int num_nodes, int num_ports) : num_nodes_(num_nodes), num_ports_(num_ports) {
+  QUARC_REQUIRE(num_nodes >= 2, "topology requires at least two nodes");
+  QUARC_REQUIRE(num_ports >= 1, "topology requires at least one injection port");
+}
+
+const ChannelInfo& Topology::channel(ChannelId id) const {
+  QUARC_REQUIRE(id >= 0 && id < num_channels(), "channel id out of range");
+  return channels_[static_cast<std::size_t>(id)];
+}
+
+ChannelId Topology::add_channel(ChannelKind kind, NodeId src, NodeId dst, PortId port, int vcs,
+                                std::string label, bool dedicated) {
+  QUARC_ASSERT(!dedicated || kind == ChannelKind::Ejection,
+               "only ejection channels can be dedicated");
+  const auto id = static_cast<ChannelId>(channels_.size());
+  channels_.push_back(ChannelInfo{id, kind, src, dst, port, vcs, dedicated, std::move(label)});
+  return id;
+}
+
+std::vector<MulticastStream> Topology::multicast_streams(NodeId /*s*/,
+                                                         const std::vector<NodeId>& /*dests*/) const {
+  throw InvalidArgument(name() + " does not support hardware multicast");
+}
+
+int Topology::diameter() const {
+  int best = 0;
+  for (NodeId s = 0; s < num_nodes_; ++s) {
+    for (NodeId d = 0; d < num_nodes_; ++d) {
+      if (s == d) continue;
+      best = std::max(best, unicast_route(s, d).hops());
+    }
+  }
+  return best;
+}
+
+void Topology::check_pair(NodeId s, NodeId d) const {
+  QUARC_REQUIRE(s >= 0 && s < num_nodes_, "source node out of range");
+  QUARC_REQUIRE(d >= 0 && d < num_nodes_, "destination node out of range");
+  QUARC_REQUIRE(s != d, "source and destination must differ");
+}
+
+namespace {
+
+[[noreturn]] void fail(const std::string& context, const std::string& what) {
+  throw ComputationError("topology validation failed (" + context + "): " + what);
+}
+
+void check_route_chain(const Topology& topo, const UnicastRoute& r, const std::string& ctx) {
+  if (r.injection == kInvalidChannel) fail(ctx, "missing injection channel");
+  const ChannelInfo& inj = topo.channel(r.injection);
+  if (inj.kind != ChannelKind::Injection) fail(ctx, "injection id is not an injection channel");
+  if (inj.src != r.source) fail(ctx, "injection channel not at source node");
+  if (r.links.empty()) fail(ctx, "route has no external links");
+  if (r.link_vcs.size() != r.links.size()) fail(ctx, "link_vcs size mismatch");
+  NodeId at = r.source;
+  for (std::size_t i = 0; i < r.links.size(); ++i) {
+    const ChannelInfo& ch = topo.channel(r.links[i]);
+    if (ch.kind != ChannelKind::External) fail(ctx, "route link is not an external channel");
+    if (ch.src != at) fail(ctx, "route link chain is disconnected");
+    if (r.link_vcs[i] >= ch.vcs) fail(ctx, "virtual channel index exceeds channel vc count");
+    at = ch.dst;
+  }
+  if (at != r.dest) fail(ctx, "route does not terminate at destination");
+  const ChannelInfo& ej = topo.channel(r.ejection);
+  if (ej.kind != ChannelKind::Ejection) fail(ctx, "ejection id is not an ejection channel");
+  if (ej.src != r.dest) fail(ctx, "ejection channel not at destination node");
+}
+
+void check_stream(const Topology& topo, const MulticastStream& st, const std::string& ctx) {
+  const ChannelInfo& inj = topo.channel(st.injection);
+  if (inj.kind != ChannelKind::Injection) fail(ctx, "stream injection id invalid");
+  if (inj.src != st.source) fail(ctx, "stream injection channel not at source");
+  if (st.links.empty()) fail(ctx, "stream has no links");
+  if (st.link_vcs.size() != st.links.size()) fail(ctx, "stream link_vcs size mismatch");
+  if (st.stops.empty()) fail(ctx, "stream has no stops");
+  // Chain connectivity and per-hop node positions.
+  std::vector<NodeId> node_at_hop(st.links.size() + 1);
+  node_at_hop[0] = st.source;
+  NodeId at = st.source;
+  for (std::size_t i = 0; i < st.links.size(); ++i) {
+    const ChannelInfo& ch = topo.channel(st.links[i]);
+    if (ch.kind != ChannelKind::External) fail(ctx, "stream link is not external");
+    if (ch.src != at) fail(ctx, "stream link chain disconnected");
+    if (st.link_vcs[i] >= ch.vcs) fail(ctx, "stream vc index exceeds channel vc count");
+    at = ch.dst;
+    node_at_hop[i + 1] = at;
+  }
+  int prev_hop = 0;
+  for (const MulticastStop& stop : st.stops) {
+    if (stop.hop <= prev_hop) fail(ctx, "stream stops not strictly ordered by hop");
+    prev_hop = stop.hop;
+    if (stop.hop > st.hops()) fail(ctx, "stop beyond stream path");
+    if (node_at_hop[static_cast<std::size_t>(stop.hop)] != stop.node) {
+      fail(ctx, "stop node inconsistent with path position");
+    }
+    const ChannelInfo& ej = topo.channel(stop.ejection);
+    if (ej.kind != ChannelKind::Ejection) fail(ctx, "stop ejection id invalid");
+    if (ej.src != stop.node) fail(ctx, "stop ejection channel not at stop node");
+  }
+  if (st.stops.back().hop != st.hops()) fail(ctx, "stream continues past its last stop");
+}
+
+}  // namespace
+
+void validate_topology(const Topology& topo) {
+  const int n = topo.num_nodes();
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId d = 0; d < n; ++d) {
+      if (s == d) continue;
+      std::ostringstream ctx;
+      ctx << topo.name() << " unicast " << s << "->" << d;
+      UnicastRoute r = topo.unicast_route(s, d);
+      if (r.source != s || r.dest != d) fail(ctx.str(), "route endpoints not set");
+      if (r.port < 0 || r.port >= topo.num_ports()) fail(ctx.str(), "port out of range");
+      check_route_chain(topo, r, ctx.str());
+    }
+  }
+  if (!topo.supports_multicast()) return;
+
+  // Broadcast (all other nodes) exercises every stream shape at once.
+  for (NodeId s = 0; s < n; ++s) {
+    std::vector<NodeId> all;
+    for (NodeId d = 0; d < n; ++d) {
+      if (d != s) all.push_back(d);
+    }
+    std::ostringstream ctx;
+    ctx << topo.name() << " broadcast from " << s;
+    const auto streams = topo.multicast_streams(s, all);
+    std::set<NodeId> covered;
+    std::set<PortId> ports_seen;
+    for (const auto& st : streams) {
+      if (st.source != s) fail(ctx.str(), "stream source mismatch");
+      // One stream per port on multi-port routers; one-port schemes funnel
+      // every stream through port 0 legitimately.
+      if (!ports_seen.insert(st.port).second && topo.num_ports() > 1) {
+        fail(ctx.str(), "duplicate port stream");
+      }
+      check_stream(topo, st, ctx.str());
+      for (const auto& stop : st.stops) {
+        if (!covered.insert(stop.node).second) {
+          fail(ctx.str(), "destination covered by two streams (Eq. 2 violated)");
+        }
+      }
+    }
+    if (covered.size() != all.size()) fail(ctx.str(), "broadcast does not cover all nodes");
+  }
+}
+
+}  // namespace quarc

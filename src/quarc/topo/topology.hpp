@@ -1,0 +1,155 @@
+// Topology abstraction shared by the analytical model and the simulator.
+//
+// A topology owns a table of unidirectional *channels* — the resources the
+// queueing model reasons about and the simulator allocates:
+//   * Injection channels: processing element -> router, one per router port.
+//     All-port architectures (Quarc, mesh, torus here) have one injection
+//     channel per external direction; one-port architectures (Spidergon)
+//     have a single injection channel per node (paper Fig. 1).
+//   * External channels: router -> neighbouring router links.
+//   * Ejection channels: router -> local sink. For multi-port routers there
+//     is one per arrival direction (paper: "the sink is connected to the
+//     router via four ejection channels").
+//
+// Routing is deterministic (a paper assumption): unicast_route() returns
+// the unique channel sequence for a source/destination pair, and
+// multicast_streams() returns the per-injection-port BRCP streams covering
+// a destination set, each with its ordered absorb-and-forward stops.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "quarc/util/types.hpp"
+
+namespace quarc {
+
+enum class ChannelKind : std::uint8_t { Injection, External, Ejection };
+
+/// Static description of one unidirectional channel.
+struct ChannelInfo {
+  ChannelId id = kInvalidChannel;
+  ChannelKind kind = ChannelKind::External;
+  /// Router at which the channel originates. For injection channels this is
+  /// the node whose PE feeds it; for ejection channels the node whose sink
+  /// drains it.
+  NodeId src = kInvalidNode;
+  /// Downstream router (External); for Injection/Ejection: same as src.
+  NodeId dst = kInvalidNode;
+  /// Injection port index, or ejection arrival-direction index; -1 for
+  /// external channels.
+  PortId port = -1;
+  /// Virtual channels multiplexed on this physical channel (simulator);
+  /// the analytical model works at physical-channel granularity.
+  int vcs = 1;
+  /// Ejection channels only: true when the channel is fed by exactly one
+  /// input link (the multi-port per-direction sinks of Quarc/mesh/torus).
+  /// Such channels never contend, so the simulator treats absorption
+  /// through them as allocation-free — exactly the paper's non-blocking
+  /// ingress-multiplexer clone, and the reason the Eq. 6 self-traffic
+  /// discount zeroes their waiting term. Shared one-port ejection channels
+  /// (Spidergon) keep FIFO message-granularity arbitration.
+  bool dedicated = false;
+  std::string label;
+};
+
+/// The deterministic path of a unicast message.
+struct UnicastRoute {
+  PortId port = 0;                 ///< Injection port chosen at the source.
+  ChannelId injection = kInvalidChannel;
+  std::vector<ChannelId> links;    ///< External channels, source to destination order.
+  std::vector<std::uint8_t> link_vcs;  ///< Virtual channel per link (dateline scheme).
+  ChannelId ejection = kInvalidChannel;
+  NodeId source = kInvalidNode;
+  NodeId dest = kInvalidNode;
+
+  /// Number of external hops (the D of paper Eq. 7).
+  int hops() const { return static_cast<int>(links.size()); }
+};
+
+/// One absorb point of a multicast stream.
+struct MulticastStop {
+  /// Number of external links traversed when the header reaches this node;
+  /// stops are ordered by increasing hop and the final stop's hop equals
+  /// the stream's link count.
+  int hop = 0;
+  NodeId node = kInvalidNode;
+  ChannelId ejection = kInvalidChannel;
+};
+
+/// One per-port worm of a multicast operation (the sub-network S_{j,c} of
+/// paper Eq. 1): the stream leaves injection port `port`, traverses `links`
+/// and is absorbed (and, except at the last stop, forwarded) at each stop.
+struct MulticastStream {
+  PortId port = 0;
+  ChannelId injection = kInvalidChannel;
+  std::vector<ChannelId> links;
+  std::vector<std::uint8_t> link_vcs;
+  std::vector<MulticastStop> stops;
+  NodeId source = kInvalidNode;
+
+  /// Hop count to the stream's last destination (the D_{j,c} of Eq. 7).
+  int hops() const { return static_cast<int>(links.size()); }
+};
+
+/// Abstract interconnection network.
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  virtual std::string name() const = 0;
+
+  int num_nodes() const { return num_nodes_; }
+  /// Injection ports per router (the m of paper Eq. 12).
+  int num_ports() const { return num_ports_; }
+  int num_channels() const { return static_cast<int>(channels_.size()); }
+  const std::vector<ChannelInfo>& channels() const { return channels_; }
+  const ChannelInfo& channel(ChannelId id) const;
+
+  /// Deterministic route from s to d; requires s != d and both valid.
+  virtual UnicastRoute unicast_route(NodeId s, NodeId d) const = 0;
+
+  /// Injection port a unicast from s to d uses.
+  PortId port_of(NodeId s, NodeId d) const { return unicast_route(s, d).port; }
+
+  /// Whether the switches support hardware multicast worms (BRCP
+  /// absorb-and-forward). When false (Spidergon, torus here), collective
+  /// operations are performed by consecutive unicasts at the traffic layer.
+  virtual bool supports_multicast() const { return false; }
+
+  /// Per-port BRCP streams covering `dests` (absolute node ids, none equal
+  /// to s, no duplicates). Only valid when supports_multicast().
+  virtual std::vector<MulticastStream> multicast_streams(NodeId s,
+                                                         const std::vector<NodeId>& dests) const;
+
+  /// Longest unicast route in hops; computed by exhaustive scan by default.
+  virtual int diameter() const;
+
+  /// Validates the source/destination pair preconditions shared by all
+  /// implementations; throws InvalidArgument on violation.
+  void check_pair(NodeId s, NodeId d) const;
+
+ protected:
+  Topology(int num_nodes, int num_ports);
+
+  /// Registers a channel and returns its id. Only called from constructors.
+  ChannelId add_channel(ChannelKind kind, NodeId src, NodeId dst, PortId port, int vcs,
+                        std::string label, bool dedicated = false);
+
+ private:
+  int num_nodes_;
+  int num_ports_;
+  std::vector<ChannelInfo> channels_;
+};
+
+/// Structural sanity checks on a topology implementation. Verifies that
+/// every unicast route is a connected channel chain of the right kinds with
+/// consistent endpoints, and (when supported) that multicast streams for
+/// sampled destination sets cover exactly the requested destinations with
+/// ordered stops. Throws ComputationError describing the first violation.
+/// Used by the test-suite for all shipped topologies.
+void validate_topology(const Topology& topo);
+
+}  // namespace quarc

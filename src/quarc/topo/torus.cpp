@@ -1,0 +1,139 @@
+#include "quarc/topo/torus.hpp"
+
+#include "quarc/util/error.hpp"
+
+namespace quarc {
+
+namespace {
+constexpr std::array<const char*, 4> kDirName = {"E", "W", "N", "S"};
+constexpr int kRingVcs = 2;  // dateline scheme on every ring
+}  // namespace
+
+TorusTopology::TorusTopology(int width, int height)
+    : Topology(width * height, 4), width_(width), height_(height) {
+  QUARC_REQUIRE(width >= 3 && height >= 3, "torus requires width, height >= 3");
+
+  const int n = num_nodes();
+  link_.resize(static_cast<std::size_t>(n));
+  inj_.resize(static_cast<std::size_t>(n));
+  ej_.resize(static_cast<std::size_t>(n));
+
+  auto wrap_x = [this](int x) { return (x % width_ + width_) % width_; };
+  auto wrap_y = [this](int y) { return (y % height_ + height_) % height_; };
+
+  for (NodeId i = 0; i < n; ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    const int x = x_of(i);
+    const int y = y_of(i);
+    for (PortId p = 0; p < 4; ++p) {
+      inj_[ui].push_back(add_channel(ChannelKind::Injection, i, i, p, 1,
+                                     "inj[" + std::to_string(i) + "." +
+                                         kDirName[static_cast<std::size_t>(p)] + "]"));
+    }
+    link_[ui][kEast] = add_channel(ChannelKind::External, i, node_id(wrap_x(x + 1), y), -1,
+                                   kRingVcs, "E[" + std::to_string(i) + "]");
+    link_[ui][kWest] = add_channel(ChannelKind::External, i, node_id(wrap_x(x - 1), y), -1,
+                                   kRingVcs, "W[" + std::to_string(i) + "]");
+    link_[ui][kNorth] = add_channel(ChannelKind::External, i, node_id(x, wrap_y(y + 1)), -1,
+                                    kRingVcs, "N[" + std::to_string(i) + "]");
+    link_[ui][kSouth] = add_channel(ChannelKind::External, i, node_id(x, wrap_y(y - 1)), -1,
+                                    kRingVcs, "S[" + std::to_string(i) + "]");
+    for (int d = 0; d < 4; ++d) {
+      ej_[ui][static_cast<std::size_t>(d)] =
+          add_channel(ChannelKind::Ejection, i, i, d, 1,
+                      "ej[" + std::to_string(i) + "." + kDirName[static_cast<std::size_t>(d)] + "]",
+                      /*dedicated=*/true);
+    }
+  }
+}
+
+std::string TorusTopology::name() const {
+  return "torus-" + std::to_string(width_) + "x" + std::to_string(height_);
+}
+
+NodeId TorusTopology::node_id(int x, int y) const {
+  QUARC_REQUIRE(x >= 0 && x < width_ && y >= 0 && y < height_, "grid coordinate out of range");
+  return static_cast<NodeId>(y * width_ + x);
+}
+
+ChannelId TorusTopology::link(NodeId node, Dir dir) const {
+  QUARC_REQUIRE(node >= 0 && node < num_nodes(), "node out of range");
+  return link_[static_cast<std::size_t>(node)][static_cast<std::size_t>(dir)];
+}
+
+ChannelId TorusTopology::injection_channel(NodeId node, PortId port) const {
+  QUARC_REQUIRE(node >= 0 && node < num_nodes(), "node out of range");
+  QUARC_REQUIRE(port >= 0 && port < 4, "port out of range");
+  return inj_[static_cast<std::size_t>(node)][static_cast<std::size_t>(port)];
+}
+
+ChannelId TorusTopology::ejection_channel(NodeId node, Dir arrival_dir) const {
+  QUARC_REQUIRE(node >= 0 && node < num_nodes(), "node out of range");
+  return ej_[static_cast<std::size_t>(node)][static_cast<std::size_t>(arrival_dir)];
+}
+
+NodeId TorusTopology::append_ring_walk(NodeId at, Dir dir, int count,
+                                       std::vector<ChannelId>& links,
+                                       std::vector<std::uint8_t>& vcs) const {
+  const bool horizontal = dir == kEast || dir == kWest;
+  const int entry = horizontal ? x_of(at) : y_of(at);
+  NodeId cur = at;
+  for (int t = 0; t < count; ++t) {
+    const int c = horizontal ? x_of(cur) : y_of(cur);
+    // Dateline: positive-direction rings wrap from index max to 0, so a
+    // worm that started at `entry` has wrapped once its coordinate drops
+    // below the entry; negative-direction rings wrap 0 -> max, detected as
+    // the coordinate rising above the entry.
+    const bool positive = dir == kEast || dir == kNorth;
+    const std::uint8_t vc = positive ? (c < entry ? 1 : 0) : (c > entry ? 1 : 0);
+    const ChannelId ch = link(cur, dir);
+    links.push_back(ch);
+    vcs.push_back(vc);
+    cur = channel(ch).dst;
+  }
+  return cur;
+}
+
+UnicastRoute TorusTopology::unicast_route(NodeId s, NodeId d) const {
+  check_pair(s, d);
+  UnicastRoute r;
+  r.source = s;
+  r.dest = d;
+
+  // X dimension first: shortest way around the row ring, east on ties.
+  const int dx = ((x_of(d) - x_of(s)) % width_ + width_) % width_;
+  const int dy = ((y_of(d) - y_of(s)) % height_ + height_) % height_;
+
+  NodeId at = s;
+  Dir first = kEast;
+  Dir last = kEast;
+  bool first_set = false;
+  if (dx != 0) {
+    const bool east = dx <= width_ - dx;  // tie -> east
+    const int steps = east ? dx : width_ - dx;
+    last = east ? kEast : kWest;
+    if (!first_set) {
+      first = last;
+      first_set = true;
+    }
+    at = append_ring_walk(at, last, steps, r.links, r.link_vcs);
+  }
+  if (dy != 0) {
+    const bool north = dy <= height_ - dy;  // tie -> north
+    const int steps = north ? dy : height_ - dy;
+    last = north ? kNorth : kSouth;
+    if (!first_set) {
+      first = last;
+      first_set = true;
+    }
+    at = append_ring_walk(at, last, steps, r.links, r.link_vcs);
+  }
+  QUARC_ASSERT(at == d && first_set, "torus route did not reach destination");
+
+  r.port = static_cast<PortId>(first);
+  r.injection = inj_[static_cast<std::size_t>(s)][static_cast<std::size_t>(r.port)];
+  r.ejection = ejection_channel(d, last);
+  return r;
+}
+
+}  // namespace quarc

@@ -1,0 +1,57 @@
+// 2D torus with multi-port routers — the second half of the paper's stated
+// future work.
+//
+// Dimension-ordered (X then Y) shortest-path routing around each ring; a
+// tie at distance W/2 (or H/2) resolves to the positive direction so the
+// algorithm stays deterministic (a paper assumption). Ring links carry two
+// virtual channels with the same dateline scheme as the Quarc rim so that
+// intra-ring dependency cycles cannot deadlock. Routers are all-port (the
+// injection port is the first-hop direction; four ejection channels by
+// arrival direction). Hardware multicast is not provided: path-based
+// multicast conforming to dimension-ordered routing is not deadlock-free
+// without extra machinery, so collective traffic is emulated by unicasts
+// at the traffic layer (as on Spidergon).
+#pragma once
+
+#include <array>
+
+#include "quarc/topo/topology.hpp"
+
+namespace quarc {
+
+class TorusTopology final : public Topology {
+ public:
+  enum Dir : PortId { kEast = 0, kWest = 1, kNorth = 2, kSouth = 3 };
+
+  /// Builds a width x height torus (both >= 3; smaller rings would alias
+  /// the two directions between a node pair).
+  TorusTopology(int width, int height);
+
+  std::string name() const override;
+  UnicastRoute unicast_route(NodeId s, NodeId d) const override;
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  NodeId node_id(int x, int y) const;
+  int x_of(NodeId node) const { return node % width_; }
+  int y_of(NodeId node) const { return node / width_; }
+
+  ChannelId link(NodeId node, Dir dir) const;
+  ChannelId injection_channel(NodeId node, PortId port) const;
+  ChannelId ejection_channel(NodeId node, Dir arrival_dir) const;
+
+ private:
+  /// Appends `count` ring steps in direction `dir` starting at `at`,
+  /// assigning dateline VCs relative to the entry coordinate; returns the
+  /// node reached.
+  NodeId append_ring_walk(NodeId at, Dir dir, int count, std::vector<ChannelId>& links,
+                          std::vector<std::uint8_t>& vcs) const;
+
+  int width_, height_;
+  std::vector<std::array<ChannelId, 4>> link_;
+  std::vector<std::vector<ChannelId>> inj_;
+  std::vector<std::array<ChannelId, 4>> ej_;
+};
+
+}  // namespace quarc

@@ -1,0 +1,120 @@
+#include "quarc/traffic/pattern.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "quarc/util/error.hpp"
+
+namespace quarc {
+
+namespace {
+
+/// `count` distinct integers from [lo, hi], uniform without replacement
+/// (Floyd's algorithm keeps this O(count) in expectation for any range).
+std::vector<int> sample_without_replacement(int lo, int hi, int count, Rng& rng) {
+  QUARC_REQUIRE(lo <= hi, "empty sampling range");
+  const int range = hi - lo + 1;
+  QUARC_REQUIRE(count >= 1 && count <= range, "sample count exceeds range");
+  std::set<int> chosen;
+  for (int j = range - count; j < range; ++j) {
+    const int t = lo + static_cast<int>(rng.uniform_below(static_cast<std::uint64_t>(j) + 1));
+    if (!chosen.insert(t).second) chosen.insert(lo + j);
+  }
+  return {chosen.begin(), chosen.end()};
+}
+
+}  // namespace
+
+RingRelativePattern::RingRelativePattern(int num_nodes, std::vector<int> offsets)
+    : num_nodes_(num_nodes), offsets_(std::move(offsets)) {
+  QUARC_REQUIRE(num_nodes >= 2, "pattern requires at least two nodes");
+  QUARC_REQUIRE(!offsets_.empty(), "pattern requires at least one offset");
+  std::sort(offsets_.begin(), offsets_.end());
+  for (std::size_t i = 0; i < offsets_.size(); ++i) {
+    QUARC_REQUIRE(offsets_[i] >= 1 && offsets_[i] < num_nodes_, "offset out of range");
+    QUARC_REQUIRE(i == 0 || offsets_[i] != offsets_[i - 1], "duplicate offset");
+  }
+  dests_.resize(static_cast<std::size_t>(num_nodes_));
+  for (NodeId s = 0; s < num_nodes_; ++s) {
+    auto& v = dests_[static_cast<std::size_t>(s)];
+    v.reserve(offsets_.size());
+    for (int k : offsets_) v.push_back(static_cast<NodeId>((s + k) % num_nodes_));
+  }
+}
+
+std::string RingRelativePattern::describe() const {
+  std::ostringstream os;
+  os << "ring-relative{";
+  for (std::size_t i = 0; i < offsets_.size(); ++i) {
+    if (i) os << ",";
+    os << "+" << offsets_[i];
+  }
+  os << "}";
+  return os.str();
+}
+
+const std::vector<NodeId>& RingRelativePattern::destinations(NodeId s) const {
+  QUARC_REQUIRE(s >= 0 && s < num_nodes_, "source out of range");
+  return dests_[static_cast<std::size_t>(s)];
+}
+
+std::shared_ptr<RingRelativePattern> RingRelativePattern::broadcast(int num_nodes) {
+  std::vector<int> all;
+  for (int k = 1; k < num_nodes; ++k) all.push_back(k);
+  return std::make_shared<RingRelativePattern>(num_nodes, std::move(all));
+}
+
+std::shared_ptr<RingRelativePattern> RingRelativePattern::random(int num_nodes, int count,
+                                                                 Rng& rng) {
+  return std::make_shared<RingRelativePattern>(
+      num_nodes, sample_without_replacement(1, num_nodes - 1, count, rng));
+}
+
+std::shared_ptr<RingRelativePattern> RingRelativePattern::localized(int num_nodes, int lo_offset,
+                                                                    int hi_offset, int count,
+                                                                    Rng& rng) {
+  return std::make_shared<RingRelativePattern>(
+      num_nodes, sample_without_replacement(lo_offset, hi_offset, count, rng));
+}
+
+UniformRandomPattern::UniformRandomPattern(int num_nodes, int count, Rng& rng) : count_(count) {
+  QUARC_REQUIRE(num_nodes >= 2, "pattern requires at least two nodes");
+  QUARC_REQUIRE(count >= 1 && count < num_nodes, "fanout must be in [1, N-1]");
+  dests_.resize(static_cast<std::size_t>(num_nodes));
+  for (NodeId s = 0; s < num_nodes; ++s) {
+    auto offsets = sample_without_replacement(1, num_nodes - 1, count, rng);
+    auto& v = dests_[static_cast<std::size_t>(s)];
+    for (int k : offsets) v.push_back(static_cast<NodeId>((s + k) % num_nodes));
+  }
+}
+
+std::string UniformRandomPattern::describe() const {
+  return "uniform-random(fanout=" + std::to_string(count_) + ")";
+}
+
+const std::vector<NodeId>& UniformRandomPattern::destinations(NodeId s) const {
+  QUARC_REQUIRE(s >= 0 && s < static_cast<NodeId>(dests_.size()), "source out of range");
+  return dests_[static_cast<std::size_t>(s)];
+}
+
+ExplicitPattern::ExplicitPattern(std::vector<std::vector<NodeId>> dests, std::string description)
+    : dests_(std::move(dests)), description_(std::move(description)) {
+  for (NodeId s = 0; s < static_cast<NodeId>(dests_.size()); ++s) {
+    std::set<NodeId> seen;
+    for (NodeId d : dests_[static_cast<std::size_t>(s)]) {
+      QUARC_REQUIRE(d >= 0 && d < static_cast<NodeId>(dests_.size()), "destination out of range");
+      QUARC_REQUIRE(d != s, "destination equals source");
+      QUARC_REQUIRE(seen.insert(d).second, "duplicate destination");
+    }
+  }
+}
+
+std::string ExplicitPattern::describe() const { return description_; }
+
+const std::vector<NodeId>& ExplicitPattern::destinations(NodeId s) const {
+  QUARC_REQUIRE(s >= 0 && s < static_cast<NodeId>(dests_.size()), "source out of range");
+  return dests_[static_cast<std::size_t>(s)];
+}
+
+}  // namespace quarc

@@ -1,0 +1,98 @@
+// Multicast destination patterns.
+//
+// The paper fixes the multicast destination set at the start of each
+// simulation (Section 4) and describes it, per figure, as bitstrings of
+// targets relative to the initiating node (L/R/LO/RO in Figs. 6-7) — i.e.
+// every node multicasts to the same *relative* set, preserving the vertex
+// symmetry the analytical model exploits. RingRelativePattern realises
+// that; random and localized builders regenerate the Fig. 6 / Fig. 7
+// families. UniformRandomPattern (independent per-source sets) and
+// ExplicitPattern (arbitrary maps, used by the mesh extension) cover the
+// non-symmetric cases.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "quarc/util/rng.hpp"
+#include "quarc/util/types.hpp"
+
+namespace quarc {
+
+/// Fixed mapping source -> multicast destination set, immutable after
+/// construction (paper: "selected randomly ... at the beginning of the
+/// simulation").
+class MulticastPattern {
+ public:
+  virtual ~MulticastPattern() = default;
+
+  /// Human-readable description for bench/table headers.
+  virtual std::string describe() const = 0;
+
+  /// Destination set of a multicast initiated at s; nodes are absolute ids,
+  /// distinct, and never equal to s.
+  virtual const std::vector<NodeId>& destinations(NodeId s) const = 0;
+
+  /// Number of destinations of the multicast initiated at s.
+  std::size_t fanout(NodeId s) const { return destinations(s).size(); }
+};
+
+/// Every node targets the same set of clockwise offsets (ring topologies).
+class RingRelativePattern final : public MulticastPattern {
+ public:
+  /// `offsets` are clockwise distances in [1, num_nodes-1], distinct.
+  RingRelativePattern(int num_nodes, std::vector<int> offsets);
+
+  std::string describe() const override;
+  const std::vector<NodeId>& destinations(NodeId s) const override;
+  const std::vector<int>& offsets() const { return offsets_; }
+
+  /// All other nodes (a broadcast).
+  static std::shared_ptr<RingRelativePattern> broadcast(int num_nodes);
+  /// `count` offsets drawn uniformly without replacement from [1, N-1]
+  /// (the Fig. 6 "random destinations" family).
+  static std::shared_ptr<RingRelativePattern> random(int num_nodes, int count, Rng& rng);
+  /// `count` offsets drawn uniformly without replacement from
+  /// [lo_offset, hi_offset] — used with a Quarc quadrant's range to build
+  /// the Fig. 7 "localized destinations" (same-rim) family.
+  static std::shared_ptr<RingRelativePattern> localized(int num_nodes, int lo_offset,
+                                                        int hi_offset, int count, Rng& rng);
+
+ private:
+  int num_nodes_;
+  std::vector<int> offsets_;
+  /// destinations(s) materialised per source (cheap: N * |offsets|).
+  std::vector<std::vector<NodeId>> dests_;
+};
+
+/// Independent uniformly random destination set per source, fixed at
+/// construction.
+class UniformRandomPattern final : public MulticastPattern {
+ public:
+  UniformRandomPattern(int num_nodes, int count, Rng& rng);
+
+  std::string describe() const override;
+  const std::vector<NodeId>& destinations(NodeId s) const override;
+
+ private:
+  int count_;
+  std::vector<std::vector<NodeId>> dests_;
+};
+
+/// Arbitrary per-source destination sets.
+class ExplicitPattern final : public MulticastPattern {
+ public:
+  /// `dests[s]` is the destination set of source s; the vector must have
+  /// one entry per node (possibly empty).
+  explicit ExplicitPattern(std::vector<std::vector<NodeId>> dests, std::string description);
+
+  std::string describe() const override;
+  const std::vector<NodeId>& destinations(NodeId s) const override;
+
+ private:
+  std::vector<std::vector<NodeId>> dests_;
+  std::string description_;
+};
+
+}  // namespace quarc

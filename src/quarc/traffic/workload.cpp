@@ -1,0 +1,35 @@
+#include "quarc/traffic/workload.hpp"
+
+#include <sstream>
+
+#include "quarc/util/error.hpp"
+
+namespace quarc {
+
+void Workload::validate(const Topology& topo) const {
+  QUARC_REQUIRE(message_rate >= 0.0, "message rate must be non-negative");
+  QUARC_REQUIRE(multicast_fraction >= 0.0 && multicast_fraction <= 1.0,
+                "multicast fraction must be in [0,1]");
+  QUARC_REQUIRE(message_length >= 1, "message length must be positive");
+  QUARC_REQUIRE(message_length > topo.diameter(),
+                "paper assumption: messages are larger than the network diameter");
+  if (multicast_fraction > 0.0) {
+    QUARC_REQUIRE(pattern != nullptr, "multicast traffic requires a destination pattern");
+    for (NodeId s = 0; s < topo.num_nodes(); ++s) {
+      for (NodeId d : pattern->destinations(s)) {
+        QUARC_REQUIRE(d >= 0 && d < topo.num_nodes() && d != s,
+                      "pattern destination invalid for this topology");
+      }
+    }
+  }
+}
+
+std::string Workload::describe() const {
+  std::ostringstream os;
+  os << "rate=" << message_rate << " msg/cycle/node, alpha=" << multicast_fraction
+     << ", M=" << message_length << " flits";
+  if (pattern) os << ", pattern=" << pattern->describe();
+  return os.str();
+}
+
+}  // namespace quarc

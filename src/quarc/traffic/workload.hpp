@@ -1,0 +1,41 @@
+// Workload description shared by the analytical model and the simulator.
+//
+// Matches the paper's traffic assumptions (Section 2): every node generates
+// messages by a Poisson process at `message_rate` messages/cycle; a
+// fraction `multicast_fraction` (the figures' alpha) are multicasts to the
+// pattern's destination set, the rest are unicasts to uniformly random
+// destinations; all messages are `message_length` flits.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "quarc/topo/topology.hpp"
+#include "quarc/traffic/pattern.hpp"
+
+namespace quarc {
+
+struct Workload {
+  /// Messages generated per node per cycle (Poisson rate).
+  double message_rate = 0.005;
+  /// Fraction of generated messages that are multicasts (paper's alpha).
+  double multicast_fraction = 0.0;
+  /// Message length in flits (paper: 16/32/48/64; must exceed the network
+  /// diameter per the paper's assumptions — validated, not assumed).
+  int message_length = 32;
+  /// Destination sets for multicast messages; required iff
+  /// multicast_fraction > 0.
+  std::shared_ptr<const MulticastPattern> pattern;
+
+  double unicast_rate() const { return message_rate * (1.0 - multicast_fraction); }
+  double multicast_rate() const { return message_rate * multicast_fraction; }
+
+  /// Checks rates, lengths and pattern consistency against a topology;
+  /// throws InvalidArgument on violation.
+  void validate(const Topology& topo) const;
+
+  /// One-line description for bench output.
+  std::string describe() const;
+};
+
+}  // namespace quarc

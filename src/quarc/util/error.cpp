@@ -1,0 +1,22 @@
+#include "quarc/util/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace quarc::detail {
+
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line, const std::string& msg) {
+  std::fprintf(stderr, "quarc: internal invariant violated at %s:%d\n  expression: %s\n  detail: %s\n",
+               file, line, expr, msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+[[noreturn]] void require_fail(const char* file, int line, const std::string& msg) {
+  std::ostringstream os;
+  os << msg << " (" << file << ":" << line << ")";
+  throw InvalidArgument(os.str());
+}
+
+}  // namespace quarc::detail

@@ -1,0 +1,54 @@
+// Error-handling machinery for the quarc library.
+//
+// Two categories of failure are distinguished, following the C++ Core
+// Guidelines (I.5/I.6, E.12):
+//   * Precondition / configuration errors raised on the public API surface
+//     throw quarc::InvalidArgument (callers can recover or report).
+//   * Internal invariant violations abort via QUARC_ASSERT; they indicate a
+//     bug in the library itself, never a user mistake.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace quarc {
+
+/// Thrown when a public API receives an argument or configuration that
+/// violates a documented precondition (e.g. a Quarc network whose size is
+/// not a positive multiple of four).
+class InvalidArgument : public std::invalid_argument {
+ public:
+  explicit InvalidArgument(const std::string& what) : std::invalid_argument(what) {}
+};
+
+/// Thrown when an algorithm cannot complete for a well-formed input
+/// (e.g. the fixed-point solver diverges for a saturated workload when the
+/// caller demanded convergence).
+class ComputationError : public std::runtime_error {
+ public:
+  explicit ComputationError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line, const std::string& msg);
+[[noreturn]] void require_fail(const char* file, int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace quarc
+
+/// Internal invariant check. Enabled in all build types: the library is a
+/// research artifact and silent state corruption would invalidate results.
+#define QUARC_ASSERT(expr, msg)                                              \
+  do {                                                                       \
+    if (!(expr)) [[unlikely]] {                                              \
+      ::quarc::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));        \
+    }                                                                        \
+  } while (false)
+
+/// Precondition check on the public API surface; throws InvalidArgument.
+#define QUARC_REQUIRE(expr, msg)                                             \
+  do {                                                                       \
+    if (!(expr)) [[unlikely]] {                                              \
+      ::quarc::detail::require_fail(__FILE__, __LINE__, (msg));              \
+    }                                                                        \
+  } while (false)

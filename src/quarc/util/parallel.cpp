@@ -1,0 +1,57 @@
+#include "quarc/util/parallel.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace quarc {
+
+int default_thread_count() {
+  if (const char* env = std::getenv("QUARC_THREADS")) {
+    const int v = std::atoi(env);
+    if (v >= 0) return v == 0 ? 1 : v;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body, int threads) {
+  if (n == 0) return;
+  int workers = threads <= 0 ? default_thread_count() : threads;
+  if (workers > static_cast<int>(n)) workers = static_cast<int>(n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::atomic<bool> failed{false};
+
+  auto worker = [&]() {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      try {
+        body(i);
+      } catch (...) {
+        std::scoped_lock lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (auto& th : pool) th.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace quarc

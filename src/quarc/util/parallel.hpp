@@ -1,0 +1,25 @@
+// Deterministic fork-join helper for parameter sweeps.
+//
+// Bench harnesses evaluate many independent (topology, workload, rate)
+// points; each point seeds its own Rng, so results are identical regardless
+// of the number of worker threads. Exceptions thrown by tasks are captured
+// and rethrown on the calling thread (first one wins), per CP.23/CP.25:
+// threads are joined before parallel_for returns.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace quarc {
+
+/// Number of workers parallel_for uses by default: hardware_concurrency,
+/// overridable via the QUARC_THREADS environment variable (0 or 1 forces
+/// serial execution — useful when debugging).
+int default_thread_count();
+
+/// Runs body(i) for every i in [0, n), distributing indices dynamically
+/// over `threads` workers (<=0 selects default_thread_count()). Blocks until
+/// all iterations finish; rethrows the first captured exception.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body, int threads = -1);
+
+}  // namespace quarc

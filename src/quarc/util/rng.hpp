@@ -1,0 +1,51 @@
+// Deterministic pseudo-random number generation.
+//
+// The simulator's reproducibility rests on this module: every stochastic
+// decision (arrival times, destination choices, pattern construction) draws
+// from an explicitly seeded Rng, and parallel sweeps derive independent
+// streams with split(). xoshiro256** (Blackman & Vigna) is used for its
+// quality and speed; SplitMix64 expands seeds, as its authors recommend.
+#pragma once
+
+#include <cstdint>
+
+namespace quarc {
+
+/// SplitMix64 step; used for seed expansion and cheap hashing.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** generator with convenience distributions.
+class Rng {
+ public:
+  /// Seeds the four words of state via SplitMix64 so that any 64-bit seed
+  /// (including 0) produces a well-mixed state.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform integer in [0, bound) using Lemire rejection; bound must be > 0.
+  std::uint64_t uniform_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Exponentially distributed value with the given rate (mean 1/rate).
+  /// Used for Poisson inter-arrival times; rate must be > 0.
+  double exponential(double rate);
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Derives an independent generator; deterministic function of the current
+  /// state (advances this generator by one draw).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace quarc

@@ -1,0 +1,123 @@
+#include "quarc/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "quarc/util/error.hpp"
+
+namespace quarc {
+
+void RunningStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::mean() const { return n_ > 0 ? mean_ : 0.0; }
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+BatchMeans::BatchMeans(int num_batches) : num_batches_(num_batches) {
+  QUARC_REQUIRE(num_batches >= 2, "BatchMeans requires at least two batches");
+}
+
+void BatchMeans::add(double x) { samples_.push_back(x); }
+
+double BatchMeans::mean() const {
+  if (samples_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : samples_) s += x;
+  return s / static_cast<double>(samples_.size());
+}
+
+double BatchMeans::ci_halfwidth() const {
+  const auto n = static_cast<std::int64_t>(samples_.size());
+  if (n < 2 * num_batches_) return std::numeric_limits<double>::infinity();
+  const std::int64_t per_batch = n / num_batches_;
+  RunningStats batch_stats;
+  for (int b = 0; b < num_batches_; ++b) {
+    double s = 0.0;
+    for (std::int64_t i = b * per_batch; i < (b + 1) * per_batch; ++i) {
+      s += samples_[static_cast<std::size_t>(i)];
+    }
+    batch_stats.add(s / static_cast<double>(per_batch));
+  }
+  // t-quantile for ~95% with (num_batches-1) dof is close to 2.1 for the
+  // batch counts used here; 2.0 is the conventional engineering choice.
+  return 2.0 * batch_stats.stddev() / std::sqrt(static_cast<double>(num_batches_));
+}
+
+Histogram::Histogram(double lo, double hi, int bins) : lo_(lo), hi_(hi) {
+  QUARC_REQUIRE(hi > lo, "Histogram range must be non-empty");
+  QUARC_REQUIRE(bins > 0, "Histogram requires at least one bin");
+  counts_.assign(static_cast<std::size_t>(bins), 0);
+  width_ = (hi_ - lo_) / bins;
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+  } else if (x >= hi_) {
+    ++overflow_;
+  } else {
+    auto b = static_cast<std::size_t>((x - lo_) / width_);
+    b = std::min(b, counts_.size() - 1);
+    ++counts_[b];
+  }
+}
+
+double Histogram::bin_low(int b) const { return lo_ + width_ * b; }
+double Histogram::bin_high(int b) const { return lo_ + width_ * (b + 1); }
+
+double Histogram::quantile(double q) const {
+  QUARC_REQUIRE(q >= 0.0 && q <= 1.0, "quantile fraction must be in [0,1]");
+  if (total_ == 0) return lo_;
+  const double target = q * static_cast<double>(total_);
+  double cum = static_cast<double>(underflow_);
+  if (target <= cum) return lo_;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const double next = cum + static_cast<double>(counts_[b]);
+    if (target <= next && counts_[b] > 0) {
+      const double frac = (target - cum) / static_cast<double>(counts_[b]);
+      return bin_low(static_cast<int>(b)) + frac * width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+std::string StatSummary::to_string() const {
+  std::ostringstream os;
+  os << mean;
+  if (std::isfinite(ci95)) os << " +- " << ci95;
+  os << " (n=" << count << ")";
+  return os.str();
+}
+
+}  // namespace quarc

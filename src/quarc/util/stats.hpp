@@ -1,0 +1,97 @@
+// Streaming statistics used by the simulator's measurement layer and by the
+// benches when comparing model predictions against simulation.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace quarc {
+
+/// Welford single-pass accumulator: mean / variance / extrema without
+/// storing samples. Numerically stable for long simulation runs.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::int64_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const;
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Batch-means confidence interval estimator.
+///
+/// Simulation latency samples are autocorrelated, so the naive
+/// stddev/sqrt(n) interval is too narrow. Batch means groups consecutive
+/// samples (in creation order) into `num_batches` batches and treats the
+/// batch averages as approximately independent.
+class BatchMeans {
+ public:
+  explicit BatchMeans(int num_batches = 16);
+
+  void add(double x);
+
+  std::int64_t count() const { return static_cast<std::int64_t>(samples_.size()); }
+  double mean() const;
+  /// Half-width of the ~95% confidence interval (t ~= 2.0 approximation).
+  /// Returns +inf when fewer than two batches of data are available.
+  double ci_halfwidth() const;
+
+ private:
+  int num_batches_;
+  std::vector<double> samples_;
+};
+
+/// Fixed-width histogram over [lo, hi) with overflow/underflow bins.
+/// Used to inspect latency distributions (e.g. per-port multicast streams).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int bins);
+
+  void add(double x);
+  int bins() const { return static_cast<int>(counts_.size()); }
+  std::int64_t bin_count(int b) const { return counts_.at(static_cast<std::size_t>(b)); }
+  std::int64_t underflow() const { return underflow_; }
+  std::int64_t overflow() const { return overflow_; }
+  std::int64_t total() const { return total_; }
+  double bin_low(int b) const;
+  double bin_high(int b) const;
+  /// x such that approximately the given fraction q in [0,1] of samples are
+  /// below x (linear interpolation inside the containing bin).
+  double quantile(double q) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::int64_t> counts_;
+  std::int64_t underflow_ = 0;
+  std::int64_t overflow_ = 0;
+  std::int64_t total_ = 0;
+};
+
+/// Summary of a measured quantity: sample mean plus a batch-means CI.
+struct StatSummary {
+  std::int64_t count = 0;
+  double mean = 0.0;
+  double ci95 = std::numeric_limits<double>::infinity();
+  double min = 0.0;
+  double max = 0.0;
+
+  std::string to_string() const;
+};
+
+}  // namespace quarc

@@ -1,0 +1,97 @@
+#include "quarc/util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "quarc/util/error.hpp"
+
+namespace quarc {
+
+Table::Table(std::vector<std::string> headers, int precision)
+    : headers_(std::move(headers)), precision_(precision) {
+  QUARC_REQUIRE(!headers_.empty(), "Table requires at least one column");
+}
+
+void Table::add_row(std::vector<Cell> cells) {
+  QUARC_REQUIRE(cells.size() == headers_.size(), "Table row width must match header count");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::format_cell(const Cell& c) const {
+  std::ostringstream os;
+  if (const auto* s = std::get_if<std::string>(&c)) {
+    os << *s;
+  } else if (const auto* d = std::get_if<double>(&c)) {
+    os << std::fixed << std::setprecision(precision_) << *d;
+  } else {
+    os << std::get<std::int64_t>(c);
+  }
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      r.push_back(format_cell(row[i]));
+      widths[i] = std::max(widths[i], r.back().size());
+    }
+    rendered.push_back(std::move(r));
+  }
+  auto print_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      os << (i == 0 ? "| " : " | ") << std::setw(static_cast<int>(widths[i])) << r[i];
+    }
+    os << " |\n";
+  };
+  std::vector<std::string> hdr(headers_.begin(), headers_.end());
+  print_row(hdr);
+  os << "|";
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    os << std::string(widths[i] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& r : rendered) print_row(r);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&os](const std::string& s) {
+    if (s.find_first_of(",\"\n") != std::string::npos) {
+      os << '"';
+      for (char ch : s) {
+        if (ch == '"') os << '"';
+        os << ch;
+      }
+      os << '"';
+    } else {
+      os << s;
+    }
+  };
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    if (i) os << ',';
+    emit(headers_[i]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      emit(format_cell(row[i]));
+    }
+    os << '\n';
+  }
+}
+
+void Table::print_titled(const std::string& title) const {
+  std::cout << "\n== " << title << " ==\n";
+  print(std::cout);
+  std::cout.flush();
+}
+
+}  // namespace quarc

@@ -1,0 +1,46 @@
+// Aligned text tables and CSV emission for the bench harness.
+//
+// Every bench binary regenerates one of the paper's figures as a table of
+// series (the "rows the paper reports"); this module keeps the formatting
+// in one place so all benches read identically.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace quarc {
+
+/// A table cell: text, integer or floating-point (formatted with the
+/// table's precision, or "-"/custom marker for missing points).
+using Cell = std::variant<std::string, double, std::int64_t>;
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, int precision = 3);
+
+  /// Appends one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<Cell> cells);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return headers_.size(); }
+
+  /// Renders an aligned, pipe-separated table.
+  void print(std::ostream& os) const;
+
+  /// Renders RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  void print_csv(std::ostream& os) const;
+
+  /// Convenience: print with a title banner to stdout.
+  void print_titled(const std::string& title) const;
+
+ private:
+  std::string format_cell(const Cell& c) const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_;
+};
+
+}  // namespace quarc

@@ -1,0 +1,28 @@
+// Fundamental identifier and time types shared by the topology, model and
+// simulator layers.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace quarc {
+
+/// Index of a node (router + attached processing element). Nodes are
+/// numbered 0..N-1; for ring-based topologies the numbering is clockwise.
+using NodeId = std::int32_t;
+
+/// Index into a Topology's channel table. A "channel" is any unidirectional
+/// resource the queueing model sees: injection links, external (router to
+/// router) links and ejection links.
+using ChannelId = std::int32_t;
+
+/// Simulation time in cycles. One flit crosses one channel per cycle.
+using Cycle = std::int64_t;
+
+/// Injection-port index within a router (0..num_ports-1).
+using PortId = std::int32_t;
+
+inline constexpr ChannelId kInvalidChannel = -1;
+inline constexpr NodeId kInvalidNode = -1;
+
+}  // namespace quarc

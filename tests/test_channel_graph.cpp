@@ -1,0 +1,205 @@
+// ChannelGraph rate accumulation against closed-form Quarc expressions.
+//
+// For uniform unicast at per-node rate u on a Quarc of N nodes (q = N/4),
+// vertex symmetry gives, with r = u/(N-1):
+//   lambda_CW  = r * q^2            (L-rim walks plus the CR far-half walks)
+//   lambda_CCW = r * q^2
+//   lambda_XL  = r * q              (CL quadrant: q destinations per source)
+//   lambda_XR  = r * (q-1)          (CR quadrant: q-1 destinations)
+//   inj ports: L,CL,R carry r*q; CR carries r*(q-1)
+//   ejections: fromCW and fromCCW carry r*(2q-1); fromXL r; fromXR 0.
+// Broadcast multicast at per-node rate m adds m*(2q-1) to each rim link,
+// m to each cross link, and N-1 ejection loads per node.
+#include "quarc/model/channel_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "quarc/topo/quarc.hpp"
+#include "quarc/topo/hypercube.hpp"
+#include "quarc/topo/spidergon.hpp"
+#include "quarc/traffic/pattern.hpp"
+
+namespace quarc {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+Workload unicast_only(double rate, int msg = 16) {
+  Workload w;
+  w.message_rate = rate;
+  w.message_length = msg;
+  return w;
+}
+
+TEST(ChannelGraph, QuarcUniformUnicastClosedForms) {
+  const int n = 16, q = 4;
+  QuarcTopology topo(n);
+  const double u = 0.012;
+  const double r = u / (n - 1);
+  ChannelGraph g(topo, unicast_only(u));
+
+  for (NodeId i = 0; i < n; ++i) {
+    EXPECT_NEAR(g.lambda(topo.cw_channel(i)), r * q * q, kTol);
+    EXPECT_NEAR(g.lambda(topo.ccw_channel(i)), r * q * q, kTol);
+    EXPECT_NEAR(g.lambda(topo.xl_channel(i)), r * q, kTol);
+    EXPECT_NEAR(g.lambda(topo.xr_channel(i)), r * (q - 1), kTol);
+    EXPECT_NEAR(g.lambda(topo.injection_channel(i, QuarcTopology::kL)), r * q, kTol);
+    EXPECT_NEAR(g.lambda(topo.injection_channel(i, QuarcTopology::kCL)), r * q, kTol);
+    EXPECT_NEAR(g.lambda(topo.injection_channel(i, QuarcTopology::kCR)), r * (q - 1), kTol);
+    EXPECT_NEAR(g.lambda(topo.injection_channel(i, QuarcTopology::kR)), r * q, kTol);
+    EXPECT_NEAR(g.lambda(topo.ejection_channel(i, QuarcTopology::kFromCW)), r * (2 * q - 1), kTol);
+    EXPECT_NEAR(g.lambda(topo.ejection_channel(i, QuarcTopology::kFromCCW)), r * (2 * q - 1), kTol);
+    EXPECT_NEAR(g.lambda(topo.ejection_channel(i, QuarcTopology::kFromXL)), r, kTol);
+    EXPECT_NEAR(g.lambda(topo.ejection_channel(i, QuarcTopology::kFromXR)), 0.0, kTol);
+  }
+}
+
+TEST(ChannelGraph, FlowConservationAtEveryChannel) {
+  // Everything that enters a non-ejection channel leaves it: the outgoing
+  // transition rates sum to the channel's arrival rate.
+  QuarcTopology topo(32);
+  Workload w = unicast_only(0.008, 32);
+  w.multicast_fraction = 0.1;
+  w.pattern = RingRelativePattern::broadcast(32);
+  ChannelGraph g(topo, w);
+  for (const ChannelInfo& ch : topo.channels()) {
+    double out = 0.0;
+    for (const auto& [next, rate] : g.outgoing(ch.id)) out += rate;
+    if (ch.kind == ChannelKind::Ejection) {
+      EXPECT_EQ(g.outgoing(ch.id).size(), 0u);
+    } else {
+      EXPECT_NEAR(out, g.lambda(ch.id), 1e-12) << ch.label;
+    }
+  }
+}
+
+TEST(ChannelGraph, QuarcBroadcastMulticastClosedForms) {
+  const int n = 16, q = 4;
+  QuarcTopology topo(n);
+  Workload w = unicast_only(0.01, 16);
+  w.multicast_fraction = 1.0;  // pure multicast isolates the stream loads
+  w.pattern = RingRelativePattern::broadcast(n);
+  const double m = w.multicast_rate();
+  ChannelGraph g(topo, w);
+
+  for (NodeId i = 0; i < n; ++i) {
+    EXPECT_NEAR(g.lambda(topo.cw_channel(i)), m * (2 * q - 1), kTol);
+    EXPECT_NEAR(g.lambda(topo.ccw_channel(i)), m * (2 * q - 1), kTol);
+    EXPECT_NEAR(g.lambda(topo.xl_channel(i)), m, kTol);
+    EXPECT_NEAR(g.lambda(topo.xr_channel(i)), m, kTol);
+    // Every broadcast stream loads its injection port once.
+    for (PortId p = 0; p < 4; ++p) {
+      EXPECT_NEAR(g.lambda(topo.injection_channel(i, p)), m, kTol);
+    }
+    // Each node absorbs every other node's broadcast exactly once.
+    double ej = 0.0;
+    ej += g.lambda(topo.ejection_channel(i, QuarcTopology::kFromCW));
+    ej += g.lambda(topo.ejection_channel(i, QuarcTopology::kFromCCW));
+    ej += g.lambda(topo.ejection_channel(i, QuarcTopology::kFromXL));
+    ej += g.lambda(topo.ejection_channel(i, QuarcTopology::kFromXR));
+    EXPECT_NEAR(ej, m * (n - 1), kTol);
+  }
+}
+
+TEST(ChannelGraph, EjectionFedBySingleLinkHasFullSelfShare) {
+  // The fromXL ejection channel is fed only by unicasts to the antipode,
+  // all arriving over the XL link: the transition rate into it equals its
+  // own lambda (so the Eq. 6 discount zeroes its waiting contribution).
+  const int n = 16;
+  QuarcTopology topo(n);
+  ChannelGraph g(topo, unicast_only(0.01));
+  for (NodeId d = 0; d < n; ++d) {
+    const NodeId s = static_cast<NodeId>((d + n / 2) % n);
+    const ChannelId ej = topo.ejection_channel(d, QuarcTopology::kFromXL);
+    EXPECT_NEAR(g.transition_rate(topo.xl_channel(s), ej), g.lambda(ej), kTol);
+  }
+}
+
+TEST(ChannelGraph, SoftwareMulticastExpandsToUnicasts) {
+  // On Spidergon (no hardware multicast) a broadcast loads the single
+  // injection channel with N-1 unicasts per multicast message.
+  const int n = 16;
+  SpidergonTopology topo(n);
+  Workload w = unicast_only(0.004, 16);
+  w.multicast_fraction = 0.5;
+  w.pattern = RingRelativePattern::broadcast(n);
+  ChannelGraph g(topo, w);
+  const double expected_inj = w.unicast_rate() + w.multicast_rate() * (n - 1);
+  for (NodeId i = 0; i < n; ++i) {
+    EXPECT_NEAR(g.lambda(topo.injection_channel(i)), expected_inj, kTol);
+  }
+}
+
+TEST(ChannelGraph, TotalInjectionRateAccounting) {
+  const int n = 16;
+  QuarcTopology topo(n);
+  // Pure unicast: every message crosses exactly one injection channel.
+  ChannelGraph g(topo, unicast_only(0.01));
+  EXPECT_NEAR(g.total_injection_rate(), 0.01 * n, 1e-12);
+
+  // Broadcast multicast: one stream per port -> four injection loads.
+  Workload w = unicast_only(0.01, 16);
+  w.multicast_fraction = 1.0;
+  w.pattern = RingRelativePattern::broadcast(n);
+  ChannelGraph g2(topo, w);
+  EXPECT_NEAR(g2.total_injection_rate(), 0.01 * n * 4, 1e-12);
+}
+
+TEST(ChannelGraph, ZeroRateGraphIsEmpty) {
+  QuarcTopology topo(16);
+  ChannelGraph g(topo, unicast_only(0.0));
+  for (const ChannelInfo& ch : topo.channels()) {
+    EXPECT_EQ(g.lambda(ch.id), 0.0);
+    EXPECT_TRUE(g.outgoing(ch.id).empty());
+  }
+}
+
+TEST(ChannelGraph, HypercubeLinksUniformlyLoaded) {
+  // e-cube on a d-cube: a fixed link (v, i) is crossed by pairs whose
+  // source matches v on bits >= i (2^i free low bits in s) and whose
+  // destination matches v on bits < i, flips bit i, and is free above
+  // (2^(d-1-i) choices): 2^(d-1) pairs for every link. Hence every link
+  // carries lambda_u * 2^(d-1) / (N-1).
+  const int dims = 4;
+  HypercubeTopology topo(dims);
+  const double u = 0.01;
+  ChannelGraph g(topo, unicast_only(u, 8));
+  const double expected = u * 8.0 / 15.0;  // 2^(d-1) = 8, N-1 = 15
+  for (NodeId v = 0; v < topo.num_nodes(); ++v) {
+    for (int i = 0; i < dims; ++i) {
+      EXPECT_NEAR(g.lambda(topo.link(v, i)), expected, kTol);
+    }
+  }
+}
+
+TEST(ChannelGraph, HypercubeInjectionLoadsHalveByPort) {
+  // Port i serves destinations with lowest differing bit i: 2^(d-1-i) of
+  // the N-1 destinations.
+  const int dims = 4;
+  HypercubeTopology topo(dims);
+  const double u = 0.01;
+  ChannelGraph g(topo, unicast_only(u, 8));
+  for (NodeId v = 0; v < topo.num_nodes(); ++v) {
+    for (int i = 0; i < dims; ++i) {
+      const double expected = u * static_cast<double>(1 << (dims - 1 - i)) / 15.0;
+      EXPECT_NEAR(g.lambda(topo.injection_channel(v, i)), expected, kTol);
+    }
+  }
+}
+
+TEST(ChannelGraph, TransitionProbabilitiesAlongRim) {
+  // From CW[c], continuing traffic goes to CW[c+1] and terminating traffic
+  // to the fromCW ejection at c+1; together they carry the whole lambda.
+  const int n = 16;
+  QuarcTopology topo(n);
+  ChannelGraph g(topo, unicast_only(0.01));
+  const ChannelId cw0 = topo.cw_channel(0);
+  const ChannelId cw1 = topo.cw_channel(1);
+  const ChannelId ej1 = topo.ejection_channel(1, QuarcTopology::kFromCW);
+  EXPECT_NEAR(g.transition_rate(cw0, cw1) + g.transition_rate(cw0, ej1), g.lambda(cw0), kTol);
+  EXPECT_GT(g.transition_rate(cw0, cw1), 0.0);
+  EXPECT_GT(g.transition_rate(cw0, ej1), 0.0);
+}
+
+}  // namespace
+}  // namespace quarc

@@ -1,0 +1,163 @@
+#include "quarc/cli/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "quarc/util/error.hpp"
+
+namespace quarc::cli {
+namespace {
+
+Options parse_list(std::initializer_list<const char*> list) {
+  std::vector<std::string> args;
+  for (const char* a : list) args.emplace_back(a);
+  return parse(args);
+}
+
+TEST(Cli, DefaultsAreSane) {
+  const Options o = parse_list({});
+  EXPECT_EQ(o.topology, "quarc");
+  EXPECT_EQ(o.nodes, 16);
+  EXPECT_FALSE(o.run_sim);
+  EXPECT_FALSE(o.help);
+}
+
+TEST(Cli, ParsesFullCommandLine) {
+  const Options o = parse_list({"--topology", "mesh-ham", "--width", "6", "--height", "5",
+                                "--rate", "0.002", "--alpha", "0.1", "--msg", "48", "--pattern",
+                                "random:5", "--seed", "9", "--sim", "--warmup", "100",
+                                "--measure", "2000", "--sweep", "7", "--fill", "0.5", "--csv"});
+  EXPECT_EQ(o.topology, "mesh-ham");
+  EXPECT_EQ(o.width, 6);
+  EXPECT_EQ(o.height, 5);
+  EXPECT_DOUBLE_EQ(o.rate, 0.002);
+  EXPECT_DOUBLE_EQ(o.alpha, 0.1);
+  EXPECT_EQ(o.msg, 48);
+  EXPECT_EQ(o.pattern, "random:5");
+  EXPECT_EQ(o.seed, 9u);
+  EXPECT_TRUE(o.run_sim);
+  EXPECT_EQ(o.warmup, 100);
+  EXPECT_EQ(o.measure, 2000);
+  EXPECT_EQ(o.sweep_points, 7);
+  EXPECT_DOUBLE_EQ(o.fill, 0.5);
+  EXPECT_TRUE(o.csv);
+}
+
+TEST(Cli, RejectsUnknownOption) { EXPECT_THROW(parse_list({"--bogus"}), InvalidArgument); }
+
+TEST(Cli, RejectsMissingValue) { EXPECT_THROW(parse_list({"--nodes"}), InvalidArgument); }
+
+TEST(Cli, RejectsMalformedNumbers) {
+  EXPECT_THROW(parse_list({"--nodes", "abc"}), InvalidArgument);
+  EXPECT_THROW(parse_list({"--rate", "0.x"}), InvalidArgument);
+}
+
+TEST(Cli, MakeTopologyCoversEveryName) {
+  for (const char* name : {"quarc", "quarc1p", "spidergon", "hypercube"}) {
+    Options o;
+    o.topology = name;
+    EXPECT_NE(make_topology(o), nullptr) << name;
+  }
+  for (const char* name : {"mesh", "mesh-ham", "torus"}) {
+    Options o;
+    o.topology = name;
+    o.width = 4;
+    o.height = 4;
+    EXPECT_NE(make_topology(o), nullptr) << name;
+  }
+  Options bad;
+  bad.topology = "moebius";
+  EXPECT_THROW(make_topology(bad), InvalidArgument);
+}
+
+TEST(Cli, MakeWorkloadBuildsPatterns) {
+  Options o;
+  o.alpha = 0.1;
+  for (const char* pattern : {"broadcast", "random:4", "localized:1:4:3"}) {
+    o.pattern = pattern;
+    const auto topo = make_topology(o);
+    const Workload w = make_workload(o, *topo);
+    EXPECT_NE(w.pattern, nullptr) << pattern;
+    EXPECT_EQ(w.multicast_fraction, 0.1);
+  }
+  o.pattern = "random";  // missing :K
+  const auto topo = make_topology(o);
+  EXPECT_THROW(make_workload(o, *topo), InvalidArgument);
+  o.pattern = "weird:1";
+  EXPECT_THROW(make_workload(o, *topo), InvalidArgument);
+}
+
+TEST(Cli, PatternSeedIsDeterministic) {
+  Options o;
+  o.alpha = 0.1;
+  o.pattern = "random:4";
+  o.seed = 42;
+  const auto topo = make_topology(o);
+  const Workload a = make_workload(o, *topo);
+  const Workload b = make_workload(o, *topo);
+  EXPECT_EQ(a.pattern->destinations(3), b.pattern->destinations(3));
+}
+
+TEST(Cli, HelpPrintsUsage) {
+  Options o;
+  o.help = true;
+  std::ostringstream out;
+  EXPECT_EQ(run(o, out), 0);
+  EXPECT_NE(out.str().find("--topology"), std::string::npos);
+}
+
+TEST(Cli, ModelOnlyRunProducesTable) {
+  Options o;
+  o.rate = 0.002;
+  std::ostringstream out;
+  EXPECT_EQ(run(o, out), 0);
+  EXPECT_NE(out.str().find("model unicast"), std::string::npos);
+  EXPECT_NE(out.str().find("quarc-16"), std::string::npos);
+}
+
+TEST(Cli, SimRunIncludesSimColumns) {
+  Options o;
+  o.rate = 0.002;
+  o.alpha = 0.05;
+  o.run_sim = true;
+  o.warmup = 500;
+  o.measure = 5000;
+  std::ostringstream out;
+  EXPECT_EQ(run(o, out), 0);
+  EXPECT_NE(out.str().find("sim unicast"), std::string::npos);
+  EXPECT_NE(out.str().find("sim multicast"), std::string::npos);
+}
+
+TEST(Cli, CsvModeEmitsCommaSeparated) {
+  Options o;
+  o.rate = 0.002;
+  o.csv = true;
+  std::ostringstream out;
+  EXPECT_EQ(run(o, out), 0);
+  EXPECT_NE(out.str().find("rate,model unicast"), std::string::npos);
+}
+
+TEST(Cli, SweepProducesRequestedPointCount) {
+  Options o;
+  o.sweep_points = 5;
+  o.csv = true;
+  std::ostringstream out;
+  EXPECT_EQ(run(o, out), 0);
+  // Header + 5 data lines (plus leading metadata lines before the table).
+  int data_lines = 0;
+  std::istringstream is(out.str());
+  std::string line;
+  bool in_table = false;
+  while (std::getline(is, line)) {
+    if (line.rfind("rate,", 0) == 0) {
+      in_table = true;
+      continue;
+    }
+    if (in_table && !line.empty()) ++data_lines;
+  }
+  EXPECT_EQ(data_lines, 5);
+}
+
+}  // namespace
+}  // namespace quarc::cli

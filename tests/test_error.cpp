@@ -1,0 +1,37 @@
+#include "quarc/util/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace quarc {
+namespace {
+
+TEST(Error, RequireThrowsWithLocationAndMessage) {
+  try {
+    QUARC_REQUIRE(false, "descriptive message");
+    FAIL() << "must throw";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("descriptive message"), std::string::npos);
+    EXPECT_NE(what.find("test_error.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, RequirePassesSilently) { QUARC_REQUIRE(1 + 1 == 2, "never shown"); }
+
+TEST(Error, InvalidArgumentIsAnInvalidArgument) {
+  // Callers may catch by the standard base class.
+  EXPECT_THROW(throw InvalidArgument("x"), std::invalid_argument);
+}
+
+TEST(Error, ComputationErrorIsARuntimeError) {
+  EXPECT_THROW(throw ComputationError("x"), std::runtime_error);
+}
+
+TEST(Error, AssertAbortsTheProcess) {
+  EXPECT_DEATH({ QUARC_ASSERT(false, "invariant broken"); }, "invariant broken");
+}
+
+TEST(Error, AssertPassesSilently) { QUARC_ASSERT(true, "never shown"); }
+
+}  // namespace
+}  // namespace quarc

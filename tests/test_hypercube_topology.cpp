@@ -1,0 +1,98 @@
+#include "quarc/topo/hypercube.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "quarc/util/error.hpp"
+
+namespace quarc {
+namespace {
+
+TEST(HypercubeTopology, RejectsBadDimensions) {
+  EXPECT_THROW(HypercubeTopology(1), InvalidArgument);
+  EXPECT_THROW(HypercubeTopology(11), InvalidArgument);
+  EXPECT_NO_THROW(HypercubeTopology(2));
+}
+
+TEST(HypercubeTopology, ChannelInventory) {
+  HypercubeTopology t(4);
+  EXPECT_EQ(t.num_nodes(), 16);
+  EXPECT_EQ(t.num_ports(), 4);
+  // Per node: d injection + d external + d ejection.
+  EXPECT_EQ(t.num_channels(), 16 * 12);
+  EXPECT_EQ(t.diameter(), 4);
+}
+
+TEST(HypercubeTopology, HopsArePopcount) {
+  HypercubeTopology t(5);
+  for (NodeId s = 0; s < t.num_nodes(); s += 3) {
+    for (NodeId d = 0; d < t.num_nodes(); ++d) {
+      if (s == d) continue;
+      const int expected = std::popcount(static_cast<unsigned>(s) ^ static_cast<unsigned>(d));
+      EXPECT_EQ(t.unicast_route(s, d).hops(), expected);
+    }
+  }
+}
+
+TEST(HypercubeTopology, EcubeFlipsDimensionsAscending) {
+  HypercubeTopology t(4);
+  const auto r = t.unicast_route(0b0000, 0b1011);
+  ASSERT_EQ(r.links.size(), 3u);
+  // Dimensions 0, 1, 3 in ascending order: 0000 -> 0001 -> 0011 -> 1011.
+  EXPECT_EQ(t.channel(r.links[0]).dst, 0b0001);
+  EXPECT_EQ(t.channel(r.links[1]).dst, 0b0011);
+  EXPECT_EQ(t.channel(r.links[2]).dst, 0b1011);
+  EXPECT_EQ(r.port, 0);  // first flipped dimension
+  EXPECT_EQ(r.ejection, t.ejection_channel(0b1011, 3));  // last flipped dimension
+}
+
+TEST(HypercubeTopology, StructuralValidation) {
+  EXPECT_NO_THROW(validate_topology(HypercubeTopology(2)));
+  EXPECT_NO_THROW(validate_topology(HypercubeTopology(3)));
+  EXPECT_NO_THROW(validate_topology(HypercubeTopology(4)));
+}
+
+TEST(HypercubeTopology, NoHardwareMulticast) {
+  HypercubeTopology t(3);
+  EXPECT_FALSE(t.supports_multicast());
+  EXPECT_THROW(t.multicast_streams(0, {1}), InvalidArgument);
+}
+
+TEST(HypercubeTopology, NeighborIsInvolution) {
+  HypercubeTopology t(4);
+  for (NodeId v = 0; v < t.num_nodes(); ++v) {
+    for (int i = 0; i < t.dimensions(); ++i) {
+      EXPECT_EQ(t.neighbor(t.neighbor(v, i), i), v);
+    }
+  }
+}
+
+TEST(HypercubeTopology, EjectionsAreDedicated) {
+  HypercubeTopology t(3);
+  for (const ChannelInfo& ch : t.channels()) {
+    if (ch.kind == ChannelKind::Ejection) {
+      EXPECT_TRUE(ch.dedicated);
+    }
+  }
+}
+
+TEST(HypercubeTopology, PortPartitionsDestinations) {
+  // Port i serves exactly the destinations whose lowest differing bit is i:
+  // 2^(d-i-1) of them from any source.
+  HypercubeTopology t(4);
+  for (NodeId s : {NodeId{0}, NodeId{9}}) {
+    std::vector<int> count(4, 0);
+    for (NodeId d = 0; d < t.num_nodes(); ++d) {
+      if (d == s) continue;
+      ++count[static_cast<std::size_t>(t.unicast_route(s, d).port)];
+    }
+    EXPECT_EQ(count[0], 8);
+    EXPECT_EQ(count[1], 4);
+    EXPECT_EQ(count[2], 2);
+    EXPECT_EQ(count[3], 1);
+  }
+}
+
+}  // namespace
+}  // namespace quarc

@@ -1,0 +1,123 @@
+// Tests of the Eq. 10-13 order-statistics kernel, including the
+// equivalence of the paper's recursion and the inclusion-exclusion closed
+// form, and classical identities (harmonic sums for iid rates).
+#include "quarc/model/maxexp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "quarc/util/error.hpp"
+#include "quarc/util/rng.hpp"
+
+namespace quarc {
+namespace {
+
+TEST(MaxExp, EmptyIsZero) {
+  EXPECT_EQ(expected_max_exponential({}), 0.0);
+  EXPECT_EQ(expected_max_exponential_recursive({}), 0.0);
+}
+
+TEST(MaxExp, SingleVariableIsMean) {
+  const std::array<double, 1> mu = {4.0};
+  EXPECT_DOUBLE_EQ(expected_max_exponential(mu), 0.25);
+  EXPECT_DOUBLE_EQ(expected_max_exponential_recursive(mu), 0.25);
+}
+
+TEST(MaxExp, TwoVariablesMatchesEq11) {
+  // Eq. 11: E[max] = 1/(mu1+mu2) + mu1/(mu1+mu2)*1/mu2 + mu2/(mu1+mu2)*1/mu1.
+  const double mu1 = 0.7, mu2 = 2.3;
+  const double expected =
+      1.0 / (mu1 + mu2) + (mu1 / (mu1 + mu2)) / mu2 + (mu2 / (mu1 + mu2)) / mu1;
+  const std::array<double, 2> mu = {mu1, mu2};
+  EXPECT_NEAR(expected_max_exponential(mu), expected, 1e-12);
+  EXPECT_NEAR(expected_max_exponential_recursive(mu), expected, 1e-12);
+}
+
+TEST(MaxExp, IidHarmonicIdentity) {
+  // E[max of m iid Exp(mu)] = H_m / mu.
+  for (int m = 1; m <= 8; ++m) {
+    std::vector<double> mu(static_cast<std::size_t>(m), 3.0);
+    double harmonic = 0.0;
+    for (int k = 1; k <= m; ++k) harmonic += 1.0 / k;
+    EXPECT_NEAR(expected_max_exponential(mu), harmonic / 3.0, 1e-12) << "m=" << m;
+  }
+}
+
+TEST(MaxExp, RecursionEqualsInclusionExclusionRandomized) {
+  Rng rng(123);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int m = 1 + static_cast<int>(rng.uniform_below(6));
+    std::vector<double> mu;
+    for (int i = 0; i < m; ++i) mu.push_back(0.01 + 10.0 * rng.uniform());
+    const double a = expected_max_exponential(mu);
+    const double b = expected_max_exponential_recursive(mu);
+    EXPECT_NEAR(a, b, 1e-9 * std::max(1.0, a));
+  }
+}
+
+TEST(MaxExp, MaxAtLeastEachMeanAndAtMostSum) {
+  Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<double> mu;
+    const int m = 2 + static_cast<int>(rng.uniform_below(3));
+    double sum_means = 0.0, max_mean = 0.0;
+    for (int i = 0; i < m; ++i) {
+      mu.push_back(0.1 + rng.uniform());
+      sum_means += 1.0 / mu.back();
+      max_mean = std::max(max_mean, 1.0 / mu.back());
+    }
+    const double v = expected_max_exponential(mu);
+    EXPECT_GE(v, max_mean - 1e-12);
+    EXPECT_LE(v, sum_means + 1e-12);
+  }
+}
+
+TEST(MaxExp, MonotoneInEachRate) {
+  // Increasing any rate (making that stream faster) cannot increase E[max].
+  const std::array<double, 3> base = {1.0, 2.0, 3.0};
+  const double v0 = expected_max_exponential(base);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    auto faster = base;
+    faster[i] *= 1.5;
+    EXPECT_LT(expected_max_exponential(faster), v0 + 1e-12);
+  }
+}
+
+TEST(MaxExp, AgreesWithMonteCarlo) {
+  const std::array<double, 4> mu = {0.5, 1.0, 2.0, 4.0};
+  Rng rng(99);
+  double sum = 0.0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) {
+    double worst = 0.0;
+    for (double m : mu) worst = std::max(worst, rng.exponential(m));
+    sum += worst;
+  }
+  EXPECT_NEAR(sum / n, expected_max_exponential(mu), 0.01);
+}
+
+TEST(MaxExp, FromMeansDropsDegenerateStreams) {
+  // A stream with zero waiting fires instantly and cannot be the maximum.
+  const std::array<double, 3> means = {0.0, 2.0, 0.0};
+  EXPECT_DOUBLE_EQ(expected_max_from_means(means), 2.0);
+  const std::array<double, 2> all_zero = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(expected_max_from_means(all_zero), 0.0);
+}
+
+TEST(MaxExp, FromMeansMatchesDirect) {
+  const std::array<double, 3> means = {1.0, 2.0, 4.0};
+  const std::array<double, 3> mu = {1.0, 0.5, 0.25};
+  EXPECT_NEAR(expected_max_from_means(means), expected_max_exponential(mu), 1e-12);
+}
+
+TEST(MaxExp, RejectsNonPositiveRates) {
+  const std::array<double, 2> bad = {1.0, 0.0};
+  EXPECT_THROW(expected_max_exponential(bad), InvalidArgument);
+  const std::array<double, 2> neg = {1.0, -2.0};
+  EXPECT_THROW(expected_max_exponential_recursive(neg), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace quarc

@@ -1,0 +1,140 @@
+#include "quarc/topo/mesh.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "quarc/topo/hamiltonian.hpp"
+#include "quarc/util/error.hpp"
+
+namespace quarc {
+namespace {
+
+TEST(Hamiltonian, SnakeOrderIsGridAdjacent) {
+  for (auto [w, h] : {std::pair{4, 4}, std::pair{5, 3}, std::pair{2, 6}}) {
+    HamiltonianLabeling lab(w, h);
+    for (int l = 0; l + 1 < lab.size(); ++l) {
+      const NodeId a = lab.node_at(l);
+      const NodeId b = lab.node_at(l + 1);
+      const int ax = a % w, ay = a / w, bx = b % w, by = b / w;
+      EXPECT_EQ(std::abs(ax - bx) + std::abs(ay - by), 1)
+          << "labels " << l << "," << l + 1 << " in " << w << "x" << h;
+    }
+  }
+}
+
+TEST(Hamiltonian, LabelBijection) {
+  HamiltonianLabeling lab(4, 3);
+  std::set<int> labels;
+  for (NodeId n = 0; n < lab.size(); ++n) {
+    labels.insert(lab.label_of(n));
+    EXPECT_EQ(lab.node_at(lab.label_of(n)), n);
+  }
+  EXPECT_EQ(static_cast<int>(labels.size()), lab.size());
+}
+
+TEST(MeshTopology, RejectsTinyGrids) {
+  EXPECT_THROW(MeshTopology(1, 4), InvalidArgument);
+  EXPECT_THROW(MeshTopology(4, 1), InvalidArgument);
+  EXPECT_NO_THROW(MeshTopology(2, 2));
+}
+
+TEST(MeshTopology, EdgeNodesLackOutwardLinks) {
+  MeshTopology t(3, 3);
+  EXPECT_EQ(t.link(t.node_id(0, 0), MeshTopology::kWest), kInvalidChannel);
+  EXPECT_EQ(t.link(t.node_id(0, 0), MeshTopology::kSouth), kInvalidChannel);
+  EXPECT_NE(t.link(t.node_id(0, 0), MeshTopology::kEast), kInvalidChannel);
+  EXPECT_NE(t.link(t.node_id(1, 1), MeshTopology::kWest), kInvalidChannel);
+}
+
+TEST(MeshTopology, XyRouteShapeAndHops) {
+  MeshTopology t(4, 4, MeshRouting::XY);
+  const auto r = t.unicast_route(t.node_id(0, 0), t.node_id(3, 2));
+  EXPECT_EQ(r.hops(), 5);  // 3 east + 2 north
+  EXPECT_EQ(r.port, MeshTopology::kEast);
+  // X resolved before Y: first three links are all east links.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(t.channel(r.links[static_cast<std::size_t>(i)]).dst -
+                  t.channel(r.links[static_cast<std::size_t>(i)]).src,
+              1);
+  }
+}
+
+TEST(MeshTopology, XyHopsAreManhattanDistance) {
+  MeshTopology t(5, 4, MeshRouting::XY);
+  for (NodeId s = 0; s < t.num_nodes(); ++s) {
+    for (NodeId d = 0; d < t.num_nodes(); ++d) {
+      if (s == d) continue;
+      const int manhattan = std::abs(t.x_of(s) - t.x_of(d)) + std::abs(t.y_of(s) - t.y_of(d));
+      EXPECT_EQ(t.unicast_route(s, d).hops(), manhattan);
+    }
+  }
+}
+
+TEST(MeshTopology, XyStructuralValidation) {
+  EXPECT_NO_THROW(validate_topology(MeshTopology(4, 4, MeshRouting::XY)));
+  EXPECT_NO_THROW(validate_topology(MeshTopology(3, 5, MeshRouting::XY)));
+  EXPECT_FALSE(MeshTopology(4, 4, MeshRouting::XY).supports_multicast());
+}
+
+TEST(MeshTopology, HamiltonianStructuralValidation) {
+  EXPECT_NO_THROW(validate_topology(MeshTopology(4, 4, MeshRouting::Hamiltonian)));
+  EXPECT_NO_THROW(validate_topology(MeshTopology(3, 3, MeshRouting::Hamiltonian)));
+  EXPECT_TRUE(MeshTopology(4, 4, MeshRouting::Hamiltonian).supports_multicast());
+}
+
+TEST(MeshTopology, HamiltonianRoutesFollowLabels) {
+  MeshTopology t(4, 4, MeshRouting::Hamiltonian);
+  const auto& lab = t.labeling();
+  for (NodeId s = 0; s < t.num_nodes(); ++s) {
+    for (NodeId d = 0; d < t.num_nodes(); ++d) {
+      if (s == d) continue;
+      const auto r = t.unicast_route(s, d);
+      EXPECT_EQ(r.hops(), std::abs(lab.label_of(d) - lab.label_of(s)));
+      EXPECT_EQ(r.port, lab.label_of(d) > lab.label_of(s) ? MeshTopology::kHigh
+                                                          : MeshTopology::kLow);
+    }
+  }
+}
+
+TEST(MeshTopology, DualPathMulticastSplitsByLabel) {
+  MeshTopology t(4, 4, MeshRouting::Hamiltonian);
+  const auto& lab = t.labeling();
+  const NodeId s = lab.node_at(7);
+  const std::vector<NodeId> dests = {lab.node_at(2), lab.node_at(9), lab.node_at(12),
+                                     lab.node_at(5)};
+  const auto streams = t.multicast_streams(s, dests);
+  ASSERT_EQ(streams.size(), 2u);
+  // High stream visits labels 9 then 12; low stream visits 5 then 2.
+  const auto& high = streams[0].port == MeshTopology::kHigh ? streams[0] : streams[1];
+  const auto& low = streams[0].port == MeshTopology::kHigh ? streams[1] : streams[0];
+  ASSERT_EQ(high.stops.size(), 2u);
+  EXPECT_EQ(high.stops[0].node, lab.node_at(9));
+  EXPECT_EQ(high.stops[1].node, lab.node_at(12));
+  EXPECT_EQ(high.hops(), 5);
+  ASSERT_EQ(low.stops.size(), 2u);
+  EXPECT_EQ(low.stops[0].node, lab.node_at(5));
+  EXPECT_EQ(low.stops[1].node, lab.node_at(2));
+  EXPECT_EQ(low.hops(), 5);
+}
+
+TEST(MeshTopology, MulticastOneSidedUsesOneStream) {
+  MeshTopology t(4, 4, MeshRouting::Hamiltonian);
+  const auto& lab = t.labeling();
+  const auto streams = t.multicast_streams(lab.node_at(0), {lab.node_at(3), lab.node_at(6)});
+  ASSERT_EQ(streams.size(), 1u);
+  EXPECT_EQ(streams[0].port, MeshTopology::kHigh);
+}
+
+TEST(MeshTopology, MulticastRejectedInXyMode) {
+  MeshTopology t(4, 4, MeshRouting::XY);
+  EXPECT_THROW(t.multicast_streams(0, {1}), InvalidArgument);
+}
+
+TEST(MeshTopology, PortCountsByMode) {
+  EXPECT_EQ(MeshTopology(4, 4, MeshRouting::XY).num_ports(), 4);
+  EXPECT_EQ(MeshTopology(4, 4, MeshRouting::Hamiltonian).num_ports(), 2);
+}
+
+}  // namespace
+}  // namespace quarc

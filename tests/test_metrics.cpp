@@ -1,0 +1,84 @@
+#include "quarc/sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace quarc::sim {
+namespace {
+
+TEST(Metrics, CountsOnlyMeasuredMessages) {
+  Metrics m(4, 2);
+  m.on_created(false, true);
+  m.on_created(false, false);
+  m.on_created(true, true);
+  EXPECT_EQ(m.measured_created(), 2);
+  EXPECT_EQ(m.total_created(), 3);
+  EXPECT_FALSE(m.all_measured_done());
+  m.on_unicast_done(10, true);
+  EXPECT_FALSE(m.all_measured_done());
+  m.on_multicast_done(20, true);
+  EXPECT_TRUE(m.all_measured_done());
+}
+
+TEST(Metrics, UnmeasuredCompletionsIgnored) {
+  Metrics m(4, 2);
+  m.on_unicast_done(10, false);
+  m.on_multicast_done(20, false);
+  EXPECT_EQ(m.unicast_summary().count, 0);
+  EXPECT_EQ(m.multicast_summary().count, 0);
+  EXPECT_TRUE(m.all_measured_done());
+}
+
+TEST(Metrics, SummariesReflectSamples) {
+  Metrics m(4, 2);
+  for (Cycle latency : {10, 20, 30}) {
+    m.on_created(false, true);
+    m.on_unicast_done(latency, true);
+  }
+  const auto s = m.unicast_summary();
+  EXPECT_EQ(s.count, 3);
+  EXPECT_DOUBLE_EQ(s.mean, 20.0);
+  EXPECT_EQ(s.min, 10.0);
+  EXPECT_EQ(s.max, 30.0);
+}
+
+TEST(Metrics, StreamWaitsClampedAndPerPort) {
+  Metrics m(4, 3);
+  m.on_stream_done(0, 5.0, true);
+  m.on_stream_done(0, -0.7, true);  // round-robin jitter clamps to zero
+  m.on_stream_done(2, 1.0, true);
+  m.on_stream_done(1, 9.0, false);  // unmeasured
+  const auto waits = m.stream_wait_by_port();
+  ASSERT_EQ(waits.size(), 3u);
+  EXPECT_EQ(waits[0].count, 2);
+  EXPECT_DOUBLE_EQ(waits[0].mean, 2.5);
+  EXPECT_EQ(waits[1].count, 0);
+  EXPECT_EQ(waits[2].count, 1);
+}
+
+TEST(Metrics, GroupWaitSummary) {
+  Metrics m(4, 2);
+  m.on_group_wait(4.0, true);
+  m.on_group_wait(6.0, true);
+  const auto s = m.group_wait_summary();
+  EXPECT_EQ(s.count, 2);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_TRUE(std::isfinite(s.ci95));
+}
+
+TEST(Metrics, BatchCiNarrowsWithSamples) {
+  Metrics small(8, 1), large(8, 1);
+  for (int i = 0; i < 64; ++i) {
+    small.on_created(false, true);
+    small.on_unicast_done(10 + (i % 5), true);
+  }
+  for (int i = 0; i < 4096; ++i) {
+    large.on_created(false, true);
+    large.on_unicast_done(10 + (i % 5), true);
+  }
+  EXPECT_GT(small.unicast_summary().ci95, large.unicast_summary().ci95);
+}
+
+}  // namespace
+}  // namespace quarc::sim

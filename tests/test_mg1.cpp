@@ -1,0 +1,72 @@
+// Tests of the Pollaczek-Khinchine kernel (paper Eq. 3-5, with the
+// dimensional typo corrected; see mg1.hpp).
+#include "quarc/model/mg1.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace quarc {
+namespace {
+
+TEST(Mg1, IdleChannelHasNoWait) {
+  EXPECT_EQ(mg1_waiting_time(0.0, 10.0, 0.0), 0.0);
+  EXPECT_EQ(mg1_waiting_time(-1.0, 10.0, 0.0), 0.0);
+}
+
+TEST(Mg1, MatchesMD1ForDeterministicService) {
+  // sigma = 0 reduces P-K to the M/D/1 wait: rho*x / (2(1-rho)).
+  const double lambda = 0.02, x = 10.0;
+  const double rho = lambda * x;
+  EXPECT_NEAR(mg1_waiting_time(lambda, x, 0.0), rho * x / (2.0 * (1.0 - rho)), 1e-12);
+}
+
+TEST(Mg1, MatchesMM1ForExponentialService) {
+  // sigma = x gives the M/M/1 wait rho*x/(1-rho).
+  const double lambda = 0.03, x = 8.0;
+  const double rho = lambda * x;
+  EXPECT_NEAR(mg1_waiting_time(lambda, x, x), rho * x / (1.0 - rho), 1e-12);
+}
+
+TEST(Mg1, SaturationYieldsInfinity) {
+  EXPECT_TRUE(std::isinf(mg1_waiting_time(0.1, 10.0, 0.0)));
+  EXPECT_TRUE(std::isinf(mg1_waiting_time(0.2, 10.0, 0.0)));
+}
+
+TEST(Mg1, WaitGrowsWithLoad) {
+  double prev = 0.0;
+  for (double lambda : {0.01, 0.02, 0.04, 0.08}) {
+    const double w = mg1_waiting_time(lambda, 10.0, 3.0);
+    EXPECT_GT(w, prev);
+    prev = w;
+  }
+}
+
+TEST(Mg1, WaitGrowsWithVariance) {
+  const double low = mg1_waiting_time(0.05, 10.0, 0.0);
+  const double high = mg1_waiting_time(0.05, 10.0, 5.0);
+  EXPECT_GT(high, low);
+}
+
+TEST(Mg1, UtilizationIsLambdaTimesService) {
+  EXPECT_DOUBLE_EQ(mg1_utilization(0.02, 25.0), 0.5);
+  EXPECT_DOUBLE_EQ(mg1_utilization(0.0, 25.0), 0.0);
+}
+
+TEST(Mg1, SigmaApproximationFloorsAtZero) {
+  // Eq. 5: sigma = x - msg, but service can never be faster than the drain.
+  EXPECT_DOUBLE_EQ(service_sigma(48.0, 32), 16.0);
+  EXPECT_DOUBLE_EQ(service_sigma(32.0, 32), 0.0);
+  EXPECT_DOUBLE_EQ(service_sigma(31.0, 32), 0.0);
+}
+
+TEST(Mg1, DimensionalSanity) {
+  // Doubling both the time unit (x, sigma) and halving lambda must scale W
+  // by the time unit: W(lambda/2, 2x, 2sigma) = 2 W(lambda, x, sigma).
+  const double w1 = mg1_waiting_time(0.02, 10.0, 4.0);
+  const double w2 = mg1_waiting_time(0.01, 20.0, 8.0);
+  EXPECT_NEAR(w2, 2.0 * w1, 1e-12);
+}
+
+}  // namespace
+}  // namespace quarc

@@ -1,0 +1,129 @@
+// Integration: the analytical model against the flit-level simulator —
+// the paper's own validation methodology (Section 4) as executable tests.
+// At low-to-moderate load the model must track the simulator within tight
+// relative bounds for both unicast and multicast latency.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quarc/model/performance_model.hpp"
+#include "quarc/sim/simulator.hpp"
+#include "quarc/topo/quarc.hpp"
+#include "quarc/traffic/pattern.hpp"
+
+namespace quarc {
+namespace {
+
+struct Comparison {
+  double model_unicast = 0.0;
+  double sim_unicast = 0.0;
+  double model_multicast = 0.0;
+  double sim_multicast = 0.0;
+};
+
+Comparison compare(const Topology& topo, double rate, double alpha, int msg,
+                   std::shared_ptr<const MulticastPattern> pattern, Cycle measure = 60000) {
+  Workload w;
+  w.message_rate = rate;
+  w.multicast_fraction = alpha;
+  w.message_length = msg;
+  w.pattern = std::move(pattern);
+
+  const auto model = PerformanceModel(topo, w).evaluate();
+  EXPECT_EQ(model.status, SolveStatus::Converged);
+
+  sim::SimConfig c;
+  c.workload = w;
+  c.warmup_cycles = 4000;
+  c.measure_cycles = measure;
+  c.seed = 17;
+  const auto sim = sim::Simulator(topo, c).run();
+  EXPECT_TRUE(sim.completed);
+
+  Comparison out;
+  out.model_unicast = model.avg_unicast_latency;
+  out.sim_unicast = sim.unicast_latency.mean;
+  out.model_multicast = model.avg_multicast_latency;
+  out.sim_multicast = sim.multicast_latency.mean;
+  return out;
+}
+
+double rel(double a, double b) { return std::abs(a - b) / b; }
+
+TEST(ModelVsSim, UnicastLowLoad) {
+  QuarcTopology topo(16);
+  const auto c = compare(topo, 0.002, 0.0, 16, nullptr);
+  EXPECT_LT(rel(c.model_unicast, c.sim_unicast), 0.05)
+      << "model " << c.model_unicast << " sim " << c.sim_unicast;
+}
+
+TEST(ModelVsSim, UnicastModerateLoad) {
+  QuarcTopology topo(16);
+  const auto c = compare(topo, 0.008, 0.0, 16, nullptr);
+  EXPECT_LT(rel(c.model_unicast, c.sim_unicast), 0.10)
+      << "model " << c.model_unicast << " sim " << c.sim_unicast;
+}
+
+TEST(ModelVsSim, MulticastRandomDestinationsLowLoad) {
+  QuarcTopology topo(16);
+  Rng rng(23);
+  auto pattern = RingRelativePattern::random(16, 5, rng);
+  const auto c = compare(topo, 0.003, 0.05, 16, pattern);
+  EXPECT_LT(rel(c.model_multicast, c.sim_multicast), 0.08)
+      << "model " << c.model_multicast << " sim " << c.sim_multicast;
+  EXPECT_LT(rel(c.model_unicast, c.sim_unicast), 0.08);
+}
+
+TEST(ModelVsSim, MulticastLocalizedDestinations) {
+  QuarcTopology topo(16);
+  Rng rng(29);
+  auto pattern = RingRelativePattern::localized(16, 1, 4, 3, rng);
+  const auto c = compare(topo, 0.004, 0.05, 16, pattern);
+  EXPECT_LT(rel(c.model_multicast, c.sim_multicast), 0.08)
+      << "model " << c.model_multicast << " sim " << c.sim_multicast;
+}
+
+TEST(ModelVsSim, BroadcastHeavyAlpha) {
+  QuarcTopology topo(16);
+  const auto c = compare(topo, 0.002, 0.10, 16, RingRelativePattern::broadcast(16));
+  EXPECT_LT(rel(c.model_multicast, c.sim_multicast), 0.10)
+      << "model " << c.model_multicast << " sim " << c.sim_multicast;
+}
+
+TEST(ModelVsSim, LargerNetwork) {
+  QuarcTopology topo(32);
+  Rng rng(31);
+  auto pattern = RingRelativePattern::random(32, 6, rng);
+  const auto c = compare(topo, 0.002, 0.05, 32, pattern, 40000);
+  EXPECT_LT(rel(c.model_multicast, c.sim_multicast), 0.10)
+      << "model " << c.model_multicast << " sim " << c.sim_multicast;
+  EXPECT_LT(rel(c.model_unicast, c.sim_unicast), 0.10);
+}
+
+TEST(ModelVsSim, LongMessages) {
+  // Long messages amplify the virtual-channel multiplexing the model
+  // ignores (see DESIGN.md), so the bound is looser here.
+  QuarcTopology topo(16);
+  Rng rng(37);
+  auto pattern = RingRelativePattern::random(16, 4, rng);
+  const auto c = compare(topo, 0.001, 0.05, 64, pattern);
+  EXPECT_LT(rel(c.model_multicast, c.sim_multicast), 0.15)
+      << "model " << c.model_multicast << " sim " << c.sim_multicast;
+}
+
+TEST(ModelVsSim, ModelTracksSimAcrossRates) {
+  // The curves must move together: correlation of model and sim latency
+  // over an increasing rate grid, plus pointwise error bounds.
+  QuarcTopology topo(16);
+  auto pattern = RingRelativePattern::broadcast(16);
+  double prev_sim = 0.0;
+  for (double rate : {0.001, 0.003, 0.005}) {
+    const auto c = compare(topo, rate, 0.05, 16, pattern);
+    EXPECT_GT(c.sim_multicast, prev_sim);  // sim latency rises with rate
+    EXPECT_LT(rel(c.model_multicast, c.sim_multicast), 0.12) << "rate " << rate;
+    prev_sim = c.sim_multicast;
+  }
+}
+
+}  // namespace
+}  // namespace quarc

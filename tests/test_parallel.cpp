@@ -1,0 +1,50 @@
+#include "quarc/util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace quarc {
+namespace {
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  const std::size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, ZeroIterationsIsNoop) {
+  parallel_for(0, [](std::size_t) { FAIL() << "body must not run"; });
+}
+
+TEST(ParallelFor, SerialFallbackMatchesParallel) {
+  const std::size_t n = 1000;
+  std::vector<double> serial(n), parallel(n);
+  auto body = [](std::size_t i) { return static_cast<double>(i) * 1.5; };
+  parallel_for(n, [&](std::size_t i) { serial[i] = body(i); }, 1);
+  parallel_for(n, [&](std::size_t i) { parallel[i] = body(i); }, 8);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelFor, PropagatesException) {
+  EXPECT_THROW(
+      parallel_for(100, [](std::size_t i) {
+        if (i == 37) throw std::runtime_error("boom");
+      }, 4),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, MoreThreadsThanWork) {
+  std::atomic<int> total{0};
+  parallel_for(3, [&](std::size_t) { total.fetch_add(1); }, 64);
+  EXPECT_EQ(total.load(), 3);
+}
+
+TEST(ParallelFor, DefaultThreadCountPositive) { EXPECT_GE(default_thread_count(), 1); }
+
+}  // namespace
+}  // namespace quarc

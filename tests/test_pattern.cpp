@@ -1,0 +1,141 @@
+#include "quarc/traffic/pattern.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "quarc/topo/quarc.hpp"
+#include "quarc/traffic/workload.hpp"
+#include "quarc/util/error.hpp"
+
+namespace quarc {
+namespace {
+
+TEST(RingRelativePattern, OffsetsApplyModuloN) {
+  RingRelativePattern p(16, {1, 8, 15});
+  EXPECT_EQ(p.destinations(0), (std::vector<NodeId>{1, 8, 15}));
+  EXPECT_EQ(p.destinations(10), (std::vector<NodeId>{11, 2, 9}));
+  EXPECT_EQ(p.fanout(3), 3u);
+}
+
+TEST(RingRelativePattern, RejectsBadOffsets) {
+  EXPECT_THROW(RingRelativePattern(16, {0}), InvalidArgument);
+  EXPECT_THROW(RingRelativePattern(16, {16}), InvalidArgument);
+  EXPECT_THROW(RingRelativePattern(16, {3, 3}), InvalidArgument);
+  EXPECT_THROW(RingRelativePattern(16, {}), InvalidArgument);
+}
+
+TEST(RingRelativePattern, BroadcastCoversAllOthers) {
+  auto p = RingRelativePattern::broadcast(16);
+  for (NodeId s : {NodeId{0}, NodeId{7}, NodeId{15}}) {
+    const auto& d = p->destinations(s);
+    EXPECT_EQ(d.size(), 15u);
+    EXPECT_EQ(std::set<NodeId>(d.begin(), d.end()).count(s), 0u);
+  }
+}
+
+TEST(RingRelativePattern, RandomDrawsDistinctOffsetsDeterministically) {
+  Rng r1(5), r2(5);
+  auto a = RingRelativePattern::random(64, 10, r1);
+  auto b = RingRelativePattern::random(64, 10, r2);
+  EXPECT_EQ(a->offsets(), b->offsets());
+  EXPECT_EQ(a->offsets().size(), 10u);
+  std::set<int> uniq(a->offsets().begin(), a->offsets().end());
+  EXPECT_EQ(uniq.size(), 10u);
+  for (int k : a->offsets()) {
+    EXPECT_GE(k, 1);
+    EXPECT_LE(k, 63);
+  }
+}
+
+TEST(RingRelativePattern, LocalizedStaysInRange) {
+  Rng rng(9);
+  // The left-rim quadrant of a 32-node Quarc is offsets [1, 8].
+  auto p = RingRelativePattern::localized(32, 1, 8, 5, rng);
+  for (int k : p->offsets()) {
+    EXPECT_GE(k, 1);
+    EXPECT_LE(k, 8);
+  }
+  EXPECT_EQ(p->offsets().size(), 5u);
+}
+
+TEST(RingRelativePattern, LocalizedSetMapsToSingleQuarcStream) {
+  Rng rng(11);
+  QuarcTopology topo(32);
+  auto p = RingRelativePattern::localized(32, 1, 8, 4, rng);
+  for (NodeId s : {NodeId{0}, NodeId{17}}) {
+    const auto streams = topo.multicast_streams(s, p->destinations(s));
+    EXPECT_EQ(streams.size(), 1u) << "same-rim destinations must use one port";
+  }
+}
+
+TEST(UniformRandomPattern, PerSourceSetsVaryButAreFixed) {
+  Rng rng(3);
+  UniformRandomPattern p(32, 6, rng);
+  bool any_difference = false;
+  for (NodeId s = 1; s < 32; ++s) {
+    EXPECT_EQ(p.destinations(s).size(), 6u);
+    // Normalize to offsets for comparison across sources.
+    std::set<int> off_s, off_0;
+    for (NodeId d : p.destinations(s)) off_s.insert(((d - s) % 32 + 32) % 32);
+    for (NodeId d : p.destinations(0)) off_0.insert(d);
+    if (off_s != off_0) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+  // Repeated queries return the identical set (fixed at construction).
+  EXPECT_EQ(p.destinations(5), p.destinations(5));
+}
+
+TEST(ExplicitPattern, ValidatesEntries) {
+  EXPECT_THROW(ExplicitPattern({{0}}, "self"), InvalidArgument);          // dest == source
+  EXPECT_THROW(ExplicitPattern({{5}, {}}, "range"), InvalidArgument);     // out of range
+  EXPECT_THROW(ExplicitPattern({{1, 1}, {}}, "dup"), InvalidArgument);    // duplicate
+  EXPECT_NO_THROW(ExplicitPattern({{1}, {0}}, "ok"));
+}
+
+TEST(Workload, ValidatesAgainstTopology) {
+  QuarcTopology topo(16);
+  Workload w;
+  w.message_rate = 0.01;
+  w.message_length = 16;
+  EXPECT_NO_THROW(w.validate(topo));
+
+  w.message_length = 3;  // below the diameter: violates a paper assumption
+  EXPECT_THROW(w.validate(topo), InvalidArgument);
+
+  w.message_length = 32;
+  w.multicast_fraction = 0.1;  // pattern missing
+  EXPECT_THROW(w.validate(topo), InvalidArgument);
+
+  w.pattern = RingRelativePattern::broadcast(16);
+  EXPECT_NO_THROW(w.validate(topo));
+
+  w.pattern = RingRelativePattern::broadcast(32);  // wrong network size
+  EXPECT_THROW(w.validate(topo), InvalidArgument);
+
+  w.multicast_fraction = 1.5;
+  EXPECT_THROW(w.validate(topo), InvalidArgument);
+}
+
+TEST(Workload, RateSplit) {
+  Workload w;
+  w.message_rate = 0.02;
+  w.multicast_fraction = 0.25;
+  EXPECT_DOUBLE_EQ(w.unicast_rate(), 0.015);
+  EXPECT_DOUBLE_EQ(w.multicast_rate(), 0.005);
+}
+
+TEST(Workload, DescribeMentionsKeyParameters) {
+  Workload w;
+  w.message_rate = 0.01;
+  w.multicast_fraction = 0.05;
+  w.message_length = 48;
+  w.pattern = RingRelativePattern::broadcast(16);
+  const auto s = w.describe();
+  EXPECT_NE(s.find("0.01"), std::string::npos);
+  EXPECT_NE(s.find("48"), std::string::npos);
+  EXPECT_NE(s.find("ring-relative"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace quarc

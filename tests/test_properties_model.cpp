@@ -1,0 +1,169 @@
+// Parameterized model properties across topologies and workload families:
+// monotonicity in every workload knob, symmetry, saturation bracketing and
+// internal consistency of the returned diagnostics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "quarc/model/performance_model.hpp"
+#include "quarc/sweep/sweep.hpp"
+#include "quarc/topo/hypercube.hpp"
+#include "quarc/topo/quarc.hpp"
+#include "quarc/topo/spidergon.hpp"
+#include "quarc/topo/torus.hpp"
+#include "quarc/traffic/pattern.hpp"
+
+namespace quarc {
+namespace {
+
+struct ModelCase {
+  std::string name;
+  std::function<std::unique_ptr<Topology>()> make;
+  double alpha;
+  int msg;
+  /// Builds the multicast pattern (num_nodes known only after make()).
+  std::function<std::shared_ptr<const MulticastPattern>(int)> pattern;
+};
+
+class ModelProperties : public ::testing::TestWithParam<ModelCase> {
+ protected:
+  Workload workload(double rate) const {
+    const auto& p = GetParam();
+    Workload w;
+    w.message_rate = rate;
+    w.multicast_fraction = p.alpha;
+    w.message_length = p.msg;
+    return w;
+  }
+};
+
+TEST_P(ModelProperties, LatencyMonotoneInRate) {
+  const auto& param = GetParam();
+  const auto topo = param.make();
+  Workload w = workload(0.0);
+  if (param.alpha > 0) w.pattern = param.pattern(topo->num_nodes());
+  const double sat = model_saturation_rate(*topo, w);
+  double prev_uni = 0.0, prev_mc = 0.0;
+  for (double f : {0.1, 0.3, 0.5, 0.7}) {
+    w.message_rate = f * sat;
+    const auto r = PerformanceModel(*topo, w).evaluate();
+    ASSERT_EQ(r.status, SolveStatus::Converged) << f;
+    EXPECT_GT(r.avg_unicast_latency, prev_uni) << f;
+    prev_uni = r.avg_unicast_latency;
+    if (param.alpha > 0) {
+      EXPECT_GT(r.avg_multicast_latency, prev_mc) << f;
+      prev_mc = r.avg_multicast_latency;
+    }
+  }
+}
+
+TEST_P(ModelProperties, SaturationBracketsStatus) {
+  const auto& param = GetParam();
+  const auto topo = param.make();
+  Workload w = workload(0.0);
+  if (param.alpha > 0) w.pattern = param.pattern(topo->num_nodes());
+  const double sat = model_saturation_rate(*topo, w);
+  ASSERT_GT(sat, 0.0);
+  w.message_rate = 0.9 * sat;
+  EXPECT_EQ(PerformanceModel(*topo, w).evaluate().status, SolveStatus::Converged);
+  w.message_rate = 1.2 * sat;
+  EXPECT_NE(PerformanceModel(*topo, w).evaluate().status, SolveStatus::Converged);
+}
+
+TEST_P(ModelProperties, UtilizationScalesLinearlyAtLowLoad) {
+  // Channel arrival rates are linear in the offered rate; at low load the
+  // service times barely move, so the bottleneck utilisation must be
+  // close to proportional.
+  const auto& param = GetParam();
+  const auto topo = param.make();
+  Workload w = workload(0.0);
+  if (param.alpha > 0) w.pattern = param.pattern(topo->num_nodes());
+  const double sat = model_saturation_rate(*topo, w);
+  w.message_rate = 0.05 * sat;
+  const auto lo = PerformanceModel(*topo, w).evaluate();
+  w.message_rate = 0.10 * sat;
+  const auto hi = PerformanceModel(*topo, w).evaluate();
+  ASSERT_EQ(lo.status, SolveStatus::Converged);
+  ASSERT_EQ(hi.status, SolveStatus::Converged);
+  EXPECT_NEAR(hi.max_utilization / lo.max_utilization, 2.0, 0.1);
+}
+
+TEST_P(ModelProperties, MulticastDominatesUnicastForSpanningPatterns) {
+  const auto& param = GetParam();
+  if (param.alpha == 0.0) return;
+  const auto topo = param.make();
+  Workload w = workload(0.0);
+  w.pattern = param.pattern(topo->num_nodes());
+  const double sat = model_saturation_rate(*topo, w);
+  w.message_rate = 0.5 * sat;
+  const auto r = PerformanceModel(*topo, w).evaluate();
+  ASSERT_EQ(r.status, SolveStatus::Converged);
+  // A multicast finishes with its *last* destination; with broadcast-like
+  // patterns this dominates the average unicast.
+  EXPECT_GT(r.avg_multicast_latency, r.avg_unicast_latency);
+}
+
+TEST_P(ModelProperties, DiagnosticsConsistent) {
+  const auto& param = GetParam();
+  const auto topo = param.make();
+  Workload w = workload(0.0);
+  if (param.alpha > 0) w.pattern = param.pattern(topo->num_nodes());
+  w.message_rate = 0.4 * model_saturation_rate(*topo, w);
+  const auto r = PerformanceModel(*topo, w).evaluate();
+  ASSERT_EQ(r.status, SolveStatus::Converged);
+  ASSERT_EQ(r.channels.size(), static_cast<std::size_t>(topo->num_channels()));
+  double max_util = 0.0;
+  for (const auto& c : r.channels) {
+    EXPECT_GE(c.lambda, 0.0);
+    EXPECT_GE(c.waiting_time, 0.0);
+    if (c.lambda > 0) {
+      EXPECT_GE(c.service_time, param.msg);
+    }
+    max_util = std::max(max_util, c.utilization);
+  }
+  EXPECT_DOUBLE_EQ(max_util, r.max_utilization);
+  EXPECT_LT(r.max_utilization, 1.0);
+  EXPECT_EQ(r.channels[static_cast<std::size_t>(r.bottleneck)].utilization, r.max_utilization);
+}
+
+ModelCase quarc_case(const std::string& name, int n, double alpha, int msg, bool broadcast) {
+  return ModelCase{
+      name, [n] { return std::make_unique<QuarcTopology>(n); }, alpha, msg,
+      [broadcast](int nodes) -> std::shared_ptr<const MulticastPattern> {
+        if (broadcast) return RingRelativePattern::broadcast(nodes);
+        Rng rng(99);
+        return RingRelativePattern::random(nodes, std::max(2, nodes / 8), rng);
+      }};
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ModelProperties,
+    ::testing::Values(
+        quarc_case("quarc16_unicast", 16, 0.0, 16, false),
+        quarc_case("quarc16_broadcast10", 16, 0.1, 16, true),
+        quarc_case("quarc32_random5", 32, 0.05, 32, false),
+        quarc_case("quarc64_broadcast3", 64, 0.03, 32, true),
+        ModelCase{"spidergon16_unicast", [] { return std::make_unique<SpidergonTopology>(16); },
+                  0.0, 16, {}},
+        ModelCase{"spidergon16_swmc",
+                  [] { return std::make_unique<SpidergonTopology>(16); }, 0.05, 16,
+                  [](int n) -> std::shared_ptr<const MulticastPattern> {
+                    Rng rng(7);
+                    return RingRelativePattern::random(n, 4, rng);
+                  }},
+        ModelCase{"torus4x4_unicast", [] { return std::make_unique<TorusTopology>(4, 4); }, 0.0,
+                  16, {}},
+        ModelCase{"hypercube4_unicast", [] { return std::make_unique<HypercubeTopology>(4); },
+                  0.0, 16, {}},
+        ModelCase{"quarc16_oneport",
+                  [] { return std::make_unique<QuarcTopology>(16, PortScheme::OnePort); }, 0.05,
+                  16,
+                  [](int n) -> std::shared_ptr<const MulticastPattern> {
+                    return RingRelativePattern::broadcast(n);
+                  }}),
+    [](const ::testing::TestParamInfo<ModelCase>& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace quarc

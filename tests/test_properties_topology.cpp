@@ -1,0 +1,165 @@
+// Property tests over every shipped topology (parameterized): structural
+// validity, route determinism, channel-table hygiene, and the invariants
+// the model and simulator both rely on.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <set>
+
+#include "quarc/topo/hypercube.hpp"
+#include "quarc/topo/mesh.hpp"
+#include "quarc/topo/quarc.hpp"
+#include "quarc/topo/spidergon.hpp"
+#include "quarc/topo/torus.hpp"
+#include "quarc/util/error.hpp"
+
+namespace quarc {
+namespace {
+
+struct TopologyCase {
+  std::string name;
+  std::function<std::unique_ptr<Topology>()> make;
+};
+
+class TopologyProperties : public ::testing::TestWithParam<TopologyCase> {};
+
+TEST_P(TopologyProperties, StructurallyValid) {
+  const auto topo = GetParam().make();
+  EXPECT_NO_THROW(validate_topology(*topo));
+}
+
+TEST_P(TopologyProperties, ChannelTableHygiene) {
+  const auto topo = GetParam().make();
+  std::set<std::string> labels;
+  for (const ChannelInfo& ch : topo->channels()) {
+    EXPECT_EQ(&topo->channel(ch.id), &ch);
+    EXPECT_GE(ch.src, 0);
+    EXPECT_LT(ch.src, topo->num_nodes());
+    EXPECT_GE(ch.dst, 0);
+    EXPECT_LT(ch.dst, topo->num_nodes());
+    EXPECT_GE(ch.vcs, 1);
+    EXPECT_TRUE(labels.insert(ch.label).second) << "duplicate label " << ch.label;
+    if (ch.kind != ChannelKind::External) {
+      EXPECT_EQ(ch.src, ch.dst) << "internal channels stay at their node";
+      EXPECT_GE(ch.port, 0);
+    }
+    if (ch.dedicated) {
+      EXPECT_EQ(ch.kind, ChannelKind::Ejection);
+    }
+  }
+}
+
+TEST_P(TopologyProperties, EveryNodeHasInjectionAndEjection) {
+  const auto topo = GetParam().make();
+  std::vector<int> inj(static_cast<std::size_t>(topo->num_nodes()), 0);
+  std::vector<int> ej(static_cast<std::size_t>(topo->num_nodes()), 0);
+  for (const ChannelInfo& ch : topo->channels()) {
+    if (ch.kind == ChannelKind::Injection) ++inj[static_cast<std::size_t>(ch.src)];
+    if (ch.kind == ChannelKind::Ejection) ++ej[static_cast<std::size_t>(ch.src)];
+  }
+  for (NodeId i = 0; i < topo->num_nodes(); ++i) {
+    EXPECT_EQ(inj[static_cast<std::size_t>(i)], topo->num_ports());
+    EXPECT_GE(ej[static_cast<std::size_t>(i)], 1);
+  }
+}
+
+TEST_P(TopologyProperties, RoutesAreDeterministic) {
+  const auto topo = GetParam().make();
+  const int n = topo->num_nodes();
+  for (NodeId s = 0; s < n; s += std::max(1, n / 7)) {
+    for (NodeId d = 0; d < n; ++d) {
+      if (s == d) continue;
+      const auto a = topo->unicast_route(s, d);
+      const auto b = topo->unicast_route(s, d);
+      EXPECT_EQ(a.links, b.links);
+      EXPECT_EQ(a.link_vcs, b.link_vcs);
+      EXPECT_EQ(a.port, b.port);
+    }
+  }
+}
+
+TEST_P(TopologyProperties, HopsBoundedByDiameter) {
+  const auto topo = GetParam().make();
+  const int diam = topo->diameter();
+  const int n = topo->num_nodes();
+  bool diameter_attained = false;
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId d = 0; d < n; ++d) {
+      if (s == d) continue;
+      const int h = topo->unicast_route(s, d).hops();
+      EXPECT_LE(h, diam);
+      EXPECT_GE(h, 1);
+      diameter_attained |= h == diam;
+    }
+  }
+  EXPECT_TRUE(diameter_attained) << "diameter must be tight";
+}
+
+TEST_P(TopologyProperties, CheckPairRejectsBadArguments) {
+  const auto topo = GetParam().make();
+  EXPECT_THROW(topo->unicast_route(0, 0), InvalidArgument);
+  EXPECT_THROW(topo->unicast_route(-1, 0), InvalidArgument);
+  EXPECT_THROW(topo->unicast_route(0, topo->num_nodes()), InvalidArgument);
+}
+
+TEST_P(TopologyProperties, MulticastStreamsDeterministicWhenSupported) {
+  const auto topo = GetParam().make();
+  if (!topo->supports_multicast()) return;
+  std::vector<NodeId> dests;
+  for (NodeId d = 1; d < topo->num_nodes(); d += 2) dests.push_back(d);
+  const auto a = topo->multicast_streams(0, dests);
+  const auto b = topo->multicast_streams(0, dests);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].links, b[i].links);
+    EXPECT_EQ(a[i].stops.size(), b[i].stops.size());
+  }
+}
+
+TEST_P(TopologyProperties, DatelineVcNeverOnFirstRingLink) {
+  // A worm cannot have wrapped on the very first link of a ring walk; the
+  // first VC of any route must be 0.
+  const auto topo = GetParam().make();
+  const int n = topo->num_nodes();
+  for (NodeId s = 0; s < n; s += std::max(1, n / 5)) {
+    for (NodeId d = 0; d < n; ++d) {
+      if (s == d) continue;
+      EXPECT_EQ(topo->unicast_route(s, d).link_vcs.front(), 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTopologies, TopologyProperties,
+    ::testing::Values(
+        TopologyCase{"quarc8", [] { return std::make_unique<QuarcTopology>(8); }},
+        TopologyCase{"quarc16", [] { return std::make_unique<QuarcTopology>(16); }},
+        TopologyCase{"quarc36", [] { return std::make_unique<QuarcTopology>(36); }},
+        TopologyCase{"quarc64", [] { return std::make_unique<QuarcTopology>(64); }},
+        TopologyCase{"quarc16_oneport",
+                     [] { return std::make_unique<QuarcTopology>(16, PortScheme::OnePort); }},
+        TopologyCase{"spidergon8", [] { return std::make_unique<SpidergonTopology>(8); }},
+        TopologyCase{"spidergon24", [] { return std::make_unique<SpidergonTopology>(24); }},
+        TopologyCase{"spidergon64", [] { return std::make_unique<SpidergonTopology>(64); }},
+        TopologyCase{"mesh3x3",
+                     [] { return std::make_unique<MeshTopology>(3, 3, MeshRouting::XY); }},
+        TopologyCase{"mesh5x4",
+                     [] { return std::make_unique<MeshTopology>(5, 4, MeshRouting::XY); }},
+        TopologyCase{"mesh4x4_ham",
+                     [] {
+                       return std::make_unique<MeshTopology>(4, 4, MeshRouting::Hamiltonian);
+                     }},
+        TopologyCase{"mesh5x3_ham",
+                     [] {
+                       return std::make_unique<MeshTopology>(5, 3, MeshRouting::Hamiltonian);
+                     }},
+        TopologyCase{"torus3x3", [] { return std::make_unique<TorusTopology>(3, 3); }},
+        TopologyCase{"torus4x4", [] { return std::make_unique<TorusTopology>(4, 4); }},
+        TopologyCase{"torus5x4", [] { return std::make_unique<TorusTopology>(5, 4); }},
+        TopologyCase{"hypercube3", [] { return std::make_unique<HypercubeTopology>(3); }},
+        TopologyCase{"hypercube5", [] { return std::make_unique<HypercubeTopology>(5); }}),
+    [](const ::testing::TestParamInfo<TopologyCase>& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace quarc

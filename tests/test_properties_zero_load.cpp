@@ -1,0 +1,152 @@
+// Parameterized zero-load anchors: for every topology and message length,
+// the analytical model's zero-load latencies must equal the closed-form
+// hop averages, and the simulator must reproduce them exactly (DESIGN.md
+// "zero-load anchor": latency == M + D + 1).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "quarc/model/performance_model.hpp"
+#include "quarc/sim/simulator.hpp"
+#include "quarc/topo/hypercube.hpp"
+#include "quarc/topo/mesh.hpp"
+#include "quarc/topo/quarc.hpp"
+#include "quarc/topo/spidergon.hpp"
+#include "quarc/topo/torus.hpp"
+#include "quarc/traffic/pattern.hpp"
+
+namespace quarc {
+namespace {
+
+struct ZeroLoadCase {
+  std::string name;
+  std::function<std::unique_ptr<Topology>()> make;
+  int msg_len;
+};
+
+class ZeroLoadProperties : public ::testing::TestWithParam<ZeroLoadCase> {};
+
+double hop_average(const Topology& topo) {
+  double sum = 0.0;
+  const int n = topo.num_nodes();
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId d = 0; d < n; ++d) {
+      if (s != d) sum += topo.unicast_route(s, d).hops();
+    }
+  }
+  return sum / (static_cast<double>(n) * (n - 1));
+}
+
+TEST_P(ZeroLoadProperties, ModelUnicastEqualsHopAverage) {
+  const auto& param = GetParam();
+  const auto topo = param.make();
+  Workload w;
+  w.message_rate = 1e-10;
+  w.message_length = param.msg_len;
+  const auto result = PerformanceModel(*topo, w).evaluate();
+  ASSERT_EQ(result.status, SolveStatus::Converged);
+  EXPECT_NEAR(result.avg_unicast_latency, param.msg_len + hop_average(*topo) + 1.0, 1e-4);
+}
+
+TEST_P(ZeroLoadProperties, SimulatorUnicastWithinDiameterBounds) {
+  const auto& param = GetParam();
+  const auto topo = param.make();
+  sim::SimConfig c;
+  c.workload.message_rate = 3e-5;
+  c.workload.message_length = param.msg_len;
+  c.warmup_cycles = 1000;
+  c.measure_cycles = 250000;
+  c.seed = 13;
+  const auto r = sim::Simulator(*topo, c).run();
+  ASSERT_TRUE(r.completed);
+  ASSERT_GT(r.unicast_latency.count, 30);
+  EXPECT_GE(r.unicast_latency.min, param.msg_len + 1.0 + 1.0);
+  // The occasional two-message collision can add up to roughly one message
+  // service of queueing even at this rate; everything else is zero-load.
+  EXPECT_LE(r.unicast_latency.max, 2.0 * param.msg_len + topo->diameter() + 2.0);
+  EXPECT_GE(r.unicast_latency.mean, param.msg_len + 2.0);
+  EXPECT_LE(r.unicast_latency.mean, param.msg_len + topo->diameter() + 1.5);
+}
+
+TEST_P(ZeroLoadProperties, ModelAndSimBroadcastExactWhenSupported) {
+  const auto& param = GetParam();
+  const auto topo = param.make();
+  if (!topo->supports_multicast()) return;
+
+  // Broadcast stream length: max hops over the source's streams.
+  std::vector<NodeId> all;
+  for (NodeId d = 1; d < topo->num_nodes(); ++d) all.push_back(d);
+  int max_hops = 0;
+  for (const auto& st : topo->multicast_streams(0, all)) {
+    max_hops = std::max(max_hops, st.hops());
+  }
+  if (param.msg_len <= topo->diameter()) return;  // paper assumption gate
+
+  std::vector<std::vector<NodeId>> dests(static_cast<std::size_t>(topo->num_nodes()));
+  for (NodeId s = 0; s < topo->num_nodes(); ++s) {
+    for (NodeId d = 0; d < topo->num_nodes(); ++d) {
+      if (d != s) dests[static_cast<std::size_t>(s)].push_back(d);
+    }
+  }
+  auto pattern = std::make_shared<ExplicitPattern>(dests, "broadcast");
+
+  Workload w;
+  w.message_rate = 1e-10;
+  w.multicast_fraction = 1.0;
+  w.message_length = param.msg_len;
+  w.pattern = pattern;
+  const auto model = PerformanceModel(*topo, w).evaluate();
+  ASSERT_EQ(model.status, SolveStatus::Converged);
+  // Vertex-symmetric rings share max_hops across sources; grids may not,
+  // and one-port schemes add stream-serialisation offsets — so bound
+  // loosely here and rely on the simulator comparison below for tightness.
+  EXPECT_GE(model.avg_multicast_latency, param.msg_len + 1.0);
+  EXPECT_LE(model.avg_multicast_latency,
+            4.0 * (param.msg_len + topo->num_nodes() + 2.0));
+
+  sim::SimConfig c;
+  c.workload = w;
+  c.workload.message_rate = 1e-5;
+  c.warmup_cycles = 1000;
+  c.measure_cycles = 400000;
+  c.seed = 14;
+  const auto r = sim::Simulator(*topo, c).run();
+  ASSERT_TRUE(r.completed);
+  ASSERT_GT(r.multicast_latency.count, 5);
+  // One-port schemes serialize streams; the model's injection service time
+  // (header-to-absorption, Eq. 6) overestimates the true channel release
+  // (tail leaving the injection link), so the offsets carry a documented
+  // bias. All-port schemes must match tightly.
+  const double tolerance = topo->num_ports() == 1 ? 0.30 : 0.02;
+  EXPECT_NEAR(r.multicast_latency.mean, model.avg_multicast_latency,
+              tolerance * model.avg_multicast_latency);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ZeroLoadProperties,
+    ::testing::Values(
+        ZeroLoadCase{"quarc16_m16", [] { return std::make_unique<QuarcTopology>(16); }, 16},
+        ZeroLoadCase{"quarc16_m64", [] { return std::make_unique<QuarcTopology>(16); }, 64},
+        ZeroLoadCase{"quarc32_m32", [] { return std::make_unique<QuarcTopology>(32); }, 32},
+        ZeroLoadCase{"quarc16_oneport_m16",
+                     [] { return std::make_unique<QuarcTopology>(16, PortScheme::OnePort); }, 16},
+        ZeroLoadCase{"spidergon16_m16", [] { return std::make_unique<SpidergonTopology>(16); },
+                     16},
+        ZeroLoadCase{"spidergon32_m48", [] { return std::make_unique<SpidergonTopology>(32); },
+                     48},
+        ZeroLoadCase{"mesh4x4_xy_m16",
+                     [] { return std::make_unique<MeshTopology>(4, 4, MeshRouting::XY); }, 16},
+        ZeroLoadCase{"mesh4x4_ham_m16",
+                     [] {
+                       return std::make_unique<MeshTopology>(4, 4, MeshRouting::Hamiltonian);
+                     },
+                     16},
+        ZeroLoadCase{"torus4x4_m16", [] { return std::make_unique<TorusTopology>(4, 4); }, 16},
+        ZeroLoadCase{"torus5x5_m32", [] { return std::make_unique<TorusTopology>(5, 5); }, 32},
+        ZeroLoadCase{"hypercube4_m16", [] { return std::make_unique<HypercubeTopology>(4); }, 16},
+        ZeroLoadCase{"hypercube6_m32", [] { return std::make_unique<HypercubeTopology>(6); }, 32}),
+    [](const ::testing::TestParamInfo<ZeroLoadCase>& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace quarc

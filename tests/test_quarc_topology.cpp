@@ -1,0 +1,247 @@
+// Quarc topology and routing tests, anchored on the paper's own example:
+// a broadcast from node 0 in a 16-node Quarc tags its four streams with
+// destinations 4, 5, 11 and 12 (paper Fig. 3), and every broadcast stream
+// is N/4 hops.
+#include "quarc/topo/quarc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "quarc/util/error.hpp"
+
+namespace quarc {
+namespace {
+
+std::vector<NodeId> all_but(NodeId s, int n) {
+  std::vector<NodeId> v;
+  for (NodeId d = 0; d < n; ++d) {
+    if (d != s) v.push_back(d);
+  }
+  return v;
+}
+
+TEST(QuarcTopology, RejectsInvalidSizes) {
+  EXPECT_THROW(QuarcTopology(4), InvalidArgument);
+  EXPECT_THROW(QuarcTopology(10), InvalidArgument);
+  EXPECT_THROW(QuarcTopology(-8), InvalidArgument);
+  EXPECT_NO_THROW(QuarcTopology(8));
+  EXPECT_NO_THROW(QuarcTopology(128));
+}
+
+TEST(QuarcTopology, ChannelInventory) {
+  // Per node: 4 injection + 4 external (CW, CCW, XL, XR) + 4 ejection.
+  QuarcTopology t(16);
+  EXPECT_EQ(t.num_channels(), 16 * 12);
+  EXPECT_EQ(t.num_ports(), 4);
+  int inj = 0, ext = 0, ej = 0;
+  for (const auto& ch : t.channels()) {
+    switch (ch.kind) {
+      case ChannelKind::Injection: ++inj; break;
+      case ChannelKind::External: ++ext; break;
+      case ChannelKind::Ejection: ++ej; break;
+    }
+  }
+  EXPECT_EQ(inj, 64);
+  EXPECT_EQ(ext, 64);
+  EXPECT_EQ(ej, 64);
+}
+
+TEST(QuarcTopology, RimLinksCarryTwoVcs) {
+  QuarcTopology t(16);
+  EXPECT_EQ(t.channel(t.cw_channel(3)).vcs, 2);
+  EXPECT_EQ(t.channel(t.ccw_channel(3)).vcs, 2);
+  EXPECT_EQ(t.channel(t.xl_channel(3)).vcs, 1);
+  EXPECT_EQ(t.channel(t.xr_channel(3)).vcs, 1);
+}
+
+TEST(QuarcTopology, QuadrantBoundaries) {
+  QuarcTopology t(16);
+  EXPECT_EQ(t.quadrant_of_distance(1), QuarcTopology::kL);
+  EXPECT_EQ(t.quadrant_of_distance(4), QuarcTopology::kL);
+  EXPECT_EQ(t.quadrant_of_distance(5), QuarcTopology::kCL);
+  EXPECT_EQ(t.quadrant_of_distance(8), QuarcTopology::kCL);
+  EXPECT_EQ(t.quadrant_of_distance(9), QuarcTopology::kCR);
+  EXPECT_EQ(t.quadrant_of_distance(11), QuarcTopology::kCR);
+  EXPECT_EQ(t.quadrant_of_distance(12), QuarcTopology::kR);
+  EXPECT_EQ(t.quadrant_of_distance(15), QuarcTopology::kR);
+  EXPECT_THROW(t.quadrant_of_distance(0), InvalidArgument);
+  EXPECT_THROW(t.quadrant_of_distance(16), InvalidArgument);
+}
+
+TEST(QuarcTopology, HopCountsPerQuadrant) {
+  QuarcTopology t(16);
+  EXPECT_EQ(t.hops_for_distance(1), 1);   // L rim
+  EXPECT_EQ(t.hops_for_distance(4), 4);   // L rim edge
+  EXPECT_EQ(t.hops_for_distance(5), 4);   // CL: 1 + (8-5)
+  EXPECT_EQ(t.hops_for_distance(8), 1);   // antipode via cross
+  EXPECT_EQ(t.hops_for_distance(9), 2);   // CR: 1 + (9-8)
+  EXPECT_EQ(t.hops_for_distance(11), 4);  // CR edge
+  EXPECT_EQ(t.hops_for_distance(12), 4);  // R rim edge
+  EXPECT_EQ(t.hops_for_distance(15), 1);  // R rim
+}
+
+TEST(QuarcTopology, DiameterIsQuarterRing) {
+  for (int n : {8, 16, 32, 64, 128}) {
+    QuarcTopology t(n);
+    EXPECT_EQ(t.diameter(), n / 4) << "N=" << n;
+    // Exhaustive cross-check against the generic scan for small sizes.
+    if (n <= 32) {
+      EXPECT_EQ(t.Topology::diameter(), n / 4) << "N=" << n;
+    }
+  }
+}
+
+TEST(QuarcTopology, StructuralValidation) {
+  for (int n : {8, 16, 32}) {
+    QuarcTopology t(n);
+    EXPECT_NO_THROW(validate_topology(t)) << "N=" << n;
+  }
+}
+
+TEST(QuarcTopology, PaperFig3BroadcastTags) {
+  // Broadcast from node 0, N = 16: last node visited per stream must be
+  // 4 (left rim), 5 (cross-left), 11 (cross-right), 12 (right rim).
+  QuarcTopology t(16);
+  const auto streams = t.multicast_streams(0, all_but(0, 16));
+  ASSERT_EQ(streams.size(), 4u);
+  std::set<NodeId> last_nodes;
+  for (const auto& st : streams) {
+    last_nodes.insert(st.stops.back().node);
+    EXPECT_EQ(st.hops(), 4) << "every broadcast stream is N/4 hops";
+  }
+  EXPECT_EQ(last_nodes, (std::set<NodeId>{4, 5, 11, 12}));
+}
+
+TEST(QuarcTopology, BroadcastStreamsAreNQuarterHopsForAllSizes) {
+  for (int n : {8, 16, 64}) {
+    QuarcTopology t(n);
+    for (NodeId s : {NodeId{0}, static_cast<NodeId>(n / 2), static_cast<NodeId>(n - 1)}) {
+      for (const auto& st : t.multicast_streams(s, all_but(s, n))) {
+        EXPECT_EQ(st.hops(), n / 4);
+      }
+    }
+  }
+}
+
+TEST(QuarcTopology, BroadcastCoversDisjointly) {
+  // Eq. 1-2: the port sub-networks partition the destination set.
+  QuarcTopology t(32);
+  for (NodeId s = 0; s < 32; ++s) {
+    std::set<NodeId> covered;
+    std::size_t total = 0;
+    for (const auto& st : t.multicast_streams(s, all_but(s, 32))) {
+      for (const auto& stop : st.stops) {
+        covered.insert(stop.node);
+        ++total;
+      }
+    }
+    EXPECT_EQ(total, 31u);
+    EXPECT_EQ(covered.size(), 31u);
+    EXPECT_EQ(covered.count(s), 0u);
+  }
+}
+
+TEST(QuarcTopology, MulticastSubsetUsesOnlyNeededPorts) {
+  QuarcTopology t(16);
+  // Targets at clockwise distances 2 and 3 from node 5: a pure L-rim set.
+  const auto streams = t.multicast_streams(5, {7, 8});
+  ASSERT_EQ(streams.size(), 1u);
+  EXPECT_EQ(streams[0].port, QuarcTopology::kL);
+  EXPECT_EQ(streams[0].hops(), 3);
+  ASSERT_EQ(streams[0].stops.size(), 2u);
+  EXPECT_EQ(streams[0].stops[0].node, 7);
+  EXPECT_EQ(streams[0].stops[1].node, 8);
+}
+
+TEST(QuarcTopology, CrossLeftStreamVisitsDecreasingDistances) {
+  QuarcTopology t(16);
+  // Distances 5..8 from node 0 are the CL quadrant; the stream crosses to
+  // node 8 (hop 1) then walks CCW 7, 6, 5.
+  const auto streams = t.multicast_streams(0, {5, 6, 7, 8});
+  ASSERT_EQ(streams.size(), 1u);
+  const auto& st = streams[0];
+  EXPECT_EQ(st.port, QuarcTopology::kCL);
+  ASSERT_EQ(st.stops.size(), 4u);
+  EXPECT_EQ(st.stops[0].node, 8);
+  EXPECT_EQ(st.stops[0].hop, 1);
+  EXPECT_EQ(st.stops[3].node, 5);
+  EXPECT_EQ(st.stops[3].hop, 4);
+}
+
+TEST(QuarcTopology, UnicastRouteMatchesQuadrantPort) {
+  QuarcTopology t(32);
+  for (NodeId s = 0; s < 32; ++s) {
+    for (NodeId d = 0; d < 32; ++d) {
+      if (s == d) continue;
+      const auto r = t.unicast_route(s, d);
+      EXPECT_EQ(r.port, t.quadrant_of_distance(t.cw_distance(s, d)));
+      EXPECT_EQ(r.hops(), t.hops_for_distance(t.cw_distance(s, d)));
+    }
+  }
+}
+
+TEST(QuarcTopology, DatelineVcAssignment) {
+  QuarcTopology t(16);
+  // Route 14 -> 2 travels CW across the wrap: channels CW[14], CW[15]
+  // on VC0, then CW[0], CW[1] on VC1.
+  const auto r = t.unicast_route(14, 2);
+  ASSERT_EQ(r.links.size(), 4u);
+  EXPECT_EQ(r.link_vcs[0], 0);
+  EXPECT_EQ(r.link_vcs[1], 0);
+  EXPECT_EQ(r.link_vcs[2], 1);
+  EXPECT_EQ(r.link_vcs[3], 1);
+}
+
+TEST(QuarcTopology, DatelineVcOnCrossedRimWalk) {
+  QuarcTopology t(16);
+  // 7 -> 12 has distance 5 (CL): cross 7->15, then CCW 15->14->13->12.
+  // The CCW walk enters at 15 and never wraps past 0, so all VC0.
+  const auto r = t.unicast_route(7, 12);
+  ASSERT_EQ(r.links.size(), 4u);
+  EXPECT_EQ(r.links[0], t.xl_channel(7));
+  for (std::size_t i = 1; i < 4; ++i) EXPECT_EQ(r.link_vcs[i], 0);
+  // 1 -> 10 has distance 9 (CR): cross 1->9, then CW 9->10.
+  const auto r2 = t.unicast_route(1, 10);
+  ASSERT_EQ(r2.links.size(), 2u);
+  EXPECT_EQ(r2.links[0], t.xr_channel(1));
+  EXPECT_EQ(r2.link_vcs[1], 0);
+}
+
+TEST(QuarcTopology, AntipodeEjectsFromCrossLink) {
+  QuarcTopology t(16);
+  const auto r = t.unicast_route(3, 11);  // distance 8 == N/2
+  ASSERT_EQ(r.links.size(), 1u);
+  EXPECT_EQ(r.links[0], t.xl_channel(3));
+  EXPECT_EQ(r.ejection, t.ejection_channel(11, QuarcTopology::kFromXL));
+}
+
+TEST(QuarcTopology, OnePortVariant) {
+  QuarcTopology t(16, PortScheme::OnePort);
+  EXPECT_EQ(t.num_ports(), 1);
+  EXPECT_NO_THROW(validate_topology(t));
+  // All routes use the single port; external paths are unchanged.
+  QuarcTopology all(16);
+  for (NodeId d = 1; d < 16; ++d) {
+    const auto r1 = t.unicast_route(0, d);
+    const auto r4 = all.unicast_route(0, d);
+    EXPECT_EQ(r1.port, 0);
+    EXPECT_EQ(r1.hops(), r4.hops());
+  }
+  // Broadcast still forms four streams, all injecting on port 0.
+  const auto streams = t.multicast_streams(0, all_but(0, 16));
+  ASSERT_EQ(streams.size(), 4u);
+  for (const auto& st : streams) {
+    EXPECT_EQ(st.port, 0);
+    EXPECT_EQ(st.injection, t.injection_channel(0, 0));
+  }
+}
+
+TEST(QuarcTopology, NamesAreDescriptive) {
+  EXPECT_EQ(QuarcTopology(16).name(), "quarc-16");
+  EXPECT_EQ(QuarcTopology(16, PortScheme::OnePort).name(), "quarc-16-oneport");
+}
+
+}  // namespace
+}  // namespace quarc

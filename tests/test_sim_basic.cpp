@@ -1,0 +1,159 @@
+// Simulator fundamentals: determinism, the zero-load timing anchor
+// (latency == M + D + 1 exactly), flit accounting, and stability flags.
+#include "quarc/sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "quarc/topo/quarc.hpp"
+#include "quarc/topo/spidergon.hpp"
+#include "quarc/traffic/pattern.hpp"
+#include "quarc/util/error.hpp"
+
+namespace quarc {
+namespace {
+
+using sim::SimConfig;
+using sim::Simulator;
+using sim::SimResult;
+
+SimConfig base_config(double rate, double alpha, int msg, int n,
+                      std::shared_ptr<const MulticastPattern> pattern = nullptr) {
+  SimConfig c;
+  c.workload.message_rate = rate;
+  c.workload.multicast_fraction = alpha;
+  c.workload.message_length = msg;
+  c.workload.pattern = std::move(pattern);
+  c.warmup_cycles = 2000;
+  c.measure_cycles = 30000;
+  c.seed = 7;
+  (void)n;
+  return c;
+}
+
+TEST(Simulator, DeterministicAcrossRuns) {
+  QuarcTopology topo(16);
+  const SimConfig c = base_config(0.005, 0.0, 16, 16);
+  const SimResult a = Simulator(topo, c).run();
+  const SimResult b = Simulator(topo, c).run();
+  EXPECT_EQ(a.unicast_latency.count, b.unicast_latency.count);
+  EXPECT_DOUBLE_EQ(a.unicast_latency.mean, b.unicast_latency.mean);
+  EXPECT_EQ(a.flits_injected, b.flits_injected);
+  EXPECT_EQ(a.cycles_run, b.cycles_run);
+}
+
+TEST(Simulator, SeedChangesTheSamplePath) {
+  QuarcTopology topo(16);
+  SimConfig c = base_config(0.005, 0.0, 16, 16);
+  const SimResult a = Simulator(topo, c).run();
+  c.seed = 8;
+  const SimResult b = Simulator(topo, c).run();
+  EXPECT_NE(a.flits_injected, b.flits_injected);
+}
+
+TEST(Simulator, ZeroLoadUnicastLatencyBounds) {
+  // At a vanishing rate every message sees an empty network, so each
+  // latency equals M + D + 1 for its pair: min = M + 2 (adjacent), and no
+  // sample may exceed M + diameter + 1.
+  QuarcTopology topo(16);
+  SimConfig c = base_config(2e-5, 0.0, 16, 16);
+  c.measure_cycles = 400000;
+  const SimResult r = Simulator(topo, c).run();
+  ASSERT_TRUE(r.completed);
+  ASSERT_GT(r.unicast_latency.count, 50);
+  EXPECT_EQ(r.unicast_latency.min, 16.0 + 1.0 + 1.0);
+  EXPECT_LE(r.unicast_latency.max, 16.0 + 4.0 + 1.0);
+  EXPECT_GE(r.unicast_latency.mean, 16.0 + 1.0 + 1.0);
+}
+
+TEST(Simulator, ZeroLoadLatencyExactForAllMessageLengths) {
+  // Spidergon with one node pair exercised via a degenerate 'multicast'
+  // pattern of one destination: every group is a single unicast to the
+  // antipode (D = 1 via the cross link), so latency == M + 2 exactly.
+  for (int msg : {8, 16, 33}) {
+    SpidergonTopology topo(8);
+    auto pattern = std::make_shared<RingRelativePattern>(8, std::vector<int>{4});
+    SimConfig c = base_config(1e-5, 1.0, msg, 8, pattern);
+    c.measure_cycles = 600000;
+    const SimResult r = Simulator(topo, c).run();
+    ASSERT_TRUE(r.completed) << msg;
+    ASSERT_GT(r.multicast_latency.count, 10) << msg;
+    EXPECT_EQ(r.multicast_latency.min, msg + 2.0) << msg;
+    EXPECT_EQ(r.multicast_latency.max, msg + 2.0) << msg;
+  }
+}
+
+TEST(Simulator, FlitAccountingConsistent) {
+  QuarcTopology topo(16);
+  const SimResult r = Simulator(topo, base_config(0.004, 0.0, 16, 16)).run();
+  ASSERT_TRUE(r.completed);
+  EXPECT_GT(r.flits_injected, 0);
+  // Absorbed can lag injected only by the in-flight remainder at stop.
+  EXPECT_LE(r.flits_absorbed, r.flits_injected);
+  EXPECT_GT(r.flits_absorbed, r.flits_injected * 9 / 10);
+}
+
+TEST(Simulator, UtilizationScalesWithRate) {
+  QuarcTopology topo(16);
+  const SimResult lo = Simulator(topo, base_config(0.002, 0.0, 16, 16)).run();
+  const SimResult hi = Simulator(topo, base_config(0.006, 0.0, 16, 16)).run();
+  EXPECT_GT(hi.max_channel_utilization, 2.0 * lo.max_channel_utilization);
+}
+
+TEST(Simulator, LatencyGrowsWithLoad) {
+  QuarcTopology topo(16);
+  const SimResult lo = Simulator(topo, base_config(0.001, 0.0, 32, 16)).run();
+  const SimResult hi = Simulator(topo, base_config(0.008, 0.0, 32, 16)).run();
+  ASSERT_TRUE(lo.completed);
+  ASSERT_TRUE(hi.completed);
+  EXPECT_GT(hi.unicast_latency.mean, lo.unicast_latency.mean);
+}
+
+TEST(Simulator, OverloadIsFlaggedUnstable) {
+  QuarcTopology topo(16);
+  SimConfig c = base_config(0.2, 0.0, 32, 16);  // far beyond capacity
+  c.max_queue_length = 500;
+  c.measure_cycles = 200000;
+  const SimResult r = Simulator(topo, c).run();
+  EXPECT_FALSE(r.stable);
+  EXPECT_FALSE(r.completed);
+}
+
+TEST(Simulator, NoTrafficCompletesImmediately) {
+  QuarcTopology topo(16);
+  SimConfig c = base_config(0.0, 0.0, 16, 16);
+  const SimResult r = Simulator(topo, c).run();
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.unicast_latency.count, 0);
+  EXPECT_EQ(r.messages_generated, 0);
+}
+
+TEST(Simulator, MeanMatchesZeroLoadAverageAtTinyRate) {
+  // With uniform destinations the empirical mean approaches the analytic
+  // zero-load average of M + D(s,d) + 1 over pairs.
+  QuarcTopology topo(16);
+  double expected = 0.0;
+  for (NodeId s = 0; s < 16; ++s) {
+    for (NodeId d = 0; d < 16; ++d) {
+      if (s != d) expected += 16.0 + topo.unicast_route(s, d).hops() + 1.0;
+    }
+  }
+  expected /= 16.0 * 15.0;
+  SimConfig c = base_config(5e-5, 0.0, 16, 16);
+  c.measure_cycles = 500000;
+  const SimResult r = Simulator(topo, c).run();
+  ASSERT_TRUE(r.completed);
+  ASSERT_GT(r.unicast_latency.count, 200);
+  EXPECT_NEAR(r.unicast_latency.mean, expected, 0.25);
+}
+
+TEST(Simulator, RejectsInvalidConfig) {
+  QuarcTopology topo(16);
+  SimConfig c = base_config(0.01, 0.0, 16, 16);
+  c.buffer_depth = 0;
+  EXPECT_THROW(Simulator(topo, c), InvalidArgument);
+  c = base_config(0.01, 0.5, 16, 16);  // alpha without pattern
+  EXPECT_THROW(Simulator(topo, c), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace quarc

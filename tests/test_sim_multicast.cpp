@@ -1,0 +1,164 @@
+// Multicast semantics in the simulator: absorb-and-forward taps, per-port
+// asynchronous streams, group latency at the last destination, and the
+// software-multicast fallback on one-port architectures.
+#include "quarc/sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "quarc/topo/mesh.hpp"
+#include "quarc/topo/quarc.hpp"
+#include "quarc/topo/spidergon.hpp"
+#include "quarc/traffic/pattern.hpp"
+
+namespace quarc {
+namespace {
+
+using sim::SimConfig;
+using sim::Simulator;
+using sim::SimResult;
+
+SimConfig config_with(double rate, double alpha, int msg,
+                      std::shared_ptr<const MulticastPattern> pattern) {
+  SimConfig c;
+  c.workload.message_rate = rate;
+  c.workload.multicast_fraction = alpha;
+  c.workload.message_length = msg;
+  c.workload.pattern = std::move(pattern);
+  c.warmup_cycles = 2000;
+  c.measure_cycles = 40000;
+  c.seed = 11;
+  return c;
+}
+
+TEST(SimMulticast, ZeroLoadBroadcastLatencyIsExact) {
+  // Every stream of a Quarc broadcast is N/4 hops; at zero load the last
+  // destination absorbs the last flit exactly M + N/4 + 1 cycles after
+  // creation, for every single message.
+  for (int n : {16, 32}) {
+    QuarcTopology topo(n);
+    SimConfig c = config_with(1e-5, 1.0, 16, RingRelativePattern::broadcast(n));
+    c.measure_cycles = 400000;
+    const SimResult r = Simulator(topo, c).run();
+    ASSERT_TRUE(r.completed) << n;
+    ASSERT_GT(r.multicast_latency.count, 20) << n;
+    EXPECT_EQ(r.multicast_latency.min, 16.0 + n / 4.0 + 1.0) << n;
+    EXPECT_EQ(r.multicast_latency.max, 16.0 + n / 4.0 + 1.0) << n;
+  }
+}
+
+TEST(SimMulticast, CloneAbsorptionCountsFlits) {
+  // A broadcast of M flits to N-1 destinations absorbs (N-1) * M flits per
+  // message (absorb-and-forward clones included).
+  QuarcTopology topo(16);
+  SimConfig c = config_with(1e-4, 1.0, 16, RingRelativePattern::broadcast(16));
+  c.measure_cycles = 100000;
+  const SimResult r = Simulator(topo, c).run();
+  ASSERT_TRUE(r.completed);
+  // Injected: 4 streams of 16 flits per message. Absorbed: 15 stops of 16.
+  const double per_message_injected = 4.0 * 16.0;
+  const double per_message_absorbed = 15.0 * 16.0;
+  const double ratio = static_cast<double>(r.flits_absorbed) / static_cast<double>(r.flits_injected);
+  EXPECT_NEAR(ratio, per_message_absorbed / per_message_injected, 0.05);
+}
+
+TEST(SimMulticast, LocalizedSingleStreamZeroLoad) {
+  // Destinations on the left rim at offsets {2, 4}: one stream, last stop
+  // at hop 4 -> latency exactly M + 4 + 1 at zero load.
+  QuarcTopology topo(16);
+  auto pattern = std::make_shared<RingRelativePattern>(16, std::vector<int>{2, 4});
+  SimConfig c = config_with(1e-5, 1.0, 32, pattern);
+  c.measure_cycles = 400000;
+  const SimResult r = Simulator(topo, c).run();
+  ASSERT_TRUE(r.completed);
+  ASSERT_GT(r.multicast_latency.count, 10);
+  EXPECT_EQ(r.multicast_latency.min, 32.0 + 4.0 + 1.0);
+  EXPECT_EQ(r.multicast_latency.max, 32.0 + 4.0 + 1.0);
+}
+
+TEST(SimMulticast, MixedTrafficRunsToCompletion) {
+  QuarcTopology topo(16);
+  SimConfig c = config_with(0.004, 0.1, 16, RingRelativePattern::broadcast(16));
+  const SimResult r = Simulator(topo, c).run();
+  ASSERT_TRUE(r.completed);
+  EXPECT_GT(r.unicast_latency.count, 0);
+  EXPECT_GT(r.multicast_latency.count, 0);
+  // Multicast covers N/4 hops minimum and waits for the slowest stream:
+  // its mean latency must exceed the unicast mean.
+  EXPECT_GT(r.multicast_latency.mean, r.unicast_latency.mean);
+}
+
+TEST(SimMulticast, SpidergonSoftwareBroadcastZeroLoad) {
+  // Broadcast-by-unicast on an 8-node Spidergon: 7 consecutive unicasts
+  // through one injection channel. At zero load the k-th worm (0-based)
+  // start is delayed by k injection-channel services; the last relevant
+  // bound: latency >= M + 7 (serialisation) and well above the Quarc
+  // equivalent (true broadcast: M + N/4 + 1).
+  SpidergonTopology topo(8);
+  SimConfig c = config_with(2e-5, 1.0, 16, RingRelativePattern::broadcast(8));
+  c.measure_cycles = 300000;
+  const SimResult r = Simulator(topo, c).run();
+  ASSERT_TRUE(r.completed);
+  ASSERT_GT(r.multicast_latency.count, 5);
+  EXPECT_GT(r.multicast_latency.min, 16.0 + 7.0);
+
+  QuarcTopology quarc(8);
+  SimConfig cq = config_with(2e-5, 1.0, 16, RingRelativePattern::broadcast(8));
+  cq.measure_cycles = 300000;
+  const SimResult rq = Simulator(quarc, cq).run();
+  ASSERT_TRUE(rq.completed);
+  EXPECT_EQ(rq.multicast_latency.max, 16.0 + 2.0 + 1.0);
+  EXPECT_GT(r.multicast_latency.mean, 3.0 * rq.multicast_latency.mean);
+}
+
+TEST(SimMulticast, OnePortQuarcSerializesStreams) {
+  // Same hardware multicast streams, but all four share one injection
+  // channel: at zero load the last stream starts after 3 full message
+  // services, so the group latency is far above the all-port case.
+  QuarcTopology one_port(16, PortScheme::OnePort);
+  SimConfig c = config_with(1e-5, 1.0, 16, RingRelativePattern::broadcast(16));
+  c.measure_cycles = 400000;
+  const SimResult r = Simulator(one_port, c).run();
+  ASSERT_TRUE(r.completed);
+  ASSERT_GT(r.multicast_latency.count, 10);
+  // All-port zero-load latency would be 16 + 4 + 1 = 21; serialisation of
+  // four 16-flit streams pushes the last stream past 3*16 cycles later.
+  EXPECT_GE(r.multicast_latency.min, 21.0 + 3 * 16.0 - 3.0);
+}
+
+TEST(SimMulticast, MeshDualPathZeroLoad) {
+  MeshTopology mesh(4, 4, MeshRouting::Hamiltonian);
+  const auto& lab = mesh.labeling();
+  std::vector<std::vector<NodeId>> dests(16);
+  for (NodeId s = 0; s < 16; ++s) {
+    const int l = lab.label_of(s);
+    std::vector<NodeId> v;
+    if (l + 3 < 16) v.push_back(lab.node_at(l + 3));
+    if (l - 3 >= 0) v.push_back(lab.node_at(l - 3));
+    dests[static_cast<std::size_t>(s)] = v;
+  }
+  auto pattern = std::make_shared<ExplicitPattern>(dests, "snake+-3");
+  SimConfig c = config_with(1e-5, 1.0, 32, pattern);
+  c.measure_cycles = 400000;
+  const SimResult r = Simulator(mesh, c).run();
+  ASSERT_TRUE(r.completed);
+  ASSERT_GT(r.multicast_latency.count, 10);
+  // Both streams are 3 hops: exact zero-load latency M + 3 + 1.
+  EXPECT_EQ(r.multicast_latency.min, 32.0 + 3.0 + 1.0);
+  EXPECT_EQ(r.multicast_latency.max, 32.0 + 3.0 + 1.0);
+}
+
+TEST(SimMulticast, HigherAlphaRaisesNetworkLoad) {
+  QuarcTopology topo(16);
+  auto pattern = RingRelativePattern::broadcast(16);
+  SimConfig lo = config_with(0.003, 0.03, 16, pattern);
+  SimConfig hi = config_with(0.003, 0.10, 16, pattern);
+  const SimResult a = Simulator(topo, lo).run();
+  const SimResult b = Simulator(topo, hi).run();
+  ASSERT_TRUE(a.completed);
+  ASSERT_TRUE(b.completed);
+  EXPECT_GT(b.max_channel_utilization, a.max_channel_utilization);
+  EXPECT_GT(b.unicast_latency.mean, a.unicast_latency.mean);
+}
+
+}  // namespace
+}  // namespace quarc

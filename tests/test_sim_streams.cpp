@@ -1,0 +1,133 @@
+// Per-port stream statistics (the empirical counterparts of Eq. 8/13) and
+// their consistency with the order-statistics machinery.
+#include <gtest/gtest.h>
+
+#include "quarc/model/maxexp.hpp"
+#include "quarc/sim/simulator.hpp"
+#include "quarc/topo/quarc.hpp"
+#include "quarc/topo/spidergon.hpp"
+#include "quarc/traffic/pattern.hpp"
+
+namespace quarc {
+namespace {
+
+using sim::SimConfig;
+using sim::Simulator;
+using sim::SimResult;
+
+SimConfig config_with(double rate, double alpha, int msg,
+                      std::shared_ptr<const MulticastPattern> pattern, Cycle measure = 40000) {
+  SimConfig c;
+  c.workload.message_rate = rate;
+  c.workload.multicast_fraction = alpha;
+  c.workload.message_length = msg;
+  c.workload.pattern = std::move(pattern);
+  c.warmup_cycles = 3000;
+  c.measure_cycles = measure;
+  c.seed = 21;
+  return c;
+}
+
+TEST(SimStreams, ZeroLoadStreamWaitsAreZero) {
+  QuarcTopology topo(16);
+  SimConfig c = config_with(1e-5, 1.0, 16, RingRelativePattern::broadcast(16), 300000);
+  const SimResult r = Simulator(topo, c).run();
+  ASSERT_TRUE(r.completed);
+  ASSERT_EQ(r.stream_wait_by_port.size(), 4u);
+  for (const auto& s : r.stream_wait_by_port) {
+    ASSERT_GT(s.count, 5);
+    EXPECT_EQ(s.mean, 0.0) << "streams see an empty network at zero load";
+  }
+  ASSERT_GT(r.multicast_wait.count, 5);
+  EXPECT_EQ(r.multicast_wait.mean, 0.0);
+}
+
+TEST(SimStreams, AllFourPortsCollectSamplesUnderBroadcast) {
+  QuarcTopology topo(16);
+  SimConfig c = config_with(0.003, 0.2, 16, RingRelativePattern::broadcast(16));
+  const SimResult r = Simulator(topo, c).run();
+  ASSERT_TRUE(r.completed);
+  for (const auto& s : r.stream_wait_by_port) {
+    EXPECT_GT(s.count, 50);
+    EXPECT_GE(s.mean, 0.0);
+  }
+  // Every stream of every group reports exactly once.
+  const std::int64_t total_streams = r.stream_wait_by_port[0].count +
+                                     r.stream_wait_by_port[1].count +
+                                     r.stream_wait_by_port[2].count +
+                                     r.stream_wait_by_port[3].count;
+  EXPECT_EQ(total_streams, 4 * r.multicast_latency.count);
+}
+
+TEST(SimStreams, LocalizedPatternLoadsOnlyOnePort) {
+  QuarcTopology topo(16);
+  auto pattern = std::make_shared<RingRelativePattern>(16, std::vector<int>{2, 3});
+  SimConfig c = config_with(0.004, 0.2, 16, pattern);
+  const SimResult r = Simulator(topo, c).run();
+  ASSERT_TRUE(r.completed);
+  EXPECT_GT(r.stream_wait_by_port[QuarcTopology::kL].count, 0);
+  EXPECT_EQ(r.stream_wait_by_port[QuarcTopology::kCL].count, 0);
+  EXPECT_EQ(r.stream_wait_by_port[QuarcTopology::kCR].count, 0);
+  EXPECT_EQ(r.stream_wait_by_port[QuarcTopology::kR].count, 0);
+}
+
+TEST(SimStreams, GroupWaitIsAtLeastEveryPortMeanAtModerateLoad) {
+  // The group wait is the max over streams, so its mean dominates each
+  // per-port mean wait (up to hop-difference slack, absent for broadcast
+  // where all Quarc streams have equal length N/4).
+  QuarcTopology topo(16);
+  SimConfig c = config_with(0.005, 0.2, 16, RingRelativePattern::broadcast(16), 80000);
+  const SimResult r = Simulator(topo, c).run();
+  ASSERT_TRUE(r.completed);
+  ASSERT_GT(r.multicast_wait.count, 100);
+  for (const auto& s : r.stream_wait_by_port) {
+    EXPECT_GE(r.multicast_wait.mean, s.mean - 0.5);
+  }
+}
+
+TEST(SimStreams, Eq12BeatsNaiveMaxAsGroupWaitEstimate) {
+  // The paper's argument in executable form: feeding the empirical per-port
+  // mean waits into E[max of exponentials] must approximate the empirical
+  // group wait better than taking the slowest port's mean.
+  QuarcTopology topo(16);
+  SimConfig c = config_with(0.005, 0.15, 16, RingRelativePattern::broadcast(16), 120000);
+  const SimResult r = Simulator(topo, c).run();
+  ASSERT_TRUE(r.completed);
+  ASSERT_GT(r.multicast_wait.count, 200);
+
+  std::vector<double> means;
+  double naive = 0.0;
+  for (const auto& s : r.stream_wait_by_port) {
+    means.push_back(s.mean);
+    naive = std::max(naive, s.mean);
+  }
+  const double eq12 = expected_max_from_means(means);
+  const double actual = r.multicast_wait.mean;
+  ASSERT_GT(actual, 1.0);
+  EXPECT_LT(std::abs(eq12 - actual), std::abs(naive - actual));
+  EXPECT_GT(eq12, naive);  // order statistics always exceed the worst mean
+}
+
+TEST(SimStreams, UnicastOnlyRunHasNoStreamSamples) {
+  QuarcTopology topo(16);
+  SimConfig c = config_with(0.004, 0.0, 16, nullptr);
+  const SimResult r = Simulator(topo, c).run();
+  ASSERT_TRUE(r.completed);
+  for (const auto& s : r.stream_wait_by_port) EXPECT_EQ(s.count, 0);
+  EXPECT_EQ(r.multicast_wait.count, 0);
+}
+
+TEST(SimStreams, SoftwareMulticastStreamsRecordedOnSinglePort) {
+  SpidergonTopology topo(16);
+  SimConfig c = config_with(0.0005, 0.1, 16, RingRelativePattern::broadcast(16), 80000);
+  const SimResult r = Simulator(topo, c).run();
+  ASSERT_TRUE(r.completed);
+  ASSERT_EQ(r.stream_wait_by_port.size(), 1u);
+  // 15 unicasts per broadcast, each reporting a stream completion.
+  EXPECT_EQ(r.stream_wait_by_port[0].count, 15 * r.multicast_latency.count);
+  // Serialization makes the later streams wait: mean wait is well above 0.
+  EXPECT_GT(r.stream_wait_by_port[0].mean, 10.0);
+}
+
+}  // namespace
+}  // namespace quarc

@@ -1,0 +1,140 @@
+#include "quarc/model/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "quarc/topo/quarc.hpp"
+#include "quarc/traffic/pattern.hpp"
+
+namespace quarc {
+namespace {
+
+Workload make_load(double rate, double alpha, int msg, int n) {
+  Workload w;
+  w.message_rate = rate;
+  w.multicast_fraction = alpha;
+  w.message_length = msg;
+  if (alpha > 0.0) w.pattern = RingRelativePattern::broadcast(n);
+  return w;
+}
+
+TEST(Solver, ConvergesAtLowLoad) {
+  QuarcTopology topo(16);
+  const Workload w = make_load(0.001, 0.0, 16, 16);
+  ChannelGraph g(topo, w);
+  ServiceTimeSolver solver(topo, g, w.message_length);
+  EXPECT_EQ(solver.solve(), SolveStatus::Converged);
+  EXPECT_GT(solver.iterations_used(), 0);
+  EXPECT_LT(solver.max_utilization(), 0.2);
+}
+
+TEST(Solver, EjectionServiceIsMessageLength) {
+  QuarcTopology topo(16);
+  const Workload w = make_load(0.002, 0.0, 24, 16);
+  ChannelGraph g(topo, w);
+  ServiceTimeSolver solver(topo, g, 24);
+  ASSERT_EQ(solver.solve(), SolveStatus::Converged);
+  for (const ChannelInfo& ch : topo.channels()) {
+    if (ch.kind == ChannelKind::Ejection && g.lambda(ch.id) > 0) {
+      EXPECT_DOUBLE_EQ(solver.channel(ch.id).service_time, 24.0);
+    }
+  }
+}
+
+TEST(Solver, ServiceTimesExceedDrainTime) {
+  // Any channel's mean service time is at least the pure drain time M, and
+  // strictly larger upstream (downstream waits and hops accumulate).
+  QuarcTopology topo(16);
+  const Workload w = make_load(0.004, 0.0, 16, 16);
+  ChannelGraph g(topo, w);
+  ServiceTimeSolver solver(topo, g, 16);
+  ASSERT_EQ(solver.solve(), SolveStatus::Converged);
+  for (const ChannelInfo& ch : topo.channels()) {
+    if (g.lambda(ch.id) <= 0) continue;
+    EXPECT_GE(solver.channel(ch.id).service_time, 16.0) << ch.label;
+    if (ch.kind == ChannelKind::Injection) {
+      // Injection channels sit furthest upstream: strictly above M + 1.
+      EXPECT_GT(solver.channel(ch.id).service_time, 17.0) << ch.label;
+    }
+  }
+}
+
+TEST(Solver, VertexSymmetryGivesUniformChannelClasses) {
+  QuarcTopology topo(32);
+  const Workload w = make_load(0.0012, 0.1, 32, 32);
+  ChannelGraph g(topo, w);
+  ServiceTimeSolver solver(topo, g, 32);
+  ASSERT_EQ(solver.solve(), SolveStatus::Converged);
+  const double cw0 = solver.channel(topo.cw_channel(0)).service_time;
+  const double xl0 = solver.channel(topo.xl_channel(0)).service_time;
+  for (NodeId i = 1; i < 32; ++i) {
+    EXPECT_NEAR(solver.channel(topo.cw_channel(i)).service_time, cw0, 1e-6);
+    EXPECT_NEAR(solver.channel(topo.xl_channel(i)).service_time, xl0, 1e-6);
+  }
+}
+
+TEST(Solver, WaitsIncreaseWithRate) {
+  QuarcTopology topo(16);
+  double prev = -1.0;
+  for (double rate : {0.001, 0.002, 0.004, 0.008}) {
+    const Workload w = make_load(rate, 0.0, 16, 16);
+    ChannelGraph g(topo, w);
+    ServiceTimeSolver solver(topo, g, 16);
+    ASSERT_EQ(solver.solve(), SolveStatus::Converged) << rate;
+    const double wait = solver.channel(topo.cw_channel(0)).waiting_time;
+    EXPECT_GT(wait, prev);
+    prev = wait;
+  }
+}
+
+TEST(Solver, DetectsSaturation) {
+  QuarcTopology topo(16);
+  const Workload w = make_load(0.5, 0.0, 16, 16);
+  ChannelGraph g(topo, w);
+  ServiceTimeSolver solver(topo, g, 16);
+  EXPECT_EQ(solver.solve(), SolveStatus::Saturated);
+}
+
+TEST(Solver, ZeroLoadTrivially) {
+  QuarcTopology topo(16);
+  const Workload w = make_load(0.0, 0.0, 16, 16);
+  ChannelGraph g(topo, w);
+  ServiceTimeSolver solver(topo, g, 16);
+  EXPECT_EQ(solver.solve(), SolveStatus::Converged);
+  for (const ChannelInfo& ch : topo.channels()) {
+    EXPECT_EQ(solver.channel(ch.id).waiting_time, 0.0);
+    EXPECT_EQ(solver.channel(ch.id).utilization, 0.0);
+  }
+}
+
+TEST(Solver, DampingVariantsAgree) {
+  QuarcTopology topo(16);
+  const Workload w = make_load(0.006, 0.05, 16, 16);
+  ChannelGraph g(topo, w);
+  SolverOptions a, b;
+  a.damping = 1.0;
+  b.damping = 0.3;
+  ServiceTimeSolver sa(topo, g, 16, a), sb(topo, g, 16, b);
+  ASSERT_EQ(sa.solve(), SolveStatus::Converged);
+  ASSERT_EQ(sb.solve(), SolveStatus::Converged);
+  for (const ChannelInfo& ch : topo.channels()) {
+    EXPECT_NEAR(sa.channel(ch.id).service_time, sb.channel(ch.id).service_time, 1e-5)
+        << ch.label;
+  }
+}
+
+TEST(Solver, BottleneckIsRimAtUniformUnicast) {
+  // The q^2 rim load dominates all other channel classes.
+  QuarcTopology topo(32);
+  const Workload w = make_load(0.002, 0.0, 32, 32);
+  ChannelGraph g(topo, w);
+  ServiceTimeSolver solver(topo, g, 32);
+  ASSERT_EQ(solver.solve(), SolveStatus::Converged);
+  ChannelId bottleneck = kInvalidChannel;
+  solver.max_utilization(&bottleneck);
+  ASSERT_NE(bottleneck, kInvalidChannel);
+  const auto& label = topo.channel(bottleneck).label;
+  EXPECT_TRUE(label.rfind("CW", 0) == 0 || label.rfind("CCW", 0) == 0) << label;
+}
+
+}  // namespace
+}  // namespace quarc

@@ -1,0 +1,99 @@
+#include "quarc/topo/spidergon.hpp"
+
+#include <gtest/gtest.h>
+
+#include "quarc/util/error.hpp"
+
+namespace quarc {
+namespace {
+
+TEST(SpidergonTopology, RejectsInvalidSizes) {
+  EXPECT_THROW(SpidergonTopology(6), InvalidArgument);
+  EXPECT_THROW(SpidergonTopology(4), InvalidArgument);
+  EXPECT_NO_THROW(SpidergonTopology(8));
+}
+
+TEST(SpidergonTopology, ChannelInventory) {
+  // Per node: 1 injection + 3 external (CW, CCW, cross) + 1 ejection.
+  SpidergonTopology t(16);
+  EXPECT_EQ(t.num_channels(), 16 * 5);
+  EXPECT_EQ(t.num_ports(), 1);
+}
+
+TEST(SpidergonTopology, NoHardwareMulticast) {
+  SpidergonTopology t(16);
+  EXPECT_FALSE(t.supports_multicast());
+  EXPECT_THROW(t.multicast_streams(0, {1, 2}), InvalidArgument);
+}
+
+TEST(SpidergonTopology, AcrossFirstHopCounts) {
+  SpidergonTopology t(16);
+  EXPECT_EQ(t.hops_for_distance(1), 1);
+  EXPECT_EQ(t.hops_for_distance(4), 4);   // rim edge
+  EXPECT_EQ(t.hops_for_distance(5), 4);   // cross + 3 CCW
+  EXPECT_EQ(t.hops_for_distance(7), 2);   // cross + 1 CCW
+  EXPECT_EQ(t.hops_for_distance(8), 1);   // cross
+  EXPECT_EQ(t.hops_for_distance(9), 2);   // cross + 1 CW
+  EXPECT_EQ(t.hops_for_distance(11), 4);  // cross + 3 CW
+  EXPECT_EQ(t.hops_for_distance(12), 4);  // CCW rim
+  EXPECT_EQ(t.hops_for_distance(15), 1);
+}
+
+TEST(SpidergonTopology, DiameterClosedForm) {
+  // Across-first routing peaks at the rim-quarter edge (k = N/4, N/4 hops)
+  // and at k = N/4+1 (cross plus N/4-1 rim hops): diameter N/4.
+  for (int n : {8, 16, 32, 64}) {
+    SpidergonTopology t(n);
+    EXPECT_EQ(t.diameter(), n / 4) << "N=" << n;
+    if (n <= 32) {
+      EXPECT_EQ(t.Topology::diameter(), n / 4);
+    }
+  }
+}
+
+TEST(SpidergonTopology, StructuralValidation) {
+  for (int n : {8, 16, 32}) EXPECT_NO_THROW(validate_topology(SpidergonTopology(n)));
+}
+
+TEST(SpidergonTopology, RoutesAreShortestAmongRimAndCross) {
+  SpidergonTopology t(32);
+  for (NodeId s = 0; s < 32; ++s) {
+    for (NodeId d = 0; d < 32; ++d) {
+      if (s == d) continue;
+      const int k = t.cw_distance(s, d);
+      const int best = std::min({k, 32 - k, 1 + std::abs(16 - k)});
+      EXPECT_EQ(t.unicast_route(s, d).hops(), best) << s << "->" << d;
+    }
+  }
+}
+
+TEST(SpidergonTopology, SinglePortSharedByAllRoutes) {
+  SpidergonTopology t(16);
+  for (NodeId d = 1; d < 16; ++d) {
+    const auto r = t.unicast_route(0, d);
+    EXPECT_EQ(r.port, 0);
+    EXPECT_EQ(r.injection, t.injection_channel(0));
+    EXPECT_EQ(r.ejection, t.ejection_channel(d));
+  }
+}
+
+TEST(SpidergonTopology, CrossRouteUsesCrossChannelFirst) {
+  SpidergonTopology t(16);
+  const auto r = t.unicast_route(2, 8);  // distance 6: cross to 10, CCW 9, 8
+  ASSERT_EQ(r.links.size(), 3u);
+  EXPECT_EQ(r.links[0], t.cross_channel(2));
+  EXPECT_EQ(r.links[1], t.ccw_channel(10));
+  EXPECT_EQ(r.links[2], t.ccw_channel(9));
+}
+
+TEST(SpidergonTopology, DatelineVcOnRimWrap) {
+  SpidergonTopology t(16);
+  const auto r = t.unicast_route(14, 1);  // CW distance 3 across the wrap
+  ASSERT_EQ(r.links.size(), 3u);
+  EXPECT_EQ(r.link_vcs[0], 0);  // CW[14]
+  EXPECT_EQ(r.link_vcs[1], 0);  // CW[15]
+  EXPECT_EQ(r.link_vcs[2], 1);  // CW[0], wrapped
+}
+
+}  // namespace
+}  // namespace quarc

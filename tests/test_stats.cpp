@@ -1,0 +1,131 @@
+#include "quarc/util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quarc/util/error.hpp"
+#include "quarc/util/rng.hpp"
+
+namespace quarc {
+namespace {
+
+TEST(RunningStats, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownSmallSample) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample (unbiased) variance of this classic data set is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.count(), 8);
+}
+
+TEST(RunningStats, MergeEqualsPooled) {
+  Rng rng(3);
+  RunningStats a, b, pooled;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform() * 10.0;
+    (i % 2 == 0 ? a : b).add(x);
+    pooled.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), pooled.count());
+  EXPECT_NEAR(a.mean(), pooled.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), pooled.variance(), 1e-9);
+  EXPECT_EQ(a.min(), pooled.min());
+  EXPECT_EQ(a.max(), pooled.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.merge(b);  // no-op
+  EXPECT_EQ(a.count(), 1);
+  b.merge(a);  // copies
+  EXPECT_EQ(b.count(), 1);
+  EXPECT_EQ(b.mean(), 1.0);
+}
+
+TEST(RunningStats, NumericallyStableForLargeOffset) {
+  RunningStats s;
+  const double offset = 1e12;
+  for (int i = 0; i < 1000; ++i) s.add(offset + (i % 2 == 0 ? 1.0 : -1.0));
+  EXPECT_NEAR(s.mean(), offset, 1e-3);
+  EXPECT_NEAR(s.variance(), 1.0 + 1.0 / 999.0, 1e-3);
+}
+
+TEST(BatchMeans, RequiresTwoBatches) { EXPECT_THROW(BatchMeans(1), InvalidArgument); }
+
+TEST(BatchMeans, InfiniteCiWithFewSamples) {
+  BatchMeans b(10);
+  for (int i = 0; i < 15; ++i) b.add(1.0);
+  EXPECT_TRUE(std::isinf(b.ci_halfwidth()));
+}
+
+TEST(BatchMeans, ZeroWidthForConstantData) {
+  BatchMeans b(10);
+  for (int i = 0; i < 1000; ++i) b.add(3.5);
+  EXPECT_DOUBLE_EQ(b.mean(), 3.5);
+  EXPECT_NEAR(b.ci_halfwidth(), 0.0, 1e-12);
+}
+
+TEST(BatchMeans, CoversTrueMeanOfIidNoise) {
+  Rng rng(17);
+  BatchMeans b(16);
+  for (int i = 0; i < 20000; ++i) b.add(rng.uniform());
+  EXPECT_NEAR(b.mean(), 0.5, b.ci_halfwidth() * 3);
+  EXPECT_LT(b.ci_halfwidth(), 0.02);
+}
+
+TEST(Histogram, BinningAndTails) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-1.0);
+  h.add(0.0);
+  h.add(9.999);
+  h.add(10.0);
+  h.add(5.5);
+  EXPECT_EQ(h.underflow(), 1);
+  EXPECT_EQ(h.overflow(), 1);
+  EXPECT_EQ(h.bin_count(0), 1);
+  EXPECT_EQ(h.bin_count(9), 1);
+  EXPECT_EQ(h.bin_count(5), 1);
+  EXPECT_EQ(h.total(), 5);
+  EXPECT_DOUBLE_EQ(h.bin_low(5), 5.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(5), 6.0);
+}
+
+TEST(Histogram, QuantileOfUniformData) {
+  Histogram h(0.0, 1.0, 100);
+  Rng rng(23);
+  for (int i = 0; i < 100000; ++i) h.add(rng.uniform());
+  EXPECT_NEAR(h.quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(h.quantile(0.9), 0.9, 0.02);
+  EXPECT_NEAR(h.quantile(0.1), 0.1, 0.02);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 10), InvalidArgument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), InvalidArgument);
+}
+
+TEST(StatSummary, ToStringContainsMeanAndCount) {
+  StatSummary s;
+  s.count = 10;
+  s.mean = 4.25;
+  s.ci95 = 0.5;
+  const std::string str = s.to_string();
+  EXPECT_NE(str.find("4.25"), std::string::npos);
+  EXPECT_NE(str.find("n=10"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace quarc

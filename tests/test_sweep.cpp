@@ -1,0 +1,97 @@
+#include "quarc/sweep/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quarc/topo/quarc.hpp"
+#include "quarc/traffic/pattern.hpp"
+
+namespace quarc {
+namespace {
+
+Workload base_load(int n) {
+  Workload w;
+  w.multicast_fraction = 0.05;
+  w.message_length = 16;
+  w.pattern = RingRelativePattern::broadcast(n);
+  return w;
+}
+
+TEST(Sweep, SaturationRateBracketsModelStatus) {
+  QuarcTopology topo(16);
+  const Workload w = base_load(16);
+  const double sat = model_saturation_rate(topo, w);
+  ASSERT_GT(sat, 0.0);
+
+  Workload below = w;
+  below.message_rate = sat * 0.95;
+  EXPECT_EQ(PerformanceModel(topo, below).evaluate().status, SolveStatus::Converged);
+
+  Workload above = w;
+  above.message_rate = sat * 1.1;
+  EXPECT_NE(PerformanceModel(topo, above).evaluate().status, SolveStatus::Converged);
+}
+
+TEST(Sweep, GridIsIncreasingAndBounded) {
+  QuarcTopology topo(16);
+  const Workload w = base_load(16);
+  const auto rates = rate_grid_to_saturation(topo, w, 8, 0.9);
+  ASSERT_EQ(rates.size(), 8u);
+  for (std::size_t i = 1; i < rates.size(); ++i) EXPECT_GT(rates[i], rates[i - 1]);
+  const double sat = model_saturation_rate(topo, w);
+  EXPECT_LE(rates.back(), sat * 0.9 + 1e-12);
+}
+
+TEST(Sweep, ModelOnlySweepFillsResults) {
+  QuarcTopology topo(16);
+  const Workload w = base_load(16);
+  SweepConfig cfg;
+  cfg.run_sim = false;
+  const std::vector<double> rates = {0.001, 0.002};
+  const auto points = sweep_rates(topo, w, rates, cfg);
+  ASSERT_EQ(points.size(), 2u);
+  for (const auto& p : points) {
+    EXPECT_FALSE(p.sim_run);
+    EXPECT_EQ(p.model.status, SolveStatus::Converged);
+    EXPECT_TRUE(std::isnan(p.multicast_error()));
+  }
+  EXPECT_GT(points[1].model.avg_multicast_latency, points[0].model.avg_multicast_latency);
+}
+
+TEST(Sweep, FullSweepComputesErrors) {
+  QuarcTopology topo(16);
+  const Workload w = base_load(16);
+  SweepConfig cfg;
+  cfg.sim.warmup_cycles = 2000;
+  cfg.sim.measure_cycles = 20000;
+  const std::vector<double> rates = {0.002, 0.004};
+  const auto points = sweep_rates(topo, w, rates, cfg);
+  for (const auto& p : points) {
+    ASSERT_TRUE(p.sim_run);
+    ASSERT_TRUE(p.sim.completed);
+    EXPECT_TRUE(std::isfinite(p.multicast_error()));
+    EXPECT_LT(std::abs(p.multicast_error()), 0.2);
+  }
+}
+
+TEST(Sweep, ParallelAndSerialSweepsAgree) {
+  QuarcTopology topo(16);
+  const Workload w = base_load(16);
+  SweepConfig serial, parallel;
+  serial.threads = 1;
+  parallel.threads = 4;
+  serial.sim.measure_cycles = parallel.sim.measure_cycles = 10000;
+  serial.sim.warmup_cycles = parallel.sim.warmup_cycles = 1000;
+  const std::vector<double> rates = {0.001, 0.002, 0.003, 0.004};
+  const auto a = sweep_rates(topo, w, rates, serial);
+  const auto b = sweep_rates(topo, w, rates, parallel);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].sim.unicast_latency.mean, b[i].sim.unicast_latency.mean) << i;
+    EXPECT_DOUBLE_EQ(a[i].model.avg_multicast_latency, b[i].model.avg_multicast_latency) << i;
+  }
+}
+
+}  // namespace
+}  // namespace quarc

@@ -1,0 +1,69 @@
+#include "quarc/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "quarc/util/error.hpp"
+
+namespace quarc {
+namespace {
+
+TEST(Table, AlignedOutputContainsAllCells) {
+  Table t({"rate", "model", "sim"});
+  t.add_row({std::string("0.01"), 123.456, std::int64_t{42}});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("rate"), std::string::npos);
+  EXPECT_NE(out.find("123.456"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(Table, PrecisionApplied) {
+  Table t({"x"}, 1);
+  t.add_row({3.14159});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("3.1"), std::string::npos);
+  EXPECT_EQ(os.str().find("3.14"), std::string::npos);
+}
+
+TEST(Table, RowWidthEnforced) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({1.0}), InvalidArgument);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"name", "value"});
+  t.add_row({std::string("has,comma"), std::string("has\"quote")});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, CsvRoundTripStructure) {
+  Table t({"a", "b"});
+  t.add_row({std::int64_t{1}, std::int64_t{2}});
+  t.add_row({std::int64_t{3}, std::int64_t{4}});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(Table, CountsRowsAndCols) {
+  Table t({"a", "b", "c"});
+  EXPECT_EQ(t.num_cols(), 3u);
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.add_row({1.0, 2.0, 3.0});
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(Table, EmptyHeaderRejected) {
+  EXPECT_THROW(Table(std::vector<std::string>{}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace quarc

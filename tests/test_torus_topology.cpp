@@ -1,0 +1,99 @@
+#include "quarc/topo/torus.hpp"
+
+#include <gtest/gtest.h>
+
+#include "quarc/util/error.hpp"
+
+namespace quarc {
+namespace {
+
+int ring_dist(int a, int b, int n) {
+  const int d = ((b - a) % n + n) % n;
+  return std::min(d, n - d);
+}
+
+TEST(TorusTopology, RejectsTinyGrids) {
+  EXPECT_THROW(TorusTopology(2, 4), InvalidArgument);
+  EXPECT_THROW(TorusTopology(4, 2), InvalidArgument);
+  EXPECT_NO_THROW(TorusTopology(3, 3));
+}
+
+TEST(TorusTopology, ChannelInventory) {
+  TorusTopology t(4, 4);
+  // Per node: 4 injection + 4 external + 4 ejection.
+  EXPECT_EQ(t.num_channels(), 16 * 12);
+  EXPECT_EQ(t.num_ports(), 4);
+}
+
+TEST(TorusTopology, RingLinksCarryTwoVcs) {
+  TorusTopology t(4, 4);
+  for (auto dir : {TorusTopology::kEast, TorusTopology::kWest, TorusTopology::kNorth,
+                   TorusTopology::kSouth}) {
+    EXPECT_EQ(t.channel(t.link(5, dir)).vcs, 2);
+  }
+}
+
+TEST(TorusTopology, HopsAreRingManhattan)
+{
+  TorusTopology t(5, 4);
+  for (NodeId s = 0; s < t.num_nodes(); ++s) {
+    for (NodeId d = 0; d < t.num_nodes(); ++d) {
+      if (s == d) continue;
+      const int expect = ring_dist(t.x_of(s), t.x_of(d), 5) + ring_dist(t.y_of(s), t.y_of(d), 4);
+      EXPECT_EQ(t.unicast_route(s, d).hops(), expect) << s << "->" << d;
+    }
+  }
+}
+
+TEST(TorusTopology, TieBreaksPositive) {
+  TorusTopology t(4, 4);
+  // Distance 2 in a 4-ring is a tie; must go east (positive).
+  const auto r = t.unicast_route(t.node_id(0, 0), t.node_id(2, 0));
+  ASSERT_EQ(r.links.size(), 2u);
+  EXPECT_EQ(r.links[0], t.link(t.node_id(0, 0), TorusTopology::kEast));
+  EXPECT_EQ(r.port, TorusTopology::kEast);
+}
+
+TEST(TorusTopology, WraparoundPathsShort) {
+  TorusTopology t(5, 5);
+  // (0,0) -> (4,0): distance 1 going west around the wrap.
+  const auto r = t.unicast_route(t.node_id(0, 0), t.node_id(4, 0));
+  EXPECT_EQ(r.hops(), 1);
+  EXPECT_EQ(r.links[0], t.link(t.node_id(0, 0), TorusTopology::kWest));
+}
+
+TEST(TorusTopology, DatelineVcAfterWrap) {
+  TorusTopology t(5, 5);
+  // (4,0) -> (1,0): east distance 2 (4 -> 0 -> 1). The first link leaves at
+  // coordinate 4 (no wrap yet, VC0); the second leaves at coordinate 0,
+  // below the entry coordinate 4, so the worm has wrapped and uses VC1.
+  const auto r = t.unicast_route(t.node_id(4, 0), t.node_id(1, 0));
+  ASSERT_EQ(r.links.size(), 2u);
+  EXPECT_EQ(r.link_vcs[0], 0);  // at x=4
+  EXPECT_EQ(r.link_vcs[1], 1);  // at x=0 < entry 4: wrapped
+}
+
+TEST(TorusTopology, StructuralValidation) {
+  EXPECT_NO_THROW(validate_topology(TorusTopology(3, 3)));
+  EXPECT_NO_THROW(validate_topology(TorusTopology(4, 4)));
+  EXPECT_NO_THROW(validate_topology(TorusTopology(5, 3)));
+}
+
+TEST(TorusTopology, NoHardwareMulticast) {
+  TorusTopology t(4, 4);
+  EXPECT_FALSE(t.supports_multicast());
+  EXPECT_THROW(t.multicast_streams(0, {1}), InvalidArgument);
+}
+
+TEST(TorusTopology, XBeforeYOrdering) {
+  TorusTopology t(4, 4);
+  const auto r = t.unicast_route(t.node_id(0, 0), t.node_id(1, 1));
+  ASSERT_EQ(r.links.size(), 2u);
+  EXPECT_EQ(r.links[0], t.link(t.node_id(0, 0), TorusTopology::kEast));
+  EXPECT_EQ(r.links[1], t.link(t.node_id(1, 0), TorusTopology::kNorth));
+  EXPECT_EQ(r.port, TorusTopology::kEast);
+  EXPECT_EQ(r.ejection, t.ejection_channel(t.node_id(1, 1), TorusTopology::kNorth));
+}
+
+}  // namespace
+}  // namespace quarc

@@ -1,0 +1,110 @@
+// Worm construction from routes and streams: stage layout, tap placement,
+// and the snapshot-stamp buffer mechanics the movement phase relies on.
+#include <gtest/gtest.h>
+
+#include "quarc/sim/network_state.hpp"
+#include "quarc/topo/quarc.hpp"
+
+namespace quarc::sim {
+namespace {
+
+TEST(WormFromRoute, StageLayout) {
+  QuarcTopology topo(16);
+  const auto r = topo.unicast_route(0, 3);  // 3 CW hops
+  const Worm w = Worm::from_route(r, 32);
+  ASSERT_EQ(w.stages.size(), 5u);  // injection + 3 links + ejection
+  EXPECT_EQ(w.stages.front(), r.injection);
+  EXPECT_EQ(w.stages.back(), r.ejection);
+  EXPECT_EQ(w.last_stage(), 4);
+  EXPECT_EQ(w.flits_to_inject, 32);
+  EXPECT_EQ(w.msg_len, 32);
+  EXPECT_EQ(w.port, r.port);
+  EXPECT_TRUE(w.taps.empty());
+  EXPECT_EQ(w.head_stage, -1);
+  EXPECT_EQ(w.absorbed, 0);
+  for (const auto& d : w.dyn) {
+    EXPECT_EQ(d.occ, 0);
+    EXPECT_EQ(d.exited, 0u);
+  }
+}
+
+TEST(WormFromRoute, VcAssignmentCopied) {
+  QuarcTopology topo(16);
+  const auto r = topo.unicast_route(14, 2);  // wraps the CW dateline
+  const Worm w = Worm::from_route(r, 16);
+  ASSERT_EQ(w.stage_vc.size(), w.stages.size());
+  EXPECT_EQ(w.stage_vc.front(), 0);  // injection
+  EXPECT_EQ(w.stage_vc.back(), 0);   // ejection
+  for (std::size_t i = 0; i < r.links.size(); ++i) {
+    EXPECT_EQ(w.stage_vc[i + 1], r.link_vcs[i]);
+  }
+}
+
+TEST(WormFromStream, TapsAtIntermediateStops) {
+  QuarcTopology topo(16);
+  // L-quadrant multicast to distances 2 and 4: stop at hop 2 (tap) and the
+  // final stop at hop 4 (worm's last stage).
+  const auto streams = topo.multicast_streams(0, {2, 4});
+  ASSERT_EQ(streams.size(), 1u);
+  const Worm w = Worm::from_stream(streams[0], 16);
+  ASSERT_EQ(w.taps.size(), 1u);
+  EXPECT_EQ(w.taps[0].boundary, 2);
+  EXPECT_EQ(w.taps[0].node, 2);
+  EXPECT_FALSE(w.taps[0].allocated);
+  EXPECT_EQ(w.stages.size(), 6u);  // inj + 4 links + final ejection
+  EXPECT_NE(w.tap_at_boundary(2), nullptr);
+  EXPECT_EQ(w.tap_at_boundary(1), nullptr);
+  EXPECT_EQ(w.tap_at_boundary(4), nullptr);
+}
+
+TEST(WormFromStream, SingleStopHasNoTaps) {
+  QuarcTopology topo(16);
+  const auto streams = topo.multicast_streams(0, {3});
+  const Worm w = Worm::from_stream(streams[0], 16);
+  EXPECT_TRUE(w.taps.empty());
+  EXPECT_FALSE(w.fully_absorbed());
+  EXPECT_TRUE(w.taps_done());
+}
+
+TEST(StageDyn, SnapshotSemantics) {
+  StageDyn d;
+  const Cycle t = 10;
+  EXPECT_FALSE(d.avail(t));
+  EXPECT_EQ(d.occ_at_start(t), 0);
+
+  d.on_enter(t);
+  EXPECT_EQ(d.occ, 1);
+  EXPECT_FALSE(d.avail(t)) << "a flit entering this cycle is not available this cycle";
+  EXPECT_EQ(d.occ_at_start(t), 0) << "start-of-cycle occupancy excludes this cycle's entry";
+  EXPECT_TRUE(d.avail(t + 1));
+  EXPECT_EQ(d.occ_at_start(t + 1), 1);
+
+  d.on_exit(t + 1);
+  EXPECT_EQ(d.occ, 0);
+  EXPECT_EQ(d.exited, 1u);
+  EXPECT_EQ(d.occ_at_start(t + 1), 1) << "exit this cycle is restored in the snapshot";
+  EXPECT_EQ(d.occ_at_start(t + 2), 0);
+}
+
+TEST(StageDyn, EnterAndExitSameCycle) {
+  StageDyn d;
+  d.on_enter(5);
+  d.on_enter(6);
+  EXPECT_EQ(d.occ, 2);
+  EXPECT_TRUE(d.avail(6)) << "the older flit is available even if one entered now";
+  d.on_exit(6);
+  EXPECT_EQ(d.occ_at_start(6), 1) << "snapshot: 2 present minus 1 entered plus... exit restored";
+  EXPECT_EQ(d.occ, 1);
+}
+
+TEST(Claim, TapDiscrimination) {
+  Worm w;
+  TapState tp;
+  Claim stage_claim{&w, 3, nullptr};
+  Claim tap_claim{&w, -1, &tp};
+  EXPECT_FALSE(stage_claim.is_tap());
+  EXPECT_TRUE(tap_claim.is_tap());
+}
+
+}  // namespace
+}  // namespace quarc::sim

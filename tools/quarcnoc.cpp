@@ -1,0 +1,18 @@
+// quarcnoc — command-line front end. See `quarcnoc --help`.
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "quarc/cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    const quarc::cli::Options opts = quarc::cli::parse(args);
+    return quarc::cli::run(opts, std::cout);
+  } catch (const std::exception& e) {
+    std::cerr << "quarcnoc: " << e.what() << "\n";
+    return 2;
+  }
+}
