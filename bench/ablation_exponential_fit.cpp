@@ -17,9 +17,6 @@
 #include <vector>
 
 #include "common.hpp"
-#include "quarc/sim/simulator.hpp"
-#include "quarc/topo/quarc.hpp"
-#include "quarc/traffic/pattern.hpp"
 
 namespace {
 
@@ -59,21 +56,18 @@ Fit fit_exponential(std::vector<double> xs) {
 }
 
 void run_config(int nodes, double rate_fraction, double alpha, int msg, Cycle measure) {
-  QuarcTopology topo(nodes);
-  Workload base;
-  base.multicast_fraction = alpha;
-  base.message_length = msg;
-  base.pattern = RingRelativePattern::broadcast(nodes);
-  const double rate = rate_fraction * model_saturation_rate(topo, base);
+  api::Scenario scenario;
+  scenario.topology("quarc:" + std::to_string(nodes))
+      .pattern("broadcast")
+      .alpha(alpha)
+      .message_length(msg)
+      .seed(88)
+      .warmup(5000)
+      .measure(measure);
+  scenario.sim_config().collect_stream_samples = true;
+  scenario.rate(rate_fraction * scenario.saturation_rate());
 
-  sim::SimConfig c;
-  c.workload = base;
-  c.workload.message_rate = rate;
-  c.warmup_cycles = 5000;
-  c.measure_cycles = measure;
-  c.collect_stream_samples = true;
-  c.seed = 88;
-  const auto r = sim::Simulator(topo, c).run();
+  const sim::SimResult r = scenario.run_sim_raw();
   if (!r.completed) {
     std::cout << "\n(config N=" << nodes << " at " << rate_fraction
               << " of saturation did not complete; skipped)\n";

@@ -19,35 +19,31 @@
 
 #include "common.hpp"
 #include "quarc/model/maxexp.hpp"
-#include "quarc/sim/simulator.hpp"
-#include "quarc/topo/quarc.hpp"
-#include "quarc/traffic/pattern.hpp"
 
 namespace {
 
 using namespace quarc;
 
-void run_config(int nodes, double alpha, int msg, std::shared_ptr<const MulticastPattern> pattern,
-                const std::string& label, Cycle measure) {
-  QuarcTopology topo(nodes);
-  Workload base;
-  base.multicast_fraction = alpha;
-  base.message_length = msg;
-  base.pattern = pattern;
+void run_config(const std::string& topology_spec, const std::string& pattern_spec, double alpha,
+                int msg, std::uint64_t pattern_seed, const std::string& label, Cycle measure) {
+  api::Scenario scenario;
+  scenario.topology(topology_spec)
+      .pattern(pattern_spec)
+      .alpha(alpha)
+      .message_length(msg)
+      .pattern_seed(pattern_seed)
+      .seed(77)
+      .warmup(5000)
+      .measure(measure);
 
-  const auto rates = rate_grid_to_saturation(topo, base, 5, 0.8);
+  const std::vector<double> rates = scenario.rate_grid(5, 0.8);
 
   Table table({"rate", "W_L", "W_CL", "W_CR", "W_R", "sim group wait", "naive max",
                "Eq.12 E[max]", "naive err", "Eq.12 err"},
               2);
   for (double rate : rates) {
-    sim::SimConfig c;
-    c.workload = base;
-    c.workload.message_rate = rate;
-    c.warmup_cycles = 5000;
-    c.measure_cycles = measure;
-    c.seed = 77;
-    const auto r = sim::Simulator(topo, c).run();
+    scenario.rate(rate);
+    const sim::SimResult r = scenario.run_sim_raw();
     if (!r.completed || r.multicast_wait.count == 0) continue;
 
     std::vector<double> port_waits;
@@ -84,17 +80,9 @@ int main(int argc, char** argv) {
                 "exponential max-order-statistics vs the naive largest-subset heuristic");
 
   const Cycle measure = quick ? 30000 : 120000;
-  run_config(16, 0.1, 16, RingRelativePattern::broadcast(16), "N=16 broadcast, M=16", measure);
-  {
-    Rng rng(5);
-    run_config(16, 0.1, 32, RingRelativePattern::random(16, 6, rng),
-               "N=16 random fanout 6, M=32", measure);
-  }
-  {
-    Rng rng(6);
-    run_config(32, 0.05, 32, RingRelativePattern::random(32, 8, rng),
-               "N=32 random fanout 8, M=32", measure);
-  }
+  run_config("quarc:16", "broadcast", 0.1, 16, 5, "N=16 broadcast, M=16", measure);
+  run_config("quarc:16", "random:6", 0.1, 32, 5, "N=16 random fanout 6, M=32", measure);
+  run_config("quarc:32", "random:8", 0.05, 32, 6, "N=32 random fanout 8, M=32", measure);
 
   std::cout << "\nExpected shape: the naive estimate sits consistently below the\n"
                "empirical group wait (the slowest *mean* ignores that any stream can\n"

@@ -12,33 +12,35 @@
 #include <sstream>
 
 #include "common.hpp"
-#include "quarc/topo/quarc.hpp"
-#include "quarc/traffic/pattern.hpp"
 
 namespace {
 
 using namespace quarc;
 
-void run_scheme(PortScheme scheme, int nodes, int msg_len, double alpha, int rate_points,
-                Cycle measure_cycles, const std::vector<double>& rates) {
-  QuarcTopology topo(nodes, scheme);
-  Workload base;
-  base.multicast_fraction = alpha;
-  base.message_length = msg_len;
-  base.pattern = RingRelativePattern::broadcast(nodes);
+api::Scenario make_scenario(const std::string& topology_spec, int msg_len, double alpha,
+                            Cycle measure_cycles) {
+  api::Scenario scenario;
+  scenario.topology(topology_spec)
+      .pattern("broadcast")
+      .alpha(alpha)
+      .message_length(msg_len)
+      .seed(46)
+      .warmup(4000)
+      .measure(measure_cycles);
+  return scenario;
+}
 
-  SweepConfig sweep;
-  sweep.sim.warmup_cycles = 4000;
-  sweep.sim.measure_cycles = measure_cycles;
-  sweep.sim.seed = 46;
-  (void)rate_points;
-  const auto points = sweep_rates(topo, base, rates, sweep);
+void run_scheme(const std::string& topology_spec, const std::string& label, int nodes,
+                int msg_len, double alpha, Cycle measure_cycles,
+                const std::vector<double>& rates) {
+  api::Scenario scenario = make_scenario(topology_spec, msg_len, alpha, measure_cycles);
+  const api::ResultSet rs = scenario.run_sweep(rates);
 
   std::ostringstream title;
-  title << (scheme == PortScheme::AllPort ? "all-port" : "one-port") << " Quarc: N=" << nodes
-        << "  M=" << msg_len << "  alpha=" << alpha * 100 << "%  (broadcast pattern)";
-  bench::print_sweep(title.str(), points);
-  bench::print_agreement_summary(points, /*multicast=*/true);
+  title << label << " Quarc: N=" << nodes << "  M=" << msg_len << "  alpha=" << alpha * 100
+        << "%  (broadcast pattern)";
+  bench::print_sweep(title.str(), rs);
+  bench::print_agreement_summary(rs, /*multicast=*/true);
 }
 
 }  // namespace
@@ -51,17 +53,14 @@ int main(int argc, char** argv) {
 
   const int nodes = 16, msg = 16;
   const double alpha = 0.1;
+  const Cycle measure = quick ? 15000 : 50000;
   // A shared rate grid sized by the one-port saturation (the tighter one)
   // so both schemes are evaluated at identical offered loads.
-  QuarcTopology one_port(nodes, PortScheme::OnePort);
-  Workload base;
-  base.multicast_fraction = alpha;
-  base.message_length = msg;
-  base.pattern = RingRelativePattern::broadcast(nodes);
-  const auto rates = rate_grid_to_saturation(one_port, base, quick ? 4 : 8, 0.85);
+  const std::vector<double> rates =
+      make_scenario("quarc1p:16", msg, alpha, measure).rate_grid(quick ? 4 : 8, 0.85);
 
-  run_scheme(PortScheme::AllPort, nodes, msg, alpha, quick ? 4 : 8, quick ? 15000 : 50000, rates);
-  run_scheme(PortScheme::OnePort, nodes, msg, alpha, quick ? 4 : 8, quick ? 15000 : 50000, rates);
+  run_scheme("quarc:16", "all-port", nodes, msg, alpha, measure, rates);
+  run_scheme("quarc1p:16", "one-port", nodes, msg, alpha, measure, rates);
 
   std::cout << "\nExpected shape: at equal offered load the one-port multicast latency\n"
                "sits roughly 3 injection services above the all-port latency at low\n"

@@ -9,24 +9,26 @@
 #include <iostream>
 
 #include "common.hpp"
-#include "quarc/model/performance_model.hpp"
-#include "quarc/topo/quarc.hpp"
-#include "quarc/traffic/pattern.hpp"
 
 namespace {
 
 using namespace quarc;
 
-sim::SimConfig make_config(double rate, Cycle measure) {
-  sim::SimConfig c;
-  c.workload.message_rate = rate;
-  c.workload.multicast_fraction = 0.05;
-  c.workload.message_length = 32;
-  c.workload.pattern = RingRelativePattern::broadcast(16);
-  c.warmup_cycles = 4000;
-  c.measure_cycles = measure;
-  c.seed = 47;
-  return c;
+api::Scenario make_scenario(double rate, Cycle measure) {
+  api::Scenario s;
+  s.topology("quarc:16")
+      .pattern("broadcast")
+      .rate(rate)
+      .alpha(0.05)
+      .message_length(32)
+      .seed(47)
+      .warmup(4000)
+      .measure(measure);
+  return s;
+}
+
+Cell sim_cell(const api::ResultSet& rs, bool multicast) {
+  return quarc::bench::sim_cell(rs.rows.front(), multicast);
 }
 
 }  // namespace
@@ -36,45 +38,40 @@ int main(int argc, char** argv) {
   bench::banner("E6 ablation_sim_params", "substrate sensitivity (DESIGN.md section 4)",
                 "flit-buffer depth and measurement-window effects on simulated latency");
 
-  QuarcTopology topo(16);
   const double rate = 0.004;
   const Cycle measure = quick ? 20000 : 60000;
 
-  Workload w = make_config(rate, measure).workload;
-  const auto model = PerformanceModel(topo, w).evaluate();
-  std::cout << "\nmodel reference: unicast " << bench::fmt_double(model.avg_unicast_latency, 2)
-            << "  multicast " << bench::fmt_double(model.avg_multicast_latency, 2)
+  const api::ResultRow model = make_scenario(rate, measure).run_model().rows.front();
+  std::cout << "\nmodel reference: unicast " << bench::fmt_double(model.model_unicast_latency, 2)
+            << "  multicast " << bench::fmt_double(model.model_multicast_latency, 2)
             << " (buffer-depth agnostic)\n";
 
   Table buffers({"buffer depth (flits/VC)", "sim unicast", "sim multicast", "max util"}, 3);
   for (int depth : {1, 2, 4, 8}) {
-    sim::SimConfig c = make_config(rate, measure);
-    c.buffer_depth = depth;
-    const auto r = sim::Simulator(topo, c).run();
-    buffers.add_row({static_cast<std::int64_t>(depth),
-                     bench::sim_cell(r.unicast_latency, true, r.completed),
-                     bench::sim_cell(r.multicast_latency, true, r.completed),
-                     r.max_channel_utilization});
+    api::Scenario s = make_scenario(rate, measure);
+    s.sim_config().buffer_depth = depth;
+    const api::ResultSet rs = s.run_sim();
+    buffers.add_row({static_cast<std::int64_t>(depth), sim_cell(rs, false), sim_cell(rs, true),
+                     rs.rows.front().sim_max_utilization});
   }
   buffers.print_titled("buffer-depth sweep (N=16, M=32, alpha=5%, rate=0.004)");
 
   Table windows({"measure cycles", "sim unicast", "sim multicast"}, 3);
   for (Cycle cycles : {5000, 15000, 45000, 135000}) {
-    const auto r = sim::Simulator(topo, make_config(rate, cycles)).run();
-    windows.add_row({static_cast<std::int64_t>(cycles),
-                     bench::sim_cell(r.unicast_latency, true, r.completed),
-                     bench::sim_cell(r.multicast_latency, true, r.completed)});
+    const api::ResultSet rs = make_scenario(rate, cycles).run_sim();
+    windows.add_row({static_cast<std::int64_t>(cycles), sim_cell(rs, false),
+                     sim_cell(rs, true)});
   }
   windows.print_titled("measurement-window convergence");
 
   Table seeds({"seed", "sim unicast", "sim multicast"}, 3);
   for (std::uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL}) {
-    sim::SimConfig c = make_config(rate, measure);
-    c.seed = seed;
-    const auto r = sim::Simulator(topo, c).run();
-    seeds.add_row({static_cast<std::int64_t>(seed),
-                   bench::sim_cell(r.unicast_latency, true, r.completed),
-                   bench::sim_cell(r.multicast_latency, true, r.completed)});
+    api::Scenario s = make_scenario(rate, measure);
+    // Vary only the simulation seed; the pattern stays pinned so every row
+    // measures the same destination sets.
+    s.pattern_seed(47).seed(seed);
+    const api::ResultSet rs = s.run_sim();
+    seeds.add_row({static_cast<std::int64_t>(seed), sim_cell(rs, false), sim_cell(rs, true)});
   }
   seeds.print_titled("seed-to-seed variability");
 

@@ -11,10 +11,6 @@
 #include <iostream>
 
 #include "common.hpp"
-#include "quarc/model/performance_model.hpp"
-#include "quarc/topo/quarc.hpp"
-#include "quarc/topo/spidergon.hpp"
-#include "quarc/traffic/pattern.hpp"
 
 namespace {
 
@@ -28,27 +24,26 @@ struct Row {
 Row measure(int nodes, int msg_len, double rate, double alpha, Cycle measure_cycles) {
   Row row{};
   row.nodes = nodes;
-  auto pattern = RingRelativePattern::broadcast(nodes);
 
-  Workload w;
-  w.message_rate = rate;
-  w.multicast_fraction = alpha;
-  w.message_length = msg_len;
-  w.pattern = pattern;
+  auto scenario_for = [&](const std::string& family) {
+    api::Scenario s;
+    s.topology(family + ":" + std::to_string(nodes))
+        .pattern("broadcast")
+        .rate(rate)
+        .alpha(alpha)
+        .message_length(msg_len)
+        .seed(45)
+        .warmup(3000)
+        .measure(measure_cycles);
+    return s;
+  };
 
-  QuarcTopology quarc(nodes);
-  SpidergonTopology spidergon(nodes);
-
-  row.quarc_model = PerformanceModel(quarc, w).evaluate().avg_multicast_latency;
-  row.spider_model = PerformanceModel(spidergon, w).evaluate().avg_multicast_latency;
-
-  sim::SimConfig c;
-  c.workload = w;
-  c.warmup_cycles = 3000;
-  c.measure_cycles = measure_cycles;
-  c.seed = 45;
-  row.quarc_sim = sim::Simulator(quarc, c).run().multicast_latency.mean;
-  row.spider_sim = sim::Simulator(spidergon, c).run().multicast_latency.mean;
+  api::Scenario quarc = scenario_for("quarc");
+  api::Scenario spidergon = scenario_for("spidergon");
+  row.quarc_model = quarc.run_model().rows.front().model_multicast_latency;
+  row.spider_model = spidergon.run_model().rows.front().model_multicast_latency;
+  row.quarc_sim = quarc.run_sim().rows.front().sim_multicast_latency;
+  row.spider_sim = spidergon.run_sim().rows.front().sim_multicast_latency;
   return row;
 }
 

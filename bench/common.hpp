@@ -1,8 +1,9 @@
 // Shared output helpers for the figure-reproduction benches.
 //
 // Every bench binary regenerates one experiment from DESIGN.md section 3:
-// it prints the configuration, then one table per (N, M, alpha, pattern)
-// cell with the model and simulation series the paper's figures plot.
+// it assembles an api::Scenario, runs it, and prints one table per
+// (N, M, alpha, pattern) cell from the structured ResultSet the api layer
+// returns — the same rows `quarcnoc --json` serialises.
 #pragma once
 
 #include <cmath>
@@ -10,7 +11,7 @@
 #include <sstream>
 #include <string>
 
-#include "quarc/sweep/sweep.hpp"
+#include "quarc/api/scenario.hpp"
 #include "quarc/util/table.hpp"
 
 namespace quarc::bench {
@@ -22,9 +23,12 @@ inline std::string fmt_double(double v, int precision = 4) {
   return os.str();
 }
 
-inline Cell latency_cell(double v) {
-  if (!std::isfinite(v)) return std::string("saturated");
-  return v;
+// Cell renderings come from the api layer so CLI and bench output stay
+// consistent; these aliases keep the bench sources terse.
+inline Cell latency_cell(double v) { return api::model_latency_cell(v); }
+
+inline Cell sim_cell(const api::ResultRow& r, bool multicast) {
+  return api::sim_latency_cell(r, multicast);
 }
 
 inline Cell error_cell(double err) {
@@ -32,36 +36,25 @@ inline Cell error_cell(double err) {
   return fmt_double(err * 100.0, 1) + "%";
 }
 
-inline Cell sim_cell(const StatSummary& s, bool run, bool completed) {
-  if (!run) return std::string("-");
-  if (!completed) return std::string("unstable");
-  if (s.count == 0) return std::string("-");
-  std::ostringstream os;
-  os.precision(2);
-  os << std::fixed << s.mean;
-  if (std::isfinite(s.ci95)) os << " +-" << s.ci95;
-  return os.str();
-}
-
 /// Prints the standard model-vs-simulation sweep table used by all figure
 /// benches: one row per injection rate.
-inline void print_sweep(const std::string& title, const std::vector<RatePointResult>& points,
+inline void print_sweep(const std::string& title, const api::ResultSet& rs,
                         bool with_multicast = true) {
   std::vector<std::string> headers = {"rate (msg/cyc/node)", "model uni", "sim uni", "uni err"};
   if (with_multicast) {
     headers.insert(headers.end(), {"model mcast", "sim mcast", "mcast err"});
   }
   Table table(headers, 2);
-  for (const auto& p : points) {
+  for (const api::ResultRow& r : rs.rows) {
     std::vector<Cell> row;
-    row.push_back(fmt_double(p.rate, 5));
-    row.push_back(latency_cell(p.model.avg_unicast_latency));
-    row.push_back(sim_cell(p.sim.unicast_latency, p.sim_run, p.sim.completed));
-    row.push_back(error_cell(p.unicast_error()));
+    row.push_back(fmt_double(r.rate, 5));
+    row.push_back(latency_cell(r.model_unicast_latency));
+    row.push_back(sim_cell(r, /*multicast=*/false));
+    row.push_back(error_cell(r.unicast_error()));
     if (with_multicast) {
-      row.push_back(latency_cell(p.model.avg_multicast_latency));
-      row.push_back(sim_cell(p.sim.multicast_latency, p.sim_run, p.sim.completed));
-      row.push_back(error_cell(p.multicast_error()));
+      row.push_back(latency_cell(r.model_multicast_latency));
+      row.push_back(sim_cell(r, /*multicast=*/true));
+      row.push_back(error_cell(r.multicast_error()));
     }
     table.add_row(std::move(row));
   }
@@ -70,11 +63,11 @@ inline void print_sweep(const std::string& title, const std::vector<RatePointRes
 
 /// Worst finite relative multicast error across a sweep (for the summary
 /// line benches print under each table).
-inline void print_agreement_summary(const std::vector<RatePointResult>& points, bool multicast) {
+inline void print_agreement_summary(const api::ResultSet& rs, bool multicast) {
   double worst = 0.0;
   int counted = 0;
-  for (const auto& p : points) {
-    const double e = multicast ? p.multicast_error() : p.unicast_error();
+  for (const api::ResultRow& r : rs.rows) {
+    const double e = multicast ? r.multicast_error() : r.unicast_error();
     if (std::isnan(e)) continue;
     worst = std::max(worst, std::abs(e));
     ++counted;

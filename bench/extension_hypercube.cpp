@@ -8,31 +8,26 @@
 #include <sstream>
 
 #include "common.hpp"
-#include "quarc/topo/hypercube.hpp"
-#include "quarc/topo/quarc.hpp"
-#include "quarc/traffic/pattern.hpp"
 
 namespace {
 
 using namespace quarc;
 
 void run_unicast(int dims, int msg_len, int rate_points, Cycle measure_cycles) {
-  HypercubeTopology cube(dims);
-  Workload base;
-  base.message_length = msg_len;
-
-  const auto rates = rate_grid_to_saturation(cube, base, rate_points, 0.85);
-  SweepConfig sweep;
-  sweep.sim.warmup_cycles = 5000;
-  sweep.sim.measure_cycles = measure_cycles;
-  sweep.sim.seed = 50;
-  const auto points = sweep_rates(cube, base, rates, sweep);
+  api::Scenario scenario;
+  scenario.topology("hypercube:" + std::to_string(dims))
+      .message_length(msg_len)
+      .seed(50)
+      .warmup(5000)
+      .measure(measure_cycles);
+  const int nodes = scenario.built_topology().num_nodes();
+  const api::ResultSet rs = scenario.run_sweep(rate_points, 0.85);
 
   std::ostringstream title;
-  title << cube.name() << " (" << cube.num_nodes() << " nodes): M=" << msg_len
+  title << rs.topology_name << " (" << nodes << " nodes): M=" << msg_len
         << " (uniform unicast)";
-  bench::print_sweep(title.str(), points, /*with_multicast=*/false);
-  bench::print_agreement_summary(points, /*multicast=*/false);
+  bench::print_sweep(title.str(), rs, /*with_multicast=*/false);
+  bench::print_agreement_summary(rs, /*multicast=*/false);
 }
 
 }  // namespace
@@ -55,18 +50,20 @@ int main(int argc, char** argv) {
   Table table({"nodes", "Quarc true bcast (model)", "hypercube sw bcast (model)"}, 2);
   for (int dims : {3, 4, 5, 6}) {
     const int n = 1 << dims;
-    auto pattern = RingRelativePattern::broadcast(n);
-    Workload w;
-    w.message_rate = 0.05 / (n * static_cast<double>(n));
-    w.multicast_fraction = 0.05;
-    w.message_length = 32;
-    w.pattern = pattern;
-    QuarcTopology quarc(n);
-    HypercubeTopology cube(dims);
-    const auto q = PerformanceModel(quarc, w).evaluate();
-    const auto h = PerformanceModel(cube, w).evaluate();
-    table.add_row({static_cast<std::int64_t>(n), bench::latency_cell(q.avg_multicast_latency),
-                   bench::latency_cell(h.avg_multicast_latency)});
+    auto configure = [&](api::Scenario& s) -> api::Scenario& {
+      return s.pattern("broadcast")
+          .rate(0.05 / (n * static_cast<double>(n)))
+          .alpha(0.05)
+          .message_length(32);
+    };
+    api::Scenario quarc;
+    quarc.topology("quarc:" + std::to_string(n));
+    api::Scenario cube;
+    cube.topology("hypercube:" + std::to_string(dims));
+    const api::ResultRow q = configure(quarc).run_model().rows.front();
+    const api::ResultRow h = configure(cube).run_model().rows.front();
+    table.add_row({static_cast<std::int64_t>(n), bench::latency_cell(q.model_multicast_latency),
+                   bench::latency_cell(h.model_multicast_latency)});
   }
   table.print_titled("broadcast: Quarc hardware streams vs hypercube software unicasts");
 

@@ -5,64 +5,41 @@
 // The mesh runs Hamiltonian dual-path routing (Lin/Ni style): a multicast
 // becomes at most two asynchronous port streams — the m = 2 instance of
 // Eq. 12 — and unicasts conform to the same base routing, keeping the
-// combination deadlock-free. Destination sets are drawn per source once.
+// combination deadlock-free. Destination sets are drawn per source once
+// (the registry's "uniform:K" family).
 #include <cstdlib>
 #include <iostream>
-#include <set>
 #include <sstream>
 
 #include "common.hpp"
-#include "quarc/topo/mesh.hpp"
-#include "quarc/traffic/pattern.hpp"
 
 namespace {
 
 using namespace quarc;
 
-std::shared_ptr<ExplicitPattern> random_mesh_pattern(const MeshTopology& mesh, int fanout,
-                                                     Rng& rng) {
-  std::vector<std::vector<NodeId>> dests(static_cast<std::size_t>(mesh.num_nodes()));
-  for (NodeId s = 0; s < mesh.num_nodes(); ++s) {
-    std::set<NodeId> set;
-    while (static_cast<int>(set.size()) < fanout) {
-      const auto d = static_cast<NodeId>(rng.uniform_below(static_cast<std::uint64_t>(mesh.num_nodes())));
-      if (d != s) set.insert(d);
-    }
-    dests[static_cast<std::size_t>(s)] = {set.begin(), set.end()};
-  }
-  std::ostringstream desc;
-  desc << "mesh-random(fanout=" << fanout << ")";
-  return std::make_shared<ExplicitPattern>(std::move(dests), desc.str());
-}
-
 void run_config(int width, int height, int msg_len, double alpha, int fanout, int rate_points,
                 Cycle measure_cycles) {
-  MeshTopology mesh(width, height, MeshRouting::Hamiltonian);
-  Rng rng(0xE7'0000u + static_cast<unsigned>(width * 100 + height));
-  auto pattern = random_mesh_pattern(mesh, fanout, rng);
-
-  Workload base;
-  base.multicast_fraction = alpha;
-  base.message_length = msg_len;
-  base.pattern = pattern;
+  api::Scenario scenario;
+  scenario.topology("mesh-ham:" + std::to_string(width) + "x" + std::to_string(height))
+      .pattern("uniform:" + std::to_string(fanout))
+      .alpha(alpha)
+      .message_length(msg_len)
+      .pattern_seed(0xE7'0000u + static_cast<unsigned>(width * 100 + height))
+      .seed(48)
+      .warmup(5000)
+      .measure(measure_cycles);
 
   // Fill only to 70% of the model's saturation: on the Hamiltonian mesh
   // the M/G/1 waits diverge from simulation noticeably earlier than on
   // Quarc (see EXPERIMENTS.md E7 notes), and the informative region is the
   // tracking region below that.
-  const auto rates = rate_grid_to_saturation(mesh, base, rate_points, 0.70);
-
-  SweepConfig sweep;
-  sweep.sim.warmup_cycles = 5000;
-  sweep.sim.measure_cycles = measure_cycles;
-  sweep.sim.seed = 48;
-  const auto points = sweep_rates(mesh, base, rates, sweep);
+  const api::ResultSet rs = scenario.run_sweep(rate_points, 0.70);
 
   std::ostringstream title;
   title << "mesh " << width << "x" << height << " (Hamiltonian dual-path): M=" << msg_len
         << "  alpha=" << alpha * 100 << "%  fanout=" << fanout;
-  bench::print_sweep(title.str(), points);
-  bench::print_agreement_summary(points, /*multicast=*/true);
+  bench::print_sweep(title.str(), rs);
+  bench::print_agreement_summary(rs, /*multicast=*/true);
 }
 
 }  // namespace

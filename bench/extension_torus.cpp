@@ -6,29 +6,24 @@
 #include <sstream>
 
 #include "common.hpp"
-#include "quarc/topo/torus.hpp"
 
 namespace {
 
 using namespace quarc;
 
 void run_config(int width, int height, int msg_len, int rate_points, Cycle measure_cycles) {
-  TorusTopology torus(width, height);
-  Workload base;
-  base.message_length = msg_len;
-
-  const auto rates = rate_grid_to_saturation(torus, base, rate_points, 0.85);
-
-  SweepConfig sweep;
-  sweep.sim.warmup_cycles = 5000;
-  sweep.sim.measure_cycles = measure_cycles;
-  sweep.sim.seed = 49;
-  const auto points = sweep_rates(torus, base, rates, sweep);
+  api::Scenario scenario;
+  scenario.topology("torus:" + std::to_string(width) + "x" + std::to_string(height))
+      .message_length(msg_len)
+      .seed(49)
+      .warmup(5000)
+      .measure(measure_cycles);
+  const api::ResultSet rs = scenario.run_sweep(rate_points, 0.85);
 
   std::ostringstream title;
   title << "torus " << width << "x" << height << ": M=" << msg_len << " (uniform unicast)";
-  bench::print_sweep(title.str(), points, /*with_multicast=*/false);
-  bench::print_agreement_summary(points, /*multicast=*/false);
+  bench::print_sweep(title.str(), rs, /*with_multicast=*/false);
+  bench::print_agreement_summary(rs, /*multicast=*/false);
 }
 
 }  // namespace

@@ -13,8 +13,6 @@
 #include <sstream>
 
 #include "common.hpp"
-#include "quarc/topo/quarc.hpp"
-#include "quarc/traffic/pattern.hpp"
 
 namespace {
 
@@ -28,34 +26,29 @@ struct Config {
 };
 
 void run_config(const Config& cfg, int rate_points, Cycle measure_cycles) {
-  QuarcTopology topo(cfg.nodes);
-  if (cfg.msg_len <= topo.diameter()) {
+  api::Scenario scenario;
+  scenario.topology("quarc:" + std::to_string(cfg.nodes))
+      .pattern("random:" + std::to_string(cfg.fanout))
+      .alpha(cfg.alpha)
+      .message_length(cfg.msg_len)
+      .pattern_seed(0xF16'0000u + static_cast<unsigned>(cfg.nodes * 131 + cfg.msg_len * 7) +
+                    static_cast<unsigned>(cfg.alpha * 1000))
+      .seed(42)
+      .warmup(5000)
+      .measure(measure_cycles);
+  if (cfg.msg_len <= scenario.built_topology().diameter()) {
     std::cout << "\n(skipping N=" << cfg.nodes << " M=" << cfg.msg_len
               << ": violates the paper's M > diameter assumption)\n";
     return;
   }
-  Rng rng(0xF16'0000u + static_cast<unsigned>(cfg.nodes * 131 + cfg.msg_len * 7) +
-          static_cast<unsigned>(cfg.alpha * 1000));
-  auto pattern = RingRelativePattern::random(cfg.nodes, cfg.fanout, rng);
-
-  Workload base;
-  base.multicast_fraction = cfg.alpha;
-  base.message_length = cfg.msg_len;
-  base.pattern = pattern;
-
-  const auto rates = rate_grid_to_saturation(topo, base, rate_points, 0.85);
-
-  SweepConfig sweep;
-  sweep.sim.warmup_cycles = 5000;
-  sweep.sim.measure_cycles = measure_cycles;
-  sweep.sim.seed = 42;
-  const auto points = sweep_rates(topo, base, rates, sweep);
+  const std::string pattern = scenario.build_workload().pattern->describe();
+  const api::ResultSet rs = scenario.run_sweep(rate_points, 0.85);
 
   std::ostringstream title;
   title << "Fig.6 cell: N=" << cfg.nodes << "  M=" << cfg.msg_len << " flits  alpha="
-        << cfg.alpha * 100 << "%  pattern=" << pattern->describe();
-  bench::print_sweep(title.str(), points);
-  bench::print_agreement_summary(points, /*multicast=*/true);
+        << cfg.alpha * 100 << "%  pattern=" << pattern;
+  bench::print_sweep(title.str(), rs);
+  bench::print_agreement_summary(rs, /*multicast=*/true);
 }
 
 }  // namespace

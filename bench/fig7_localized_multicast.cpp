@@ -6,14 +6,13 @@
 // a single quadrant of the initiating node; the multicast then needs only
 // one injection port (m = 1), which exercises the degenerate case of the
 // max-of-exponentials machinery. Each network size is run with each of the
-// four quadrants as the localization target.
+// four quadrants as the localization target, expressed as a registry
+// pattern spec "localized:LO:HI:K".
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
 
 #include "common.hpp"
-#include "quarc/topo/quarc.hpp"
-#include "quarc/traffic/pattern.hpp"
 
 namespace {
 
@@ -38,35 +37,33 @@ constexpr Quadrant kQuadrants[] = {
 
 void run_config(int nodes, int msg_len, double alpha, const Quadrant& quad, int rate_points,
                 Cycle measure_cycles) {
-  QuarcTopology topo(nodes);
-  if (msg_len <= topo.diameter()) {
+  const int q = nodes / 4;
+  const int count = std::max(2, q / 2);
+  std::ostringstream spec;
+  spec << "localized:" << quad.lo(q) << ":" << quad.hi(q) << ":" << count;
+
+  api::Scenario scenario;
+  scenario.topology("quarc:" + std::to_string(nodes))
+      .pattern(spec.str())
+      .alpha(alpha)
+      .message_length(msg_len)
+      .pattern_seed(0xF17'0000u + static_cast<unsigned>(nodes * 13 + msg_len))
+      .seed(43)
+      .warmup(5000)
+      .measure(measure_cycles);
+  if (msg_len <= scenario.built_topology().diameter()) {
     std::cout << "\n(skipping N=" << nodes << " M=" << msg_len
               << ": violates the paper's M > diameter assumption)\n";
     return;
   }
-  const int q = nodes / 4;
-  const int count = std::max(2, q / 2);
-  Rng rng(0xF17'0000u + static_cast<unsigned>(nodes * 13 + msg_len));
-  auto pattern = RingRelativePattern::localized(nodes, quad.lo(q), quad.hi(q), count, rng);
-
-  Workload base;
-  base.multicast_fraction = alpha;
-  base.message_length = msg_len;
-  base.pattern = pattern;
-
-  const auto rates = rate_grid_to_saturation(topo, base, rate_points, 0.85);
-
-  SweepConfig sweep;
-  sweep.sim.warmup_cycles = 5000;
-  sweep.sim.measure_cycles = measure_cycles;
-  sweep.sim.seed = 43;
-  const auto points = sweep_rates(topo, base, rates, sweep);
+  const std::string pattern = scenario.build_workload().pattern->describe();
+  const api::ResultSet rs = scenario.run_sweep(rate_points, 0.85);
 
   std::ostringstream title;
   title << "Fig.7 cell: N=" << nodes << "  M=" << msg_len << " flits  alpha=" << alpha * 100
-        << "%  rim=" << quad.label << "  pattern=" << pattern->describe();
-  bench::print_sweep(title.str(), points);
-  bench::print_agreement_summary(points, /*multicast=*/true);
+        << "%  rim=" << quad.label << "  pattern=" << pattern;
+  bench::print_sweep(title.str(), rs);
+  bench::print_agreement_summary(rs, /*multicast=*/true);
 }
 
 }  // namespace

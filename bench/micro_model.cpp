@@ -1,14 +1,17 @@
 // Experiment E9a — microbenchmarks of the analytical-model kernels
 // (google-benchmark): the Eq. 12 order-statistics kernels, the P-K wait,
 // channel-graph construction and full model solves across network sizes.
+//
+// Fixtures come from the api layer (registry topologies, Scenario-built
+// workloads); the timed bodies exercise the model kernels directly.
 #include <benchmark/benchmark.h>
 
+#include "quarc/api/registry.hpp"
+#include "quarc/api/scenario.hpp"
 #include "quarc/model/channel_graph.hpp"
 #include "quarc/model/maxexp.hpp"
 #include "quarc/model/mg1.hpp"
 #include "quarc/model/performance_model.hpp"
-#include "quarc/topo/quarc.hpp"
-#include "quarc/traffic/pattern.hpp"
 
 namespace {
 
@@ -43,20 +46,22 @@ void BM_PollaczekKhinchine(benchmark::State& state) {
 }
 BENCHMARK(BM_PollaczekKhinchine);
 
-Workload bench_load(int n) {
-  Workload w;
-  w.message_rate = 0.002;
-  w.multicast_fraction = 0.05;
-  // Scale with size so the paper's M > diameter assumption holds at N=128.
-  w.message_length = 16 + n / 4;
-  w.pattern = RingRelativePattern::broadcast(n);
-  return w;
+api::Scenario bench_scenario(int n) {
+  api::Scenario s;
+  s.topology("quarc:" + std::to_string(n))
+      .pattern("broadcast")
+      .rate(0.002)
+      .alpha(0.05)
+      // Scale with size so the paper's M > diameter assumption holds at N=128.
+      .message_length(16 + n / 4);
+  return s;
 }
 
 void BM_ChannelGraphBuild(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
-  QuarcTopology topo(n);
-  const Workload w = bench_load(n);
+  api::Scenario scenario = bench_scenario(n);
+  const Topology& topo = scenario.built_topology();
+  const Workload w = scenario.build_workload();
   for (auto _ : state) {
     ChannelGraph g(topo, w);
     benchmark::DoNotOptimize(g.total_injection_rate());
@@ -67,8 +72,9 @@ BENCHMARK(BM_ChannelGraphBuild)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Complexity
 
 void BM_FullModelSolve(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
-  QuarcTopology topo(n);
-  const Workload w = bench_load(n);
+  api::Scenario scenario = bench_scenario(n);
+  const Topology& topo = scenario.built_topology();
+  const Workload w = scenario.build_workload();
   for (auto _ : state) {
     PerformanceModel model(topo, w);
     benchmark::DoNotOptimize(model.evaluate().avg_multicast_latency);
@@ -78,22 +84,33 @@ void BM_FullModelSolve(benchmark::State& state) {
 BENCHMARK(BM_FullModelSolve)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Complexity();
 
 void BM_QuarcRouteConstruction(benchmark::State& state) {
-  QuarcTopology topo(64);
+  const auto topo = api::make_topology("quarc:64");
   NodeId d = 1;
   for (auto _ : state) {
     d = d % 63 + 1;
-    benchmark::DoNotOptimize(topo.unicast_route(0, d).hops());
+    benchmark::DoNotOptimize(topo->unicast_route(0, d).hops());
   }
 }
 BENCHMARK(BM_QuarcRouteConstruction);
 
+void BM_QuarcPortLookup(benchmark::State& state) {
+  // The closed-form port_of() override vs the full route above.
+  const auto topo = api::make_topology("quarc:64");
+  NodeId d = 1;
+  for (auto _ : state) {
+    d = d % 63 + 1;
+    benchmark::DoNotOptimize(topo->port_of(0, d));
+  }
+}
+BENCHMARK(BM_QuarcPortLookup);
+
 void BM_QuarcBroadcastStreams(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
-  QuarcTopology topo(n);
+  const auto topo = api::make_topology("quarc:" + std::to_string(n));
   std::vector<NodeId> all;
   for (NodeId i = 1; i < n; ++i) all.push_back(i);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(topo.multicast_streams(0, all).size());
+    benchmark::DoNotOptimize(topo->multicast_streams(0, all).size());
   }
 }
 BENCHMARK(BM_QuarcBroadcastStreams)->Arg(16)->Arg(64)->Arg(128);

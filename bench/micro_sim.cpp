@@ -1,37 +1,49 @@
 // Experiment E9b — simulator throughput microbenchmarks (google-benchmark):
 // cycles per second across network sizes and traffic classes, so sweep
 // budgets in the figure benches can be sized knowingly.
+//
+// Fixtures come from a Scenario; the timed bodies construct and run
+// sim::Simulator directly because engine construction/throughput is the
+// measured quantity.
 #include <benchmark/benchmark.h>
 
+#include "quarc/api/scenario.hpp"
 #include "quarc/sim/simulator.hpp"
-#include "quarc/topo/quarc.hpp"
-#include "quarc/traffic/pattern.hpp"
 
 namespace {
 
 using namespace quarc;
 
-sim::SimConfig micro_config(int n, double alpha) {
-  sim::SimConfig c;
+api::Scenario micro_scenario(int n, double alpha) {
+  api::Scenario s;
   // Keep the offered load comfortably below saturation at every size (the
   // rim load scales ~ rate * N/16), so the run measures engine throughput
   // rather than drain behaviour.
-  c.workload.message_rate = 0.03 / n;
-  c.workload.multicast_fraction = alpha;
-  // Scale with size so the paper's M > diameter assumption holds at N=128.
-  c.workload.message_length = 16 + n / 4;
-  if (alpha > 0.0) c.workload.pattern = RingRelativePattern::broadcast(n);
-  c.warmup_cycles = 0;
-  c.measure_cycles = 4000;
-  c.drain_cap_cycles = 20000;
+  s.topology("quarc:" + std::to_string(n))
+      .pattern(alpha > 0.0 ? "broadcast" : "none")
+      .rate(0.03 / n)
+      .alpha(alpha)
+      // Scale with size so the paper's M > diameter assumption holds at N=128.
+      .message_length(16 + n / 4)
+      .seed(99)
+      .warmup(0)
+      .measure(4000);
+  s.sim_config().drain_cap_cycles = 20000;
+  return s;
+}
+
+sim::SimConfig config_of(api::Scenario& scenario) {
+  sim::SimConfig c = scenario.sim_config();
+  c.workload = scenario.build_workload();
   c.seed = 99;
   return c;
 }
 
 void BM_SimulatorUnicast(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
-  QuarcTopology topo(n);
-  const auto cfg = micro_config(n, 0.0);
+  api::Scenario scenario = micro_scenario(n, 0.0);
+  const Topology& topo = scenario.built_topology();
+  const sim::SimConfig cfg = config_of(scenario);
   std::int64_t cycles = 0;
   for (auto _ : state) {
     sim::Simulator simulator(topo, cfg);
@@ -46,8 +58,9 @@ BENCHMARK(BM_SimulatorUnicast)->Arg(16)->Arg(64)->Arg(128)->Unit(benchmark::kMil
 
 void BM_SimulatorMulticast(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
-  QuarcTopology topo(n);
-  const auto cfg = micro_config(n, 0.1);
+  api::Scenario scenario = micro_scenario(n, 0.1);
+  const Topology& topo = scenario.built_topology();
+  const sim::SimConfig cfg = config_of(scenario);
   std::int64_t cycles = 0;
   for (auto _ : state) {
     sim::Simulator simulator(topo, cfg);
@@ -62,8 +75,9 @@ BENCHMARK(BM_SimulatorMulticast)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond
 
 void BM_SimulatorConstruction(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
-  QuarcTopology topo(n);
-  const auto cfg = micro_config(n, 0.1);
+  api::Scenario scenario = micro_scenario(n, 0.1);
+  const Topology& topo = scenario.built_topology();
+  const sim::SimConfig cfg = config_of(scenario);
   for (auto _ : state) {
     sim::Simulator simulator(topo, cfg);
     benchmark::DoNotOptimize(&simulator);

@@ -11,38 +11,31 @@
 #include <sstream>
 
 #include "common.hpp"
-#include "quarc/sim/simulator.hpp"
-#include "quarc/sweep/sweep.hpp"
-#include "quarc/topo/quarc.hpp"
-#include "quarc/topo/spidergon.hpp"
-#include "quarc/traffic/pattern.hpp"
 
 namespace {
 
 using namespace quarc;
 
-void run_topology(const Topology& topo, const Workload& base, const std::string& label,
-                  Cycle cycles) {
-  const double sat = model_saturation_rate(topo, base);
+void run_topology(api::Scenario scenario, const std::string& label, Cycle cycles) {
+  const double sat = scenario.saturation_rate();
+  const int nodes = scenario.built_topology().num_nodes();
+
+  scenario.warmup(2000).measure(cycles);
+  scenario.sim_config().drain_cap_cycles = 0;        // fixed observation window
+  scenario.sim_config().max_queue_length = 1 << 20;  // let backlog build; window is bounded
+  scenario.seed(91);
 
   Table table({"offered (msg/cyc/node)", "x model sat", "accepted (msg/cyc/node)", "drained",
                "max link util"},
               4);
   for (double f : {0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0}) {
-    sim::SimConfig c;
-    c.workload = base;
-    c.workload.message_rate = f * sat;
-    c.warmup_cycles = 2000;
-    c.measure_cycles = cycles;
-    c.drain_cap_cycles = 0;          // fixed observation window
-    c.max_queue_length = 1 << 20;    // let backlog build; window is bounded
-    c.seed = 91;
-    const auto r = sim::Simulator(topo, c).run();
+    scenario.rate(f * sat);
+    const sim::SimResult r = scenario.run_sim_raw();
     const double total_cycles = static_cast<double>(r.cycles_run);
     const double accepted =
         (static_cast<double>(r.unicast_delivered_total) +
          static_cast<double>(r.multicast_groups_delivered_total)) /
-        total_cycles / static_cast<double>(topo.num_nodes());
+        total_cycles / static_cast<double>(nodes);
     table.add_row({f * sat, f, accepted, std::string(r.completed ? "yes" : "no"),
                    r.max_channel_utilization});
   }
@@ -61,24 +54,19 @@ int main(int argc, char** argv) {
   const Cycle cycles = quick ? 20000 : 60000;
 
   {
-    QuarcTopology topo(16);
-    Workload w;
-    w.multicast_fraction = 0.05;
-    w.message_length = 16;
-    w.pattern = RingRelativePattern::broadcast(16);
-    run_topology(topo, w, "quarc-16, alpha=5%, M=16", cycles);
+    api::Scenario s;
+    s.topology("quarc:16").pattern("broadcast").alpha(0.05).message_length(16);
+    run_topology(std::move(s), "quarc-16, alpha=5%, M=16", cycles);
   }
   {
-    QuarcTopology topo(64);
-    Workload w;
-    w.message_length = 32;
-    run_topology(topo, w, "quarc-64, unicast, M=32", cycles);
+    api::Scenario s;
+    s.topology("quarc:64").message_length(32);
+    run_topology(std::move(s), "quarc-64, unicast, M=32", cycles);
   }
   {
-    SpidergonTopology topo(16);
-    Workload w;
-    w.message_length = 16;
-    run_topology(topo, w, "spidergon-16, unicast, M=16", cycles);
+    api::Scenario s;
+    s.topology("spidergon:16").message_length(16);
+    run_topology(std::move(s), "spidergon-16, unicast, M=16", cycles);
   }
 
   std::cout << "\nExpected shape: accepted tracks offered up to roughly the model's\n"

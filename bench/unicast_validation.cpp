@@ -9,34 +9,29 @@
 #include <sstream>
 
 #include "common.hpp"
-#include "quarc/topo/quarc.hpp"
 
 namespace {
 
 using namespace quarc;
 
 void run_config(int nodes, int msg_len, int rate_points, Cycle measure_cycles) {
-  QuarcTopology topo(nodes);
-  if (msg_len <= topo.diameter()) {
+  api::Scenario scenario;
+  scenario.topology("quarc:" + std::to_string(nodes))
+      .message_length(msg_len)
+      .seed(44)
+      .warmup(5000)
+      .measure(measure_cycles);
+  if (msg_len <= scenario.built_topology().diameter()) {
     std::cout << "\n(skipping N=" << nodes << " M=" << msg_len
               << ": violates the paper's M > diameter assumption)\n";
     return;
   }
-  Workload base;
-  base.message_length = msg_len;
-
-  const auto rates = rate_grid_to_saturation(topo, base, rate_points, 0.85);
-
-  SweepConfig sweep;
-  sweep.sim.warmup_cycles = 5000;
-  sweep.sim.measure_cycles = measure_cycles;
-  sweep.sim.seed = 44;
-  const auto points = sweep_rates(topo, base, rates, sweep);
+  const api::ResultSet rs = scenario.run_sweep(rate_points, 0.85);
 
   std::ostringstream title;
   title << "unicast: N=" << nodes << "  M=" << msg_len << " flits";
-  bench::print_sweep(title.str(), points, /*with_multicast=*/false);
-  bench::print_agreement_summary(points, /*multicast=*/false);
+  bench::print_sweep(title.str(), rs, /*with_multicast=*/false);
+  bench::print_agreement_summary(rs, /*multicast=*/false);
 }
 
 }  // namespace

@@ -7,13 +7,14 @@
 // the Fig. 6 vs Fig. 7 distinction. The example contrasts the two sharing
 // patterns at identical load and shows why localized sharing is cheaper:
 // a single injection port serves the whole invalidation fan-out.
+//
+// The two sharing patterns are just registry specs; the localized one uses
+// fractional bounds ("localized:0.01:0.25:6" = the home node's left rim)
+// so the same spec scales to any core count.
 #include <iostream>
 #include <sstream>
 
-#include "quarc/model/performance_model.hpp"
-#include "quarc/sim/simulator.hpp"
-#include "quarc/topo/quarc.hpp"
-#include "quarc/traffic/pattern.hpp"
+#include "quarc/api/scenario.hpp"
 #include "quarc/util/table.hpp"
 
 int main() {
@@ -24,39 +25,35 @@ int main() {
   const double alpha = 0.10;    // invalidations are 10% of NoC traffic
   const int sharers = 6;
 
-  QuarcTopology topo(nodes);
-  Rng rng(7);
-  auto scattered = RingRelativePattern::random(nodes, sharers, rng);
-  // Sharers clustered on the left rim of the home node.
-  auto clustered = RingRelativePattern::localized(nodes, 1, nodes / 4, sharers, rng);
+  const std::pair<std::string, std::string> patterns[] = {
+      {"scattered", "random:" + std::to_string(sharers)},
+      {"clustered", "localized:0.01:0.25:" + std::to_string(sharers)},
+  };
 
   Table table({"sharing pattern", "rate", "model inval latency", "sim inval latency",
                "sim unicast latency"},
               2);
 
   for (double rate : {0.0005, 0.001}) {
-    for (const auto& [name, pattern] :
-         {std::pair<std::string, std::shared_ptr<const MulticastPattern>>{"scattered", scattered},
-          {"clustered", clustered}}) {
-      Workload w;
-      w.message_rate = rate;
-      w.multicast_fraction = alpha;
-      w.message_length = inval_flits;
-      w.pattern = pattern;
+    for (const auto& [name, spec] : patterns) {
+      api::Scenario scenario;
+      scenario.topology("quarc:" + std::to_string(nodes))
+          .pattern(spec)
+          .rate(rate)
+          .alpha(alpha)
+          .message_length(inval_flits)
+          .pattern_seed(7)
+          .seed(5)
+          .warmup(4000)
+          .measure(40000);
 
-      const auto model = PerformanceModel(topo, w).evaluate();
-
-      sim::SimConfig c;
-      c.workload = w;
-      c.warmup_cycles = 4000;
-      c.measure_cycles = 40000;
-      c.seed = 5;
-      const auto sim = sim::Simulator(topo, c).run();
+      const api::ResultRow model = scenario.run_model().rows.front();
+      const api::ResultRow sim = scenario.run_sim().rows.front();
 
       std::ostringstream rate_str;
       rate_str << rate;
-      table.add_row({name, rate_str.str(), model.avg_multicast_latency,
-                     sim.multicast_latency.mean, sim.unicast_latency.mean});
+      table.add_row({name, rate_str.str(), model.model_multicast_latency,
+                     sim.sim_multicast_latency, sim.sim_unicast_latency});
     }
   }
   table.print_titled("invalidation multicast: scattered vs clustered sharers (N=64, 6 sharers)");

@@ -13,11 +13,7 @@
 #include <cmath>
 #include <iostream>
 
-#include "quarc/model/performance_model.hpp"
-#include "quarc/sim/simulator.hpp"
-#include "quarc/topo/quarc.hpp"
-#include "quarc/topo/spidergon.hpp"
-#include "quarc/traffic/pattern.hpp"
+#include "quarc/api/scenario.hpp"
 #include "quarc/util/table.hpp"
 
 int main() {
@@ -27,43 +23,38 @@ int main() {
   const int param_flits = 64;   // parameter block: 64 flits
   const double alpha = 0.02;    // 2% of traffic is the broadcast control plane
 
-  auto pattern = RingRelativePattern::broadcast(cores);
-  QuarcTopology quarc(cores);
-  SpidergonTopology spidergon(cores);
+  auto scenario_for = [&](const std::string& family) {
+    api::Scenario s;
+    s.topology(family + ":" + std::to_string(cores))
+        .pattern("broadcast")
+        .alpha(alpha)
+        .message_length(param_flits)
+        .warmup(5000)
+        .measure(60000);
+    return s;
+  };
+  api::Scenario quarc = scenario_for("quarc");
+  api::Scenario spidergon = scenario_for("spidergon");
 
   Table table({"rate (msg/cyc/node)", "Quarc bcast (model)", "Spidergon bcast (model)",
                "Quarc unicast", "Spidergon unicast"},
               1);
   for (double rate : {0.0005, 0.001, 0.0015, 0.002}) {
-    Workload w;
-    w.message_rate = rate;
-    w.multicast_fraction = alpha;
-    w.message_length = param_flits;
-    w.pattern = pattern;
-    const auto q = PerformanceModel(quarc, w).evaluate();
-    const auto s = PerformanceModel(spidergon, w).evaluate();
+    const api::ResultRow q = quarc.rate(rate).run_model().rows.front();
+    const api::ResultRow s = spidergon.rate(rate).run_model().rows.front();
     auto cell = [](double v) -> Cell {
       if (!std::isfinite(v)) return std::string("saturated");
       return v;
     };
-    table.add_row({rate, cell(q.avg_multicast_latency), cell(s.avg_multicast_latency),
-                   cell(q.avg_unicast_latency), cell(s.avg_unicast_latency)});
+    table.add_row({rate, cell(q.model_multicast_latency), cell(s.model_multicast_latency),
+                   cell(q.model_unicast_latency), cell(s.model_unicast_latency)});
   }
   table.print_titled("design-space: broadcast completion latency, 32 cores, 64-flit parameters");
 
-  // Spot-check the chosen design point in simulation.
-  Workload chosen;
-  chosen.message_rate = 0.001;
-  chosen.multicast_fraction = alpha;
-  chosen.message_length = param_flits;
-  chosen.pattern = pattern;
-
-  sim::SimConfig c;
-  c.workload = chosen;
-  c.warmup_cycles = 5000;
-  c.measure_cycles = 60000;
-  const auto sim_q = sim::Simulator(quarc, c).run();
-  const auto sim_s = sim::Simulator(spidergon, c).run();
+  // Spot-check the chosen design point in simulation (raw results: the
+  // observed worst case feeds the barrier budget).
+  const sim::SimResult sim_q = quarc.rate(0.001).run_sim_raw();
+  const sim::SimResult sim_s = spidergon.rate(0.001).run_sim_raw();
   std::cout << "\nspot-check at rate 0.001 (simulator):\n"
             << "  Quarc broadcast     : " << sim_q.multicast_latency.to_string() << " cycles\n"
             << "  Spidergon broadcast : " << sim_s.multicast_latency.to_string() << " cycles\n"

@@ -1,58 +1,50 @@
 // Quickstart: predict and measure multicast latency on a Quarc NoC.
 //
-// Builds a 16-node Quarc network carrying 5% multicast traffic to a random
-// destination set, evaluates the paper's analytical model (Eq. 3-16), runs
-// the flit-level simulator on the identical workload, and prints both.
+// One Scenario describes the whole experiment — a 16-node Quarc network
+// carrying 5% multicast traffic to a fixed random destination set — and
+// runs both the paper's analytical model (Eq. 3-16) and the flit-level
+// simulator on the identical workload.
 //
-//   $ ./examples/quickstart
+//   $ ./example_quickstart
 #include <iostream>
 
-#include "quarc/model/performance_model.hpp"
-#include "quarc/sim/simulator.hpp"
-#include "quarc/topo/quarc.hpp"
-#include "quarc/traffic/pattern.hpp"
+#include "quarc/api/scenario.hpp"
 
 int main() {
   using namespace quarc;
 
-  // 1. The network: 16 nodes, all-port routers, split cross links.
-  QuarcTopology topo(16);
-  std::cout << "topology: " << topo.name() << "  (diameter " << topo.diameter() << " hops, "
-            << topo.num_channels() << " channels)\n";
+  // The experiment, end to end: topology and pattern resolve through the
+  // api registries, everything else is a workload/evaluation knob.
+  api::Scenario scenario;
+  scenario.topology("quarc:16")
+      .pattern("random:5")
+      .rate(0.004)          // messages/cycle/node (Poisson)
+      .alpha(0.05)          // 5% of messages are multicasts
+      .message_length(32)   // flits
+      .seed(2009)
+      .warmup(5000)
+      .measure(50000);
+  std::cout << "scenario: " << scenario.describe() << "\n\n";
 
-  // 2. The workload: Poisson sources at 0.004 messages/cycle/node, 32-flit
-  //    messages, 5% of them multicast to a fixed random destination set.
-  Rng rng(2009);
-  Workload load;
-  load.message_rate = 0.004;
-  load.multicast_fraction = 0.05;
-  load.message_length = 32;
-  load.pattern = RingRelativePattern::random(topo.num_nodes(), 5, rng);
-  std::cout << "workload: " << load.describe() << "\n\n";
+  // The analytical model (instant).
+  const api::ResultRow model = scenario.run_model().rows.front();
+  std::cout << "analytical model (" << model.model_status << ", " << model.solver_iterations
+            << " iterations)\n"
+            << "  avg unicast latency   : " << model.model_unicast_latency << " cycles\n"
+            << "  avg multicast latency : " << model.model_multicast_latency << " cycles\n"
+            << "  bottleneck utilisation: " << model.model_max_utilization << "\n\n";
 
-  // 3. The analytical model (instant).
-  const ModelResult model = PerformanceModel(topo, load).evaluate();
-  std::cout << "analytical model (" << to_string(model.status) << ", "
-            << model.solver_iterations << " iterations)\n"
-            << "  avg unicast latency   : " << model.avg_unicast_latency << " cycles\n"
-            << "  avg multicast latency : " << model.avg_multicast_latency << " cycles\n"
-            << "  bottleneck utilisation: " << model.max_utilization << " ("
-            << topo.channel(model.bottleneck).label << ")\n\n";
-
-  // 4. The flit-level simulator on the same workload.
-  sim::SimConfig config;
-  config.workload = load;
-  config.warmup_cycles = 5000;
-  config.measure_cycles = 50000;
-  config.seed = 1;
-  const sim::SimResult sim = sim::Simulator(topo, config).run();
-  std::cout << "simulation (" << sim.cycles_run << " cycles, " << sim.messages_generated
+  // The flit-level simulator on the same workload.
+  const api::ResultRow sim = scenario.run_sim().rows.front();
+  std::cout << "simulation (" << sim.sim_cycles << " cycles, " << sim.sim_messages_generated
             << " messages)\n"
-            << "  avg unicast latency   : " << sim.unicast_latency.to_string() << "\n"
-            << "  avg multicast latency : " << sim.multicast_latency.to_string() << "\n\n";
+            << "  avg unicast latency   : " << sim.sim_unicast_latency << " +-"
+            << sim.sim_unicast_ci95 << " cycles\n"
+            << "  avg multicast latency : " << sim.sim_multicast_latency << " +-"
+            << sim.sim_multicast_ci95 << " cycles\n\n";
 
-  const double err = (model.avg_multicast_latency - sim.multicast_latency.mean) /
-                     sim.multicast_latency.mean;
+  const double err =
+      (model.model_multicast_latency - sim.sim_multicast_latency) / sim.sim_multicast_latency;
   std::cout << "model vs simulation multicast error: " << err * 100.0 << "%\n";
   return 0;
 }

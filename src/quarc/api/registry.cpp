@@ -1,0 +1,312 @@
+#include "quarc/api/registry.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <sstream>
+
+#include "quarc/topo/hypercube.hpp"
+#include "quarc/topo/mesh.hpp"
+#include "quarc/topo/quarc.hpp"
+#include "quarc/topo/spidergon.hpp"
+#include "quarc/topo/torus.hpp"
+#include "quarc/util/error.hpp"
+
+namespace quarc::api {
+
+// --------------------------------------------------------------- SpecArgs
+
+SpecArgs::SpecArgs(const std::string& spec) : spec_(spec) {
+  QUARC_REQUIRE(!spec.empty(), "empty spec string");
+  std::istringstream is(spec);
+  std::string token;
+  bool first = true;
+  while (std::getline(is, token, ':')) {
+    if (first) {
+      name_ = token;
+      first = false;
+    } else {
+      args_.push_back(token);
+    }
+  }
+  QUARC_REQUIRE(!name_.empty(), "spec '" + spec + "' has no factory name");
+}
+
+void SpecArgs::fail(const std::string& what) const {
+  throw InvalidArgument("spec '" + spec_ + "': " + what);
+}
+
+void SpecArgs::require_count(std::size_t lo, std::size_t hi, const std::string& signature) const {
+  if (args_.size() < lo || args_.size() > hi) {
+    fail("expected the form '" + signature + "'");
+  }
+}
+
+const std::string& SpecArgs::str_at(std::size_t i) const {
+  if (i >= args_.size()) fail("missing argument " + std::to_string(i + 1));
+  return args_[i];
+}
+
+int SpecArgs::int_at(std::size_t i) const {
+  const std::string& v = str_at(i);
+  int out = 0;
+  const auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  if (ec != std::errc{} || ptr != v.data() + v.size()) {
+    fail("argument '" + v + "' is not an integer");
+  }
+  return out;
+}
+
+int SpecArgs::int_at(std::size_t i, int fallback) const {
+  return i < args_.size() ? int_at(i) : fallback;
+}
+
+double SpecArgs::double_at(std::size_t i) const {
+  const std::string& v = str_at(i);
+  try {
+    std::size_t used = 0;
+    const double out = std::stod(v, &used);
+    if (used != v.size()) fail("argument '" + v + "' is not a number");
+    return out;
+  } catch (const InvalidArgument&) {
+    throw;
+  } catch (const std::exception&) {
+    fail("argument '" + v + "' is not a number");
+  }
+}
+
+std::pair<int, int> SpecArgs::pair_at(std::size_t i, std::pair<int, int> fallback) const {
+  if (i >= args_.size()) return fallback;
+  const std::string& v = args_[i];
+  const std::size_t x = v.find('x');
+  if (x != std::string::npos) {
+    auto dim = [&](const std::string& t) {
+      int out = 0;
+      const auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), out);
+      if (t.empty() || ec != std::errc{} || ptr != t.data() + t.size()) {
+        fail("argument '" + v + "' is not of the form WxH");
+      }
+      return out;
+    };
+    return {dim(v.substr(0, x)), dim(v.substr(x + 1))};
+  }
+  // Two consecutive integer arguments ("mesh:8:8").
+  return {int_at(i), int_at(i + 1)};
+}
+
+int SpecArgs::offset_at(std::size_t i, int num_nodes) const {
+  const std::string& v = str_at(i);
+  if (v.find('.') == std::string::npos) return int_at(i);
+  const double f = double_at(i);
+  if (f < 0.0 || f > 1.0) fail("fractional offset '" + v + "' must be in [0,1]");
+  const int off = static_cast<int>(std::lround(f * num_nodes));
+  return std::clamp(off, 1, num_nodes - 1);
+}
+
+// -------------------------------------------------------------- registries
+
+TopologyRegistry& TopologyRegistry::instance() {
+  static TopologyRegistry registry;
+  return registry;
+}
+
+void TopologyRegistry::add(RegistryEntry entry, Factory factory) {
+  QUARC_REQUIRE(!contains(entry.name), "topology '" + entry.name + "' registered twice");
+  slots_.push_back(Slot{std::move(entry), std::move(factory)});
+}
+
+bool TopologyRegistry::contains(const std::string& name) const {
+  return std::any_of(slots_.begin(), slots_.end(),
+                     [&](const Slot& s) { return s.entry.name == name; });
+}
+
+std::vector<RegistryEntry> TopologyRegistry::entries() const {
+  std::vector<RegistryEntry> out;
+  out.reserve(slots_.size());
+  for (const Slot& s : slots_) out.push_back(s.entry);
+  return out;
+}
+
+std::unique_ptr<Topology> TopologyRegistry::make(const std::string& spec) const {
+  const SpecArgs args(spec);
+  for (const Slot& s : slots_) {
+    if (s.entry.name == args.name()) return s.factory(args);
+  }
+  std::string names;
+  for (const RegistryEntry& e : entries()) {
+    if (!names.empty()) names += ", ";
+    names += e.name;
+  }
+  throw InvalidArgument("unknown topology '" + args.name() + "' (registered: " + names + ")");
+}
+
+PatternRegistry& PatternRegistry::instance() {
+  static PatternRegistry registry;
+  return registry;
+}
+
+void PatternRegistry::add(RegistryEntry entry, Factory factory) {
+  QUARC_REQUIRE(!contains(entry.name), "pattern '" + entry.name + "' registered twice");
+  slots_.push_back(Slot{std::move(entry), std::move(factory)});
+}
+
+bool PatternRegistry::contains(const std::string& name) const {
+  return std::any_of(slots_.begin(), slots_.end(),
+                     [&](const Slot& s) { return s.entry.name == name; });
+}
+
+std::vector<RegistryEntry> PatternRegistry::entries() const {
+  std::vector<RegistryEntry> out;
+  out.reserve(slots_.size());
+  for (const Slot& s : slots_) out.push_back(s.entry);
+  return out;
+}
+
+std::shared_ptr<const MulticastPattern> PatternRegistry::make(const std::string& spec,
+                                                              int num_nodes, Rng& rng) const {
+  QUARC_REQUIRE(num_nodes >= 2, "pattern needs a topology of at least two nodes");
+  const SpecArgs args(spec);
+  const PatternContext ctx{num_nodes, &rng};
+  for (const Slot& s : slots_) {
+    if (s.entry.name == args.name()) return s.factory(args, ctx);
+  }
+  std::string names;
+  for (const RegistryEntry& e : entries()) {
+    if (!names.empty()) names += ", ";
+    names += e.name;
+  }
+  throw InvalidArgument("unknown pattern '" + args.name() + "' (registered: " + names + ")");
+}
+
+std::unique_ptr<Topology> make_topology(const std::string& spec) {
+  return TopologyRegistry::instance().make(spec);
+}
+
+std::shared_ptr<const MulticastPattern> make_pattern(const std::string& spec, int num_nodes,
+                                                     Rng& rng) {
+  return PatternRegistry::instance().make(spec, num_nodes, rng);
+}
+
+namespace {
+
+std::string describe_entries(const std::vector<RegistryEntry>& entries) {
+  std::ostringstream os;
+  for (const RegistryEntry& e : entries) {
+    os << "  " << e.signature;
+    for (std::size_t pad = e.signature.size(); pad < 26; ++pad) os << ' ';
+    os << e.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string describe_topologies() {
+  return describe_entries(TopologyRegistry::instance().entries());
+}
+
+std::string describe_patterns() {
+  return describe_entries(PatternRegistry::instance().entries());
+}
+
+// ----------------------------------------------------- built-in factories
+
+namespace {
+
+const TopologyRegistrar kQuarc{
+    {"quarc", "quarc[:N]", "all-port Quarc ring, N % 4 == 0 (default 16)", "quarc:16"},
+    [](const SpecArgs& a) {
+      a.require_count(0, 1, "quarc[:N]");
+      return std::make_unique<QuarcTopology>(a.int_at(0, 16));
+    }};
+
+const TopologyRegistrar kQuarc1p{
+    {"quarc1p", "quarc1p[:N]", "one-port Quarc ablation variant (default 16)", "quarc1p:16"},
+    [](const SpecArgs& a) {
+      a.require_count(0, 1, "quarc1p[:N]");
+      return std::make_unique<QuarcTopology>(a.int_at(0, 16), PortScheme::OnePort);
+    }};
+
+const TopologyRegistrar kSpidergon{
+    {"spidergon", "spidergon[:N]", "one-port Spidergon ring (default 16)", "spidergon:16"},
+    [](const SpecArgs& a) {
+      a.require_count(0, 1, "spidergon[:N]");
+      return std::make_unique<SpidergonTopology>(a.int_at(0, 16));
+    }};
+
+const TopologyRegistrar kMesh{
+    {"mesh", "mesh[:WxH]", "XY-routed multi-port 2D mesh (default 4x4)", "mesh:4x4"},
+    [](const SpecArgs& a) {
+      a.require_count(0, 2, "mesh[:WxH]");
+      const auto [w, h] = a.pair_at(0, {4, 4});
+      return std::make_unique<MeshTopology>(w, h, MeshRouting::XY);
+    }};
+
+const TopologyRegistrar kMeshHam{
+    {"mesh-ham", "mesh-ham[:WxH]", "Hamiltonian dual-path mesh with hardware multicast",
+     "mesh-ham:4x4"},
+    [](const SpecArgs& a) {
+      a.require_count(0, 2, "mesh-ham[:WxH]");
+      const auto [w, h] = a.pair_at(0, {4, 4});
+      return std::make_unique<MeshTopology>(w, h, MeshRouting::Hamiltonian);
+    }};
+
+const TopologyRegistrar kTorus{
+    {"torus", "torus[:WxH]", "dimension-ordered multi-port 2D torus (default 4x4)", "torus:4x4"},
+    [](const SpecArgs& a) {
+      a.require_count(0, 2, "torus[:WxH]");
+      const auto [w, h] = a.pair_at(0, {4, 4});
+      return std::make_unique<TorusTopology>(w, h);
+    }};
+
+const TopologyRegistrar kHypercube{
+    {"hypercube", "hypercube[:D]", "binary D-cube with e-cube routing (default 4)",
+     "hypercube:4"},
+    [](const SpecArgs& a) {
+      a.require_count(0, 1, "hypercube[:D]");
+      return std::make_unique<HypercubeTopology>(a.int_at(0, 4));
+    }};
+
+const PatternRegistrar kNone{
+    {"none", "none", "no multicast destination set (unicast-only workloads)", "none"},
+    [](const SpecArgs& a, const PatternContext&) -> std::shared_ptr<const MulticastPattern> {
+      a.require_count(0, 0, "none");
+      return nullptr;
+    }};
+
+const PatternRegistrar kBroadcast{
+    {"broadcast", "broadcast", "every node targets all other nodes", "broadcast"},
+    [](const SpecArgs& a, const PatternContext& ctx) -> std::shared_ptr<const MulticastPattern> {
+      a.require_count(0, 0, "broadcast");
+      return RingRelativePattern::broadcast(ctx.num_nodes);
+    }};
+
+const PatternRegistrar kRandom{
+    {"random", "random:K", "K ring offsets drawn once, shared by all sources (Fig. 6)",
+     "random:4"},
+    [](const SpecArgs& a, const PatternContext& ctx) -> std::shared_ptr<const MulticastPattern> {
+      a.require_count(1, 1, "random:K");
+      return RingRelativePattern::random(ctx.num_nodes, a.int_at(0), *ctx.rng);
+    }};
+
+const PatternRegistrar kLocalized{
+    {"localized", "localized:LO:HI:K",
+     "K offsets within [LO,HI]; LO/HI absolute or fractions of N (Fig. 7)",
+     "localized:0.2:0.8:3"},
+    [](const SpecArgs& a, const PatternContext& ctx) -> std::shared_ptr<const MulticastPattern> {
+      a.require_count(3, 3, "localized:LO:HI:K");
+      const int lo = a.offset_at(0, ctx.num_nodes);
+      const int hi = a.offset_at(1, ctx.num_nodes);
+      return RingRelativePattern::localized(ctx.num_nodes, lo, hi, a.int_at(2), *ctx.rng);
+    }};
+
+const PatternRegistrar kUniform{
+    {"uniform", "uniform:K", "independent K random destinations per source", "uniform:4"},
+    [](const SpecArgs& a, const PatternContext& ctx) -> std::shared_ptr<const MulticastPattern> {
+      a.require_count(1, 1, "uniform:K");
+      return std::make_shared<UniformRandomPattern>(ctx.num_nodes, a.int_at(0), *ctx.rng);
+    }};
+
+}  // namespace
+
+}  // namespace quarc::api

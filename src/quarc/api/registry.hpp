@@ -1,0 +1,150 @@
+// String-keyed factories for topologies and multicast patterns.
+//
+// Every consumer of the library (CLI, benches, examples, tests) names its
+// network and traffic by *spec strings* —
+//
+//   topology: "quarc:64"  "mesh:8x8"  "mesh-ham:4x4"  "hypercube:6" ...
+//   pattern:  "broadcast" "random:6"  "localized:0.2:0.8:6"  "uniform:4"
+//
+// — and the registries turn those into objects. A spec is the factory name
+// followed by ':'-separated arguments; numeric pattern bounds may be given
+// as absolute clockwise offsets or (when they contain a '.') as fractions
+// of the node count, so one spec scales across network sizes.
+//
+// Factories self-register: constructing a `TopologyRegistrar` /
+// `PatternRegistrar` at namespace scope (see registry.cpp for the
+// built-ins) adds the factory before main() runs, so new networks and
+// traffic families plug in without touching any caller. Registries are
+// populated at static-initialisation time and read-only afterwards, so
+// lookups are safe from concurrent sweeps.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "quarc/topo/topology.hpp"
+#include "quarc/traffic/pattern.hpp"
+#include "quarc/util/rng.hpp"
+
+namespace quarc::api {
+
+/// A parsed spec: factory name plus positional arguments, with typed
+/// accessors that throw InvalidArgument naming the spec on bad input.
+class SpecArgs {
+ public:
+  /// Splits "name:a:b" on ':'; a trailing "WxH" argument may itself be
+  /// split by the caller via pair_at().
+  explicit SpecArgs(const std::string& spec);
+
+  const std::string& name() const { return name_; }
+  const std::string& spec() const { return spec_; }
+  std::size_t size() const { return args_.size(); }
+
+  /// Requires between `lo` and `hi` arguments; throws otherwise, quoting
+  /// `signature` (e.g. "mesh[:WxH]") in the message.
+  void require_count(std::size_t lo, std::size_t hi, const std::string& signature) const;
+
+  const std::string& str_at(std::size_t i) const;
+  int int_at(std::size_t i) const;
+  int int_at(std::size_t i, int fallback) const;  ///< fallback when absent
+  double double_at(std::size_t i) const;
+  /// "WxH" (or two consecutive int args) -> {W, H}; `fallback` when absent.
+  std::pair<int, int> pair_at(std::size_t i, std::pair<int, int> fallback) const;
+  /// Offset argument: an integer is used as-is; a value containing '.' is
+  /// a fraction of `num_nodes`, rounded and clamped to [1, num_nodes-1].
+  int offset_at(std::size_t i, int num_nodes) const;
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const;
+
+  std::string spec_;
+  std::string name_;
+  std::vector<std::string> args_;
+};
+
+struct RegistryEntry {
+  std::string name;
+  std::string signature;  ///< e.g. "mesh[:WxH]" — for --help and docs
+  std::string help;
+  std::string example;    ///< a spec that must construct (used by tests)
+};
+
+class TopologyRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Topology>(const SpecArgs&)>;
+
+  static TopologyRegistry& instance();
+
+  void add(RegistryEntry entry, Factory factory);
+  bool contains(const std::string& name) const;
+  /// Entries in registration order (built-ins first).
+  std::vector<RegistryEntry> entries() const;
+
+  /// Parses `spec` and invokes the named factory; throws InvalidArgument
+  /// for unknown names or malformed arguments.
+  std::unique_ptr<Topology> make(const std::string& spec) const;
+
+ private:
+  struct Slot {
+    RegistryEntry entry;
+    Factory factory;
+  };
+  std::vector<Slot> slots_;
+};
+
+/// Context handed to pattern factories: the topology size the pattern must
+/// cover and a deterministic generator for randomised families.
+struct PatternContext {
+  int num_nodes = 0;
+  Rng* rng = nullptr;
+};
+
+class PatternRegistry {
+ public:
+  using Factory =
+      std::function<std::shared_ptr<const MulticastPattern>(const SpecArgs&, const PatternContext&)>;
+
+  static PatternRegistry& instance();
+
+  void add(RegistryEntry entry, Factory factory);
+  bool contains(const std::string& name) const;
+  std::vector<RegistryEntry> entries() const;
+
+  /// Parses `spec` and builds the pattern ("none" yields nullptr).
+  std::shared_ptr<const MulticastPattern> make(const std::string& spec, int num_nodes,
+                                               Rng& rng) const;
+
+ private:
+  struct Slot {
+    RegistryEntry entry;
+    Factory factory;
+  };
+  std::vector<Slot> slots_;
+};
+
+/// Self-registration helpers: a namespace-scope instance registers the
+/// factory during static initialisation.
+struct TopologyRegistrar {
+  TopologyRegistrar(RegistryEntry entry, TopologyRegistry::Factory factory) {
+    TopologyRegistry::instance().add(std::move(entry), std::move(factory));
+  }
+};
+
+struct PatternRegistrar {
+  PatternRegistrar(RegistryEntry entry, PatternRegistry::Factory factory) {
+    PatternRegistry::instance().add(std::move(entry), std::move(factory));
+  }
+};
+
+/// Convenience front doors used throughout the repo.
+std::unique_ptr<Topology> make_topology(const std::string& spec);
+std::shared_ptr<const MulticastPattern> make_pattern(const std::string& spec, int num_nodes,
+                                                     Rng& rng);
+
+/// One-line-per-entry listings for --help text and README generation.
+std::string describe_topologies();
+std::string describe_patterns();
+
+}  // namespace quarc::api

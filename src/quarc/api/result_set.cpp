@@ -1,0 +1,298 @@
+#include "quarc/api/result_set.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "quarc/util/error.hpp"
+
+namespace quarc::api {
+
+namespace {
+
+double nan_value() { return std::numeric_limits<double>::quiet_NaN(); }
+
+double relative_error(bool model_run, bool sim_run, double model, double sim,
+                      std::int64_t samples) {
+  if (!model_run || !sim_run || samples == 0) return nan_value();
+  if (!std::isfinite(model) || !std::isfinite(sim) || sim <= 0.0) return nan_value();
+  return (model - sim) / sim;
+}
+
+/// Non-finite -> null (JSON has no inf/nan); see header for the read side.
+json::Value number_or_null(double v) {
+  if (!std::isfinite(v)) return json::Value(nullptr);
+  return json::Value(v);
+}
+
+/// null -> `infinite` restores the library's conventional non-finite value
+/// for the field (+inf for saturated latencies / absent CIs, NaN for
+/// never-measured quantities).
+double read_number(const json::Value& v, double non_finite) {
+  if (v.is_null()) return non_finite;
+  return v.as_double();
+}
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+double ResultRow::unicast_error() const {
+  return relative_error(model_run, sim_run, model_unicast_latency, sim_unicast_latency,
+                        sim_unicast_count);
+}
+
+double ResultRow::multicast_error() const {
+  return relative_error(model_run, sim_run, model_multicast_latency, sim_multicast_latency,
+                        sim_multicast_count);
+}
+
+ResultRow ResultRow::from_model(double rate, const ModelResult& m) {
+  ResultRow r;
+  r.rate = rate;
+  r.model_run = true;
+  r.model_status = to_string(m.status);
+  r.model_unicast_latency = m.avg_unicast_latency;
+  r.model_multicast_latency = m.has_multicast ? m.avg_multicast_latency : nan_value();
+  r.model_max_utilization = m.max_utilization;
+  r.solver_iterations = m.solver_iterations;
+  return r;
+}
+
+ResultRow ResultRow::from_sim(double rate, const sim::SimResult& s) {
+  ResultRow r;
+  r.rate = rate;
+  r.sim_run = true;
+  r.sim_completed = s.completed;
+  r.sim_stable = s.stable;
+  r.sim_unicast_latency = s.unicast_latency.count > 0 ? s.unicast_latency.mean : nan_value();
+  r.sim_unicast_ci95 = s.unicast_latency.ci95;
+  r.sim_unicast_count = s.unicast_latency.count;
+  r.sim_multicast_latency =
+      s.multicast_latency.count > 0 ? s.multicast_latency.mean : nan_value();
+  r.sim_multicast_ci95 = s.multicast_latency.ci95;
+  r.sim_multicast_count = s.multicast_latency.count;
+  r.sim_max_utilization = s.max_channel_utilization;
+  r.sim_messages_generated = s.messages_generated;
+  r.sim_cycles = s.cycles_run;
+  return r;
+}
+
+ResultRow ResultRow::from_point(const RatePointResult& p) {
+  ResultRow r = from_model(p.rate, p.model);
+  if (p.sim_run) {
+    const ResultRow s = from_sim(p.rate, p.sim);
+    r.sim_run = true;
+    r.sim_completed = s.sim_completed;
+    r.sim_stable = s.sim_stable;
+    r.sim_unicast_latency = s.sim_unicast_latency;
+    r.sim_unicast_ci95 = s.sim_unicast_ci95;
+    r.sim_unicast_count = s.sim_unicast_count;
+    r.sim_multicast_latency = s.sim_multicast_latency;
+    r.sim_multicast_ci95 = s.sim_multicast_ci95;
+    r.sim_multicast_count = s.sim_multicast_count;
+    r.sim_max_utilization = s.sim_max_utilization;
+    r.sim_messages_generated = s.sim_messages_generated;
+    r.sim_cycles = s.sim_cycles;
+  }
+  return r;
+}
+
+bool ResultSet::has_sim() const {
+  return std::any_of(rows.begin(), rows.end(), [](const ResultRow& r) { return r.sim_run; });
+}
+
+json::Value ResultSet::to_json() const {
+  json::Value doc = json::Value::object();
+  doc.set("schema", schema);
+  json::Value scenario = json::Value::object();
+  scenario.set("topology", topology);
+  scenario.set("topology_name", topology_name);
+  scenario.set("nodes", nodes);
+  scenario.set("ports", ports);
+  scenario.set("diameter", diameter);
+  scenario.set("pattern", pattern);
+  scenario.set("alpha", alpha);
+  scenario.set("message_length", message_length);
+  scenario.set("seed", seed);
+  scenario.set("workload", workload);
+  doc.set("scenario", std::move(scenario));
+
+  json::Value arr = json::Value::array();
+  for (const ResultRow& r : rows) {
+    json::Value row = json::Value::object();
+    row.set("rate", r.rate);
+    if (r.model_run) {
+      json::Value model = json::Value::object();
+      model.set("status", r.model_status);
+      model.set("unicast_latency", number_or_null(r.model_unicast_latency));
+      model.set("multicast_latency", number_or_null(r.model_multicast_latency));
+      model.set("max_utilization", number_or_null(r.model_max_utilization));
+      model.set("solver_iterations", r.solver_iterations);
+      row.set("model", std::move(model));
+    }
+    if (r.sim_run) {
+      json::Value sim = json::Value::object();
+      sim.set("completed", r.sim_completed);
+      sim.set("stable", r.sim_stable);
+      sim.set("unicast_latency", number_or_null(r.sim_unicast_latency));
+      sim.set("unicast_ci95", number_or_null(r.sim_unicast_ci95));
+      sim.set("unicast_count", r.sim_unicast_count);
+      sim.set("multicast_latency", number_or_null(r.sim_multicast_latency));
+      sim.set("multicast_ci95", number_or_null(r.sim_multicast_ci95));
+      sim.set("multicast_count", r.sim_multicast_count);
+      sim.set("max_utilization", number_or_null(r.sim_max_utilization));
+      sim.set("messages_generated", r.sim_messages_generated);
+      sim.set("cycles", r.sim_cycles);
+      row.set("sim", std::move(sim));
+    }
+    arr.push_back(std::move(row));
+  }
+  doc.set("rows", std::move(arr));
+  return doc;
+}
+
+ResultSet ResultSet::from_json(const json::Value& doc) {
+  const std::int64_t schema = doc.at("schema").as_int();
+  QUARC_REQUIRE(schema == kResultSchemaVersion,
+                "unsupported ResultSet schema version " + std::to_string(schema) +
+                    " (expected " + std::to_string(kResultSchemaVersion) + ")");
+  ResultSet rs;
+  const json::Value& sc = doc.at("scenario");
+  rs.topology = sc.at("topology").as_string();
+  rs.topology_name = sc.at("topology_name").as_string();
+  rs.nodes = static_cast<int>(sc.at("nodes").as_int());
+  rs.ports = static_cast<int>(sc.at("ports").as_int());
+  rs.diameter = static_cast<int>(sc.at("diameter").as_int());
+  rs.pattern = sc.at("pattern").as_string();
+  rs.alpha = sc.at("alpha").as_double();
+  rs.message_length = static_cast<int>(sc.at("message_length").as_int());
+  rs.seed = sc.at("seed").as_uint();
+  rs.workload = sc.at("workload").as_string();
+
+  for (const json::Value& row : doc.at("rows").as_array()) {
+    ResultRow r;
+    r.rate = row.at("rate").as_double();
+    if (const json::Value* model = row.find("model")) {
+      r.model_run = true;
+      r.model_status = model->at("status").as_string();
+      r.model_unicast_latency = read_number(model->at("unicast_latency"), kInf);
+      // A null multicast latency is +inf when the scenario carries
+      // multicast traffic (saturation), NaN when it never had any.
+      r.model_multicast_latency =
+          read_number(model->at("multicast_latency"), rs.alpha > 0.0 ? kInf : nan_value());
+      r.model_max_utilization = read_number(model->at("max_utilization"), nan_value());
+      r.solver_iterations = static_cast<int>(model->at("solver_iterations").as_int());
+    }
+    if (const json::Value* sim = row.find("sim")) {
+      r.sim_run = true;
+      r.sim_completed = sim->at("completed").as_bool();
+      r.sim_stable = sim->at("stable").as_bool();
+      r.sim_unicast_latency = read_number(sim->at("unicast_latency"), nan_value());
+      r.sim_unicast_ci95 = read_number(sim->at("unicast_ci95"), kInf);
+      r.sim_unicast_count = sim->at("unicast_count").as_int();
+      r.sim_multicast_latency = read_number(sim->at("multicast_latency"), nan_value());
+      r.sim_multicast_ci95 = read_number(sim->at("multicast_ci95"), kInf);
+      r.sim_multicast_count = sim->at("multicast_count").as_int();
+      r.sim_max_utilization = read_number(sim->at("max_utilization"), nan_value());
+      r.sim_messages_generated = sim->at("messages_generated").as_int();
+      r.sim_cycles = sim->at("cycles").as_int();
+    }
+    rs.rows.push_back(std::move(r));
+  }
+  return rs;
+}
+
+ResultSet ResultSet::from_json_text(std::string_view text) {
+  return from_json(json::Value::parse(text));
+}
+
+void ResultSet::write_json(std::ostream& os) const {
+  to_json().write(os, 2);
+  os << "\n";
+}
+
+const std::vector<std::string>& ResultSet::csv_header() {
+  static const std::vector<std::string> header = {
+      "rate",
+      "model_status",
+      "model_unicast_latency",
+      "model_multicast_latency",
+      "model_max_utilization",
+      "solver_iterations",
+      "sim_completed",
+      "sim_stable",
+      "sim_unicast_latency",
+      "sim_unicast_ci95",
+      "sim_multicast_latency",
+      "sim_multicast_ci95",
+      "sim_max_utilization",
+      "sim_cycles",
+  };
+  return header;
+}
+
+Cell model_latency_cell(double latency) {
+  if (std::isnan(latency)) return std::string("-");
+  if (!std::isfinite(latency)) return std::string("saturated");
+  return latency;
+}
+
+Cell sim_latency_cell(const ResultRow& row, bool multicast) {
+  if (!row.sim_run) return std::string("-");
+  if (!row.sim_completed) return std::string("unstable");
+  const auto count = multicast ? row.sim_multicast_count : row.sim_unicast_count;
+  if (count == 0) return std::string("-");
+  const double mean = multicast ? row.sim_multicast_latency : row.sim_unicast_latency;
+  const double ci = multicast ? row.sim_multicast_ci95 : row.sim_unicast_ci95;
+  std::ostringstream os;
+  os.precision(2);
+  os << std::fixed << mean;
+  if (std::isfinite(ci)) os << " +-" << ci;
+  return os.str();
+}
+
+void ResultSet::write_csv(std::ostream& os) const {
+  os << "# schema=" << schema << " topology=" << topology << " pattern=" << pattern
+     << " alpha=" << alpha << " message_length=" << message_length << " seed=" << seed << "\n";
+  const auto& header = csv_header();
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    os << (i > 0 ? "," : "") << header[i];
+  }
+  os << "\n";
+  auto num = [&os](double v) {
+    if (std::isnan(v)) {
+      os << "";
+    } else if (std::isinf(v)) {
+      os << (v > 0 ? "inf" : "-inf");
+    } else {
+      os << v;
+    }
+  };
+  for (const ResultRow& r : rows) {
+    num(r.rate);
+    os << "," << (r.model_run ? r.model_status : "");
+    os << ",";
+    num(r.model_unicast_latency);
+    os << ",";
+    num(r.model_multicast_latency);
+    os << ",";
+    num(r.model_max_utilization);
+    os << "," << r.solver_iterations;
+    os << "," << (r.sim_run ? (r.sim_completed ? "yes" : "no") : "");
+    os << "," << (r.sim_run ? (r.sim_stable ? "yes" : "no") : "");
+    os << ",";
+    num(r.sim_unicast_latency);
+    os << ",";
+    num(r.sim_unicast_ci95);
+    os << ",";
+    num(r.sim_multicast_latency);
+    os << ",";
+    num(r.sim_multicast_ci95);
+    os << ",";
+    num(r.sim_max_utilization);
+    os << "," << r.sim_cycles << "\n";
+  }
+}
+
+}  // namespace quarc::api

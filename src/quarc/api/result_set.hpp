@@ -1,0 +1,112 @@
+// Structured experiment results: one schema for model evaluations,
+// simulator runs and rate sweeps, with JSON and CSV serialisers.
+//
+// The seed repo had three result shapes (ModelResult, sim::SimResult,
+// RatePointResult) and every consumer flattened them by hand into its own
+// table. ResultSet unifies them: a run is a list of ResultRow — one per
+// evaluated rate point — under a metadata header identifying the scenario
+// (topology/pattern specs, workload, seed). The JSON document is
+// schema-versioned (`schema` field, kResultSchemaVersion) so downstream
+// tooling and stored BENCH_*.json trajectories can evolve safely, and
+// from_json() round-trips every serialised field exactly.
+//
+// Non-finite numbers (saturated latencies are +inf by convention, absent
+// measurements NaN) have no JSON representation; the serialiser writes
+// them as null and the reader restores +inf for the *_latency/+ci fields
+// and NaN elsewhere, which preserves the only non-finite values the
+// library produces.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "quarc/model/performance_model.hpp"
+#include "quarc/sim/simulator.hpp"
+#include "quarc/sweep/sweep.hpp"
+#include "quarc/util/json.hpp"
+#include "quarc/util/table.hpp"
+
+namespace quarc::api {
+
+inline constexpr int kResultSchemaVersion = 1;
+
+/// One evaluated rate point. Scalar summaries only — per-channel solver
+/// state and raw sample vectors stay on ModelResult/SimResult (reachable
+/// via Scenario's raw run methods) and are not serialised.
+struct ResultRow {
+  double rate = 0.0;
+
+  bool model_run = false;
+  std::string model_status;  ///< to_string(SolveStatus) when model_run
+  double model_unicast_latency = std::numeric_limits<double>::quiet_NaN();
+  double model_multicast_latency = std::numeric_limits<double>::quiet_NaN();
+  double model_max_utilization = std::numeric_limits<double>::quiet_NaN();
+  int solver_iterations = 0;
+
+  bool sim_run = false;
+  bool sim_completed = false;
+  bool sim_stable = false;
+  double sim_unicast_latency = std::numeric_limits<double>::quiet_NaN();
+  double sim_unicast_ci95 = std::numeric_limits<double>::quiet_NaN();
+  double sim_multicast_latency = std::numeric_limits<double>::quiet_NaN();
+  double sim_multicast_ci95 = std::numeric_limits<double>::quiet_NaN();
+  double sim_max_utilization = std::numeric_limits<double>::quiet_NaN();
+  std::int64_t sim_unicast_count = 0;
+  std::int64_t sim_multicast_count = 0;
+  std::int64_t sim_messages_generated = 0;
+  std::int64_t sim_cycles = 0;
+
+  /// (model - sim) / sim for the finite, measured latencies; NaN otherwise.
+  double unicast_error() const;
+  double multicast_error() const;
+
+  static ResultRow from_model(double rate, const ModelResult& m);
+  static ResultRow from_sim(double rate, const sim::SimResult& s);
+  static ResultRow from_point(const RatePointResult& p);
+};
+
+/// A complete experiment record: scenario identification plus rows.
+struct ResultSet {
+  int schema = kResultSchemaVersion;
+  std::string topology;        ///< spec, e.g. "quarc:16"
+  std::string topology_name;   ///< Topology::name(), e.g. "quarc-16"
+  int nodes = 0;
+  int ports = 0;
+  int diameter = 0;
+  std::string pattern;         ///< spec, e.g. "random:4"; "none" without multicast
+  double alpha = 0.0;
+  int message_length = 0;
+  std::uint64_t seed = 0;
+  std::string workload;        ///< Workload::describe() at the base rate
+  std::vector<ResultRow> rows;
+
+  bool has_multicast() const { return alpha > 0.0; }
+  bool has_sim() const;
+
+  /// JSON document (object) / parsing. from_json throws InvalidArgument on
+  /// schema mismatch or malformed documents.
+  json::Value to_json() const;
+  static ResultSet from_json(const json::Value& doc);
+  static ResultSet from_json_text(std::string_view text);
+
+  /// Pretty-printed JSON document, trailing newline included.
+  void write_json(std::ostream& os) const;
+
+  /// CSV: fixed column set (csv_header()), one line per row; metadata is
+  /// carried in '#'-prefixed comment lines above the header.
+  void write_csv(std::ostream& os) const;
+  static const std::vector<std::string>& csv_header();
+};
+
+/// Aligned-table cell renderings shared by the CLI and the bench harness:
+/// "-" for absent values (NaN / not run / no samples), "saturated" for an
+/// infinite model latency, "unstable" for an aborted simulation, and
+/// "mean +-ci" for measured latencies.
+Cell model_latency_cell(double latency);
+Cell sim_latency_cell(const ResultRow& row, bool multicast);
+
+}  // namespace quarc::api

@@ -1,0 +1,201 @@
+#include "quarc/api/scenario.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "quarc/api/registry.hpp"
+#include "quarc/util/error.hpp"
+
+namespace quarc::api {
+
+Scenario::Scenario() : topology_spec_("quarc:16") {
+  workload_.message_rate = 0.004;
+  workload_.multicast_fraction = 0.0;
+  workload_.message_length = 32;
+}
+
+Scenario& Scenario::topology(std::string spec) {
+  topology_spec_ = std::move(spec);
+  topology_.reset();
+  topology_dirty_ = true;
+  return *this;
+}
+
+Scenario& Scenario::topology(std::unique_ptr<Topology> topo) {
+  QUARC_REQUIRE(topo != nullptr, "Scenario::topology: null topology");
+  topology_ = std::move(topo);
+  topology_spec_ = topology_->name();
+  topology_dirty_ = false;
+  return *this;
+}
+
+Scenario& Scenario::pattern(std::string spec) {
+  pattern_spec_ = std::move(spec);
+  pattern_.reset();
+  pattern_from_spec_ = true;
+  return *this;
+}
+
+Scenario& Scenario::pattern(std::shared_ptr<const MulticastPattern> pattern) {
+  pattern_ = std::move(pattern);
+  pattern_spec_ = pattern_ ? pattern_->describe() : "none";
+  pattern_from_spec_ = false;
+  return *this;
+}
+
+Scenario& Scenario::rate(double messages_per_cycle_per_node) {
+  workload_.message_rate = messages_per_cycle_per_node;
+  return *this;
+}
+
+Scenario& Scenario::alpha(double multicast_fraction) {
+  workload_.multicast_fraction = multicast_fraction;
+  return *this;
+}
+
+Scenario& Scenario::message_length(int flits) {
+  workload_.message_length = flits;
+  return *this;
+}
+
+Scenario& Scenario::seed(std::uint64_t seed) {
+  seed_ = seed;
+  return *this;
+}
+
+Scenario& Scenario::pattern_seed(std::uint64_t seed) {
+  pattern_seed_ = seed;
+  pattern_seed_set_ = true;
+  return *this;
+}
+
+Scenario& Scenario::warmup(Cycle cycles) {
+  sweep_.sim.warmup_cycles = cycles;
+  return *this;
+}
+
+Scenario& Scenario::measure(Cycle cycles) {
+  sweep_.sim.measure_cycles = cycles;
+  return *this;
+}
+
+Scenario& Scenario::with_sim(bool enabled) {
+  sweep_.run_sim = enabled;
+  return *this;
+}
+
+Scenario& Scenario::threads(int count) {
+  sweep_.threads = count;
+  return *this;
+}
+
+void Scenario::ensure_topology() {
+  if (topology_dirty_ || !topology_) {
+    topology_ = make_topology(topology_spec_);
+    topology_dirty_ = false;
+  }
+}
+
+void Scenario::validate() {
+  ensure_topology();
+  if (pattern_from_spec_) {
+    // Patterns are deterministic functions of (spec, topology size, seed);
+    // rebuilding keeps them consistent when the topology or seed changed.
+    Rng rng(pattern_seed_set_ ? pattern_seed_ : seed_);
+    pattern_ = make_pattern(pattern_spec_, topology_->num_nodes(), rng);
+  }
+  workload_.pattern = pattern_;
+  workload_.validate(*topology_);
+}
+
+const Topology& Scenario::built_topology() {
+  ensure_topology();
+  return *topology_;
+}
+
+Workload Scenario::build_workload() {
+  validate();
+  return workload_;
+}
+
+std::string Scenario::describe() {
+  validate();
+  std::ostringstream os;
+  os << topology_->name() << " (" << topology_->num_nodes() << " nodes, diameter "
+     << topology_->diameter() << "): " << workload_.describe();
+  return os.str();
+}
+
+ResultSet Scenario::make_result_set() {
+  ResultSet rs;
+  rs.topology = topology_spec_;
+  rs.topology_name = topology_->name();
+  rs.nodes = topology_->num_nodes();
+  rs.ports = topology_->num_ports();
+  rs.diameter = topology_->diameter();
+  rs.pattern = pattern_spec_;
+  rs.alpha = workload_.multicast_fraction;
+  rs.message_length = workload_.message_length;
+  rs.seed = seed_;
+  rs.workload = workload_.describe();
+  return rs;
+}
+
+sim::SimConfig Scenario::sim_config_for_run() {
+  sim::SimConfig c = sweep_.sim;
+  c.workload = workload_;
+  c.seed = seed_;
+  return c;
+}
+
+ResultSet Scenario::run_model() {
+  ModelResult m = run_model_raw();
+  ResultSet rs = make_result_set();
+  rs.rows.push_back(ResultRow::from_model(workload_.message_rate, m));
+  return rs;
+}
+
+ResultSet Scenario::run_sim() {
+  sim::SimResult s = run_sim_raw();
+  ResultSet rs = make_result_set();
+  rs.rows.push_back(ResultRow::from_sim(workload_.message_rate, s));
+  return rs;
+}
+
+ResultSet Scenario::run_sweep(std::span<const double> rates) {
+  validate();
+  SweepConfig cfg = sweep_;
+  cfg.sim.seed = seed_;
+  const auto points = sweep_rates(*topology_, workload_, rates, cfg);
+  ResultSet rs = make_result_set();
+  rs.rows.reserve(points.size());
+  for (const RatePointResult& p : points) rs.rows.push_back(ResultRow::from_point(p));
+  return rs;
+}
+
+ResultSet Scenario::run_sweep(int points, double fill) {
+  const std::vector<double> rates = rate_grid(points, fill);
+  return run_sweep(rates);
+}
+
+double Scenario::saturation_rate() {
+  validate();
+  return model_saturation_rate(*topology_, workload_, sweep_.model);
+}
+
+std::vector<double> Scenario::rate_grid(int points, double fill) {
+  validate();
+  return rate_grid_to_saturation(*topology_, workload_, points, fill, sweep_.model);
+}
+
+ModelResult Scenario::run_model_raw() {
+  validate();
+  return PerformanceModel(*topology_, workload_, sweep_.model).evaluate();
+}
+
+sim::SimResult Scenario::run_sim_raw() {
+  validate();
+  return sim::Simulator(*topology_, sim_config_for_run()).run();
+}
+
+}  // namespace quarc::api

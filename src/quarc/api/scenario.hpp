@@ -1,0 +1,130 @@
+// Scenario — the single entry point for running experiments.
+//
+// A Scenario is a fluent builder over everything an experiment needs:
+// topology spec, traffic pattern spec, workload knobs, solver and
+// simulator settings, and the seed. It validates the assembled
+// configuration once (spec strings resolve through the api registries,
+// Workload::validate runs against the built topology) and then evaluates:
+//
+//   Scenario()
+//       .topology("quarc:64")
+//       .pattern("random:6")
+//       .alpha(0.05)
+//       .message_length(32)
+//       .seed(42)
+//       .run_sweep(8, 0.85)     // -> ResultSet, model + sim per point
+//
+// run_model()/run_sim() evaluate the single configured rate; run_sweep()
+// evaluates a rate grid (explicit, or auto-spanned to a fraction of the
+// model's saturation rate). All return ResultSet. The *_raw() escape
+// hatches expose the full ModelResult/SimResult for consumers that need
+// per-channel or per-port detail (ablation benches, diagnostics).
+//
+// Determinism: everything is a pure function of the builder state. The
+// pattern is drawn from pattern_seed (defaults to seed) so a fixed
+// destination set can be held while simulation seeds vary; sweep points
+// derive per-point seeds exactly as sweep_rates() documents.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "quarc/api/result_set.hpp"
+#include "quarc/sweep/sweep.hpp"
+
+namespace quarc::api {
+
+class Scenario {
+ public:
+  Scenario();
+
+  // ---- network ----
+  /// Topology by registry spec (e.g. "mesh:8x8").
+  Scenario& topology(std::string spec);
+  /// Escape hatch: adopt an already-built topology (labelled by its
+  /// name() in result metadata). Used when a caller needs the concrete
+  /// type, e.g. mesh labelings.
+  Scenario& topology(std::unique_ptr<Topology> topo);
+
+  // ---- workload ----
+  /// Pattern by registry spec (e.g. "localized:0.2:0.8:6"); "none" clears.
+  Scenario& pattern(std::string spec);
+  /// Escape hatch: an explicit pattern object (e.g. ExplicitPattern).
+  Scenario& pattern(std::shared_ptr<const MulticastPattern> pattern);
+  Scenario& rate(double messages_per_cycle_per_node);
+  Scenario& alpha(double multicast_fraction);
+  Scenario& message_length(int flits);
+
+  // ---- evaluation knobs ----
+  Scenario& seed(std::uint64_t seed);
+  /// Pattern construction seed; defaults to the run seed.
+  Scenario& pattern_seed(std::uint64_t seed);
+  Scenario& warmup(Cycle cycles);
+  Scenario& measure(Cycle cycles);
+  /// Whether run_sweep() also simulates each point (default true).
+  Scenario& with_sim(bool enabled = true);
+  /// parallel_for workers for sweeps (<= 0: default).
+  Scenario& threads(int count);
+
+  /// Full-access mutable settings for the less common knobs
+  /// (buffer depth, drain caps, solver damping, ...). Workload and seed
+  /// fields inside sim_config() are overwritten by the builder state when
+  /// a run starts.
+  sim::SimConfig& sim_config() { return sweep_.sim; }
+  ModelOptions& model_options() { return sweep_.model; }
+
+  // ---- assembly ----
+  /// Builds and validates topology + workload; throws InvalidArgument on
+  /// any inconsistency. Idempotent; run_* call it implicitly.
+  void validate();
+  /// The built topology (constructing it on first use). Does NOT validate
+  /// the workload against it, so callers can inspect the network (e.g. its
+  /// diameter) before committing to a configuration.
+  const Topology& built_topology();
+  /// The validated workload at the configured rate.
+  Workload build_workload();
+  /// One-line description for banners/logs.
+  std::string describe();
+
+  // ---- evaluation ----
+  /// Analytical model at the configured rate.
+  ResultSet run_model();
+  /// Simulator at the configured rate.
+  ResultSet run_sim();
+  /// Model (and simulator per with_sim) over an explicit rate grid.
+  ResultSet run_sweep(std::span<const double> rates);
+  /// Auto grid: `points` rates evenly spaced in (0, fill * saturation].
+  ResultSet run_sweep(int points, double fill = 0.85);
+
+  /// Largest rate for which the analytical model converges.
+  double saturation_rate();
+  /// The auto grid run_sweep(points, fill) would use.
+  std::vector<double> rate_grid(int points, double fill = 0.85);
+
+  /// Raw single-run escape hatches (full result structs).
+  ModelResult run_model_raw();
+  sim::SimResult run_sim_raw();
+
+ private:
+  void ensure_topology();
+  ResultSet make_result_set();
+  sim::SimConfig sim_config_for_run();
+
+  std::string topology_spec_;
+  std::unique_ptr<Topology> topology_;   ///< built lazily or adopted
+  bool topology_dirty_ = true;
+
+  std::string pattern_spec_ = "none";
+  std::shared_ptr<const MulticastPattern> pattern_;
+  bool pattern_from_spec_ = true;  ///< rebuild from the spec on validate()
+
+  Workload workload_;
+  std::uint64_t seed_ = 1;
+  std::uint64_t pattern_seed_ = 0;
+  bool pattern_seed_set_ = false;
+  SweepConfig sweep_;
+};
+
+}  // namespace quarc::api

@@ -6,13 +6,7 @@
 #include <sstream>
 #include <vector>
 
-#include "quarc/sweep/sweep.hpp"
-#include "quarc/topo/hypercube.hpp"
-#include "quarc/topo/mesh.hpp"
-#include "quarc/topo/quarc.hpp"
-#include "quarc/topo/spidergon.hpp"
-#include "quarc/topo/torus.hpp"
-#include "quarc/traffic/pattern.hpp"
+#include "quarc/api/registry.hpp"
 #include "quarc/util/error.hpp"
 #include "quarc/util/table.hpp"
 
@@ -40,14 +34,6 @@ double parse_double(const std::string& flag, const std::string& value) {
   }
 }
 
-std::vector<std::string> split(const std::string& s, char sep) {
-  std::vector<std::string> parts;
-  std::string token;
-  std::istringstream is(s);
-  while (std::getline(is, token, sep)) parts.push_back(token);
-  return parts;
-}
-
 }  // namespace
 
 std::string usage() {
@@ -56,20 +42,19 @@ std::string usage() {
 
 usage: quarcnoc [options]
 
-topology:
-  --topology T       quarc | quarc1p | spidergon | mesh | mesh-ham | torus |
-                     hypercube                                [default quarc]
-  --nodes N          ring sizes (multiple of 4)                  [default 16]
-  --width W --height H   mesh/torus dimensions                  [default 4x4]
-  --dims D           hypercube dimensions                         [default 4]
+topology (registry spec, e.g. --topology mesh:8x8):
+)" + api::describe_topologies() +
+         R"(  --nodes N          ring sizes for bare names (multiple of 4)  [default 16]
+  --width W --height H   mesh/torus dimensions for bare names    [default 4x4]
+  --dims D           hypercube dimensions for bare names           [default 4]
 
 workload:
   --rate R           messages/cycle/node (Poisson)            [default 0.004]
   --alpha A          multicast fraction                           [default 0]
   --msg M            message length in flits                     [default 32]
-  --pattern P        broadcast | random:K | localized:LO:HI:K
-                     (offsets relative to the source)     [default broadcast]
-  --seed S           RNG seed (pattern + simulation)              [default 1]
+  --pattern P        pattern registry spec:
+)" + api::describe_patterns() +
+         R"(  --seed S           RNG seed (pattern + simulation)              [default 1]
 
 evaluation:
   --sim              also run the flit-level simulator
@@ -78,7 +63,9 @@ evaluation:
   --sweep P          sweep P rates up to --fill * saturation instead of
                      evaluating --rate
   --fill F           sweep endpoint as a fraction of saturation [default 0.85]
-  --csv              emit CSV instead of aligned tables
+  --csv              emit the ResultSet as CSV instead of a table
+  --json             emit the ResultSet as a JSON document (schema v)" +
+         std::to_string(api::kResultSchemaVersion) + R"()
   --help             this text
 )";
 }
@@ -125,6 +112,8 @@ Options parse(std::span<const std::string> args) {
       opts.fill = parse_double(arg, next("--fill"));
     } else if (arg == "--csv") {
       opts.csv = true;
+    } else if (arg == "--json") {
+      opts.json = true;
     } else {
       throw InvalidArgument("unknown option '" + arg + "' (try --help)");
     }
@@ -132,69 +121,65 @@ Options parse(std::span<const std::string> args) {
   return opts;
 }
 
-std::unique_ptr<Topology> make_topology(const Options& opts) {
-  if (opts.topology == "quarc") return std::make_unique<QuarcTopology>(opts.nodes);
-  if (opts.topology == "quarc1p") {
-    return std::make_unique<QuarcTopology>(opts.nodes, PortScheme::OnePort);
+std::string topology_spec(const Options& opts) {
+  if (opts.topology.find(':') != std::string::npos) return opts.topology;
+  // Bare name: complete it from the dimension flags so the historical
+  // --nodes/--width/--height/--dims interface keeps working.
+  const std::string& t = opts.topology;
+  if (t == "quarc" || t == "quarc1p" || t == "spidergon") {
+    return t + ":" + std::to_string(opts.nodes);
   }
-  if (opts.topology == "spidergon") return std::make_unique<SpidergonTopology>(opts.nodes);
-  if (opts.topology == "mesh") {
-    return std::make_unique<MeshTopology>(opts.width, opts.height, MeshRouting::XY);
+  if (t == "mesh" || t == "mesh-ham" || t == "torus") {
+    return t + ":" + std::to_string(opts.width) + "x" + std::to_string(opts.height);
   }
-  if (opts.topology == "mesh-ham") {
-    return std::make_unique<MeshTopology>(opts.width, opts.height, MeshRouting::Hamiltonian);
-  }
-  if (opts.topology == "torus") return std::make_unique<TorusTopology>(opts.width, opts.height);
-  if (opts.topology == "hypercube") return std::make_unique<HypercubeTopology>(opts.dims);
-  throw InvalidArgument("unknown topology '" + opts.topology + "' (try --help)");
+  if (t == "hypercube") return t + ":" + std::to_string(opts.dims);
+  return t;  // unknown names fall through to the registry's error message
 }
 
-Workload make_workload(const Options& opts, const Topology& topo) {
-  Workload w;
-  w.message_rate = opts.rate;
-  w.multicast_fraction = opts.alpha;
-  w.message_length = opts.msg;
-  if (opts.alpha > 0.0) {
-    Rng rng(opts.seed);
-    const int n = topo.num_nodes();
-    const auto parts = split(opts.pattern, ':');
-    if (parts.empty()) throw InvalidArgument("empty --pattern");
-    if (parts[0] == "broadcast") {
-      QUARC_REQUIRE(parts.size() == 1, "--pattern broadcast takes no arguments");
-      w.pattern = RingRelativePattern::broadcast(n);
-    } else if (parts[0] == "random") {
-      QUARC_REQUIRE(parts.size() == 2, "--pattern random:K");
-      const int k = static_cast<int>(parse_int("--pattern random", parts[1]));
-      w.pattern = RingRelativePattern::random(n, k, rng);
-    } else if (parts[0] == "localized") {
-      QUARC_REQUIRE(parts.size() == 4, "--pattern localized:LO:HI:K");
-      const int lo = static_cast<int>(parse_int("--pattern localized", parts[1]));
-      const int hi = static_cast<int>(parse_int("--pattern localized", parts[2]));
-      const int k = static_cast<int>(parse_int("--pattern localized", parts[3]));
-      w.pattern = RingRelativePattern::localized(n, lo, hi, k, rng);
-    } else {
-      throw InvalidArgument("unknown pattern '" + parts[0] + "' (try --help)");
-    }
-  }
-  w.validate(topo);
-  return w;
+std::unique_ptr<Topology> make_topology(const Options& opts) {
+  return api::make_topology(topology_spec(opts));
+}
+
+api::Scenario make_scenario(const Options& opts) {
+  api::Scenario scenario;
+  scenario.topology(topology_spec(opts))
+      .pattern(opts.alpha > 0.0 ? opts.pattern : "none")
+      .rate(opts.rate)
+      .alpha(opts.alpha)
+      .message_length(opts.msg)
+      .seed(opts.seed)
+      .warmup(opts.warmup)
+      .measure(opts.measure)
+      .with_sim(opts.run_sim);
+  return scenario;
 }
 
 namespace {
 
-Cell latency_cell(double v) {
-  if (!std::isfinite(v)) return std::string("saturated");
-  return v;
-}
-
-Cell sim_latency_cell(const StatSummary& s, const sim::SimResult& r) {
-  if (!r.completed) return std::string("unstable");
-  if (s.count == 0) return std::string("-");
-  std::ostringstream os;
-  os.precision(2);
-  os << std::fixed << s.mean;
-  if (std::isfinite(s.ci95)) os << " +-" << s.ci95;
-  return os.str();
+void print_table(const api::ResultSet& rs, std::ostream& out) {
+  const bool mc = rs.has_multicast();
+  const bool sim = rs.has_sim();
+  std::vector<std::string> headers = {"rate", "model unicast"};
+  if (mc) headers.push_back("model multicast");
+  if (sim) {
+    headers.push_back("sim unicast");
+    if (mc) headers.push_back("sim multicast");
+  }
+  Table table(headers, 3);
+  for (const api::ResultRow& r : rs.rows) {
+    std::vector<Cell> row;
+    std::ostringstream rate;
+    rate << r.rate;
+    row.emplace_back(rate.str());
+    row.push_back(api::model_latency_cell(r.model_unicast_latency));
+    if (mc) row.push_back(api::model_latency_cell(r.model_multicast_latency));
+    if (sim) {
+      row.push_back(api::sim_latency_cell(r, /*multicast=*/false));
+      if (mc) row.push_back(api::sim_latency_cell(r, /*multicast=*/true));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(out);
 }
 
 }  // namespace
@@ -204,55 +189,32 @@ int run(const Options& opts, std::ostream& out) {
     out << usage();
     return 0;
   }
-  const auto topo = make_topology(opts);
-  const Workload base = make_workload(opts, *topo);
+  api::Scenario scenario = make_scenario(opts);
 
-  out << "topology: " << topo->name() << "  (" << topo->num_nodes() << " nodes, diameter "
-      << topo->diameter() << ")\n"
-      << "workload: " << base.describe() << "\n";
-
-  std::vector<double> rates;
+  api::ResultSet rs;
   if (opts.sweep_points > 0) {
-    rates = rate_grid_to_saturation(*topo, base, opts.sweep_points, opts.fill);
-    out << "sweep: " << opts.sweep_points << " points up to " << opts.fill
-        << " of model saturation (" << rates.back() / opts.fill << ")\n";
+    rs = scenario.run_sweep(opts.sweep_points, opts.fill);
   } else {
-    rates.push_back(opts.rate);
+    const std::vector<double> rates = {opts.rate};
+    rs = scenario.run_sweep(rates);
   }
 
-  SweepConfig cfg;
-  cfg.run_sim = opts.run_sim;
-  cfg.sim.seed = opts.seed;
-  cfg.sim.warmup_cycles = opts.warmup;
-  cfg.sim.measure_cycles = opts.measure;
-  const auto points = sweep_rates(*topo, base, rates, cfg);
-
-  const bool mc = base.multicast_rate() > 0.0;
-  std::vector<std::string> headers = {"rate", "model unicast"};
-  if (mc) headers.push_back("model multicast");
-  if (opts.run_sim) {
-    headers.push_back("sim unicast");
-    if (mc) headers.push_back("sim multicast");
-  }
-  Table table(headers, 3);
-  for (const auto& p : points) {
-    std::vector<Cell> row;
-    std::ostringstream r;
-    r << p.rate;
-    row.emplace_back(r.str());
-    row.push_back(latency_cell(p.model.avg_unicast_latency));
-    if (mc) row.push_back(latency_cell(p.model.avg_multicast_latency));
-    if (opts.run_sim) {
-      row.push_back(sim_latency_cell(p.sim.unicast_latency, p.sim));
-      if (mc) row.push_back(sim_latency_cell(p.sim.multicast_latency, p.sim));
-    }
-    table.add_row(std::move(row));
+  if (opts.json) {
+    rs.write_json(out);
+    return 0;
   }
   if (opts.csv) {
-    table.print_csv(out);
-  } else {
-    table.print(out);
+    rs.write_csv(out);
+    return 0;
   }
+  out << "topology: " << rs.topology_name << "  (" << rs.nodes << " nodes, diameter "
+      << rs.diameter << ")\n"
+      << "workload: " << rs.workload << "\n";
+  if (opts.sweep_points > 0 && !rs.rows.empty()) {
+    out << "sweep: " << opts.sweep_points << " points up to " << opts.fill
+        << " of model saturation (" << rs.rows.back().rate / opts.fill << ")\n";
+  }
+  print_table(rs, out);
   return 0;
 }
 

@@ -1,19 +1,24 @@
 // Command-line front end for the model and simulator (the `quarcnoc`
-// tool). Parsing and object construction live in the library so they are
+// tool). Parsing and scenario assembly live in the library so they are
 // unit-testable; tools/quarcnoc.cpp is a thin main().
+//
+// All object construction goes through the api layer: topologies and
+// patterns resolve by registry spec, evaluation runs through a Scenario,
+// and --json/--csv emit the ResultSet document downstream tooling parses.
 #pragma once
 
 #include <memory>
 #include <span>
 #include <string>
 
+#include "quarc/api/scenario.hpp"
 #include "quarc/topo/topology.hpp"
-#include "quarc/traffic/workload.hpp"
 
 namespace quarc::cli {
 
 struct Options {
-  /// quarc | quarc1p | spidergon | mesh | mesh-ham | torus | hypercube
+  /// Topology registry spec. A bare name ("mesh") is completed from the
+  /// dimension flags below; a full spec ("mesh:8x8") wins over them.
   std::string topology = "quarc";
   int nodes = 16;        ///< ring topologies
   int width = 4;         ///< mesh/torus
@@ -22,8 +27,7 @@ struct Options {
   double rate = 0.004;   ///< messages/cycle/node
   double alpha = 0.0;    ///< multicast fraction
   int msg = 32;          ///< flits per message
-  /// broadcast | random:K | localized:LO:HI:K  (ring topologies; random:K
-  /// falls back to independent per-source sets elsewhere)
+  /// Pattern registry spec (broadcast | random:K | localized:LO:HI:K | uniform:K).
   std::string pattern = "broadcast";
   std::uint64_t seed = 1;
   bool run_sim = false;
@@ -33,7 +37,8 @@ struct Options {
   /// up to fill * saturation.
   int sweep_points = 0;
   double fill = 0.85;
-  bool csv = false;
+  bool csv = false;   ///< ResultSet CSV instead of the aligned table
+  bool json = false;  ///< ResultSet JSON document instead of the table
   bool help = false;
 };
 
@@ -41,17 +46,21 @@ struct Options {
 /// InvalidArgument with a helpful message on malformed input.
 Options parse(std::span<const std::string> args);
 
-/// The --help text.
+/// The --help text (includes the registered topology/pattern listings).
 std::string usage();
 
-/// Instantiates the requested topology.
+/// The topology registry spec the options denote (dimension flags folded
+/// into a bare name).
+std::string topology_spec(const Options& opts);
+
+/// Instantiates the requested topology via the registry.
 std::unique_ptr<Topology> make_topology(const Options& opts);
 
-/// Builds the workload, including the multicast pattern when alpha > 0.
-Workload make_workload(const Options& opts, const Topology& topo);
+/// Assembles the full scenario (topology, pattern, workload, sim knobs).
+api::Scenario make_scenario(const Options& opts);
 
 /// Runs the tool end to end; returns a process exit code. Output goes to
-/// the given stream (tables or CSV per opts.csv).
+/// the given stream (aligned table, or ResultSet CSV/JSON per options).
 int run(const Options& opts, std::ostream& out);
 
 }  // namespace quarc::cli

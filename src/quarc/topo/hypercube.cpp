@@ -1,5 +1,7 @@
 #include "quarc/topo/hypercube.hpp"
 
+#include <bit>
+
 #include "quarc/util/error.hpp"
 
 namespace quarc {
@@ -58,6 +60,12 @@ ChannelId HypercubeTopology::ejection_channel(NodeId node, int arrival_dimension
   QUARC_REQUIRE(arrival_dimension >= 0 && arrival_dimension < dimensions_,
                 "dimension out of range");
   return ej_[static_cast<std::size_t>(node)][static_cast<std::size_t>(arrival_dimension)];
+}
+
+PortId HypercubeTopology::port_of(NodeId s, NodeId d) const {
+  check_pair(s, d);
+  const unsigned diff = static_cast<unsigned>(s) ^ static_cast<unsigned>(d);
+  return std::countr_zero(diff);  // diff != 0: check_pair enforces s != d
 }
 
 UnicastRoute HypercubeTopology::unicast_route(NodeId s, NodeId d) const {

@@ -29,6 +29,9 @@ class HypercubeTopology final : public Topology {
 
   std::string name() const override;
   UnicastRoute unicast_route(NodeId s, NodeId d) const override;
+  /// Closed-form: the lowest dimension in which s and d differ (e-cube
+  /// flips ascending).
+  PortId port_of(NodeId s, NodeId d) const override;
   /// The diameter of a binary d-cube is d.
   int diameter() const override { return dimensions_; }
 

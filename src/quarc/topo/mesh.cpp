@@ -111,13 +111,22 @@ MeshTopology::Dir MeshTopology::append_ham_walk(int from_label, int to_label,
   return last;
 }
 
+PortId MeshTopology::port_of(NodeId s, NodeId d) const {
+  check_pair(s, d);
+  if (mode_ == MeshRouting::XY) {
+    if (x_of(d) != x_of(s)) return x_of(d) > x_of(s) ? kEast : kWest;
+    return y_of(d) > y_of(s) ? kNorth : kSouth;
+  }
+  return labeling_.label_of(d) > labeling_.label_of(s) ? kHigh : kLow;
+}
+
 UnicastRoute MeshTopology::unicast_route(NodeId s, NodeId d) const {
   check_pair(s, d);
   UnicastRoute r;
   r.source = s;
   r.dest = d;
 
-  if (mode_ == MeshRouting::XY) {
+  if (mode_ == MeshRouting::XY) {  // port decision mirrored in port_of()
     // Dimension-ordered: resolve x first, then y.
     NodeId at = s;
     Dir last = kEast;

@@ -34,6 +34,9 @@ class MeshTopology final : public Topology {
 
   std::string name() const override;
   UnicastRoute unicast_route(NodeId s, NodeId d) const override;
+  /// Closed-form: XY's first-hop direction, or the Hamiltonian high/low
+  /// sub-network of the destination's label.
+  PortId port_of(NodeId s, NodeId d) const override;
   bool supports_multicast() const override { return mode_ == MeshRouting::Hamiltonian; }
   std::vector<MulticastStream> multicast_streams(NodeId s,
                                                  const std::vector<NodeId>& dests) const override;

@@ -121,6 +121,14 @@ void QuarcTopology::append_ccw_chain(NodeId entry, int count, std::vector<Channe
   }
 }
 
+PortId QuarcTopology::port_of(NodeId s, NodeId d) const {
+  if (scheme_ != PortScheme::AllPort) {
+    check_pair(s, d);
+    return 0;
+  }
+  return quadrant_of_distance(cw_distance(s, d));
+}
+
 UnicastRoute QuarcTopology::unicast_route(NodeId s, NodeId d) const {
   const int k = cw_distance(s, d);
   const int n = num_nodes();

@@ -46,6 +46,9 @@ class QuarcTopology final : public Topology {
 
   std::string name() const override;
   UnicastRoute unicast_route(NodeId s, NodeId d) const override;
+  /// Closed-form: the quadrant of the clockwise distance (port 0 for the
+  /// one-port ablation scheme).
+  PortId port_of(NodeId s, NodeId d) const override;
   bool supports_multicast() const override { return true; }
   std::vector<MulticastStream> multicast_streams(NodeId s,
                                                  const std::vector<NodeId>& dests) const override;

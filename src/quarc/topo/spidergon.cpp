@@ -40,6 +40,11 @@ int SpidergonTopology::hops_for_distance(int k) const {
   return 1 + (k - n / 2);                 // cross then clockwise
 }
 
+PortId SpidergonTopology::port_of(NodeId s, NodeId d) const {
+  check_pair(s, d);
+  return 0;
+}
+
 UnicastRoute SpidergonTopology::unicast_route(NodeId s, NodeId d) const {
   const int k = cw_distance(s, d);
   const int n = num_nodes();

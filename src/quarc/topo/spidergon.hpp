@@ -26,6 +26,8 @@ class SpidergonTopology final : public Topology {
 
   std::string name() const override;
   UnicastRoute unicast_route(NodeId s, NodeId d) const override;
+  /// One-port router: every unicast injects at port 0.
+  PortId port_of(NodeId s, NodeId d) const override;
   /// Diameter is N/4 in closed form: the rim-quarter edge takes N/4 hops
   /// and the worst cross path (k = N/4 + 1) takes 1 + (N/4 - 1).
   int diameter() const override { return num_nodes() / 4; }

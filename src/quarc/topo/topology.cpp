@@ -122,6 +122,9 @@ void validate_topology(const Topology& topo) {
       UnicastRoute r = topo.unicast_route(s, d);
       if (r.source != s || r.dest != d) fail(ctx.str(), "route endpoints not set");
       if (r.port < 0 || r.port >= topo.num_ports()) fail(ctx.str(), "port out of range");
+      if (topo.port_of(s, d) != r.port) {
+        fail(ctx.str(), "port_of() disagrees with unicast_route().port");
+      }
       check_route_chain(topo, r, ctx.str());
     }
   }

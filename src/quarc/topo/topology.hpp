@@ -111,8 +111,13 @@ class Topology {
   /// Deterministic route from s to d; requires s != d and both valid.
   virtual UnicastRoute unicast_route(NodeId s, NodeId d) const = 0;
 
-  /// Injection port a unicast from s to d uses.
-  PortId port_of(NodeId s, NodeId d) const { return unicast_route(s, d).port; }
+  /// Injection port a unicast from s to d uses. The base implementation
+  /// computes the full route and discards everything but the port;
+  /// concrete topologies override it with their closed-form port decision
+  /// (it is called in hot model-assembly loops, where the route's vector
+  /// allocations dominate). Overrides must agree with unicast_route().port
+  /// exactly — validate_topology() checks this for every pair.
+  virtual PortId port_of(NodeId s, NodeId d) const { return unicast_route(s, d).port; }
 
   /// Whether the switches support hardware multicast worms (BRCP
   /// absorb-and-forward). When false (Spidergon, torus here), collective

@@ -94,6 +94,16 @@ NodeId TorusTopology::append_ring_walk(NodeId at, Dir dir, int count,
   return cur;
 }
 
+PortId TorusTopology::port_of(NodeId s, NodeId d) const {
+  check_pair(s, d);
+  // Mirrors unicast_route(): X resolved first (east on ties), then Y
+  // (north on ties).
+  const int dx = ((x_of(d) - x_of(s)) % width_ + width_) % width_;
+  if (dx != 0) return dx <= width_ - dx ? kEast : kWest;
+  const int dy = ((y_of(d) - y_of(s)) % height_ + height_) % height_;
+  return dy <= height_ - dy ? kNorth : kSouth;
+}
+
 UnicastRoute TorusTopology::unicast_route(NodeId s, NodeId d) const {
   check_pair(s, d);
   UnicastRoute r;

@@ -29,6 +29,9 @@ class TorusTopology final : public Topology {
 
   std::string name() const override;
   UnicastRoute unicast_route(NodeId s, NodeId d) const override;
+  /// Closed-form: shortest-way direction of the first traversed dimension
+  /// (X unless the columns already match), east/north on ties.
+  PortId port_of(NodeId s, NodeId d) const override;
 
   int width() const { return width_; }
   int height() const { return height_; }

@@ -1,0 +1,421 @@
+#include "quarc/util/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "quarc/util/error.hpp"
+
+namespace quarc::json {
+
+bool Value::as_bool() const {
+  QUARC_REQUIRE(is_bool(), "json: value is not a bool");
+  return bool_;
+}
+
+double Value::as_double() const {
+  QUARC_REQUIRE(is_number(), "json: value is not a number");
+  switch (kind_) {
+    case NumKind::Int: return static_cast<double>(int_);
+    case NumKind::UInt: return static_cast<double>(uint_);
+    case NumKind::Double: break;
+  }
+  return num_;
+}
+
+std::int64_t Value::as_int() const {
+  QUARC_REQUIRE(is_number(), "json: value is not a number");
+  switch (kind_) {
+    case NumKind::Int: return int_;
+    case NumKind::UInt:
+      QUARC_REQUIRE(uint_ <= static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max()),
+                    "json: number does not fit in int64");
+      return static_cast<std::int64_t>(uint_);
+    case NumKind::Double: break;
+  }
+  QUARC_REQUIRE(num_ >= -9.3e18 && num_ <= 9.2e18, "json: number does not fit in int64");
+  return static_cast<std::int64_t>(num_);
+}
+
+std::uint64_t Value::as_uint() const {
+  QUARC_REQUIRE(is_number(), "json: value is not a number");
+  switch (kind_) {
+    case NumKind::UInt: return uint_;
+    case NumKind::Int:
+      QUARC_REQUIRE(int_ >= 0, "json: negative number is not a uint64");
+      return static_cast<std::uint64_t>(int_);
+    case NumKind::Double: break;
+  }
+  QUARC_REQUIRE(num_ >= 0.0 && num_ <= 1.8e19, "json: number does not fit in uint64");
+  return static_cast<std::uint64_t>(num_);
+}
+
+const std::string& Value::as_string() const {
+  QUARC_REQUIRE(is_string(), "json: value is not a string");
+  return str_;
+}
+
+const std::vector<Value>& Value::as_array() const {
+  QUARC_REQUIRE(is_array(), "json: value is not an array");
+  return arr_;
+}
+
+const std::vector<Member>& Value::as_object() const {
+  QUARC_REQUIRE(is_object(), "json: value is not an object");
+  return members_;
+}
+
+Value& Value::push_back(Value v) {
+  QUARC_REQUIRE(is_array(), "json: push_back on a non-array");
+  arr_.push_back(std::move(v));
+  return *this;
+}
+
+Value& Value::set(std::string key, Value v) {
+  QUARC_REQUIRE(is_object(), "json: set on a non-object");
+  members_.emplace_back(std::move(key), std::move(v));
+  return *this;
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const Member& m : members_) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
+const Value& Value::at(std::string_view key) const {
+  const Value* v = find(key);
+  QUARC_REQUIRE(v != nullptr, "json: missing key '" + std::string(key) + "'");
+  return *v;
+}
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;  // UTF-8 bytes pass through
+        }
+    }
+  }
+  return out;
+}
+
+void Value::write_number(std::ostream& os) const {
+  char buf[40];
+  std::to_chars_result r{buf, std::errc{}};
+  switch (kind_) {
+    case NumKind::Int:
+      r = std::to_chars(buf, buf + sizeof buf, int_);
+      break;
+    case NumKind::UInt:
+      r = std::to_chars(buf, buf + sizeof buf, uint_);
+      break;
+    case NumKind::Double: {
+      QUARC_REQUIRE(std::isfinite(num_), "json: cannot serialise a non-finite number");
+      // Integer-valued doubles render without a point; everything else gets
+      // std::to_chars' shortest round-trip form. Locale-independent either
+      // way.
+      if (num_ == std::floor(num_) && std::abs(num_) < 1e15) {
+        r = std::to_chars(buf, buf + sizeof buf, static_cast<std::int64_t>(num_));
+      } else {
+        r = std::to_chars(buf, buf + sizeof buf, num_);
+      }
+      break;
+    }
+  }
+  QUARC_ASSERT(r.ec == std::errc{}, "number formatting buffer overflow");
+  os.write(buf, r.ptr - buf);
+}
+
+namespace {
+
+void newline_indent(std::ostream& os, int indent, int depth) {
+  if (indent < 0) return;
+  os << '\n';
+  for (int i = 0; i < indent * depth; ++i) os << ' ';
+}
+
+}  // namespace
+
+void Value::write_impl(std::ostream& os, int indent, int depth) const {
+  switch (type_) {
+    case Type::Null: os << "null"; break;
+    case Type::Bool: os << (bool_ ? "true" : "false"); break;
+    case Type::Number: write_number(os); break;
+    case Type::String: os << '"' << escape(str_) << '"'; break;
+    case Type::Array: {
+      if (arr_.empty()) {
+        os << "[]";
+        break;
+      }
+      os << '[';
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i > 0) os << ',';
+        newline_indent(os, indent, depth + 1);
+        arr_[i].write_impl(os, indent, depth + 1);
+      }
+      newline_indent(os, indent, depth);
+      os << ']';
+      break;
+    }
+    case Type::Object: {
+      if (members_.empty()) {
+        os << "{}";
+        break;
+      }
+      os << '{';
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) os << ',';
+        newline_indent(os, indent, depth + 1);
+        os << '"' << escape(members_[i].first) << "\":";
+        if (indent >= 0) os << ' ';
+        members_[i].second.write_impl(os, indent, depth + 1);
+      }
+      newline_indent(os, indent, depth);
+      os << '}';
+      break;
+    }
+  }
+}
+
+void Value::write(std::ostream& os, int indent) const { write_impl(os, indent, 0); }
+
+std::string Value::dump(int indent) const {
+  std::ostringstream os;
+  write(os, indent);
+  return os.str();
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw InvalidArgument("json parse error at offset " + std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (take() != c) {
+      --pos_;
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  void expect_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) fail("invalid literal");
+    pos_ += lit.size();
+  }
+
+  Value parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Value(parse_string());
+      case 't': expect_literal("true"); return Value(true);
+      case 'f': expect_literal("false"); return Value(false);
+      case 'n': expect_literal("null"); return Value(nullptr);
+      default: return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    Value obj = Value::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.set(std::move(key), parse_value());
+      skip_ws();
+      const char c = take();
+      if (c == '}') return obj;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Value arr = Value::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      const char c = take();
+      if (c == ']') return arr;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or ']' in array");
+      }
+    }
+  }
+
+  std::string parse_string() {
+    if (peek() != '"') fail("expected string");
+    ++pos_;
+    std::string out;
+    while (true) {
+      const char c = take();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = take();
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': out += parse_unicode_escape(); break;
+        default: fail("invalid escape sequence");
+      }
+    }
+  }
+
+  std::string parse_unicode_escape() {
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = take();
+      code <<= 4;
+      if (c >= '0' && c <= '9') {
+        code |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        code |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        code |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        fail("invalid \\u escape");
+      }
+    }
+    // UTF-8 encode the BMP code point (surrogate pairs are not needed by
+    // any quarc document; reject rather than mis-encode).
+    if (code >= 0xD800 && code <= 0xDFFF) fail("surrogate pairs are not supported");
+    std::string out;
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+    return out;
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    bool integer = true;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integer = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") fail("invalid number");
+    const char* tb = token.data();
+    const char* te = tb + token.size();
+    if (integer) {
+      // Exact integer storage: int64 first, uint64 for the high half so
+      // 64-bit identifiers round-trip bit-exactly.
+      std::int64_t i = 0;
+      auto [p, ec] = std::from_chars(tb, te, i);
+      if (ec == std::errc{} && p == te) return Value(i);
+      std::uint64_t u = 0;
+      auto [pu, ecu] = std::from_chars(tb, te, u);
+      if (ecu == std::errc{} && pu == te) return Value(u);
+      // Out-of-range integers (e.g. 40 digits) degrade to double below.
+    }
+    double d = 0.0;
+    auto [p, ec] = std::from_chars(tb, te, d);
+    if (ec == std::errc::result_out_of_range) {
+      fail("number out of double range '" + std::string(token) + "'");
+    }
+    if (ec != std::errc{} || p != te) fail("invalid number '" + std::string(token) + "'");
+    return Value(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value Value::parse(std::string_view text) { return Parser(text).parse_document(); }
+
+}  // namespace quarc::json

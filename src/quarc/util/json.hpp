@@ -1,0 +1,120 @@
+// Minimal JSON document model, writer and parser (no external deps).
+//
+// Exists so ResultSet documents (api/result_set.hpp) can be emitted and
+// round-tripped by tooling without pulling a third-party JSON library into
+// a research artifact. Scope is deliberately small: the six JSON types,
+// UTF-8 pass-through strings with standard escapes, and a strict
+// recursive-descent parser that throws InvalidArgument on malformed input.
+//
+// Numbers keep their exact source representation — double, int64 or
+// uint64 — so 64-bit identifiers (e.g. ResultSet seeds) round-trip
+// bit-exactly instead of being squeezed through a double. JSON has no
+// representation for non-finite numbers; callers that need to carry
+// +inf/NaN (e.g. saturated latencies) must map them to null/strings at the
+// schema layer — Value::write() throws on a non-finite number rather than
+// emitting invalid JSON silently. Formatting and parsing use
+// std::to_chars/std::from_chars, so documents are locale-independent.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace quarc::json {
+
+class Value;
+
+/// Object members keep insertion order (stable, diff-friendly documents);
+/// lookup is linear, which is fine at ResultSet sizes.
+using Member = std::pair<std::string, Value>;
+
+class Value {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Value() : type_(Type::Null) {}
+  Value(std::nullptr_t) : type_(Type::Null) {}
+  Value(bool b) : type_(Type::Bool), bool_(b) {}
+  Value(double d) : type_(Type::Number), num_(d) {}
+  Value(int v) : type_(Type::Number), kind_(NumKind::Int), int_(v) {}
+  Value(std::int64_t v) : type_(Type::Number), kind_(NumKind::Int), int_(v) {}
+  Value(std::uint64_t v) : type_(Type::Number), kind_(NumKind::UInt), uint_(v) {}
+  Value(const char* s) : type_(Type::String), str_(s) {}
+  Value(std::string s) : type_(Type::String), str_(std::move(s)) {}
+
+  static Value array() {
+    Value v;
+    v.type_ = Type::Array;
+    return v;
+  }
+  static Value object() {
+    Value v;
+    v.type_ = Type::Object;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::Null; }
+  bool is_bool() const { return type_ == Type::Bool; }
+  bool is_number() const { return type_ == Type::Number; }
+  bool is_string() const { return type_ == Type::String; }
+  bool is_array() const { return type_ == Type::Array; }
+  bool is_object() const { return type_ == Type::Object; }
+
+  /// Typed accessors; throw InvalidArgument on a type mismatch (and, for
+  /// the integer accessors, on a numeric value outside the target range).
+  bool as_bool() const;
+  double as_double() const;
+  std::int64_t as_int() const;
+  std::uint64_t as_uint() const;
+  const std::string& as_string() const;
+  const std::vector<Value>& as_array() const;
+  const std::vector<Member>& as_object() const;
+
+  /// Array building.
+  Value& push_back(Value v);
+
+  /// Object building: appends (no duplicate-key check; parsers keep the
+  /// first occurrence on lookup).
+  Value& set(std::string key, Value v);
+
+  /// Object lookup: nullptr when absent or when this is not an object.
+  const Value* find(std::string_view key) const;
+  /// Object lookup that throws InvalidArgument when the key is missing.
+  const Value& at(std::string_view key) const;
+
+  /// Serialises to `os`. indent < 0: compact one-line form; indent >= 0:
+  /// pretty-printed with that many spaces per level. Throws
+  /// InvalidArgument when the document contains a non-finite number.
+  void write(std::ostream& os, int indent = -1) const;
+  std::string dump(int indent = -1) const;
+
+  /// Strict parser for a complete document (trailing whitespace allowed,
+  /// anything else is an error). Throws InvalidArgument with an offset on
+  /// malformed input.
+  static Value parse(std::string_view text);
+
+ private:
+  enum class NumKind : std::uint8_t { Double, Int, UInt };
+
+  void write_impl(std::ostream& os, int indent, int depth) const;
+  void write_number(std::ostream& os) const;
+
+  Type type_;
+  bool bool_ = false;
+  NumKind kind_ = NumKind::Double;  ///< exact source representation
+  double num_ = 0.0;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  std::string str_;
+  std::vector<Value> arr_;
+  std::vector<Member> members_;
+};
+
+/// JSON string escaping (quotes not included); exposed for tests.
+std::string escape(std::string_view s);
+
+}  // namespace quarc::json

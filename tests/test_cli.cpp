@@ -20,6 +20,7 @@ TEST(Cli, DefaultsAreSane) {
   EXPECT_EQ(o.topology, "quarc");
   EXPECT_EQ(o.nodes, 16);
   EXPECT_FALSE(o.run_sim);
+  EXPECT_FALSE(o.json);
   EXPECT_FALSE(o.help);
 }
 
@@ -27,7 +28,8 @@ TEST(Cli, ParsesFullCommandLine) {
   const Options o = parse_list({"--topology", "mesh-ham", "--width", "6", "--height", "5",
                                 "--rate", "0.002", "--alpha", "0.1", "--msg", "48", "--pattern",
                                 "random:5", "--seed", "9", "--sim", "--warmup", "100",
-                                "--measure", "2000", "--sweep", "7", "--fill", "0.5", "--csv"});
+                                "--measure", "2000", "--sweep", "7", "--fill", "0.5", "--csv",
+                                "--json"});
   EXPECT_EQ(o.topology, "mesh-ham");
   EXPECT_EQ(o.width, 6);
   EXPECT_EQ(o.height, 5);
@@ -42,6 +44,7 @@ TEST(Cli, ParsesFullCommandLine) {
   EXPECT_EQ(o.sweep_points, 7);
   EXPECT_DOUBLE_EQ(o.fill, 0.5);
   EXPECT_TRUE(o.csv);
+  EXPECT_TRUE(o.json);
 }
 
 TEST(Cli, RejectsUnknownOption) { EXPECT_THROW(parse_list({"--bogus"}), InvalidArgument); }
@@ -51,6 +54,29 @@ TEST(Cli, RejectsMissingValue) { EXPECT_THROW(parse_list({"--nodes"}), InvalidAr
 TEST(Cli, RejectsMalformedNumbers) {
   EXPECT_THROW(parse_list({"--nodes", "abc"}), InvalidArgument);
   EXPECT_THROW(parse_list({"--rate", "0.x"}), InvalidArgument);
+}
+
+TEST(Cli, BareTopologyNamesFoldDimensionFlags) {
+  Options o;
+  o.topology = "mesh";
+  o.width = 8;
+  o.height = 6;
+  EXPECT_EQ(topology_spec(o), "mesh:8x6");
+  o.topology = "quarc";
+  o.nodes = 32;
+  EXPECT_EQ(topology_spec(o), "quarc:32");
+  o.topology = "hypercube";
+  o.dims = 5;
+  EXPECT_EQ(topology_spec(o), "hypercube:5");
+}
+
+TEST(Cli, FullSpecWinsOverDimensionFlags) {
+  Options o;
+  o.topology = "mesh:3x7";
+  o.width = 8;
+  EXPECT_EQ(topology_spec(o), "mesh:3x7");
+  const auto topo = make_topology(o);
+  EXPECT_EQ(topo->num_nodes(), 21);
 }
 
 TEST(Cli, MakeTopologyCoversEveryName) {
@@ -71,21 +97,19 @@ TEST(Cli, MakeTopologyCoversEveryName) {
   EXPECT_THROW(make_topology(bad), InvalidArgument);
 }
 
-TEST(Cli, MakeWorkloadBuildsPatterns) {
+TEST(Cli, MakeScenarioBuildsPatterns) {
   Options o;
   o.alpha = 0.1;
-  for (const char* pattern : {"broadcast", "random:4", "localized:1:4:3"}) {
+  for (const char* pattern : {"broadcast", "random:4", "localized:1:4:3", "uniform:3"}) {
     o.pattern = pattern;
-    const auto topo = make_topology(o);
-    const Workload w = make_workload(o, *topo);
+    const Workload w = make_scenario(o).build_workload();
     EXPECT_NE(w.pattern, nullptr) << pattern;
     EXPECT_EQ(w.multicast_fraction, 0.1);
   }
   o.pattern = "random";  // missing :K
-  const auto topo = make_topology(o);
-  EXPECT_THROW(make_workload(o, *topo), InvalidArgument);
+  EXPECT_THROW(make_scenario(o).build_workload(), InvalidArgument);
   o.pattern = "weird:1";
-  EXPECT_THROW(make_workload(o, *topo), InvalidArgument);
+  EXPECT_THROW(make_scenario(o).build_workload(), InvalidArgument);
 }
 
 TEST(Cli, PatternSeedIsDeterministic) {
@@ -93,9 +117,8 @@ TEST(Cli, PatternSeedIsDeterministic) {
   o.alpha = 0.1;
   o.pattern = "random:4";
   o.seed = 42;
-  const auto topo = make_topology(o);
-  const Workload a = make_workload(o, *topo);
-  const Workload b = make_workload(o, *topo);
+  const Workload a = make_scenario(o).build_workload();
+  const Workload b = make_scenario(o).build_workload();
   EXPECT_EQ(a.pattern->destinations(3), b.pattern->destinations(3));
 }
 
@@ -105,6 +128,9 @@ TEST(Cli, HelpPrintsUsage) {
   std::ostringstream out;
   EXPECT_EQ(run(o, out), 0);
   EXPECT_NE(out.str().find("--topology"), std::string::npos);
+  // The registry listings are embedded in the help text.
+  EXPECT_NE(out.str().find("mesh-ham"), std::string::npos);
+  EXPECT_NE(out.str().find("localized:LO:HI:K"), std::string::npos);
 }
 
 TEST(Cli, ModelOnlyRunProducesTable) {
@@ -129,13 +155,23 @@ TEST(Cli, SimRunIncludesSimColumns) {
   EXPECT_NE(out.str().find("sim multicast"), std::string::npos);
 }
 
-TEST(Cli, CsvModeEmitsCommaSeparated) {
+TEST(Cli, CsvModeEmitsResultSetColumns) {
   Options o;
   o.rate = 0.002;
   o.csv = true;
   std::ostringstream out;
   EXPECT_EQ(run(o, out), 0);
-  EXPECT_NE(out.str().find("rate,model unicast"), std::string::npos);
+  EXPECT_NE(out.str().find("rate,model_status,model_unicast_latency"), std::string::npos);
+}
+
+TEST(Cli, JsonModeEmitsSchemaVersionedDocument) {
+  Options o;
+  o.rate = 0.002;
+  o.json = true;
+  std::ostringstream out;
+  EXPECT_EQ(run(o, out), 0);
+  EXPECT_NE(out.str().find("\"schema\": 1"), std::string::npos);
+  EXPECT_NE(out.str().find("\"topology\": \"quarc:16\""), std::string::npos);
 }
 
 TEST(Cli, SweepProducesRequestedPointCount) {
@@ -144,7 +180,7 @@ TEST(Cli, SweepProducesRequestedPointCount) {
   o.csv = true;
   std::ostringstream out;
   EXPECT_EQ(run(o, out), 0);
-  // Header + 5 data lines (plus leading metadata lines before the table).
+  // '#' metadata comment, header, then 5 data lines.
   int data_lines = 0;
   std::istringstream is(out.str());
   std::string line;

@@ -1,0 +1,124 @@
+#include "quarc/util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "quarc/util/error.hpp"
+
+namespace quarc::json {
+namespace {
+
+TEST(Json, WritesScalars) {
+  EXPECT_EQ(Value(nullptr).dump(), "null");
+  EXPECT_EQ(Value(true).dump(), "true");
+  EXPECT_EQ(Value(false).dump(), "false");
+  EXPECT_EQ(Value(42).dump(), "42");
+  EXPECT_EQ(Value(std::int64_t{-7}).dump(), "-7");
+  EXPECT_EQ(Value(2.5).dump(), "2.5");
+  EXPECT_EQ(Value("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, IntegerValuedDoublesPrintWithoutPoint) {
+  EXPECT_EQ(Value(3.0).dump(), "3");
+  EXPECT_EQ(Value(-0.0).dump(), "0");
+}
+
+TEST(Json, EscapesStrings) {
+  EXPECT_EQ(escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(escape("tab\there"), "tab\\there");
+  EXPECT_EQ(escape("new\nline"), "new\\nline");
+  EXPECT_EQ(escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(escape("back\\slash"), "back\\\\slash");
+}
+
+TEST(Json, BuildsNestedDocuments) {
+  Value doc = Value::object();
+  doc.set("name", "quarc");
+  Value arr = Value::array();
+  arr.push_back(1).push_back(2.5).push_back(Value(nullptr));
+  doc.set("values", std::move(arr));
+  EXPECT_EQ(doc.dump(), R"({"name":"quarc","values":[1,2.5,null]})");
+}
+
+TEST(Json, PrettyPrintIndents) {
+  Value doc = Value::object();
+  doc.set("a", 1);
+  EXPECT_EQ(doc.dump(2), "{\n  \"a\": 1\n}");
+}
+
+TEST(Json, RejectsNonFiniteNumbers) {
+  EXPECT_THROW(Value(std::numeric_limits<double>::infinity()).dump(), InvalidArgument);
+  EXPECT_THROW(Value(std::nan("")).dump(), InvalidArgument);
+}
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(Value::parse("null").is_null());
+  EXPECT_EQ(Value::parse("true").as_bool(), true);
+  EXPECT_EQ(Value::parse("-17").as_int(), -17);
+  EXPECT_DOUBLE_EQ(Value::parse("2.5e3").as_double(), 2500.0);
+  EXPECT_EQ(Value::parse("\"s\"").as_string(), "s");
+}
+
+TEST(Json, ParsesNestedDocuments) {
+  const Value v = Value::parse(R"({ "a": [1, {"b": "x"}, null], "c": false })");
+  const auto& arr = v.at("a").as_array();
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_EQ(arr[0].as_int(), 1);
+  EXPECT_EQ(arr[1].at("b").as_string(), "x");
+  EXPECT_TRUE(arr[2].is_null());
+  EXPECT_FALSE(v.at("c").as_bool());
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Json, ParsesEscapes) {
+  EXPECT_EQ(Value::parse(R"("a\"b\\c\nA")").as_string(), "a\"b\\c\nA");
+  // \u escapes are decoded to UTF-8 (2- and 3-byte forms).
+  EXPECT_EQ(Value::parse(R"("\u00e9\u20ac")").as_string(), "\xC3\xA9\xE2\x82\xAC");
+  // Raw UTF-8 passes through untouched.
+  EXPECT_EQ(Value::parse("\"\xC3\xA9\"").as_string(), "\xC3\xA9");
+}
+
+TEST(Json, Uint64IdentifiersRoundTripExactly) {
+  const std::uint64_t big = 0xFFFFFFFFFFFFFFFFULL;  // > int64 max and > 2^53
+  EXPECT_EQ(Value(big).dump(), "18446744073709551615");
+  EXPECT_EQ(Value::parse("18446744073709551615").as_uint(), big);
+  EXPECT_THROW(Value::parse("18446744073709551615").as_int(), InvalidArgument);
+  // Above 2^53 a double representation would already be lossy.
+  EXPECT_EQ(Value(std::int64_t{9007199254740993}).dump(), "9007199254740993");
+  EXPECT_EQ(Value::parse("9007199254740993").as_int(), 9007199254740993);
+  EXPECT_THROW(Value(std::int64_t{-1}).as_uint(), InvalidArgument);
+}
+
+TEST(Json, RoundTripsArbitraryDoubles) {
+  for (double d : {0.1, 1.0 / 3.0, 1e-300, 6.02214076e23, -0.00286875}) {
+    const std::string text = Value(d).dump();
+    EXPECT_EQ(Value::parse(text).as_double(), d) << text;
+  }
+}
+
+TEST(Json, RoundTripsDocuments) {
+  const char* text =
+      R"({"schema":1,"rows":[{"rate":0.004,"ok":true},{"rate":0.008,"ok":false}],"note":"x"})";
+  const Value v = Value::parse(text);
+  EXPECT_EQ(v.dump(), text);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  for (const char* bad : {"", "{", "[1,", "{\"a\":}", "tru", "\"unterminated", "1 2",
+                          "{\"a\":1,}", "[1]]", "nan", "\"bad\\q\""}) {
+    EXPECT_THROW(Value::parse(bad), InvalidArgument) << bad;
+  }
+}
+
+TEST(Json, TypeMismatchThrows) {
+  const Value v = Value::parse("[1]");
+  EXPECT_THROW(v.as_object(), InvalidArgument);
+  EXPECT_THROW(v.at("k"), InvalidArgument);
+  EXPECT_THROW(v.as_string(), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace quarc::json

@@ -1,0 +1,160 @@
+#include "quarc/api/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "quarc/util/error.hpp"
+
+namespace quarc::api {
+namespace {
+
+TEST(SpecArgs, SplitsNameAndArguments) {
+  const SpecArgs a("localized:1:8:3");
+  EXPECT_EQ(a.name(), "localized");
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.int_at(0), 1);
+  EXPECT_EQ(a.int_at(2), 3);
+}
+
+TEST(SpecArgs, BareNameHasNoArguments) {
+  const SpecArgs a("broadcast");
+  EXPECT_EQ(a.name(), "broadcast");
+  EXPECT_EQ(a.size(), 0u);
+}
+
+TEST(SpecArgs, PairAcceptsBothForms) {
+  EXPECT_EQ(SpecArgs("mesh:8x6").pair_at(0, {4, 4}), (std::pair<int, int>{8, 6}));
+  EXPECT_EQ(SpecArgs("mesh:8:6").pair_at(0, {4, 4}), (std::pair<int, int>{8, 6}));
+  EXPECT_EQ(SpecArgs("mesh").pair_at(0, {4, 4}), (std::pair<int, int>{4, 4}));
+}
+
+TEST(SpecArgs, FractionalOffsetsScaleWithNodeCount) {
+  EXPECT_EQ(SpecArgs("l:0.25").offset_at(0, 64), 16);
+  EXPECT_EQ(SpecArgs("l:0.5").offset_at(0, 16), 8);
+  // Integers pass through untouched.
+  EXPECT_EQ(SpecArgs("l:5").offset_at(0, 64), 5);
+  // Fractions clamp into [1, N-1].
+  EXPECT_EQ(SpecArgs("l:0.0").offset_at(0, 16), 1);
+  EXPECT_EQ(SpecArgs("l:1.0").offset_at(0, 16), 15);
+  EXPECT_THROW(SpecArgs("l:1.5").offset_at(0, 16), InvalidArgument);
+}
+
+TEST(SpecArgs, MalformedArgumentsThrow) {
+  EXPECT_THROW(SpecArgs(""), InvalidArgument);
+  EXPECT_THROW(SpecArgs("t:x").int_at(0), InvalidArgument);
+  EXPECT_THROW(SpecArgs("t").int_at(0), InvalidArgument);
+  EXPECT_THROW(SpecArgs("t:1").require_count(2, 2, "t:A:B"), InvalidArgument);
+}
+
+TEST(TopologyRegistry, EveryRegisteredExampleConstructsAndValidates) {
+  const auto entries = TopologyRegistry::instance().entries();
+  ASSERT_GE(entries.size(), 7u);
+  for (const RegistryEntry& e : entries) {
+    SCOPED_TRACE(e.name);
+    const auto topo = make_topology(e.example);
+    ASSERT_NE(topo, nullptr);
+    EXPECT_GE(topo->num_nodes(), 2);
+    // Structural soundness of every route/stream (also cross-checks the
+    // closed-form port_of overrides against unicast_route().port).
+    EXPECT_NO_THROW(validate_topology(*topo));
+  }
+}
+
+TEST(TopologyRegistry, SpecArgumentsReachTheFactories) {
+  EXPECT_EQ(make_topology("quarc:32")->num_nodes(), 32);
+  EXPECT_EQ(make_topology("quarc")->num_nodes(), 16);  // default
+  EXPECT_EQ(make_topology("mesh:8x6")->num_nodes(), 48);
+  EXPECT_EQ(make_topology("mesh:8:6")->num_nodes(), 48);
+  EXPECT_EQ(make_topology("hypercube:6")->num_nodes(), 64);
+  EXPECT_EQ(make_topology("quarc1p:16")->num_ports(), 1);
+  EXPECT_EQ(make_topology("quarc:16")->num_ports(), 4);
+}
+
+TEST(TopologyRegistry, UnknownNameListsAlternatives) {
+  try {
+    make_topology("moebius:9");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("quarc"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("moebius"), std::string::npos);
+  }
+}
+
+TEST(TopologyRegistry, MalformedSpecsThrow) {
+  EXPECT_THROW(make_topology("quarc:8:8"), InvalidArgument);
+  EXPECT_THROW(make_topology("mesh:axb"), InvalidArgument);
+  EXPECT_THROW(make_topology("hypercube:1"), InvalidArgument);  // factory precondition
+}
+
+TEST(PatternRegistry, EveryRegisteredExampleBuildsAValidPattern) {
+  const int n = 16;
+  for (const RegistryEntry& e : PatternRegistry::instance().entries()) {
+    SCOPED_TRACE(e.name);
+    Rng rng(7);
+    const auto pattern = make_pattern(e.example, n, rng);
+    if (e.name == "none") {
+      EXPECT_EQ(pattern, nullptr);
+      continue;
+    }
+    ASSERT_NE(pattern, nullptr);
+    for (NodeId s = 0; s < n; ++s) {
+      for (NodeId d : pattern->destinations(s)) {
+        EXPECT_GE(d, 0);
+        EXPECT_LT(d, n);
+        EXPECT_NE(d, s);
+      }
+    }
+  }
+}
+
+TEST(PatternRegistry, BroadcastCoversAllOtherNodes) {
+  Rng rng(1);
+  const auto p = make_pattern("broadcast", 16, rng);
+  EXPECT_EQ(p->fanout(0), 15u);
+}
+
+TEST(PatternRegistry, PatternsAreDeterministicInTheRng) {
+  Rng a(5), b(5), c(6);
+  const auto pa = make_pattern("random:4", 32, a);
+  const auto pb = make_pattern("random:4", 32, b);
+  const auto pc = make_pattern("random:4", 32, c);
+  EXPECT_EQ(pa->destinations(3), pb->destinations(3));
+  EXPECT_NE(pa->destinations(3), pc->destinations(3));
+}
+
+TEST(PatternRegistry, FractionalLocalizedSpecScales) {
+  Rng rng(9);
+  // [0.2, 0.8] of a 64-ring = offsets in [13, 51].
+  const auto p = make_pattern("localized:0.2:0.8:6", 64, rng);
+  ASSERT_NE(p, nullptr);
+  for (NodeId d : p->destinations(0)) {
+    EXPECT_GE(d, 13);
+    EXPECT_LE(d, 51);
+  }
+}
+
+TEST(PatternRegistry, UnknownOrMalformedSpecsThrow) {
+  Rng rng(1);
+  EXPECT_THROW(make_pattern("weird:1", 16, rng), InvalidArgument);
+  EXPECT_THROW(make_pattern("random", 16, rng), InvalidArgument);
+  EXPECT_THROW(make_pattern("broadcast:3", 16, rng), InvalidArgument);
+  EXPECT_THROW(make_pattern("localized:1:4", 16, rng), InvalidArgument);
+}
+
+TEST(Registries, SelfRegistrationIsOpenForExtension) {
+  // A new factory registered at runtime resolves immediately — the same
+  // mechanism the built-ins use at static-init time.
+  static bool registered = false;
+  if (!registered) {
+    TopologyRegistry::instance().add(
+        {"test-ring", "test-ring[:N]", "registration test double", "test-ring:16"},
+        [](const SpecArgs& a) { return make_topology("quarc:" + std::to_string(a.int_at(0, 16))); });
+    registered = true;
+  }
+  EXPECT_TRUE(TopologyRegistry::instance().contains("test-ring"));
+  EXPECT_EQ(make_topology("test-ring:32")->num_nodes(), 32);
+  EXPECT_THROW(TopologyRegistry::instance().add({"test-ring", "", "", ""}, nullptr),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace quarc::api

@@ -1,0 +1,270 @@
+#include "quarc/api/result_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "quarc/api/scenario.hpp"
+#include "quarc/cli/cli.hpp"
+#include "quarc/util/error.hpp"
+
+namespace quarc::api {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// A hand-built two-row set covering the tricky cells: a converged
+/// model+sim row and a saturated/unstable row with non-finite values.
+ResultSet sample_set() {
+  ResultSet rs;
+  rs.topology = "quarc:16";
+  rs.topology_name = "quarc-16";
+  rs.nodes = 16;
+  rs.ports = 4;
+  rs.diameter = 4;
+  rs.pattern = "random:4";
+  rs.alpha = 0.05;
+  rs.message_length = 32;
+  rs.seed = 42;
+  rs.workload = "rate=0.004 msg/cycle/node, alpha=0.05, M=32 flits";
+
+  ResultRow ok;
+  ok.rate = 0.004;
+  ok.model_run = true;
+  ok.model_status = "converged";
+  ok.model_unicast_latency = 41.5;
+  ok.model_multicast_latency = 49.25;
+  ok.model_max_utilization = 0.18;
+  ok.solver_iterations = 115;
+  ok.sim_run = true;
+  ok.sim_completed = true;
+  ok.sim_stable = true;
+  ok.sim_unicast_latency = 41.25;
+  ok.sim_unicast_ci95 = 0.64;
+  ok.sim_unicast_count = 3000;
+  ok.sim_multicast_latency = 51.5;
+  ok.sim_multicast_ci95 = 4.1;
+  ok.sim_multicast_count = 150;
+  ok.sim_max_utilization = 0.2;
+  ok.sim_messages_generated = 3559;
+  ok.sim_cycles = 55032;
+  rs.rows.push_back(ok);
+
+  ResultRow saturated;
+  saturated.rate = 0.02;
+  saturated.model_run = true;
+  saturated.model_status = "saturated";
+  saturated.model_unicast_latency = kInf;
+  saturated.model_multicast_latency = kInf;
+  saturated.model_max_utilization = 1.0;
+  saturated.solver_iterations = 4;
+  saturated.sim_run = true;
+  saturated.sim_completed = false;  // run aborted: unstable
+  saturated.sim_stable = false;
+  saturated.sim_unicast_latency = std::nan("");
+  saturated.sim_unicast_ci95 = kInf;
+  saturated.sim_unicast_count = 0;
+  saturated.sim_multicast_latency = std::nan("");
+  saturated.sim_multicast_ci95 = kInf;
+  saturated.sim_multicast_count = 0;
+  saturated.sim_max_utilization = 0.97;
+  saturated.sim_messages_generated = 9001;
+  saturated.sim_cycles = 61000;
+  rs.rows.push_back(saturated);
+  return rs;
+}
+
+TEST(ResultRow, ErrorsRequireBothSides) {
+  ResultRow r;
+  EXPECT_TRUE(std::isnan(r.unicast_error()));
+  r = ResultRow::from_model(0.001, ModelResult{});
+  EXPECT_TRUE(std::isnan(r.unicast_error()));  // no sim
+  r.sim_run = true;
+  r.sim_unicast_latency = 40.0;
+  r.sim_unicast_count = 100;
+  r.model_unicast_latency = 44.0;
+  EXPECT_NEAR(r.unicast_error(), 0.1, 1e-12);
+  EXPECT_TRUE(std::isnan(r.multicast_error()));  // no multicast samples
+}
+
+TEST(ResultSet, JsonGoldenOutput) {
+  const ResultSet rs = sample_set();
+  // Compact golden form of the saturated row: non-finite -> null.
+  const std::string dump = rs.to_json().dump();
+  EXPECT_NE(dump.find("\"schema\":1"), std::string::npos);
+  EXPECT_NE(dump.find("\"topology\":\"quarc:16\""), std::string::npos);
+  EXPECT_NE(
+      dump.find(
+          R"("model":{"status":"saturated","unicast_latency":null,"multicast_latency":null,"max_utilization":1,"solver_iterations":4})"),
+      std::string::npos)
+      << dump;
+  EXPECT_NE(dump.find(R"("completed":false,"stable":false,"unicast_latency":null)"),
+            std::string::npos)
+      << dump;
+}
+
+TEST(ResultSet, JsonRoundTripIsExact) {
+  const ResultSet rs = sample_set();
+  std::ostringstream os;
+  rs.write_json(os);
+  const ResultSet back = ResultSet::from_json_text(os.str());
+
+  EXPECT_EQ(back.schema, rs.schema);
+  EXPECT_EQ(back.topology, rs.topology);
+  EXPECT_EQ(back.topology_name, rs.topology_name);
+  EXPECT_EQ(back.nodes, rs.nodes);
+  EXPECT_EQ(back.ports, rs.ports);
+  EXPECT_EQ(back.diameter, rs.diameter);
+  EXPECT_EQ(back.pattern, rs.pattern);
+  EXPECT_EQ(back.alpha, rs.alpha);
+  EXPECT_EQ(back.message_length, rs.message_length);
+  EXPECT_EQ(back.seed, rs.seed);
+  EXPECT_EQ(back.workload, rs.workload);
+  ASSERT_EQ(back.rows.size(), rs.rows.size());
+  for (std::size_t i = 0; i < rs.rows.size(); ++i) {
+    const ResultRow& a = rs.rows[i];
+    const ResultRow& b = back.rows[i];
+    SCOPED_TRACE(i);
+    EXPECT_EQ(b.rate, a.rate);
+    EXPECT_EQ(b.model_run, a.model_run);
+    EXPECT_EQ(b.model_status, a.model_status);
+    // Bit-exact for finite values; inf/nan preserved by the null mapping.
+    EXPECT_TRUE(b.model_unicast_latency == a.model_unicast_latency ||
+                (std::isinf(a.model_unicast_latency) && std::isinf(b.model_unicast_latency)));
+    EXPECT_TRUE(b.model_multicast_latency == a.model_multicast_latency ||
+                (std::isinf(a.model_multicast_latency) &&
+                 std::isinf(b.model_multicast_latency)));
+    EXPECT_EQ(b.model_max_utilization, a.model_max_utilization);
+    EXPECT_EQ(b.solver_iterations, a.solver_iterations);
+    EXPECT_EQ(b.sim_run, a.sim_run);
+    EXPECT_EQ(b.sim_completed, a.sim_completed);
+    EXPECT_EQ(b.sim_stable, a.sim_stable);
+    EXPECT_TRUE(b.sim_unicast_latency == a.sim_unicast_latency ||
+                (std::isnan(a.sim_unicast_latency) && std::isnan(b.sim_unicast_latency)));
+    EXPECT_TRUE(b.sim_unicast_ci95 == a.sim_unicast_ci95 ||
+                (std::isinf(a.sim_unicast_ci95) && std::isinf(b.sim_unicast_ci95)));
+    EXPECT_EQ(b.sim_unicast_count, a.sim_unicast_count);
+    EXPECT_EQ(b.sim_multicast_count, a.sim_multicast_count);
+    EXPECT_EQ(b.sim_max_utilization, a.sim_max_utilization);
+    EXPECT_EQ(b.sim_messages_generated, a.sim_messages_generated);
+    EXPECT_EQ(b.sim_cycles, a.sim_cycles);
+  }
+}
+
+TEST(ResultSet, ModelOnlyRowsRoundTripWithoutSimObject) {
+  ResultSet rs = sample_set();
+  rs.rows.resize(1);
+  rs.rows[0].sim_run = false;
+  std::ostringstream os;
+  rs.write_json(os);
+  EXPECT_EQ(os.str().find("\"sim\""), std::string::npos);
+  const ResultSet back = ResultSet::from_json_text(os.str());
+  EXPECT_FALSE(back.rows.at(0).sim_run);
+  EXPECT_TRUE(back.rows.at(0).model_run);
+}
+
+TEST(ResultSet, UnicastOnlyScenarioRestoresNaNMulticast) {
+  ResultSet rs = sample_set();
+  rs.alpha = 0.0;
+  rs.pattern = "none";
+  rs.rows.resize(1);
+  rs.rows[0].model_multicast_latency = std::nan("");  // never had multicast
+  std::ostringstream os;
+  rs.write_json(os);
+  const ResultSet back = ResultSet::from_json_text(os.str());
+  EXPECT_TRUE(std::isnan(back.rows.at(0).model_multicast_latency));
+}
+
+TEST(ResultSet, FullRangeSeedsRoundTripExactly) {
+  // Seeds are uint64; a double-based number path would corrupt the high
+  // half of the range (quarcnoc --seed -1 wraps to uint64 max).
+  ResultSet rs = sample_set();
+  rs.seed = 0xFFFFFFFFFFFFFFFFULL;
+  std::ostringstream os;
+  rs.write_json(os);
+  EXPECT_EQ(ResultSet::from_json_text(os.str()).seed, rs.seed);
+}
+
+TEST(ResultSet, CsvGoldenOutput) {
+  const ResultSet rs = sample_set();
+  std::ostringstream os;
+  rs.write_csv(os);
+  std::istringstream is(os.str());
+  std::string meta, header, row1, row2;
+  ASSERT_TRUE(std::getline(is, meta));
+  ASSERT_TRUE(std::getline(is, header));
+  ASSERT_TRUE(std::getline(is, row1));
+  ASSERT_TRUE(std::getline(is, row2));
+  EXPECT_EQ(meta,
+            "# schema=1 topology=quarc:16 pattern=random:4 alpha=0.05 message_length=32 seed=42");
+  EXPECT_EQ(header,
+            "rate,model_status,model_unicast_latency,model_multicast_latency,"
+            "model_max_utilization,solver_iterations,sim_completed,sim_stable,"
+            "sim_unicast_latency,sim_unicast_ci95,sim_multicast_latency,sim_multicast_ci95,"
+            "sim_max_utilization,sim_cycles");
+  EXPECT_EQ(row1, "0.004,converged,41.5,49.25,0.18,115,yes,yes,41.25,0.64,51.5,4.1,0.2,55032");
+  // Saturated/unstable row: inf spelled out, NaN as empty cells.
+  EXPECT_EQ(row2, "0.02,saturated,inf,inf,1,4,no,no,,inf,,inf,0.97,61000");
+}
+
+TEST(ResultSet, SchemaMismatchIsRejected) {
+  ResultSet rs = sample_set();
+  json::Value doc = rs.to_json();
+  json::Value bad = json::Value::object();
+  for (const auto& [k, v] : doc.as_object()) {
+    bad.set(k, k == "schema" ? json::Value(999) : v);
+  }
+  EXPECT_THROW(ResultSet::from_json(bad), InvalidArgument);
+  EXPECT_THROW(ResultSet::from_json_text("{\"rows\":[]}"), InvalidArgument);
+}
+
+TEST(ResultSet, QuarcnocJsonOutputRoundTrips) {
+  // The acceptance path: `quarcnoc --json` emits a document that parses
+  // back into the same rows.
+  cli::Options opts;
+  opts.rate = 0.002;
+  opts.alpha = 0.05;
+  opts.pattern = "random:4";
+  opts.run_sim = true;
+  opts.warmup = 500;
+  opts.measure = 4000;
+  opts.json = true;
+  std::ostringstream out;
+  ASSERT_EQ(cli::run(opts, out), 0);
+
+  const ResultSet rs = ResultSet::from_json_text(out.str());
+  EXPECT_EQ(rs.topology, "quarc:16");
+  EXPECT_EQ(rs.pattern, "random:4");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_TRUE(rs.rows.front().model_run);
+  EXPECT_TRUE(rs.rows.front().sim_run);
+  EXPECT_EQ(rs.rows.front().rate, 0.002);
+  EXPECT_TRUE(std::isfinite(rs.rows.front().sim_unicast_latency));
+
+  // Serialising the parsed set reproduces the document byte-for-byte.
+  std::ostringstream again;
+  rs.write_json(again);
+  EXPECT_EQ(again.str(), out.str());
+}
+
+TEST(ResultSet, ScenarioSweepSerialisesSaturatedTail) {
+  // End-to-end: a sweep whose last point sits beyond saturation produces a
+  // serialisable document with a null-latency row.
+  Scenario s;
+  s.topology("quarc:16").message_length(16).with_sim(false);
+  const double sat = s.saturation_rate();
+  const std::vector<double> rates = {sat * 0.5, sat * 1.5};
+  const ResultSet rs = s.run_sweep(rates);
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(rs.rows[0].model_status, "converged");
+  EXPECT_EQ(rs.rows[1].model_status, "saturated");
+  std::ostringstream os;
+  rs.write_json(os);
+  const ResultSet back = ResultSet::from_json_text(os.str());
+  EXPECT_TRUE(std::isinf(back.rows[1].model_unicast_latency));
+  EXPECT_EQ(back.rows[1].model_status, "saturated");
+}
+
+}  // namespace
+}  // namespace quarc::api

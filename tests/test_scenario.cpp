@@ -1,0 +1,187 @@
+#include "quarc/api/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quarc/api/registry.hpp"
+#include "quarc/topo/mesh.hpp"
+#include "quarc/util/error.hpp"
+
+namespace quarc::api {
+namespace {
+
+Scenario small_multicast() {
+  Scenario s;
+  s.topology("quarc:16")
+      .pattern("broadcast")
+      .rate(0.002)
+      .alpha(0.05)
+      .message_length(16)
+      .seed(3)
+      .warmup(1000)
+      .measure(8000);
+  return s;
+}
+
+TEST(Scenario, DefaultsValidate) {
+  Scenario s;
+  EXPECT_NO_THROW(s.validate());
+  EXPECT_EQ(s.built_topology().num_nodes(), 16);
+}
+
+TEST(Scenario, BuilderValidationCatchesBadSpecs) {
+  EXPECT_THROW(Scenario().topology("moebius:9").validate(), InvalidArgument);
+  EXPECT_THROW(Scenario().pattern("weird:1").alpha(0.1).validate(), InvalidArgument);
+}
+
+TEST(Scenario, MulticastWithoutPatternIsRejected) {
+  Scenario s;
+  s.alpha(0.1);  // pattern stays "none"
+  EXPECT_THROW(s.validate(), InvalidArgument);
+}
+
+TEST(Scenario, PaperPreconditionsAreEnforced) {
+  // M must exceed the diameter (quarc:64 has diameter 16).
+  EXPECT_THROW(Scenario().topology("quarc:64").message_length(16).validate(), InvalidArgument);
+  EXPECT_THROW(Scenario().rate(-0.1).validate(), InvalidArgument);
+  EXPECT_THROW(Scenario().alpha(1.5).pattern("broadcast").validate(), InvalidArgument);
+}
+
+TEST(Scenario, BuiltTopologyDoesNotRequireAValidWorkload) {
+  // Callers may inspect the network before committing to a message length.
+  Scenario s;
+  s.topology("quarc:64").message_length(16);
+  EXPECT_EQ(s.built_topology().diameter(), 16);
+  EXPECT_THROW(s.validate(), InvalidArgument);
+}
+
+TEST(Scenario, PatternRebuildsWhenTopologyChanges) {
+  Scenario s;
+  s.pattern("broadcast").alpha(0.1).message_length(32);
+  s.topology("quarc:16");
+  EXPECT_EQ(s.build_workload().pattern->fanout(0), 15u);
+  s.topology("quarc:32");
+  EXPECT_EQ(s.build_workload().pattern->fanout(0), 31u);
+}
+
+TEST(Scenario, PatternSeedPinsTheDestinationSet) {
+  Scenario a = small_multicast();
+  Scenario b = small_multicast();
+  a.pattern("random:4").pattern_seed(11).seed(1);
+  b.pattern("random:4").pattern_seed(11).seed(2);  // different run seed
+  EXPECT_EQ(a.build_workload().pattern->destinations(5),
+            b.build_workload().pattern->destinations(5));
+}
+
+TEST(Scenario, RunModelProducesOneConvergedRow) {
+  const ResultSet rs = small_multicast().run_model();
+  ASSERT_EQ(rs.rows.size(), 1u);
+  const ResultRow& r = rs.rows.front();
+  EXPECT_TRUE(r.model_run);
+  EXPECT_FALSE(r.sim_run);
+  EXPECT_EQ(r.model_status, "converged");
+  EXPECT_GT(r.model_unicast_latency, 16.0);  // > zero-load floor M + 1
+  EXPECT_GT(r.model_multicast_latency, r.model_unicast_latency);
+  EXPECT_EQ(rs.topology, "quarc:16");
+  EXPECT_EQ(rs.nodes, 16);
+  EXPECT_EQ(rs.diameter, 4);
+  EXPECT_TRUE(rs.has_multicast());
+  EXPECT_FALSE(rs.has_sim());
+}
+
+TEST(Scenario, RunSimProducesOneMeasuredRow) {
+  const ResultSet rs = small_multicast().run_sim();
+  ASSERT_EQ(rs.rows.size(), 1u);
+  const ResultRow& r = rs.rows.front();
+  EXPECT_FALSE(r.model_run);
+  EXPECT_TRUE(r.sim_run);
+  EXPECT_TRUE(r.sim_completed);
+  EXPECT_GT(r.sim_unicast_count, 0);
+  EXPECT_GT(r.sim_multicast_count, 0);
+  EXPECT_TRUE(std::isfinite(r.sim_unicast_latency));
+}
+
+TEST(Scenario, RunSweepCoversTheGridWithModelAndSim) {
+  Scenario s = small_multicast();
+  const ResultSet rs = s.run_sweep(3, 0.6);
+  ASSERT_EQ(rs.rows.size(), 3u);
+  for (const ResultRow& r : rs.rows) {
+    EXPECT_TRUE(r.model_run);
+    EXPECT_TRUE(r.sim_run);
+    EXPECT_TRUE(std::isfinite(r.unicast_error()));
+  }
+  EXPECT_LT(rs.rows.back().rate, s.saturation_rate());
+  EXPECT_GT(rs.rows[1].rate, rs.rows[0].rate);
+}
+
+TEST(Scenario, WithSimFalseSkipsTheSimulator) {
+  Scenario s = small_multicast();
+  s.with_sim(false);
+  const ResultSet rs = s.run_sweep(2, 0.5);
+  for (const ResultRow& r : rs.rows) {
+    EXPECT_TRUE(r.model_run);
+    EXPECT_FALSE(r.sim_run);
+  }
+  EXPECT_FALSE(rs.has_sim());
+}
+
+TEST(Scenario, ExplicitRateGridIsHonoured) {
+  Scenario s = small_multicast();
+  s.with_sim(false);
+  const std::vector<double> rates = {0.001, 0.002};
+  const ResultSet rs = s.run_sweep(rates);
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(rs.rows[0].rate, 0.001);
+  EXPECT_DOUBLE_EQ(rs.rows[1].rate, 0.002);
+}
+
+TEST(Scenario, RunsAreDeterministic) {
+  const ResultSet a = small_multicast().run_sim();
+  const ResultSet b = small_multicast().run_sim();
+  EXPECT_EQ(a.rows.front().sim_unicast_latency, b.rows.front().sim_unicast_latency);
+  EXPECT_EQ(a.rows.front().sim_multicast_latency, b.rows.front().sim_multicast_latency);
+  EXPECT_EQ(a.rows.front().sim_cycles, b.rows.front().sim_cycles);
+}
+
+TEST(Scenario, RawEscapeHatchesExposeFullResults) {
+  Scenario s = small_multicast();
+  const ModelResult m = s.run_model_raw();
+  EXPECT_EQ(m.status, SolveStatus::Converged);
+  EXPECT_FALSE(m.channels.empty());
+  const sim::SimResult r = s.run_sim_raw();
+  EXPECT_TRUE(r.completed);
+  EXPECT_FALSE(r.channel_utilization.empty());
+}
+
+TEST(Scenario, AdoptedTopologyAndExplicitPatternWork) {
+  auto topo = make_topology("mesh-ham:4x4");
+  const auto& mesh = dynamic_cast<const MeshTopology&>(*topo);
+  std::vector<std::vector<NodeId>> dests(static_cast<std::size_t>(mesh.num_nodes()));
+  for (NodeId n = 0; n < mesh.num_nodes(); ++n) {
+    dests[static_cast<std::size_t>(n)] = {static_cast<NodeId>((n + 1) % mesh.num_nodes())};
+  }
+  Scenario s;
+  s.topology(std::move(topo))
+      .pattern(std::make_shared<ExplicitPattern>(dests, "next-node"))
+      .rate(0.0005)
+      .alpha(0.05)
+      .message_length(32);
+  const ResultSet rs = s.run_model();
+  EXPECT_EQ(rs.topology_name, "mesh-4x4-ham");
+  EXPECT_EQ(rs.pattern, "next-node");
+  EXPECT_TRUE(std::isfinite(rs.rows.front().model_multicast_latency));
+}
+
+TEST(Scenario, SaturatedRatesReportSaturatedStatus) {
+  Scenario s = small_multicast();
+  s.with_sim(false);
+  const double sat = s.saturation_rate();
+  const std::vector<double> rates = {sat * 2.0};
+  const ResultSet rs = s.run_sweep(rates);
+  EXPECT_EQ(rs.rows.front().model_status, "saturated");
+  EXPECT_TRUE(std::isinf(rs.rows.front().model_unicast_latency));
+}
+
+}  // namespace
+}  // namespace quarc::api

@@ -75,6 +75,79 @@ TEST(Sweep, FullSweepComputesErrors) {
   }
 }
 
+// sweep.hpp claims deterministic per-point seeds, so the entire result —
+// not just the headline means — must be bit-identical regardless of the
+// worker count. Compares every scalar field and every per-channel series
+// of model and simulation across threads = 1 vs threads = 4.
+TEST(Sweep, ResultsAreBitIdenticalAcrossThreadCounts) {
+  QuarcTopology topo(16);
+  const Workload w = base_load(16);
+  SweepConfig serial, parallel;
+  serial.threads = 1;
+  parallel.threads = 4;
+  serial.sim.warmup_cycles = parallel.sim.warmup_cycles = 1000;
+  serial.sim.measure_cycles = parallel.sim.measure_cycles = 8000;
+  const std::vector<double> rates = {0.001, 0.002, 0.003, 0.004, 0.005};
+  const auto a = sweep_rates(topo, w, rates, serial);
+  const auto b = sweep_rates(topo, w, rates, parallel);
+  ASSERT_EQ(a.size(), b.size());
+
+  auto expect_stat_identical = [](const StatSummary& x, const StatSummary& y,
+                                  const std::string& what) {
+    EXPECT_EQ(x.count, y.count) << what;
+    EXPECT_EQ(x.mean, y.mean) << what;
+    // ci95 is +inf below two batches; compare via bit-identity semantics.
+    EXPECT_TRUE(x.ci95 == y.ci95 || (std::isnan(x.ci95) && std::isnan(y.ci95))) << what;
+    EXPECT_EQ(x.min, y.min) << what;
+    EXPECT_EQ(x.max, y.max) << what;
+  };
+
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(a[i].rate, b[i].rate);
+
+    // Model: status, scalars and the full per-channel solution.
+    EXPECT_EQ(a[i].model.status, b[i].model.status);
+    EXPECT_EQ(a[i].model.avg_unicast_latency, b[i].model.avg_unicast_latency);
+    EXPECT_EQ(a[i].model.avg_multicast_latency, b[i].model.avg_multicast_latency);
+    EXPECT_EQ(a[i].model.max_utilization, b[i].model.max_utilization);
+    EXPECT_EQ(a[i].model.bottleneck, b[i].model.bottleneck);
+    EXPECT_EQ(a[i].model.solver_iterations, b[i].model.solver_iterations);
+    ASSERT_EQ(a[i].model.channels.size(), b[i].model.channels.size());
+    for (std::size_t c = 0; c < a[i].model.channels.size(); ++c) {
+      EXPECT_EQ(a[i].model.channels[c].lambda, b[i].model.channels[c].lambda) << c;
+      EXPECT_EQ(a[i].model.channels[c].service_time, b[i].model.channels[c].service_time) << c;
+      EXPECT_EQ(a[i].model.channels[c].waiting_time, b[i].model.channels[c].waiting_time) << c;
+      EXPECT_EQ(a[i].model.channels[c].utilization, b[i].model.channels[c].utilization) << c;
+    }
+
+    // Simulation: statistics, counters and the utilization series.
+    ASSERT_TRUE(a[i].sim_run);
+    ASSERT_TRUE(b[i].sim_run);
+    expect_stat_identical(a[i].sim.unicast_latency, b[i].sim.unicast_latency, "unicast");
+    expect_stat_identical(a[i].sim.multicast_latency, b[i].sim.multicast_latency, "multicast");
+    expect_stat_identical(a[i].sim.multicast_wait, b[i].sim.multicast_wait, "mc wait");
+    expect_stat_identical(a[i].sim.worm_sojourn, b[i].sim.worm_sojourn, "sojourn");
+    ASSERT_EQ(a[i].sim.stream_wait_by_port.size(), b[i].sim.stream_wait_by_port.size());
+    for (std::size_t p = 0; p < a[i].sim.stream_wait_by_port.size(); ++p) {
+      expect_stat_identical(a[i].sim.stream_wait_by_port[p], b[i].sim.stream_wait_by_port[p],
+                            "port " + std::to_string(p));
+    }
+    EXPECT_EQ(a[i].sim.avg_active_worms, b[i].sim.avg_active_worms);
+    EXPECT_EQ(a[i].sim.unicast_delivered_total, b[i].sim.unicast_delivered_total);
+    EXPECT_EQ(a[i].sim.multicast_groups_delivered_total,
+              b[i].sim.multicast_groups_delivered_total);
+    EXPECT_EQ(a[i].sim.messages_generated, b[i].sim.messages_generated);
+    EXPECT_EQ(a[i].sim.cycles_run, b[i].sim.cycles_run);
+    EXPECT_EQ(a[i].sim.completed, b[i].sim.completed);
+    EXPECT_EQ(a[i].sim.stable, b[i].sim.stable);
+    EXPECT_EQ(a[i].sim.max_channel_utilization, b[i].sim.max_channel_utilization);
+    EXPECT_EQ(a[i].sim.channel_utilization, b[i].sim.channel_utilization);
+    EXPECT_EQ(a[i].sim.flits_injected, b[i].sim.flits_injected);
+    EXPECT_EQ(a[i].sim.flits_absorbed, b[i].sim.flits_absorbed);
+  }
+}
+
 TEST(Sweep, ParallelAndSerialSweepsAgree) {
   QuarcTopology topo(16);
   const Workload w = base_load(16);
