@@ -34,7 +34,7 @@ void run_scheme(const std::string& topology_spec, const std::string& label, int 
                 int msg_len, double alpha, Cycle measure_cycles,
                 const std::vector<double>& rates) {
   api::Scenario scenario = make_scenario(topology_spec, msg_len, alpha, measure_cycles);
-  const api::ResultSet rs = scenario.run_sweep(rates);
+  const api::ResultSet rs = bench::apply_env(scenario).run_sweep(rates);
 
   std::ostringstream title;
   title << label << " Quarc: N=" << nodes << "  M=" << msg_len << "  alpha=" << alpha * 100

@@ -6,15 +6,43 @@
 // returns — the same rows `quarcnoc --json` serialises.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "quarc/api/scenario.hpp"
+#include "quarc/sweep/sweep_cache.hpp"
 #include "quarc/util/table.hpp"
 
 namespace quarc::bench {
+
+/// The process-wide sweep cache selected by QUARC_CACHE_DIR (null when the
+/// variable is unset). Shared across every cell a bench runs, so repeated
+/// bench invocations — and different benches sweeping the same cells —
+/// skip already-solved (fingerprint, rate) points.
+inline const std::shared_ptr<SweepCache>& env_cache() {
+  static const std::shared_ptr<SweepCache> cache = [] {
+    const char* dir = std::getenv("QUARC_CACHE_DIR");
+    return dir != nullptr && *dir != '\0' ? std::make_shared<SweepCache>(dir) : nullptr;
+  }();
+  return cache;
+}
+
+/// Applies the cross-bench environment overrides to a scenario:
+/// QUARC_CACHE_DIR attaches the shared on-disk sweep cache, QUARC_SHARDS
+/// sets the shard count. Both are bit-transparent — they change how fast a
+/// bench runs, never what it prints.
+inline api::Scenario& apply_env(api::Scenario& scenario) {
+  if (const auto& cache = env_cache()) scenario.cache(cache);
+  if (const char* shards = std::getenv("QUARC_SHARDS")) {
+    scenario.shards(std::max(1, std::atoi(shards)));
+  }
+  return scenario;
+}
 
 inline std::string fmt_double(double v, int precision = 4) {
   std::ostringstream os;

@@ -21,7 +21,7 @@ void run_unicast(int dims, int msg_len, int rate_points, Cycle measure_cycles) {
       .warmup(5000)
       .measure(measure_cycles);
   const int nodes = scenario.built_topology().num_nodes();
-  const api::ResultSet rs = scenario.run_sweep(rate_points, 0.85);
+  const api::ResultSet rs = bench::apply_env(scenario).run_sweep(rate_points, 0.85);
 
   std::ostringstream title;
   title << rs.topology_name << " (" << nodes << " nodes): M=" << msg_len

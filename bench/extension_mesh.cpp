@@ -33,7 +33,7 @@ void run_config(int width, int height, int msg_len, double alpha, int fanout, in
   // the M/G/1 waits diverge from simulation noticeably earlier than on
   // Quarc (see EXPERIMENTS.md E7 notes), and the informative region is the
   // tracking region below that.
-  const api::ResultSet rs = scenario.run_sweep(rate_points, 0.70);
+  const api::ResultSet rs = bench::apply_env(scenario).run_sweep(rate_points, 0.70);
 
   std::ostringstream title;
   title << "mesh " << width << "x" << height << " (Hamiltonian dual-path): M=" << msg_len

@@ -18,7 +18,7 @@ void run_config(int width, int height, int msg_len, int rate_points, Cycle measu
       .seed(49)
       .warmup(5000)
       .measure(measure_cycles);
-  const api::ResultSet rs = scenario.run_sweep(rate_points, 0.85);
+  const api::ResultSet rs = bench::apply_env(scenario).run_sweep(rate_points, 0.85);
 
   std::ostringstream title;
   title << "torus " << width << "x" << height << ": M=" << msg_len << " (uniform unicast)";

@@ -42,7 +42,7 @@ void run_config(const Config& cfg, int rate_points, Cycle measure_cycles) {
     return;
   }
   const std::string pattern = scenario.build_workload().pattern->describe();
-  const api::ResultSet rs = scenario.run_sweep(rate_points, 0.85);
+  const api::ResultSet rs = bench::apply_env(scenario).run_sweep(rate_points, 0.85);
 
   std::ostringstream title;
   title << "Fig.6 cell: N=" << cfg.nodes << "  M=" << cfg.msg_len << " flits  alpha="

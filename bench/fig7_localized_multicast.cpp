@@ -57,7 +57,7 @@ void run_config(int nodes, int msg_len, double alpha, const Quadrant& quad, int 
     return;
   }
   const std::string pattern = scenario.build_workload().pattern->describe();
-  const api::ResultSet rs = scenario.run_sweep(rate_points, 0.85);
+  const api::ResultSet rs = bench::apply_env(scenario).run_sweep(rate_points, 0.85);
 
   std::ostringstream title;
   title << "Fig.7 cell: N=" << nodes << "  M=" << msg_len << " flits  alpha=" << alpha * 100

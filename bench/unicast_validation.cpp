@@ -26,7 +26,7 @@ void run_config(int nodes, int msg_len, int rate_points, Cycle measure_cycles) {
               << ": violates the paper's M > diameter assumption)\n";
     return;
   }
-  const api::ResultSet rs = scenario.run_sweep(rate_points, 0.85);
+  const api::ResultSet rs = bench::apply_env(scenario).run_sweep(rate_points, 0.85);
 
   std::ostringstream title;
   title << "unicast: N=" << nodes << "  M=" << msg_len << " flits";

@@ -1,0 +1,178 @@
+#include "quarc/api/result_diff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+namespace quarc::api {
+
+std::string to_string(DiffStatus s) {
+  switch (s) {
+    case DiffStatus::Unchanged: return "unchanged";
+    case DiffStatus::Improved: return "improved";
+    case DiffStatus::Regressed: return "REGRESSED";
+    case DiffStatus::Added: return "added";
+    case DiffStatus::Removed: return "removed";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// Classifies one latency field. Saturation (+inf) is a meaningful value:
+/// finite -> inf regressed, inf -> finite improved, inf -> inf unchanged.
+/// NaN (never measured) transitions matter too: a measurement that
+/// disappears — e.g. a simulation that newly aborts as unstable reports
+/// no latency — is a regression at any tolerance, and a gained
+/// measurement an improvement; NaN on both sides is not comparable.
+DiffStatus classify(double base, double cand, double tolerance, double* rel_change) {
+  *rel_change = kNaN;
+  const bool base_nan = std::isnan(base);
+  const bool cand_nan = std::isnan(cand);
+  if (base_nan && cand_nan) return DiffStatus::Unchanged;
+  if (!base_nan && cand_nan) return DiffStatus::Regressed;  // measurement lost
+  if (base_nan && !cand_nan) return DiffStatus::Improved;   // measurement gained
+  const bool base_inf = std::isinf(base);
+  const bool cand_inf = std::isinf(cand);
+  if (base_inf && cand_inf) return DiffStatus::Unchanged;
+  if (!base_inf && cand_inf) {
+    *rel_change = kInf;
+    return DiffStatus::Regressed;
+  }
+  if (base_inf && !cand_inf) {
+    *rel_change = -kInf;
+    return DiffStatus::Improved;
+  }
+  if (base <= 0.0) return DiffStatus::Unchanged;  // degenerate; latencies are positive
+  const double rel = (cand - base) / base;
+  *rel_change = rel;
+  if (rel > tolerance) return DiffStatus::Regressed;
+  if (rel < -tolerance) return DiffStatus::Improved;
+  return DiffStatus::Unchanged;
+}
+
+}  // namespace
+
+DiffReport diff_result_sets(const ResultSet& baseline, const ResultSet& candidate,
+                            const DiffOptions& options) {
+  DiffReport report;
+  report.scenarios_match = baseline.same_scenario(candidate);
+
+  // Key rows by exact rate. ResultSet rows from one scenario's grid are
+  // unique per rate; a double-keyed ordered map keeps entries rate-sorted.
+  std::map<double, const ResultRow*> base_rows;
+  for (const ResultRow& r : baseline.rows) base_rows.emplace(r.rate, &r);
+  std::map<double, const ResultRow*> cand_rows;
+  for (const ResultRow& r : candidate.rows) cand_rows.emplace(r.rate, &r);
+
+  auto compare_field = [&](double rate, const char* field, double base, double cand) {
+    double rel = kNaN;
+    const DiffStatus status = classify(base, cand, options.tolerance, &rel);
+    if (!std::isnan(base) || !std::isnan(cand)) ++report.fields_compared;
+    if (status == DiffStatus::Unchanged) return;
+    if (status == DiffStatus::Regressed) ++report.regressions;
+    if (status == DiffStatus::Improved) ++report.improvements;
+    report.entries.push_back({rate, field, base, cand, rel, status});
+  };
+  // Simulator health flags: losing stability or completion at a rate is
+  // the sim-side saturation symptom, gated like a latency regression.
+  auto compare_flag = [&](double rate, const char* field, bool base, bool cand) {
+    ++report.fields_compared;
+    if (base == cand) return;
+    const DiffStatus status = base ? DiffStatus::Regressed : DiffStatus::Improved;
+    ++(base ? report.regressions : report.improvements);
+    report.entries.push_back({rate, field, base ? 1.0 : 0.0, cand ? 1.0 : 0.0, kNaN, status});
+  };
+
+  for (const auto& [rate, base] : base_rows) {
+    const auto it = cand_rows.find(rate);
+    if (it == cand_rows.end()) {
+      // Lost coverage is gated like a lost measurement: a truncated
+      // candidate (e.g. a sweep cut short at exactly the regressing
+      // high-rate points) must not pass as clean.
+      ++report.regressions;
+      report.entries.push_back({rate, "row", kNaN, kNaN, kNaN, DiffStatus::Removed});
+      continue;
+    }
+    const ResultRow* cand = it->second;
+    // Section presence gates like any other measurement: a candidate row
+    // that lost its whole model or sim section (e.g. rerun without --sim)
+    // must not diff as clean just because nothing was comparable.
+    compare_flag(rate, "model_run", base->model_run, cand->model_run);
+    if (options.compare_sim) compare_flag(rate, "sim_run", base->sim_run, cand->sim_run);
+    if (base->model_run && cand->model_run) {
+      compare_field(rate, "model_unicast_latency", base->model_unicast_latency,
+                    cand->model_unicast_latency);
+      compare_field(rate, "model_multicast_latency", base->model_multicast_latency,
+                    cand->model_multicast_latency);
+    }
+    if (options.compare_sim && base->sim_run && cand->sim_run) {
+      compare_flag(rate, "sim_stable", base->sim_stable, cand->sim_stable);
+      compare_flag(rate, "sim_completed", base->sim_completed, cand->sim_completed);
+      compare_field(rate, "sim_unicast_latency", base->sim_unicast_latency,
+                    cand->sim_unicast_latency);
+      compare_field(rate, "sim_multicast_latency", base->sim_multicast_latency,
+                    cand->sim_multicast_latency);
+    }
+  }
+  for (const auto& [rate, cand] : cand_rows) {
+    if (!base_rows.contains(rate)) {
+      report.entries.push_back({rate, "row", kNaN, kNaN, kNaN, DiffStatus::Added});
+    }
+  }
+  std::stable_sort(report.entries.begin(), report.entries.end(),
+                   [](const DiffEntry& a, const DiffEntry& b) { return a.rate < b.rate; });
+  return report;
+}
+
+namespace {
+
+std::string value_text(double v) {
+  if (std::isnan(v)) return "-";
+  if (std::isinf(v)) return v > 0 ? "saturated" : "-inf";
+  return json::format_number(v);
+}
+
+std::string change_text(double rel) {
+  if (std::isnan(rel)) return "";
+  if (std::isinf(rel)) return rel > 0 ? " (saturation)" : " (desaturated)";
+  std::ostringstream os;
+  os.precision(1);
+  os << std::fixed << " (" << (rel >= 0 ? "+" : "") << rel * 100.0 << "%)";
+  return os.str();
+}
+
+}  // namespace
+
+void write_diff_report(const DiffReport& report, std::ostream& os) {
+  if (!report.scenarios_match) {
+    os << "WARNING: the two documents describe different scenarios; "
+          "latency comparisons below are apples to oranges\n";
+  }
+  for (const DiffEntry& e : report.entries) {
+    os << "  rate=" << json::format_number(e.rate) << "  ";
+    if (e.field == "row") {
+      os << "row " << to_string(e.status) << "\n";
+      continue;
+    }
+    os << e.field << "  " << value_text(e.baseline) << " -> " << value_text(e.candidate)
+       << change_text(e.rel_change) << "  " << to_string(e.status) << "\n";
+  }
+  // Removed-row regressions are not field comparisons; keep them out of
+  // the within-tolerance arithmetic.
+  const auto removed_rows =
+      std::count_if(report.entries.begin(), report.entries.end(),
+                    [](const DiffEntry& e) { return e.status == DiffStatus::Removed; });
+  os << "compared " << report.fields_compared << " fields: " << report.regressions
+     << " regression" << (report.regressions == 1 ? "" : "s") << ", " << report.improvements
+     << " improvement" << (report.improvements == 1 ? "" : "s") << ", "
+     << report.fields_compared - (report.regressions - removed_rows) - report.improvements
+     << " within tolerance\n";
+}
+
+}  // namespace quarc::api

@@ -1,0 +1,78 @@
+// Regression diff over serialised sweep ResultSets.
+//
+// Stored sweep trajectories (BENCH_*.json, CI smoke documents) are only
+// useful if something reads them back and complains: diff_result_sets
+// compares a baseline and a candidate set row by row — rows match on
+// their exact rate — and classifies every latency field whose relative
+// change exceeds a tolerance. Latency going up is a regression, going
+// down an improvement; a point that was finite and is now saturated
+// (+inf) is a regression however large the tolerance, and so are a
+// measurement that disappears (finite -> NaN: a simulation that newly
+// aborts reports no latency), a sim stability/completion flag that flips
+// to false, a whole model/sim section missing from a matched row (a
+// candidate rerun without --sim), and a rate point missing from the
+// candidate grid. The `quarc-diff` tool is a thin main() over this module
+// so CI can gate (or merely report) on stored trajectories.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "quarc/api/result_set.hpp"
+
+namespace quarc::api {
+
+enum class DiffStatus {
+  Unchanged,  ///< within tolerance (not listed in DiffReport::entries)
+  Improved,   ///< latency dropped beyond tolerance
+  Regressed,  ///< latency rose beyond tolerance (or newly saturated)
+  Added,      ///< rate present only in the candidate (reported, not gated)
+  Removed,    ///< rate present only in the baseline: lost coverage, gated
+              ///< as a regression (a truncated run must not pass as clean)
+};
+
+std::string to_string(DiffStatus s);
+
+struct DiffOptions {
+  /// Relative latency change treated as noise (|change| <= tolerance).
+  double tolerance = 0.02;
+  /// Also compare the (stochastic) simulator latencies; model latencies
+  /// are always compared.
+  bool compare_sim = true;
+};
+
+struct DiffEntry {
+  double rate = 0.0;
+  std::string field;         ///< e.g. "model_multicast_latency"; "row" for Added/Removed
+  double baseline = std::numeric_limits<double>::quiet_NaN();
+  double candidate = std::numeric_limits<double>::quiet_NaN();
+  /// (candidate - baseline) / baseline; +-inf across a saturation flip,
+  /// NaN for Added/Removed rows.
+  double rel_change = std::numeric_limits<double>::quiet_NaN();
+  DiffStatus status = DiffStatus::Unchanged;
+};
+
+struct DiffReport {
+  std::vector<DiffEntry> entries;  ///< everything not Unchanged, in rate order
+  /// Latency fields with a value on either side, plus the sim
+  /// stability/completion flags of every matched sim row.
+  std::int64_t fields_compared = 0;
+  std::int64_t regressions = 0;
+  std::int64_t improvements = 0;
+  /// Scenario metadata (topology, pattern, alpha, ...) matched. A
+  /// mismatch means the two documents are different experiments; the row
+  /// diff still runs but the report flags it loudly.
+  bool scenarios_match = true;
+
+  bool has_regression() const { return regressions > 0; }
+};
+
+DiffReport diff_result_sets(const ResultSet& baseline, const ResultSet& candidate,
+                            const DiffOptions& options = {});
+
+/// Human-readable report: one line per entry plus a summary line.
+void write_diff_report(const DiffReport& report, std::ostream& os);
+
+}  // namespace quarc::api

@@ -102,6 +102,75 @@ bool ResultSet::has_sim() const {
   return std::any_of(rows.begin(), rows.end(), [](const ResultRow& r) { return r.sim_run; });
 }
 
+bool ResultSet::same_scenario(const ResultSet& other) const {
+  return schema == other.schema && topology == other.topology &&
+         topology_name == other.topology_name && nodes == other.nodes && ports == other.ports &&
+         diameter == other.diameter && pattern == other.pattern && alpha == other.alpha &&
+         message_length == other.message_length && seed == other.seed &&
+         workload == other.workload;
+}
+
+json::Value row_to_json(const ResultRow& r) {
+  json::Value row = json::Value::object();
+  row.set("rate", r.rate);
+  if (r.model_run) {
+    json::Value model = json::Value::object();
+    model.set("status", r.model_status);
+    model.set("unicast_latency", number_or_null(r.model_unicast_latency));
+    model.set("multicast_latency", number_or_null(r.model_multicast_latency));
+    model.set("max_utilization", number_or_null(r.model_max_utilization));
+    model.set("solver_iterations", r.solver_iterations);
+    row.set("model", std::move(model));
+  }
+  if (r.sim_run) {
+    json::Value sim = json::Value::object();
+    sim.set("completed", r.sim_completed);
+    sim.set("stable", r.sim_stable);
+    sim.set("unicast_latency", number_or_null(r.sim_unicast_latency));
+    sim.set("unicast_ci95", number_or_null(r.sim_unicast_ci95));
+    sim.set("unicast_count", r.sim_unicast_count);
+    sim.set("multicast_latency", number_or_null(r.sim_multicast_latency));
+    sim.set("multicast_ci95", number_or_null(r.sim_multicast_ci95));
+    sim.set("multicast_count", r.sim_multicast_count);
+    sim.set("max_utilization", number_or_null(r.sim_max_utilization));
+    sim.set("messages_generated", r.sim_messages_generated);
+    sim.set("cycles", r.sim_cycles);
+    row.set("sim", std::move(sim));
+  }
+  return row;
+}
+
+ResultRow row_from_json(const json::Value& v, bool has_multicast) {
+  ResultRow r;
+  r.rate = v.at("rate").as_double();
+  if (const json::Value* model = v.find("model")) {
+    r.model_run = true;
+    r.model_status = model->at("status").as_string();
+    r.model_unicast_latency = read_number(model->at("unicast_latency"), kInf);
+    // A null multicast latency is +inf when the scenario carries
+    // multicast traffic (saturation), NaN when it never had any.
+    r.model_multicast_latency =
+        read_number(model->at("multicast_latency"), has_multicast ? kInf : nan_value());
+    r.model_max_utilization = read_number(model->at("max_utilization"), nan_value());
+    r.solver_iterations = static_cast<int>(model->at("solver_iterations").as_int());
+  }
+  if (const json::Value* sim = v.find("sim")) {
+    r.sim_run = true;
+    r.sim_completed = sim->at("completed").as_bool();
+    r.sim_stable = sim->at("stable").as_bool();
+    r.sim_unicast_latency = read_number(sim->at("unicast_latency"), nan_value());
+    r.sim_unicast_ci95 = read_number(sim->at("unicast_ci95"), kInf);
+    r.sim_unicast_count = sim->at("unicast_count").as_int();
+    r.sim_multicast_latency = read_number(sim->at("multicast_latency"), nan_value());
+    r.sim_multicast_ci95 = read_number(sim->at("multicast_ci95"), kInf);
+    r.sim_multicast_count = sim->at("multicast_count").as_int();
+    r.sim_max_utilization = read_number(sim->at("max_utilization"), nan_value());
+    r.sim_messages_generated = sim->at("messages_generated").as_int();
+    r.sim_cycles = sim->at("cycles").as_int();
+  }
+  return r;
+}
+
 json::Value ResultSet::to_json() const {
   json::Value doc = json::Value::object();
   doc.set("schema", schema);
@@ -119,35 +188,7 @@ json::Value ResultSet::to_json() const {
   doc.set("scenario", std::move(scenario));
 
   json::Value arr = json::Value::array();
-  for (const ResultRow& r : rows) {
-    json::Value row = json::Value::object();
-    row.set("rate", r.rate);
-    if (r.model_run) {
-      json::Value model = json::Value::object();
-      model.set("status", r.model_status);
-      model.set("unicast_latency", number_or_null(r.model_unicast_latency));
-      model.set("multicast_latency", number_or_null(r.model_multicast_latency));
-      model.set("max_utilization", number_or_null(r.model_max_utilization));
-      model.set("solver_iterations", r.solver_iterations);
-      row.set("model", std::move(model));
-    }
-    if (r.sim_run) {
-      json::Value sim = json::Value::object();
-      sim.set("completed", r.sim_completed);
-      sim.set("stable", r.sim_stable);
-      sim.set("unicast_latency", number_or_null(r.sim_unicast_latency));
-      sim.set("unicast_ci95", number_or_null(r.sim_unicast_ci95));
-      sim.set("unicast_count", r.sim_unicast_count);
-      sim.set("multicast_latency", number_or_null(r.sim_multicast_latency));
-      sim.set("multicast_ci95", number_or_null(r.sim_multicast_ci95));
-      sim.set("multicast_count", r.sim_multicast_count);
-      sim.set("max_utilization", number_or_null(r.sim_max_utilization));
-      sim.set("messages_generated", r.sim_messages_generated);
-      sim.set("cycles", r.sim_cycles);
-      row.set("sim", std::move(sim));
-    }
-    arr.push_back(std::move(row));
-  }
+  for (const ResultRow& r : rows) arr.push_back(row_to_json(r));
   doc.set("rows", std::move(arr));
   return doc;
 }
@@ -171,36 +212,34 @@ ResultSet ResultSet::from_json(const json::Value& doc) {
   rs.workload = sc.at("workload").as_string();
 
   for (const json::Value& row : doc.at("rows").as_array()) {
-    ResultRow r;
-    r.rate = row.at("rate").as_double();
-    if (const json::Value* model = row.find("model")) {
-      r.model_run = true;
-      r.model_status = model->at("status").as_string();
-      r.model_unicast_latency = read_number(model->at("unicast_latency"), kInf);
-      // A null multicast latency is +inf when the scenario carries
-      // multicast traffic (saturation), NaN when it never had any.
-      r.model_multicast_latency =
-          read_number(model->at("multicast_latency"), rs.alpha > 0.0 ? kInf : nan_value());
-      r.model_max_utilization = read_number(model->at("max_utilization"), nan_value());
-      r.solver_iterations = static_cast<int>(model->at("solver_iterations").as_int());
-    }
-    if (const json::Value* sim = row.find("sim")) {
-      r.sim_run = true;
-      r.sim_completed = sim->at("completed").as_bool();
-      r.sim_stable = sim->at("stable").as_bool();
-      r.sim_unicast_latency = read_number(sim->at("unicast_latency"), nan_value());
-      r.sim_unicast_ci95 = read_number(sim->at("unicast_ci95"), kInf);
-      r.sim_unicast_count = sim->at("unicast_count").as_int();
-      r.sim_multicast_latency = read_number(sim->at("multicast_latency"), nan_value());
-      r.sim_multicast_ci95 = read_number(sim->at("multicast_ci95"), kInf);
-      r.sim_multicast_count = sim->at("multicast_count").as_int();
-      r.sim_max_utilization = read_number(sim->at("max_utilization"), nan_value());
-      r.sim_messages_generated = sim->at("messages_generated").as_int();
-      r.sim_cycles = sim->at("cycles").as_int();
-    }
-    rs.rows.push_back(std::move(r));
+    rs.rows.push_back(row_from_json(row, rs.alpha > 0.0));
   }
   return rs;
+}
+
+ResultSet merge_result_sets(std::span<const ResultSet> shards) {
+  QUARC_REQUIRE(!shards.empty(), "merge_result_sets: no shards to merge");
+  ResultSet merged = shards.front();
+  for (std::size_t i = 1; i < shards.size(); ++i) {
+    const ResultSet& s = shards[i];
+    QUARC_REQUIRE(merged.same_scenario(s),
+                  "merge_result_sets: shard " + std::to_string(i) +
+                      " was produced by a different scenario than shard 0");
+    merged.rows.insert(merged.rows.end(), s.rows.begin(), s.rows.end());
+    merged.cache_hits += s.cache_hits;
+    merged.cache_misses += s.cache_misses;
+  }
+  std::stable_sort(merged.rows.begin(), merged.rows.end(),
+                   [](const ResultRow& a, const ResultRow& b) { return a.rate < b.rate; });
+  // Overlapping shard grids are an operator error: the merged document
+  // would contain duplicate rates no unsharded run could produce, and
+  // downstream consumers key rows by rate.
+  for (std::size_t i = 1; i < merged.rows.size(); ++i) {
+    QUARC_REQUIRE(merged.rows[i].rate != merged.rows[i - 1].rate,
+                  "merge_result_sets: rate " + json::format_number(merged.rows[i].rate) +
+                      " appears in more than one shard (overlapping grids)");
+  }
+  return merged;
 }
 
 ResultSet ResultSet::from_json_text(std::string_view text) {
@@ -254,19 +293,24 @@ Cell sim_latency_cell(const ResultRow& row, bool multicast) {
 
 void ResultSet::write_csv(std::ostream& os) const {
   os << "# schema=" << schema << " topology=" << topology << " pattern=" << pattern
-     << " alpha=" << alpha << " message_length=" << message_length << " seed=" << seed << "\n";
+     << " alpha=" << json::format_number(alpha) << " message_length=" << message_length
+     << " seed=" << seed << "\n";
   const auto& header = csv_header();
   for (std::size_t i = 0; i < header.size(); ++i) {
     os << (i > 0 ? "," : "") << header[i];
   }
   os << "\n";
+  // Shortest-round-trip formatting (shared with the JSON writer) rather
+  // than operator<<'s 6-significant-digit default: CSV and JSON documents
+  // of the same ResultSet must never disagree on a value, and CSV cells
+  // must survive a parse back to the same double.
   auto num = [&os](double v) {
     if (std::isnan(v)) {
       os << "";
     } else if (std::isinf(v)) {
       os << (v > 0 ? "inf" : "-inf");
     } else {
-      os << v;
+      os << json::format_number(v);
     }
   };
   for (const ResultRow& r : rows) {

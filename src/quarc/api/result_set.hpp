@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <limits>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -69,6 +70,14 @@ struct ResultRow {
   static ResultRow from_point(const RatePointResult& p);
 };
 
+/// Row-level JSON (the exact object ResultSet::to_json embeds per row).
+/// Exposed so the sweep cache can persist and restore individual rows with
+/// the same bytes the document serialiser would produce. `has_multicast`
+/// resolves the null -> inf/NaN ambiguity for the multicast latency field
+/// exactly as ResultSet::from_json does via its alpha.
+json::Value row_to_json(const ResultRow& r);
+ResultRow row_from_json(const json::Value& v, bool has_multicast);
+
 /// A complete experiment record: scenario identification plus rows.
 struct ResultSet {
   int schema = kResultSchemaVersion;
@@ -84,8 +93,21 @@ struct ResultSet {
   std::string workload;        ///< Workload::describe() at the base rate
   std::vector<ResultRow> rows;
 
+  /// Sweep-cache diagnostics for the run that produced this set: how many
+  /// grid points were served from cache vs solved. Runtime-only — NOT
+  /// serialised, so a warm run's document stays byte-identical to a cold
+  /// run's (the cache must never change what an experiment reports).
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;
+
   bool has_multicast() const { return alpha > 0.0; }
   bool has_sim() const;
+
+  /// Whether `other` records the same experiment: every metadata field
+  /// (schema, topology spec + name, dimensions, pattern, alpha,
+  /// message_length, seed, workload) matches. The single definition of
+  /// "same scenario" shared by merge_result_sets and diff_result_sets.
+  bool same_scenario(const ResultSet& other) const;
 
   /// JSON document (object) / parsing. from_json throws InvalidArgument on
   /// schema mismatch or malformed documents.
@@ -97,10 +119,25 @@ struct ResultSet {
   void write_json(std::ostream& os) const;
 
   /// CSV: fixed column set (csv_header()), one line per row; metadata is
-  /// carried in '#'-prefixed comment lines above the header.
+  /// carried in '#'-prefixed comment lines above the header. Numbers use
+  /// the same shortest-round-trip form as the JSON writer
+  /// (json::format_number), so the two serialisations never disagree on a
+  /// value; NaN renders as an empty cell and +-inf as "inf"/"-inf" (CSV
+  /// has no null).
   void write_csv(std::ostream& os) const;
   static const std::vector<std::string>& csv_header();
 };
+
+/// Merges shard ResultSets (e.g. one per sweep shard, possibly produced by
+/// different processes) into a single set: metadata is taken from the
+/// first shard and must match on every other (schema, topology, pattern,
+/// alpha, message_length, seed, ... — InvalidArgument otherwise), rows are
+/// concatenated and stable-sorted by rate, and cache counters are summed.
+/// Overlapping shard grids (the same rate in two shards) are rejected with
+/// InvalidArgument. For a grid presented in increasing rate order — every
+/// grid rate_grid_to_saturation builds — the merged set is byte-identical
+/// to the unsharded run's.
+ResultSet merge_result_sets(std::span<const ResultSet> shards);
 
 /// Aligned-table cell renderings shared by the CLI and the bench harness:
 /// "-" for absent values (NaN / not run / no samples), "saturated" for an

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "quarc/api/registry.hpp"
+#include "quarc/sweep/sweep_cache.hpp"
 #include "quarc/util/error.hpp"
 
 namespace quarc::api {
@@ -18,6 +19,7 @@ Scenario& Scenario::topology(std::string spec) {
   topology_spec_ = std::move(spec);
   topology_.reset();
   topology_dirty_ = true;
+  topology_from_spec_ = true;
   return *this;
 }
 
@@ -26,6 +28,7 @@ Scenario& Scenario::topology(std::unique_ptr<Topology> topo) {
   topology_ = std::move(topo);
   topology_spec_ = topology_->name();
   topology_dirty_ = false;
+  topology_from_spec_ = false;
   return *this;
 }
 
@@ -87,6 +90,42 @@ Scenario& Scenario::with_sim(bool enabled) {
 Scenario& Scenario::threads(int count) {
   sweep_.threads = count;
   return *this;
+}
+
+Scenario& Scenario::shards(int count) {
+  sweep_.shards = count;
+  return *this;
+}
+
+Scenario& Scenario::cache(std::shared_ptr<SweepCache> cache) {
+  cache_ = std::move(cache);
+  return *this;
+}
+
+Scenario& Scenario::cache_dir(const std::string& dir) {
+  cache_ = std::make_shared<SweepCache>(dir);
+  return *this;
+}
+
+ScenarioFingerprint Scenario::fingerprint() {
+  validate();
+  return fingerprint_validated();
+}
+
+ScenarioFingerprint Scenario::fingerprint_validated() const {
+  FingerprintInputs in;
+  in.topology_spec = topology_spec_;
+  in.topology_from_spec = topology_from_spec_;
+  in.topology = topology_.get();
+  in.pattern_spec = pattern_spec_;
+  in.pattern_seed = pattern_seed_set_ ? pattern_seed_ : seed_;
+  in.pattern = workload_.pattern.get();
+  in.num_nodes = topology_->num_nodes();
+  in.alpha = workload_.multicast_fraction;
+  in.message_length = workload_.message_length;
+  in.seed = seed_;
+  in.sweep = &sweep_;
+  return fingerprint_scenario(in);
 }
 
 void Scenario::ensure_topology() {
@@ -164,12 +203,34 @@ ResultSet Scenario::run_sim() {
 
 ResultSet Scenario::run_sweep(std::span<const double> rates) {
   validate();
-  SweepConfig cfg = sweep_;
-  cfg.sim.seed = seed_;
-  const auto points = sweep_rates(*topology_, workload_, rates, cfg);
   ResultSet rs = make_result_set();
-  rs.rows.reserve(points.size());
-  for (const RatePointResult& p : points) rs.rows.push_back(ResultRow::from_point(p));
+  rs.rows.resize(rates.size());
+
+  // Partition the grid into cache hits (rows ready now) and misses (tasks
+  // to solve). Each task carries the rate-keyed seed a cold run would use,
+  // so a partially warm run solves its misses bit-identically.
+  std::vector<SweepTask> tasks;
+  std::vector<std::size_t> task_rows;
+  ScenarioFingerprint fp;
+  if (cache_) fp = fingerprint_validated();  // run_sweep validated already
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    if (cache_) {
+      if (std::optional<ResultRow> hit = cache_->lookup(fp, rates[i])) {
+        rs.rows[i] = std::move(*hit);
+        ++rs.cache_hits;
+        continue;
+      }
+      ++rs.cache_misses;
+    }
+    tasks.push_back({rates[i], sweep_point_seed(seed_, rates[i])});
+    task_rows.push_back(i);
+  }
+
+  const auto points = sweep_tasks(*topology_, workload_, tasks, sweep_);
+  for (std::size_t j = 0; j < points.size(); ++j) {
+    rs.rows[task_rows[j]] = ResultRow::from_point(points[j]);
+    if (cache_) cache_->store(fp, rs.rows[task_rows[j]], workload_.multicast_fraction > 0.0);
+  }
   return rs;
 }
 

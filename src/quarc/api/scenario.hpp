@@ -23,7 +23,13 @@
 // Determinism: everything is a pure function of the builder state. The
 // pattern is drawn from pattern_seed (defaults to seed) so a fixed
 // destination set can be held while simulation seeds vary; sweep points
-// derive per-point seeds exactly as sweep_rates() documents.
+// derive per-point seeds exactly as sweep_rates() documents (rate-keyed,
+// so thread count, shard count and grid position never change a result).
+//
+// Caching: attach a SweepCache (cache()/cache_dir()) and run_sweep skips
+// every (fingerprint(), rate) point it has already solved, returning a
+// ResultSet byte-identical to the uncached run's, with cache_hits/
+// cache_misses reporting what was skipped.
 #pragma once
 
 #include <memory>
@@ -32,7 +38,12 @@
 #include <vector>
 
 #include "quarc/api/result_set.hpp"
+#include "quarc/sweep/fingerprint.hpp"
 #include "quarc/sweep/sweep.hpp"
+
+namespace quarc {
+class SweepCache;
+}
 
 namespace quarc::api {
 
@@ -67,6 +78,25 @@ class Scenario {
   Scenario& with_sim(bool enabled = true);
   /// parallel_for workers for sweeps (<= 0: default).
   Scenario& threads(int count);
+  /// Contiguous shard count for sweep execution (default 1). Bit-identical
+  /// for every count — see sweep.hpp's determinism contract.
+  Scenario& shards(int count);
+
+  // ---- caching ----
+  /// Attaches a sweep cache (shared across Scenarios; nullptr detaches).
+  /// run_sweep consults it before solving each point and stores every
+  /// point it had to solve; hit/miss counts land on the returned
+  /// ResultSet's cache_hits/cache_misses.
+  Scenario& cache(std::shared_ptr<SweepCache> cache);
+  /// Convenience: attach a fresh disk-backed cache under `dir`.
+  Scenario& cache_dir(const std::string& dir);
+  /// The attached cache (may be null).
+  const std::shared_ptr<SweepCache>& sweep_cache() const { return cache_; }
+
+  /// Canonical fingerprint of the validated scenario — the cache key's
+  /// scenario half (rate excluded). Validates first; stable across runs,
+  /// thread counts and shard counts.
+  ScenarioFingerprint fingerprint();
 
   /// Full-access mutable settings for the less common knobs
   /// (buffer depth, drain caps, solver damping, ...). Workload and seed
@@ -111,10 +141,13 @@ class Scenario {
   void ensure_topology();
   ResultSet make_result_set();
   sim::SimConfig sim_config_for_run();
+  /// fingerprint() minus the validate() — for callers that just validated.
+  ScenarioFingerprint fingerprint_validated() const;
 
   std::string topology_spec_;
   std::unique_ptr<Topology> topology_;   ///< built lazily or adopted
   bool topology_dirty_ = true;
+  bool topology_from_spec_ = true;  ///< adopted topologies digest structurally
 
   std::string pattern_spec_ = "none";
   std::shared_ptr<const MulticastPattern> pattern_;
@@ -125,6 +158,7 @@ class Scenario {
   std::uint64_t pattern_seed_ = 0;
   bool pattern_seed_set_ = false;
   SweepConfig sweep_;
+  std::shared_ptr<SweepCache> cache_;
 };
 
 }  // namespace quarc::api

@@ -2,7 +2,7 @@
 
 #include <charconv>
 #include <cmath>
-#include <ostream>
+#include <iostream>
 #include <sstream>
 #include <vector>
 
@@ -63,6 +63,10 @@ evaluation:
   --sweep P          sweep P rates up to --fill * saturation instead of
                      evaluating --rate
   --fill F           sweep endpoint as a fraction of saturation [default 0.85]
+  --cache-dir D      reuse solved sweep points across runs via an on-disk
+                     cache keyed by (scenario fingerprint, rate); hit/miss
+                     stats are printed to stderr
+  --shards K         run the sweep in K contiguous shards     [default 1]
   --csv              emit the ResultSet as CSV instead of a table
   --json             emit the ResultSet as a JSON document (schema v)" +
          std::to_string(api::kResultSchemaVersion) + R"()
@@ -110,6 +114,11 @@ Options parse(std::span<const std::string> args) {
       opts.sweep_points = static_cast<int>(parse_int(arg, next("--sweep")));
     } else if (arg == "--fill") {
       opts.fill = parse_double(arg, next("--fill"));
+    } else if (arg == "--cache-dir") {
+      opts.cache_dir = next("--cache-dir");
+    } else if (arg == "--shards") {
+      opts.shards = static_cast<int>(parse_int(arg, next("--shards")));
+      QUARC_REQUIRE(opts.shards >= 1, "--shards must be >= 1");
     } else if (arg == "--csv") {
       opts.csv = true;
     } else if (arg == "--json") {
@@ -150,7 +159,9 @@ api::Scenario make_scenario(const Options& opts) {
       .seed(opts.seed)
       .warmup(opts.warmup)
       .measure(opts.measure)
-      .with_sim(opts.run_sim);
+      .with_sim(opts.run_sim)
+      .shards(opts.shards);
+  if (!opts.cache_dir.empty()) scenario.cache_dir(opts.cache_dir);
   return scenario;
 }
 
@@ -184,7 +195,9 @@ void print_table(const api::ResultSet& rs, std::ostream& out) {
 
 }  // namespace
 
-int run(const Options& opts, std::ostream& out) {
+int run(const Options& opts, std::ostream& out) { return run(opts, out, std::cerr); }
+
+int run(const Options& opts, std::ostream& out, std::ostream& err) {
   if (opts.help) {
     out << usage();
     return 0;
@@ -197,6 +210,12 @@ int run(const Options& opts, std::ostream& out) {
   } else {
     const std::vector<double> rates = {opts.rate};
     rs = scenario.run_sweep(rates);
+  }
+
+  if (!opts.cache_dir.empty()) {
+    // Machine-checkable (CI greps it), off the result stream.
+    err << "sweep-cache: hits=" << rs.cache_hits << " misses=" << rs.cache_misses << " ("
+        << rs.rows.size() << " points, dir=" << opts.cache_dir << ")\n";
   }
 
   if (opts.json) {

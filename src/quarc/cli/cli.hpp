@@ -37,6 +37,10 @@ struct Options {
   /// up to fill * saturation.
   int sweep_points = 0;
   double fill = 0.85;
+  /// Sweep-cache directory; empty disables caching. Solved (fingerprint,
+  /// rate) points are reused across invocations sharing the directory.
+  std::string cache_dir;
+  int shards = 1;     ///< sweep shard count (bit-identical for any value)
   bool csv = false;   ///< ResultSet CSV instead of the aligned table
   bool json = false;  ///< ResultSet JSON document instead of the table
   bool help = false;
@@ -59,8 +63,11 @@ std::unique_ptr<Topology> make_topology(const Options& opts);
 /// Assembles the full scenario (topology, pattern, workload, sim knobs).
 api::Scenario make_scenario(const Options& opts);
 
-/// Runs the tool end to end; returns a process exit code. Output goes to
-/// the given stream (aligned table, or ResultSet CSV/JSON per options).
-int run(const Options& opts, std::ostream& out);
+/// Runs the tool end to end; returns a process exit code. Results go to
+/// `out` (aligned table, or ResultSet CSV/JSON per options); diagnostics
+/// that must not pollute machine-readable output — the sweep-cache
+/// hit/miss line — go to `err`.
+int run(const Options& opts, std::ostream& out, std::ostream& err);
+int run(const Options& opts, std::ostream& out);  ///< err -> std::cerr
 
 }  // namespace quarc::cli

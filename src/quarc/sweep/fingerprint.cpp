@@ -1,0 +1,156 @@
+#include "quarc/sweep/fingerprint.hpp"
+
+#include <charconv>
+
+#include "quarc/util/error.hpp"
+#include "quarc/util/json.hpp"
+
+namespace quarc {
+
+std::uint64_t fnv1a64(std::string_view bytes, std::uint64_t basis) {
+  std::uint64_t h = basis;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+std::string ScenarioFingerprint::hex() const {
+  char buf[17] = {};
+  // Fixed-width: to_chars drops leading zeros, so pad by formatting into
+  // the tail of a zero-filled buffer.
+  for (int i = 0; i < 16; ++i) buf[i] = '0';
+  char tmp[17];
+  const auto r = std::to_chars(tmp, tmp + sizeof tmp, hash, 16);
+  const auto len = static_cast<std::size_t>(r.ptr - tmp);
+  for (std::size_t i = 0; i < len; ++i) buf[16 - len + i] = tmp[i];
+  return std::string(buf, 16);
+}
+
+namespace {
+
+/// Digest of the pattern's materialised destination sets: the canonical
+/// text stays one line however large the sets are, and two patterns with
+/// the same spec but different destinations (possible for escape-hatch
+/// ExplicitPatterns whose spec is just a description) never collide.
+std::uint64_t pattern_digest(const MulticastPattern& pattern, int num_nodes) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (NodeId s = 0; s < num_nodes; ++s) {
+    h = fnv1a64("|", h);
+    for (const NodeId d : pattern.destinations(s)) {
+      h = fnv1a64(std::to_string(d), h);
+      h = fnv1a64(",", h);
+    }
+  }
+  return h;
+}
+
+/// Structural digest for adopted (escape-hatch) topologies, whose name()
+/// string does not pin down their wiring: channel table, every unicast
+/// route, and — when a pattern supplies destination sets — the multicast
+/// streams the model would consume. O(N^2 * diameter), paid only for
+/// adopted topologies (spec-built ones are fully named by their spec).
+std::uint64_t topology_digest(const Topology& topo, const MulticastPattern* pattern) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  auto mix = [&h](std::int64_t v) { h = fnv1a64(std::to_string(v) + ";", h); };
+  mix(topo.num_nodes());
+  mix(topo.num_ports());
+  for (const ChannelInfo& c : topo.channels()) {
+    mix(static_cast<std::int64_t>(c.kind));
+    mix(c.src);
+    mix(c.dst);
+    mix(c.port);
+    mix(c.vcs);
+    mix(c.dedicated ? 1 : 0);
+  }
+  for (NodeId s = 0; s < topo.num_nodes(); ++s) {
+    for (NodeId d = 0; d < topo.num_nodes(); ++d) {
+      if (s == d) continue;
+      const UnicastRoute r = topo.unicast_route(s, d);
+      mix(r.port);
+      mix(r.injection);
+      for (const ChannelId link : r.links) mix(link);
+      for (const std::uint8_t vc : r.link_vcs) mix(vc);
+      mix(r.ejection);
+    }
+    if (pattern != nullptr && topo.supports_multicast()) {
+      for (const MulticastStream& stream : topo.multicast_streams(s, pattern->destinations(s))) {
+        mix(stream.port);
+        mix(stream.injection);
+        for (const ChannelId link : stream.links) mix(link);
+        for (const MulticastStop& stop : stream.stops) {
+          mix(stop.hop);
+          mix(stop.node);
+          mix(stop.ejection);
+        }
+      }
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+ScenarioFingerprint fingerprint_scenario(const FingerprintInputs& in) {
+  QUARC_REQUIRE(in.sweep != nullptr, "fingerprint_scenario: sweep config is required");
+  const SweepConfig& cfg = *in.sweep;
+  const sim::SimConfig& sc = cfg.sim;
+  const SolverOptions& so = cfg.model.solver;
+
+  std::string c;
+  c.reserve(640);
+  auto line = [&c](std::string_view key, const std::string& value) {
+    c.append(key);
+    c.push_back('=');
+    c.append(value);
+    c.push_back('\n');
+  };
+  auto num = [](double v) { return json::format_number(v); };
+
+  line("fp_schema", std::to_string(kFingerprintSchemaVersion));
+  line("topology", in.topology_spec);
+  if (in.topology_from_spec) {
+    line("topology_digest", "spec");  // the spec string names it completely
+  } else {
+    QUARC_REQUIRE(in.topology != nullptr,
+                  "fingerprint_scenario: adopted topologies must be digested structurally");
+    ScenarioFingerprint structure;
+    structure.hash = topology_digest(*in.topology, in.pattern);
+    line("topology_digest", structure.hex());
+  }
+  line("pattern", in.pattern_spec);
+  line("pattern_seed", std::to_string(in.pattern_seed));
+  if (in.pattern != nullptr) {
+    ScenarioFingerprint dests;
+    dests.hash = pattern_digest(*in.pattern, in.num_nodes);
+    line("pattern_digest", dests.hex());
+  } else {
+    line("pattern_digest", "none");
+  }
+  line("alpha", num(in.alpha));
+  line("message_length", std::to_string(in.message_length));
+  line("seed", std::to_string(in.seed));
+  line("run_sim", cfg.run_sim ? "true" : "false");
+  line("warmup_cycles", std::to_string(sc.warmup_cycles));
+  line("measure_cycles", std::to_string(sc.measure_cycles));
+  line("drain_cap_cycles", std::to_string(sc.drain_cap_cycles));
+  line("buffer_depth", std::to_string(sc.buffer_depth));
+  line("batch_count", std::to_string(sc.batch_count));
+  line("max_queue_length", std::to_string(sc.max_queue_length));
+  line("stall_watchdog", std::to_string(sc.stall_watchdog));
+  line("collect_stream_samples", sc.collect_stream_samples ? "true" : "false");
+  line("check_invariants", sc.check_invariants ? "true" : "false");
+  line("invariant_check_interval", std::to_string(sc.invariant_check_interval));
+  line("solver_max_iterations", std::to_string(so.max_iterations));
+  line("solver_tolerance", num(so.tolerance));
+  line("solver_damping", num(so.damping));
+  line("solver_utilization_guard", num(so.utilization_guard));
+
+  ScenarioFingerprint fp;
+  fp.canonical = std::move(c);
+  fp.hash = fnv1a64(fp.canonical);
+  return fp;
+}
+
+}  // namespace quarc

@@ -1,0 +1,77 @@
+// Canonical, stable scenario fingerprints.
+//
+// A sweep cache (sweep_cache.hpp) keys solved points by
+// (scenario fingerprint, rate): the fingerprint must therefore name every
+// knob that can change a solved point's bytes — topology spec, pattern
+// spec and the materialised destination sets, workload shape, seed,
+// solver and simulator knobs — and must exclude everything that provably
+// cannot: the rate (it is the other half of the key), the thread count
+// and the shard count (results are bit-identical across both; see
+// sweep.hpp's determinism contract).
+//
+// The fingerprint is built in two layers so it is both debuggable and
+// cheap to compare:
+//   * `canonical` — a newline-separated key=value rendering of the
+//     contributing knobs, in a fixed order, with doubles in
+//     json::format_number's shortest round-trip form. Two scenarios have
+//     equal canonical texts iff they are the same experiment.
+//   * `hash` — FNV-1a 64 over the canonical text (hex() for file names).
+// Both are stable across runs, thread counts and processes; goldens are
+// pinned by the fingerprint test-suite. Bump kFingerprintSchemaVersion
+// whenever the canonical format (or anything feeding it) changes meaning,
+// so stale on-disk caches can never be mistaken for fresh ones.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "quarc/sweep/sweep.hpp"
+
+namespace quarc {
+
+inline constexpr int kFingerprintSchemaVersion = 1;
+
+/// FNV-1a 64-bit over a byte string; `basis` chains multi-part digests.
+std::uint64_t fnv1a64(std::string_view bytes, std::uint64_t basis = 0xCBF29CE484222325ULL);
+
+struct ScenarioFingerprint {
+  std::string canonical;   ///< key=value text, one knob per line
+  std::uint64_t hash = 0;  ///< fnv1a64(canonical)
+
+  /// 16 lowercase hex digits of `hash` — the on-disk cache file stem.
+  std::string hex() const;
+
+  friend bool operator==(const ScenarioFingerprint&, const ScenarioFingerprint&) = default;
+};
+
+/// Everything a fingerprint is computed from. The workload's message_rate
+/// is deliberately NOT read (rate is the other half of a cache key); the
+/// sweep config's threads/shards are NOT read (bit-identical by contract).
+struct FingerprintInputs {
+  std::string topology_spec;  ///< registry spec or adopted topology name
+  /// True when the topology came from a registry spec (the spec string
+  /// then names it completely). False for adopted/escape-hatch topologies,
+  /// whose name() alone is NOT a sound key: the fingerprint then digests
+  /// the topology's structure — channel table, every unicast route, and
+  /// (with a pattern) the multicast streams — via `topology`, so two
+  /// same-named builds with different wiring never share cache entries.
+  bool topology_from_spec = true;
+  /// Required when !topology_from_spec; ignored otherwise.
+  const Topology* topology = nullptr;
+  std::string pattern_spec;   ///< registry spec; "none" without multicast
+  std::uint64_t pattern_seed = 0;
+  /// The materialised pattern (may be null): its destination sets are
+  /// digested so explicit/escape-hatch patterns fingerprint soundly even
+  /// when their spec string is just a description.
+  const MulticastPattern* pattern = nullptr;
+  int num_nodes = 0;  ///< sources to digest destinations for
+  double alpha = 0.0;
+  int message_length = 0;
+  std::uint64_t seed = 0;  ///< the run seed (per-point seeds derive from it)
+  const SweepConfig* sweep = nullptr;  ///< solver + simulator knobs; required
+};
+
+ScenarioFingerprint fingerprint_scenario(const FingerprintInputs& in);
+
+}  // namespace quarc

@@ -1,5 +1,6 @@
 #include "quarc/sweep/sweep.hpp"
 
+#include <bit>
 #include <cmath>
 #include <limits>
 
@@ -27,6 +28,17 @@ double RatePointResult::multicast_error() const {
 double RatePointResult::unicast_error() const {
   if (!sim_run || sim.unicast_latency.count == 0) return nan_value();
   return relative_error(model.avg_unicast_latency, sim.unicast_latency.mean);
+}
+
+std::uint64_t sweep_point_seed(std::uint64_t base_seed, double rate) {
+  // splitmix64 finaliser over the xor of the base seed and the rate's bit
+  // pattern: cheap, and every output bit depends on every input bit, so
+  // nearby rates do not produce correlated simulator streams.
+  std::uint64_t z = base_seed ^ std::bit_cast<std::uint64_t>(rate);
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
 }
 
 double model_saturation_rate(const Topology& topo, const Workload& base, ModelOptions options) {
@@ -62,28 +74,51 @@ std::vector<double> rate_grid_to_saturation(const Topology& topo, const Workload
   return rates;
 }
 
+std::vector<RatePointResult> sweep_tasks(const Topology& topo, const Workload& base,
+                                         std::span<const SweepTask> tasks,
+                                         const SweepConfig& cfg) {
+  std::vector<RatePointResult> out(tasks.size());
+  auto run_slice = [&](std::size_t begin, std::size_t end) {
+    parallel_for(
+        end - begin,
+        [&](std::size_t k) {
+          const std::size_t i = begin + k;
+          RatePointResult& point = out[i];
+          point.rate = tasks[i].rate;
+          Workload w = base;
+          w.message_rate = tasks[i].rate;
+          point.model = PerformanceModel(topo, w, cfg.model).evaluate();
+          if (cfg.run_sim) {
+            sim::SimConfig sc = cfg.sim;
+            sc.workload = w;
+            sc.seed = tasks[i].sim_seed;
+            sim::Simulator simulator(topo, sc);
+            point.sim = simulator.run();
+            point.sim_run = true;
+          }
+        },
+        cfg.threads);
+  };
+  // Contiguous shard slices, run back to back; slice boundaries cannot
+  // change any point's result (each is a pure function of its task), so
+  // every shard count yields the same bytes.
+  const std::size_t n = tasks.size();
+  const std::size_t shards =
+      std::min<std::size_t>(std::max(cfg.shards, 1), n == 0 ? std::size_t{1} : n);
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::size_t begin = n * s / shards;
+    const std::size_t end = n * (s + 1) / shards;
+    run_slice(begin, end);
+  }
+  return out;
+}
+
 std::vector<RatePointResult> sweep_rates(const Topology& topo, const Workload& base,
                                          std::span<const double> rates, const SweepConfig& cfg) {
-  std::vector<RatePointResult> out(rates.size());
-  parallel_for(
-      rates.size(),
-      [&](std::size_t i) {
-        RatePointResult& point = out[i];
-        point.rate = rates[i];
-        Workload w = base;
-        w.message_rate = rates[i];
-        point.model = PerformanceModel(topo, w, cfg.model).evaluate();
-        if (cfg.run_sim) {
-          sim::SimConfig sc = cfg.sim;
-          sc.workload = w;
-          sc.seed = cfg.sim.seed + static_cast<std::uint64_t>(i) * 0x9E3779B97F4A7C15ULL;
-          sim::Simulator simulator(topo, sc);
-          point.sim = simulator.run();
-          point.sim_run = true;
-        }
-      },
-      cfg.threads);
-  return out;
+  std::vector<SweepTask> tasks;
+  tasks.reserve(rates.size());
+  for (const double r : rates) tasks.push_back({r, sweep_point_seed(cfg.sim.seed, r)});
+  return sweep_tasks(topo, base, tasks, cfg);
 }
 
 }  // namespace quarc

@@ -5,9 +5,24 @@
 // saturation asymptote. This module (a) finds the model's saturation rate
 // by bisection so grids span the interesting region automatically, and
 // (b) evaluates model and simulator over a rate grid, one parallel task
-// per point (deterministic per-point seeds).
+// per point.
+//
+// Determinism contract: the result of a point is a pure function of
+// (topology, base workload, rate, per-point seed, solver/sim knobs). The
+// per-point seed is itself a pure function of the sweep's base seed and
+// the *rate* — not the point's position in the grid — so the same
+// (scenario, rate) pair is solved bit-identically wherever it appears:
+// in any grid, in any shard split, on any thread count. That invariant is
+// what makes (fingerprint, rate) a sound cache key (see sweep_cache.hpp).
+//
+// Sharded execution (SweepConfig::shards) partitions the task list into K
+// contiguous slices and runs them one after another, each through the
+// existing parallel_for workers. Concatenating the shard results restores
+// the input order exactly, so a sharded run is bit-identical to the
+// single-shard run — asserted by the sweep test-suite.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -24,7 +39,7 @@ struct RatePointResult {
   bool sim_run = false;
 
   /// Relative error of the model's multicast latency against simulation;
-  /// NaN when either side is unavailable.
+  /// NaN when either side is unavailable or non-finite (saturated rows).
   double multicast_error() const;
   /// Same for unicast latency.
   double unicast_error() const;
@@ -37,6 +52,24 @@ struct SweepConfig {
   ModelOptions model;
   bool run_sim = true;
   int threads = -1;  ///< parallel_for worker count (<=0: default)
+  /// Contiguous shard count for sweep execution (<=1: one shard). Results
+  /// are bit-identical for every shard count; sharding exists so large
+  /// grids can be chunked (and, via SweepTask, distributed) without
+  /// changing any answer.
+  int shards = 1;
+};
+
+/// Deterministic per-point simulator seed: a fixed avalanche mix of the
+/// sweep's base seed and the rate's bit pattern. Index-free by design —
+/// see the determinism contract above.
+std::uint64_t sweep_point_seed(std::uint64_t base_seed, double rate);
+
+/// One unit of sweep work: a rate plus the exact simulator seed to use.
+/// Produced by sweep_rates internally; exposed so cached sweeps can solve
+/// just their miss set with the same seeds a cold run would use.
+struct SweepTask {
+  double rate = 0.0;
+  std::uint64_t sim_seed = 0;
 };
 
 /// Largest per-node message rate for which the analytical model still
@@ -49,7 +82,15 @@ std::vector<double> rate_grid_to_saturation(const Topology& topo, const Workload
                                             int points, double fill = 0.9,
                                             ModelOptions options = {});
 
-/// Evaluates model (and optionally simulator) at every rate.
+/// Evaluates model (and optionally simulator) for every task, honouring
+/// cfg.shards and cfg.threads; cfg.sim.seed is ignored (each task carries
+/// its own seed).
+std::vector<RatePointResult> sweep_tasks(const Topology& topo, const Workload& base,
+                                         std::span<const SweepTask> tasks,
+                                         const SweepConfig& cfg);
+
+/// Evaluates model (and optionally simulator) at every rate, with
+/// per-point seeds sweep_point_seed(cfg.sim.seed, rate).
 std::vector<RatePointResult> sweep_rates(const Topology& topo, const Workload& base,
                                          std::span<const double> rates, const SweepConfig& cfg);
 

@@ -1,0 +1,121 @@
+#include "quarc/sweep/sweep_cache.hpp"
+
+#include <filesystem>
+#include <sstream>
+#include <utility>
+
+#include "quarc/util/error.hpp"
+
+namespace quarc {
+
+namespace {
+
+/// Canonical key for the rate half of a cache key: the same shortest
+/// round-trip text the serialisers use, so every representation of a rate
+/// maps to exactly one entry.
+std::string rate_key(double rate) { return json::format_number(rate); }
+
+}  // namespace
+
+SweepCache::SweepCache(std::string dir) : dir_(std::move(dir)) {
+  QUARC_REQUIRE(!dir_.empty(), "SweepCache: empty cache directory");
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  QUARC_REQUIRE(!ec, "SweepCache: cannot create cache directory '" + dir_ + "': " + ec.message());
+}
+
+std::string SweepCache::file_path(const ScenarioFingerprint& fp) const {
+  return dir_ + "/" + fp.hex() + ".jsonl";
+}
+
+void SweepCache::load_from_disk(const ScenarioFingerprint& fp, Shard& shard) {
+  std::ifstream in(file_path(fp));
+  if (!in.is_open()) return;  // nothing cached for this fingerprint yet
+  const std::string want_fp = fp.hex();
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    try {
+      const json::Value entry = json::Value::parse(line);
+      QUARC_REQUIRE(entry.at("schema").as_int() == kSweepCacheSchemaVersion,
+                    "cache entry schema mismatch");
+      QUARC_REQUIRE(entry.at("fp").as_string() == want_fp, "cache entry fingerprint mismatch");
+      // The canonical text is the real identity; the hash only names the
+      // file. This is what keeps a hash collision from serving another
+      // scenario's rows.
+      QUARC_REQUIRE(entry.at("c").as_string() == fp.canonical,
+                    "cache entry canonical-text mismatch (fingerprint hash collision)");
+      const bool mc = entry.at("mc").as_bool();
+      api::ResultRow row = api::row_from_json(entry.at("row"), mc);
+      shard.rows.insert_or_assign(rate_key(row.rate), std::move(row));
+      ++stats_.loaded_entries;
+    } catch (const std::exception&) {
+      // Truncated tail line, bit rot, foreign schema, colliding file name:
+      // whatever the cause, the entry is dropped and the point re-solved.
+      ++stats_.corrupt_entries;
+    }
+  }
+}
+
+SweepCache::Shard& SweepCache::shard_for(const ScenarioFingerprint& fp) {
+  Shard& shard = by_fingerprint_[fp.canonical];
+  if (!shard.loaded) {
+    if (!dir_.empty()) load_from_disk(fp, shard);
+    shard.loaded = true;
+  }
+  return shard;
+}
+
+std::optional<api::ResultRow> SweepCache::lookup(const ScenarioFingerprint& fp, double rate) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Shard& shard = shard_for(fp);
+  const auto it = shard.rows.find(rate_key(rate));
+  if (it == shard.rows.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  return it->second;
+}
+
+void SweepCache::store(const ScenarioFingerprint& fp, const api::ResultRow& row,
+                       bool has_multicast) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Shard& shard = shard_for(fp);
+  shard.rows.insert_or_assign(rate_key(row.rate), row);
+  ++stats_.stores;
+  if (dir_.empty()) return;
+  // Open-append-close per entry: a long-lived cache shared across many
+  // fingerprints (the bench env cache) must not hold one fd per file, and
+  // a crash can truncate at most the final line, which the loader detects
+  // and drops.
+  std::ofstream appender(file_path(fp), std::ios::app);
+  QUARC_REQUIRE(appender.is_open(),
+                "SweepCache: cannot open '" + file_path(fp) + "' for append");
+  json::Value entry = json::Value::object();
+  entry.set("schema", kSweepCacheSchemaVersion);
+  entry.set("fp", fp.hex());
+  entry.set("c", fp.canonical);
+  entry.set("mc", has_multicast);
+  entry.set("row", api::row_to_json(row));
+  appender << entry.dump() << "\n";
+}
+
+SweepCacheStats SweepCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void SweepCache::reset_stats() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  stats_ = SweepCacheStats{};
+}
+
+std::size_t SweepCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [hex, shard] : by_fingerprint_) n += shard.rows.size();
+  return n;
+}
+
+}  // namespace quarc

@@ -1,0 +1,103 @@
+// Sweep result cache keyed by (scenario fingerprint, rate).
+//
+// Repeated bench grids and CI smoke runs re-solve the same (topology,
+// pattern, M, alpha, rate) cells from scratch; this cache lets run_sweep
+// skip every point it has already solved. Soundness rests on two
+// invariants established elsewhere:
+//   * the fingerprint (fingerprint.hpp) names every knob that can change
+//     a solved point's bytes, and
+//   * a point's result is a pure function of (scenario, rate) — per-point
+//     seeds are rate-keyed, not index-keyed (sweep.hpp) — so a row cached
+//     from one grid is bit-identical to what any other grid would solve
+//     for the same rate.
+// A cache hit therefore returns the exact bytes a cold run would produce;
+// warm and cold runs serialise identically (asserted by the test-suite).
+//
+// Storage: an in-memory map, optionally backed by a directory of
+// JSON-lines files — one file per fingerprint hash, named <fp.hex()>.jsonl,
+// one self-describing line per solved point:
+//
+//   {"schema":1,"fp":"<hex>","c":"<canonical>","mc":<bool>,"row":{...}}
+//
+// Soundness does not rest on the 64-bit hash: the in-memory map is keyed
+// by the fingerprint's full canonical text, and every on-disk entry
+// carries that text and is compared against it on load, so even a true
+// hash collision (two scenarios sharing a .jsonl file) can only ever
+// degrade to a re-solve — never serve another scenario's rows.
+//
+// Lines are appended and flushed one write() at a time, so a crash leaves
+// at most one truncated line. On load, any line that fails to parse, has
+// the wrong schema, or names a different fingerprint is counted in
+// stats().corrupt_entries and skipped — a corrupt entry is re-solved,
+// never served. Duplicate rates keep the last line (the freshest solve).
+//
+// Thread safety: lookup/store are serialised by an internal mutex, so
+// concurrent Scenarios may share one cache; the parallel point solves
+// themselves never touch the cache (run_sweep consults it before and
+// stores after the fork-join).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "quarc/api/result_set.hpp"
+#include "quarc/sweep/fingerprint.hpp"
+
+namespace quarc {
+
+inline constexpr int kSweepCacheSchemaVersion = 1;
+
+struct SweepCacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t stores = 0;
+  std::int64_t loaded_entries = 0;   ///< rows restored from disk
+  std::int64_t corrupt_entries = 0;  ///< on-disk lines rejected and skipped
+};
+
+class SweepCache {
+ public:
+  /// In-memory cache (dies with the process).
+  SweepCache() = default;
+  /// Disk-backed cache under `dir` (created, recursively, if missing);
+  /// throws InvalidArgument when the directory cannot be created.
+  explicit SweepCache(std::string dir);
+
+  /// The solved row for (fp, rate), or nullopt. Counts a hit or a miss.
+  std::optional<api::ResultRow> lookup(const ScenarioFingerprint& fp, double rate);
+
+  /// Records a solved row (row.rate is the key's rate half);
+  /// `has_multicast` is persisted so a reload can restore the row's
+  /// NaN/inf conventions. Overwrites any previous entry for the key.
+  void store(const ScenarioFingerprint& fp, const api::ResultRow& row, bool has_multicast);
+
+  SweepCacheStats stats() const;
+  void reset_stats();
+
+  /// Rows currently held in memory (loaded + stored).
+  std::size_t size() const;
+  /// Backing directory; empty for an in-memory cache.
+  const std::string& dir() const { return dir_; }
+
+ private:
+  struct Shard {
+    bool loaded = false;  ///< disk file (if any) has been read
+    std::unordered_map<std::string, api::ResultRow> rows;  ///< rate key -> row
+  };
+
+  Shard& shard_for(const ScenarioFingerprint& fp);
+  void load_from_disk(const ScenarioFingerprint& fp, Shard& shard);
+  std::string file_path(const ScenarioFingerprint& fp) const;
+
+  std::string dir_;
+  /// Keyed by ScenarioFingerprint::canonical (not the hash) — see above.
+  std::unordered_map<std::string, Shard> by_fingerprint_;
+  SweepCacheStats stats_;
+  mutable std::mutex mutex_;
+};
+
+}  // namespace quarc

@@ -119,6 +119,21 @@ std::string escape(std::string_view s) {
   return out;
 }
 
+std::string format_number(double v) {
+  QUARC_REQUIRE(std::isfinite(v), "json: cannot serialise a non-finite number");
+  char buf[40];
+  std::to_chars_result r{buf, std::errc{}};
+  // Integer-valued doubles render without a point; everything else gets
+  // std::to_chars' shortest round-trip form. Locale-independent either way.
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    r = std::to_chars(buf, buf + sizeof buf, static_cast<std::int64_t>(v));
+  } else {
+    r = std::to_chars(buf, buf + sizeof buf, v);
+  }
+  QUARC_ASSERT(r.ec == std::errc{}, "number formatting buffer overflow");
+  return std::string(buf, r.ptr);
+}
+
 void Value::write_number(std::ostream& os) const {
   char buf[40];
   std::to_chars_result r{buf, std::errc{}};
@@ -129,18 +144,9 @@ void Value::write_number(std::ostream& os) const {
     case NumKind::UInt:
       r = std::to_chars(buf, buf + sizeof buf, uint_);
       break;
-    case NumKind::Double: {
-      QUARC_REQUIRE(std::isfinite(num_), "json: cannot serialise a non-finite number");
-      // Integer-valued doubles render without a point; everything else gets
-      // std::to_chars' shortest round-trip form. Locale-independent either
-      // way.
-      if (num_ == std::floor(num_) && std::abs(num_) < 1e15) {
-        r = std::to_chars(buf, buf + sizeof buf, static_cast<std::int64_t>(num_));
-      } else {
-        r = std::to_chars(buf, buf + sizeof buf, num_);
-      }
-      break;
-    }
+    case NumKind::Double:
+      os << format_number(num_);
+      return;
   }
   QUARC_ASSERT(r.ec == std::errc{}, "number formatting buffer overflow");
   os.write(buf, r.ptr - buf);

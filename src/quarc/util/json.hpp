@@ -117,4 +117,13 @@ class Value {
 /// JSON string escaping (quotes not included); exposed for tests.
 std::string escape(std::string_view s);
 
+/// Locale-independent shortest-round-trip rendering of a finite double,
+/// exactly as Value::write emits numbers (integer-valued doubles render
+/// without a decimal point). This is the canonical textual form of a
+/// double everywhere one is used as part of a key or a diffable record:
+/// scenario fingerprints, sweep-cache rate keys and the ResultSet CSV
+/// writer all share it, so the same value never serialises two ways.
+/// Throws InvalidArgument on a non-finite input.
+std::string format_number(double v);
+
 }  // namespace quarc::json

@@ -1,0 +1,221 @@
+#include "quarc/sweep/fingerprint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "quarc/api/registry.hpp"
+#include "quarc/api/scenario.hpp"
+#include "quarc/traffic/pattern.hpp"
+
+namespace quarc {
+namespace {
+
+api::Scenario canonical_mesh() {
+  api::Scenario s;
+  s.topology("mesh:8x8").pattern("random:6").alpha(0.05).message_length(32).seed(7);
+  return s;
+}
+
+// ---------------------------------------------------------------- goldens
+//
+// Pinned hex digests for a handful of canonical scenarios. These must
+// never change silently: a difference means either the canonical format
+// changed (bump kFingerprintSchemaVersion and re-pin) or scenario
+// assembly drifted (a bug — stale on-disk caches would be served for a
+// different experiment).
+
+TEST(Fingerprint, GoldenCanonicalTextForDefaultScenario) {
+  api::Scenario s;  // quarc:16, no pattern, defaults everywhere
+  const ScenarioFingerprint fp = s.fingerprint();
+  EXPECT_EQ(fp.canonical,
+            "fp_schema=1\n"
+            "topology=quarc:16\n"
+            "topology_digest=spec\n"
+            "pattern=none\n"
+            "pattern_seed=1\n"
+            "pattern_digest=none\n"
+            "alpha=0\n"
+            "message_length=32\n"
+            "seed=1\n"
+            "run_sim=true\n"
+            "warmup_cycles=5000\n"
+            "measure_cycles=30000\n"
+            "drain_cap_cycles=2000000\n"
+            "buffer_depth=2\n"
+            "batch_count=16\n"
+            "max_queue_length=20000\n"
+            "stall_watchdog=1000\n"
+            "collect_stream_samples=false\n"
+            "check_invariants=false\n"
+            "invariant_check_interval=64\n"
+            "solver_max_iterations=20000\n"
+            "solver_tolerance=1e-09\n"
+            "solver_damping=0.5\n"
+            "solver_utilization_guard=0.999999\n");
+  EXPECT_EQ(fp.hash, fnv1a64(fp.canonical));
+}
+
+TEST(Fingerprint, GoldenDigests) {
+  api::Scenario mesh = canonical_mesh();
+  EXPECT_EQ(mesh.fingerprint().hex(), "db6fbd6e0f27cc1e");
+
+  api::Scenario cube;
+  cube.topology("hypercube:4").pattern("localized:0.2:0.8:6").alpha(0.1).message_length(32).seed(
+      11);
+  EXPECT_EQ(cube.fingerprint().hex(), "0e94398a0adbc1c3");
+
+  api::Scenario quarc;
+  quarc.topology("quarc:16").pattern("broadcast").alpha(0.05).message_length(16).seed(1);
+  EXPECT_EQ(quarc.fingerprint().hex(), "38796a9cec3cd8b6");
+}
+
+// ----------------------------------------------------------- stability
+
+TEST(Fingerprint, StableAcrossRepeatedRunsAndThreadCounts) {
+  const ScenarioFingerprint a = canonical_mesh().fingerprint();
+  const ScenarioFingerprint b = canonical_mesh().fingerprint();
+  EXPECT_EQ(a, b);
+
+  // Thread and shard counts change how a sweep executes, never what a
+  // point computes — they are excluded from the fingerprint by contract.
+  api::Scenario threaded = canonical_mesh();
+  threaded.threads(1);
+  EXPECT_EQ(threaded.fingerprint(), a);
+  threaded.threads(8);
+  EXPECT_EQ(threaded.fingerprint(), a);
+  threaded.shards(7);
+  EXPECT_EQ(threaded.fingerprint(), a);
+}
+
+TEST(Fingerprint, RateIsExcluded) {
+  api::Scenario s = canonical_mesh();
+  const ScenarioFingerprint base = s.fingerprint();
+  s.rate(0.0123);
+  EXPECT_EQ(s.fingerprint(), base);  // rate is the cache key's other half
+}
+
+TEST(Fingerprint, EverySingleKnobChangeChangesTheFingerprint) {
+  using Mutator = void (*)(api::Scenario&);
+  const std::vector<std::pair<const char*, Mutator>> knobs = {
+      {"topology", [](api::Scenario& s) { s.topology("mesh:4x4"); }},
+      {"pattern", [](api::Scenario& s) { s.pattern("random:5"); }},
+      {"pattern_family", [](api::Scenario& s) { s.pattern("uniform:6"); }},
+      {"pattern_seed", [](api::Scenario& s) { s.pattern_seed(99); }},
+      {"alpha", [](api::Scenario& s) { s.alpha(0.1); }},
+      {"message_length", [](api::Scenario& s) { s.message_length(64); }},
+      {"seed", [](api::Scenario& s) { s.seed(8); }},
+      {"with_sim", [](api::Scenario& s) { s.with_sim(false); }},
+      {"warmup", [](api::Scenario& s) { s.warmup(1234); }},
+      {"measure", [](api::Scenario& s) { s.measure(4321); }},
+      {"drain_cap", [](api::Scenario& s) { s.sim_config().drain_cap_cycles = 5; }},
+      {"buffer_depth", [](api::Scenario& s) { s.sim_config().buffer_depth = 3; }},
+      {"batch_count", [](api::Scenario& s) { s.sim_config().batch_count = 8; }},
+      {"max_queue_length", [](api::Scenario& s) { s.sim_config().max_queue_length = 7; }},
+      {"stall_watchdog", [](api::Scenario& s) { s.sim_config().stall_watchdog = 2; }},
+      {"collect_stream_samples",
+       [](api::Scenario& s) { s.sim_config().collect_stream_samples = true; }},
+      {"check_invariants", [](api::Scenario& s) { s.sim_config().check_invariants = true; }},
+      {"invariant_check_interval",
+       [](api::Scenario& s) { s.sim_config().invariant_check_interval = 128; }},
+      {"solver_max_iterations",
+       [](api::Scenario& s) { s.model_options().solver.max_iterations = 999; }},
+      {"solver_tolerance", [](api::Scenario& s) { s.model_options().solver.tolerance = 1e-7; }},
+      {"solver_damping", [](api::Scenario& s) { s.model_options().solver.damping = 0.25; }},
+      {"solver_utilization_guard",
+       [](api::Scenario& s) { s.model_options().solver.utilization_guard = 0.97; }},
+  };
+
+  const ScenarioFingerprint base = canonical_mesh().fingerprint();
+  std::set<std::uint64_t> hashes = {base.hash};
+  for (const auto& [name, mutate] : knobs) {
+    api::Scenario s = canonical_mesh();
+    mutate(s);
+    const ScenarioFingerprint fp = s.fingerprint();
+    EXPECT_NE(fp.hash, base.hash) << "knob '" << name << "' did not change the fingerprint";
+    hashes.insert(fp.hash);
+  }
+  // All mutants are pairwise distinct too (no accidental canonical-text
+  // collisions between knobs).
+  EXPECT_EQ(hashes.size(), knobs.size() + 1);
+}
+
+TEST(Fingerprint, ExplicitPatternsAreDigestedByDestinations) {
+  // Two escape-hatch patterns with identical describe() strings but
+  // different destination sets must not collide: the fingerprint digests
+  // the materialised sets, not just the spec text.
+  auto scenario_with = [](std::vector<std::vector<NodeId>> dests) {
+    api::Scenario s;
+    s.topology("quarc:16").alpha(0.05).message_length(16).seed(3);
+    s.pattern(std::make_shared<ExplicitPattern>(std::move(dests), "custom"));
+    return s;
+  };
+  std::vector<std::vector<NodeId>> a(16), b(16);
+  for (NodeId s = 0; s < 16; ++s) {
+    a[static_cast<std::size_t>(s)] = {static_cast<NodeId>((s + 1) % 16)};
+    b[static_cast<std::size_t>(s)] = {static_cast<NodeId>((s + 2) % 16)};
+  }
+  const ScenarioFingerprint fa = scenario_with(a).fingerprint();
+  const ScenarioFingerprint fb = scenario_with(b).fingerprint();
+  EXPECT_EQ(fa.canonical.size(), fb.canonical.size());
+  EXPECT_NE(fa.hash, fb.hash);
+}
+
+TEST(Fingerprint, AdoptedTopologiesAreDigestedStructurally) {
+  // Escape-hatch topologies are keyed by structure, not by their name()
+  // string: two topology objects presented under the same spec text but
+  // with different wiring must fingerprint differently, or a persistent
+  // cache would serve one topology's latencies for the other.
+  SweepConfig cfg;
+  auto inputs_for = [&](const Topology& topo) {
+    FingerprintInputs in;
+    in.topology_spec = "custom-network";  // same label for both
+    in.topology_from_spec = false;
+    in.topology = &topo;
+    in.pattern_spec = "none";
+    in.num_nodes = topo.num_nodes();
+    in.message_length = 32;
+    in.seed = 1;
+    in.sweep = &cfg;
+    return in;
+  };
+  const auto mesh = api::make_topology("mesh:4x4");
+  const auto torus = api::make_topology("torus:4x4");
+  const ScenarioFingerprint fm = fingerprint_scenario(inputs_for(*mesh));
+  const ScenarioFingerprint ft = fingerprint_scenario(inputs_for(*torus));
+  EXPECT_NE(fm.hash, ft.hash);
+
+  // Same structure -> same fingerprint (digesting is deterministic), and
+  // the Scenario escape hatch routes through the structural digest.
+  const ScenarioFingerprint fm2 = fingerprint_scenario(inputs_for(*api::make_topology("mesh:4x4")));
+  EXPECT_EQ(fm.hash, fm2.hash);
+
+  api::Scenario adopted;
+  adopted.topology(api::make_topology("quarc:16"));
+  api::Scenario by_spec;
+  by_spec.topology("quarc:16");
+  EXPECT_NE(adopted.fingerprint(), by_spec.fingerprint());  // "spec" vs digest
+  EXPECT_NE(adopted.fingerprint().canonical.find("topology_digest="), std::string::npos);
+}
+
+TEST(Fingerprint, HexIsFixedWidthLowercase) {
+  ScenarioFingerprint fp;
+  fp.hash = 0xABCULL;
+  EXPECT_EQ(fp.hex(), "0000000000000abc");
+  fp.hash = 0xFFFFFFFFFFFFFFFFULL;
+  EXPECT_EQ(fp.hex(), "ffffffffffffffff");
+  fp.hash = 0;
+  EXPECT_EQ(fp.hex(), "0000000000000000");
+}
+
+TEST(Fingerprint, Fnv1a64MatchesReferenceVectors) {
+  // Published FNV-1a test vectors.
+  EXPECT_EQ(fnv1a64(""), 0xCBF29CE484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xAF63DC4C8601EC8CULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171F73967E8ULL);
+}
+
+}  // namespace
+}  // namespace quarc

@@ -120,5 +120,23 @@ TEST(Json, TypeMismatchThrows) {
   EXPECT_THROW(v.as_string(), InvalidArgument);
 }
 
+TEST(Json, FormatNumberIsCanonicalAndExact) {
+  // format_number is the canonical double rendering shared by the JSON
+  // writer, the CSV writer, fingerprint canonical text and sweep-cache
+  // rate keys; it must match Value::write byte for byte and survive a
+  // round-trip through the parser.
+  EXPECT_EQ(format_number(0.004), "0.004");
+  EXPECT_EQ(format_number(1.0), "1");       // integer-valued: no point
+  EXPECT_EQ(format_number(-3.0), "-3");
+  EXPECT_EQ(format_number(1e-9), "1e-09");
+  EXPECT_EQ(format_number(0.1), "0.1");     // shortest form, not 0.1000000000000000055...
+  for (const double v : {0.0012345678901234567, 41.256789123456789, 1e300, -2.5e-17}) {
+    EXPECT_EQ(format_number(v), Value(v).dump());
+    EXPECT_EQ(Value::parse(format_number(v)).as_double(), v);  // exact round-trip
+  }
+  EXPECT_THROW(format_number(std::numeric_limits<double>::infinity()), InvalidArgument);
+  EXPECT_THROW(format_number(std::nan("")), InvalidArgument);
+}
+
 }  // namespace
 }  // namespace quarc::json

@@ -1,0 +1,223 @@
+#include "quarc/api/result_diff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace quarc::api {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Two-point model+sim baseline resembling a small sweep document.
+ResultSet baseline_set() {
+  ResultSet rs;
+  rs.topology = "quarc:16";
+  rs.topology_name = "quarc-16";
+  rs.nodes = 16;
+  rs.ports = 4;
+  rs.diameter = 4;
+  rs.pattern = "random:4";
+  rs.alpha = 0.05;
+  rs.message_length = 32;
+  rs.seed = 42;
+  rs.workload = "w";
+
+  for (const auto& [rate, model_mc, sim_mc] :
+       {std::tuple{0.002, 50.0, 51.0}, std::tuple{0.004, 80.0, 82.0}}) {
+    ResultRow r;
+    r.rate = rate;
+    r.model_run = true;
+    r.model_status = "converged";
+    r.model_unicast_latency = model_mc - 10.0;
+    r.model_multicast_latency = model_mc;
+    r.sim_run = true;
+    r.sim_completed = true;
+    r.sim_stable = true;
+    r.sim_unicast_latency = sim_mc - 10.0;
+    r.sim_unicast_count = 1000;
+    r.sim_multicast_latency = sim_mc;
+    r.sim_multicast_count = 100;
+    rs.rows.push_back(r);
+  }
+  return rs;
+}
+
+std::string report_text(const DiffReport& report) {
+  std::ostringstream os;
+  write_diff_report(report, os);
+  return os.str();
+}
+
+// The ISSUE's golden trio: identical, regressed, and improved pairs.
+
+TEST(ResultDiff, IdenticalPairIsClean) {
+  const ResultSet base = baseline_set();
+  const DiffReport report = diff_result_sets(base, base);
+  EXPECT_FALSE(report.has_regression());
+  EXPECT_TRUE(report.entries.empty());
+  EXPECT_TRUE(report.scenarios_match);
+  // 2 rows x (4 latencies + sim_stable/sim_completed + model_run/sim_run).
+  EXPECT_EQ(report.fields_compared, 16);
+  EXPECT_EQ(report_text(report),
+            "compared 16 fields: 0 regressions, 0 improvements, 16 within tolerance\n");
+}
+
+TEST(ResultDiff, RegressedPairIsFlagged) {
+  const ResultSet base = baseline_set();
+  ResultSet cand = base;
+  cand.rows[1].model_multicast_latency = 88.0;  // 80 -> 88: +10%
+  const DiffReport report = diff_result_sets(base, cand, {.tolerance = 0.05});
+  EXPECT_TRUE(report.has_regression());
+  ASSERT_EQ(report.entries.size(), 1u);
+  const DiffEntry& e = report.entries[0];
+  EXPECT_EQ(e.field, "model_multicast_latency");
+  EXPECT_EQ(e.rate, 0.004);
+  EXPECT_EQ(e.status, DiffStatus::Regressed);
+  EXPECT_NEAR(e.rel_change, 0.1, 1e-12);
+  EXPECT_EQ(report_text(report),
+            "  rate=0.004  model_multicast_latency  80 -> 88 (+10.0%)  REGRESSED\n"
+            "compared 16 fields: 1 regression, 0 improvements, 15 within tolerance\n");
+}
+
+TEST(ResultDiff, ImprovedPairIsNotARegression) {
+  const ResultSet base = baseline_set();
+  ResultSet cand = base;
+  cand.rows[0].sim_multicast_latency = 45.9;  // 51 -> 45.9: -10%
+  const DiffReport report = diff_result_sets(base, cand, {.tolerance = 0.05});
+  EXPECT_FALSE(report.has_regression());
+  EXPECT_EQ(report.improvements, 1);
+  ASSERT_EQ(report.entries.size(), 1u);
+  EXPECT_EQ(report.entries[0].status, DiffStatus::Improved);
+  EXPECT_EQ(report_text(report),
+            "  rate=0.002  sim_multicast_latency  51 -> 45.9 (-10.0%)  improved\n"
+            "compared 16 fields: 0 regressions, 1 improvement, 15 within tolerance\n");
+}
+
+TEST(ResultDiff, ChangesWithinToleranceAreNoise) {
+  const ResultSet base = baseline_set();
+  ResultSet cand = base;
+  cand.rows[0].sim_multicast_latency *= 1.01;  // +1% < 2% default tolerance
+  cand.rows[1].model_unicast_latency *= 0.99;
+  const DiffReport report = diff_result_sets(base, cand);
+  EXPECT_TRUE(report.entries.empty());
+  EXPECT_FALSE(report.has_regression());
+}
+
+TEST(ResultDiff, NewSaturationIsAlwaysARegression) {
+  const ResultSet base = baseline_set();
+  ResultSet cand = base;
+  cand.rows[1].model_multicast_latency = kInf;
+  const DiffReport report = diff_result_sets(base, cand, {.tolerance = 1e9});
+  EXPECT_TRUE(report.has_regression());
+  ASSERT_EQ(report.entries.size(), 1u);
+  EXPECT_TRUE(std::isinf(report.entries[0].rel_change));
+  EXPECT_NE(report_text(report).find("80 -> saturated (saturation)  REGRESSED"),
+            std::string::npos);
+
+  // And the reverse direction is an improvement.
+  const DiffReport reverse = diff_result_sets(cand, base, {.tolerance = 1e9});
+  EXPECT_FALSE(reverse.has_regression());
+  EXPECT_EQ(reverse.improvements, 1);
+}
+
+TEST(ResultDiff, BothSaturatedIsUnchanged) {
+  ResultSet base = baseline_set();
+  base.rows[1].model_multicast_latency = kInf;
+  const DiffReport report = diff_result_sets(base, base);
+  EXPECT_TRUE(report.entries.empty());
+}
+
+TEST(ResultDiff, LostMeasurementsAreRegressionsAndBothNaNIsNotComparable) {
+  ResultSet base = baseline_set();
+  ResultSet cand = base;
+  // Absent on both sides: not comparable, not an entry.
+  base.rows[0].model_multicast_latency = std::nan("");
+  cand.rows[0].model_multicast_latency = std::nan("");
+  // Whole sim side absent at rate 0: those fields are skipped entirely.
+  cand.rows[0].sim_run = false;
+  // Present in the baseline, gone in the candidate: a regression at any
+  // tolerance (this is how a newly-aborting simulation reads).
+  cand.rows[1].model_multicast_latency = std::nan("");
+  const DiffReport report = diff_result_sets(base, cand, {.tolerance = 1e9});
+  EXPECT_TRUE(report.has_regression());
+  // Two regressions: row0 lost its whole sim section (sim_run flag), and
+  // row1 lost the model multicast measurement.
+  ASSERT_EQ(report.entries.size(), 2u);
+  EXPECT_EQ(report.entries[0].field, "sim_run");
+  EXPECT_EQ(report.entries[0].status, DiffStatus::Regressed);
+  EXPECT_EQ(report.entries[1].field, "model_multicast_latency");
+  EXPECT_EQ(report.entries[1].status, DiffStatus::Regressed);
+  EXPECT_NE(report_text(report).find("80 -> -  REGRESSED"), std::string::npos);
+  // row0: model_run + sim_run + model_unicast (multicast both-NaN, sim
+  // latencies/flags skipped) = 3; row1: 2 section flags + 4 latencies +
+  // 2 sim flags = 8.
+  EXPECT_EQ(report.fields_compared, 11);
+}
+
+TEST(ResultDiff, NewlyUnstableSimulationIsARegression) {
+  // The sim-side saturation symptom: the candidate aborts as unstable at
+  // a rate the baseline handled. Latencies vanish (finite -> NaN) and the
+  // stability flags flip — all of it must gate, at any tolerance.
+  const ResultSet base = baseline_set();
+  ResultSet cand = base;
+  cand.rows[1].sim_stable = false;
+  cand.rows[1].sim_completed = false;
+  cand.rows[1].sim_unicast_latency = std::nan("");
+  cand.rows[1].sim_unicast_count = 0;
+  cand.rows[1].sim_multicast_latency = std::nan("");
+  cand.rows[1].sim_multicast_count = 0;
+  const DiffReport report = diff_result_sets(base, cand, {.tolerance = 1e9});
+  EXPECT_TRUE(report.has_regression());
+  EXPECT_EQ(report.regressions, 4);  // stable, completed, two lost latencies
+  const std::string text = report_text(report);
+  EXPECT_NE(text.find("sim_stable"), std::string::npos);
+  EXPECT_NE(text.find("sim_completed"), std::string::npos);
+
+  // Model-only mode ignores the whole sim side, flags included.
+  const DiffReport model_only =
+      diff_result_sets(base, cand, {.tolerance = 1e9, .compare_sim = false});
+  EXPECT_FALSE(model_only.has_regression());
+}
+
+TEST(ResultDiff, RemovedRatesGateAddedRatesAreReported) {
+  const ResultSet base = baseline_set();
+  ResultSet cand = base;
+  cand.rows[0].rate = 0.003;  // 0.002 removed, 0.003 added
+  const DiffReport report = diff_result_sets(base, cand);
+  ASSERT_EQ(report.entries.size(), 2u);
+  EXPECT_EQ(report.entries[0].rate, 0.002);
+  EXPECT_EQ(report.entries[0].status, DiffStatus::Removed);
+  EXPECT_EQ(report.entries[1].rate, 0.003);
+  EXPECT_EQ(report.entries[1].status, DiffStatus::Added);
+  // Lost coverage gates: a candidate truncated at exactly the regressing
+  // rates must not exit 0. New extra rates are merely reported.
+  EXPECT_TRUE(report.has_regression());
+  EXPECT_EQ(report.regressions, 1);
+  EXPECT_NE(report_text(report).find("row removed"), std::string::npos);
+  // The removed row is not a field comparison: the matched row's 8 fields
+  // are all within tolerance.
+  EXPECT_NE(report_text(report).find("8 within tolerance"), std::string::npos);
+}
+
+TEST(ResultDiff, ScenarioMismatchIsFlagged) {
+  const ResultSet base = baseline_set();
+  ResultSet cand = base;
+  cand.seed = 7;
+  const DiffReport report = diff_result_sets(base, cand);
+  EXPECT_FALSE(report.scenarios_match);
+  EXPECT_NE(report_text(report).find("different scenarios"), std::string::npos);
+}
+
+TEST(ResultDiff, ModelOnlyModeIgnoresSimFields) {
+  const ResultSet base = baseline_set();
+  ResultSet cand = base;
+  cand.rows[0].sim_multicast_latency = 500.0;  // huge sim regression
+  const DiffReport report = diff_result_sets(base, cand, {.tolerance = 0.02, .compare_sim = false});
+  EXPECT_FALSE(report.has_regression());
+  EXPECT_EQ(report.fields_compared, 6);  // model_run flag + 2 latencies per row
+}
+
+}  // namespace
+}  // namespace quarc::api

@@ -208,6 +208,119 @@ TEST(ResultSet, CsvGoldenOutput) {
   EXPECT_EQ(row2, "0.02,saturated,inf,inf,1,4,no,no,,inf,,inf,0.97,61000");
 }
 
+TEST(ResultSet, CsvNumbersMatchJsonNumbersExactly) {
+  // The CSV writer must use the same shortest-round-trip formatting as
+  // the JSON writer: a value needing more than 6 significant digits used
+  // to be silently rounded in CSV while JSON kept it exact.
+  ResultSet rs = sample_set();
+  rs.rows.resize(1);
+  rs.rows[0].rate = 0.0012345678901234567;
+  rs.rows[0].sim_unicast_latency = 41.256789123456789;
+  std::ostringstream os;
+  rs.write_csv(os);
+  std::istringstream is(os.str());
+  std::string meta, header, row;
+  std::getline(is, meta);
+  std::getline(is, header);
+  std::getline(is, row);
+
+  const std::string rate_cell = row.substr(0, row.find(','));
+  EXPECT_EQ(rate_cell, json::format_number(rs.rows[0].rate));
+  EXPECT_EQ(std::stod(rate_cell), rs.rows[0].rate);  // survives a parse back
+  EXPECT_NE(row.find(json::format_number(rs.rows[0].sim_unicast_latency)), std::string::npos)
+      << row;
+}
+
+TEST(ResultSet, CsvAndJsonAgreeOnNonFiniteConventions) {
+  // The saturated row must read consistently from both serialisations:
+  // +inf spelled "inf" in CSV <-> null restored to +inf from JSON; NaN as
+  // an empty CSV cell <-> null restored to NaN from JSON.
+  const ResultSet rs = sample_set();
+  std::ostringstream json_os;
+  rs.write_json(json_os);
+  const ResultSet back = ResultSet::from_json_text(json_os.str());
+  EXPECT_TRUE(std::isinf(back.rows[1].model_unicast_latency));
+  EXPECT_TRUE(std::isnan(back.rows[1].sim_unicast_latency));
+
+  std::ostringstream csv_os;
+  rs.write_csv(csv_os);
+  const std::string csv = csv_os.str();
+  const std::string last_row = csv.substr(csv.rfind("0.02,"));
+  EXPECT_NE(last_row.find(",inf,"), std::string::npos) << last_row;  // +inf spelled out
+  EXPECT_NE(last_row.find(",,"), std::string::npos) << last_row;     // NaN as empty cell
+}
+
+TEST(ResultSet, MergeConcatenatesSortsAndSumsCounters) {
+  const ResultSet full = sample_set();
+  ResultSet lo = full, hi = full;
+  lo.rows = {full.rows[0]};
+  hi.rows = {full.rows[1]};
+  lo.cache_hits = 1;
+  hi.cache_misses = 1;
+
+  // Shards presented out of order still merge into rate order.
+  const ResultSet merged = merge_result_sets(std::vector<ResultSet>{hi, lo});
+  ASSERT_EQ(merged.rows.size(), 2u);
+  EXPECT_EQ(merged.rows[0].rate, full.rows[0].rate);
+  EXPECT_EQ(merged.rows[1].rate, full.rows[1].rate);
+  EXPECT_EQ(merged.cache_hits, 1);
+  EXPECT_EQ(merged.cache_misses, 1);
+
+  std::ostringstream a, b;
+  merged.write_json(a);
+  full.write_json(b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(ResultSet, MergeRejectsMismatchedScenarios) {
+  const ResultSet a = sample_set();
+  ResultSet b = sample_set();
+  b.seed = 99;
+  EXPECT_THROW(merge_result_sets(std::vector<ResultSet>{a, b}), InvalidArgument);
+  EXPECT_THROW(merge_result_sets(std::span<const ResultSet>{}), InvalidArgument);
+}
+
+TEST(ResultSet, MergeRejectsOverlappingShardGrids) {
+  // Two shards both containing rate 0.004: an operator mis-split. The
+  // duplicate row would break the byte-identical-to-unsharded contract
+  // and downstream rate-keyed consumers, so merge refuses.
+  const ResultSet a = sample_set();
+  ResultSet b = sample_set();
+  b.rows.resize(1);  // b = {0.004}, a = {0.004, 0.02}
+  EXPECT_THROW(merge_result_sets(std::vector<ResultSet>{a, b}), InvalidArgument);
+}
+
+TEST(ResultSet, ExternallyShardedScenariosMergeToTheUnshardedBytes) {
+  // The distributed workflow: two Scenario instances (think: two
+  // machines) each sweep half the grid; merging their documents must
+  // reproduce the single-machine run byte for byte. Rate-keyed per-point
+  // seeds are what make this possible with simulation enabled.
+  auto scenario = [] {
+    Scenario s;
+    s.topology("quarc:16")
+        .pattern("random:4")
+        .alpha(0.05)
+        .message_length(16)
+        .seed(9)
+        .warmup(500)
+        .measure(3000);
+    return s;
+  };
+  const std::vector<double> grid = {0.001, 0.002, 0.003, 0.004};
+  Scenario whole = scenario();
+  std::ostringstream expected;
+  whole.run_sweep(grid).write_json(expected);
+
+  Scenario left = scenario(), right = scenario();
+  const std::vector<ResultSet> shards = {
+      left.run_sweep(std::vector<double>{0.001, 0.002}),
+      right.run_sweep(std::vector<double>{0.003, 0.004}),
+  };
+  std::ostringstream merged;
+  merge_result_sets(shards).write_json(merged);
+  EXPECT_EQ(merged.str(), expected.str());
+}
+
 TEST(ResultSet, SchemaMismatchIsRejected) {
   ResultSet rs = sample_set();
   json::Value doc = rs.to_json();

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <set>
+#include <sstream>
 
+#include "quarc/api/scenario.hpp"
 #include "quarc/topo/quarc.hpp"
 #include "quarc/traffic/pattern.hpp"
 
@@ -146,6 +149,110 @@ TEST(Sweep, ResultsAreBitIdenticalAcrossThreadCounts) {
     EXPECT_EQ(a[i].sim.flits_injected, b[i].sim.flits_injected);
     EXPECT_EQ(a[i].sim.flits_absorbed, b[i].sim.flits_absorbed);
   }
+}
+
+// Per-point seeds are a pure function of (base seed, rate): grid position,
+// shard split and thread count can never change which simulation a point
+// runs. This is the invariant (fingerprint, rate) cache keys rest on.
+TEST(Sweep, PointSeedsAreRateKeyedAndWellMixed) {
+  EXPECT_EQ(sweep_point_seed(1, 0.004), sweep_point_seed(1, 0.004));
+  EXPECT_NE(sweep_point_seed(1, 0.004), sweep_point_seed(2, 0.004));
+  std::set<std::uint64_t> seeds;
+  for (int i = 1; i <= 100; ++i) {
+    seeds.insert(sweep_point_seed(42, 1e-3 * i));
+  }
+  EXPECT_EQ(seeds.size(), 100u);  // no collisions across a realistic grid
+}
+
+// The seed's index-freedom made observable: the same rate solved inside
+// two different grids yields bit-identical simulation results.
+TEST(Sweep, SameRateInDifferentGridsSolvesIdentically) {
+  QuarcTopology topo(16);
+  const Workload w = base_load(16);
+  SweepConfig cfg;
+  cfg.sim.warmup_cycles = 500;
+  cfg.sim.measure_cycles = 4000;
+  const std::vector<double> grid_a = {0.001, 0.003};
+  const std::vector<double> grid_b = {0.003, 0.002, 0.004};
+  const auto a = sweep_rates(topo, w, grid_a, cfg);
+  const auto b = sweep_rates(topo, w, grid_b, cfg);
+  // 0.003 is a[1] and b[0]; every measurement must agree exactly.
+  EXPECT_EQ(a[1].sim.unicast_latency.mean, b[0].sim.unicast_latency.mean);
+  EXPECT_EQ(a[1].sim.multicast_latency.mean, b[0].sim.multicast_latency.mean);
+  EXPECT_EQ(a[1].sim.messages_generated, b[0].sim.messages_generated);
+  EXPECT_EQ(a[1].sim.cycles_run, b[0].sim.cycles_run);
+}
+
+// Sharded execution splits the grid into contiguous slices; the merged
+// result must be byte-identical to the single-shard run for K = 1, 2, 7
+// (7 > point count exercises the degenerate one-point-per-shard split).
+TEST(Sweep, ShardSplitsAreByteIdenticalAcrossK) {
+  auto scenario = [] {
+    api::Scenario s;
+    s.topology("quarc:16")
+        .pattern("random:4")
+        .alpha(0.05)
+        .message_length(16)
+        .seed(5)
+        .warmup(500)
+        .measure(4000);
+    return s;
+  };
+  const std::vector<double> rates = {0.001, 0.002, 0.003, 0.004, 0.005};
+  std::string reference;
+  for (const int k : {1, 2, 7}) {
+    api::Scenario s = scenario();
+    s.shards(k);
+    std::ostringstream os;
+    s.run_sweep(rates).write_json(os);
+    if (k == 1) {
+      reference = os.str();
+    } else {
+      EXPECT_EQ(os.str(), reference) << "shard count " << k;
+    }
+  }
+}
+
+// RatePointResult error accessors at the saturation boundary: whenever
+// either side of the comparison is unavailable or non-finite the error is
+// NaN — never inf, never a garbage division.
+TEST(Sweep, ErrorsAreNaNAtSaturationBoundary) {
+  RatePointResult p;
+  p.rate = 0.02;
+  p.model.status = SolveStatus::Saturated;
+  p.model.avg_unicast_latency = std::numeric_limits<double>::infinity();
+  p.model.avg_multicast_latency = std::numeric_limits<double>::infinity();
+  p.model.has_multicast = true;
+
+  // No simulation at all -> NaN.
+  EXPECT_TRUE(std::isnan(p.unicast_error()));
+  EXPECT_TRUE(std::isnan(p.multicast_error()));
+
+  // Simulation ran but measured nothing (aborted as unstable) -> NaN.
+  p.sim_run = true;
+  p.sim.completed = false;
+  p.sim.unicast_latency.count = 0;
+  p.sim.multicast_latency.count = 0;
+  EXPECT_TRUE(std::isnan(p.unicast_error()));
+  EXPECT_TRUE(std::isnan(p.multicast_error()));
+
+  // Simulation measured samples but the model side is +inf -> still NaN
+  // (a saturated model has no finite prediction to compare).
+  p.sim.unicast_latency.count = 100;
+  p.sim.unicast_latency.mean = 250.0;
+  p.sim.multicast_latency.count = 10;
+  p.sim.multicast_latency.mean = 300.0;
+  EXPECT_TRUE(std::isnan(p.unicast_error()));
+  EXPECT_TRUE(std::isnan(p.multicast_error()));
+
+  // Degenerate sim mean (<= 0) -> NaN rather than a division blow-up.
+  p.model.avg_unicast_latency = 40.0;
+  p.sim.unicast_latency.mean = 0.0;
+  EXPECT_TRUE(std::isnan(p.unicast_error()));
+
+  // Finite on both sides -> a real number again.
+  p.sim.unicast_latency.mean = 50.0;
+  EXPECT_NEAR(p.unicast_error(), -0.2, 1e-12);
 }
 
 TEST(Sweep, ParallelAndSerialSweepsAgree) {

@@ -1,0 +1,252 @@
+#include "quarc/sweep/sweep_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "quarc/api/scenario.hpp"
+#include "quarc/util/error.hpp"
+
+namespace quarc {
+namespace {
+
+std::string to_json_text(const api::ResultSet& rs) {
+  std::ostringstream os;
+  rs.write_json(os);
+  return os.str();
+}
+
+/// A small but real scenario: model + simulator per point, short windows.
+api::Scenario test_scenario() {
+  api::Scenario s;
+  s.topology("quarc:16")
+      .pattern("random:4")
+      .alpha(0.05)
+      .message_length(16)
+      .seed(42)
+      .warmup(500)
+      .measure(4000);
+  return s;
+}
+
+const std::vector<double> kGrid = {0.001, 0.002, 0.003, 0.004};
+
+/// Fresh per-test directory under the gtest temp root.
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "quarc_sweep_cache_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TEST(SweepCache, ColdRunPopulatesWarmRunHitsEveryPoint) {
+  auto cache = std::make_shared<SweepCache>();
+  api::Scenario s = test_scenario();
+  s.cache(cache);
+
+  const api::ResultSet cold = s.run_sweep(kGrid);
+  EXPECT_EQ(cold.cache_hits, 0);
+  EXPECT_EQ(cold.cache_misses, 4);
+  EXPECT_EQ(cache->stats().stores, 4);
+  EXPECT_EQ(cache->size(), 4u);
+
+  const api::ResultSet warm = s.run_sweep(kGrid);
+  EXPECT_EQ(warm.cache_hits, 4);
+  // Zero solves on the warm run: every point came from the cache.
+  EXPECT_EQ(warm.cache_misses, 0);
+  EXPECT_EQ(cache->stats().stores, 4);  // nothing new was solved or stored
+
+  // Bit-identical rows: the serialised documents match byte for byte.
+  EXPECT_EQ(to_json_text(warm), to_json_text(cold));
+}
+
+TEST(SweepCache, CachedRunMatchesUncachedRunExactly) {
+  api::Scenario uncached = test_scenario();
+  const std::string reference = to_json_text(uncached.run_sweep(kGrid));
+
+  api::Scenario cached = test_scenario();
+  cached.cache(std::make_shared<SweepCache>());
+  EXPECT_EQ(to_json_text(cached.run_sweep(kGrid)), reference);  // cold
+  EXPECT_EQ(to_json_text(cached.run_sweep(kGrid)), reference);  // warm
+}
+
+TEST(SweepCache, PointsAreReusedAcrossDifferentGrids) {
+  // Per-point seeds are rate-keyed, not grid-position-keyed, so a point
+  // solved in one grid is bit-identical in any other grid containing the
+  // same rate — and may legally be served from cache there.
+  auto cache = std::make_shared<SweepCache>();
+  api::Scenario s = test_scenario();
+  s.cache(cache);
+  s.run_sweep(std::vector<double>{0.001, 0.002});
+
+  const api::ResultSet overlap = s.run_sweep(std::vector<double>{0.002, 0.003});
+  EXPECT_EQ(overlap.cache_hits, 1);
+  EXPECT_EQ(overlap.cache_misses, 1);
+
+  api::Scenario fresh = test_scenario();
+  const api::ResultSet reference = fresh.run_sweep(std::vector<double>{0.002, 0.003});
+  EXPECT_EQ(to_json_text(overlap), to_json_text(reference));
+}
+
+TEST(SweepCache, DifferentScenariosNeverShareEntries) {
+  auto cache = std::make_shared<SweepCache>();
+  api::Scenario a = test_scenario();
+  a.cache(cache);
+  a.run_sweep(kGrid);
+
+  api::Scenario b = test_scenario();
+  b.seed(43);  // different experiment -> different fingerprint
+  b.cache(cache);
+  const api::ResultSet rs = b.run_sweep(kGrid);
+  EXPECT_EQ(rs.cache_hits, 0);
+  EXPECT_EQ(rs.cache_misses, 4);
+}
+
+TEST(SweepCache, DiskCacheSurvivesProcessBoundary) {
+  const std::string dir = fresh_dir("persist");
+  const std::string cold_json = [&] {
+    api::Scenario s = test_scenario();
+    s.cache_dir(dir);
+    return to_json_text(s.run_sweep(kGrid));
+  }();  // cache object destroyed here — only the files remain
+
+  api::Scenario s = test_scenario();
+  s.cache(std::make_shared<SweepCache>(dir));
+  const api::ResultSet warm = s.run_sweep(kGrid);
+  EXPECT_EQ(warm.cache_hits, 4);
+  EXPECT_EQ(warm.cache_misses, 0);
+  EXPECT_EQ(s.sweep_cache()->stats().loaded_entries, 4);
+  EXPECT_EQ(to_json_text(warm), cold_json);
+}
+
+TEST(SweepCache, ModelOnlySweepsAreCachedToo) {
+  auto cache = std::make_shared<SweepCache>();
+  api::Scenario s = test_scenario();
+  s.with_sim(false).cache(cache);
+  const std::string cold = to_json_text(s.run_sweep(kGrid));
+  const api::ResultSet warm = s.run_sweep(kGrid);
+  EXPECT_EQ(warm.cache_hits, 4);
+  EXPECT_EQ(to_json_text(warm), cold);
+}
+
+// ------------------------------------------------------------ corruption
+//
+// An on-disk entry that cannot be parsed, carries the wrong schema, or
+// names a different fingerprint must be detected, counted, and re-solved
+// — never served.
+
+class SweepCacheCorruption : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fresh_dir(::testing::UnitTest::GetInstance()->current_test_info()->name());
+    api::Scenario s = test_scenario();
+    s.cache_dir(dir_);
+    cold_json_ = to_json_text(s.run_sweep(kGrid));
+    file_ = dir_ + "/" + test_scenario().fingerprint().hex() + ".jsonl";
+    ASSERT_TRUE(std::filesystem::exists(file_));
+  }
+
+  std::vector<std::string> read_lines() const {
+    std::ifstream in(file_);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+    return lines;
+  }
+
+  void write_lines(const std::vector<std::string>& lines) const {
+    std::ofstream out(file_, std::ios::trunc);
+    for (const std::string& l : lines) out << l << "\n";
+  }
+
+  /// Warm run against the (possibly doctored) directory.
+  api::ResultSet warm_run(std::shared_ptr<SweepCache>* cache_out = nullptr) const {
+    api::Scenario s = test_scenario();
+    auto cache = std::make_shared<SweepCache>(dir_);
+    s.cache(cache);
+    if (cache_out != nullptr) *cache_out = cache;
+    return s.run_sweep(kGrid);
+  }
+
+  std::string dir_;
+  std::string file_;
+  std::string cold_json_;
+};
+
+TEST_F(SweepCacheCorruption, GarbageLinesAreSkippedAndCounted) {
+  auto lines = read_lines();
+  ASSERT_EQ(lines.size(), 4u);
+  lines.insert(lines.begin(), "this is not json");
+  lines.push_back("{\"also\":\"not a cache entry\"}");
+  write_lines(lines);
+
+  std::shared_ptr<SweepCache> cache;
+  const api::ResultSet warm = warm_run(&cache);
+  EXPECT_EQ(warm.cache_hits, 4);  // the four valid entries still serve
+  EXPECT_EQ(warm.cache_misses, 0);
+  EXPECT_EQ(cache->stats().corrupt_entries, 2);
+  EXPECT_EQ(to_json_text(warm), cold_json_);
+}
+
+TEST_F(SweepCacheCorruption, TruncatedTailLineIsReSolved) {
+  auto lines = read_lines();
+  ASSERT_EQ(lines.size(), 4u);
+  lines.back() = lines.back().substr(0, lines.back().size() / 2);  // crash mid-append
+  write_lines(lines);
+
+  std::shared_ptr<SweepCache> cache;
+  const api::ResultSet warm = warm_run(&cache);
+  EXPECT_EQ(warm.cache_hits, 3);
+  EXPECT_EQ(warm.cache_misses, 1);
+  EXPECT_EQ(cache->stats().corrupt_entries, 1);
+  EXPECT_EQ(to_json_text(warm), cold_json_);  // re-solved bit-identically
+}
+
+TEST_F(SweepCacheCorruption, WrongSchemaFingerprintOrCanonicalIsNeverServed) {
+  auto lines = read_lines();
+  ASSERT_EQ(lines.size(), 4u);
+  // Entry 0: schema from the future. Entry 1: right shape, wrong scenario.
+  lines[0].replace(lines[0].find("\"schema\":1"), 10, "\"schema\":9");
+  const std::string fp = test_scenario().fingerprint().hex();
+  lines[1].replace(lines[1].find(fp), fp.size(), std::string(fp.size(), '0'));
+  // Entry 2: right hash, different canonical text — what a true 64-bit
+  // fingerprint hash collision would look like. Identity is the canonical
+  // text, so this entry must be rejected despite the matching file/hex.
+  const auto alpha = lines[2].find("alpha=0.05");
+  ASSERT_NE(alpha, std::string::npos);
+  lines[2].replace(alpha, 10, "alpha=0.06");
+  write_lines(lines);
+
+  std::shared_ptr<SweepCache> cache;
+  const api::ResultSet warm = warm_run(&cache);
+  EXPECT_EQ(warm.cache_hits, 1);
+  EXPECT_EQ(warm.cache_misses, 3);
+  EXPECT_EQ(cache->stats().corrupt_entries, 3);
+  EXPECT_EQ(to_json_text(warm), cold_json_);
+}
+
+TEST_F(SweepCacheCorruption, FullyGarbledFileFallsBackToColdRun) {
+  write_lines({"garbage", "{\"truncated\":", "[1,2,3]"});
+  std::shared_ptr<SweepCache> cache;
+  const api::ResultSet warm = warm_run(&cache);
+  EXPECT_EQ(warm.cache_hits, 0);
+  EXPECT_EQ(warm.cache_misses, 4);
+  EXPECT_EQ(to_json_text(warm), cold_json_);
+  // And the re-solve re-populated the file: a second warm run hits fully.
+  const api::ResultSet again = warm_run();
+  EXPECT_EQ(again.cache_hits, 4);
+  EXPECT_EQ(to_json_text(again), cold_json_);
+}
+
+TEST(SweepCache, RejectsUncreatableDirectory) {
+  EXPECT_THROW(SweepCache(""), InvalidArgument);
+  const std::string dir = fresh_dir("not_a_dir");
+  std::ofstream(dir).put('x');  // occupy the path with a regular file
+  EXPECT_THROW(SweepCache(dir + "/sub"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace quarc

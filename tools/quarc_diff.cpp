@@ -1,0 +1,75 @@
+// quarc-diff — compare two serialised sweep ResultSets and flag latency
+// regressions beyond a tolerance. Exit codes: 0 no regression, 1 at least
+// one latency regressed (or the scenarios differ), 2 usage or I/O error.
+//
+//   quarc-diff baseline.json candidate.json [--tolerance 0.02] [--model-only]
+//
+// Intended for stored BENCH_*.json / CI smoke trajectories: keep the
+// baseline document in the repo (or a previous CI artifact), diff every
+// fresh run against it, and gate — or merely report — on the exit code.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "quarc/api/result_diff.hpp"
+#include "quarc/util/error.hpp"
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  QUARC_REQUIRE(in.is_open(), "cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+constexpr const char* kUsage =
+    "usage: quarc-diff <baseline.json> <candidate.json> [--tolerance T] [--model-only]\n"
+    "  Compares two ResultSet documents (quarcnoc --json output) and reports\n"
+    "  latency changes beyond the relative tolerance (default 0.02).\n"
+    "  Exit: 0 clean, 1 regression or scenario mismatch, 2 error.\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  std::vector<std::string> files;
+  quarc::api::DiffOptions options;
+  try {
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      if (args[i] == "--help" || args[i] == "-h") {
+        std::cout << kUsage;
+        return 0;
+      } else if (args[i] == "--tolerance") {
+        QUARC_REQUIRE(i + 1 < args.size(), "--tolerance requires a value");
+        options.tolerance = std::stod(args[++i]);
+        QUARC_REQUIRE(options.tolerance >= 0.0, "--tolerance must be >= 0");
+      } else if (args[i] == "--model-only") {
+        options.compare_sim = false;
+      } else if (!args[i].empty() && args[i][0] == '-') {
+        throw quarc::InvalidArgument("unknown option '" + args[i] + "'");
+      } else {
+        files.push_back(args[i]);
+      }
+    }
+    QUARC_REQUIRE(files.size() == 2, "expected exactly two files (try --help)");
+
+    const auto baseline = quarc::api::ResultSet::from_json_text(read_file(files[0]));
+    const auto candidate = quarc::api::ResultSet::from_json_text(read_file(files[1]));
+    const auto report = quarc::api::diff_result_sets(baseline, candidate, options);
+
+    std::cout << "quarc-diff: baseline=" << files[0] << " candidate=" << files[1]
+              << " tolerance=" << options.tolerance << "\n"
+              << "scenario: " << baseline.topology << " pattern=" << baseline.pattern
+              << " alpha=" << baseline.alpha << " M=" << baseline.message_length
+              << " seed=" << baseline.seed << "\n";
+    quarc::api::write_diff_report(report, std::cout);
+    return (report.has_regression() || !report.scenarios_match) ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::cerr << "quarc-diff: " << e.what() << "\n" << kUsage;
+    return 2;
+  }
+}

@@ -10,7 +10,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   try {
     const quarc::cli::Options opts = quarc::cli::parse(args);
-    return quarc::cli::run(opts, std::cout);
+    return quarc::cli::run(opts, std::cout, std::cerr);
   } catch (const std::exception& e) {
     std::cerr << "quarcnoc: " << e.what() << "\n";
     return 2;
