@@ -44,6 +44,29 @@ inline api::Scenario& apply_env(api::Scenario& scenario) {
   return scenario;
 }
 
+/// Rate-grid size override: QUARC_BENCH_POINTS replaces a bench's default
+/// point count (CI lanes shrink grids to stay inside their budget). Note
+/// this DOES change what a bench prints — unlike the cache/shard
+/// overrides — so comparable runs must pin it identically.
+inline int env_points(int fallback) {
+  if (const char* points = std::getenv("QUARC_BENCH_POINTS")) {
+    const int parsed = std::atoi(points);
+    if (parsed >= 1) return parsed;
+  }
+  return fallback;
+}
+
+/// Prints the shared env cache's cumulative hit/miss counters to stderr
+/// (same format as quarcnoc's --cache-dir stats; no-op without
+/// QUARC_CACHE_DIR). Benches call this before exiting so CI cache lanes
+/// can assert "warm run = 100% hits" by grepping the log.
+inline void print_env_cache_stats() {
+  if (const auto& cache = env_cache()) {
+    const auto stats = cache->stats();
+    std::cerr << "sweep-cache: hits=" << stats.hits << " misses=" << stats.misses << "\n";
+  }
+}
+
 inline std::string fmt_double(double v, int precision = 4) {
   std::ostringstream os;
   os.precision(precision);

@@ -68,7 +68,7 @@ int main(int argc, char** argv) {
     for (int m : {16, 48, 64}) grid.push_back({n, m, 0.05, fanout});
   }
 
-  const int rate_points = quick ? 4 : 8;
+  const int rate_points = bench::env_points(quick ? 4 : 8);
   for (const auto& cfg : grid) {
     const Cycle measure = quick ? 15000 : (cfg.nodes >= 64 ? 30000 : 50000);
     run_config(cfg, rate_points, measure);
@@ -77,5 +77,6 @@ int main(int argc, char** argv) {
   std::cout << "\nExpected shape (paper): latency flat near M+D+1 at low rate, rising\n"
                "convexly to the saturation asymptote; model tracks simulation closely\n"
                "at low-to-moderate load and degrades gracefully near saturation.\n";
+  bench::print_env_cache_stats();
   return 0;
 }

@@ -74,7 +74,7 @@ int main(int argc, char** argv) {
                 "Moadeli & Vanderbauwhede, IPDPS 2009, Figure 7",
                 "model vs simulation, localized (same-rim) destination sets");
 
-  const int rate_points = quick ? 4 : 8;
+  const int rate_points = bench::env_points(quick ? 4 : 8);
   for (int n : {16, 32, 64, 128}) {
     // Rotate the quadrant and message length with the size so the whole
     // grid covers every (quadrant, M, alpha) family the paper reports.
@@ -90,5 +90,6 @@ int main(int argc, char** argv) {
   std::cout << "\nExpected shape (paper): same qualitative curves as Fig. 6; with a\n"
                "single active port the multicast latency tracks the unicast latency of\n"
                "the farthest same-rim target instead of an order-statistics maximum.\n";
+  bench::print_env_cache_stats();
   return 0;
 }

@@ -1,0 +1,93 @@
+// Micro-bench: plan-backed vs. direct-route ChannelGraph construction.
+//
+// ChannelGraph construction is the per-rate-point heart of model
+// assembly: every rate point of every sweep accumulates channel rates
+// over all N*(N-1) unicast routes (plus the multicast expansion). The
+// direct path — ChannelGraph(topo, load) — re-derives every route from
+// scratch per call (compiling a throwaway RoutePlan, exactly what each
+// rate point paid before plans existed); the plan-backed path —
+// ChannelGraph(plan, load) — reuses a RoutePlan compiled once, which is
+// what Scenario::run_sweep shares across all rate points. The ratio is
+// the per-point speedup a sweep gains on rate accumulation. The two
+// constructions are bit-identical (pinned by the route-plan test-suite);
+// this binary only times them.
+//
+// Run: ./build/bench_micro_routeplan [--quick]
+#include <chrono>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "quarc/api/registry.hpp"
+#include "quarc/model/channel_graph.hpp"
+#include "quarc/route/route_plan.hpp"
+#include "quarc/util/rng.hpp"
+
+namespace {
+
+using namespace quarc;
+using Clock = std::chrono::steady_clock;
+
+double checksum = 0.0;  // defeats dead-code elimination across runs
+
+template <typename F>
+double time_per_call_us(F&& body, int iterations) {
+  const auto start = Clock::now();
+  for (int i = 0; i < iterations; ++i) body();
+  const std::chrono::duration<double, std::micro> elapsed = Clock::now() - start;
+  return elapsed.count() / static_cast<double>(iterations);
+}
+
+void run_case(const std::string& topo_spec, const std::string& pattern_spec, int iterations) {
+  const auto topo = api::make_topology(topo_spec);
+  Rng rng(7);
+  const auto pattern = api::make_pattern(pattern_spec, topo->num_nodes(), rng);
+  Workload load;
+  load.message_rate = 0.004;
+  load.multicast_fraction = 0.05;
+  load.message_length = 32;
+  load.pattern = pattern;
+
+  // Direct: each construction re-derives every route (the pre-plan cost
+  // of one rate point).
+  const double direct_us = time_per_call_us(
+      [&] { checksum += ChannelGraph(*topo, load).total_injection_rate(); }, iterations);
+
+  // Plan-backed: one compile, then pure scale-and-accumulate per call.
+  const auto compile_start = Clock::now();
+  const RoutePlan plan(*topo, load.pattern.get());
+  const std::chrono::duration<double, std::micro> compile_us = Clock::now() - compile_start;
+  const double plan_us = time_per_call_us(
+      [&] { checksum += ChannelGraph(plan, load).total_injection_rate(); }, iterations);
+
+  std::cout << std::left << std::setw(14) << topo_spec << std::right << std::fixed
+            << std::setprecision(1) << std::setw(12) << direct_us << std::setw(12) << plan_us
+            << std::setw(12) << compile_us.count() << std::setprecision(2) << std::setw(10)
+            << direct_us / plan_us << "x\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  const int iterations = quick ? 20 : 200;
+
+  std::cout << "ChannelGraph construction: direct route derivation per call vs. a\n"
+               "RoutePlan compiled once and shared (per-call microseconds, mean of "
+            << iterations << " calls)\n\n"
+            << std::left << std::setw(14) << "topology" << std::right << std::setw(12)
+            << "direct us" << std::setw(12) << "plan us" << std::setw(12) << "compile us"
+            << std::setw(11) << "speedup\n";
+
+  // Software-multicast grids (routes replayed per destination) and the
+  // hardware-stream Quarc ring for stream-path coverage.
+  run_case("mesh:8x8", "uniform:8", iterations);
+  run_case("torus:8x8", "uniform:8", iterations);
+  run_case("hypercube:6", "uniform:8", iterations);
+  run_case("quarc:64", "random:8", iterations);
+
+  std::cout << "\n(compile us = one-off RoutePlan compilation, amortised over a sweep's\n"
+               "rate points; checksum " << checksum << ")\n";
+  return 0;
+}

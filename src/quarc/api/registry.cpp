@@ -307,6 +307,49 @@ const PatternRegistrar kUniform{
       return std::make_shared<UniformRandomPattern>(ctx.num_nodes, a.int_at(0), *ctx.rng);
     }};
 
+/// Grid shape for the neighborhood families: an explicit WxH argument at
+/// `i` (must cover the topology exactly), or a square inferred from the
+/// node count.
+std::pair<int, int> neighborhood_grid(const SpecArgs& a, std::size_t i, int num_nodes) {
+  if (i < a.size()) {
+    const auto [w, h] = a.pair_at(i, {0, 0});
+    if (w < 1 || h < 1 || w * h != num_nodes) {
+      throw InvalidArgument("spec '" + a.spec() + "': grid " + std::to_string(w) + "x" +
+                            std::to_string(h) + " does not cover the topology's " +
+                            std::to_string(num_nodes) + " nodes");
+    }
+    return {w, h};
+  }
+  const int side = static_cast<int>(std::lround(std::sqrt(static_cast<double>(num_nodes))));
+  if (side * side != num_nodes) {
+    throw InvalidArgument("spec '" + a.spec() + "': " + std::to_string(num_nodes) +
+                          " nodes is not a square grid; pass an explicit WxH argument");
+  }
+  return {side, side};
+}
+
+const PatternRegistrar kNeighborhood{
+    {"neighborhood", "neighborhood:R:K[:WxH]",
+     "K dests per source in the Manhattan R-ball (mesh metric, clipped)",
+     "neighborhood:2:3"},
+    [](const SpecArgs& a, const PatternContext& ctx) -> std::shared_ptr<const MulticastPattern> {
+      a.require_count(2, 3, "neighborhood:R:K[:WxH]");
+      const auto [w, h] = neighborhood_grid(a, 2, ctx.num_nodes);
+      return std::make_shared<NeighborhoodPattern>(w, h, a.int_at(0), a.int_at(1),
+                                                   /*wrap=*/false, *ctx.rng);
+    }};
+
+const PatternRegistrar kNeighborhoodWrap{
+    {"neighborhood-wrap", "neighborhood-wrap:R:K[:WxH]",
+     "K dests per source in the Manhattan R-ball (torus metric, wrapping)",
+     "neighborhood-wrap:2:3"},
+    [](const SpecArgs& a, const PatternContext& ctx) -> std::shared_ptr<const MulticastPattern> {
+      a.require_count(2, 3, "neighborhood-wrap:R:K[:WxH]");
+      const auto [w, h] = neighborhood_grid(a, 2, ctx.num_nodes);
+      return std::make_shared<NeighborhoodPattern>(w, h, a.int_at(0), a.int_at(1),
+                                                   /*wrap=*/true, *ctx.rng);
+    }};
+
 }  // namespace
 
 }  // namespace quarc::api

@@ -20,6 +20,7 @@ Scenario& Scenario::topology(std::string spec) {
   topology_.reset();
   topology_dirty_ = true;
   topology_from_spec_ = true;
+  routes_dirty_ = true;
   return *this;
 }
 
@@ -29,6 +30,7 @@ Scenario& Scenario::topology(std::unique_ptr<Topology> topo) {
   topology_spec_ = topology_->name();
   topology_dirty_ = false;
   topology_from_spec_ = false;
+  routes_dirty_ = true;
   return *this;
 }
 
@@ -36,6 +38,7 @@ Scenario& Scenario::pattern(std::string spec) {
   pattern_spec_ = std::move(spec);
   pattern_.reset();
   pattern_from_spec_ = true;
+  routes_dirty_ = true;
   return *this;
 }
 
@@ -43,6 +46,7 @@ Scenario& Scenario::pattern(std::shared_ptr<const MulticastPattern> pattern) {
   pattern_ = std::move(pattern);
   pattern_spec_ = pattern_ ? pattern_->describe() : "none";
   pattern_from_spec_ = false;
+  routes_dirty_ = true;
   return *this;
 }
 
@@ -53,6 +57,10 @@ Scenario& Scenario::rate(double messages_per_cycle_per_node) {
 
 Scenario& Scenario::alpha(double multicast_fraction) {
   workload_.multicast_fraction = multicast_fraction;
+  // The fraction gates whether the plan carries multicast state (a
+  // unicast-only scenario never compiles its pattern), so the plan may
+  // need recompiling when it changes.
+  routes_dirty_ = true;
   return *this;
 }
 
@@ -63,12 +71,16 @@ Scenario& Scenario::message_length(int flits) {
 
 Scenario& Scenario::seed(std::uint64_t seed) {
   seed_ = seed;
+  // Spec-built patterns are drawn from the seed (unless pattern_seed is
+  // pinned), so the pattern — and with it the plan — may change.
+  routes_dirty_ = true;
   return *this;
 }
 
 Scenario& Scenario::pattern_seed(std::uint64_t seed) {
   pattern_seed_ = seed;
   pattern_seed_set_ = true;
+  routes_dirty_ = true;
   return *this;
 }
 
@@ -116,6 +128,7 @@ ScenarioFingerprint Scenario::fingerprint_validated() const {
   FingerprintInputs in;
   in.topology_spec = topology_spec_;
   in.topology_from_spec = topology_from_spec_;
+  in.plan = plan_.get();  // adopted topologies digest the compiled plan
   in.topology = topology_.get();
   in.pattern_spec = pattern_spec_;
   in.pattern_seed = pattern_seed_set_ ? pattern_seed_ : seed_;
@@ -137,19 +150,37 @@ void Scenario::ensure_topology() {
 
 void Scenario::validate() {
   ensure_topology();
-  if (pattern_from_spec_) {
-    // Patterns are deterministic functions of (spec, topology size, seed);
-    // rebuilding keeps them consistent when the topology or seed changed.
-    Rng rng(pattern_seed_set_ ? pattern_seed_ : seed_);
-    pattern_ = make_pattern(pattern_spec_, topology_->num_nodes(), rng);
+  if (routes_dirty_ || !plan_) {
+    if (pattern_from_spec_) {
+      // Patterns are deterministic functions of (spec, topology size,
+      // seed); rebuilding keeps them consistent when the topology or seed
+      // changed.
+      Rng rng(pattern_seed_set_ ? pattern_seed_ : seed_);
+      pattern_ = make_pattern(pattern_spec_, topology_->num_nodes(), rng);
+    }
+    workload_.pattern = pattern_;
+    workload_.validate(*topology_);
+    // Compile the scenario's routing state exactly once; every evaluation
+    // below — and the fingerprint — shares this immutable plan. Multicast
+    // state only when the workload multicasts: a unicast-only scenario
+    // must not compile (or choke on) an attached pattern it never uses.
+    plan_ = std::make_shared<const RoutePlan>(
+        *topology_, workload_.multicast_fraction > 0.0 ? pattern_.get() : nullptr);
+    routes_dirty_ = false;
+  } else {
+    workload_.pattern = pattern_;
+    workload_.validate(*topology_);
   }
-  workload_.pattern = pattern_;
-  workload_.validate(*topology_);
 }
 
 const Topology& Scenario::built_topology() {
   ensure_topology();
   return *topology_;
+}
+
+const RoutePlan& Scenario::route_plan() {
+  validate();
+  return *plan_;
 }
 
 Workload Scenario::build_workload() {
@@ -226,7 +257,7 @@ ResultSet Scenario::run_sweep(std::span<const double> rates) {
     task_rows.push_back(i);
   }
 
-  const auto points = sweep_tasks(*topology_, workload_, tasks, sweep_);
+  const auto points = sweep_tasks(*plan_, workload_, tasks, sweep_);
   for (std::size_t j = 0; j < points.size(); ++j) {
     rs.rows[task_rows[j]] = ResultRow::from_point(points[j]);
     if (cache_) cache_->store(fp, rs.rows[task_rows[j]], workload_.multicast_fraction > 0.0);
@@ -241,22 +272,22 @@ ResultSet Scenario::run_sweep(int points, double fill) {
 
 double Scenario::saturation_rate() {
   validate();
-  return model_saturation_rate(*topology_, workload_, sweep_.model);
+  return model_saturation_rate(*plan_, workload_, sweep_.model);
 }
 
 std::vector<double> Scenario::rate_grid(int points, double fill) {
   validate();
-  return rate_grid_to_saturation(*topology_, workload_, points, fill, sweep_.model);
+  return rate_grid_to_saturation(*plan_, workload_, points, fill, sweep_.model);
 }
 
 ModelResult Scenario::run_model_raw() {
   validate();
-  return PerformanceModel(*topology_, workload_, sweep_.model).evaluate();
+  return PerformanceModel(*plan_, workload_, sweep_.model).evaluate();
 }
 
 sim::SimResult Scenario::run_sim_raw() {
   validate();
-  return sim::Simulator(*topology_, sim_config_for_run()).run();
+  return sim::Simulator(*plan_, sim_config_for_run()).run();
 }
 
 }  // namespace quarc::api

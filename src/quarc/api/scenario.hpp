@@ -30,6 +30,11 @@
 // every (fingerprint(), rate) point it has already solved, returning a
 // ResultSet byte-identical to the uncached run's, with cache_hits/
 // cache_misses reporting what was skipped.
+//
+// Routing: validate() compiles the scenario's RoutePlan exactly once per
+// (topology, pattern, seed) assembly; every evaluation — each rate point
+// of a sweep, on every shard and thread — shares it read-only, and the
+// fingerprint digests the same plan, so no layer can disagree on routes.
 #pragma once
 
 #include <memory>
@@ -106,13 +111,20 @@ class Scenario {
   ModelOptions& model_options() { return sweep_.model; }
 
   // ---- assembly ----
-  /// Builds and validates topology + workload; throws InvalidArgument on
-  /// any inconsistency. Idempotent; run_* call it implicitly.
+  /// Builds and validates topology + workload, and compiles the scenario's
+  /// RoutePlan (once — reused until the topology, pattern or seed
+  /// changes); throws InvalidArgument on any inconsistency. Idempotent;
+  /// run_* call it implicitly.
   void validate();
   /// The built topology (constructing it on first use). Does NOT validate
   /// the workload against it, so callers can inspect the network (e.g. its
   /// diameter) before committing to a configuration.
   const Topology& built_topology();
+  /// The scenario's compiled route plan (validates first). One plan is
+  /// shared by run_model/run_sim/run_sweep/fingerprint — every rate point,
+  /// shard and worker thread reads the same immutable arrays, so the
+  /// model, simulator and cache key can never disagree on routing.
+  const RoutePlan& route_plan();
   /// The validated workload at the configured rate.
   Workload build_workload();
   /// One-line description for banners/logs.
@@ -152,6 +164,11 @@ class Scenario {
   std::string pattern_spec_ = "none";
   std::shared_ptr<const MulticastPattern> pattern_;
   bool pattern_from_spec_ = true;  ///< rebuild from the spec on validate()
+
+  /// Compiled once per (topology, pattern, seed) assembly; shared
+  /// read-only by every evaluation this Scenario runs.
+  std::shared_ptr<const RoutePlan> plan_;
+  bool routes_dirty_ = true;  ///< pattern/plan must be (re)compiled
 
   Workload workload_;
   std::uint64_t seed_ = 1;

@@ -62,6 +62,9 @@ evaluation:
   --measure C        simulator measurement window              [default 40000]
   --sweep P          sweep P rates up to --fill * saturation instead of
                      evaluating --rate
+  --rates R1,R2,...  sweep an explicit comma-separated rate grid (overrides
+                     --rate/--sweep; exact rates make stored ResultSets
+                     machine-portable for quarc-diff baselines)
   --fill F           sweep endpoint as a fraction of saturation [default 0.85]
   --cache-dir D      reuse solved sweep points across runs via an on-disk
                      cache keyed by (scenario fingerprint, rate); hit/miss
@@ -112,6 +115,16 @@ Options parse(std::span<const std::string> args) {
       opts.measure = parse_int(arg, next("--measure"));
     } else if (arg == "--sweep") {
       opts.sweep_points = static_cast<int>(parse_int(arg, next("--sweep")));
+    } else if (arg == "--rates") {
+      const std::string& list = next("--rates");
+      opts.rates.clear();
+      std::istringstream is(list);
+      std::string token;
+      while (std::getline(is, token, ',')) {
+        opts.rates.push_back(parse_double(arg, token));
+        QUARC_REQUIRE(opts.rates.back() > 0.0, "--rates entries must be positive");
+      }
+      QUARC_REQUIRE(!opts.rates.empty(), "--rates requires at least one rate");
     } else if (arg == "--fill") {
       opts.fill = parse_double(arg, next("--fill"));
     } else if (arg == "--cache-dir") {
@@ -205,7 +218,9 @@ int run(const Options& opts, std::ostream& out, std::ostream& err) {
   api::Scenario scenario = make_scenario(opts);
 
   api::ResultSet rs;
-  if (opts.sweep_points > 0) {
+  if (!opts.rates.empty()) {
+    rs = scenario.run_sweep(opts.rates);
+  } else if (opts.sweep_points > 0) {
     rs = scenario.run_sweep(opts.sweep_points, opts.fill);
   } else {
     const std::vector<double> rates = {opts.rate};

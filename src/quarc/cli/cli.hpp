@@ -10,6 +10,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "quarc/api/scenario.hpp"
 #include "quarc/topo/topology.hpp"
@@ -37,6 +38,11 @@ struct Options {
   /// up to fill * saturation.
   int sweep_points = 0;
   double fill = 0.85;
+  /// Explicit comma-separated rate grid (--rates); overrides both --rate
+  /// and --sweep. Exact decimal rates make stored ResultSets comparable
+  /// across machines (the auto grid depends on the saturation search's
+  /// floating-point behaviour); the checked-in bench baselines use this.
+  std::vector<double> rates;
   /// Sweep-cache directory; empty disables caching. Solved (fingerprint,
   /// rate) points are reused across invocations sharing the directory.
   std::string cache_dir;

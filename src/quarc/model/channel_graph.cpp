@@ -6,8 +6,12 @@
 
 namespace quarc {
 
-ChannelGraph::ChannelGraph(const Topology& topo, const Workload& load) : topo_(&topo) {
+ChannelGraph::ChannelGraph(const RoutePlan& plan, const Workload& load)
+    : topo_(&plan.topology()) {
+  const Topology& topo = plan.topology();
   load.validate(topo);
+  QUARC_REQUIRE(load.multicast_rate() == 0.0 || plan.pattern() == load.pattern.get(),
+                "route plan was compiled with a different multicast pattern");
   const auto nch = static_cast<std::size_t>(topo.num_channels());
   lambda_.assign(nch, 0.0);
   out_.assign(nch, {});
@@ -19,7 +23,7 @@ ChannelGraph::ChannelGraph(const Topology& topo, const Workload& load) : topo_(&
     for (NodeId s = 0; s < n; ++s) {
       for (NodeId d = 0; d < n; ++d) {
         if (s == d) continue;
-        add_route(topo.unicast_route(s, d), per_dest_unicast);
+        add_route(plan.route(s, d), per_dest_unicast);
       }
     }
   }
@@ -27,19 +31,22 @@ ChannelGraph::ChannelGraph(const Topology& topo, const Workload& load) : topo_(&
   const double mc_rate = load.multicast_rate();
   if (mc_rate > 0.0) {
     for (NodeId s = 0; s < n; ++s) {
-      const auto& dests = load.pattern->destinations(s);
-      if (dests.empty()) continue;
-      if (topo.supports_multicast()) {
-        for (const MulticastStream& st : topo.multicast_streams(s, dests)) {
-          add_stream(st, mc_rate);
+      if (plan.multicast_dests(s).empty()) continue;
+      if (plan.hardware_streams()) {
+        for (std::size_t i = 0; i < plan.stream_count(s); ++i) {
+          add_stream(plan.stream(s, i), mc_rate);
         }
       } else {
         // Software multicast: one unicast per destination.
-        for (NodeId d : dests) add_route(topo.unicast_route(s, d), mc_rate);
+        for (NodeId d : plan.multicast_dests(s)) add_route(plan.route(s, d), mc_rate);
       }
     }
   }
 }
+
+ChannelGraph::ChannelGraph(const Topology& topo, const Workload& load)
+    : ChannelGraph(RoutePlan(topo, load.multicast_rate() > 0.0 ? load.pattern.get() : nullptr),
+                   load) {}
 
 void ChannelGraph::add_flow(ChannelId from, ChannelId to, double rate) {
   auto& flows = out_[static_cast<std::size_t>(from)];
@@ -52,7 +59,7 @@ void ChannelGraph::add_flow(ChannelId from, ChannelId to, double rate) {
   }
 }
 
-void ChannelGraph::add_route(const UnicastRoute& r, double rate) {
+void ChannelGraph::add_route(const RouteView& r, double rate) {
   lambda_[static_cast<std::size_t>(r.injection)] += rate;
   ChannelId prev = r.injection;
   for (ChannelId link : r.links) {
@@ -64,7 +71,7 @@ void ChannelGraph::add_route(const UnicastRoute& r, double rate) {
   add_flow(prev, r.ejection, rate);
 }
 
-void ChannelGraph::add_stream(const MulticastStream& st, double rate) {
+void ChannelGraph::add_stream(const StreamView& st, double rate) {
   lambda_[static_cast<std::size_t>(st.injection)] += rate;
   ChannelId prev = st.injection;
   for (ChannelId link : st.links) {

@@ -15,10 +15,17 @@
 // (matching the simulator's resource-acquisition order).
 // Multicast on topologies without hardware support is expanded into the
 // consecutive unicasts the traffic layer would send.
+//
+// Routes come from a RoutePlan: construction is a pure scale-and-accumulate
+// over the plan's precompiled link arrays — no route derivation and no
+// per-route allocation on this path, which is re-entered at every rate
+// point of a sweep. The Topology convenience constructor compiles a
+// throwaway plan for one-off graphs.
 #pragma once
 
 #include <vector>
 
+#include "quarc/route/route_plan.hpp"
 #include "quarc/topo/topology.hpp"
 #include "quarc/traffic/workload.hpp"
 
@@ -26,6 +33,11 @@ namespace quarc {
 
 class ChannelGraph {
  public:
+  /// Accumulates rates over `plan`'s routes/streams. The plan must have
+  /// been compiled with `load`'s pattern when the workload multicasts.
+  ChannelGraph(const RoutePlan& plan, const Workload& load);
+  /// Convenience: compiles a plan for (topo, load.pattern) and accumulates
+  /// over it. Sweeps share one plan via the RoutePlan overload instead.
   ChannelGraph(const Topology& topo, const Workload& load);
 
   /// Total arrival rate at channel c (messages/cycle).
@@ -45,8 +57,8 @@ class ChannelGraph {
 
  private:
   void add_flow(ChannelId from, ChannelId to, double rate);
-  void add_route(const UnicastRoute& r, double rate);
-  void add_stream(const MulticastStream& st, double rate);
+  void add_route(const RouteView& r, double rate);
+  void add_stream(const StreamView& st, double rate);
 
   std::vector<double> lambda_;
   std::vector<std::vector<std::pair<ChannelId, double>>> out_;

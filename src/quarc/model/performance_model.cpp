@@ -11,13 +11,25 @@
 namespace quarc {
 
 PerformanceModel::PerformanceModel(const Topology& topo, Workload load, ModelOptions options)
-    : topo_(&topo), load_(std::move(load)), options_(options) {
+    : owned_plan_(std::make_shared<RoutePlan>(
+          topo, load.multicast_rate() > 0.0 ? load.pattern.get() : nullptr)),
+      plan_(owned_plan_.get()),
+      topo_(&topo),
+      load_(std::move(load)),
+      options_(options) {
   load_.validate(topo);
+}
+
+PerformanceModel::PerformanceModel(const RoutePlan& plan, Workload load, ModelOptions options)
+    : plan_(&plan), topo_(&plan.topology()), load_(std::move(load)), options_(options) {
+  load_.validate(*topo_);
+  QUARC_REQUIRE(load_.multicast_rate() == 0.0 || plan.pattern() == load_.pattern.get(),
+                "route plan was compiled with a different multicast pattern");
 }
 
 double PerformanceModel::path_waiting(const ChannelGraph& graph,
                                       const std::vector<ChannelSolution>& channels,
-                                      ChannelId injection, const std::vector<ChannelId>& links,
+                                      ChannelId injection, std::span<const ChannelId> links,
                                       ChannelId ejection) {
   double total = channels[static_cast<std::size_t>(injection)].waiting_time;
   ChannelId prev = injection;
@@ -36,7 +48,8 @@ double PerformanceModel::path_waiting(const ChannelGraph& graph,
 
 ModelResult PerformanceModel::evaluate() const {
   ModelResult result;
-  const ChannelGraph graph(*topo_, load_);
+  const RoutePlan& plan = *plan_;
+  const ChannelGraph graph(plan, load_);
   ServiceTimeSolver solver(*topo_, graph, load_.message_length, options_.solver);
   result.status = solver.solve();
   result.solver_iterations = solver.iterations_used();
@@ -58,7 +71,7 @@ ModelResult PerformanceModel::evaluate() const {
   for (NodeId s = 0; s < n; ++s) {
     for (NodeId d = 0; d < n; ++d) {
       if (s == d) continue;
-      const UnicastRoute r = topo_->unicast_route(s, d);
+      const RouteView r = plan.route(s, d);
       const double waits = path_waiting(graph, result.channels, r.injection, r.links, r.ejection);
       unicast_sum += waits + msg + static_cast<double>(r.hops() + 1);
     }
@@ -73,10 +86,10 @@ ModelResult PerformanceModel::evaluate() const {
   double mc_sum = 0.0;
   int mc_nodes = 0;
   for (NodeId s = 0; s < n; ++s) {
-    const auto& dests = load_.pattern->destinations(s);
+    const std::span<const NodeId> dests = plan.multicast_dests(s);
     if (dests.empty()) continue;
     double latency;
-    if (topo_->supports_multicast()) {
+    if (plan.hardware_streams()) {
       // Streams sharing one injection channel (one-port schemes) cannot
       // start together: the i-th such stream is deterministically delayed
       // by i injection services. The deterministic floor is the max of the
@@ -87,7 +100,8 @@ ModelResult PerformanceModel::evaluate() const {
       std::vector<double> stream_waits;
       std::map<ChannelId, int> streams_on_injection;
       double deterministic_floor = 0.0;
-      for (const MulticastStream& st : topo_->multicast_streams(s, dests)) {
+      for (std::size_t c = 0; c < plan.stream_count(s); ++c) {
+        const StreamView st = plan.stream(s, c);
         const int index = streams_on_injection[st.injection]++;
         const ChannelSolution& inj = result.channels[static_cast<std::size_t>(st.injection)];
         stream_waits.push_back(path_waiting(graph, result.channels, st.injection, st.links,
@@ -104,7 +118,7 @@ ModelResult PerformanceModel::evaluate() const {
       double worst = 0.0;
       std::size_t index = 0;
       for (NodeId d : dests) {
-        const UnicastRoute r = topo_->unicast_route(s, d);
+        const RouteView r = plan.route(s, d);
         const ChannelSolution& inj = result.channels[static_cast<std::size_t>(r.injection)];
         const double waits =
             path_waiting(graph, result.channels, r.injection, r.links, r.ejection) +

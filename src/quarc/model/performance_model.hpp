@@ -1,7 +1,8 @@
 // Facade assembling the paper's full analytical model (Sections 2.1-2.2).
 //
-// Pipeline: ChannelGraph (rates, Eq. 1-2 port partitioning via the
-// topology's streams) -> ServiceTimeSolver (Eq. 3-6) -> latency assembly:
+// Pipeline: RoutePlan (routes compiled once) -> ChannelGraph (rates,
+// Eq. 1-2 port partitioning via the plan's streams) -> ServiceTimeSolver
+// (Eq. 3-6) -> latency assembly:
 //
 //   unicast  (Eq. 7):  L(s,d) = sum of path waits + (D+1) + M, averaged
 //                      over all source/destination pairs;
@@ -21,11 +22,19 @@
 // the group latency is the maximum over the batch. This extends the paper
 // (which models only the all-port case) and is validated against the
 // simulator in bench/broadcast_scaling.
+//
+// Assembly iterates RoutePlan views — no route derivation or per-route
+// allocation inside evaluate(). A sweep compiles one plan per scenario
+// and shares it across every rate point (see sweep.hpp); the Topology
+// constructor compiles a private plan for one-off evaluations.
 #pragma once
 
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "quarc/model/solver.hpp"
+#include "quarc/route/route_plan.hpp"
 #include "quarc/traffic/workload.hpp"
 
 namespace quarc {
@@ -53,8 +62,13 @@ struct ModelResult {
 
 class PerformanceModel {
  public:
-  /// The workload is validated against the topology on construction.
+  /// The workload is validated against the topology on construction; a
+  /// private RoutePlan is compiled for this model instance.
   PerformanceModel(const Topology& topo, Workload load, ModelOptions options = {});
+  /// Shares an externally compiled plan (the sweep hot path: one plan,
+  /// many rate points). The plan must outlive the model and must have
+  /// been compiled with the workload's pattern.
+  PerformanceModel(const RoutePlan& plan, Workload load, ModelOptions options = {});
 
   /// Solves the model. Deterministic; safe to call repeatedly.
   ModelResult evaluate() const;
@@ -65,9 +79,11 @@ class PerformanceModel {
   /// the per-channel solution and graph from a solved model.
   static double path_waiting(const ChannelGraph& graph,
                              const std::vector<ChannelSolution>& channels, ChannelId injection,
-                             const std::vector<ChannelId>& links, ChannelId ejection);
+                             std::span<const ChannelId> links, ChannelId ejection);
 
  private:
+  std::shared_ptr<const RoutePlan> owned_plan_;  ///< set by the Topology ctor
+  const RoutePlan* plan_;
   const Topology* topo_;
   Workload load_;
   ModelOptions options_;

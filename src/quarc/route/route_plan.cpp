@@ -1,0 +1,213 @@
+#include "quarc/route/route_plan.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "quarc/traffic/pattern.hpp"
+#include "quarc/util/error.hpp"
+#include "quarc/util/hash.hpp"
+
+namespace quarc {
+
+RouteView view_of(const UnicastRoute& r) {
+  RouteView v;
+  v.source = r.source;
+  v.dest = r.dest;
+  v.port = r.port;
+  v.injection = r.injection;
+  v.ejection = r.ejection;
+  v.links = r.links;
+  v.link_vcs = r.link_vcs;
+  return v;
+}
+
+StreamView view_of(const MulticastStream& st) {
+  StreamView v;
+  v.source = st.source;
+  v.port = st.port;
+  v.injection = st.injection;
+  v.links = st.links;
+  v.link_vcs = st.link_vcs;
+  v.stops = st.stops;
+  return v;
+}
+
+RoutePlan::RoutePlan(const Topology& topo, const MulticastPattern* pattern)
+    : topo_(&topo), pattern_(pattern) {
+  const int n = topo.num_nodes();
+  const auto un = static_cast<std::size_t>(n);
+  hardware_streams_ = pattern != nullptr && topo.supports_multicast();
+
+  // ---- unicast routes: all N*(N-1) pairs, (s, d) ascending. ----
+  routes_.resize(un * un);
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId d = 0; d < n; ++d) {
+      if (s == d) continue;
+      const UnicastRoute r = topo.unicast_route(s, d);
+      QUARC_ASSERT(r.link_vcs.size() == r.links.size(), "route vc table size mismatch");
+      RouteRec& rec = routes_[route_index(s, d)];
+      rec.port = r.port;
+      rec.injection = r.injection;
+      rec.ejection = r.ejection;
+      rec.link_begin = static_cast<std::uint32_t>(link_pool_.size());
+      link_pool_.insert(link_pool_.end(), r.links.begin(), r.links.end());
+      vc_pool_.insert(vc_pool_.end(), r.link_vcs.begin(), r.link_vcs.end());
+      rec.link_end = static_cast<std::uint32_t>(link_pool_.size());
+      max_route_hops_ = std::max(max_route_hops_, r.hops());
+    }
+  }
+  max_hops_ = max_route_hops_;
+
+  // ---- multicast state: streams and destination lists per source. ----
+  dest_offset_.assign(un + 1, 0);
+  stream_offset_.assign(un + 1, 0);
+  mc_stop_count_.assign(un, 0);
+  mc_max_hops_.assign(un, 0);
+  if (pattern == nullptr) return;
+  for (NodeId s = 0; s < n; ++s) {
+    const std::vector<NodeId>& dests = pattern->destinations(s);
+    dest_pool_.insert(dest_pool_.end(), dests.begin(), dests.end());
+    dest_offset_[static_cast<std::size_t>(s) + 1] =
+        static_cast<std::uint32_t>(dest_pool_.size());
+    int stops = 0;
+    int mc_hops = 0;
+    if (!dests.empty()) {
+      if (hardware_streams_) {
+        for (const MulticastStream& st : topo.multicast_streams(s, dests)) {
+          QUARC_ASSERT(st.link_vcs.size() == st.links.size(), "stream vc table size mismatch");
+          StreamRec rec;
+          rec.port = st.port;
+          rec.injection = st.injection;
+          rec.link_begin = static_cast<std::uint32_t>(link_pool_.size());
+          link_pool_.insert(link_pool_.end(), st.links.begin(), st.links.end());
+          vc_pool_.insert(vc_pool_.end(), st.link_vcs.begin(), st.link_vcs.end());
+          rec.link_end = static_cast<std::uint32_t>(link_pool_.size());
+          rec.stop_begin = static_cast<std::uint32_t>(stop_pool_.size());
+          stop_pool_.insert(stop_pool_.end(), st.stops.begin(), st.stops.end());
+          rec.stop_end = static_cast<std::uint32_t>(stop_pool_.size());
+          streams_.push_back(rec);
+          stops += static_cast<int>(st.stops.size());
+          mc_hops = std::max(mc_hops, st.hops());
+        }
+        QUARC_ASSERT(stops == static_cast<int>(dests.size()),
+                     "streams do not cover the destination set exactly");
+      } else {
+        stops = static_cast<int>(dests.size());
+        for (const NodeId d : dests) mc_hops = std::max(mc_hops, route(s, d).hops());
+      }
+    }
+    stream_offset_[static_cast<std::size_t>(s) + 1] =
+        static_cast<std::uint32_t>(streams_.size());
+    mc_stop_count_[static_cast<std::size_t>(s)] = stops;
+    mc_max_hops_[static_cast<std::size_t>(s)] = mc_hops;
+    max_hops_ = std::max(max_hops_, mc_hops);
+  }
+}
+
+std::size_t RoutePlan::route_index(NodeId s, NodeId d) const {
+  return static_cast<std::size_t>(s) * static_cast<std::size_t>(topo_->num_nodes()) +
+         static_cast<std::size_t>(d);
+}
+
+RouteView RoutePlan::route(NodeId s, NodeId d) const {
+  topo_->check_pair(s, d);
+  const RouteRec& rec = routes_[route_index(s, d)];
+  RouteView v;
+  v.source = s;
+  v.dest = d;
+  v.port = rec.port;
+  v.injection = rec.injection;
+  v.ejection = rec.ejection;
+  v.links = std::span<const ChannelId>(link_pool_).subspan(rec.link_begin,
+                                                           rec.link_end - rec.link_begin);
+  v.link_vcs = std::span<const std::uint8_t>(vc_pool_).subspan(rec.link_begin,
+                                                               rec.link_end - rec.link_begin);
+  return v;
+}
+
+std::span<const NodeId> RoutePlan::multicast_dests(NodeId s) const {
+  QUARC_REQUIRE(s >= 0 && s < topo_->num_nodes(), "source node out of range");
+  if (pattern_ == nullptr) return {};
+  const auto us = static_cast<std::size_t>(s);
+  return std::span<const NodeId>(dest_pool_)
+      .subspan(dest_offset_[us], dest_offset_[us + 1] - dest_offset_[us]);
+}
+
+std::size_t RoutePlan::stream_count(NodeId s) const {
+  QUARC_REQUIRE(s >= 0 && s < topo_->num_nodes(), "source node out of range");
+  const auto us = static_cast<std::size_t>(s);
+  return stream_offset_.empty() ? 0 : stream_offset_[us + 1] - stream_offset_[us];
+}
+
+StreamView RoutePlan::stream(NodeId s, std::size_t i) const {
+  QUARC_REQUIRE(i < stream_count(s), "stream index out of range");
+  const StreamRec& rec = streams_[stream_offset_[static_cast<std::size_t>(s)] + i];
+  StreamView v;
+  v.source = s;
+  v.port = rec.port;
+  v.injection = rec.injection;
+  v.links = std::span<const ChannelId>(link_pool_).subspan(rec.link_begin,
+                                                           rec.link_end - rec.link_begin);
+  v.link_vcs = std::span<const std::uint8_t>(vc_pool_).subspan(rec.link_begin,
+                                                               rec.link_end - rec.link_begin);
+  v.stops = std::span<const MulticastStop>(stop_pool_)
+                .subspan(rec.stop_begin, rec.stop_end - rec.stop_begin);
+  return v;
+}
+
+int RoutePlan::multicast_stop_count(NodeId s) const {
+  QUARC_REQUIRE(s >= 0 && s < topo_->num_nodes(), "source node out of range");
+  return mc_stop_count_[static_cast<std::size_t>(s)];
+}
+
+int RoutePlan::multicast_max_hops(NodeId s) const {
+  QUARC_REQUIRE(s >= 0 && s < topo_->num_nodes(), "source node out of range");
+  return mc_max_hops_[static_cast<std::size_t>(s)];
+}
+
+std::uint64_t RoutePlan::structural_digest() const {
+  // Byte-compatible with the structural topology digest historically
+  // computed by the fingerprint layer from direct unicast_route() /
+  // multicast_streams() calls: same field order, same "<int>;" mixing.
+  // Keeping the byte layout means plan-backed fingerprints of adopted
+  // topologies key the same on-disk cache entries the direct digests did.
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  auto mix = [&h](std::int64_t v) { h = fnv1a64(std::to_string(v) + ";", h); };
+  const Topology& topo = *topo_;
+  const int n = topo.num_nodes();
+  mix(n);
+  mix(topo.num_ports());
+  for (const ChannelInfo& c : topo.channels()) {
+    mix(static_cast<std::int64_t>(c.kind));
+    mix(c.src);
+    mix(c.dst);
+    mix(c.port);
+    mix(c.vcs);
+    mix(c.dedicated ? 1 : 0);
+  }
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId d = 0; d < n; ++d) {
+      if (s == d) continue;
+      const RouteView r = route(s, d);
+      mix(r.port);
+      mix(r.injection);
+      for (const ChannelId link : r.links) mix(link);
+      for (const std::uint8_t vc : r.link_vcs) mix(vc);
+      mix(r.ejection);
+    }
+    for (std::size_t i = 0; i < stream_count(s); ++i) {
+      const StreamView st = stream(s, i);
+      mix(st.port);
+      mix(st.injection);
+      for (const ChannelId link : st.links) mix(link);
+      for (const MulticastStop& stop : st.stops) {
+        mix(stop.hop);
+        mix(stop.node);
+        mix(stop.ejection);
+      }
+    }
+  }
+  return h;
+}
+
+}  // namespace quarc

@@ -1,0 +1,167 @@
+// RoutePlan — routes and multicast streams compiled once per
+// (topology, pattern), shared read-only by every consumer.
+//
+// The paper's pipeline assumes routing is *fixed* for a given (topology,
+// pattern) pair: channel rates are accumulated from deterministic routes
+// (Eq. 1-2), the M/G/1 recursion runs over the resulting channel graph
+// (Eq. 3-6), and path latency is assembled by walking the same routes
+// again (Eq. 7-16). Deriving each route on demand re-pays the routing
+// arithmetic and — worse, on the hot path — a fresh std::vector per call,
+// at every rate point of every sweep. A RoutePlan pays that cost exactly
+// once: it materialises all N*(N-1) unicast routes and every per-source
+// BRCP multicast stream into flat CSR-style pools (one contiguous link
+// pool plus offset records) and hands out cheap non-owning views.
+//
+//   topo ──► RoutePlan ──► { ChannelGraph, PerformanceModel,
+//            (compile        Simulator, fingerprint }
+//             once)
+//
+// Consumers iterate views in exactly the order the direct calls used to
+// produce, so rate accumulation, model assembly and simulator worm
+// construction are bit-identical to deriving routes from scratch — the
+// route-plan test-suite pins this link-for-link and byte-for-byte.
+//
+// Thread safety: a RoutePlan is immutable after construction; concurrent
+// sweeps share one instance across threads and shards without locking.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "quarc/topo/topology.hpp"
+
+namespace quarc {
+
+class MulticastPattern;
+
+/// Non-owning view of one compiled unicast route (spans into the plan's
+/// pools). Field-for-field equal to the UnicastRoute the topology returns.
+struct RouteView {
+  NodeId source = kInvalidNode;
+  NodeId dest = kInvalidNode;
+  PortId port = 0;
+  ChannelId injection = kInvalidChannel;
+  ChannelId ejection = kInvalidChannel;
+  std::span<const ChannelId> links;
+  std::span<const std::uint8_t> link_vcs;
+
+  /// Number of external hops (the D of paper Eq. 7).
+  int hops() const { return static_cast<int>(links.size()); }
+};
+
+/// Non-owning view of one compiled multicast stream (the S_{j,c} of paper
+/// Eq. 1). Field-for-field equal to the MulticastStream the topology
+/// returns for the same (source, destination set).
+struct StreamView {
+  NodeId source = kInvalidNode;
+  PortId port = 0;
+  ChannelId injection = kInvalidChannel;
+  std::span<const ChannelId> links;
+  std::span<const std::uint8_t> link_vcs;
+  std::span<const MulticastStop> stops;
+
+  /// Hop count to the stream's last destination (the D_{j,c} of Eq. 7).
+  int hops() const { return static_cast<int>(links.size()); }
+};
+
+/// Views over directly derived routes/streams (tests, one-off
+/// diagnostics). The spans alias the argument, which must outlive the
+/// view. Kept next to the view types so a field added to either side is
+/// mapped here, in one place.
+RouteView view_of(const UnicastRoute& r);
+StreamView view_of(const MulticastStream& st);
+
+class RoutePlan {
+ public:
+  /// Compiles every unicast route of `topo`; when `pattern` is non-null,
+  /// also the per-source multicast state — hardware BRCP streams when the
+  /// topology supports them, and the materialised destination lists either
+  /// way (the software-multicast fallback replays unicast routes over
+  /// them). The pattern pointer is kept only as an identity token for
+  /// consistency checks; the plan never dereferences it after compiling.
+  explicit RoutePlan(const Topology& topo, const MulticastPattern* pattern = nullptr);
+
+  /// The topology the plan was compiled from (must outlive the plan).
+  const Topology& topology() const { return *topo_; }
+  /// Identity of the pattern the plan was compiled with (may be null).
+  const MulticastPattern* pattern() const { return pattern_; }
+  /// Whether per-source multicast state was compiled.
+  bool has_multicast() const { return pattern_ != nullptr; }
+  /// Whether the multicast state is hardware BRCP streams (vs. the
+  /// software consecutive-unicast fallback).
+  bool hardware_streams() const { return hardware_streams_; }
+
+  // ---- unicast ----
+  /// Compiled route s -> d; requires s != d and both in range.
+  RouteView route(NodeId s, NodeId d) const;
+  /// Longest unicast route in hops (== Topology::diameter()).
+  int max_route_hops() const { return max_route_hops_; }
+  /// Longest hop count over all routes and streams (the plan's summary).
+  int max_hops() const { return max_hops_; }
+
+  // ---- multicast ----
+  /// Materialised destination set of source s (empty span when the
+  /// pattern assigns none, or without a pattern).
+  std::span<const NodeId> multicast_dests(NodeId s) const;
+  /// Number of hardware streams leaving source s (0 without hardware
+  /// multicast or for an empty destination set).
+  std::size_t stream_count(NodeId s) const;
+  /// The i-th hardware stream of source s (i < stream_count(s)), in the
+  /// order Topology::multicast_streams() returns them.
+  StreamView stream(NodeId s, std::size_t i) const;
+  /// Total absorb stops of source s's multicast (== its fanout; covers
+  /// both hardware streams and the software fallback).
+  int multicast_stop_count(NodeId s) const;
+  /// max_c D_{j,c}: the longest stream (hardware) or longest destination
+  /// route (software) of source s's multicast; 0 for an empty set.
+  int multicast_max_hops(NodeId s) const;
+
+  /// FNV-1a 64 digest of the plan's canonical arrays: node/port counts,
+  /// the channel table, every unicast route and every multicast stream.
+  /// This is the structural cache key for adopted (escape-hatch)
+  /// topologies — two same-named builds with different wiring never
+  /// collide, and the digest provably names the exact routes the model,
+  /// simulator and rate accumulation consume.
+  std::uint64_t structural_digest() const;
+
+ private:
+  struct RouteRec {
+    PortId port = 0;
+    ChannelId injection = kInvalidChannel;
+    ChannelId ejection = kInvalidChannel;
+    std::uint32_t link_begin = 0;
+    std::uint32_t link_end = 0;
+  };
+  struct StreamRec {
+    PortId port = 0;
+    ChannelId injection = kInvalidChannel;
+    std::uint32_t link_begin = 0;
+    std::uint32_t link_end = 0;
+    std::uint32_t stop_begin = 0;
+    std::uint32_t stop_end = 0;
+  };
+
+  std::size_t route_index(NodeId s, NodeId d) const;
+
+  const Topology* topo_;
+  const MulticastPattern* pattern_;
+  bool hardware_streams_ = false;
+  int max_route_hops_ = 0;
+  int max_hops_ = 0;
+
+  // One contiguous pool of external-channel ids (routes first, then
+  // streams), with a parallel virtual-channel pool; records slice into it.
+  std::vector<ChannelId> link_pool_;
+  std::vector<std::uint8_t> vc_pool_;
+  std::vector<RouteRec> routes_;             ///< [s * N + d]; diagonal unused
+  std::vector<StreamRec> streams_;           ///< grouped by source
+  std::vector<std::uint32_t> stream_offset_; ///< [N + 1] into streams_
+  std::vector<MulticastStop> stop_pool_;
+  std::vector<NodeId> dest_pool_;
+  std::vector<std::uint32_t> dest_offset_;   ///< [N + 1] into dest_pool_
+  std::vector<int> mc_stop_count_;           ///< [N]
+  std::vector<int> mc_max_hops_;             ///< [N]
+};
+
+}  // namespace quarc

@@ -22,6 +22,7 @@
 #include <deque>
 #include <vector>
 
+#include "quarc/route/route_plan.hpp"
 #include "quarc/topo/topology.hpp"
 #include "quarc/util/types.hpp"
 
@@ -108,9 +109,14 @@ struct Worm {
     return nullptr;
   }
 
-  /// Builds the stage arrays from a unicast route.
+  /// Builds the stage arrays from a compiled route view (the simulator's
+  /// prototype path — no route derivation involved).
+  static Worm from_route(const RouteView& r, int msg_len);
+  /// Builds the stage arrays (and taps) from a compiled stream view.
+  static Worm from_stream(const StreamView& st, int msg_len);
+  /// Convenience overloads for directly derived routes/streams (tests,
+  /// one-off diagnostics); delegate to the view builders.
   static Worm from_route(const UnicastRoute& r, int msg_len);
-  /// Builds the stage arrays (and taps) from a multicast stream.
   static Worm from_stream(const MulticastStream& st, int msg_len);
 };
 

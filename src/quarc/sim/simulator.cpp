@@ -6,11 +6,25 @@
 
 namespace quarc::sim {
 
+// NOTE: `config` is passed by copy, not moved — the RoutePlan temporary
+// and the target's parameter are constructed in unspecified order, and a
+// move would let the target steal config.workload.pattern before the plan
+// compiles from it.
 Simulator::Simulator(const Topology& topo, SimConfig config)
-    : topo_(&topo),
+    : Simulator(RoutePlan(topo, config.workload.multicast_rate() > 0.0
+                                    ? config.workload.pattern.get()
+                                    : nullptr),
+                config) {}
+
+Simulator::Simulator(const RoutePlan& plan, SimConfig config)
+    : topo_(&plan.topology()),
       config_(std::move(config)),
-      metrics_(config_.batch_count, topo.num_ports(), config_.collect_stream_samples) {
+      metrics_(config_.batch_count, topo_->num_ports(), config_.collect_stream_samples) {
+  const Topology& topo = *topo_;
   config_.workload.validate(topo);
+  QUARC_REQUIRE(config_.workload.multicast_rate() == 0.0 ||
+                    plan.pattern() == config_.workload.pattern.get(),
+                "route plan was compiled with a different multicast pattern");
   QUARC_REQUIRE(config_.buffer_depth >= 1, "buffer depth must be positive");
   QUARC_REQUIRE(config_.warmup_cycles >= 0 && config_.measure_cycles > 0,
                 "warmup must be >= 0 and measurement window positive");
@@ -31,14 +45,16 @@ Simulator::Simulator(const Topology& topo, SimConfig config)
     sources_.emplace_back(i, config_.workload, n, master.split());
   }
 
-  // Route prototypes: unicast for every pair, multicast streams per source.
+  // Worm prototypes from the plan's views: unicast for every pair,
+  // multicast streams per source. Prototypes own their stage arrays, so
+  // the plan is not referenced after construction.
   unicast_proto_.resize(static_cast<std::size_t>(n));
   for (NodeId s = 0; s < n; ++s) {
     auto& row = unicast_proto_[static_cast<std::size_t>(s)];
     row.resize(static_cast<std::size_t>(n));
     for (NodeId d = 0; d < n; ++d) {
       if (d == s) continue;
-      row[static_cast<std::size_t>(d)] = Worm::from_route(topo.unicast_route(s, d), msg);
+      row[static_cast<std::size_t>(d)] = Worm::from_route(plan.route(s, d), msg);
     }
   }
   if (config_.workload.multicast_rate() > 0.0) {
@@ -46,25 +62,17 @@ Simulator::Simulator(const Topology& topo, SimConfig config)
     multicast_stop_count_.resize(static_cast<std::size_t>(n), 0);
     multicast_max_hops_.resize(static_cast<std::size_t>(n), 0);
     for (NodeId s = 0; s < n; ++s) {
-      const auto& dests = config_.workload.pattern->destinations(s);
-      if (dests.empty()) continue;
-      int max_hops = 0;
-      if (topo.supports_multicast()) {
-        int stops = 0;
-        for (const MulticastStream& st : topo.multicast_streams(s, dests)) {
-          multicast_protos_[static_cast<std::size_t>(s)].push_back(Worm::from_stream(st, msg));
-          stops += static_cast<int>(st.stops.size());
-          max_hops = std::max(max_hops, st.hops());
+      if (plan.multicast_dests(s).empty()) continue;
+      multicast_stop_count_[static_cast<std::size_t>(s)] = plan.multicast_stop_count(s);
+      multicast_max_hops_[static_cast<std::size_t>(s)] = plan.multicast_max_hops(s);
+      if (plan.hardware_streams()) {
+        for (std::size_t c = 0; c < plan.stream_count(s); ++c) {
+          multicast_protos_[static_cast<std::size_t>(s)].push_back(
+              Worm::from_stream(plan.stream(s, c), msg));
         }
-        QUARC_ASSERT(stops == static_cast<int>(dests.size()),
-                     "streams do not cover the destination set exactly");
-        multicast_stop_count_[static_cast<std::size_t>(s)] = stops;
-      } else {
-        // Software multicast: consecutive unicasts in destination order.
-        multicast_stop_count_[static_cast<std::size_t>(s)] = static_cast<int>(dests.size());
-        for (NodeId d : dests) max_hops = std::max(max_hops, topo.unicast_route(s, d).hops());
       }
-      multicast_max_hops_[static_cast<std::size_t>(s)] = max_hops;
+      // Software multicast spawns from the unicast prototypes in
+      // destination order (create_multicast); nothing extra to build.
     }
   }
 }

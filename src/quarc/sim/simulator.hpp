@@ -97,10 +97,15 @@ struct SimResult {
 
 class Simulator {
  public:
-  /// The workload is validated against the topology; routes and multicast
-  /// streams are precomputed per node (the destination sets are fixed for
-  /// a whole run, paper Section 4).
+  /// The workload is validated against the topology; worm prototypes are
+  /// built from a RoutePlan compiled privately for this run (the
+  /// destination sets are fixed for a whole run, paper Section 4).
   Simulator(const Topology& topo, SimConfig config);
+  /// Shares an externally compiled plan (the sweep hot path: one plan,
+  /// many points/threads). The plan is only read during construction —
+  /// prototypes own their storage — so it need not outlive the simulator,
+  /// but its topology must.
+  Simulator(const RoutePlan& plan, SimConfig config);
 
   /// Runs to completion and returns the measurements. One-shot: construct a
   /// fresh Simulator per run.

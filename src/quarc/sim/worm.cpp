@@ -4,7 +4,7 @@
 
 namespace quarc::sim {
 
-Worm Worm::from_route(const UnicastRoute& r, int msg_len) {
+Worm Worm::from_route(const RouteView& r, int msg_len) {
   QUARC_ASSERT(msg_len >= 1, "worm needs at least one flit");
   Worm w;
   w.source = r.source;
@@ -25,7 +25,7 @@ Worm Worm::from_route(const UnicastRoute& r, int msg_len) {
   return w;
 }
 
-Worm Worm::from_stream(const MulticastStream& st, int msg_len) {
+Worm Worm::from_stream(const StreamView& st, int msg_len) {
   QUARC_ASSERT(msg_len >= 1, "worm needs at least one flit");
   QUARC_ASSERT(!st.stops.empty(), "stream must have at least one stop");
   Worm w;
@@ -56,6 +56,14 @@ Worm Worm::from_stream(const MulticastStream& st, int msg_len) {
   }
   w.dyn.assign(w.stages.size(), StageDyn{});
   return w;
+}
+
+Worm Worm::from_route(const UnicastRoute& r, int msg_len) {
+  return from_route(view_of(r), msg_len);
+}
+
+Worm Worm::from_stream(const MulticastStream& st, int msg_len) {
+  return from_stream(view_of(st), msg_len);
 }
 
 }  // namespace quarc::sim

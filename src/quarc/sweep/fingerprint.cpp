@@ -7,15 +7,6 @@
 
 namespace quarc {
 
-std::uint64_t fnv1a64(std::string_view bytes, std::uint64_t basis) {
-  std::uint64_t h = basis;
-  for (const char c : bytes) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x100000001B3ULL;
-  }
-  return h;
-}
-
 std::string ScenarioFingerprint::hex() const {
   char buf[17] = {};
   // Fixed-width: to_chars drops leading zeros, so pad by formatting into
@@ -47,47 +38,27 @@ std::uint64_t pattern_digest(const MulticastPattern& pattern, int num_nodes) {
 }
 
 /// Structural digest for adopted (escape-hatch) topologies, whose name()
-/// string does not pin down their wiring: channel table, every unicast
-/// route, and — when a pattern supplies destination sets — the multicast
-/// streams the model would consume. O(N^2 * diameter), paid only for
-/// adopted topologies (spec-built ones are fully named by their spec).
-std::uint64_t topology_digest(const Topology& topo, const MulticastPattern* pattern) {
-  std::uint64_t h = 0xCBF29CE484222325ULL;
-  auto mix = [&h](std::int64_t v) { h = fnv1a64(std::to_string(v) + ";", h); };
-  mix(topo.num_nodes());
-  mix(topo.num_ports());
-  for (const ChannelInfo& c : topo.channels()) {
-    mix(static_cast<std::int64_t>(c.kind));
-    mix(c.src);
-    mix(c.dst);
-    mix(c.port);
-    mix(c.vcs);
-    mix(c.dedicated ? 1 : 0);
+/// string does not pin down their wiring. Digests the RoutePlan's
+/// canonical arrays — channel table, every unicast route, and (when
+/// compiled with a pattern) the multicast streams — so the cache key
+/// names exactly the routing state the model and simulator consume.
+/// Prefers the caller's compiled plan; compiles a throwaway one (O(N^2 *
+/// diameter), paid only for adopted topologies) otherwise. The byte
+/// layout is unchanged from the historical direct-call digest, so
+/// existing on-disk cache keys stay valid.
+std::uint64_t topology_digest(const FingerprintInputs& in) {
+  // The digest must cover the multicast streams whenever a pattern is
+  // attached (the historical key layout), but the caller's plan may have
+  // been compiled without multicast state (unicast-only workloads skip
+  // it). Use the plan only when it was compiled with the same pattern;
+  // compile a throwaway plan otherwise, so both paths digest identical
+  // bytes for identical inputs.
+  if (in.plan != nullptr && in.plan->pattern() == in.pattern) {
+    return in.plan->structural_digest();
   }
-  for (NodeId s = 0; s < topo.num_nodes(); ++s) {
-    for (NodeId d = 0; d < topo.num_nodes(); ++d) {
-      if (s == d) continue;
-      const UnicastRoute r = topo.unicast_route(s, d);
-      mix(r.port);
-      mix(r.injection);
-      for (const ChannelId link : r.links) mix(link);
-      for (const std::uint8_t vc : r.link_vcs) mix(vc);
-      mix(r.ejection);
-    }
-    if (pattern != nullptr && topo.supports_multicast()) {
-      for (const MulticastStream& stream : topo.multicast_streams(s, pattern->destinations(s))) {
-        mix(stream.port);
-        mix(stream.injection);
-        for (const ChannelId link : stream.links) mix(link);
-        for (const MulticastStop& stop : stream.stops) {
-          mix(stop.hop);
-          mix(stop.node);
-          mix(stop.ejection);
-        }
-      }
-    }
-  }
-  return h;
+  QUARC_REQUIRE(in.topology != nullptr,
+                "fingerprint_scenario: adopted topologies must be digested structurally");
+  return RoutePlan(*in.topology, in.pattern).structural_digest();
 }
 
 }  // namespace
@@ -113,10 +84,8 @@ ScenarioFingerprint fingerprint_scenario(const FingerprintInputs& in) {
   if (in.topology_from_spec) {
     line("topology_digest", "spec");  // the spec string names it completely
   } else {
-    QUARC_REQUIRE(in.topology != nullptr,
-                  "fingerprint_scenario: adopted topologies must be digested structurally");
     ScenarioFingerprint structure;
-    structure.hash = topology_digest(*in.topology, in.pattern);
+    structure.hash = topology_digest(in);
     line("topology_digest", structure.hex());
   }
   line("pattern", in.pattern_spec);

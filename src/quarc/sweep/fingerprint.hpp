@@ -27,13 +27,11 @@
 #include <string_view>
 
 #include "quarc/sweep/sweep.hpp"
+#include "quarc/util/hash.hpp"
 
 namespace quarc {
 
 inline constexpr int kFingerprintSchemaVersion = 1;
-
-/// FNV-1a 64-bit over a byte string; `basis` chains multi-part digests.
-std::uint64_t fnv1a64(std::string_view bytes, std::uint64_t basis = 0xCBF29CE484222325ULL);
 
 struct ScenarioFingerprint {
   std::string canonical;   ///< key=value text, one knob per line
@@ -54,10 +52,18 @@ struct FingerprintInputs {
   /// then names it completely). False for adopted/escape-hatch topologies,
   /// whose name() alone is NOT a sound key: the fingerprint then digests
   /// the topology's structure — channel table, every unicast route, and
-  /// (with a pattern) the multicast streams — via `topology`, so two
-  /// same-named builds with different wiring never share cache entries.
+  /// (with a pattern) the multicast streams — via the compiled RoutePlan,
+  /// so two same-named builds with different wiring never share cache
+  /// entries, and the digest names the exact arrays the model and
+  /// simulator consume.
   bool topology_from_spec = true;
-  /// Required when !topology_from_spec; ignored otherwise.
+  /// The scenario's compiled plan (preferred): digested directly when
+  /// !topology_from_spec, guaranteeing the cache key and the evaluation
+  /// layers can never disagree on routing. When null, a throwaway plan is
+  /// compiled from `topology` + `pattern`.
+  const RoutePlan* plan = nullptr;
+  /// Fallback source for the structural digest when `plan` is null;
+  /// required when !topology_from_spec and plan == nullptr.
   const Topology* topology = nullptr;
   std::string pattern_spec;   ///< registry spec; "none" without multicast
   std::uint64_t pattern_seed = 0;

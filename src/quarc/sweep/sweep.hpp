@@ -20,6 +20,12 @@
 // existing parallel_for workers. Concatenating the shard results restores
 // the input order exactly, so a sharded run is bit-identical to the
 // single-shard run — asserted by the sweep test-suite.
+//
+// Routing: every entry point takes either a RoutePlan (preferred — the
+// plan is compiled once per scenario and shared read-only by every rate
+// point, shard and worker thread) or a Topology (convenience — a plan is
+// compiled once per call and shared the same way). No unicast_route() or
+// multicast_streams() call happens per rate point on either path.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +33,7 @@
 #include <vector>
 
 #include "quarc/model/performance_model.hpp"
+#include "quarc/route/route_plan.hpp"
 #include "quarc/sim/simulator.hpp"
 #include "quarc/traffic/workload.hpp"
 
@@ -74,23 +81,34 @@ struct SweepTask {
 
 /// Largest per-node message rate for which the analytical model still
 /// converges, found by doubling + bisection (relative precision ~1e-3).
+/// The plan overload shares one compiled plan across every probe.
+double model_saturation_rate(const RoutePlan& plan, const Workload& base,
+                             ModelOptions options = {});
 double model_saturation_rate(const Topology& topo, const Workload& base,
                              ModelOptions options = {});
 
 /// `points` rates evenly spaced in (0, fill * saturation].
+std::vector<double> rate_grid_to_saturation(const RoutePlan& plan, const Workload& base,
+                                            int points, double fill = 0.9,
+                                            ModelOptions options = {});
 std::vector<double> rate_grid_to_saturation(const Topology& topo, const Workload& base,
                                             int points, double fill = 0.9,
                                             ModelOptions options = {});
 
 /// Evaluates model (and optionally simulator) for every task, honouring
 /// cfg.shards and cfg.threads; cfg.sim.seed is ignored (each task carries
-/// its own seed).
+/// its own seed). The plan is shared read-only by all workers.
+std::vector<RatePointResult> sweep_tasks(const RoutePlan& plan, const Workload& base,
+                                         std::span<const SweepTask> tasks,
+                                         const SweepConfig& cfg);
 std::vector<RatePointResult> sweep_tasks(const Topology& topo, const Workload& base,
                                          std::span<const SweepTask> tasks,
                                          const SweepConfig& cfg);
 
 /// Evaluates model (and optionally simulator) at every rate, with
 /// per-point seeds sweep_point_seed(cfg.sim.seed, rate).
+std::vector<RatePointResult> sweep_rates(const RoutePlan& plan, const Workload& base,
+                                         std::span<const double> rates, const SweepConfig& cfg);
 std::vector<RatePointResult> sweep_rates(const Topology& topo, const Workload& base,
                                          std::span<const double> rates, const SweepConfig& cfg);
 

@@ -1,6 +1,7 @@
 #include "quarc/traffic/pattern.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <set>
 #include <sstream>
 
@@ -94,6 +95,56 @@ std::string UniformRandomPattern::describe() const {
 }
 
 const std::vector<NodeId>& UniformRandomPattern::destinations(NodeId s) const {
+  QUARC_REQUIRE(s >= 0 && s < static_cast<NodeId>(dests_.size()), "source out of range");
+  return dests_[static_cast<std::size_t>(s)];
+}
+
+NeighborhoodPattern::NeighborhoodPattern(int width, int height, int radius, int count, bool wrap,
+                                         Rng& rng)
+    : width_(width), height_(height), radius_(radius), count_(count), wrap_(wrap) {
+  QUARC_REQUIRE(width >= 1 && height >= 1 && width * height >= 2,
+                "neighborhood grid needs at least two nodes");
+  QUARC_REQUIRE(radius >= 1, "neighborhood radius must be >= 1");
+  QUARC_REQUIRE(count >= 1, "neighborhood fanout must be >= 1");
+  const int n = width * height;
+  dests_.resize(static_cast<std::size_t>(n));
+  std::vector<NodeId> ball;
+  for (NodeId s = 0; s < n; ++s) {
+    ball.clear();
+    const int sx = s % width;
+    const int sy = s / width;
+    for (NodeId d = 0; d < n; ++d) {
+      if (d == s) continue;
+      int dx = std::abs(d % width - sx);
+      int dy = std::abs(d / width - sy);
+      if (wrap) {
+        dx = std::min(dx, width - dx);
+        dy = std::min(dy, height - dy);
+      }
+      if (dx + dy <= radius) ball.push_back(d);  // ids ascend: ball is sorted
+    }
+    QUARC_REQUIRE(static_cast<int>(ball.size()) >= count,
+                  "neighborhood ball of node " + std::to_string(s) + " holds only " +
+                      std::to_string(ball.size()) + " nodes; cannot draw " +
+                      std::to_string(count) + " destinations (radius " +
+                      std::to_string(radius) + " on " + std::to_string(width) + "x" +
+                      std::to_string(height) + ")");
+    auto& v = dests_[static_cast<std::size_t>(s)];
+    v.reserve(static_cast<std::size_t>(count));
+    for (int i : sample_without_replacement(0, static_cast<int>(ball.size()) - 1, count, rng)) {
+      v.push_back(ball[static_cast<std::size_t>(i)]);
+    }
+  }
+}
+
+std::string NeighborhoodPattern::describe() const {
+  std::ostringstream os;
+  os << (wrap_ ? "torus-neighborhood" : "mesh-neighborhood") << "(r=" << radius_
+     << ", k=" << count_ << ", " << width_ << "x" << height_ << ")";
+  return os.str();
+}
+
+const std::vector<NodeId>& NeighborhoodPattern::destinations(NodeId s) const {
   QUARC_REQUIRE(s >= 0 && s < static_cast<NodeId>(dests_.size()), "source out of range");
   return dests_[static_cast<std::size_t>(s)];
 }

@@ -80,6 +80,33 @@ class UniformRandomPattern final : public MulticastPattern {
   std::vector<std::vector<NodeId>> dests_;
 };
 
+/// Spatially localized destinations on a 2D grid: each source draws its
+/// destinations uniformly from the Manhattan ball of a given radius
+/// around itself (node id = y * width + x). This is the mesh/torus-native
+/// analogue of the ring-offset "localized" family — locality is measured
+/// in grid hops, not clockwise ring distance, so it matches the distance
+/// metric the mesh/torus routers actually route by.
+class NeighborhoodPattern final : public MulticastPattern {
+ public:
+  /// `count` destinations per source from the radius-`radius` Manhattan
+  /// ball (source excluded). `wrap` selects the torus metric (distances
+  /// wrap at the grid edges) vs. the mesh metric (the ball clips at the
+  /// boundary). Throws InvalidArgument when any source's ball holds fewer
+  /// than `count` nodes.
+  NeighborhoodPattern(int width, int height, int radius, int count, bool wrap, Rng& rng);
+
+  std::string describe() const override;
+  const std::vector<NodeId>& destinations(NodeId s) const override;
+
+  int radius() const { return radius_; }
+  bool wrap() const { return wrap_; }
+
+ private:
+  int width_, height_, radius_, count_;
+  bool wrap_;
+  std::vector<std::vector<NodeId>> dests_;
+};
+
 /// Arbitrary per-source destination sets.
 class ExplicitPattern final : public MulticastPattern {
  public:

@@ -1,0 +1,23 @@
+// Shared non-cryptographic hashing primitives.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace quarc {
+
+/// FNV-1a 64-bit over a byte string; `basis` chains multi-part digests.
+/// Used by scenario fingerprints and RoutePlan structural digests — both
+/// must stay stable across runs and processes, which FNV-1a's fixed
+/// constants guarantee.
+inline std::uint64_t fnv1a64(std::string_view bytes,
+                             std::uint64_t basis = 0xCBF29CE484222325ULL) {
+  std::uint64_t h = basis;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace quarc

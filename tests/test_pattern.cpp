@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <set>
 
 #include "quarc/topo/quarc.hpp"
@@ -123,6 +124,54 @@ TEST(Workload, RateSplit) {
   w.multicast_fraction = 0.25;
   EXPECT_DOUBLE_EQ(w.unicast_rate(), 0.015);
   EXPECT_DOUBLE_EQ(w.multicast_rate(), 0.005);
+}
+
+TEST(NeighborhoodPattern, DestinationsStayInsideTheManhattanBall) {
+  Rng rng(7);
+  NeighborhoodPattern p(6, 6, 2, 4, /*wrap=*/false, rng);
+  for (NodeId s = 0; s < 36; ++s) {
+    const int sx = s % 6, sy = s / 6;
+    std::set<NodeId> seen;
+    ASSERT_EQ(p.destinations(s).size(), 4u);
+    for (NodeId d : p.destinations(s)) {
+      EXPECT_NE(d, s);
+      EXPECT_TRUE(seen.insert(d).second) << "duplicate destination";
+      const int dist = std::abs(d % 6 - sx) + std::abs(d / 6 - sy);
+      EXPECT_LE(dist, 2) << "node " << d << " outside the ball of " << s;
+    }
+  }
+}
+
+TEST(NeighborhoodPattern, WrapMetricReachesAcrossGridEdges) {
+  // With the torus metric, the corner's radius-1 ball holds its wrapped
+  // neighbours, so a full radius-1 broadcast (k=4) is satisfiable from
+  // every node; the clipped mesh metric has only 2 corner neighbours.
+  Rng rng(7);
+  NeighborhoodPattern wrapped(4, 4, 1, 4, /*wrap=*/true, rng);
+  const std::set<NodeId> corner(wrapped.destinations(0).begin(), wrapped.destinations(0).end());
+  EXPECT_EQ(corner, (std::set<NodeId>{1, 3, 4, 12}));  // e/w/s/n with wrap
+
+  Rng rng2(7);
+  EXPECT_THROW(NeighborhoodPattern(4, 4, 1, 4, /*wrap=*/false, rng2), InvalidArgument);
+}
+
+TEST(NeighborhoodPattern, ValidatesItsParameters) {
+  Rng rng(1);
+  EXPECT_THROW(NeighborhoodPattern(1, 1, 1, 1, false, rng), InvalidArgument);   // < 2 nodes
+  EXPECT_THROW(NeighborhoodPattern(4, 4, 0, 1, false, rng), InvalidArgument);   // radius < 1
+  EXPECT_THROW(NeighborhoodPattern(4, 4, 1, 0, false, rng), InvalidArgument);   // fanout < 1
+  EXPECT_THROW(NeighborhoodPattern(4, 4, 1, 3, false, rng), InvalidArgument);   // corner ball: 2
+}
+
+TEST(NeighborhoodPattern, DescribeNamesMetricRadiusAndGrid) {
+  Rng rng(1);
+  NeighborhoodPattern mesh_p(4, 4, 2, 3, false, rng);
+  EXPECT_NE(mesh_p.describe().find("mesh-neighborhood"), std::string::npos);
+  EXPECT_NE(mesh_p.describe().find("r=2"), std::string::npos);
+  EXPECT_NE(mesh_p.describe().find("4x4"), std::string::npos);
+  Rng rng2(1);
+  NeighborhoodPattern torus_p(4, 4, 2, 3, true, rng2);
+  EXPECT_NE(torus_p.describe().find("torus-neighborhood"), std::string::npos);
 }
 
 TEST(Workload, DescribeMentionsKeyParameters) {

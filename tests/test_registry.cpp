@@ -140,6 +140,40 @@ TEST(PatternRegistry, UnknownOrMalformedSpecsThrow) {
   EXPECT_THROW(make_pattern("localized:1:4", 16, rng), InvalidArgument);
 }
 
+TEST(PatternRegistry, NeighborhoodSpecsBuildAndScale) {
+  Rng rng(1);
+  // Square grid inferred from the node count; explicit WxH for rectangles.
+  const auto p = make_pattern("neighborhood:2:3", 16, rng);
+  ASSERT_NE(p, nullptr);
+  EXPECT_NE(p->describe().find("mesh-neighborhood"), std::string::npos);
+  EXPECT_EQ(p->fanout(5), 3u);
+  // H=2 wraps y-neighbours onto one node: the radius-1 ball holds 3 nodes.
+  const auto rect = make_pattern("neighborhood-wrap:1:3:8x2", 16, rng);
+  ASSERT_NE(rect, nullptr);
+  EXPECT_NE(rect->describe().find("8x2"), std::string::npos);
+}
+
+TEST(PatternRegistry, NeighborhoodSpecParseErrorsNameTheProblem) {
+  Rng rng(1);
+  // Arity and type errors come from the spec layer...
+  EXPECT_THROW(make_pattern("neighborhood:2", 16, rng), InvalidArgument);
+  EXPECT_THROW(make_pattern("neighborhood:2:3:4x4:9", 16, rng), InvalidArgument);
+  EXPECT_THROW(make_pattern("neighborhood:two:3", 16, rng), InvalidArgument);
+  // ...grid mismatches from the neighborhood factory...
+  EXPECT_THROW(make_pattern("neighborhood:2:3:5x5", 16, rng), InvalidArgument);   // 25 != 16
+  EXPECT_THROW(make_pattern("neighborhood:2:3", 12, rng), InvalidArgument);       // not square
+  // ...and parameter violations from the pattern itself.
+  EXPECT_THROW(make_pattern("neighborhood:0:3", 16, rng), InvalidArgument);       // radius < 1
+  EXPECT_THROW(make_pattern("neighborhood:1:4", 16, rng), InvalidArgument);       // ball too small
+  try {
+    make_pattern("neighborhood:2:3:5x5", 16, rng);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("neighborhood:2:3:5x5"), std::string::npos)
+        << "error must quote the offending spec";
+  }
+}
+
 TEST(Registries, SelfRegistrationIsOpenForExtension) {
   // A new factory registered at runtime resolves immediately — the same
   // mechanism the built-ins use at static-init time.

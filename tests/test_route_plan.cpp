@@ -1,0 +1,331 @@
+// RoutePlan equivalence and sharing guarantees.
+//
+// The refactor contract: a RoutePlan compiled from (topology, pattern) is
+// indistinguishable from deriving every route and stream directly —
+// link-for-link, stop-for-stop, digest-for-digest — and a plan-backed
+// sweep serialises byte-identically to solving every point against the
+// topology directly. These tests pin that contract across all shipped
+// topology families.
+#include "quarc/route/route_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "quarc/api/registry.hpp"
+#include "quarc/api/scenario.hpp"
+#include "quarc/model/channel_graph.hpp"
+#include "quarc/model/performance_model.hpp"
+#include "quarc/sim/simulator.hpp"
+#include "quarc/sweep/fingerprint.hpp"
+#include "quarc/sweep/sweep.hpp"
+#include "quarc/traffic/pattern.hpp"
+#include "quarc/util/error.hpp"
+
+namespace quarc {
+namespace {
+
+/// One spec per shipped topology family, each with a pattern that
+/// exercises its multicast path (hardware streams where supported,
+/// software expansion elsewhere).
+const std::vector<std::pair<const char*, const char*>> kCases = {
+    {"quarc:16", "broadcast"},     {"quarc1p:16", "random:5"}, {"spidergon:16", "random:5"},
+    {"mesh:4x4", "uniform:4"},     {"mesh-ham:4x4", "broadcast"},
+    {"torus:4x4", "neighborhood-wrap:2:3"},                    {"hypercube:4", "uniform:4"},
+};
+
+struct Built {
+  std::unique_ptr<Topology> topo;
+  std::shared_ptr<const MulticastPattern> pattern;
+  RoutePlan plan;
+};
+
+Built build(const char* topo_spec, const char* pattern_spec) {
+  auto topo = api::make_topology(topo_spec);
+  Rng rng(11);
+  auto pattern = api::make_pattern(pattern_spec, topo->num_nodes(), rng);
+  RoutePlan plan(*topo, pattern.get());
+  return Built{std::move(topo), std::move(pattern), std::move(plan)};
+}
+
+TEST(RoutePlan, RouteViewsMatchDirectRoutesLinkForLink) {
+  for (const auto& [topo_spec, pattern_spec] : kCases) {
+    SCOPED_TRACE(topo_spec);
+    const Built b = build(topo_spec, pattern_spec);
+    const int n = b.topo->num_nodes();
+    int max_hops = 0;
+    for (NodeId s = 0; s < n; ++s) {
+      for (NodeId d = 0; d < n; ++d) {
+        if (s == d) continue;
+        SCOPED_TRACE(std::to_string(s) + "->" + std::to_string(d));
+        const UnicastRoute direct = b.topo->unicast_route(s, d);
+        const RouteView view = b.plan.route(s, d);
+        EXPECT_EQ(view.source, direct.source);
+        EXPECT_EQ(view.dest, direct.dest);
+        EXPECT_EQ(view.port, direct.port);
+        EXPECT_EQ(view.injection, direct.injection);
+        EXPECT_EQ(view.ejection, direct.ejection);
+        ASSERT_EQ(view.links.size(), direct.links.size());
+        ASSERT_EQ(view.link_vcs.size(), direct.link_vcs.size());
+        for (std::size_t i = 0; i < direct.links.size(); ++i) {
+          EXPECT_EQ(view.links[i], direct.links[i]) << "link " << i;
+          EXPECT_EQ(view.link_vcs[i], direct.link_vcs[i]) << "vc " << i;
+        }
+        max_hops = std::max(max_hops, direct.hops());
+      }
+    }
+    EXPECT_EQ(b.plan.max_route_hops(), max_hops);
+    EXPECT_EQ(b.plan.max_route_hops(), b.topo->diameter());
+  }
+}
+
+TEST(RoutePlan, StreamViewsMatchDirectStreamsStopForStop) {
+  for (const auto& [topo_spec, pattern_spec] : kCases) {
+    SCOPED_TRACE(topo_spec);
+    const Built b = build(topo_spec, pattern_spec);
+    const int n = b.topo->num_nodes();
+    EXPECT_EQ(b.plan.hardware_streams(), b.topo->supports_multicast());
+    for (NodeId s = 0; s < n; ++s) {
+      SCOPED_TRACE("source " + std::to_string(s));
+      const auto& dests = b.pattern->destinations(s);
+      const auto plan_dests = b.plan.multicast_dests(s);
+      ASSERT_EQ(plan_dests.size(), dests.size());
+      for (std::size_t i = 0; i < dests.size(); ++i) EXPECT_EQ(plan_dests[i], dests[i]);
+
+      if (!b.topo->supports_multicast()) {
+        EXPECT_EQ(b.plan.stream_count(s), 0u);
+        int max_hops = 0;
+        for (NodeId d : dests) max_hops = std::max(max_hops, b.topo->unicast_route(s, d).hops());
+        EXPECT_EQ(b.plan.multicast_max_hops(s), max_hops);
+        EXPECT_EQ(b.plan.multicast_stop_count(s), static_cast<int>(dests.size()));
+        continue;
+      }
+      const auto direct = dests.empty() ? std::vector<MulticastStream>{}
+                                        : b.topo->multicast_streams(s, dests);
+      ASSERT_EQ(b.plan.stream_count(s), direct.size());
+      int max_hops = 0;
+      int stops = 0;
+      for (std::size_t c = 0; c < direct.size(); ++c) {
+        SCOPED_TRACE("stream " + std::to_string(c));
+        const MulticastStream& ds = direct[c];
+        const StreamView view = b.plan.stream(s, c);
+        EXPECT_EQ(view.source, ds.source);
+        EXPECT_EQ(view.port, ds.port);
+        EXPECT_EQ(view.injection, ds.injection);
+        ASSERT_EQ(view.links.size(), ds.links.size());
+        ASSERT_EQ(view.link_vcs.size(), ds.link_vcs.size());
+        for (std::size_t i = 0; i < ds.links.size(); ++i) {
+          EXPECT_EQ(view.links[i], ds.links[i]) << "link " << i;
+          EXPECT_EQ(view.link_vcs[i], ds.link_vcs[i]) << "vc " << i;
+        }
+        ASSERT_EQ(view.stops.size(), ds.stops.size());
+        for (std::size_t i = 0; i < ds.stops.size(); ++i) {
+          EXPECT_EQ(view.stops[i].hop, ds.stops[i].hop) << "stop " << i;
+          EXPECT_EQ(view.stops[i].node, ds.stops[i].node) << "stop " << i;
+          EXPECT_EQ(view.stops[i].ejection, ds.stops[i].ejection) << "stop " << i;
+        }
+        max_hops = std::max(max_hops, ds.hops());
+        stops += static_cast<int>(ds.stops.size());
+      }
+      EXPECT_EQ(b.plan.multicast_max_hops(s), max_hops);
+      EXPECT_EQ(b.plan.multicast_stop_count(s), stops);
+    }
+    // The plan-level summary is the max over both route and stream hops
+    // (the per-source terms were verified against direct derivation
+    // above).
+    int expected_max = b.plan.max_route_hops();
+    for (NodeId s = 0; s < n; ++s) {
+      expected_max = std::max(expected_max, b.plan.multicast_max_hops(s));
+    }
+    EXPECT_EQ(b.plan.max_hops(), expected_max);
+  }
+}
+
+TEST(RoutePlan, UnicastOnlyScenarioIgnoresAnAttachedPattern) {
+  // alpha = 0: the pattern is never used, so a pattern that does not fit
+  // the topology must be neither compiled nor validated (the pre-plan
+  // behaviour). Raising alpha makes the mismatch real — then it throws.
+  Rng rng(1);
+  const auto oversized = api::make_pattern("random:4", 64, rng);  // 64-node pattern
+  api::Scenario s;
+  s.topology("mesh:4x4").pattern(oversized).alpha(0.0).rate(0.002);
+  EXPECT_NO_THROW(s.run_model());
+  s.alpha(0.05);
+  EXPECT_THROW(s.run_model(), InvalidArgument);
+}
+
+TEST(RoutePlan, ChannelGraphFromPlanIsIdenticalToDirect) {
+  for (const auto& [topo_spec, pattern_spec] : kCases) {
+    SCOPED_TRACE(topo_spec);
+    const Built b = build(topo_spec, pattern_spec);
+    Workload load;
+    load.message_rate = 0.004;
+    load.multicast_fraction = 0.05;
+    load.message_length = 32;
+    load.pattern = b.pattern;
+    const ChannelGraph direct(*b.topo, load);
+    const ChannelGraph planned(b.plan, load);
+    for (ChannelId c = 0; c < b.topo->num_channels(); ++c) {
+      EXPECT_EQ(planned.lambda(c), direct.lambda(c)) << "channel " << c;
+      EXPECT_EQ(planned.outgoing(c), direct.outgoing(c)) << "channel " << c;
+    }
+  }
+}
+
+TEST(RoutePlan, StructuralDigestMatchesThrowawayCompile) {
+  // The fingerprint layer digests the caller's plan when provided and
+  // compiles a throwaway one otherwise; both must produce the same
+  // canonical text, or a Scenario-attached cache would re-key entries an
+  // externally fingerprinted run wrote.
+  SweepConfig cfg;
+  const auto topo = api::make_topology("quarc:16");
+  Rng rng(3);
+  const auto pattern = api::make_pattern("random:4", topo->num_nodes(), rng);
+  const RoutePlan plan(*topo, pattern.get());
+
+  FingerprintInputs in;
+  in.topology_spec = "adopted-quarc";
+  in.topology_from_spec = false;
+  in.topology = topo.get();
+  in.pattern_spec = "random:4";
+  in.pattern = pattern.get();
+  in.num_nodes = topo->num_nodes();
+  in.alpha = 0.05;
+  in.message_length = 32;
+  in.seed = 1;
+  in.sweep = &cfg;
+  const ScenarioFingerprint without_plan = fingerprint_scenario(in);
+  in.plan = &plan;
+  const ScenarioFingerprint with_plan = fingerprint_scenario(in);
+  EXPECT_EQ(with_plan.canonical, without_plan.canonical);
+  EXPECT_EQ(with_plan.hash, without_plan.hash);
+}
+
+TEST(RoutePlan, ScenarioCompilesThePlanOncePerAssembly) {
+  api::Scenario s;
+  s.topology("quarc:16").pattern("random:4").alpha(0.05).message_length(16).seed(5);
+  const RoutePlan* first = &s.route_plan();
+  s.rate(0.003);          // workload knobs do not touch routing
+  s.run_model();          // repeated validation must not recompile
+  EXPECT_EQ(&s.route_plan(), first);
+
+  s.seed(6);              // spec patterns are seed-drawn: plan changes
+  EXPECT_NE(&s.route_plan(), first);
+}
+
+// The headline byte-identity guarantee: a Scenario sweep (one shared
+// plan for all points, threads and shards) serialises exactly the bytes
+// produced by solving every point directly against the topology — the
+// pre-refactor execution shape. Covers a hardware-multicast and a
+// software-multicast topology.
+TEST(RoutePlan, PlanBackedSweepIsByteIdenticalToDirectPerPointRuns) {
+  struct Case {
+    const char* topo_spec;
+    const char* pattern_spec;
+  };
+  for (const Case& c : {Case{"quarc:16", "random:4"}, Case{"torus:4x4", "neighborhood-wrap:2:3"}}) {
+    SCOPED_TRACE(c.topo_spec);
+    const std::uint64_t seed = 5;
+    const std::vector<double> rates = {0.001, 0.002, 0.003};
+
+    api::Scenario scenario;
+    scenario.topology(c.topo_spec)
+        .pattern(c.pattern_spec)
+        .alpha(0.05)
+        .message_length(16)
+        .seed(seed)
+        .warmup(500)
+        .measure(4000)
+        .shards(2);
+    std::ostringstream planned;
+    scenario.run_sweep(rates).write_json(planned);
+
+    // Direct reference: identical assembly, but every point constructs
+    // its own model and simulator straight from the Topology.
+    const auto topo = api::make_topology(c.topo_spec);
+    Rng rng(seed);
+    const auto pattern = api::make_pattern(c.pattern_spec, topo->num_nodes(), rng);
+    Workload base;
+    base.multicast_fraction = 0.05;
+    base.message_length = 16;
+    base.pattern = pattern;
+
+    api::ResultSet reference;
+    reference.topology = c.topo_spec;
+    reference.topology_name = topo->name();
+    reference.nodes = topo->num_nodes();
+    reference.ports = topo->num_ports();
+    reference.diameter = topo->diameter();
+    reference.pattern = c.pattern_spec;
+    reference.alpha = 0.05;
+    reference.message_length = 16;
+    reference.seed = seed;
+    {
+      // ResultSet metadata quotes the *configured* (pre-sweep) rate; the
+      // Scenario above never set one, so it reports the builder default.
+      Workload described = base;
+      described.message_rate = 0.004;
+      reference.workload = described.describe();
+    }
+    for (const double rate : rates) {
+      Workload w = base;
+      w.message_rate = rate;
+      RatePointResult point;
+      point.rate = rate;
+      point.model = PerformanceModel(*topo, w).evaluate();
+      sim::SimConfig sc;
+      sc.workload = w;
+      sc.seed = sweep_point_seed(seed, rate);
+      sc.warmup_cycles = 500;
+      sc.measure_cycles = 4000;
+      sim::Simulator simulator(*topo, sc);
+      point.sim = simulator.run();
+      point.sim_run = true;
+      reference.rows.push_back(api::ResultRow::from_point(point));
+    }
+    std::ostringstream direct;
+    reference.write_json(direct);
+    EXPECT_EQ(planned.str(), direct.str());
+  }
+}
+
+TEST(RoutePlan, SimulatorFromPlanMatchesSimulatorFromTopology) {
+  const Built b = build("quarc:16", "random:4");
+  sim::SimConfig sc;
+  sc.workload.message_rate = 0.004;
+  sc.workload.multicast_fraction = 0.1;
+  sc.workload.message_length = 16;
+  sc.workload.pattern = b.pattern;
+  sc.seed = 99;
+  sc.warmup_cycles = 500;
+  sc.measure_cycles = 4000;
+  const sim::SimResult from_topo = sim::Simulator(*b.topo, sc).run();
+  const sim::SimResult from_plan = sim::Simulator(b.plan, sc).run();
+  EXPECT_EQ(from_plan.unicast_latency.mean, from_topo.unicast_latency.mean);
+  EXPECT_EQ(from_plan.multicast_latency.mean, from_topo.multicast_latency.mean);
+  EXPECT_EQ(from_plan.cycles_run, from_topo.cycles_run);
+  EXPECT_EQ(from_plan.messages_generated, from_topo.messages_generated);
+  EXPECT_EQ(from_plan.flits_injected, from_topo.flits_injected);
+  EXPECT_EQ(from_plan.flits_absorbed, from_topo.flits_absorbed);
+  EXPECT_EQ(from_plan.channel_utilization, from_topo.channel_utilization);
+}
+
+TEST(RoutePlan, MismatchedPatternIsRejected) {
+  const auto topo = api::make_topology("quarc:16");
+  Rng rng(1);
+  const auto a = api::make_pattern("random:4", 16, rng);
+  const auto other = api::make_pattern("random:4", 16, rng);
+  const RoutePlan plan(*topo, a.get());
+  Workload load;
+  load.message_rate = 0.004;
+  load.multicast_fraction = 0.05;
+  load.message_length = 16;
+  load.pattern = other;  // different object: plan identity check must fire
+  EXPECT_THROW(ChannelGraph(plan, load), InvalidArgument);
+  EXPECT_THROW(PerformanceModel(plan, load), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace quarc
