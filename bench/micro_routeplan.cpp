@@ -1,16 +1,16 @@
-// Micro-bench: plan-backed vs. direct-route ChannelGraph construction.
+// Micro-bench: plan-backed vs. direct-route one-off ChannelGraph builds.
 //
-// ChannelGraph construction is the per-rate-point heart of model
-// assembly: every rate point of every sweep accumulates channel rates
-// over all N*(N-1) unicast routes (plus the multicast expansion). The
-// direct path — ChannelGraph(topo, load) — re-derives every route from
-// scratch per call (compiling a throwaway RoutePlan, exactly what each
-// rate point paid before plans existed); the plan-backed path —
-// ChannelGraph(plan, load) — reuses a RoutePlan compiled once, which is
-// what Scenario::run_sweep shares across all rate points. The ratio is
-// the per-point speedup a sweep gains on rate accumulation. The two
-// constructions are bit-identical (pinned by the route-plan test-suite);
-// this binary only times them.
+// Both paths compile an exact FlowGraph (accumulating channel rates over
+// all N*(N-1) unicast routes plus the multicast expansion, then CSR-ing
+// the result): the direct path — ChannelGraph(topo, load) — additionally
+// re-derives every route from scratch by compiling a throwaway RoutePlan
+// per call, while the plan-backed path — ChannelGraph(plan, load) —
+// reuses a RoutePlan compiled once. The ratio is the speedup plan
+// sharing gives a *one-off* graph build (tests, diagnostics, ablations).
+// The sweep hot path no longer builds graphs per rate point at all — it
+// scales a shared FlowGraph — which bench_micro_solver measures. The two
+// constructions here are bit-identical (pinned by the route-plan
+// test-suite); this binary only times them.
 //
 // Run: ./build/bench_micro_routeplan [--quick]
 #include <chrono>

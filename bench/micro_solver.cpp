@@ -1,0 +1,322 @@
+// Micro-bench: per-rate-point build + solve cost across the fig6 grid.
+//
+// The Eq. 6 pipeline pays two costs at every rate point of a latency
+// curve: assembling the flow structure (the pre-FlowGraph ChannelGraph
+// rebuilt its adjacency from every route, per point) and running the
+// service-time fixed-point iteration (historically cold-started from the
+// drain-time floor x = M). A FlowGraph removes the first cost entirely —
+// the structure is compiled once per scenario and a rate point is a pure
+// scale of unit weights — and its closed-form zero-load seed
+// (x0 = M + steps_to_eject) shrinks the second: low-load points start at
+// (essentially) the answer instead of walking up from M at damping 0.5.
+//
+// Both comparisons are measured over the model's own fig6 rate grids
+// (0.85 x saturation, the grid bench_fig6_random_multicast sweeps):
+//
+//   rebuild us   per-point exact structure compile (historical build)
+//   scaled us    per-point cost against the shared FlowGraph (scale only)
+//   cold/seeded  solver iterations and time from the drain-time seed vs
+//                the zero-load seed — identical converged status, same
+//                tolerance, byte-compatible determinism contract
+//
+// Emits BENCH_solver.json (path overridable as the last argument) with
+// the per-rate trajectories, so CI and future PRs can track the totals.
+//
+// Run: ./build/bench_micro_solver [--quick] [out.json]
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "quarc/api/registry.hpp"
+#include "quarc/model/channel_graph.hpp"
+#include "quarc/model/flow_graph.hpp"
+#include "quarc/model/solver.hpp"
+#include "quarc/sweep/sweep.hpp"
+#include "quarc/util/json.hpp"
+#include "quarc/util/rng.hpp"
+
+namespace {
+
+using namespace quarc;
+using Clock = std::chrono::steady_clock;
+
+double checksum = 0.0;  // defeats dead-code elimination across runs
+
+double us_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start).count();
+}
+
+/// The historical per-rate-point build, verbatim: the pre-FlowGraph
+/// ChannelGraph accumulated at-rate lambdas and a vector-of-vectors
+/// adjacency (first-seen order, linear-scan merge) from the plan's routes
+/// on every rate point of every sweep. Timed here as the baseline the
+/// FlowGraph scaling replaces — deliberately NOT ChannelGraph(plan, w),
+/// which now compiles a full CSR FlowGraph and would inflate the ratio.
+double historical_build(const RoutePlan& plan, const Workload& load) {
+  const Topology& topo = plan.topology();
+  const auto nch = static_cast<std::size_t>(topo.num_channels());
+  std::vector<double> lambda(nch, 0.0);
+  std::vector<std::vector<std::pair<ChannelId, double>>> out(nch);
+  auto add_flow = [&](ChannelId from, ChannelId to, double rate) {
+    auto& flows = out[static_cast<std::size_t>(from)];
+    auto it = std::find_if(flows.begin(), flows.end(),
+                           [to](const auto& p) { return p.first == to; });
+    if (it == flows.end()) {
+      flows.emplace_back(to, rate);
+    } else {
+      it->second += rate;
+    }
+  };
+  auto add_route = [&](const RouteView& r, double rate) {
+    lambda[static_cast<std::size_t>(r.injection)] += rate;
+    ChannelId prev = r.injection;
+    for (ChannelId link : r.links) {
+      lambda[static_cast<std::size_t>(link)] += rate;
+      add_flow(prev, link, rate);
+      prev = link;
+    }
+    lambda[static_cast<std::size_t>(r.ejection)] += rate;
+    add_flow(prev, r.ejection, rate);
+  };
+  const int n = topo.num_nodes();
+  const double per_dest = load.unicast_rate() / static_cast<double>(n - 1);
+  if (per_dest > 0.0) {
+    for (NodeId s = 0; s < n; ++s) {
+      for (NodeId d = 0; d < n; ++d) {
+        if (s != d) add_route(plan.route(s, d), per_dest);
+      }
+    }
+  }
+  const double mc = load.multicast_rate();
+  if (mc > 0.0) {
+    for (NodeId s = 0; s < n; ++s) {
+      if (plan.multicast_dests(s).empty()) continue;
+      if (plan.hardware_streams()) {
+        for (std::size_t i = 0; i < plan.stream_count(s); ++i) {
+          const StreamView st = plan.stream(s, i);
+          lambda[static_cast<std::size_t>(st.injection)] += mc;
+          ChannelId prev = st.injection;
+          for (ChannelId link : st.links) {
+            lambda[static_cast<std::size_t>(link)] += mc;
+            add_flow(prev, link, mc);
+            prev = link;
+          }
+          for (const MulticastStop& stop : st.stops) {
+            lambda[static_cast<std::size_t>(stop.ejection)] += mc;
+          }
+          add_flow(prev, st.stops.back().ejection, mc);
+        }
+      } else {
+        for (NodeId d : plan.multicast_dests(s)) add_route(plan.route(s, d), mc);
+      }
+    }
+  }
+  double total = 0.0;
+  for (const ChannelInfo& ch : topo.channels()) {
+    if (ch.kind == ChannelKind::Injection) total += lambda[static_cast<std::size_t>(ch.id)];
+  }
+  return total;
+}
+
+struct PointStats {
+  double rate = 0.0;
+  double rebuild_us = 0.0;
+  double scaled_us = 0.0;
+  double cold_solve_us = 0.0;
+  double seeded_solve_us = 0.0;
+  int cold_iterations = 0;
+  int seeded_iterations = 0;
+};
+
+struct CellStats {
+  std::string topology;
+  std::string pattern;
+  double compile_us = 0.0;  ///< one-off FlowGraph compile, amortised
+  std::vector<PointStats> points;
+
+  double total(double PointStats::* field) const {
+    double sum = 0.0;
+    for (const PointStats& p : points) sum += p.*field;
+    return sum;
+  }
+  long long iterations(int PointStats::* field) const {
+    long long sum = 0;
+    for (const PointStats& p : points) sum += p.*field;
+    return sum;
+  }
+};
+
+CellStats run_cell(const std::string& topo_spec, const std::string& pattern_spec, int points,
+                   int repeats) {
+  const auto topo = api::make_topology(topo_spec);
+  Rng rng(7);
+  const auto pattern = api::make_pattern(pattern_spec, topo->num_nodes(), rng);
+  Workload base;
+  base.message_rate = 0.004;
+  base.multicast_fraction = 0.05;
+  base.message_length = 32;
+  base.pattern = pattern;
+
+  CellStats cell;
+  cell.topology = topo_spec;
+  cell.pattern = pattern_spec;
+
+  const RoutePlan plan(*topo, pattern.get());
+  const auto compile_start = Clock::now();
+  const FlowGraph flows(plan, base);
+  cell.compile_us = us_since(compile_start);
+
+  const std::vector<double> rates = rate_grid_to_saturation(flows, base, points, 0.85);
+
+  ServiceTimeSolver solver(flows, base.message_length);
+  SolverWorkspace ws;
+  for (const double rate : rates) {
+    PointStats p;
+    p.rate = rate;
+    Workload w = base;
+    w.message_rate = rate;
+
+    // Historical per-point build: what every rate point paid before
+    // FlowGraph existed (at-rate vector-of-vectors accumulation).
+    auto start = Clock::now();
+    for (int r = 0; r < repeats; ++r) {
+      checksum += historical_build(plan, w);
+    }
+    p.rebuild_us = us_since(start) / repeats;
+
+    // FlowGraph path: a rate point is a scaled view — no build at all.
+    start = Clock::now();
+    for (int r = 0; r < repeats; ++r) {
+      checksum += ChannelGraph(flows, rate).total_injection_rate();
+    }
+    p.scaled_us = us_since(start) / repeats;
+
+    // Solver: drain-time cold start vs the zero-load warm seed. Same
+    // structure, same tolerance, same deterministic contract.
+    start = Clock::now();
+    for (int r = 0; r < repeats; ++r) {
+      checksum += static_cast<double>(solver.solve(rate, ws, SolverSeed::DrainTime) ==
+                                      SolveStatus::Converged);
+    }
+    p.cold_solve_us = us_since(start) / repeats;
+    p.cold_iterations = solver.iterations_used();
+
+    start = Clock::now();
+    for (int r = 0; r < repeats; ++r) {
+      checksum += static_cast<double>(solver.solve(rate, ws, SolverSeed::ZeroLoad) ==
+                                      SolveStatus::Converged);
+    }
+    p.seeded_solve_us = us_since(start) / repeats;
+    p.seeded_iterations = solver.iterations_used();
+
+    cell.points.push_back(p);
+  }
+  return cell;
+}
+
+void print_cell(const CellStats& cell) {
+  const double rebuild = cell.total(&PointStats::rebuild_us);
+  const double scaled = cell.total(&PointStats::scaled_us);
+  const long long cold = cell.iterations(&PointStats::cold_iterations);
+  const long long seeded = cell.iterations(&PointStats::seeded_iterations);
+  const double cold_us = cell.total(&PointStats::cold_solve_us);
+  const double seeded_us = cell.total(&PointStats::seeded_solve_us);
+  std::cout << std::left << std::setw(12) << cell.topology << std::right << std::fixed
+            << std::setprecision(1) << std::setw(11) << rebuild / cell.points.size()
+            << std::setw(11) << scaled / cell.points.size() << std::setprecision(0)
+            << std::setw(9) << static_cast<double>(cold) << std::setw(9)
+            << static_cast<double>(seeded) << std::setprecision(1) << std::setw(9)
+            << 100.0 * (1.0 - static_cast<double>(seeded) / static_cast<double>(cold)) << "%"
+            << std::setw(11) << cold_us / cell.points.size() << std::setw(11)
+            << seeded_us / cell.points.size() << "\n";
+}
+
+json::Value cell_to_json(const CellStats& cell) {
+  json::Value c = json::Value::object();
+  c.set("topology", cell.topology);
+  c.set("pattern", cell.pattern);
+  c.set("flowgraph_compile_us", cell.compile_us);
+  c.set("total_rebuild_us", cell.total(&PointStats::rebuild_us));
+  c.set("total_scaled_us", cell.total(&PointStats::scaled_us));
+  c.set("total_cold_iterations", static_cast<std::int64_t>(
+                                     cell.iterations(&PointStats::cold_iterations)));
+  c.set("total_seeded_iterations", static_cast<std::int64_t>(
+                                       cell.iterations(&PointStats::seeded_iterations)));
+  json::Value points = json::Value::array();
+  for (const PointStats& p : cell.points) {
+    json::Value v = json::Value::object();
+    v.set("rate", p.rate);
+    v.set("rebuild_us", p.rebuild_us);
+    v.set("scaled_us", p.scaled_us);
+    v.set("cold_solve_us", p.cold_solve_us);
+    v.set("seeded_solve_us", p.seeded_solve_us);
+    v.set("cold_iterations", p.cold_iterations);
+    v.set("seeded_iterations", p.seeded_iterations);
+    points.push_back(std::move(v));
+  }
+  c.set("points", std::move(points));
+  return c;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_solver.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else {
+      out_path = arg;
+    }
+  }
+  const int points = quick ? 4 : 8;
+  const int repeats = quick ? 5 : 20;
+
+  std::cout << "Per-rate-point build + Eq. 6 solve across the fig6 grid (0.85 x saturation,\n"
+            << points << " points per cell; per-point microseconds, mean of " << repeats
+            << " calls; iterations summed over the grid)\n\n"
+            << std::left << std::setw(12) << "topology" << std::right << std::setw(11)
+            << "rebuild us" << std::setw(11) << "scaled us" << std::setw(9) << "cold it"
+            << std::setw(9) << "seed it" << std::setw(10) << "it saved" << std::setw(11)
+            << "cold us" << std::setw(11) << "seeded us\n";
+
+  std::vector<CellStats> cells;
+  for (const int n : {16, 32, 64}) {
+    const int fanout = std::max(3, n / 8);  // fig6's random bitstring population
+    cells.push_back(run_cell("quarc:" + std::to_string(n),
+                             "random:" + std::to_string(fanout), points, repeats));
+    print_cell(cells.back());
+  }
+
+  long long cold = 0, seeded = 0;
+  double rebuild = 0.0, scaled = 0.0;
+  for (const CellStats& c : cells) {
+    cold += c.iterations(&PointStats::cold_iterations);
+    seeded += c.iterations(&PointStats::seeded_iterations);
+    rebuild += c.total(&PointStats::rebuild_us);
+    scaled += c.total(&PointStats::scaled_us);
+  }
+  std::cout << "\ntotals: per-point build " << std::fixed << std::setprecision(2)
+            << rebuild / scaled << "x faster scaled vs rebuild; solver iterations "
+            << cold << " -> " << seeded << " ("
+            << std::setprecision(1) << 100.0 * (1.0 - static_cast<double>(seeded) / cold)
+            << "% fewer with the zero-load seed; checksum " << checksum << ")\n";
+
+  json::Value doc = json::Value::object();
+  doc.set("schema", "quarc-bench-solver-v1");
+  doc.set("grid_points_per_cell", points);
+  json::Value arr = json::Value::array();
+  for (const CellStats& c : cells) arr.push_back(cell_to_json(c));
+  doc.set("cells", std::move(arr));
+  std::ofstream out(out_path);
+  doc.write(out, 2);
+  out << "\n";
+  std::cout << "(trajectories written to " << out_path << ")\n";
+  return 0;
+}

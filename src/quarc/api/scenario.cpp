@@ -71,9 +71,11 @@ Scenario& Scenario::message_length(int flits) {
 
 Scenario& Scenario::seed(std::uint64_t seed) {
   seed_ = seed;
-  // Spec-built patterns are drawn from the seed (unless pattern_seed is
-  // pinned), so the pattern — and with it the plan — may change.
-  routes_dirty_ = true;
+  // Spec-built patterns are drawn from the seed, so the pattern — and
+  // with it the plan and flow graph — may change. Explicitly attached
+  // patterns and pinned pattern seeds are seed-independent: recompiling
+  // would rebuild identical structures.
+  if (pattern_from_spec_ && !pattern_seed_set_) routes_dirty_ = true;
   return *this;
 }
 
@@ -166,6 +168,10 @@ void Scenario::validate() {
     // must not compile (or choke on) an attached pattern it never uses.
     plan_ = std::make_shared<const RoutePlan>(
         *topology_, workload_.multicast_fraction > 0.0 ? pattern_.get() : nullptr);
+    // The rate-invariant flow structure rides the same lifecycle: valid
+    // for every message rate this assembly evaluates, rebuilt only when
+    // the topology, pattern, alpha or seed changes.
+    flows_ = std::make_shared<const FlowGraph>(*plan_, workload_);
     routes_dirty_ = false;
   } else {
     workload_.pattern = pattern_;
@@ -181,6 +187,11 @@ const Topology& Scenario::built_topology() {
 const RoutePlan& Scenario::route_plan() {
   validate();
   return *plan_;
+}
+
+const FlowGraph& Scenario::flow_graph() {
+  validate();
+  return *flows_;
 }
 
 Workload Scenario::build_workload() {
@@ -257,7 +268,7 @@ ResultSet Scenario::run_sweep(std::span<const double> rates) {
     task_rows.push_back(i);
   }
 
-  const auto points = sweep_tasks(*plan_, workload_, tasks, sweep_);
+  const auto points = sweep_tasks(*flows_, workload_, tasks, sweep_);
   for (std::size_t j = 0; j < points.size(); ++j) {
     rs.rows[task_rows[j]] = ResultRow::from_point(points[j]);
     if (cache_) cache_->store(fp, rs.rows[task_rows[j]], workload_.multicast_fraction > 0.0);
@@ -272,17 +283,17 @@ ResultSet Scenario::run_sweep(int points, double fill) {
 
 double Scenario::saturation_rate() {
   validate();
-  return model_saturation_rate(*plan_, workload_, sweep_.model);
+  return model_saturation_rate(*flows_, workload_, sweep_.model);
 }
 
 std::vector<double> Scenario::rate_grid(int points, double fill) {
   validate();
-  return rate_grid_to_saturation(*plan_, workload_, points, fill, sweep_.model);
+  return rate_grid_to_saturation(*flows_, workload_, points, fill, sweep_.model);
 }
 
 ModelResult Scenario::run_model_raw() {
   validate();
-  return PerformanceModel(*plan_, workload_, sweep_.model).evaluate();
+  return PerformanceModel(*flows_, workload_, sweep_.model).evaluate();
 }
 
 sim::SimResult Scenario::run_sim_raw() {

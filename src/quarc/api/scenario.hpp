@@ -31,10 +31,13 @@
 // ResultSet byte-identical to the uncached run's, with cache_hits/
 // cache_misses reporting what was skipped.
 //
-// Routing: validate() compiles the scenario's RoutePlan exactly once per
-// (topology, pattern, seed) assembly; every evaluation — each rate point
-// of a sweep, on every shard and thread — shares it read-only, and the
-// fingerprint digests the same plan, so no layer can disagree on routes.
+// Routing & flow structure: validate() compiles the scenario's RoutePlan
+// and rate-invariant FlowGraph exactly once per (topology, pattern, alpha,
+// seed) assembly; every evaluation — each rate point of a sweep, on every
+// shard and thread — shares both read-only, and the fingerprint digests
+// the same plan, so no layer can disagree on routes or flow structure. A
+// rate point solves from a deterministically seeded per-thread
+// SolverWorkspace; nothing is rebuilt per point.
 #pragma once
 
 #include <memory>
@@ -125,6 +128,10 @@ class Scenario {
   /// shard and worker thread reads the same immutable arrays, so the
   /// model, simulator and cache key can never disagree on routing.
   const RoutePlan& route_plan();
+  /// The scenario's compiled rate-invariant flow structure (validates
+  /// first). Compiled alongside the plan, shared by every model solve this
+  /// Scenario runs — each rate point is a pure scale of its unit weights.
+  const FlowGraph& flow_graph();
   /// The validated workload at the configured rate.
   Workload build_workload();
   /// One-line description for banners/logs.
@@ -165,10 +172,12 @@ class Scenario {
   std::shared_ptr<const MulticastPattern> pattern_;
   bool pattern_from_spec_ = true;  ///< rebuild from the spec on validate()
 
-  /// Compiled once per (topology, pattern, seed) assembly; shared
+  /// Compiled once per (topology, pattern, alpha, seed) assembly; shared
   /// read-only by every evaluation this Scenario runs.
   std::shared_ptr<const RoutePlan> plan_;
-  bool routes_dirty_ = true;  ///< pattern/plan must be (re)compiled
+  /// The rate-invariant flow structure over plan_, compiled with it.
+  std::shared_ptr<const FlowGraph> flows_;
+  bool routes_dirty_ = true;  ///< pattern/plan/flow graph must be (re)compiled
 
   Workload workload_;
   std::uint64_t seed_ = 1;

@@ -232,6 +232,16 @@ int run(const Options& opts, std::ostream& out, std::ostream& err) {
     err << "sweep-cache: hits=" << rs.cache_hits << " misses=" << rs.cache_misses << " ("
         << rs.rows.size() << " points, dir=" << opts.cache_dir << ")\n";
   }
+  if (rs.rows.size() > 1) {
+    // Solver effort diagnostic (off the result stream). The total sums
+    // every row's fixed-point iteration count — including cache-served
+    // rows, which report the iterations of their original solve — so it
+    // tracks the grid's solver cost, not necessarily this process's.
+    long long total_iterations = 0;
+    for (const api::ResultRow& r : rs.rows) total_iterations += r.solver_iterations;
+    err << "solver: points=" << rs.rows.size() << " total-iterations=" << total_iterations
+        << "\n";
+  }
 
   if (opts.json) {
     rs.write_json(out);

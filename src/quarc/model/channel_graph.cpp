@@ -1,105 +1,20 @@
 #include "quarc/model/channel_graph.hpp"
 
-#include <algorithm>
-
-#include "quarc/util/error.hpp"
-
 namespace quarc {
 
 ChannelGraph::ChannelGraph(const RoutePlan& plan, const Workload& load)
-    : topo_(&plan.topology()) {
-  const Topology& topo = plan.topology();
-  load.validate(topo);
-  QUARC_REQUIRE(load.multicast_rate() == 0.0 || plan.pattern() == load.pattern.get(),
-                "route plan was compiled with a different multicast pattern");
-  const auto nch = static_cast<std::size_t>(topo.num_channels());
-  lambda_.assign(nch, 0.0);
-  out_.assign(nch, {});
-
-  const int n = topo.num_nodes();
-  const double per_dest_unicast = load.unicast_rate() / static_cast<double>(n - 1);
-
-  if (per_dest_unicast > 0.0) {
-    for (NodeId s = 0; s < n; ++s) {
-      for (NodeId d = 0; d < n; ++d) {
-        if (s == d) continue;
-        add_route(plan.route(s, d), per_dest_unicast);
-      }
-    }
-  }
-
-  const double mc_rate = load.multicast_rate();
-  if (mc_rate > 0.0) {
-    for (NodeId s = 0; s < n; ++s) {
-      if (plan.multicast_dests(s).empty()) continue;
-      if (plan.hardware_streams()) {
-        for (std::size_t i = 0; i < plan.stream_count(s); ++i) {
-          add_stream(plan.stream(s, i), mc_rate);
-        }
-      } else {
-        // Software multicast: one unicast per destination.
-        for (NodeId d : plan.multicast_dests(s)) add_route(plan.route(s, d), mc_rate);
-      }
-    }
-  }
-}
+    : owned_(std::make_shared<const FlowGraph>(plan, load, FlowGating::Exact)),
+      flows_(owned_.get()),
+      scale_(load.message_rate) {}
 
 ChannelGraph::ChannelGraph(const Topology& topo, const Workload& load)
-    : ChannelGraph(RoutePlan(topo, load.multicast_rate() > 0.0 ? load.pattern.get() : nullptr),
-                   load) {}
-
-void ChannelGraph::add_flow(ChannelId from, ChannelId to, double rate) {
-  auto& flows = out_[static_cast<std::size_t>(from)];
-  auto it = std::find_if(flows.begin(), flows.end(),
-                         [to](const auto& p) { return p.first == to; });
-  if (it == flows.end()) {
-    flows.emplace_back(to, rate);
-  } else {
-    it->second += rate;
-  }
-}
-
-void ChannelGraph::add_route(const RouteView& r, double rate) {
-  lambda_[static_cast<std::size_t>(r.injection)] += rate;
-  ChannelId prev = r.injection;
-  for (ChannelId link : r.links) {
-    lambda_[static_cast<std::size_t>(link)] += rate;
-    add_flow(prev, link, rate);
-    prev = link;
-  }
-  lambda_[static_cast<std::size_t>(r.ejection)] += rate;
-  add_flow(prev, r.ejection, rate);
-}
-
-void ChannelGraph::add_stream(const StreamView& st, double rate) {
-  lambda_[static_cast<std::size_t>(st.injection)] += rate;
-  ChannelId prev = st.injection;
-  for (ChannelId link : st.links) {
-    lambda_[static_cast<std::size_t>(link)] += rate;
-    add_flow(prev, link, rate);
-    prev = link;
-  }
-  // Every stop's ejection channel serves a full copy of the message; only
-  // the final stop adds a service-gating transition edge (the worm's tail
-  // leaves the network through it).
-  for (const MulticastStop& stop : st.stops) {
-    lambda_[static_cast<std::size_t>(stop.ejection)] += rate;
-  }
-  add_flow(prev, st.stops.back().ejection, rate);
-}
-
-double ChannelGraph::transition_rate(ChannelId i, ChannelId j) const {
-  const auto& flows = out_[static_cast<std::size_t>(i)];
-  auto it = std::find_if(flows.begin(), flows.end(),
-                         [j](const auto& p) { return p.first == j; });
-  return it == flows.end() ? 0.0 : it->second;
-}
+    : owned_(std::make_shared<const FlowGraph>(topo, load, FlowGating::Exact)),
+      flows_(owned_.get()),
+      scale_(load.message_rate) {}
 
 double ChannelGraph::total_injection_rate() const {
   double total = 0.0;
-  for (const ChannelInfo& ch : topo_->channels()) {
-    if (ch.kind == ChannelKind::Injection) total += lambda_[static_cast<std::size_t>(ch.id)];
-  }
+  for (const ChannelId c : flows_->injection_channels()) total += lambda(c);
   return total;
 }
 

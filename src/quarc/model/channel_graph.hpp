@@ -1,6 +1,5 @@
-// Per-channel traffic rates and channel-to-channel transition rates,
-// accumulated from the deterministic routes of a (topology, workload)
-// pair. This is the input of the Eq. 6 service-time recursion:
+// Per-channel traffic rates and channel-to-channel transition rates — the
+// input of the Eq. 6 service-time recursion:
 //
 //   lambda_j         total arrival rate at channel j
 //   r_{i->j}         rate of traffic that uses channel j immediately after
@@ -16,15 +15,24 @@
 // Multicast on topologies without hardware support is expanded into the
 // consecutive unicasts the traffic layer would send.
 //
-// Routes come from a RoutePlan: construction is a pure scale-and-accumulate
-// over the plan's precompiled link arrays — no route derivation and no
-// per-route allocation on this path, which is re-entered at every rate
-// point of a sweep. The Topology convenience constructor compiles a
-// throwaway plan for one-off graphs.
+// A ChannelGraph is now a *scaled view* over a rate-invariant FlowGraph
+// (flow_graph.hpp): all structure and unit weights live in the FlowGraph's
+// CSR pools, and this class multiplies them by the workload's message rate
+// on access. The FlowGraph constructor is allocation-free — the sweep hot
+// path shares one FlowGraph across every rate point and never rebuilds
+// anything. The RoutePlan/Topology constructors compile (and own) a
+// private FlowGraph with the historical exact gating, so one-off graphs
+// behave as they always did (a zero-rate workload yields an empty graph).
+//
+// Rows are sorted by next-channel id, so transition_rate(i, j) is
+// O(log deg) instead of the historical linear scan.
 #pragma once
 
-#include <vector>
+#include <memory>
+#include <span>
+#include <utility>
 
+#include "quarc/model/flow_graph.hpp"
 #include "quarc/route/route_plan.hpp"
 #include "quarc/topo/topology.hpp"
 #include "quarc/traffic/workload.hpp"
@@ -33,36 +41,91 @@ namespace quarc {
 
 class ChannelGraph {
  public:
-  /// Accumulates rates over `plan`'s routes/streams. The plan must have
-  /// been compiled with `load`'s pattern when the workload multicasts.
+  /// Iterable view of one channel's outgoing flows as (next channel, rate)
+  /// pairs, scaled on the fly from the FlowGraph's unit-rate row.
+  class FlowRange {
+   public:
+    FlowRange(std::span<const ChannelId> next, std::span<const double> unit, double scale)
+        : next_(next), unit_(unit), scale_(scale) {}
+
+    std::size_t size() const { return next_.size(); }
+    bool empty() const { return next_.empty(); }
+    std::pair<ChannelId, double> operator[](std::size_t k) const {
+      return {next_[k], scale_ * unit_[k]};
+    }
+
+    class iterator {
+     public:
+      using value_type = std::pair<ChannelId, double>;
+      iterator(const FlowRange* range, std::size_t k) : range_(range), k_(k) {}
+      value_type operator*() const { return (*range_)[k_]; }
+      iterator& operator++() {
+        ++k_;
+        return *this;
+      }
+      bool operator==(const iterator& o) const { return k_ == o.k_; }
+
+     private:
+      const FlowRange* range_;
+      std::size_t k_;
+    };
+    iterator begin() const { return iterator(this, 0); }
+    iterator end() const { return iterator(this, size()); }
+
+    friend bool operator==(const FlowRange& a, const FlowRange& b) {
+      if (a.size() != b.size()) return false;
+      for (std::size_t k = 0; k < a.size(); ++k) {
+        if (a[k] != b[k]) return false;
+      }
+      return true;
+    }
+
+   private:
+    std::span<const ChannelId> next_;
+    std::span<const double> unit_;
+    double scale_;
+  };
+
+  /// Zero-allocation scaled view over a shared rate-invariant structure
+  /// (the sweep hot path). The FlowGraph must outlive the view.
+  ChannelGraph(const FlowGraph& flows, double message_rate)
+      : flows_(&flows), scale_(message_rate) {}
+
+  /// Compiles (and owns) an exact FlowGraph over `plan` for `load`. The
+  /// plan must have been compiled with `load`'s pattern when the workload
+  /// multicasts.
   ChannelGraph(const RoutePlan& plan, const Workload& load);
-  /// Convenience: compiles a plan for (topo, load.pattern) and accumulates
-  /// over it. Sweeps share one plan via the RoutePlan overload instead.
+  /// Convenience: compiles a private plan for (topo, load.pattern) too.
   ChannelGraph(const Topology& topo, const Workload& load);
 
   /// Total arrival rate at channel c (messages/cycle).
-  double lambda(ChannelId c) const { return lambda_[static_cast<std::size_t>(c)]; }
+  double lambda(ChannelId c) const { return scale_ * flows_->unit_lambda(c); }
 
   /// Rate of traffic taking j directly after i; 0 if no such flow.
-  double transition_rate(ChannelId i, ChannelId j) const;
+  /// O(log deg) via the FlowGraph's sorted CSR row.
+  double transition_rate(ChannelId i, ChannelId j) const {
+    return scale_ * flows_->unit_transition_rate(i, j);
+  }
 
-  /// All outgoing flows of channel i as (next channel, rate) pairs.
-  const std::vector<std::pair<ChannelId, double>>& outgoing(ChannelId i) const {
-    return out_[static_cast<std::size_t>(i)];
+  /// All outgoing flows of channel i as (next channel, rate) pairs,
+  /// sorted by next-channel id.
+  FlowRange outgoing(ChannelId i) const {
+    return FlowRange(flows_->next(i), flows_->unit_rate(i), scale_);
   }
 
   /// Aggregate generation rate actually offered (for sanity checks):
   /// sum over injection channels of lambda.
   double total_injection_rate() const;
 
- private:
-  void add_flow(ChannelId from, ChannelId to, double rate);
-  void add_route(const RouteView& r, double rate);
-  void add_stream(const StreamView& st, double rate);
+  /// The underlying rate-invariant structure.
+  const FlowGraph& flow_graph() const { return *flows_; }
+  /// The message rate the unit weights are scaled by.
+  double scale() const { return scale_; }
 
-  std::vector<double> lambda_;
-  std::vector<std::vector<std::pair<ChannelId, double>>> out_;
-  const Topology* topo_;
+ private:
+  std::shared_ptr<const FlowGraph> owned_;  ///< set by the compat ctors
+  const FlowGraph* flows_;
+  double scale_;
 };
 
 }  // namespace quarc

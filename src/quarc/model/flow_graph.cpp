@@ -1,0 +1,192 @@
+#include "quarc/model/flow_graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "quarc/util/error.hpp"
+
+namespace quarc {
+
+namespace {
+
+/// One accumulating adjacency row during compilation (merged duplicates,
+/// insertion order). Row sizes are bounded by the router degree, so the
+/// linear merge scan is cheap — and paid once per (plan, shape), never per
+/// rate point.
+using BuildRow = std::vector<std::pair<ChannelId, double>>;
+
+void add_flow(std::vector<BuildRow>& rows, ChannelId from, ChannelId to, double rate) {
+  BuildRow& flows = rows[static_cast<std::size_t>(from)];
+  auto it = std::find_if(flows.begin(), flows.end(),
+                         [to](const auto& p) { return p.first == to; });
+  if (it == flows.end()) {
+    flows.emplace_back(to, rate);
+  } else {
+    it->second += rate;
+  }
+}
+
+}  // namespace
+
+FlowGraph::FlowGraph(const RoutePlan& plan, const Workload& shape, FlowGating gating)
+    : plan_(&plan), topo_(&plan.topology()), alpha_(shape.multicast_fraction) {
+  accumulate(plan, shape, gating);
+}
+
+FlowGraph::FlowGraph(const Topology& topo, const Workload& shape, FlowGating gating)
+    : topo_(&topo), alpha_(shape.multicast_fraction) {
+  const bool multicast = gating == FlowGating::Exact ? shape.multicast_rate() > 0.0
+                                                     : shape.multicast_fraction > 0.0;
+  owned_plan_ = std::make_unique<const RoutePlan>(topo, multicast ? shape.pattern.get() : nullptr);
+  plan_ = owned_plan_.get();
+  accumulate(*plan_, shape, gating);
+}
+
+void FlowGraph::accumulate(const RoutePlan& plan, const Workload& shape, FlowGating gating) {
+  const Topology& topo = plan.topology();
+  shape.validate(topo);
+
+  const bool unicast = gating == FlowGating::Exact ? shape.unicast_rate() > 0.0
+                                                   : shape.multicast_fraction < 1.0;
+  const bool multicast = gating == FlowGating::Exact ? shape.multicast_rate() > 0.0
+                                                     : shape.multicast_fraction > 0.0;
+  QUARC_REQUIRE(!multicast || plan.pattern() == shape.pattern.get(),
+                "route plan was compiled with a different multicast pattern");
+
+  const auto nch = static_cast<std::size_t>(topo.num_channels());
+  unit_lambda_.assign(nch, 0.0);
+  is_ejection_.assign(nch, 0);
+  for (const ChannelInfo& ch : topo.channels()) {
+    if (ch.kind == ChannelKind::Ejection) is_ejection_[static_cast<std::size_t>(ch.id)] = 1;
+    if (ch.kind == ChannelKind::Injection) injection_.push_back(ch.id);
+  }
+
+  std::vector<BuildRow> rows(nch);
+  const int n = topo.num_nodes();
+
+  auto add_route = [&](const RouteView& r, double rate) {
+    unit_lambda_[static_cast<std::size_t>(r.injection)] += rate;
+    ChannelId prev = r.injection;
+    for (ChannelId link : r.links) {
+      unit_lambda_[static_cast<std::size_t>(link)] += rate;
+      add_flow(rows, prev, link, rate);
+      prev = link;
+    }
+    unit_lambda_[static_cast<std::size_t>(r.ejection)] += rate;
+    add_flow(rows, prev, r.ejection, rate);
+  };
+  auto add_stream = [&](const StreamView& st, double rate) {
+    unit_lambda_[static_cast<std::size_t>(st.injection)] += rate;
+    ChannelId prev = st.injection;
+    for (ChannelId link : st.links) {
+      unit_lambda_[static_cast<std::size_t>(link)] += rate;
+      add_flow(rows, prev, link, rate);
+      prev = link;
+    }
+    // Every stop's ejection channel serves a full copy of the message;
+    // only the final stop adds a service-gating transition edge (the
+    // worm's tail leaves the network through it).
+    for (const MulticastStop& stop : st.stops) {
+      unit_lambda_[static_cast<std::size_t>(stop.ejection)] += rate;
+    }
+    add_flow(rows, prev, st.stops.back().ejection, rate);
+  };
+
+  // Unit weights: contributions at message_rate = 1 with the shape's
+  // multicast fraction, in exactly the accumulation order the historical
+  // per-point ChannelGraph used.
+  if (unicast) {
+    const double per_dest = (1.0 - shape.multicast_fraction) / static_cast<double>(n - 1);
+    for (NodeId s = 0; s < n; ++s) {
+      for (NodeId d = 0; d < n; ++d) {
+        if (s == d) continue;
+        add_route(plan.route(s, d), per_dest);
+      }
+    }
+  }
+  if (multicast) {
+    const double mc_unit = shape.multicast_fraction;
+    for (NodeId s = 0; s < n; ++s) {
+      if (plan.multicast_dests(s).empty()) continue;
+      if (plan.hardware_streams()) {
+        for (std::size_t i = 0; i < plan.stream_count(s); ++i) {
+          add_stream(plan.stream(s, i), mc_unit);
+        }
+      } else {
+        // Software multicast: one unicast per destination.
+        for (NodeId d : plan.multicast_dests(s)) add_route(plan.route(s, d), mc_unit);
+      }
+    }
+  }
+
+  // Flatten into CSR, each row sorted by next-channel id (unique within a
+  // row by construction, so the sort is stable in effect and the sorted
+  // row supports binary-search lookup).
+  std::size_t nnz = 0;
+  for (const BuildRow& r : rows) nnz += r.size();
+  row_offset_.assign(nch + 1, 0);
+  next_.reserve(nnz);
+  unit_rate_.reserve(nnz);
+  prob_.reserve(nnz);
+  self_share_.reserve(nnz);
+  for (std::size_t c = 0; c < nch; ++c) {
+    BuildRow& r = rows[c];
+    std::sort(r.begin(), r.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [to, rate] : r) {
+      next_.push_back(to);
+      unit_rate_.push_back(rate);
+      prob_.push_back(rate / unit_lambda_[c]);
+      self_share_.push_back(rate / unit_lambda_[static_cast<std::size_t>(to)]);
+    }
+    row_offset_[c + 1] = static_cast<std::uint32_t>(next_.size());
+  }
+
+  compute_steps_to_eject();
+}
+
+void FlowGraph::compute_steps_to_eject() {
+  // Zero-load recursion of Eq. 6 (all waits zero), with the message drain
+  // time factored out: h_i = sum_j P_{i->j} (1 + h_j), h = 0 at ejection.
+  // This is the expected-absorption-time system of the transition chain;
+  // Gauss-Seidel value iteration in channel-id order converges geometric-
+  // ally even on the cyclic ring graphs (the chain always leaks into the
+  // ejection sinks). The result is a pure function of the structure, so
+  // the warm-start seed derived from it is identical wherever — and in
+  // whatever order — a (fingerprint, rate) point is solved.
+  const std::size_t nch = unit_lambda_.size();
+  steps_to_eject_.assign(nch, 0.0);
+  constexpr int kMaxIterations = 4096;
+  constexpr double kTolerance = 1e-12;
+  for (int iter = 0; iter < kMaxIterations; ++iter) {
+    double max_delta = 0.0;
+    for (std::size_t c = 0; c < nch; ++c) {
+      if (is_ejection_[c] != 0 || unit_lambda_[c] <= 0.0) continue;
+      double h = 0.0;
+      const auto begin = row_offset_[c];
+      const auto end = row_offset_[c + 1];
+      for (std::uint32_t k = begin; k < end; ++k) {
+        h += prob_[k] * (1.0 + steps_to_eject_[static_cast<std::size_t>(next_[k])]);
+      }
+      max_delta = std::max(max_delta, std::abs(h - steps_to_eject_[c]));
+      steps_to_eject_[c] = h;
+    }
+    if (max_delta < kTolerance) break;
+  }
+}
+
+double FlowGraph::unit_transition_rate(ChannelId i, ChannelId j) const {
+  const auto row_next = next(i);
+  const auto it = std::lower_bound(row_next.begin(), row_next.end(), j);
+  if (it == row_next.end() || *it != j) return 0.0;
+  return unit_rate(i)[static_cast<std::size_t>(it - row_next.begin())];
+}
+
+double FlowGraph::edge_self_share(ChannelId i, ChannelId j) const {
+  const auto row_next = next(i);
+  const auto it = std::lower_bound(row_next.begin(), row_next.end(), j);
+  if (it == row_next.end() || *it != j) return 0.0;
+  return self_share(i)[static_cast<std::size_t>(it - row_next.begin())];
+}
+
+}  // namespace quarc

@@ -1,0 +1,148 @@
+// FlowGraph — the rate-invariant structure of the Eq. 6 channel-transition
+// graph, compiled once per (RoutePlan, workload shape) and shared read-only
+// by every rate point of a sweep.
+//
+// For a fixed (topology, pattern, alpha) the *structure* of the flow graph
+// never changes across a latency curve: which channel feeds which, and the
+// relative weight of every edge, are determined entirely by the routes.
+// Only the absolute rates scale — linearly — with the per-node injection
+// rate. A FlowGraph therefore stores everything once, at unit message
+// rate, in the same flat CSR layout RoutePlan uses for routes:
+//
+//   unit_lambda[c]          arrival rate of channel c at message_rate = 1
+//   row_offset/next/        sorted adjacency: the channels taken directly
+//   unit_rate               after c, with their unit transition rates
+//   prob / self_share       P_{i->j} = r_{i->j}/lambda_i and the Eq. 6
+//                           discount r_{i->j}/lambda_j — both ratios of
+//                           unit quantities, so both rate-INVARIANT and
+//                           precomputed here instead of re-divided on
+//                           every solver iteration of every rate point
+//   steps_to_eject[c]       expected remaining channel crossings before
+//                           ejection — the zero-load service time is
+//                           exactly M + steps_to_eject[c], which is the
+//                           deterministic warm-start seed the solver uses
+//                           (a pure function of the structure, hence of
+//                           the scenario fingerprint, never of any
+//                           previously solved point)
+//
+// A rate point then needs no graph (re)build at all: lambda_j(rate) =
+// rate * unit_lambda[j], and every other solver input is already in the
+// pools. This removes the per-point `add_flow` linear scans and the
+// vector-of-vectors churn the pre-FlowGraph ChannelGraph paid at every
+// rate point (bench/micro_solver.cpp measures the difference).
+//
+// Rows are sorted by next-channel id, so edge lookup is O(log deg)
+// (ChannelGraph::transition_rate rides this).
+//
+// Thread safety: immutable after construction; concurrent sweeps share
+// one instance across threads and shards without locking.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "quarc/route/route_plan.hpp"
+#include "quarc/topo/topology.hpp"
+#include "quarc/traffic/workload.hpp"
+
+namespace quarc {
+
+/// Which traffic classes a FlowGraph compiles structure for.
+enum class FlowGating {
+  /// Gate on the workload's *fractions* (alpha < 1 -> unicast flows,
+  /// alpha > 0 -> multicast flows): the structure is valid for every
+  /// positive message rate, which is what sweeps share across points.
+  RateInvariant,
+  /// Gate on the workload's *actual rates* (a zero-rate workload yields an
+  /// empty graph) — the historical per-point ChannelGraph semantics, used
+  /// by the one-off compatibility constructors.
+  Exact,
+};
+
+class FlowGraph {
+ public:
+  /// Compiles the flow structure over `plan`'s routes/streams for the
+  /// workload's shape (its fractions and pattern; the message rate is
+  /// only read under FlowGating::Exact). The plan must outlive the graph
+  /// and, when multicast flows are gated in, must have been compiled with
+  /// the workload's pattern.
+  FlowGraph(const RoutePlan& plan, const Workload& shape,
+            FlowGating gating = FlowGating::RateInvariant);
+  /// Convenience: compiles (and owns) a private RoutePlan for the
+  /// topology. Sweeps share one externally compiled plan instead.
+  FlowGraph(const Topology& topo, const Workload& shape,
+            FlowGating gating = FlowGating::RateInvariant);
+
+  const RoutePlan& plan() const { return *plan_; }
+  const Topology& topology() const { return *topo_; }
+  /// The multicast fraction the unit weights were compiled with; a solve
+  /// is only meaningful for workloads sharing it.
+  double alpha() const { return alpha_; }
+
+  std::size_t num_channels() const { return unit_lambda_.size(); }
+  /// Total number of compiled flow edges.
+  std::size_t flow_count() const { return next_.size(); }
+
+  /// Arrival rate of channel c at message_rate = 1.
+  double unit_lambda(ChannelId c) const { return unit_lambda_[static_cast<std::size_t>(c)]; }
+
+  // ---- CSR row views (sorted by next-channel id, unique keys) ----
+  std::span<const ChannelId> next(ChannelId i) const { return row(next_, i); }
+  std::span<const double> unit_rate(ChannelId i) const { return row(unit_rate_, i); }
+  std::span<const double> prob(ChannelId i) const { return row(prob_, i); }
+  std::span<const double> self_share(ChannelId i) const { return row(self_share_, i); }
+  std::size_t degree(ChannelId i) const {
+    const auto c = static_cast<std::size_t>(i);
+    return row_offset_[c + 1] - row_offset_[c];
+  }
+
+  /// Unit-rate flow taking j directly after i; 0 if no such edge.
+  /// O(log deg) via binary search of the sorted row.
+  double unit_transition_rate(ChannelId i, ChannelId j) const;
+  /// The Eq. 6 self-traffic discount r_{i->j}/lambda_j (rate-invariant);
+  /// 0 if no such edge. O(log deg).
+  double edge_self_share(ChannelId i, ChannelId j) const;
+
+  bool is_ejection(ChannelId c) const {
+    return is_ejection_[static_cast<std::size_t>(c)] != 0;
+  }
+  /// Expected remaining channel crossings before ejection (0 for ejection
+  /// and idle channels). The zero-load service time of channel c is
+  /// exactly message_length + steps_to_eject(c) — the solver's
+  /// deterministic warm-start seed.
+  double steps_to_eject(ChannelId c) const {
+    return steps_to_eject_[static_cast<std::size_t>(c)];
+  }
+
+  /// Ids of the topology's injection channels (ascending).
+  std::span<const ChannelId> injection_channels() const { return injection_; }
+
+ private:
+  template <typename T>
+  std::span<const T> row(const std::vector<T>& pool, ChannelId i) const {
+    const auto c = static_cast<std::size_t>(i);
+    return std::span<const T>(pool).subspan(row_offset_[c], row_offset_[c + 1] - row_offset_[c]);
+  }
+
+  void accumulate(const RoutePlan& plan, const Workload& shape, FlowGating gating);
+  void compute_steps_to_eject();
+
+  std::unique_ptr<const RoutePlan> owned_plan_;  ///< set by the Topology ctor
+  const RoutePlan* plan_;
+  const Topology* topo_;
+  double alpha_ = 0.0;
+
+  std::vector<double> unit_lambda_;
+  std::vector<std::uint32_t> row_offset_;  ///< [nch + 1] into the edge pools
+  std::vector<ChannelId> next_;            ///< sorted within each row
+  std::vector<double> unit_rate_;
+  std::vector<double> prob_;
+  std::vector<double> self_share_;
+  std::vector<double> steps_to_eject_;
+  std::vector<std::uint8_t> is_ejection_;
+  std::vector<ChannelId> injection_;
+};
+
+}  // namespace quarc

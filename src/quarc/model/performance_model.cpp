@@ -11,23 +11,35 @@
 namespace quarc {
 
 PerformanceModel::PerformanceModel(const Topology& topo, Workload load, ModelOptions options)
-    : owned_plan_(std::make_shared<RoutePlan>(
-          topo, load.multicast_rate() > 0.0 ? load.pattern.get() : nullptr)),
-      plan_(owned_plan_.get()),
+    : owned_flows_(std::make_shared<const FlowGraph>(topo, load, FlowGating::Exact)),
+      flows_(owned_flows_.get()),
+      plan_(&flows_->plan()),
       topo_(&topo),
       load_(std::move(load)),
-      options_(options) {
-  load_.validate(topo);
-}
+      options_(options) {}
 
 PerformanceModel::PerformanceModel(const RoutePlan& plan, Workload load, ModelOptions options)
-    : plan_(&plan), topo_(&plan.topology()), load_(std::move(load)), options_(options) {
+    : owned_flows_(std::make_shared<const FlowGraph>(plan, load, FlowGating::Exact)),
+      flows_(owned_flows_.get()),
+      plan_(&plan),
+      topo_(&plan.topology()),
+      load_(std::move(load)),
+      options_(options) {}
+
+PerformanceModel::PerformanceModel(const FlowGraph& flows, Workload load, ModelOptions options)
+    : flows_(&flows),
+      plan_(&flows.plan()),
+      topo_(&flows.topology()),
+      load_(std::move(load)),
+      options_(options) {
   load_.validate(*topo_);
-  QUARC_REQUIRE(load_.multicast_rate() == 0.0 || plan.pattern() == load_.pattern.get(),
-                "route plan was compiled with a different multicast pattern");
+  QUARC_REQUIRE(load_.multicast_rate() == 0.0 || plan_->pattern() == load_.pattern.get(),
+                "flow graph was compiled with a different multicast pattern");
+  QUARC_REQUIRE(load_.message_rate == 0.0 || load_.multicast_fraction == flows.alpha(),
+                "flow graph was compiled with a different multicast fraction");
 }
 
-double PerformanceModel::path_waiting(const ChannelGraph& graph,
+double PerformanceModel::path_waiting(const FlowGraph& flows,
                                       const std::vector<ChannelSolution>& channels,
                                       ChannelId injection, std::span<const ChannelId> links,
                                       ChannelId ejection) {
@@ -36,8 +48,7 @@ double PerformanceModel::path_waiting(const ChannelGraph& graph,
   auto boundary = [&](ChannelId next) {
     const ChannelSolution& t = channels[static_cast<std::size_t>(next)];
     if (t.lambda > 0.0) {
-      const double self_share = graph.transition_rate(prev, next) / t.lambda;
-      total += (1.0 - self_share) * t.waiting_time;
+      total += (1.0 - flows.edge_self_share(prev, next)) * t.waiting_time;
     }
     prev = next;
   };
@@ -47,13 +58,18 @@ double PerformanceModel::path_waiting(const ChannelGraph& graph,
 }
 
 ModelResult PerformanceModel::evaluate() const {
+  SolverWorkspace ws;
+  return evaluate(ws);
+}
+
+ModelResult PerformanceModel::evaluate(SolverWorkspace& ws) const {
   ModelResult result;
   const RoutePlan& plan = *plan_;
-  const ChannelGraph graph(plan, load_);
-  ServiceTimeSolver solver(*topo_, graph, load_.message_length, options_.solver);
-  result.status = solver.solve();
+  const FlowGraph& flows = *flows_;
+  ServiceTimeSolver solver(flows, load_.message_length, options_.solver);
+  result.status = solver.solve(load_.message_rate, ws);
   result.solver_iterations = solver.iterations_used();
-  result.channels = solver.channels();
+  result.channels = ws.solution;
   result.max_utilization = solver.max_utilization(&result.bottleneck);
   result.has_multicast = load_.multicast_rate() > 0.0;
 
@@ -72,7 +88,7 @@ ModelResult PerformanceModel::evaluate() const {
     for (NodeId d = 0; d < n; ++d) {
       if (s == d) continue;
       const RouteView r = plan.route(s, d);
-      const double waits = path_waiting(graph, result.channels, r.injection, r.links, r.ejection);
+      const double waits = path_waiting(flows, result.channels, r.injection, r.links, r.ejection);
       unicast_sum += waits + msg + static_cast<double>(r.hops() + 1);
     }
   }
@@ -104,7 +120,7 @@ ModelResult PerformanceModel::evaluate() const {
         const StreamView st = plan.stream(s, c);
         const int index = streams_on_injection[st.injection]++;
         const ChannelSolution& inj = result.channels[static_cast<std::size_t>(st.injection)];
-        stream_waits.push_back(path_waiting(graph, result.channels, st.injection, st.links,
+        stream_waits.push_back(path_waiting(flows, result.channels, st.injection, st.links,
                                             st.stops.back().ejection));
         deterministic_floor =
             std::max(deterministic_floor, static_cast<double>(index) * inj.service_time + msg +
@@ -121,7 +137,7 @@ ModelResult PerformanceModel::evaluate() const {
         const RouteView r = plan.route(s, d);
         const ChannelSolution& inj = result.channels[static_cast<std::size_t>(r.injection)];
         const double waits =
-            path_waiting(graph, result.channels, r.injection, r.links, r.ejection) +
+            path_waiting(flows, result.channels, r.injection, r.links, r.ejection) +
             static_cast<double>(index) * inj.service_time;
         worst = std::max(worst, waits + msg + static_cast<double>(r.hops() + 1));
         ++index;

@@ -1,8 +1,9 @@
 // Facade assembling the paper's full analytical model (Sections 2.1-2.2).
 //
-// Pipeline: RoutePlan (routes compiled once) -> ChannelGraph (rates,
-// Eq. 1-2 port partitioning via the plan's streams) -> ServiceTimeSolver
-// (Eq. 3-6) -> latency assembly:
+// Pipeline: RoutePlan (routes compiled once) -> FlowGraph (rate-invariant
+// Eq. 1-2 flow structure, compiled once) -> ServiceTimeSolver (Eq. 3-6,
+// solved per rate point from a deterministically seeded SolverWorkspace)
+// -> latency assembly:
 //
 //   unicast  (Eq. 7):  L(s,d) = sum of path waits + (D+1) + M, averaged
 //                      over all source/destination pairs;
@@ -23,16 +24,19 @@
 // (which models only the all-port case) and is validated against the
 // simulator in bench/broadcast_scaling.
 //
-// Assembly iterates RoutePlan views — no route derivation or per-route
-// allocation inside evaluate(). A sweep compiles one plan per scenario
-// and shares it across every rate point (see sweep.hpp); the Topology
-// constructor compiles a private plan for one-off evaluations.
+// Assembly iterates RoutePlan views and the FlowGraph's precompiled edge
+// pools — no route derivation, no graph rebuild and no per-route
+// allocation inside evaluate(). A sweep compiles one plan + one FlowGraph
+// per scenario and shares both across every rate point (see sweep.hpp);
+// the Topology/RoutePlan constructors compile a private FlowGraph for
+// one-off evaluations.
 #pragma once
 
 #include <memory>
 #include <span>
 #include <vector>
 
+#include "quarc/model/flow_graph.hpp"
 #include "quarc/model/solver.hpp"
 #include "quarc/route/route_plan.hpp"
 #include "quarc/traffic/workload.hpp"
@@ -63,26 +67,35 @@ struct ModelResult {
 class PerformanceModel {
  public:
   /// The workload is validated against the topology on construction; a
-  /// private RoutePlan is compiled for this model instance.
+  /// private RoutePlan + FlowGraph are compiled for this model instance.
   PerformanceModel(const Topology& topo, Workload load, ModelOptions options = {});
-  /// Shares an externally compiled plan (the sweep hot path: one plan,
-  /// many rate points). The plan must outlive the model and must have
-  /// been compiled with the workload's pattern.
+  /// Shares an externally compiled plan; a private FlowGraph is compiled
+  /// over it. The plan must outlive the model and must have been compiled
+  /// with the workload's pattern.
   PerformanceModel(const RoutePlan& plan, Workload load, ModelOptions options = {});
+  /// Shares an externally compiled FlowGraph (the sweep hot path: one
+  /// structure, many rate points — nothing is rebuilt per point). The
+  /// FlowGraph must outlive the model and must have been compiled with
+  /// the workload's pattern and multicast fraction.
+  PerformanceModel(const FlowGraph& flows, Workload load, ModelOptions options = {});
 
   /// Solves the model. Deterministic; safe to call repeatedly.
   ModelResult evaluate() const;
+  /// Same, iterating in `ws` (fully reseeded — byte-identical to a fresh
+  /// workspace; reuse saves the per-solve allocation on sweep hot paths).
+  ModelResult evaluate(SolverWorkspace& ws) const;
 
   /// Mean waiting a message experiences along (injection, links..., eject),
   /// i.e. W_inj plus the self-discounted waits of every subsequent channel
   /// (the sum-of-w_l of Eq. 7). Exposed for tests and diagnostics; requires
-  /// the per-channel solution and graph from a solved model.
-  static double path_waiting(const ChannelGraph& graph,
+  /// the per-channel solution from a solved model over the same FlowGraph.
+  static double path_waiting(const FlowGraph& flows,
                              const std::vector<ChannelSolution>& channels, ChannelId injection,
                              std::span<const ChannelId> links, ChannelId ejection);
 
  private:
-  std::shared_ptr<const RoutePlan> owned_plan_;  ///< set by the Topology ctor
+  std::shared_ptr<const FlowGraph> owned_flows_;  ///< set by the compat ctors
+  const FlowGraph* flows_;
   const RoutePlan* plan_;
   const Topology* topo_;
   Workload load_;

@@ -20,21 +20,47 @@ std::string to_string(SolveStatus s) {
   return "unknown";
 }
 
-ServiceTimeSolver::ServiceTimeSolver(const Topology& topo, const ChannelGraph& graph,
-                                     int message_length, SolverOptions options)
-    : topo_(&topo), graph_(&graph), message_length_(message_length), options_(options) {
+ServiceTimeSolver::ServiceTimeSolver(const FlowGraph& flows, int message_length,
+                                     SolverOptions options)
+    : flows_(&flows), message_length_(message_length), options_(options) {
   QUARC_REQUIRE(message_length >= 1, "message length must be positive");
   QUARC_REQUIRE(options_.damping > 0.0 && options_.damping <= 1.0, "damping must be in (0,1]");
 }
 
+ServiceTimeSolver::ServiceTimeSolver(const Topology& topo, const ChannelGraph& graph,
+                                     int message_length, SolverOptions options)
+    : ServiceTimeSolver(graph.flow_graph(), message_length, options) {
+  QUARC_REQUIRE(&topo == &graph.flow_graph().topology(),
+                "channel graph was built for a different topology");
+  bound_rate_ = graph.scale();
+}
+
 SolveStatus ServiceTimeSolver::solve() {
-  const auto nch = static_cast<std::size_t>(topo_->num_channels());
+  QUARC_REQUIRE(bound_rate_ >= 0.0,
+                "no-argument solve() requires the ChannelGraph constructor (which binds the "
+                "message rate); FlowGraph-constructed solvers must pass a rate");
+  return solve(bound_rate_, own_);
+}
+
+SolveStatus ServiceTimeSolver::solve(double message_rate, SolverWorkspace& ws, SolverSeed seed) {
+  const FlowGraph& flows = *flows_;
+  const std::size_t nch = flows.num_channels();
   const double msg = static_cast<double>(message_length_);
 
-  solution_.assign(nch, ChannelSolution{});
+  auto& sol = ws.solution;
+  sol.resize(nch);
+  last_ = &ws;
+
+  // Deterministic seed: every field of every entry is overwritten, so a
+  // reused workspace can never leak state into the result. Idle channels
+  // seed (and report) the drain-time floor either way.
   for (std::size_t c = 0; c < nch; ++c) {
-    solution_[c].lambda = graph_->lambda(static_cast<ChannelId>(c));
-    solution_[c].service_time = msg;  // drain time is the floor of any service time
+    const double lambda = message_rate * flows.unit_lambda(static_cast<ChannelId>(c));
+    double x0 = msg;
+    if (seed == SolverSeed::ZeroLoad && lambda > 0.0) {
+      x0 = msg + flows.steps_to_eject(static_cast<ChannelId>(c));
+    }
+    sol[c] = ChannelSolution{lambda, x0, 0.0, 0.0};
   }
 
   iterations_used_ = 0;
@@ -43,7 +69,7 @@ SolveStatus ServiceTimeSolver::solve() {
 
     // Refresh waits and check the stability guard with current x.
     for (std::size_t c = 0; c < nch; ++c) {
-      ChannelSolution& s = solution_[c];
+      ChannelSolution& s = sol[c];
       if (s.lambda <= 0.0) {
         s.waiting_time = 0.0;
         s.utilization = 0.0;
@@ -56,21 +82,23 @@ SolveStatus ServiceTimeSolver::solve() {
       if (!std::isfinite(s.waiting_time)) return SolveStatus::Saturated;
     }
 
-    // Gauss-Seidel sweep of Eq. 6 with damping.
+    // Gauss-Seidel sweep of Eq. 6 with damping, directly over the CSR:
+    // P_{i->j} and the self-share discount are precomputed per edge.
     double max_delta = 0.0;
-    for (const ChannelInfo& ch : topo_->channels()) {
-      if (ch.kind == ChannelKind::Ejection) continue;  // fixed x = msg
-      ChannelSolution& s = solution_[static_cast<std::size_t>(ch.id)];
+    for (std::size_t c = 0; c < nch; ++c) {
+      const auto ch = static_cast<ChannelId>(c);
+      if (flows.is_ejection(ch)) continue;  // fixed x = msg
+      ChannelSolution& s = sol[c];
       if (s.lambda <= 0.0) continue;  // unused channel; x irrelevant
-      const auto& flows = graph_->outgoing(ch.id);
-      QUARC_ASSERT(!flows.empty(), "loaded non-ejection channel has no next channel");
+      const auto next = flows.next(ch);
+      QUARC_ASSERT(!next.empty(), "loaded non-ejection channel has no next channel");
+      const auto prob = flows.prob(ch);
+      const auto share = flows.self_share(ch);
 
       double update = 0.0;
-      for (const auto& [next, rate] : flows) {
-        const ChannelSolution& t = solution_[static_cast<std::size_t>(next)];
-        const double p = rate / s.lambda;                    // P_{i->j}
-        const double self_share = rate / t.lambda;           // fraction of j's load from i
-        update += p * ((1.0 - self_share) * t.waiting_time + t.service_time + 1.0);
+      for (std::size_t k = 0; k < next.size(); ++k) {
+        const ChannelSolution& t = sol[static_cast<std::size_t>(next[k])];
+        update += prob[k] * ((1.0 - share[k]) * t.waiting_time + t.service_time + 1.0);
       }
       const double damped =
           options_.damping * update + (1.0 - options_.damping) * s.service_time;
@@ -81,7 +109,7 @@ SolveStatus ServiceTimeSolver::solve() {
     if (max_delta < options_.tolerance) {
       // Final wait refresh so callers see W consistent with converged x.
       for (std::size_t c = 0; c < nch; ++c) {
-        ChannelSolution& s = solution_[c];
+        ChannelSolution& s = sol[c];
         if (s.lambda <= 0.0) continue;
         s.utilization = mg1_utilization(s.lambda, s.service_time);
         if (s.utilization >= options_.utilization_guard) return SolveStatus::Saturated;
@@ -95,11 +123,12 @@ SolveStatus ServiceTimeSolver::solve() {
 }
 
 double ServiceTimeSolver::max_utilization(ChannelId* argmax) const {
+  const auto& sol = last_->solution;
   double best = 0.0;
   ChannelId best_id = kInvalidChannel;
-  for (std::size_t c = 0; c < solution_.size(); ++c) {
-    if (solution_[c].utilization > best) {
-      best = solution_[c].utilization;
+  for (std::size_t c = 0; c < sol.size(); ++c) {
+    if (sol[c].utilization > best) {
+      best = sol[c].utilization;
       best_id = static_cast<ChannelId>(c);
     }
   }

@@ -16,12 +16,24 @@
 // all the way around), so the recursion is solved by damped fixed-point
 // iteration. Saturation (rho >= 1 on any channel) is reported as a status
 // rather than an error: latency curves legitimately end at an asymptote.
+//
+// The solver iterates directly over a FlowGraph's CSR pools: P_{i->j} and
+// the self-share discount are rate-invariant and precomputed there, so a
+// rate point costs one multiply per channel (lambda = rate * unit_lambda)
+// plus the iteration itself — no graph rebuild, no per-solve allocation
+// once a SolverWorkspace is warm. Seeding is deterministic: the initial
+// x-vector is the closed-form zero-load service time per channel
+// (M + FlowGraph::steps_to_eject), a pure function of (structure, rate) —
+// never of previously solved points — so cache hits, shard splits and
+// thread counts stay byte-identical while low-load points converge in a
+// handful of iterations instead of walking up from the drain-time floor.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "quarc/model/channel_graph.hpp"
+#include "quarc/model/flow_graph.hpp"
 #include "quarc/topo/topology.hpp"
 
 namespace quarc {
@@ -37,6 +49,15 @@ struct SolverOptions {
   double utilization_guard = 1.0 - 1e-6;  ///< rho at/above this => Saturated
 };
 
+/// Initial x-vector family. Both are pure functions of (structure, rate),
+/// so either keeps the determinism contract; ZeroLoad is the production
+/// default, DrainTime reproduces the historical cold start (kept so
+/// bench/micro_solver.cpp can measure the difference).
+enum class SolverSeed {
+  ZeroLoad,   ///< x0 = M + steps_to_eject (closed-form zero-load service)
+  DrainTime,  ///< x0 = M everywhere (the historical cold start)
+};
+
 /// Converged per-channel quantities.
 struct ChannelSolution {
   double lambda = 0.0;        ///< arrival rate (messages/cycle)
@@ -45,28 +66,54 @@ struct ChannelSolution {
   double utilization = 0.0;   ///< rho = lambda * x
 };
 
+/// Reusable per-thread solve state. solve() fully reseeds every entry, so
+/// a warm workspace yields bytes identical to a cold one — reuse is purely
+/// an allocation saving (asserted by the flow-graph test-suite).
+struct SolverWorkspace {
+  std::vector<ChannelSolution> solution;
+};
+
 class ServiceTimeSolver {
  public:
+  /// Binds the rate-invariant structure; each solve() call supplies the
+  /// message rate. The FlowGraph must outlive the solver.
+  ServiceTimeSolver(const FlowGraph& flows, int message_length, SolverOptions options = {});
+  /// Compatibility: binds the graph's structure and its message rate
+  /// (solve() with no arguments solves at that rate). The graph must
+  /// outlive the solver.
   ServiceTimeSolver(const Topology& topo, const ChannelGraph& graph, int message_length,
                     SolverOptions options = {});
 
-  /// Runs the iteration; idempotent (re-running re-solves from scratch).
+  /// Runs the iteration in `ws` (resized, fully reseeded — results never
+  /// depend on the workspace's previous contents). Deterministic.
+  SolveStatus solve(double message_rate, SolverWorkspace& ws,
+                    SolverSeed seed = SolverSeed::ZeroLoad);
+  /// Compatibility: solves at the bound ChannelGraph's rate into an
+  /// internal workspace; idempotent (re-running re-solves from scratch).
   SolveStatus solve();
 
-  const std::vector<ChannelSolution>& channels() const { return solution_; }
+  /// Per-channel quantities of the most recent solve (index = ChannelId).
+  /// channels()/channel()/max_utilization() reference the workspace that
+  /// solve ran in: after solve(rate, ws) they stay valid only while `ws`
+  /// is alive and unmodified (the no-argument solve() uses an internal
+  /// workspace, which lives as long as the solver).
+  const std::vector<ChannelSolution>& channels() const { return last_->solution; }
   const ChannelSolution& channel(ChannelId c) const {
-    return solution_[static_cast<std::size_t>(c)];
+    return last_->solution[static_cast<std::size_t>(c)];
   }
   int iterations_used() const { return iterations_used_; }
   /// Highest channel utilisation and the channel achieving it.
   double max_utilization(ChannelId* argmax = nullptr) const;
 
  private:
-  const Topology* topo_;
-  const ChannelGraph* graph_;
+  const FlowGraph* flows_;
   int message_length_;
   SolverOptions options_;
-  std::vector<ChannelSolution> solution_;
+  /// Rate for the compatibility solve(); < 0 marks "not bound" (the
+  /// FlowGraph constructor), which the no-argument solve() rejects.
+  double bound_rate_ = -1.0;
+  SolverWorkspace own_;            ///< backs the compatibility solve()
+  const SolverWorkspace* last_ = &own_;
   int iterations_used_ = 0;
 };
 

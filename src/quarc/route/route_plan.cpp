@@ -169,8 +169,9 @@ std::uint64_t RoutePlan::structural_digest() const {
   // Byte-compatible with the structural topology digest historically
   // computed by the fingerprint layer from direct unicast_route() /
   // multicast_streams() calls: same field order, same "<int>;" mixing.
-  // Keeping the byte layout means plan-backed fingerprints of adopted
-  // topologies key the same on-disk cache entries the direct digests did.
+  // The frozen layout keeps every code version agreeing on what a given
+  // wiring is named (cache entry *validity* across versions is governed
+  // separately by kFingerprintSchemaVersion).
   std::uint64_t h = 0xCBF29CE484222325ULL;
   auto mix = [&h](std::int64_t v) { h = fnv1a64(std::to_string(v) + ";", h); };
   const Topology& topo = *topo_;

@@ -6,20 +6,30 @@
 
 namespace quarc::sim {
 
-// NOTE: `config` is passed by copy, not moved — the RoutePlan temporary
-// and the target's parameter are constructed in unspecified order, and a
-// move would let the target steal config.workload.pattern before the plan
-// compiles from it.
 Simulator::Simulator(const Topology& topo, SimConfig config)
-    : Simulator(RoutePlan(topo, config.workload.multicast_rate() > 0.0
-                                    ? config.workload.pattern.get()
-                                    : nullptr),
-                config) {}
+    : topo_(&topo),
+      config_(std::move(config)),
+      metrics_(config_.batch_count, topo.num_ports(), config_.collect_stream_samples) {
+  // The throwaway plan is compiled in the body, from config_ — which this
+  // instance already owns — so no constructor-argument evaluation-order
+  // hazard exists. (The delegating-ctor formulation this replaces had to
+  // pass config by copy: a move could have stolen workload.pattern before
+  // the plan temporary compiled from it, argument evaluation order being
+  // unspecified.)
+  const RoutePlan plan(topo, config_.workload.multicast_rate() > 0.0
+                                 ? config_.workload.pattern.get()
+                                 : nullptr);
+  build(plan);
+}
 
 Simulator::Simulator(const RoutePlan& plan, SimConfig config)
     : topo_(&plan.topology()),
       config_(std::move(config)),
       metrics_(config_.batch_count, topo_->num_ports(), config_.collect_stream_samples) {
+  build(plan);
+}
+
+void Simulator::build(const RoutePlan& plan) {
   const Topology& topo = *topo_;
   config_.workload.validate(topo);
   QUARC_REQUIRE(config_.workload.multicast_rate() == 0.0 ||

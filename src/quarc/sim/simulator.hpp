@@ -120,6 +120,12 @@ class Simulator {
     double zero_load_floor = 0.0;
   };
 
+  /// Shared construction tail: validates config_ (which must already be
+  /// owned by this instance) and builds channel state, sources and worm
+  /// prototypes from the plan's views. The plan is only read here, never
+  /// retained.
+  void build(const RoutePlan& plan);
+
   void arrivals_phase();
   void allocation_phase();
   void movement_phase();

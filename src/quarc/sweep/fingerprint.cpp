@@ -44,8 +44,10 @@ std::uint64_t pattern_digest(const MulticastPattern& pattern, int num_nodes) {
 /// names exactly the routing state the model and simulator consume.
 /// Prefers the caller's compiled plan; compiles a throwaway one (O(N^2 *
 /// diameter), paid only for adopted topologies) otherwise. The byte
-/// layout is unchanged from the historical direct-call digest, so
-/// existing on-disk cache keys stay valid.
+/// layout is frozen at the historical direct-call digest so two code
+/// versions agree on what a structure is named; whether old cache
+/// *entries* are still served is governed by kFingerprintSchemaVersion
+/// (the v2 bump re-keyed everything).
 std::uint64_t topology_digest(const FingerprintInputs& in) {
   // The digest must cover the multicast streams whenever a pattern is
   // attached (the historical key layout), but the caller's plan may have

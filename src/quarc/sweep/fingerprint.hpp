@@ -31,7 +31,11 @@
 
 namespace quarc {
 
-inline constexpr int kFingerprintSchemaVersion = 1;
+// v2: the solver now iterates the precompiled FlowGraph CSR with
+// deterministic zero-load warm-start seeding — converged bytes moved at
+// the tolerance level, so v1 cache entries must not be served for v2
+// solves (same knobs, different solver arithmetic).
+inline constexpr int kFingerprintSchemaVersion = 2;
 
 struct ScenarioFingerprint {
   std::string canonical;   ///< key=value text, one knob per line

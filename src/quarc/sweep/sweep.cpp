@@ -41,26 +41,13 @@ std::uint64_t sweep_point_seed(std::uint64_t base_seed, double rate) {
   return z ^ (z >> 31);
 }
 
-namespace {
-
-/// Plan for `base` on `topo`. Multicast state is gated on the multicast
-/// *fraction*, not multicast_rate(): sweeps and saturation searches
-/// re-evaluate the plan across many message rates (including rate zero),
-/// but the fraction — like the pattern — is fixed for the whole sweep. A
-/// unicast-only workload therefore never compiles (or validates) an
-/// attached pattern, matching the evaluation layers' behaviour.
-RoutePlan compile_plan(const Topology& topo, const Workload& base) {
-  return RoutePlan(topo, base.multicast_fraction > 0.0 ? base.pattern.get() : nullptr);
-}
-
-}  // namespace
-
-double model_saturation_rate(const RoutePlan& plan, const Workload& base, ModelOptions options) {
-  auto converges = [&](double rate) {
-    Workload w = base;
-    w.message_rate = rate;
-    return PerformanceModel(plan, w, options).evaluate().status == SolveStatus::Converged;
-  };
+double model_saturation_rate(const FlowGraph& flows, const Workload& base, ModelOptions options) {
+  // Only the solver's status matters here, so probe it directly from one
+  // reused workspace: no latency assembly (Eq. 7-16 walks every route)
+  // and no per-probe graph build, unlike evaluating the full model.
+  ServiceTimeSolver solver(flows, base.message_length, options.solver);
+  SolverWorkspace ws;
+  auto converges = [&](double rate) { return solver.solve(rate, ws) == SolveStatus::Converged; };
   double lo = 0.0;
   double hi = 1e-4;
   while (converges(hi)) {
@@ -75,15 +62,19 @@ double model_saturation_rate(const RoutePlan& plan, const Workload& base, ModelO
   return lo;
 }
 
-double model_saturation_rate(const Topology& topo, const Workload& base, ModelOptions options) {
-  return model_saturation_rate(compile_plan(topo, base), base, options);
+double model_saturation_rate(const RoutePlan& plan, const Workload& base, ModelOptions options) {
+  return model_saturation_rate(FlowGraph(plan, base), base, options);
 }
 
-std::vector<double> rate_grid_to_saturation(const RoutePlan& plan, const Workload& base,
+double model_saturation_rate(const Topology& topo, const Workload& base, ModelOptions options) {
+  return model_saturation_rate(FlowGraph(topo, base), base, options);
+}
+
+std::vector<double> rate_grid_to_saturation(const FlowGraph& flows, const Workload& base,
                                             int points, double fill, ModelOptions options) {
   QUARC_REQUIRE(points >= 1, "grid needs at least one point");
   QUARC_REQUIRE(fill > 0.0 && fill <= 1.0, "fill must be in (0,1]");
-  const double sat = model_saturation_rate(plan, base, options);
+  const double sat = model_saturation_rate(flows, base, options);
   std::vector<double> rates;
   rates.reserve(static_cast<std::size_t>(points));
   for (int i = 1; i <= points; ++i) {
@@ -92,12 +83,17 @@ std::vector<double> rate_grid_to_saturation(const RoutePlan& plan, const Workloa
   return rates;
 }
 
-std::vector<double> rate_grid_to_saturation(const Topology& topo, const Workload& base, int points,
-                                            double fill, ModelOptions options) {
-  return rate_grid_to_saturation(compile_plan(topo, base), base, points, fill, options);
+std::vector<double> rate_grid_to_saturation(const RoutePlan& plan, const Workload& base,
+                                            int points, double fill, ModelOptions options) {
+  return rate_grid_to_saturation(FlowGraph(plan, base), base, points, fill, options);
 }
 
-std::vector<RatePointResult> sweep_tasks(const RoutePlan& plan, const Workload& base,
+std::vector<double> rate_grid_to_saturation(const Topology& topo, const Workload& base, int points,
+                                            double fill, ModelOptions options) {
+  return rate_grid_to_saturation(FlowGraph(topo, base), base, points, fill, options);
+}
+
+std::vector<RatePointResult> sweep_tasks(const FlowGraph& flows, const Workload& base,
                                          std::span<const SweepTask> tasks,
                                          const SweepConfig& cfg) {
   std::vector<RatePointResult> out(tasks.size());
@@ -110,12 +106,16 @@ std::vector<RatePointResult> sweep_tasks(const RoutePlan& plan, const Workload& 
           point.rate = tasks[i].rate;
           Workload w = base;
           w.message_rate = tasks[i].rate;
-          point.model = PerformanceModel(plan, w, cfg.model).evaluate();
+          // One workspace per worker thread, reused across every point the
+          // thread solves. solve() fully reseeds it, so reuse cannot change
+          // a byte (the sweep determinism suites pin this).
+          static thread_local SolverWorkspace ws;
+          point.model = PerformanceModel(flows, w, cfg.model).evaluate(ws);
           if (cfg.run_sim) {
             sim::SimConfig sc = cfg.sim;
             sc.workload = w;
             sc.seed = tasks[i].sim_seed;
-            sim::Simulator simulator(plan, sc);
+            sim::Simulator simulator(flows.plan(), sc);
             point.sim = simulator.run();
             point.sim_run = true;
           }
@@ -136,23 +136,34 @@ std::vector<RatePointResult> sweep_tasks(const RoutePlan& plan, const Workload& 
   return out;
 }
 
+std::vector<RatePointResult> sweep_tasks(const RoutePlan& plan, const Workload& base,
+                                         std::span<const SweepTask> tasks,
+                                         const SweepConfig& cfg) {
+  return sweep_tasks(FlowGraph(plan, base), base, tasks, cfg);
+}
+
 std::vector<RatePointResult> sweep_tasks(const Topology& topo, const Workload& base,
                                          std::span<const SweepTask> tasks,
                                          const SweepConfig& cfg) {
-  return sweep_tasks(compile_plan(topo, base), base, tasks, cfg);
+  return sweep_tasks(FlowGraph(topo, base), base, tasks, cfg);
 }
 
-std::vector<RatePointResult> sweep_rates(const RoutePlan& plan, const Workload& base,
+std::vector<RatePointResult> sweep_rates(const FlowGraph& flows, const Workload& base,
                                          std::span<const double> rates, const SweepConfig& cfg) {
   std::vector<SweepTask> tasks;
   tasks.reserve(rates.size());
   for (const double r : rates) tasks.push_back({r, sweep_point_seed(cfg.sim.seed, r)});
-  return sweep_tasks(plan, base, tasks, cfg);
+  return sweep_tasks(flows, base, tasks, cfg);
+}
+
+std::vector<RatePointResult> sweep_rates(const RoutePlan& plan, const Workload& base,
+                                         std::span<const double> rates, const SweepConfig& cfg) {
+  return sweep_rates(FlowGraph(plan, base), base, rates, cfg);
 }
 
 std::vector<RatePointResult> sweep_rates(const Topology& topo, const Workload& base,
                                          std::span<const double> rates, const SweepConfig& cfg) {
-  return sweep_rates(compile_plan(topo, base), base, rates, cfg);
+  return sweep_rates(FlowGraph(topo, base), base, rates, cfg);
 }
 
 }  // namespace quarc

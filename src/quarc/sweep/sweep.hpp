@@ -21,17 +21,22 @@
 // the input order exactly, so a sharded run is bit-identical to the
 // single-shard run — asserted by the sweep test-suite.
 //
-// Routing: every entry point takes either a RoutePlan (preferred — the
-// plan is compiled once per scenario and shared read-only by every rate
-// point, shard and worker thread) or a Topology (convenience — a plan is
-// compiled once per call and shared the same way). No unicast_route() or
-// multicast_streams() call happens per rate point on either path.
+// Routing & flow structure: every entry point takes a FlowGraph
+// (preferred — the rate-invariant Eq. 6 structure compiled once per
+// scenario, carrying its RoutePlan, shared read-only by every rate point,
+// shard and worker thread), a RoutePlan (a FlowGraph is compiled over it
+// once per call) or a Topology (plan + FlowGraph compiled once per call).
+// No unicast_route()/multicast_streams() call and no flow-graph rebuild
+// happens per rate point on any path; model solves reuse a per-thread
+// SolverWorkspace (deterministically reseeded, so reuse never changes a
+// byte — see solver.hpp).
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "quarc/model/flow_graph.hpp"
 #include "quarc/model/performance_model.hpp"
 #include "quarc/route/route_plan.hpp"
 #include "quarc/sim/simulator.hpp"
@@ -81,13 +86,20 @@ struct SweepTask {
 
 /// Largest per-node message rate for which the analytical model still
 /// converges, found by doubling + bisection (relative precision ~1e-3).
-/// The plan overload shares one compiled plan across every probe.
+/// The FlowGraph overload probes the solver directly from one reused
+/// workspace — no latency assembly, no per-probe graph build; the
+/// plan/topology overloads compile the shared structure once per call.
+double model_saturation_rate(const FlowGraph& flows, const Workload& base,
+                             ModelOptions options = {});
 double model_saturation_rate(const RoutePlan& plan, const Workload& base,
                              ModelOptions options = {});
 double model_saturation_rate(const Topology& topo, const Workload& base,
                              ModelOptions options = {});
 
 /// `points` rates evenly spaced in (0, fill * saturation].
+std::vector<double> rate_grid_to_saturation(const FlowGraph& flows, const Workload& base,
+                                            int points, double fill = 0.9,
+                                            ModelOptions options = {});
 std::vector<double> rate_grid_to_saturation(const RoutePlan& plan, const Workload& base,
                                             int points, double fill = 0.9,
                                             ModelOptions options = {});
@@ -97,7 +109,11 @@ std::vector<double> rate_grid_to_saturation(const Topology& topo, const Workload
 
 /// Evaluates model (and optionally simulator) for every task, honouring
 /// cfg.shards and cfg.threads; cfg.sim.seed is ignored (each task carries
-/// its own seed). The plan is shared read-only by all workers.
+/// its own seed). The FlowGraph (and the plan it carries) is shared
+/// read-only by all workers.
+std::vector<RatePointResult> sweep_tasks(const FlowGraph& flows, const Workload& base,
+                                         std::span<const SweepTask> tasks,
+                                         const SweepConfig& cfg);
 std::vector<RatePointResult> sweep_tasks(const RoutePlan& plan, const Workload& base,
                                          std::span<const SweepTask> tasks,
                                          const SweepConfig& cfg);
@@ -107,6 +123,8 @@ std::vector<RatePointResult> sweep_tasks(const Topology& topo, const Workload& b
 
 /// Evaluates model (and optionally simulator) at every rate, with
 /// per-point seeds sweep_point_seed(cfg.sim.seed, rate).
+std::vector<RatePointResult> sweep_rates(const FlowGraph& flows, const Workload& base,
+                                         std::span<const double> rates, const SweepConfig& cfg);
 std::vector<RatePointResult> sweep_rates(const RoutePlan& plan, const Workload& base,
                                          std::span<const double> rates, const SweepConfig& cfg);
 std::vector<RatePointResult> sweep_rates(const Topology& topo, const Workload& base,

@@ -31,7 +31,7 @@ TEST(Fingerprint, GoldenCanonicalTextForDefaultScenario) {
   api::Scenario s;  // quarc:16, no pattern, defaults everywhere
   const ScenarioFingerprint fp = s.fingerprint();
   EXPECT_EQ(fp.canonical,
-            "fp_schema=1\n"
+            "fp_schema=2\n"
             "topology=quarc:16\n"
             "topology_digest=spec\n"
             "pattern=none\n"
@@ -60,16 +60,16 @@ TEST(Fingerprint, GoldenCanonicalTextForDefaultScenario) {
 
 TEST(Fingerprint, GoldenDigests) {
   api::Scenario mesh = canonical_mesh();
-  EXPECT_EQ(mesh.fingerprint().hex(), "db6fbd6e0f27cc1e");
+  EXPECT_EQ(mesh.fingerprint().hex(), "0c8b2e316a5f1639");
 
   api::Scenario cube;
   cube.topology("hypercube:4").pattern("localized:0.2:0.8:6").alpha(0.1).message_length(32).seed(
       11);
-  EXPECT_EQ(cube.fingerprint().hex(), "0e94398a0adbc1c3");
+  EXPECT_EQ(cube.fingerprint().hex(), "6d70238c3455c276");
 
   api::Scenario quarc;
   quarc.topology("quarc:16").pattern("broadcast").alpha(0.05).message_length(16).seed(1);
-  EXPECT_EQ(quarc.fingerprint().hex(), "38796a9cec3cd8b6");
+  EXPECT_EQ(quarc.fingerprint().hex(), "648557b6fa2ab507");
 }
 
 // ----------------------------------------------------------- stability
