@@ -128,8 +128,12 @@ struct PointStats {
   double scaled_us = 0.0;
   double cold_solve_us = 0.0;
   double seeded_solve_us = 0.0;
+  double anderson_solve_us = 0.0;
+  double direct_eval_us = 0.0;
+  double stencil_eval_us = 0.0;
   int cold_iterations = 0;
   int seeded_iterations = 0;
+  int anderson_iterations = 0;
 };
 
 struct CellStats {
@@ -170,9 +174,21 @@ CellStats run_cell(const std::string& topo_spec, const std::string& pattern_spec
   const FlowGraph flows(plan, base);
   cell.compile_us = us_since(compile_start);
 
-  const std::vector<double> rates = rate_grid_to_saturation(flows, base, points, 0.85);
+  ModelOptions gs_model;
+  gs_model.solver.iteration = SolverIteration::GaussSeidel;
+  const std::vector<double> rates = rate_grid_to_saturation(flows, base, points, 0.85, gs_model);
 
-  ServiceTimeSolver solver(flows, base.message_length);
+  ServiceTimeSolver solver(flows, base.message_length, gs_model.solver);
+  SolverOptions anderson_options;
+  anderson_options.iteration = SolverIteration::Anderson;
+  ServiceTimeSolver anderson(flows, base.message_length, anderson_options);
+  ModelOptions direct_model;
+  direct_model.solver = anderson_options;
+  direct_model.assembly = LatencyAssembly::DirectWalk;
+  ModelOptions stencil_model;
+  stencil_model.solver = anderson_options;
+  stencil_model.assembly = LatencyAssembly::Stencil;
+  flows.stencil();  // compile outside the timed region (one-off per scenario)
   SolverWorkspace ws;
   for (const double rate : rates) {
     PointStats p;
@@ -213,6 +229,31 @@ CellStats run_cell(const std::string& topo_spec, const std::string& pattern_spec
     p.seeded_solve_us = us_since(start) / repeats;
     p.seeded_iterations = solver.iterations_used();
 
+    // Anderson-accelerated iteration (the production default) from the
+    // same zero-load seed: same fixed point, a fraction of the sweeps.
+    start = Clock::now();
+    for (int r = 0; r < repeats; ++r) {
+      checksum += static_cast<double>(anderson.solve(rate, ws, SolverSeed::ZeroLoad) ==
+                                      SolveStatus::Converged);
+    }
+    p.anderson_solve_us = us_since(start) / repeats;
+    p.anderson_iterations = anderson.iterations_used();
+
+    // Full evaluate() under both Eq. 7-16 assemblies (identical solver,
+    // identical bytes out): the historical per-route direct walk vs the
+    // compiled LatencyStencil's flat weighted accumulation.
+    start = Clock::now();
+    for (int r = 0; r < repeats; ++r) {
+      checksum += PerformanceModel(flows, w, direct_model).evaluate(ws).avg_unicast_latency;
+    }
+    p.direct_eval_us = us_since(start) / repeats;
+
+    start = Clock::now();
+    for (int r = 0; r < repeats; ++r) {
+      checksum += PerformanceModel(flows, w, stencil_model).evaluate(ws).avg_unicast_latency;
+    }
+    p.stencil_eval_us = us_since(start) / repeats;
+
     cell.points.push_back(p);
   }
   return cell;
@@ -223,16 +264,19 @@ void print_cell(const CellStats& cell) {
   const double scaled = cell.total(&PointStats::scaled_us);
   const long long cold = cell.iterations(&PointStats::cold_iterations);
   const long long seeded = cell.iterations(&PointStats::seeded_iterations);
-  const double cold_us = cell.total(&PointStats::cold_solve_us);
+  const long long anderson = cell.iterations(&PointStats::anderson_iterations);
   const double seeded_us = cell.total(&PointStats::seeded_solve_us);
+  const double anderson_us = cell.total(&PointStats::anderson_solve_us);
+  const double direct_us = cell.total(&PointStats::direct_eval_us);
+  const double stencil_us = cell.total(&PointStats::stencil_eval_us);
+  const std::size_t n = cell.points.size();
   std::cout << std::left << std::setw(12) << cell.topology << std::right << std::fixed
-            << std::setprecision(1) << std::setw(11) << rebuild / cell.points.size()
-            << std::setw(11) << scaled / cell.points.size() << std::setprecision(0)
-            << std::setw(9) << static_cast<double>(cold) << std::setw(9)
-            << static_cast<double>(seeded) << std::setprecision(1) << std::setw(9)
-            << 100.0 * (1.0 - static_cast<double>(seeded) / static_cast<double>(cold)) << "%"
-            << std::setw(11) << cold_us / cell.points.size() << std::setw(11)
-            << seeded_us / cell.points.size() << "\n";
+            << std::setprecision(1) << std::setw(11) << rebuild / n << std::setw(11)
+            << scaled / n << std::setprecision(0) << std::setw(9)
+            << static_cast<double>(cold) << std::setw(8) << static_cast<double>(seeded)
+            << std::setw(8) << static_cast<double>(anderson) << std::setprecision(1)
+            << std::setw(8) << seeded_us / n << std::setw(8) << anderson_us / n
+            << std::setw(10) << direct_us / n << std::setw(10) << stencil_us / n << "\n";
 }
 
 json::Value cell_to_json(const CellStats& cell) {
@@ -246,6 +290,10 @@ json::Value cell_to_json(const CellStats& cell) {
                                      cell.iterations(&PointStats::cold_iterations)));
   c.set("total_seeded_iterations", static_cast<std::int64_t>(
                                        cell.iterations(&PointStats::seeded_iterations)));
+  c.set("total_anderson_iterations", static_cast<std::int64_t>(
+                                         cell.iterations(&PointStats::anderson_iterations)));
+  c.set("total_direct_eval_us", cell.total(&PointStats::direct_eval_us));
+  c.set("total_stencil_eval_us", cell.total(&PointStats::stencil_eval_us));
   json::Value points = json::Value::array();
   for (const PointStats& p : cell.points) {
     json::Value v = json::Value::object();
@@ -256,6 +304,10 @@ json::Value cell_to_json(const CellStats& cell) {
     v.set("seeded_solve_us", p.seeded_solve_us);
     v.set("cold_iterations", p.cold_iterations);
     v.set("seeded_iterations", p.seeded_iterations);
+    v.set("anderson_solve_us", p.anderson_solve_us);
+    v.set("anderson_iterations", p.anderson_iterations);
+    v.set("direct_eval_us", p.direct_eval_us);
+    v.set("stencil_eval_us", p.stencil_eval_us);
     points.push_back(std::move(v));
   }
   c.set("points", std::move(points));
@@ -283,8 +335,9 @@ int main(int argc, char** argv) {
             << " calls; iterations summed over the grid)\n\n"
             << std::left << std::setw(12) << "topology" << std::right << std::setw(11)
             << "rebuild us" << std::setw(11) << "scaled us" << std::setw(9) << "cold it"
-            << std::setw(9) << "seed it" << std::setw(10) << "it saved" << std::setw(11)
-            << "cold us" << std::setw(11) << "seeded us\n";
+            << std::setw(8) << "seed it" << std::setw(8) << "AA it" << std::setw(8)
+            << "seed us" << std::setw(8) << "AA us" << std::setw(10) << "direct us"
+            << std::setw(10) << "stencl us\n";
 
   std::vector<CellStats> cells;
   for (const int n : {16, 32, 64}) {
@@ -294,19 +347,24 @@ int main(int argc, char** argv) {
     print_cell(cells.back());
   }
 
-  long long cold = 0, seeded = 0;
-  double rebuild = 0.0, scaled = 0.0;
+  long long cold = 0, seeded = 0, anderson = 0;
+  double rebuild = 0.0, scaled = 0.0, direct_eval = 0.0, stencil_eval = 0.0;
   for (const CellStats& c : cells) {
     cold += c.iterations(&PointStats::cold_iterations);
     seeded += c.iterations(&PointStats::seeded_iterations);
+    anderson += c.iterations(&PointStats::anderson_iterations);
     rebuild += c.total(&PointStats::rebuild_us);
     scaled += c.total(&PointStats::scaled_us);
+    direct_eval += c.total(&PointStats::direct_eval_us);
+    stencil_eval += c.total(&PointStats::stencil_eval_us);
   }
   std::cout << "\ntotals: per-point build " << std::fixed << std::setprecision(2)
             << rebuild / scaled << "x faster scaled vs rebuild; solver iterations "
-            << cold << " -> " << seeded << " ("
-            << std::setprecision(1) << 100.0 * (1.0 - static_cast<double>(seeded) / cold)
-            << "% fewer with the zero-load seed; checksum " << checksum << ")\n";
+            << cold << " -> " << seeded << " (zero-load seed) -> " << anderson
+            << " (Anderson, " << std::setprecision(2)
+            << static_cast<double>(seeded) / static_cast<double>(anderson)
+            << "x fewer); Eq. 7-16 assembly " << direct_eval / stencil_eval
+            << "x faster stencil vs direct walk (checksum " << checksum << ")\n";
 
   json::Value doc = json::Value::object();
   doc.set("schema", "quarc-bench-solver-v1");

@@ -106,6 +106,13 @@ DiffReport diff_result_sets(const ResultSet& baseline, const ResultSet& candidat
     compare_flag(rate, "model_run", base->model_run, cand->model_run);
     if (options.compare_sim) compare_flag(rate, "sim_run", base->sim_run, cand->sim_run);
     if (base->model_run && cand->model_run) {
+      // An unconverged solve (max-iterations) reports finite latencies
+      // computed from an unconverged x — numbers that can sit inside any
+      // tolerance while meaning nothing. Gate the trust flip itself:
+      // converged/saturated -> max-iterations is a regression however
+      // small the latency drift, and the reverse an improvement.
+      compare_flag(rate, "model_status", base->model_status != "max-iterations",
+                   cand->model_status != "max-iterations");
       compare_field(rate, "model_unicast_latency", base->model_unicast_latency,
                     cand->model_unicast_latency);
       compare_field(rate, "model_multicast_latency", base->model_multicast_latency,

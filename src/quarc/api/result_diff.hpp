@@ -9,9 +9,11 @@
 // (+inf) is a regression however large the tolerance, and so are a
 // measurement that disappears (finite -> NaN: a simulation that newly
 // aborts reports no latency), a sim stability/completion flag that flips
-// to false, a whole model/sim section missing from a matched row (a
-// candidate rerun without --sim), and a rate point missing from the
-// candidate grid. The `quarc-diff` tool is a thin main() over this module
+// to false, a model status that degrades to max-iterations (latencies
+// assembled from an unconverged x must not pass as clean just because
+// they moved less than the tolerance), a whole model/sim section missing
+// from a matched row (a candidate rerun without --sim), and a rate point
+// missing from the candidate grid. The `quarc-diff` tool is a thin main() over this module
 // so CI can gate (or merely report) on stored trajectories.
 #pragma once
 

@@ -70,6 +70,14 @@ evaluation:
                      cache keyed by (scenario fingerprint, rate); hit/miss
                      stats are printed to stderr
   --shards K         run the sweep in K contiguous shards     [default 1]
+  --solver-iteration anderson|gauss-seidel
+                     fixed-point iteration: Anderson-accelerated damped
+                     sweeps, or the historical damped Gauss-Seidel
+                     (the equivalence oracle)         [default anderson]
+  --assembly stencil|direct
+                     Eq. 7-16 latency assembly: the compiled
+                     LatencyStencil or the per-route direct walk;
+                     byte-identical results                [default stencil]
   --csv              emit the ResultSet as CSV instead of a table
   --json             emit the ResultSet as a JSON document (schema v)" +
          std::to_string(api::kResultSchemaVersion) + R"()
@@ -132,6 +140,16 @@ Options parse(std::span<const std::string> args) {
     } else if (arg == "--shards") {
       opts.shards = static_cast<int>(parse_int(arg, next("--shards")));
       QUARC_REQUIRE(opts.shards >= 1, "--shards must be >= 1");
+    } else if (arg == "--solver-iteration") {
+      opts.solver_iteration = next("--solver-iteration");
+      QUARC_REQUIRE(
+          opts.solver_iteration == "anderson" || opts.solver_iteration == "gauss-seidel",
+          "--solver-iteration expects anderson or gauss-seidel, got '" + opts.solver_iteration +
+              "'");
+    } else if (arg == "--assembly") {
+      opts.assembly = next("--assembly");
+      QUARC_REQUIRE(opts.assembly == "stencil" || opts.assembly == "direct",
+                    "--assembly expects stencil or direct, got '" + opts.assembly + "'");
     } else if (arg == "--csv") {
       opts.csv = true;
     } else if (arg == "--json") {
@@ -174,6 +192,11 @@ api::Scenario make_scenario(const Options& opts) {
       .measure(opts.measure)
       .with_sim(opts.run_sim)
       .shards(opts.shards);
+  scenario.model_options().solver.iteration = opts.solver_iteration == "gauss-seidel"
+                                                  ? SolverIteration::GaussSeidel
+                                                  : SolverIteration::Anderson;
+  scenario.model_options().assembly =
+      opts.assembly == "direct" ? LatencyAssembly::DirectWalk : LatencyAssembly::Stencil;
   if (!opts.cache_dir.empty()) scenario.cache_dir(opts.cache_dir);
   return scenario;
 }

@@ -47,6 +47,12 @@ struct Options {
   /// rate) points are reused across invocations sharing the directory.
   std::string cache_dir;
   int shards = 1;     ///< sweep shard count (bit-identical for any value)
+  /// Solver iteration: "anderson" (accelerated default) or "gauss-seidel"
+  /// (the historical damped sweep, the equivalence oracle).
+  std::string solver_iteration = "anderson";
+  /// Latency assembly: "stencil" (compiled walk, default) or "direct"
+  /// (per-pair route walk; byte-identical — the equivalence oracle).
+  std::string assembly = "stencil";
   bool csv = false;   ///< ResultSet CSV instead of the aligned table
   bool json = false;  ///< ResultSet JSON document instead of the table
   bool help = false;

@@ -3,9 +3,18 @@
 #include <algorithm>
 #include <cmath>
 
+#include "quarc/model/latency_stencil.hpp"
 #include "quarc/util/error.hpp"
 
 namespace quarc {
+
+// Out of line: ~unique_ptr<const LatencyStencil> needs the complete type.
+FlowGraph::~FlowGraph() = default;
+
+const LatencyStencil& FlowGraph::stencil() const {
+  std::call_once(stencil_once_, [this] { stencil_ = std::make_unique<LatencyStencil>(*this); });
+  return *stencil_;
+}
 
 namespace {
 
@@ -143,6 +152,45 @@ void FlowGraph::accumulate(const RoutePlan& plan, const Workload& shape, FlowGat
   }
 
   compute_steps_to_eject();
+  compute_sweep_order();
+}
+
+void FlowGraph::compute_sweep_order() {
+  // Iterative DFS post-order over the loaded non-ejection channels, edges
+  // c -> next(c): a channel is emitted only after everything it reads, so
+  // a sweep in this order is downwind (see the header). Roots ascend by
+  // id and each row's neighbors are visited in CSR (sorted) order, so the
+  // order is a pure function of the structure — byte-determinism safe.
+  const std::size_t nch = unit_lambda_.size();
+  sweep_order_.clear();
+  sweep_order_.reserve(nch);
+  std::vector<std::uint8_t> state(nch, 0);  // 0 unvisited, 1 active, 2 done
+  const auto eligible = [&](std::size_t c) {
+    return state[c] == 0 && is_ejection_[c] == 0 && unit_lambda_[c] > 0.0;
+  };
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> stack;  // (channel, next edge)
+  for (std::size_t root = 0; root < nch; ++root) {
+    if (!eligible(root)) continue;
+    state[root] = 1;
+    stack.push_back({static_cast<std::uint32_t>(root), row_offset_[root]});
+    while (!stack.empty()) {
+      auto& [c, edge] = stack.back();
+      bool descended = false;
+      while (edge < row_offset_[c + 1]) {
+        const auto t = static_cast<std::size_t>(next_[edge++]);
+        if (eligible(t)) {
+          state[t] = 1;
+          stack.push_back({static_cast<std::uint32_t>(t), row_offset_[t]});
+          descended = true;
+          break;
+        }
+      }
+      if (descended) continue;
+      state[c] = 2;
+      sweep_order_.push_back(static_cast<ChannelId>(c));
+      stack.pop_back();
+    }
+  }
 }
 
 void FlowGraph::compute_steps_to_eject() {

@@ -40,6 +40,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -48,6 +49,8 @@
 #include "quarc/traffic/workload.hpp"
 
 namespace quarc {
+
+class LatencyStencil;
 
 /// Which traffic classes a FlowGraph compiles structure for.
 enum class FlowGating {
@@ -74,6 +77,7 @@ class FlowGraph {
   /// topology. Sweeps share one externally compiled plan instead.
   FlowGraph(const Topology& topo, const Workload& shape,
             FlowGating gating = FlowGating::RateInvariant);
+  ~FlowGraph();
 
   const RoutePlan& plan() const { return *plan_; }
   const Topology& topology() const { return *topo_; }
@@ -116,8 +120,28 @@ class FlowGraph {
     return steps_to_eject_[static_cast<std::size_t>(c)];
   }
 
+  /// Downwind update order over the loaded non-ejection channels: a DFS
+  /// post-order of the next-channel graph, so every channel appears after
+  /// the channels it reads (its downstream path) except across the single
+  /// back edge that closes each ring cycle. A Gauss-Seidel sweep in this
+  /// order propagates ejection-anchored information the whole way
+  /// upstream in ONE pass — in channel-id order the same information
+  /// crawls one hop per sweep, which is why the id-order iteration's
+  /// Jacobian has a ring of eigenvalues at the per-hop attenuation radius
+  /// (and why no extrapolation over it can beat that radius). Deterministic
+  /// (roots ascending, CSR-row neighbor order) and rate-invariant
+  /// (gated on unit_lambda like every other pool).
+  std::span<const ChannelId> sweep_order() const { return sweep_order_; }
+
   /// Ids of the topology's injection channels (ascending).
   std::span<const ChannelId> injection_channels() const { return injection_; }
+
+  /// The compiled Eq. 7-16 latency walk structure over this graph
+  /// (latency_stencil.hpp), built on first use — thread-safe, exactly
+  /// once — and shared read-only by every rate point afterwards. Lazy so
+  /// solver-only consumers (saturation bisection, ChannelGraph views)
+  /// never pay for it.
+  const LatencyStencil& stencil() const;
 
  private:
   template <typename T>
@@ -128,6 +152,7 @@ class FlowGraph {
 
   void accumulate(const RoutePlan& plan, const Workload& shape, FlowGating gating);
   void compute_steps_to_eject();
+  void compute_sweep_order();
 
   std::unique_ptr<const RoutePlan> owned_plan_;  ///< set by the Topology ctor
   const RoutePlan* plan_;
@@ -143,6 +168,10 @@ class FlowGraph {
   std::vector<double> steps_to_eject_;
   std::vector<std::uint8_t> is_ejection_;
   std::vector<ChannelId> injection_;
+  std::vector<ChannelId> sweep_order_;
+
+  mutable std::once_flag stencil_once_;
+  mutable std::unique_ptr<const LatencyStencil> stencil_;
 };
 
 }  // namespace quarc

@@ -1,0 +1,139 @@
+#include "quarc/model/latency_stencil.hpp"
+
+#include <algorithm>
+
+#include "quarc/model/flow_graph.hpp"
+#include "quarc/model/maxexp.hpp"
+#include "quarc/util/error.hpp"
+
+namespace quarc {
+
+LatencyStencil::PathRec LatencyStencil::compile_path(const FlowGraph& flows, ChannelId injection,
+                                                     std::span<const ChannelId> links,
+                                                     ChannelId ejection, int hops) {
+  PathRec rec;
+  rec.injection = injection;
+  rec.begin = static_cast<std::uint32_t>(wait_ch_.size());
+  rec.hops = hops;
+  // One entry per boundary crossing the direct walk would take, in walk
+  // order, with the rate-invariant gate baked in: lambda(ch) = rate *
+  // unit_lambda(ch), so "t.lambda > 0" is "unit_lambda > 0" at every
+  // positive rate — and at rate zero the gated-in channels have W = 0, so
+  // adding w * 0.0 reproduces the skipped term bit-for-bit anyway.
+  ChannelId prev = injection;
+  auto boundary = [&](ChannelId next) {
+    if (flows.unit_lambda(next) > 0.0) {
+      wait_ch_.push_back(next);
+      wait_w_.push_back(1.0 - flows.edge_self_share(prev, next));
+    }
+    prev = next;
+  };
+  for (ChannelId link : links) boundary(link);
+  boundary(ejection);
+  rec.end = static_cast<std::uint32_t>(wait_ch_.size());
+  return rec;
+}
+
+LatencyStencil::LatencyStencil(const FlowGraph& flows) {
+  const RoutePlan& plan = flows.plan();
+  const Topology& topo = plan.topology();
+  const int n = topo.num_nodes();
+  num_nodes_ = n;
+  hardware_ = plan.hardware_streams();
+
+  // ---- Eq. 7: all ordered pairs, (s, d)-major — the direct walk's order.
+  unicast_.reserve(static_cast<std::size_t>(n) * (n - 1));
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId d = 0; d < n; ++d) {
+      if (s == d) continue;
+      const RouteView r = plan.route(s, d);
+      unicast_.push_back(compile_path(flows, r.injection, r.links, r.ejection, r.hops()));
+    }
+  }
+
+  // ---- Eq. 8-16: per-source multicast walks.
+  mc_initiator_.assign(static_cast<std::size_t>(n), 0);
+  mc_offset_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (NodeId s = 0; s < n; ++s) {
+    const std::span<const NodeId> dests = plan.multicast_dests(s);
+    if (!dests.empty()) {
+      mc_initiator_[static_cast<std::size_t>(s)] = 1;
+      if (hardware_) {
+        for (std::size_t c = 0; c < plan.stream_count(s); ++c) {
+          const StreamView st = plan.stream(s, c);
+          PathRec rec = compile_path(flows, st.injection, st.links, st.stops.back().ejection,
+                                     st.hops());
+          // The i-th stream sharing an injection channel starts i
+          // injection services late (one-port serialisation); with one
+          // stream per port every offset is 0 — the paper's all-port case.
+          std::int32_t index = 0;
+          for (std::size_t prev = mc_offset_[static_cast<std::size_t>(s)];
+               prev < mc_paths_.size(); ++prev) {
+            if (mc_paths_[prev].injection == st.injection) ++index;
+          }
+          rec.offset_index = index;
+          mc_paths_.push_back(rec);
+        }
+      } else {
+        // Software multicast: consecutive unicasts over the materialised
+        // destination list, in list order (the batch order).
+        for (NodeId d : dests) {
+          const RouteView r = plan.route(s, d);
+          mc_paths_.push_back(compile_path(flows, r.injection, r.links, r.ejection, r.hops()));
+        }
+      }
+    }
+    mc_offset_[static_cast<std::size_t>(s) + 1] = static_cast<std::uint32_t>(mc_paths_.size());
+  }
+}
+
+double LatencyStencil::unicast_latency_sum(std::span<const ChannelSolution> channels,
+                                           double msg) const {
+  double unicast_sum = 0.0;
+  for (const PathRec& p : unicast_) {
+    const double waits = path_wait(p, channels);
+    unicast_sum += waits + msg + static_cast<double>(p.hops + 1);
+  }
+  return unicast_sum;
+}
+
+double LatencyStencil::multicast_latency(NodeId s, std::span<const ChannelSolution> channels,
+                                         double msg, std::vector<double>& stream_waits) const {
+  const std::uint32_t begin = mc_offset_[static_cast<std::size_t>(s)];
+  const std::uint32_t end = mc_offset_[static_cast<std::size_t>(s) + 1];
+  QUARC_ASSERT(begin < end, "multicast_latency on a non-initiating source");
+  if (hardware_) {
+    // Streams sharing one injection channel cannot start together: the
+    // deterministic floor is the max of the per-stream (offset + drain +
+    // hops) terms; the stochastic part is the paper's E[max] over the
+    // queueing waits (Eq. 12-13). Identical accumulation order to the
+    // direct walk in performance_model.cpp.
+    stream_waits.clear();
+    double deterministic_floor = 0.0;
+    for (std::uint32_t i = begin; i < end; ++i) {
+      const PathRec& st = mc_paths_[i];
+      const ChannelSolution& inj = channels[static_cast<std::size_t>(st.injection)];
+      stream_waits.push_back(path_wait(st, channels));
+      deterministic_floor =
+          std::max(deterministic_floor, static_cast<double>(st.offset_index) * inj.service_time +
+                                            msg + static_cast<double>(st.hops + 1));
+    }
+    const double w_multicast = expected_max_from_means(stream_waits);  // Eq. 12-13
+    return w_multicast + deterministic_floor;                          // Eq. 14-15
+  }
+  // Software multicast: consecutive unicasts through the shared injection
+  // channel; the i-th waits behind its i batch predecessors.
+  double worst = 0.0;
+  std::size_t index = 0;
+  for (std::uint32_t i = begin; i < end; ++i) {
+    const PathRec& p = mc_paths_[i];
+    const ChannelSolution& inj = channels[static_cast<std::size_t>(p.injection)];
+    const double waits =
+        path_wait(p, channels) + static_cast<double>(index) * inj.service_time;
+    worst = std::max(worst, waits + msg + static_cast<double>(p.hops + 1));
+    ++index;
+  }
+  return worst;
+}
+
+}  // namespace quarc

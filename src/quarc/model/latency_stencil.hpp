@@ -1,0 +1,116 @@
+// LatencyStencil — the rate-invariant structure of the Eq. 7-16 latency
+// assembly, compiled once per FlowGraph and shared read-only by every
+// rate point of a sweep (the companion of FlowGraph, one layer up).
+//
+// For a fixed (plan, workload shape) the latency walk never changes shape
+// across a latency curve: which channels each of the N*(N-1) unicast
+// paths and each per-source multicast stream crosses, the (1 - self
+// share) boundary discount of every crossing, whether a crossing is
+// gated out (an idle channel contributes no wait at any positive rate),
+// the hop constants and the injection-offset indices of streams sharing
+// a port — all of it is determined by the routes and the unit flow
+// weights. Only the solved W/x vectors change per rate point.
+//
+// A LatencyStencil therefore precompiles every path into flat pools:
+//
+//   wait_ch_/wait_w_   one (channel, weight) entry per gated-in boundary
+//                      crossing, weight = 1 - r_{prev->ch}/lambda_ch,
+//                      in exact walk order
+//   unicast_          one PathRec per ordered (s,d) pair, s-major —
+//                      injection channel, entry span, hop count
+//   streams_          per-source hardware stream records (entry span +
+//                      the stream's injection-offset index: the i-th
+//                      stream sharing an injection channel is delayed by
+//                      i injection services — Eq. 14/15's one-port case)
+//   software_         per-source software-multicast path records (the
+//                      batched consecutive-unicast fallback)
+//
+// evaluate() then reduces a rate point to flat weighted accumulations
+// over the solved channel vector: one multiply-add per crossing, no
+// plan.route() calls, no O(log deg) self-share searches, no per-source
+// allocation. The accumulation order is identical operation for
+// operation to the direct Eq. 7-16 walk, so the results are not merely
+// close — they are byte-identical (pinned across every registered
+// topology spec by tests/test_latency_stencil.cpp), which is why
+// ModelOptions::assembly is excluded from the scenario fingerprint.
+//
+// Thread safety: immutable after construction; concurrent sweeps share
+// one instance (via FlowGraph::stencil()) across threads without locking.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "quarc/model/solver.hpp"
+#include "quarc/route/route_plan.hpp"
+#include "quarc/topo/topology.hpp"
+
+namespace quarc {
+
+class FlowGraph;
+
+class LatencyStencil {
+ public:
+  /// Compiles the Eq. 7-16 walk structure over `flows` (and the RoutePlan
+  /// it carries). The FlowGraph must outlive the stencil.
+  explicit LatencyStencil(const FlowGraph& flows);
+
+  /// Sum over all ordered (s,d) pairs of Eq. 7's per-pair latency
+  /// (path waits + M + D + 1), double-for-double identical to walking
+  /// plan.route(s, d) + path_waiting for every pair. The caller divides
+  /// by N(N-1) exactly as the direct walk does.
+  double unicast_latency_sum(std::span<const ChannelSolution> channels, double msg) const;
+
+  /// Whether source s initiates a multicast (its destination set is
+  /// non-empty in the compiled plan).
+  bool initiates_multicast(NodeId s) const {
+    return mc_initiator_[static_cast<std::size_t>(s)] != 0;
+  }
+  /// Eq. 8-16 latency of source s's multicast: hardware streams get the
+  /// E[max]-over-stream-waits plus the deterministic (offset + drain +
+  /// hops) floor; software multicast the worst batched unicast.
+  /// `stream_waits` is caller-provided scratch (cleared here, reused
+  /// across sources and rate points — no per-source allocation).
+  double multicast_latency(NodeId s, std::span<const ChannelSolution> channels, double msg,
+                           std::vector<double>& stream_waits) const;
+
+  std::size_t wait_entry_count() const { return wait_ch_.size(); }
+
+ private:
+  struct PathRec {
+    ChannelId injection = kInvalidChannel;
+    std::uint32_t begin = 0;  ///< into wait_ch_/wait_w_
+    std::uint32_t end = 0;
+    std::int32_t hops = 0;    ///< D of Eq. 7 / D_{j,c} of Eq. 15
+    /// Hardware streams: position among the source's streams sharing this
+    /// injection channel (the deterministic serialisation offset).
+    /// Unicast/software paths: unused (0).
+    std::int32_t offset_index = 0;
+  };
+
+  /// W[injection] plus the gated, discounted waits of every subsequent
+  /// crossing — the compiled path_waiting().
+  double path_wait(const PathRec& p, std::span<const ChannelSolution> channels) const {
+    double total = channels[static_cast<std::size_t>(p.injection)].waiting_time;
+    for (std::uint32_t e = p.begin; e < p.end; ++e) {
+      total += wait_w_[e] * channels[static_cast<std::size_t>(wait_ch_[e])].waiting_time;
+    }
+    return total;
+  }
+
+  /// Appends one compiled path; returns its record.
+  PathRec compile_path(const FlowGraph& flows, ChannelId injection,
+                       std::span<const ChannelId> links, ChannelId ejection, int hops);
+
+  int num_nodes_ = 0;
+  bool hardware_ = false;
+  std::vector<ChannelId> wait_ch_;
+  std::vector<double> wait_w_;
+  std::vector<PathRec> unicast_;               ///< [s * (N-1) + rank(d)]
+  std::vector<PathRec> mc_paths_;              ///< streams or software paths
+  std::vector<std::uint32_t> mc_offset_;       ///< [N + 1] into mc_paths_
+  std::vector<std::uint8_t> mc_initiator_;     ///< [N]
+};
+
+}  // namespace quarc

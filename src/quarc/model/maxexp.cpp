@@ -1,5 +1,10 @@
 #include "quarc/model/maxexp.hpp"
 
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "quarc/util/error.hpp"
@@ -30,27 +35,34 @@ double expected_max_exponential(std::span<const double> rates) {
 
 namespace {
 
-double recurse(std::span<const double> rates, std::size_t mask, std::vector<double>& memo) {
-  if (mask == 0) return 0.0;
-  double& slot = memo[mask];
-  if (slot >= 0.0) return slot;
-
-  // Eq. 10/12: first event fires after 1/sum(mu); by memorylessness the
-  // remaining maximum restarts over the survivors, weighted by which
-  // variable fired first (probability mu_i / sum).
-  double rate_sum = 0.0;
-  for (std::size_t i = 0; i < rates.size(); ++i) {
-    if (mask & (std::size_t{1} << i)) rate_sum += rates[i];
-  }
-  double value = 1.0 / rate_sum;
-  for (std::size_t i = 0; i < rates.size(); ++i) {
-    const std::size_t bit = std::size_t{1} << i;
-    if (mask & bit) {
-      value += (rates[i] / rate_sum) * recurse(rates, mask & ~bit, memo);
+/// Eq. 10/12 bottom-up over `memo` (caller-provided, size 2^m): the first
+/// event fires after 1/sum(mu); by memorylessness the remaining maximum
+/// restarts over the survivors, weighted by which variable fired first
+/// (probability mu_i / sum). Clearing a bit yields a numerically smaller
+/// mask, so an ascending iteration visits every sub-state before the
+/// states that need it — the memoized top-down recursion, unrolled (no
+/// stack, no memo probes). The single kernel behind both the <= 20
+/// oracle and the stable form's small-m fast path, so the two can never
+/// drift term-for-term.
+double subset_dp(std::span<const double> rates, double* memo) {
+  const std::size_t m = rates.size();
+  const std::size_t subsets = std::size_t{1} << m;
+  memo[0] = 0.0;
+  for (std::size_t mask = 1; mask < subsets; ++mask) {
+    double rate_sum = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (mask & (std::size_t{1} << i)) rate_sum += rates[i];
     }
+    double value = 1.0 / rate_sum;
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::size_t bit = std::size_t{1} << i;
+      if (mask & bit) {
+        value += (rates[i] / rate_sum) * memo[mask & ~bit];
+      }
+    }
+    memo[mask] = value;
   }
-  slot = value;
-  return value;
+  return memo[subsets - 1];
 }
 
 }  // namespace
@@ -60,8 +72,157 @@ double expected_max_exponential_recursive(std::span<const double> rates) {
   if (m == 0) return 0.0;
   QUARC_REQUIRE(m <= 20, "subset expansion limited to 20 variables");
   for (double mu : rates) QUARC_REQUIRE(mu > 0.0, "exponential rates must be positive");
-  std::vector<double> memo(std::size_t{1} << m, -1.0);
-  return recurse(rates, (std::size_t{1} << m) - 1, memo);
+  std::vector<double> memo(std::size_t{1} << m);
+  return subset_dp(rates, memo.data());
+}
+
+namespace {
+
+/// Largest collapsed state space the multiset DP is allowed to allocate
+/// (doubles): 2^22 = 32 MiB. Every <= 20-variable set fits (2^20 states at
+/// worst), as does any realistic broadcast width with a handful of
+/// distinct waits; only wide *and* fully heterogeneous sets spill over to
+/// quadrature.
+constexpr std::size_t kMaxDpStates = std::size_t{1} << 22;
+
+/// Survival function S(t) = 1 - prod_i (1 - e^{-mu_i t}), evaluated in log
+/// space so products of near-one factors keep full precision.
+double survival(std::span<const double> rates, double t) {
+  double log_prod = 0.0;
+  for (double mu : rates) {
+    // log(1 - e^{-mu t}) without cancellation at either end.
+    log_prod += std::log(-std::expm1(-mu * t));
+    if (log_prod == -std::numeric_limits<double>::infinity()) return 1.0;
+  }
+  return -std::expm1(log_prod);
+}
+
+/// Fixed-order adaptive Simpson refinement: deterministic (pure function
+/// of the rate set), depth-capped, absolute tolerance per panel.
+double simpson_recurse(std::span<const double> rates, double a, double fa, double b, double fb,
+                       double fm, double whole, double tol, int depth) {
+  const double m = 0.5 * (a + b);
+  const double lm = 0.5 * (a + m);
+  const double rm = 0.5 * (m + b);
+  const double flm = survival(rates, lm);
+  const double frm = survival(rates, rm);
+  const double left = (m - a) / 6.0 * (fa + 4.0 * flm + fm);
+  const double right = (b - m) / 6.0 * (fm + 4.0 * frm + fb);
+  if (depth <= 0 || std::abs(left + right - whole) <= 15.0 * tol) {
+    return left + right + (left + right - whole) / 15.0;
+  }
+  return simpson_recurse(rates, a, fa, m, fm, flm, left, 0.5 * tol, depth - 1) +
+         simpson_recurse(rates, m, fm, b, fb, frm, right, 0.5 * tol, depth - 1);
+}
+
+}  // namespace
+
+double expected_max_exponential_integrated(std::span<const double> rates) {
+  const std::size_t m = rates.size();
+  if (m == 0) return 0.0;
+  double mu_min = rates[0];
+  double mean_sum = 0.0;
+  for (double mu : rates) {
+    QUARC_REQUIRE(mu > 0.0, "exponential rates must be positive");
+    mu_min = std::min(mu_min, mu);
+    mean_sum += 1.0 / mu;
+  }
+  // Truncation point: past T the integrand is below m * e^{-mu_min T},
+  // chosen so the dropped tail is ~1e-16 of the largest possible answer.
+  const double T = (std::log(static_cast<double>(m)) + 40.0) / mu_min;
+  // Integrate over geometrically growing panels (the integrand decays
+  // roughly exponentially, so equal work per decade), each refined by
+  // deterministic adaptive Simpson to a share of the absolute tolerance.
+  const double tol = 1e-13 * mean_sum;
+  double total = 0.0;
+  double a = 0.0;
+  double fa = 1.0;  // S(0) = 1
+  double b = 0.25 / mu_min;
+  constexpr int kMaxPanels = 64;
+  for (int panel = 0; panel < kMaxPanels && a < T; ++panel) {
+    b = std::min(b, T);
+    const double fb = survival(rates, b);
+    const double mid = 0.5 * (a + b);
+    const double fmid = survival(rates, mid);
+    const double whole = (b - a) / 6.0 * (fa + 4.0 * fmid + fb);
+    total += simpson_recurse(rates, a, fa, b, fb, fmid, whole, tol / kMaxPanels, 32);
+    a = b;
+    fa = fb;
+    b *= 2.0;
+  }
+  return total;
+}
+
+/// Widest set the stable form evaluates via the subset DP on the stack —
+/// the model's hot path (per-source port-stream counts are single digits),
+/// allocation-free through the shared kernel.
+constexpr std::size_t kStackDpVars = 8;
+
+double expected_max_exponential_stable(std::span<const double> rates) {
+  const std::size_t m = rates.size();
+  if (m == 0) return 0.0;
+  for (double mu : rates) QUARC_REQUIRE(mu > 0.0, "exponential rates must be positive");
+  if (m <= kStackDpVars) {
+    std::array<double, std::size_t{1} << kStackDpVars> memo;
+    return subset_dp(rates, memo.data());
+  }
+
+  // Collapse equal rates: the Eq. 12 recursion's value depends only on the
+  // multiset, so state = how many of each distinct rate still run. Sorting
+  // makes grouping (and the result) independent of input order.
+  std::vector<double> values(rates.begin(), rates.end());
+  std::sort(values.begin(), values.end());
+  std::vector<double> distinct;
+  std::vector<std::size_t> count;
+  for (double v : values) {
+    if (distinct.empty() || v != distinct.back()) {
+      distinct.push_back(v);
+      count.push_back(1);
+    } else {
+      ++count.back();
+    }
+  }
+
+  const std::size_t k = distinct.size();
+  std::size_t states = 1;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (states > kMaxDpStates / (count[i] + 1)) {
+      return expected_max_exponential_integrated(rates);
+    }
+    states *= count[i] + 1;
+  }
+
+  // Mixed-radix DP, ascending: digit i of a state index is the number of
+  // still-running variables of rate distinct[i]; decrementing any digit
+  // gives a smaller index, so every dependency is already computed.
+  //   E[c] = (1 + sum_i c_i mu_i E[c - e_i]) / sum_i c_i mu_i
+  std::vector<std::size_t> stride(k);
+  std::size_t acc = 1;
+  for (std::size_t i = 0; i < k; ++i) {
+    stride[i] = acc;
+    acc *= count[i] + 1;
+  }
+  std::vector<double> memo(states, 0.0);
+  std::vector<std::size_t> digit(k, 0);
+  for (std::size_t idx = 1; idx < states; ++idx) {
+    // Increment the mixed-radix counter tracking idx.
+    for (std::size_t i = 0; i < k; ++i) {
+      if (++digit[i] <= count[i]) break;
+      digit[i] = 0;
+    }
+    double rate_sum = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      rate_sum += static_cast<double>(digit[i]) * distinct[i];
+    }
+    double value = 1.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      if (digit[i] > 0) {
+        value += static_cast<double>(digit[i]) * distinct[i] * memo[idx - stride[i]];
+      }
+    }
+    memo[idx] = value / rate_sum;
+  }
+  return memo[states - 1];
 }
 
 double expected_max_from_means(std::span<const double> means, double eps) {
@@ -71,7 +232,7 @@ double expected_max_from_means(std::span<const double> means, double eps) {
     QUARC_REQUIRE(w >= 0.0, "waiting times must be non-negative");
     if (w > eps) rates.push_back(1.0 / w);
   }
-  return expected_max_exponential(rates);
+  return expected_max_exponential_stable(rates);
 }
 
 }  // namespace quarc

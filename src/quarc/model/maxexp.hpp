@@ -9,8 +9,19 @@
 //
 //   E[max] = sum over non-empty subsets S of (-1)^{|S|+1} / sum_{i in S} mu_i
 //
-// is algebraically identical; both are implemented and cross-checked in the
-// test-suite.
+// is algebraically identical but numerically treacherous: the 2^m terms
+// alternate in sign and cancel catastrophically well below the m = 20
+// size cap. The Eq. 12 recursion, by contrast, sums only positive terms
+// (it is the expected absorption time of a pure-death chain), so it is
+// the *stable* form — implemented here iteratively (bottom-up over
+// subset masks, no recursion depth), and generalised past 20 variables
+// by collapsing equal rates into multiplicities: the recursion's value
+// depends only on the multiset of rates, so a broadcast-width set with
+// few distinct waits costs prod(count_i + 1) states instead of 2^m.
+// Rate sets too heterogeneous even for that fall back to deterministic
+// adaptive quadrature of the survival function
+// E[max] = integral_0^inf (1 - prod_i(1 - e^{-mu_i t})) dt.
+// All forms are cross-pinned against each other in the test-suite.
 #pragma once
 
 #include <span>
@@ -18,18 +29,34 @@
 namespace quarc {
 
 /// E[max of Exp(rates[i])] via inclusion-exclusion. Rates must be positive;
-/// size may be 0 (returns 0) and is limited to 20 (2^m subset expansion —
-/// far above any router port count).
+/// size may be 0 (returns 0) and is limited to 20 (2^m subset expansion).
+/// Kept as the closed-form oracle for the test-suite; production callers
+/// use expected_max_exponential_stable (no size limit, no cancellation).
 double expected_max_exponential(std::span<const double> rates);
 
-/// Same quantity via the paper's Eq. 12 recursion (memoized over subsets).
+/// Same quantity via the paper's Eq. 12 recursion, evaluated iteratively
+/// (bottom-up over subset masks — all-positive terms, numerically stable).
+/// Limited to 20 variables by the 2^m memo; see the stable form below.
 double expected_max_exponential_recursive(std::span<const double> rates);
+
+/// The Eq. 12 recursion collapsed over equal rates (the value depends only
+/// on the multiset): prod(count_i + 1) states instead of 2^m, so iid and
+/// few-distinct-rate sets of any realistic broadcast width are exact and
+/// cheap. Falls back to expected_max_exponential_integrated when the
+/// collapsed state space is still too large. No size limit.
+double expected_max_exponential_stable(std::span<const double> rates);
+
+/// Deterministic adaptive quadrature of the survival function — the
+/// fallback for wide, fully heterogeneous rate sets, exposed so the
+/// test-suite can cross-pin it against the exact forms. No size limit.
+double expected_max_exponential_integrated(std::span<const double> rates);
 
 /// Convenience for the model: expectation of the maximum where each entry
 /// is the *mean* (total waiting time W_{j,c}, so mu = 1/W). Entries <= eps
 /// are treated as degenerate point masses at zero (they cannot be the
 /// maximum unless all are zero). This is the exact limit of Eq. 12 as
-/// mu -> infinity.
+/// mu -> infinity. Evaluated via the stable form: any number of streams
+/// (wide multicast sets included), no alternating-sum cancellation.
 double expected_max_from_means(std::span<const double> means, double eps = 1e-12);
 
 }  // namespace quarc

@@ -1,10 +1,10 @@
 #include "quarc/model/performance_model.hpp"
 
 #include <algorithm>
-#include <map>
 #include <cmath>
 #include <limits>
 
+#include "quarc/model/latency_stencil.hpp"
 #include "quarc/model/maxexp.hpp"
 #include "quarc/util/error.hpp"
 
@@ -81,15 +81,22 @@ ModelResult PerformanceModel::evaluate(SolverWorkspace& ws) const {
 
   const int n = topo_->num_nodes();
   const double msg = static_cast<double>(load_.message_length);
+  const LatencyStencil* stencil =
+      options_.assembly == LatencyAssembly::Stencil ? &flows.stencil() : nullptr;
 
   // ---- Unicast average (Eq. 7 over all pairs). ----
   double unicast_sum = 0.0;
-  for (NodeId s = 0; s < n; ++s) {
-    for (NodeId d = 0; d < n; ++d) {
-      if (s == d) continue;
-      const RouteView r = plan.route(s, d);
-      const double waits = path_waiting(flows, result.channels, r.injection, r.links, r.ejection);
-      unicast_sum += waits + msg + static_cast<double>(r.hops() + 1);
+  if (stencil != nullptr) {
+    unicast_sum = stencil->unicast_latency_sum(result.channels, msg);
+  } else {
+    for (NodeId s = 0; s < n; ++s) {
+      for (NodeId d = 0; d < n; ++d) {
+        if (s == d) continue;
+        const RouteView r = plan.route(s, d);
+        const double waits =
+            path_waiting(flows, result.channels, r.injection, r.links, r.ejection);
+        unicast_sum += waits + msg + static_cast<double>(r.hops() + 1);
+      }
     }
   }
   result.avg_unicast_latency = unicast_sum / (static_cast<double>(n) * (n - 1));
@@ -102,47 +109,58 @@ ModelResult PerformanceModel::evaluate(SolverWorkspace& ws) const {
   double mc_sum = 0.0;
   int mc_nodes = 0;
   for (NodeId s = 0; s < n; ++s) {
-    const std::span<const NodeId> dests = plan.multicast_dests(s);
-    if (dests.empty()) continue;
     double latency;
-    if (plan.hardware_streams()) {
-      // Streams sharing one injection channel (one-port schemes) cannot
-      // start together: the i-th such stream is deterministically delayed
-      // by i injection services. The deterministic floor is the max of the
-      // per-stream (offset + drain + hops) terms; the stochastic part is
-      // the paper's E[max] over the queueing waits (Eq. 12-13). With one
-      // stream per port (the paper's all-port case) every offset is zero
-      // and this reduces exactly to Eq. 14-15.
-      std::vector<double> stream_waits;
-      std::map<ChannelId, int> streams_on_injection;
-      double deterministic_floor = 0.0;
-      for (std::size_t c = 0; c < plan.stream_count(s); ++c) {
-        const StreamView st = plan.stream(s, c);
-        const int index = streams_on_injection[st.injection]++;
-        const ChannelSolution& inj = result.channels[static_cast<std::size_t>(st.injection)];
-        stream_waits.push_back(path_waiting(flows, result.channels, st.injection, st.links,
-                                            st.stops.back().ejection));
-        deterministic_floor =
-            std::max(deterministic_floor, static_cast<double>(index) * inj.service_time + msg +
-                                              static_cast<double>(st.hops() + 1));
-      }
-      const double w_multicast = expected_max_from_means(stream_waits);  // Eq. 12-13
-      latency = w_multicast + deterministic_floor;                       // Eq. 14-15
+    if (stencil != nullptr) {
+      if (!stencil->initiates_multicast(s)) continue;
+      latency = stencil->multicast_latency(s, result.channels, msg, ws.stream_waits);
     } else {
-      // Software multicast: consecutive unicasts through the shared
-      // injection channel; the i-th waits behind its i batch predecessors.
-      double worst = 0.0;
-      std::size_t index = 0;
-      for (NodeId d : dests) {
-        const RouteView r = plan.route(s, d);
-        const ChannelSolution& inj = result.channels[static_cast<std::size_t>(r.injection)];
-        const double waits =
-            path_waiting(flows, result.channels, r.injection, r.links, r.ejection) +
-            static_cast<double>(index) * inj.service_time;
-        worst = std::max(worst, waits + msg + static_cast<double>(r.hops() + 1));
-        ++index;
+      const std::span<const NodeId> dests = plan.multicast_dests(s);
+      if (dests.empty()) continue;
+      if (plan.hardware_streams()) {
+        // Streams sharing one injection channel (one-port schemes) cannot
+        // start together: the i-th such stream is deterministically
+        // delayed by i injection services. The deterministic floor is the
+        // max of the per-stream (offset + drain + hops) terms; the
+        // stochastic part is the paper's E[max] over the queueing waits
+        // (Eq. 12-13). With one stream per port (the paper's all-port
+        // case) every offset is zero and this reduces exactly to
+        // Eq. 14-15. The waits land in the workspace's reused scratch and
+        // the offset index is a scan of the already-seen streams — no
+        // per-source allocation on this path either.
+        ws.stream_waits.clear();
+        double deterministic_floor = 0.0;
+        for (std::size_t c = 0; c < plan.stream_count(s); ++c) {
+          const StreamView st = plan.stream(s, c);
+          int index = 0;
+          for (std::size_t p = 0; p < c; ++p) {
+            if (plan.stream(s, p).injection == st.injection) ++index;
+          }
+          const ChannelSolution& inj = result.channels[static_cast<std::size_t>(st.injection)];
+          ws.stream_waits.push_back(path_waiting(flows, result.channels, st.injection, st.links,
+                                                 st.stops.back().ejection));
+          deterministic_floor =
+              std::max(deterministic_floor, static_cast<double>(index) * inj.service_time + msg +
+                                                static_cast<double>(st.hops() + 1));
+        }
+        const double w_multicast = expected_max_from_means(ws.stream_waits);  // Eq. 12-13
+        latency = w_multicast + deterministic_floor;                          // Eq. 14-15
+      } else {
+        // Software multicast: consecutive unicasts through the shared
+        // injection channel; the i-th waits behind its i batch
+        // predecessors.
+        double worst = 0.0;
+        std::size_t index = 0;
+        for (NodeId d : dests) {
+          const RouteView r = plan.route(s, d);
+          const ChannelSolution& inj = result.channels[static_cast<std::size_t>(r.injection)];
+          const double waits =
+              path_waiting(flows, result.channels, r.injection, r.links, r.ejection) +
+              static_cast<double>(index) * inj.service_time;
+          worst = std::max(worst, waits + msg + static_cast<double>(r.hops() + 1));
+          ++index;
+        }
+        latency = worst;
       }
-      latency = worst;
     }
     result.per_node_multicast_latency[static_cast<std::size_t>(s)] = latency;
     mc_sum += latency;

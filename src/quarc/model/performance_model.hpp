@@ -24,12 +24,19 @@
 // (which models only the all-port case) and is validated against the
 // simulator in bench/broadcast_scaling.
 //
-// Assembly iterates RoutePlan views and the FlowGraph's precompiled edge
-// pools — no route derivation, no graph rebuild and no per-route
-// allocation inside evaluate(). A sweep compiles one plan + one FlowGraph
-// per scenario and shares both across every rate point (see sweep.hpp);
-// the Topology/RoutePlan constructors compile a private FlowGraph for
-// one-off evaluations.
+// Assembly defaults to the FlowGraph's compiled LatencyStencil
+// (latency_stencil.hpp): the whole Eq. 7-16 walk structure — boundary
+// discounts, gates, hop constants, stream offsets — is precompiled into
+// flat per-channel weight pools, so a rate point is a flat weighted
+// accumulation over the solved W/x vectors. The historical per-route
+// walk remains available as LatencyAssembly::DirectWalk and produces
+// byte-identical results (the accumulation order is preserved operation
+// for operation; pinned by tests/test_latency_stencil.cpp). Neither path
+// derives routes, rebuilds graphs or allocates per route/source inside
+// evaluate() (the Eq. 12-13 stream waits live in the SolverWorkspace).
+// A sweep compiles one plan + one FlowGraph per scenario and shares both
+// across every rate point (see sweep.hpp); the Topology/RoutePlan
+// constructors compile a private FlowGraph for one-off evaluations.
 #pragma once
 
 #include <memory>
@@ -43,8 +50,22 @@
 
 namespace quarc {
 
+/// How evaluate() assembles the Eq. 7-16 latencies from the solved
+/// channel vector. Both produce byte-identical results (pinned across
+/// every registered topology spec by tests/test_latency_stencil.cpp) —
+/// which is why this knob is excluded from the scenario fingerprint.
+enum class LatencyAssembly {
+  /// Flat weighted accumulation over the FlowGraph's compiled
+  /// LatencyStencil (default): no route walks, no per-edge searches.
+  Stencil,
+  /// The historical per-pair plan.route() + path_waiting() walk — kept as
+  /// the equivalence oracle and bench baseline.
+  DirectWalk,
+};
+
 struct ModelOptions {
   SolverOptions solver;
+  LatencyAssembly assembly = LatencyAssembly::Stencil;
 };
 
 struct ModelResult {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "quarc/model/mg1.hpp"
 #include "quarc/util/error.hpp"
@@ -20,11 +21,23 @@ std::string to_string(SolveStatus s) {
   return "unknown";
 }
 
+std::string to_string(SolverIteration it) {
+  switch (it) {
+    case SolverIteration::Anderson:
+      return "anderson";
+    case SolverIteration::GaussSeidel:
+      return "gauss-seidel";
+  }
+  return "unknown";
+}
+
 ServiceTimeSolver::ServiceTimeSolver(const FlowGraph& flows, int message_length,
                                      SolverOptions options)
     : flows_(&flows), message_length_(message_length), options_(options) {
   QUARC_REQUIRE(message_length >= 1, "message length must be positive");
   QUARC_REQUIRE(options_.damping > 0.0 && options_.damping <= 1.0, "damping must be in (0,1]");
+  QUARC_REQUIRE(options_.anderson_window >= 1 && options_.anderson_window <= 8,
+                "anderson_window must be in [1, 8]");
 }
 
 ServiceTimeSolver::ServiceTimeSolver(const Topology& topo, const ChannelGraph& graph,
@@ -40,6 +53,50 @@ SolveStatus ServiceTimeSolver::solve() {
                 "no-argument solve() requires the ChannelGraph constructor (which binds the "
                 "message rate); FlowGraph-constructed solvers must pass a rate");
   return solve(bound_rate_, own_);
+}
+
+bool ServiceTimeSolver::refresh_waits(std::vector<ChannelSolution>& sol) const {
+  for (std::size_t c = 0; c < sol.size(); ++c) {
+    ChannelSolution& s = sol[c];
+    if (s.lambda <= 0.0) {
+      s.waiting_time = 0.0;
+      s.utilization = 0.0;
+      continue;
+    }
+    s.utilization = mg1_utilization(s.lambda, s.service_time);
+    if (s.utilization >= options_.utilization_guard) return true;
+    s.waiting_time =
+        mg1_waiting_time(s.lambda, s.service_time, service_sigma(s.service_time, message_length_));
+    if (!std::isfinite(s.waiting_time)) return true;
+  }
+  return false;
+}
+
+double ServiceTimeSolver::gauss_seidel_sweep(std::vector<ChannelSolution>& sol) const {
+  // Gauss-Seidel sweep of Eq. 6 with damping, directly over the CSR:
+  // P_{i->j} and the self-share discount are precomputed per edge.
+  const FlowGraph& flows = *flows_;
+  double max_delta = 0.0;
+  for (std::size_t c = 0; c < sol.size(); ++c) {
+    const auto ch = static_cast<ChannelId>(c);
+    if (flows.is_ejection(ch)) continue;  // fixed x = msg
+    ChannelSolution& s = sol[c];
+    if (s.lambda <= 0.0) continue;  // unused channel; x irrelevant
+    const auto next = flows.next(ch);
+    QUARC_ASSERT(!next.empty(), "loaded non-ejection channel has no next channel");
+    const auto prob = flows.prob(ch);
+    const auto share = flows.self_share(ch);
+
+    double update = 0.0;
+    for (std::size_t k = 0; k < next.size(); ++k) {
+      const ChannelSolution& t = sol[static_cast<std::size_t>(next[k])];
+      update += prob[k] * ((1.0 - share[k]) * t.waiting_time + t.service_time + 1.0);
+    }
+    const double damped = options_.damping * update + (1.0 - options_.damping) * s.service_time;
+    max_delta = std::max(max_delta, std::abs(damped - s.service_time));
+    s.service_time = damped;
+  }
+  return max_delta;
 }
 
 SolveStatus ServiceTimeSolver::solve(double message_rate, SolverWorkspace& ws, SolverSeed seed) {
@@ -64,65 +121,239 @@ SolveStatus ServiceTimeSolver::solve(double message_rate, SolverWorkspace& ws, S
   }
 
   iterations_used_ = 0;
+  if (options_.iteration == SolverIteration::GaussSeidel) return solve_gauss_seidel(ws);
+  return solve_anderson(ws);
+}
+
+double ServiceTimeSolver::ordered_sweep(std::vector<ChannelSolution>& sol) const {
+  // Undamped nonlinear Gauss-Seidel in the FlowGraph's downwind order:
+  // every channel reads already-updated downstream values (wait included,
+  // refreshed in place right after each x update), so ejection-anchored
+  // information crosses the whole network in one pass and only the
+  // cycle-closing back edges carry stale state. This is what collapses
+  // the id-order iteration's ring-of-eigenvalues (one hop of progress
+  // per sweep) into a handful of sweeps — see FlowGraph::sweep_order().
+  //
+  // Safeguards: an updated channel whose utilisation would reach the
+  // guard keeps its previous wait (the surrounding refresh_waits pass is
+  // the single place saturation is diagnosed), and the in-place wait is
+  // recomputed only from genuine Eq. 6 updates, keeping every quantity a
+  // pure function of the iterate.
+  const FlowGraph& flows = *flows_;
+  double max_delta = 0.0;
+  for (const ChannelId ch : flows.sweep_order()) {
+    const auto c = static_cast<std::size_t>(ch);
+    ChannelSolution& s = sol[c];
+    const auto next = flows.next(ch);
+    QUARC_ASSERT(!next.empty(), "loaded non-ejection channel has no next channel");
+    const auto prob = flows.prob(ch);
+    const auto share = flows.self_share(ch);
+
+    double update = 0.0;
+    for (std::size_t k = 0; k < next.size(); ++k) {
+      const ChannelSolution& t = sol[static_cast<std::size_t>(next[k])];
+      update += prob[k] * ((1.0 - share[k]) * t.waiting_time + t.service_time + 1.0);
+    }
+    max_delta = std::max(max_delta, std::abs(update - s.service_time));
+    s.service_time = update;
+    if (mg1_utilization(s.lambda, update) < options_.utilization_guard) {
+      s.waiting_time =
+          mg1_waiting_time(s.lambda, update, service_sigma(update, message_length_));
+    }
+  }
+  return max_delta;
+}
+
+SolveStatus ServiceTimeSolver::solve_gauss_seidel(SolverWorkspace& ws) {
+  // The historical iteration, byte-for-byte: refresh waits, damped sweep,
+  // converge on the sweep residual (with a final wait refresh so callers
+  // see W consistent with the converged x).
+  auto& sol = ws.solution;
   for (int iter = 0; iter < options_.max_iterations; ++iter) {
     iterations_used_ = iter + 1;
-
-    // Refresh waits and check the stability guard with current x.
-    for (std::size_t c = 0; c < nch; ++c) {
-      ChannelSolution& s = sol[c];
-      if (s.lambda <= 0.0) {
-        s.waiting_time = 0.0;
-        s.utilization = 0.0;
-        continue;
-      }
-      s.utilization = mg1_utilization(s.lambda, s.service_time);
-      if (s.utilization >= options_.utilization_guard) return SolveStatus::Saturated;
-      s.waiting_time =
-          mg1_waiting_time(s.lambda, s.service_time, service_sigma(s.service_time, message_length_));
-      if (!std::isfinite(s.waiting_time)) return SolveStatus::Saturated;
-    }
-
-    // Gauss-Seidel sweep of Eq. 6 with damping, directly over the CSR:
-    // P_{i->j} and the self-share discount are precomputed per edge.
-    double max_delta = 0.0;
-    for (std::size_t c = 0; c < nch; ++c) {
-      const auto ch = static_cast<ChannelId>(c);
-      if (flows.is_ejection(ch)) continue;  // fixed x = msg
-      ChannelSolution& s = sol[c];
-      if (s.lambda <= 0.0) continue;  // unused channel; x irrelevant
-      const auto next = flows.next(ch);
-      QUARC_ASSERT(!next.empty(), "loaded non-ejection channel has no next channel");
-      const auto prob = flows.prob(ch);
-      const auto share = flows.self_share(ch);
-
-      double update = 0.0;
-      for (std::size_t k = 0; k < next.size(); ++k) {
-        const ChannelSolution& t = sol[static_cast<std::size_t>(next[k])];
-        update += prob[k] * ((1.0 - share[k]) * t.waiting_time + t.service_time + 1.0);
-      }
-      const double damped =
-          options_.damping * update + (1.0 - options_.damping) * s.service_time;
-      max_delta = std::max(max_delta, std::abs(damped - s.service_time));
-      s.service_time = damped;
-    }
-
+    if (refresh_waits(sol)) return SolveStatus::Saturated;
+    const double max_delta = gauss_seidel_sweep(sol);
     if (max_delta < options_.tolerance) {
-      // Final wait refresh so callers see W consistent with converged x.
-      for (std::size_t c = 0; c < nch; ++c) {
-        ChannelSolution& s = sol[c];
-        if (s.lambda <= 0.0) continue;
-        s.utilization = mg1_utilization(s.lambda, s.service_time);
-        if (s.utilization >= options_.utilization_guard) return SolveStatus::Saturated;
-        s.waiting_time = mg1_waiting_time(s.lambda, s.service_time,
-                                          service_sigma(s.service_time, message_length_));
-      }
+      if (refresh_waits(sol)) return SolveStatus::Saturated;
       return SolveStatus::Converged;
     }
   }
   return SolveStatus::MaxIterationsReached;
 }
 
+SolveStatus ServiceTimeSolver::solve_anderson(SolverWorkspace& ws) {
+  auto& sol = ws.solution;
+  const FlowGraph& flows = *flows_;
+  const double msg = static_cast<double>(message_length_);
+
+  // Active set: exactly the components the damped sweep updates. Ejection
+  // channels are pinned at x = msg and idle channels never move, so the
+  // extrapolation must not touch either.
+  ws.aa_active.clear();
+  for (std::size_t c = 0; c < sol.size(); ++c) {
+    if (!flows.is_ejection(static_cast<ChannelId>(c)) && sol[c].lambda > 0.0) {
+      ws.aa_active.push_back(static_cast<std::uint32_t>(c));
+    }
+  }
+  const std::size_t na = ws.aa_active.size();
+  const int window = options_.anderson_window;  // ctor-validated to [1, 8]
+  const std::size_t rows = static_cast<std::size_t>(window) + 1;
+  // Full reseed of the history ring: contents and counters never survive
+  // across solves, so workspace reuse cannot change a byte.
+  ws.aa_x.assign(na, 0.0);
+  ws.aa_g.assign(rows * na, 0.0);
+  ws.aa_f.assign(rows * na, 0.0);
+
+  int hist = 0;       // valid consecutive history rows ending at `newest`
+  int head = 0;       // ring slot the next row is written to
+  double beta = 1.0;  // adaptive mixing; shrinks when extrapolation misbehaves
+  double prev_rnorm2 = std::numeric_limits<double>::infinity();
+
+  const int nrows = static_cast<int>(rows);
+  const auto row_f = [&](int r) { return ws.aa_f.data() + static_cast<std::size_t>(r) * na; };
+  const auto row_g = [&](int r) { return ws.aa_g.data() + static_cast<std::size_t>(r) * na; };
+  const auto ring = [nrows](int r) { return ((r % nrows) + nrows) % nrows; };
+
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    iterations_used_ = iter + 1;
+    if (refresh_waits(sol)) return SolveStatus::Saturated;
+    for (std::size_t k = 0; k < na; ++k) {
+      ws.aa_x[k] = sol[ws.aa_active[k]].service_time;
+    }
+    const double max_delta = ordered_sweep(sol);
+    if (max_delta < options_.tolerance) {
+      // Same convergence criterion family and final wait refresh as the
+      // historical iteration: the accepted x is always a swept iterate
+      // (the sweep is undamped, so the criterion is if anything stricter).
+      if (refresh_waits(sol)) return SolveStatus::Saturated;
+      return SolveStatus::Converged;
+    }
+
+    // Record this sweep's (g, f = g - x) pair.
+    const int newest = head;
+    double* g = row_g(newest);
+    double* f = row_f(newest);
+    double rnorm2 = 0.0;
+    for (std::size_t k = 0; k < na; ++k) {
+      g[k] = sol[ws.aa_active[k]].service_time;
+      f[k] = g[k] - ws.aa_x[k];
+      rnorm2 += f[k] * f[k];
+    }
+    // Adaptive damping + restart: a growing residual means the window's
+    // linear model stopped describing the map — drop the stale history
+    // and mix the next extrapolation softer; steady progress relaxes the
+    // mixing back toward a full Anderson step.
+    if (rnorm2 > 4.0 * prev_rnorm2) {
+      hist = 0;
+      beta = std::max(0.25, 0.5 * beta);
+    } else if (rnorm2 <= prev_rnorm2) {
+      beta = std::min(1.0, 1.25 * beta);
+    }
+    prev_rnorm2 = rnorm2;
+    head = ring(head + 1);
+    hist = std::min(hist + 1, static_cast<int>(rows));
+
+    const int cols = std::min(hist - 1, window);
+    if (cols < 1 || na == 0) continue;
+
+    // Anderson mixing over the last `cols` residual differences:
+    // gamma = argmin || f_newest - dF gamma ||_2 via the (tiny) normal
+    // equations, solved by Gaussian elimination with partial pivoting —
+    // deterministic, no allocation.
+    const auto df = [&](int p, std::size_t k) {
+      // p-th difference column, newest-first: f_{i-p+1} - f_{i-p}.
+      return row_f(ring(newest - p + 1))[k] - row_f(ring(newest - p))[k];
+    };
+    double nm[8][9];  // [cols x cols | rhs]
+    for (int p = 1; p <= cols; ++p) {
+      for (int q = p; q <= cols; ++q) {
+        double dot = 0.0;
+        for (std::size_t k = 0; k < na; ++k) dot += df(p, k) * df(q, k);
+        nm[p - 1][q - 1] = dot;
+        nm[q - 1][p - 1] = dot;
+      }
+      double dot = 0.0;
+      for (std::size_t k = 0; k < na; ++k) dot += df(p, k) * f[k];
+      nm[p - 1][cols] = dot;
+    }
+    // Tikhonov floor keeps near-collinear windows solvable without
+    // blowing up gamma (and keeps the elimination deterministic).
+    double diag_max = 0.0;
+    for (int p = 0; p < cols; ++p) diag_max = std::max(diag_max, nm[p][p]);
+    if (diag_max <= 0.0) continue;
+    for (int p = 0; p < cols; ++p) nm[p][p] += 1e-12 * diag_max;
+
+    bool singular = false;
+    for (int p = 0; p < cols && !singular; ++p) {
+      int pivot = p;
+      for (int r = p + 1; r < cols; ++r) {
+        if (std::abs(nm[r][p]) > std::abs(nm[pivot][p])) pivot = r;
+      }
+      if (std::abs(nm[pivot][p]) < 1e-30 * diag_max) {
+        singular = true;
+        break;
+      }
+      if (pivot != p) {
+        for (int q = p; q <= cols; ++q) std::swap(nm[p][q], nm[pivot][q]);
+      }
+      for (int r = p + 1; r < cols; ++r) {
+        const double factor = nm[r][p] / nm[p][p];
+        for (int q = p; q <= cols; ++q) nm[r][q] -= factor * nm[p][q];
+      }
+    }
+    if (singular) continue;
+    double gamma[8];
+    for (int p = cols - 1; p >= 0; --p) {
+      double v = nm[p][cols];
+      for (int q = p + 1; q < cols; ++q) v -= nm[p][q] * gamma[q];
+      gamma[p] = v / nm[p][p];
+    }
+
+    // Candidate iterate, beta-mixed:
+    //   x+ = (1-beta) (x - dX gamma) + beta (g - dG gamma),  dX = dG - dF.
+    // Built into aa_x (this iteration's snapshot is no longer needed) so
+    // the safeguard can inspect it in full before sol is touched.
+    for (std::size_t k = 0; k < na; ++k) {
+      double dg_gamma = 0.0;
+      double df_gamma = 0.0;
+      for (int p = 1; p <= cols; ++p) {
+        const double dfk = df(p, k);
+        const double dgk = row_g(ring(newest - p + 1))[k] - row_g(ring(newest - p))[k];
+        dg_gamma += gamma[p - 1] * dgk;
+        df_gamma += gamma[p - 1] * dfk;
+      }
+      const double accel_x = ws.aa_x[k] - (dg_gamma - df_gamma);
+      const double accel_g = g[k] - dg_gamma;
+      ws.aa_x[k] = (1.0 - beta) * accel_x + beta * accel_g;
+    }
+
+    // Safeguard: the extrapolated iterate must be finite, respect the
+    // drain-time floor and stay strictly inside the utilization guard on
+    // every channel — otherwise keep the (always valid) damped sweep
+    // iterate and restart the window with a softer mix. Saturation thus
+    // can never be declared from an extrapolated point.
+    bool valid = true;
+    for (std::size_t k = 0; k < na && valid; ++k) {
+      const double v = ws.aa_x[k];
+      const ChannelSolution& s = sol[ws.aa_active[k]];
+      valid = std::isfinite(v) && v >= msg &&
+              mg1_utilization(s.lambda, v) < options_.utilization_guard;
+    }
+    if (!valid) {
+      hist = 1;  // keep only the newest pair; the window was misleading
+      beta = std::max(0.25, 0.5 * beta);
+      continue;
+    }
+    for (std::size_t k = 0; k < na; ++k) {
+      sol[ws.aa_active[k]].service_time = ws.aa_x[k];
+    }
+  }
+  return SolveStatus::MaxIterationsReached;
+}
+
 double ServiceTimeSolver::max_utilization(ChannelId* argmax) const {
+  QUARC_REQUIRE(last_ != nullptr,
+                "ServiceTimeSolver::max_utilization() requires a prior solve()");
   const auto& sol = last_->solution;
   double best = 0.0;
   ChannelId best_id = kInvalidChannel;

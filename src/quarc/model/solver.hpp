@@ -13,9 +13,44 @@
 // single link contributes zero waiting, as it must physically).
 //
 // Ring topologies make the next-channel graph cyclic (CW[i] feeds CW[i+1]
-// all the way around), so the recursion is solved by damped fixed-point
+// all the way around), so the recursion is solved by fixed-point
 // iteration. Saturation (rho >= 1 on any channel) is reported as a status
 // rather than an error: latency curves legitimately end at an asymptote.
+//
+// Two iterations are available (SolverOptions::iteration):
+//
+//   * Anderson (default): downwind-ordered nonlinear Gauss-Seidel sweeps
+//     accelerated by Anderson mixing over a small sliding window (AA(m),
+//     m = anderson_window). Two structural facts make the historical
+//     iteration slow near saturation, and this path removes both. First,
+//     sweeping in channel-id order follows the ring direction, so
+//     ejection-anchored information propagates upstream one hop per
+//     sweep — the iteration Jacobian is (numerically measured) a ring of
+//     eigenvalues at the per-hop attenuation radius, which also means no
+//     extrapolation *over* that sweep can beat the radius: the sweep
+//     order itself has to change. FlowGraph::sweep_order() is the fix: a
+//     DFS post-order of the next-channel graph, so one sweep carries the
+//     information the whole way around and only each cycle's closing
+//     back edge stays stale. Second, the remaining wrap-edge/nonlinear
+//     contraction is handled by Anderson mixing over the last m sweep
+//     residuals (least-squares extrapolation with adaptive mixing).
+//     Every extrapolated iterate is safeguarded — rejected (keeping the
+//     always-valid swept iterate) unless it is finite, respects the
+//     drain-time floor and stays inside the utilization guard on every
+//     channel — and the window restarts (with a softer mix) whenever the
+//     residual grows, so the worst case degenerates to the plain ordered
+//     sweep. Convergence is declared by the sweep residual (max |delta x|
+//     < tolerance, the historical criterion over an undamped sweep, i.e.
+//     if anything stricter) and saturation only ever from a swept (never
+//     an extrapolated) iterate. Near saturation this converges in single
+//     digit iterations where the damped id-order sweep needs hundreds
+//     (bench/micro_solver.cpp: 5898 -> 132 grid iterations, 272 -> 7 at
+//     0.95 x saturation on the fig6 quarc:16 cell).
+//   * GaussSeidel: the historical damped id-order sweep, byte-for-byte —
+//     kept as the equivalence oracle and bench baseline.
+//
+// Both are deterministic: every quantity is a pure function of
+// (structure, rate, options), never of workspace history or timing.
 //
 // The solver iterates directly over a FlowGraph's CSR pools: P_{i->j} and
 // the self-share discount are rate-invariant and precomputed there, so a
@@ -35,6 +70,7 @@
 #include "quarc/model/channel_graph.hpp"
 #include "quarc/model/flow_graph.hpp"
 #include "quarc/topo/topology.hpp"
+#include "quarc/util/error.hpp"
 
 namespace quarc {
 
@@ -42,11 +78,27 @@ enum class SolveStatus { Converged, Saturated, MaxIterationsReached };
 
 std::string to_string(SolveStatus s);
 
+/// Which fixed-point iteration solve() runs (see the header comment).
+enum class SolverIteration {
+  Anderson,     ///< safeguarded Anderson-accelerated downwind sweeps (default)
+  GaussSeidel,  ///< the historical damped Gauss-Seidel (equivalence oracle)
+};
+
+std::string to_string(SolverIteration it);
+
 struct SolverOptions {
   int max_iterations = 20000;
   double tolerance = 1e-9;       ///< max |delta x| per sweep for convergence
   double damping = 0.5;          ///< new x = damping*update + (1-damping)*old
   double utilization_guard = 1.0 - 1e-6;  ///< rho at/above this => Saturated
+  SolverIteration iteration = SolverIteration::Anderson;
+  /// Sliding-window depth of the Anderson extrapolation (must be in
+  /// [1, 8] — validated at construction so the fingerprinted value is
+  /// always the effective one); ignored under GaussSeidel. Window 1 is
+  /// secant-style AA(1) over the downwind sweep — still accelerated,
+  /// just memoryless; use iteration = GaussSeidel for the plain
+  /// historical sweep.
+  int anderson_window = 3;
 };
 
 /// Initial x-vector family. Both are pure functions of (structure, rate),
@@ -66,11 +118,24 @@ struct ChannelSolution {
   double utilization = 0.0;   ///< rho = lambda * x
 };
 
-/// Reusable per-thread solve state. solve() fully reseeds every entry, so
-/// a warm workspace yields bytes identical to a cold one — reuse is purely
-/// an allocation saving (asserted by the flow-graph test-suite).
+/// Reusable per-thread solve state. solve() fully reseeds every entry —
+/// including the Anderson history buffers, whose generation counters and
+/// contents are reset before any element is read — so a warm workspace
+/// yields bytes identical to a cold one; reuse is purely an allocation
+/// saving (asserted by the flow-graph and solver test-suites).
 struct SolverWorkspace {
   std::vector<ChannelSolution> solution;
+
+  // ---- Anderson acceleration history (solver-internal) ----
+  std::vector<std::uint32_t> aa_active;  ///< channels the sweep updates
+  std::vector<double> aa_x;              ///< iterate snapshot before a sweep
+  std::vector<double> aa_g;              ///< (window+1) rows of sweep results
+  std::vector<double> aa_f;              ///< (window+1) rows of residuals
+
+  // ---- latency-assembly scratch (performance_model.cpp) ----
+  /// Per-source multicast stream waits (Eq. 12-13 input), reused across
+  /// sources and rate points instead of reallocated per source.
+  std::vector<double> stream_waits;
 };
 
 class ServiceTimeSolver {
@@ -96,24 +161,41 @@ class ServiceTimeSolver {
   /// channels()/channel()/max_utilization() reference the workspace that
   /// solve ran in: after solve(rate, ws) they stay valid only while `ws`
   /// is alive and unmodified (the no-argument solve() uses an internal
-  /// workspace, which lives as long as the solver).
-  const std::vector<ChannelSolution>& channels() const { return last_->solution; }
+  /// workspace, which lives as long as the solver). All three require a
+  /// completed solve() and throw InvalidArgument before the first one.
+  const std::vector<ChannelSolution>& channels() const {
+    QUARC_REQUIRE(last_ != nullptr, "ServiceTimeSolver::channels() requires a prior solve()");
+    return last_->solution;
+  }
   const ChannelSolution& channel(ChannelId c) const {
-    return last_->solution[static_cast<std::size_t>(c)];
+    return channels()[static_cast<std::size_t>(c)];
   }
   int iterations_used() const { return iterations_used_; }
-  /// Highest channel utilisation and the channel achieving it.
+  /// Highest channel utilisation and the channel achieving it. Requires a
+  /// prior solve() (throws InvalidArgument otherwise).
   double max_utilization(ChannelId* argmax = nullptr) const;
 
  private:
+  SolveStatus solve_gauss_seidel(SolverWorkspace& ws);
+  SolveStatus solve_anderson(SolverWorkspace& ws);
+  /// Recomputes W/rho from the current x; true => a channel hit the guard.
+  bool refresh_waits(std::vector<ChannelSolution>& sol) const;
+  /// One damped Gauss-Seidel sweep of Eq. 6 in channel-id order (the
+  /// historical iteration); returns max |delta x|.
+  double gauss_seidel_sweep(std::vector<ChannelSolution>& sol) const;
+  /// One undamped nonlinear Gauss-Seidel sweep in the FlowGraph's
+  /// downwind order, refreshing each channel's wait in place; returns
+  /// max |delta x|. The accelerated path's engine.
+  double ordered_sweep(std::vector<ChannelSolution>& sol) const;
+
   const FlowGraph* flows_;
   int message_length_;
   SolverOptions options_;
   /// Rate for the compatibility solve(); < 0 marks "not bound" (the
   /// FlowGraph constructor), which the no-argument solve() rejects.
   double bound_rate_ = -1.0;
-  SolverWorkspace own_;            ///< backs the compatibility solve()
-  const SolverWorkspace* last_ = &own_;
+  SolverWorkspace own_;               ///< backs the compatibility solve()
+  const SolverWorkspace* last_ = nullptr;  ///< null until the first solve()
   int iterations_used_ = 0;
 };
 

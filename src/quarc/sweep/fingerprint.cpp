@@ -117,6 +117,11 @@ ScenarioFingerprint fingerprint_scenario(const FingerprintInputs& in) {
   line("solver_tolerance", num(so.tolerance));
   line("solver_damping", num(so.damping));
   line("solver_utilization_guard", num(so.utilization_guard));
+  line("solver_iteration", to_string(so.iteration));
+  // The window genuinely changes converged bytes only under Anderson, but
+  // a constant line under GaussSeidel is harmless and keeps the canonical
+  // format knob-for-knob (the oracle option itself is already a line).
+  line("solver_anderson_window", std::to_string(so.anderson_window));
 
   ScenarioFingerprint fp;
   fp.canonical = std::move(c);

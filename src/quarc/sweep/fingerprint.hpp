@@ -35,7 +35,15 @@ namespace quarc {
 // deterministic zero-load warm-start seeding — converged bytes moved at
 // the tolerance level, so v1 cache entries must not be served for v2
 // solves (same knobs, different solver arithmetic).
-inline constexpr int kFingerprintSchemaVersion = 2;
+// v3: Anderson-accelerated iteration (solver_iteration/anderson_window
+// lines added; fixed-point bytes move at the tolerance level vs the
+// damped sweep) and the stable Eq. 12 E[max] kernel (last-ulp shifts in
+// multicast latencies). ModelOptions::assembly is deliberately NOT a
+// fingerprint input: the stencil and direct-walk assemblies are
+// byte-identical by construction (pinned across every registered
+// topology spec by the stencil test-suite), so either may serve the
+// other's cache entries — same doctrine as thread and shard counts.
+inline constexpr int kFingerprintSchemaVersion = 3;
 
 struct ScenarioFingerprint {
   std::string canonical;   ///< key=value text, one knob per line

@@ -31,7 +31,7 @@ TEST(Fingerprint, GoldenCanonicalTextForDefaultScenario) {
   api::Scenario s;  // quarc:16, no pattern, defaults everywhere
   const ScenarioFingerprint fp = s.fingerprint();
   EXPECT_EQ(fp.canonical,
-            "fp_schema=2\n"
+            "fp_schema=3\n"
             "topology=quarc:16\n"
             "topology_digest=spec\n"
             "pattern=none\n"
@@ -54,22 +54,24 @@ TEST(Fingerprint, GoldenCanonicalTextForDefaultScenario) {
             "solver_max_iterations=20000\n"
             "solver_tolerance=1e-09\n"
             "solver_damping=0.5\n"
-            "solver_utilization_guard=0.999999\n");
+            "solver_utilization_guard=0.999999\n"
+            "solver_iteration=anderson\n"
+            "solver_anderson_window=3\n");
   EXPECT_EQ(fp.hash, fnv1a64(fp.canonical));
 }
 
 TEST(Fingerprint, GoldenDigests) {
   api::Scenario mesh = canonical_mesh();
-  EXPECT_EQ(mesh.fingerprint().hex(), "0c8b2e316a5f1639");
+  EXPECT_EQ(mesh.fingerprint().hex(), "f8a32d48fdb66495");
 
   api::Scenario cube;
   cube.topology("hypercube:4").pattern("localized:0.2:0.8:6").alpha(0.1).message_length(32).seed(
       11);
-  EXPECT_EQ(cube.fingerprint().hex(), "6d70238c3455c276");
+  EXPECT_EQ(cube.fingerprint().hex(), "4203a2b8ca24a03a");
 
   api::Scenario quarc;
   quarc.topology("quarc:16").pattern("broadcast").alpha(0.05).message_length(16).seed(1);
-  EXPECT_EQ(quarc.fingerprint().hex(), "648557b6fa2ab507");
+  EXPECT_EQ(quarc.fingerprint().hex(), "04bad86ca96d84bd");
 }
 
 // ----------------------------------------------------------- stability
@@ -126,6 +128,10 @@ TEST(Fingerprint, EverySingleKnobChangeChangesTheFingerprint) {
       {"solver_damping", [](api::Scenario& s) { s.model_options().solver.damping = 0.25; }},
       {"solver_utilization_guard",
        [](api::Scenario& s) { s.model_options().solver.utilization_guard = 0.97; }},
+      {"solver_iteration",
+       [](api::Scenario& s) { s.model_options().solver.iteration = SolverIteration::GaussSeidel; }},
+      {"solver_anderson_window",
+       [](api::Scenario& s) { s.model_options().solver.anderson_window = 5; }},
   };
 
   const ScenarioFingerprint base = canonical_mesh().fingerprint();

@@ -1,0 +1,126 @@
+// Byte-equivalence of the compiled LatencyStencil against the direct
+// Eq. 7-16 walk — the property that lets ModelOptions::assembly stay out
+// of the scenario fingerprint: the two assemblies must agree not merely
+// within tolerance but double-for-double, across every registered
+// topology family, hardware and software multicast alike.
+#include "quarc/model/latency_stencil.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "quarc/api/registry.hpp"
+#include "quarc/api/scenario.hpp"
+#include "quarc/model/performance_model.hpp"
+#include "quarc/util/rng.hpp"
+
+namespace quarc {
+namespace {
+
+ModelOptions options_with(LatencyAssembly assembly, SolverIteration iteration) {
+  ModelOptions o;
+  o.assembly = assembly;
+  o.solver.iteration = iteration;
+  return o;
+}
+
+/// Evaluates one (topology spec, alpha) cell under both assemblies and
+/// expects exact equality of every latency the model reports.
+void expect_byte_equivalent(const std::string& topo_spec, double alpha, double rate) {
+  SCOPED_TRACE(topo_spec + " alpha=" + std::to_string(alpha));
+  const auto topo = api::make_topology(topo_spec);
+  Rng rng(11);
+  Workload w;
+  w.message_rate = rate;
+  w.multicast_fraction = alpha;
+  w.message_length = 32;
+  if (alpha > 0.0) w.pattern = api::make_pattern("random:3", topo->num_nodes(), rng);
+
+  const RoutePlan plan(*topo, alpha > 0.0 ? w.pattern.get() : nullptr);
+  const FlowGraph flows(plan, w);
+  // Same solver path on both sides (GaussSeidel keeps this test meaningful
+  // even if the accelerated iteration ever changes): the only varying knob
+  // is the assembly.
+  const auto direct =
+      PerformanceModel(flows, w, options_with(LatencyAssembly::DirectWalk,
+                                              SolverIteration::GaussSeidel))
+          .evaluate();
+  const auto stencil =
+      PerformanceModel(flows, w, options_with(LatencyAssembly::Stencil,
+                                              SolverIteration::GaussSeidel))
+          .evaluate();
+
+  ASSERT_EQ(direct.status, stencil.status);
+  EXPECT_EQ(direct.avg_unicast_latency, stencil.avg_unicast_latency);
+  EXPECT_EQ(direct.has_multicast, stencil.has_multicast);
+  EXPECT_EQ(direct.avg_multicast_latency, stencil.avg_multicast_latency);
+  ASSERT_EQ(direct.per_node_multicast_latency.size(), stencil.per_node_multicast_latency.size());
+  for (std::size_t s = 0; s < direct.per_node_multicast_latency.size(); ++s) {
+    const double a = direct.per_node_multicast_latency[s];
+    const double b = stencil.per_node_multicast_latency[s];
+    EXPECT_TRUE(a == b || (std::isnan(a) && std::isnan(b))) << "node " << s;
+  }
+}
+
+TEST(LatencyStencil, ByteEquivalentToDirectWalkAcrossAllRegisteredTopologies) {
+  // Every registered family, via its own example spec: Quarc all-port and
+  // one-port (hardware streams with per-port serialisation offsets),
+  // mesh-ham (hardware), Spidergon/mesh/torus/hypercube (software
+  // batched-unicast fallback). Unicast-only, mixed, and multicast-only.
+  for (const api::RegistryEntry& e : api::TopologyRegistry::instance().entries()) {
+    expect_byte_equivalent(e.example, 0.0, 0.003);
+    expect_byte_equivalent(e.example, 0.05, 0.003);
+    expect_byte_equivalent(e.example, 1.0, 0.001);
+  }
+}
+
+TEST(LatencyStencil, ByteEquivalentAtHighLoad) {
+  // Near saturation the waits dominate; the pooled weights must still
+  // reproduce the walk exactly.
+  expect_byte_equivalent("quarc:16", 0.05, 0.006);
+  expect_byte_equivalent("spidergon:16", 0.05, 0.002);
+}
+
+TEST(LatencyStencil, SweepJsonIsByteIdenticalAcrossAssemblies) {
+  // End to end through Scenario/ResultSet: the serialised sweep document
+  // (the artifact caches, baselines and quarc-diff consume) must not
+  // change by a byte when the assembly switches. This is the invariant
+  // that justifies excluding the assembly knob from the fingerprint.
+  auto run_with = [](LatencyAssembly assembly) {
+    api::Scenario s;
+    s.topology("quarc:16").pattern("random:4").alpha(0.05).message_length(16).seed(5).with_sim(
+        false);
+    s.model_options().assembly = assembly;
+    std::ostringstream os;
+    s.run_sweep(std::vector<double>{0.001, 0.003, 0.005}).write_json(os);
+    return os.str();
+  };
+  EXPECT_EQ(run_with(LatencyAssembly::Stencil), run_with(LatencyAssembly::DirectWalk));
+}
+
+TEST(LatencyStencil, FingerprintExcludesAssembly) {
+  api::Scenario a;
+  a.topology("quarc:16").pattern("random:4").alpha(0.05);
+  api::Scenario b;
+  b.topology("quarc:16").pattern("random:4").alpha(0.05);
+  a.model_options().assembly = LatencyAssembly::Stencil;
+  b.model_options().assembly = LatencyAssembly::DirectWalk;
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(LatencyStencil, StencilIsCompiledOncePerFlowGraph) {
+  const auto topo = api::make_topology("quarc:16");
+  Workload w;
+  w.message_rate = 0.002;
+  w.message_length = 16;
+  const FlowGraph flows(*topo, w);
+  const LatencyStencil& first = flows.stencil();
+  const LatencyStencil& second = flows.stencil();
+  EXPECT_EQ(&first, &second);
+  EXPECT_GT(first.wait_entry_count(), 0u);
+}
+
+}  // namespace
+}  // namespace quarc

@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
+#include <cmath>
 #include <vector>
 
 #include "quarc/util/error.hpp"
@@ -117,6 +119,117 @@ TEST(MaxExp, RejectsNonPositiveRates) {
   EXPECT_THROW(expected_max_exponential(bad), InvalidArgument);
   const std::array<double, 2> neg = {1.0, -2.0};
   EXPECT_THROW(expected_max_exponential_recursive(neg), InvalidArgument);
+  EXPECT_THROW(expected_max_exponential_stable(neg), InvalidArgument);
+  EXPECT_THROW(expected_max_exponential_integrated(bad), InvalidArgument);
+}
+
+// ---- the stable (production) form and the large-m paths ----
+
+TEST(MaxExp, StableCrossPinsBothSubsetFormsUpTo20) {
+  // The ISSUE's cross-pin: for every m the 2^m forms can handle, the
+  // stable evaluation must agree with the recursion (its exact
+  // reformulation) and with the inclusion-exclusion closed form to the
+  // latter's cancellation-limited accuracy.
+  Rng rng(321);
+  for (int trial = 0; trial < 120; ++trial) {
+    const int m = 1 + static_cast<int>(rng.uniform_below(20));
+    std::vector<double> mu;
+    for (int i = 0; i < m; ++i) mu.push_back(0.05 + 5.0 * rng.uniform());
+    const double stable = expected_max_exponential_stable(mu);
+    const double recursive = expected_max_exponential_recursive(mu);
+    EXPECT_NEAR(stable, recursive, 1e-9 * std::max(1.0, recursive)) << "m=" << m;
+    if (m <= 12) {  // inclusion-exclusion is still trustworthy here
+      const double closed = expected_max_exponential(mu);
+      EXPECT_NEAR(stable, closed, 1e-7 * std::max(1.0, closed)) << "m=" << m;
+    }
+  }
+}
+
+TEST(MaxExp, IntegratedCrossPinsTheRecursion) {
+  Rng rng(77);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int m = 1 + static_cast<int>(rng.uniform_below(10));
+    std::vector<double> mu;
+    for (int i = 0; i < m; ++i) mu.push_back(0.05 + 5.0 * rng.uniform());
+    const double exact = expected_max_exponential_recursive(mu);
+    const double integrated = expected_max_exponential_integrated(mu);
+    EXPECT_NEAR(integrated, exact, 1e-8 * std::max(1.0, exact)) << "m=" << m;
+  }
+}
+
+TEST(MaxExp, WideIidBroadcastMatchesHarmonicIdentity) {
+  // 64 identical streams — a realistic wide broadcast. The 2^m forms
+  // abort here; the multiset collapse makes it exact and O(m).
+  for (int m : {21, 40, 64, 128}) {
+    std::vector<double> mu(static_cast<std::size_t>(m), 2.5);
+    double harmonic = 0.0;
+    for (int k = 1; k <= m; ++k) harmonic += 1.0 / k;
+    EXPECT_NEAR(expected_max_exponential_stable(mu), harmonic / 2.5, 1e-10) << "m=" << m;
+  }
+}
+
+TEST(MaxExp, WideFewDistinctRatesStayExact) {
+  // 48 streams over 3 distinct rates: collapsed DP (17 * 17 * 17 states),
+  // cross-pinned against quadrature.
+  std::vector<double> mu;
+  for (int i = 0; i < 16; ++i) {
+    mu.push_back(0.5);
+    mu.push_back(1.25);
+    mu.push_back(3.0);
+  }
+  const double dp = expected_max_exponential_stable(mu);
+  const double integrated = expected_max_exponential_integrated(mu);
+  EXPECT_NEAR(dp, integrated, 1e-8 * dp);
+  // Sanity bounds: at least the slowest stream's mean, at most sum of means.
+  EXPECT_GT(dp, 2.0);
+  EXPECT_LT(dp, 16.0 * (1.0 / 0.5 + 1.0 / 1.25 + 1.0 / 3.0));
+}
+
+TEST(MaxExp, WideFullyHeterogeneousFallsBackToQuadrature) {
+  // 40 distinct rates: the collapsed DP would need 2^40 states, so the
+  // stable form must route to quadrature — and still satisfy the exact
+  // order-statistics bounds and monotonicity.
+  std::vector<double> mu;
+  for (int i = 0; i < 40; ++i) mu.push_back(0.2 + 0.13 * i);
+  const double v = expected_max_exponential_stable(mu);
+  double max_mean = 0.0, sum_means = 0.0;
+  for (double r : mu) {
+    max_mean = std::max(max_mean, 1.0 / r);
+    sum_means += 1.0 / r;
+  }
+  EXPECT_GE(v, max_mean);
+  EXPECT_LE(v, sum_means);
+  // Supersets dominate: adding a stream cannot lower the maximum.
+  std::vector<double> more = mu;
+  more.push_back(0.21);
+  EXPECT_GE(expected_max_exponential_stable(more), v - 1e-9);
+}
+
+TEST(MaxExp, FromMeansNoLongerAbortsOnWideStreamSets) {
+  // The satellite bug: >20 streams used to QUARC_REQUIRE-abort. A wide
+  // one-port broadcast (equal means) now evaluates via the collapse.
+  std::vector<double> means(64, 3.0);
+  double harmonic = 0.0;
+  for (int k = 1; k <= 64; ++k) harmonic += 1.0 / k;
+  EXPECT_NEAR(expected_max_from_means(means), 3.0 * harmonic, 1e-9);
+  // Mixed degenerate + live streams keep the eps-drop semantics.
+  means.push_back(0.0);
+  EXPECT_NEAR(expected_max_from_means(means), 3.0 * harmonic, 1e-9);
+}
+
+TEST(MaxExp, StableAgreesWithMonteCarloOnAWideSet) {
+  std::vector<double> mu;
+  for (int i = 0; i < 24; ++i) mu.push_back(0.4 + 0.35 * (i % 6));
+  const double expected = expected_max_exponential_stable(mu);
+  Rng rng(2024);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    double worst = 0.0;
+    for (double m : mu) worst = std::max(worst, rng.exponential(m));
+    sum += worst;
+  }
+  EXPECT_NEAR(sum / n, expected, 0.02 * expected);
 }
 
 }  // namespace

@@ -58,10 +58,11 @@ TEST(ResultDiff, IdenticalPairIsClean) {
   EXPECT_FALSE(report.has_regression());
   EXPECT_TRUE(report.entries.empty());
   EXPECT_TRUE(report.scenarios_match);
-  // 2 rows x (4 latencies + sim_stable/sim_completed + model_run/sim_run).
-  EXPECT_EQ(report.fields_compared, 16);
+  // 2 rows x (4 latencies + sim_stable/sim_completed + model_run/sim_run
+  // + model_status).
+  EXPECT_EQ(report.fields_compared, 18);
   EXPECT_EQ(report_text(report),
-            "compared 16 fields: 0 regressions, 0 improvements, 16 within tolerance\n");
+            "compared 18 fields: 0 regressions, 0 improvements, 18 within tolerance\n");
 }
 
 TEST(ResultDiff, RegressedPairIsFlagged) {
@@ -78,7 +79,7 @@ TEST(ResultDiff, RegressedPairIsFlagged) {
   EXPECT_NEAR(e.rel_change, 0.1, 1e-12);
   EXPECT_EQ(report_text(report),
             "  rate=0.004  model_multicast_latency  80 -> 88 (+10.0%)  REGRESSED\n"
-            "compared 16 fields: 1 regression, 0 improvements, 15 within tolerance\n");
+            "compared 18 fields: 1 regression, 0 improvements, 17 within tolerance\n");
 }
 
 TEST(ResultDiff, ImprovedPairIsNotARegression) {
@@ -92,7 +93,7 @@ TEST(ResultDiff, ImprovedPairIsNotARegression) {
   EXPECT_EQ(report.entries[0].status, DiffStatus::Improved);
   EXPECT_EQ(report_text(report),
             "  rate=0.002  sim_multicast_latency  51 -> 45.9 (-10.0%)  improved\n"
-            "compared 16 fields: 0 regressions, 1 improvement, 15 within tolerance\n");
+            "compared 18 fields: 0 regressions, 1 improvement, 17 within tolerance\n");
 }
 
 TEST(ResultDiff, ChangesWithinToleranceAreNoise) {
@@ -150,10 +151,10 @@ TEST(ResultDiff, LostMeasurementsAreRegressionsAndBothNaNIsNotComparable) {
   EXPECT_EQ(report.entries[1].field, "model_multicast_latency");
   EXPECT_EQ(report.entries[1].status, DiffStatus::Regressed);
   EXPECT_NE(report_text(report).find("80 -> -  REGRESSED"), std::string::npos);
-  // row0: model_run + sim_run + model_unicast (multicast both-NaN, sim
-  // latencies/flags skipped) = 3; row1: 2 section flags + 4 latencies +
-  // 2 sim flags = 8.
-  EXPECT_EQ(report.fields_compared, 11);
+  // row0: model_run + sim_run + model_status + model_unicast (multicast
+  // both-NaN, sim latencies/flags skipped) = 4; row1: 2 section flags +
+  // model_status + 4 latencies + 2 sim flags = 9.
+  EXPECT_EQ(report.fields_compared, 13);
 }
 
 TEST(ResultDiff, NewlyUnstableSimulationIsARegression) {
@@ -196,9 +197,39 @@ TEST(ResultDiff, RemovedRatesGateAddedRatesAreReported) {
   EXPECT_TRUE(report.has_regression());
   EXPECT_EQ(report.regressions, 1);
   EXPECT_NE(report_text(report).find("row removed"), std::string::npos);
-  // The removed row is not a field comparison: the matched row's 8 fields
+  // The removed row is not a field comparison: the matched row's 9 fields
   // are all within tolerance.
-  EXPECT_NE(report_text(report).find("8 within tolerance"), std::string::npos);
+  EXPECT_NE(report_text(report).find("9 within tolerance"), std::string::npos);
+}
+
+TEST(ResultDiff, UnconvergedSolveIsARegressionEvenWithUnchangedLatencies) {
+  // The satellite bug this pins: a candidate whose solver ran out of
+  // iterations reports latencies assembled from an unconverged x. Those
+  // numbers can sit within any tolerance of the converged baseline, so
+  // the *status* flip itself must gate.
+  const ResultSet base = baseline_set();
+  ResultSet cand = base;
+  cand.rows[1].model_status = "max-iterations";  // latencies untouched
+  const DiffReport report = diff_result_sets(base, cand, {.tolerance = 1e9});
+  EXPECT_TRUE(report.has_regression());
+  ASSERT_EQ(report.entries.size(), 1u);
+  EXPECT_EQ(report.entries[0].field, "model_status");
+  EXPECT_EQ(report.entries[0].status, DiffStatus::Regressed);
+  EXPECT_NE(report_text(report).find("model_status"), std::string::npos);
+
+  // The reverse flip — a solve that newly converges — is an improvement,
+  // and a converged <-> saturated transition is left to the latency
+  // fields (the +inf classification already gates it).
+  const DiffReport reverse = diff_result_sets(cand, base, {.tolerance = 1e9});
+  EXPECT_FALSE(reverse.has_regression());
+  EXPECT_EQ(reverse.improvements, 1);
+  ResultSet saturated = base;
+  saturated.rows[1].model_status = "saturated";
+  saturated.rows[1].model_unicast_latency = kInf;
+  saturated.rows[1].model_multicast_latency = kInf;
+  const DiffReport sat = diff_result_sets(base, saturated, {.tolerance = 1e9});
+  EXPECT_TRUE(sat.has_regression());
+  for (const DiffEntry& e : sat.entries) EXPECT_NE(e.field, "model_status");
 }
 
 TEST(ResultDiff, ScenarioMismatchIsFlagged) {
@@ -216,7 +247,7 @@ TEST(ResultDiff, ModelOnlyModeIgnoresSimFields) {
   cand.rows[0].sim_multicast_latency = 500.0;  // huge sim regression
   const DiffReport report = diff_result_sets(base, cand, {.tolerance = 0.02, .compare_sim = false});
   EXPECT_FALSE(report.has_regression());
-  EXPECT_EQ(report.fields_compared, 6);  // model_run flag + 2 latencies per row
+  EXPECT_EQ(report.fields_compared, 8);  // model_run + model_status + 2 latencies per row
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "quarc/api/result_diff.hpp"
 #include "quarc/api/scenario.hpp"
 #include "quarc/cli/cli.hpp"
 #include "quarc/util/error.hpp"
@@ -377,6 +378,39 @@ TEST(ResultSet, ScenarioSweepSerialisesSaturatedTail) {
   const ResultSet back = ResultSet::from_json_text(os.str());
   EXPECT_TRUE(std::isinf(back.rows[1].model_unicast_latency));
   EXPECT_EQ(back.rows[1].model_status, "saturated");
+}
+
+TEST(ResultSet, UnconvergedSolvesStayDistinguishableEndToEnd) {
+  // A solver that runs out of iterations still assembles (finite)
+  // latencies from the unconverged x. The ResultSet must carry the
+  // "max-iterations" status through JSON and CSV so quarc-diff (and any
+  // downstream reader) can refuse to trust those rows.
+  Scenario s;
+  s.topology("quarc:16").message_length(16).with_sim(false);
+  const double rate = 0.9 * s.saturation_rate();
+  s.model_options().solver.max_iterations = 3;  // force exhaustion
+  const ResultSet rs = s.run_sweep(std::vector<double>{rate});
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0].model_status, "max-iterations");
+  EXPECT_TRUE(std::isfinite(rs.rows[0].model_unicast_latency));
+
+  std::ostringstream json_os;
+  rs.write_json(json_os);
+  const ResultSet back = ResultSet::from_json_text(json_os.str());
+  EXPECT_EQ(back.rows[0].model_status, "max-iterations");
+
+  std::ostringstream csv_os;
+  rs.write_csv(csv_os);
+  EXPECT_NE(csv_os.str().find("max-iterations"), std::string::npos);
+
+  // And the diff layer gates the flip against a converged baseline even
+  // when every latency sits inside the tolerance.
+  Scenario healthy;
+  healthy.topology("quarc:16").message_length(16).with_sim(false);
+  const ResultSet base = healthy.run_sweep(std::vector<double>{rate});
+  ASSERT_EQ(base.rows[0].model_status, "converged");
+  const DiffReport report = diff_result_sets(base, rs, {.tolerance = 1e9});
+  EXPECT_TRUE(report.has_regression());
 }
 
 }  // namespace
