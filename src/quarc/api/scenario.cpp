@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "quarc/api/registry.hpp"
+#include "quarc/batch/artifact_cache.hpp"
 #include "quarc/sweep/sweep_cache.hpp"
 #include "quarc/util/error.hpp"
 
@@ -121,6 +122,13 @@ Scenario& Scenario::cache_dir(const std::string& dir) {
   return *this;
 }
 
+Scenario& Scenario::artifacts(std::shared_ptr<batch::ArtifactCache> cache) {
+  artifacts_ = std::move(cache);
+  // Already-compiled private artifacts stay valid; the cache only changes
+  // where the NEXT compilation comes from.
+  return *this;
+}
+
 ScenarioFingerprint Scenario::fingerprint() {
   validate();
   return fingerprint_validated();
@@ -151,6 +159,34 @@ void Scenario::ensure_topology() {
 }
 
 void Scenario::validate() {
+  // Shared-artifact path: spec-built scenarios attached to an
+  // ArtifactCache adopt its topology/pattern/plan/flow graph — compiled
+  // once per distinct key across every attached Scenario. The adopted
+  // objects are exactly what the private path below would compile
+  // (same registry factories, same seeds), so results and fingerprints
+  // are byte-identical either way.
+  if (artifacts_ && topology_from_spec_ && pattern_from_spec_) {
+    if (routes_dirty_ || !plan_) {
+      batch::PlanRequest req;
+      req.topology_spec = topology_spec_;
+      req.pattern_spec = pattern_spec_;
+      req.pattern_seed = pattern_seed_set_ ? pattern_seed_ : seed_;
+      req.multicast = workload_.multicast_fraction > 0.0;
+      const std::shared_ptr<const batch::PlanArtifact> artifact = artifacts_->plan(req);
+      topology_ = artifact->topology;
+      topology_dirty_ = false;
+      pattern_ = artifact->pattern;
+      workload_.pattern = pattern_;
+      workload_.validate(*topology_);
+      plan_ = artifact->plan;
+      flows_ = artifacts_->flows(req, workload_.multicast_fraction, workload_.message_length);
+      routes_dirty_ = false;
+    } else {
+      workload_.pattern = pattern_;
+      workload_.validate(*topology_);
+    }
+    return;
+  }
   ensure_topology();
   if (routes_dirty_ || !plan_) {
     if (pattern_from_spec_) {
@@ -227,6 +263,11 @@ sim::SimConfig Scenario::sim_config_for_run() {
   c.workload = workload_;
   c.seed = seed_;
   return c;
+}
+
+ResultSet Scenario::empty_result_set() {
+  validate();
+  return make_result_set();
 }
 
 ResultSet Scenario::run_model() {

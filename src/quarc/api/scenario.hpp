@@ -53,6 +53,10 @@ namespace quarc {
 class SweepCache;
 }
 
+namespace quarc::batch {
+class ArtifactCache;
+}
+
 namespace quarc::api {
 
 class Scenario {
@@ -101,6 +105,18 @@ class Scenario {
   /// The attached cache (may be null).
   const std::shared_ptr<SweepCache>& sweep_cache() const { return cache_; }
 
+  /// Attaches a shared compiled-artifact cache (batch/artifact_cache.hpp):
+  /// validate() then adopts the cache's RoutePlan/FlowGraph for this
+  /// scenario's (topology spec, pattern spec, pattern seed, alpha) instead
+  /// of compiling private copies, so a fleet of scenarios sharing a
+  /// topology compiles each artifact exactly once. Byte-transparent:
+  /// results and fingerprints are identical with and without the cache
+  /// (pinned by the batch determinism suite). Only spec-built scenarios
+  /// share; adopted topologies/patterns always compile privately.
+  /// nullptr detaches.
+  Scenario& artifacts(std::shared_ptr<batch::ArtifactCache> cache);
+  const std::shared_ptr<batch::ArtifactCache>& artifact_cache() const { return artifacts_; }
+
   /// Canonical fingerprint of the validated scenario — the cache key's
   /// scenario half (rate excluded). Validates first; stable across runs,
   /// thread counts and shard counts.
@@ -136,6 +152,15 @@ class Scenario {
   Workload build_workload();
   /// One-line description for banners/logs.
   std::string describe();
+  /// The configured run seed (per-point simulator seeds derive from it via
+  /// sweep_point_seed). Exposed so external schedulers — the batch runner
+  /// solves all members' points on one pool — can construct per-point
+  /// tasks exactly as run_sweep would.
+  std::uint64_t seed() const { return seed_; }
+  /// A validated, metadata-only ResultSet for this scenario (no rows):
+  /// the exact header run_sweep would emit. External schedulers fill the
+  /// rows so their documents stay byte-identical to run_sweep's.
+  ResultSet empty_result_set();
 
   // ---- evaluation ----
   /// Analytical model at the configured rate.
@@ -164,7 +189,9 @@ class Scenario {
   ScenarioFingerprint fingerprint_validated() const;
 
   std::string topology_spec_;
-  std::unique_ptr<Topology> topology_;   ///< built lazily or adopted
+  /// Built lazily, adopted, or shared via the artifact cache (shared so a
+  /// cached RoutePlan and the topology it references live together).
+  std::shared_ptr<const Topology> topology_;
   bool topology_dirty_ = true;
   bool topology_from_spec_ = true;  ///< adopted topologies digest structurally
 
@@ -185,6 +212,7 @@ class Scenario {
   bool pattern_seed_set_ = false;
   SweepConfig sweep_;
   std::shared_ptr<SweepCache> cache_;
+  std::shared_ptr<batch::ArtifactCache> artifacts_;
 };
 
 }  // namespace quarc::api

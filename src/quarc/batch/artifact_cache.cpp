@@ -1,0 +1,100 @@
+#include "quarc/batch/artifact_cache.hpp"
+
+#include <utility>
+
+#include "quarc/api/registry.hpp"
+#include "quarc/traffic/workload.hpp"
+#include "quarc/util/json.hpp"
+#include "quarc/util/rng.hpp"
+
+namespace quarc::batch {
+
+std::string PlanRequest::key() const {
+  // "none" patterns are seed-independent; zeroing the seed line keeps
+  // unicast-only members with different run seeds on one artifact.
+  const bool has_pattern = pattern_spec != "none";
+  std::string k;
+  k.reserve(64 + topology_spec.size() + pattern_spec.size());
+  k += "topology=";
+  k += topology_spec;
+  k += "\npattern=";
+  k += pattern_spec;
+  k += "\npattern_seed=";
+  k += has_pattern ? std::to_string(pattern_seed) : std::string("0");
+  k += "\nmulticast=";
+  k += multicast ? '1' : '0';
+  return k;
+}
+
+std::shared_ptr<const PlanArtifact> ArtifactCache::plan_locked(const PlanRequest& req,
+                                                               bool count_reuse) {
+  const std::string key = req.key();
+  if (auto it = plans_.find(key); it != plans_.end()) {
+    // Internal lookups (a flows() call resolving its plan) don't count:
+    // plans_reused tracks consumer requests, so compiled + reused equals
+    // the number of scenarios asking, not the number of map probes.
+    if (count_reuse) ++stats_.plans_reused;
+    return it->second;
+  }
+  auto artifact = std::make_shared<PlanArtifact>();
+  artifact->topology = api::make_topology(req.topology_spec);
+  if (req.pattern_spec != "none") {
+    // Materialised even for unicast-only members: the scenario fingerprint
+    // digests an attached pattern's destination sets whether or not the
+    // workload multicasts, so the shared artifact must carry exactly what
+    // a privately compiled Scenario would.
+    Rng rng(req.pattern_seed);
+    artifact->pattern = api::make_pattern(req.pattern_spec, artifact->topology->num_nodes(), rng);
+  }
+  artifact->plan = std::make_shared<const RoutePlan>(
+      *artifact->topology, req.multicast ? artifact->pattern.get() : nullptr);
+  ++stats_.plans_compiled;
+  plans_.emplace(key, artifact);
+  return artifact;
+}
+
+std::shared_ptr<const PlanArtifact> ArtifactCache::plan(const PlanRequest& req) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return plan_locked(req);
+}
+
+std::shared_ptr<const FlowGraph> ArtifactCache::flows(const PlanRequest& req, double alpha,
+                                                      int message_length) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::string key = req.key() + "\nalpha=" + json::format_number(alpha);
+  if (auto it = flows_.find(key); it != flows_.end()) {
+    ++stats_.flows_reused;
+    return it->second.flows;
+  }
+  FlowEntry entry;
+  entry.plan = plan_locked(req, /*count_reuse=*/false);
+  // The FlowGraph only reads the workload's shape — its fractions and the
+  // pattern already inside the plan; the rate is irrelevant under
+  // FlowGating::RateInvariant and message_length feeds the solver, not the
+  // structure. A nominal rate keeps Workload::validate happy.
+  Workload shape;
+  shape.message_rate = 1.0;
+  shape.multicast_fraction = alpha;
+  shape.message_length = message_length;
+  shape.pattern = entry.plan->pattern;
+  entry.flows = std::make_shared<const FlowGraph>(*entry.plan->plan, shape);
+  ++stats_.flows_compiled;
+  return flows_.emplace(key, std::move(entry)).first->second.flows;
+}
+
+ArtifactCacheStats ArtifactCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t ArtifactCache::plan_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return plans_.size();
+}
+
+std::size_t ArtifactCache::flow_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return flows_.size();
+}
+
+}  // namespace quarc::batch

@@ -1,0 +1,118 @@
+// ArtifactCache — keyed, shared compiled artifacts for scenario fleets.
+//
+// PRs 3-5 made the per-scenario fixed costs explicit: a RoutePlan is a
+// pure function of (topology spec, pattern spec, pattern seed, multicast
+// gating) and a FlowGraph of (that plan, alpha). A batch of scenarios —
+// a topology x alpha grid, say — recompiles those artifacts once per
+// member even though most members share them. This cache generalises the
+// lazy `call_once` sharing the single-Scenario path already uses into an
+// explicit keyed store: each distinct plan key compiles exactly once, each
+// distinct (plan key, alpha) flow structure compiles exactly once, and
+// every Scenario attached to the cache (Scenario::artifacts) adopts the
+// shared immutable objects instead of building private copies.
+//
+// Keys are canonical texts (the same key=value discipline the scenario
+// fingerprint uses), so two scenarios share an artifact iff the artifact's
+// inputs are identical:
+//
+//   plan:  topology=<spec> pattern=<spec> pattern_seed=<n> multicast=<0|1>
+//   flows: <plan key> + alpha=<shortest-round-trip>
+//
+// Sharing is byte-transparent by construction: a compiled artifact is a
+// deterministic function of its key's inputs, so a Scenario that adopts a
+// cached plan/flow graph produces bit-identical results to one that
+// compiled its own (pinned by the batch determinism suite). Only
+// spec-built scenarios participate; escape-hatch topologies/patterns are
+// not keyed by any spec and always compile privately.
+//
+// Lifetime: a PlanArtifact owns its Topology, pattern and RoutePlan
+// together (the plan holds a reference into the topology), and a flow
+// entry keeps its plan artifact alive, so handed-out shared_ptrs stay
+// valid after the cache — or any other consumer — is destroyed.
+//
+// Thread safety: lookup-or-compile is serialised by an internal mutex
+// (compilation happens under the lock, so a key is never compiled twice by
+// racing threads); the artifacts themselves are immutable after
+// construction and shared read-only across threads.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "quarc/model/flow_graph.hpp"
+#include "quarc/route/route_plan.hpp"
+#include "quarc/topo/topology.hpp"
+#include "quarc/traffic/pattern.hpp"
+
+namespace quarc::batch {
+
+/// Everything a plan key names, compiled together because they reference
+/// each other: the plan borrows the topology, and the pattern is the one
+/// the plan's multicast streams were built from.
+struct PlanArtifact {
+  std::shared_ptr<const Topology> topology;
+  std::shared_ptr<const MulticastPattern> pattern;  ///< null for "none"
+  std::shared_ptr<const RoutePlan> plan;
+};
+
+/// The inputs a shared RoutePlan is a pure function of.
+struct PlanRequest {
+  std::string topology_spec;  ///< registry spec, e.g. "quarc:16"
+  std::string pattern_spec;   ///< registry spec; "none" for unicast-only
+  std::uint64_t pattern_seed = 0;
+  /// Whether the plan compiles multicast streams (the workload's
+  /// alpha > 0); a unicast-only plan never materialises its pattern.
+  bool multicast = false;
+
+  /// Canonical cache key (one line per input, fingerprint-style).
+  std::string key() const;
+};
+
+struct ArtifactCacheStats {
+  std::int64_t plans_compiled = 0;
+  std::int64_t plans_reused = 0;
+  std::int64_t flows_compiled = 0;
+  std::int64_t flows_reused = 0;
+};
+
+class ArtifactCache {
+ public:
+  /// The shared plan artifact for `req`, compiling it on first request:
+  /// topology from the registry, pattern from (spec, nodes, seed) whenever
+  /// the spec isn't "none" (the fingerprint digests an attached pattern
+  /// even for unicast-only workloads), plan with multicast streams only
+  /// when `req.multicast`. Throws InvalidArgument on bad specs.
+  std::shared_ptr<const PlanArtifact> plan(const PlanRequest& req);
+
+  /// The shared rate-invariant FlowGraph for (req, alpha), compiling it —
+  /// and its plan, if needed — on first request. `message_length` only
+  /// seeds the workload handed to validation; the flow structure itself is
+  /// independent of it (the solver takes M separately).
+  std::shared_ptr<const FlowGraph> flows(const PlanRequest& req, double alpha,
+                                         int message_length);
+
+  ArtifactCacheStats stats() const;
+
+  std::size_t plan_count() const;
+  std::size_t flow_count() const;
+
+ private:
+  /// `count_reuse` is false for internal lookups so plans_reused counts
+  /// consumer requests, not map probes.
+  std::shared_ptr<const PlanArtifact> plan_locked(const PlanRequest& req, bool count_reuse = true);
+
+  struct FlowEntry {
+    std::shared_ptr<const PlanArtifact> plan;  ///< keeps the graph's plan alive
+    std::shared_ptr<const FlowGraph> flows;
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<const PlanArtifact>> plans_;
+  std::unordered_map<std::string, FlowEntry> flows_;
+  ArtifactCacheStats stats_;
+};
+
+}  // namespace quarc::batch

@@ -1,0 +1,267 @@
+#include "quarc/batch/batch_runner.hpp"
+
+#include <chrono>
+#include <mutex>
+#include <ostream>
+#include <utility>
+
+#include "quarc/model/performance_model.hpp"
+#include "quarc/sim/simulator.hpp"
+#include "quarc/sweep/sweep.hpp"
+#include "quarc/util/error.hpp"
+#include "quarc/util/json.hpp"
+#include "quarc/util/parallel.hpp"
+
+namespace quarc::batch {
+
+namespace {
+
+/// Everything one member carries through a run. The Scenario owns (or
+/// shares, via the artifact cache) the compiled structures the tasks
+/// read; it must therefore outlive the pool, which the member vector
+/// guarantees.
+struct Member {
+  api::Scenario scenario;
+  ScenarioFingerprint fp;
+  std::vector<double> rates;
+  api::ResultSet rs;        ///< header + rows, filled as points land
+  const FlowGraph* flows = nullptr;
+  Workload workload;        ///< base workload (per-point rate applied on top)
+  SweepConfig cfg;          ///< solver/sim knobs (threads/shards unused here)
+  std::size_t first_point = 0;  ///< global index of this member's row 0
+  std::size_t pending = 0;      ///< points not yet landed (for progress)
+};
+
+/// One cache-miss point: where it lands plus the task a cold
+/// Scenario::run_sweep would have built for it.
+struct GlobalTask {
+  std::size_t member = 0;
+  std::size_t row = 0;
+  SweepTask task;
+};
+
+std::string stream_line(int scenario_index, const ScenarioFingerprint& fp,
+                        const api::ResultRow& row) {
+  json::Value line = json::Value::object();
+  line.set("schema", kBatchStreamSchemaVersion);
+  line.set("scenario", scenario_index);
+  line.set("fp", fp.hex());
+  line.set("row", api::row_to_json(row));
+  return line.dump();
+}
+
+}  // namespace
+
+BatchRunner::BatchRunner(ScenarioSet set, BatchOptions options)
+    : set_(std::move(set)), options_(std::move(options)) {}
+
+std::vector<api::ResultSet> BatchRunner::run(std::ostream* stream, std::ostream* progress) {
+  const auto t0 = std::chrono::steady_clock::now();
+  stats_ = BatchStats{};
+  stats_.scenarios = static_cast<std::int64_t>(set_.size());
+  const std::shared_ptr<ArtifactCache> artifacts =
+      options_.artifacts ? options_.artifacts : std::make_shared<ArtifactCache>();
+  const ArtifactCacheStats before = artifacts->stats();
+
+  // ---- Phase 1: prepare members (serial — compilation dedup makes this
+  // cheap; the expensive part is the auto-grid saturation probe, which is
+  // itself a solver loop sharing the member's FlowGraph).
+  std::vector<Member> members;
+  members.reserve(set_.size());
+  std::vector<GlobalTask> tasks;
+  std::size_t total_points = 0;
+  for (std::size_t m = 0; m < set_.size(); ++m) {
+    const ScenarioSpec& spec = set_[m];
+    Member member;
+    member.scenario = spec.make_scenario();
+    member.scenario.artifacts(artifacts);
+    member.fp = member.scenario.fingerprint();  // validates + compiles shared artifacts
+    member.rates = spec.rates.empty() ? member.scenario.rate_grid(spec.sweep_points, spec.fill)
+                                      : spec.rates;
+    member.rs = member.scenario.empty_result_set();
+    member.rs.rows.resize(member.rates.size());
+    member.flows = &member.scenario.flow_graph();
+    member.workload = member.scenario.build_workload();
+    member.cfg.sim = member.scenario.sim_config();
+    member.cfg.model = member.scenario.model_options();
+    member.cfg.run_sim = spec.sim;
+    member.first_point = total_points;
+    total_points += member.rates.size();
+    members.push_back(std::move(member));
+  }
+  stats_.points = static_cast<std::int64_t>(total_points);
+
+  // ---- Phase 2: partition every member's grid into hits and miss tasks,
+  // exactly as run_sweep does — hits land now, misses carry the rate-keyed
+  // seed a cold run would use.
+  std::vector<std::uint8_t> landed(total_points, 0);
+  for (std::size_t m = 0; m < members.size(); ++m) {
+    Member& member = members[m];
+    member.pending = member.rates.size();
+    for (std::size_t i = 0; i < member.rates.size(); ++i) {
+      const double rate = member.rates[i];
+      if (options_.cache) {
+        if (std::optional<api::ResultRow> hit = options_.cache->lookup(member.fp, rate)) {
+          member.rs.rows[i] = std::move(*hit);
+          ++member.rs.cache_hits;
+          landed[member.first_point + i] = 1;
+          --member.pending;
+          continue;
+        }
+        ++member.rs.cache_misses;
+      }
+      tasks.push_back({m, i, {rate, sweep_point_seed(member.scenario.seed(), rate)}});
+    }
+    stats_.cache_hits += member.rs.cache_hits;
+    stats_.cache_misses += member.rs.cache_misses;
+  }
+
+  // ---- Phase 3: one pool over every miss of every member. Results land
+  // out of order; the reorder buffer flushes the stream strictly in
+  // canonical (member, grid-index) order, so its bytes never depend on
+  // scheduling. Progress lines ride the same lock.
+  std::mutex land_mutex;
+  std::size_t flushed = 0;
+  auto flush_ready = [&] {
+    while (flushed < total_points && landed[flushed]) {
+      if (stream != nullptr) {
+        // Owning member by linear scan — fleets are small relative to
+        // their points, and this runs under the land lock either way.
+        std::size_t m = 0;
+        while (m + 1 < members.size() && members[m + 1].first_point <= flushed) ++m;
+        const std::size_t i = flushed - members[m].first_point;
+        *stream << stream_line(static_cast<int>(m), members[m].fp, members[m].rs.rows[i])
+                << "\n";
+      }
+      ++flushed;
+    }
+    if (stream != nullptr) stream->flush();
+  };
+  auto member_done = [&](std::size_t m) {
+    if (progress == nullptr) return;
+    const Member& member = members[m];
+    *progress << "batch: [" << (m + 1) << "/" << members.size() << "] " << set_[m].describe()
+              << ": " << member.rates.size() << " points, hits=" << member.rs.cache_hits
+              << " misses=" << member.rs.cache_misses << "\n";
+    progress->flush();
+  };
+  {
+    const std::lock_guard<std::mutex> lock(land_mutex);
+    flush_ready();  // leading cache hits stream before any solve finishes
+    for (std::size_t m = 0; m < members.size(); ++m) {
+      if (members[m].pending == 0 && !members[m].rates.empty()) member_done(m);
+    }
+  }
+
+  parallel_for(
+      tasks.size(),
+      [&](std::size_t t) {
+        const GlobalTask& gt = tasks[t];
+        Member& member = members[gt.member];
+        RatePointResult point;
+        point.rate = gt.task.rate;
+        Workload w = member.workload;
+        w.message_rate = gt.task.rate;
+        // Per-worker workspace, fully reseeded per solve — reuse across
+        // members cannot change a byte (same contract as sweep_tasks).
+        static thread_local SolverWorkspace ws;
+        point.model = PerformanceModel(*member.flows, w, member.cfg.model).evaluate(ws);
+        if (member.cfg.run_sim) {
+          sim::SimConfig sc = member.cfg.sim;
+          sc.workload = w;
+          sc.seed = gt.task.sim_seed;
+          point.sim = sim::Simulator(member.flows->plan(), sc).run();
+          point.sim_run = true;
+        }
+        api::ResultRow row = api::ResultRow::from_point(point);
+        // Store before taking the land lock: SweepCache serialises itself,
+        // and landing must not hold two locks.
+        if (options_.cache) {
+          options_.cache->store(member.fp, row, member.workload.multicast_fraction > 0.0);
+        }
+        const std::lock_guard<std::mutex> lock(land_mutex);
+        stats_.solved_iterations += row.solver_iterations;
+        member.rs.rows[gt.row] = std::move(row);
+        landed[member.first_point + gt.row] = 1;
+        flush_ready();
+        if (--member.pending == 0) member_done(gt.member);
+      },
+      options_.threads);
+
+  // ---- Phase 4: hand back per-member documents.
+  std::vector<api::ResultSet> out;
+  out.reserve(members.size());
+  for (Member& member : members) out.push_back(std::move(member.rs));
+
+  const ArtifactCacheStats after = artifacts->stats();
+  stats_.artifacts.plans_compiled = after.plans_compiled - before.plans_compiled;
+  stats_.artifacts.plans_reused = after.plans_reused - before.plans_reused;
+  stats_.artifacts.flows_compiled = after.flows_compiled - before.flows_compiled;
+  stats_.artifacts.flows_reused = after.flows_reused - before.flows_reused;
+  stats_.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  if (progress != nullptr) {
+    *progress << "batch: " << stats_.scenarios << " scenarios, " << stats_.points
+              << " points, hits=" << stats_.cache_hits << " misses=" << stats_.cache_misses
+              << ", plans compiled=" << stats_.artifacts.plans_compiled
+              << " reused=" << stats_.artifacts.plans_reused
+              << ", flows compiled=" << stats_.artifacts.flows_compiled
+              << " reused=" << stats_.artifacts.flows_reused << ", "
+              << json::format_number(stats_.elapsed_seconds) << "s";
+    if (stats_.elapsed_seconds > 0.0 && stats_.points > 0) {
+      *progress << " ("
+                << json::format_number(static_cast<double>(stats_.points) /
+                                       stats_.elapsed_seconds)
+                << " points/s)";
+    }
+    *progress << "\n";
+    progress->flush();
+  }
+  return out;
+}
+
+void BatchRunner::dry_run(std::ostream& out) {
+  stats_ = BatchStats{};
+  stats_.scenarios = static_cast<std::int64_t>(set_.size());
+  const std::shared_ptr<ArtifactCache> artifacts =
+      options_.artifacts ? options_.artifacts : std::make_shared<ArtifactCache>();
+  const ArtifactCacheStats before = artifacts->stats();
+
+  for (std::size_t m = 0; m < set_.size(); ++m) {
+    const ScenarioSpec& spec = set_[m];
+    api::Scenario scenario = spec.make_scenario();
+    scenario.artifacts(artifacts);
+    const ScenarioFingerprint fp = scenario.fingerprint();
+    stats_.points += spec.point_count();
+
+    json::Value line = json::Value::object();
+    line.set("schema", kBatchStreamSchemaVersion);
+    line.set("scenario", static_cast<int>(m));
+    line.set("label", spec.describe());
+    line.set("fp", fp.hex());
+    line.set("topology", spec.topology);
+    line.set("pattern", spec.alpha > 0.0 ? spec.pattern : std::string("none"));
+    line.set("alpha", spec.alpha);
+    line.set("msg", spec.msg);
+    line.set("seed", spec.seed);
+    line.set("points", spec.point_count());
+    out << line.dump() << "\n";
+  }
+
+  const ArtifactCacheStats after = artifacts->stats();
+  stats_.artifacts.plans_compiled = after.plans_compiled - before.plans_compiled;
+  stats_.artifacts.plans_reused = after.plans_reused - before.plans_reused;
+  stats_.artifacts.flows_compiled = after.flows_compiled - before.flows_compiled;
+  stats_.artifacts.flows_reused = after.flows_reused - before.flows_reused;
+
+  json::Value report = json::Value::object();
+  report.set("schema", kBatchStreamSchemaVersion);
+  report.set("scenarios", static_cast<std::int64_t>(set_.size()));
+  report.set("points", stats_.points);
+  report.set("route_plans", stats_.artifacts.plans_compiled);
+  report.set("flow_graphs", stats_.artifacts.flows_compiled);
+  out << report.dump() << "\n";
+  out.flush();
+}
+
+}  // namespace quarc::batch

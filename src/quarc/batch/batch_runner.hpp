@@ -1,0 +1,106 @@
+// BatchRunner — every (scenario, rate) point of a fleet on one pool.
+//
+// A ScenarioSet names N scenarios; running them one Scenario::run_sweep at
+// a time pays N pool fork-joins and leaves workers idle at every member
+// boundary. The runner instead:
+//
+//   1. prepares each member once (validate via a shared ArtifactCache, so
+//      plans/flow graphs compile once per distinct key across the fleet;
+//      fingerprint; rate grid; SweepCache lookups),
+//   2. flattens every cache-miss point of every member into ONE task list
+//      and solves it with a single parallel_for — the same dynamic
+//      index-stealing pool sweep_tasks uses, now saturated across member
+//      boundaries,
+//   3. streams one compact JSON line per point the moment it completes —
+//      through an in-order reorder buffer, so the stream is emitted in
+//      canonical (member, grid-index) order and its bytes are identical
+//      across thread counts and warm/cold caches,
+//   4. assembles one ResultSet per member, byte-identical to what that
+//      member's own run_sweep would have produced (each point is a pure
+//      function of (fingerprint, rate) — the same invariant that makes
+//      the sweep cache sound makes fleet scheduling free).
+//
+// Progress (per-scenario completion lines and an aggregate summary with
+// artifact-dedup and throughput counters) goes to a separate stream —
+// stderr in the CLI — so the result stream stays machine-readable.
+//
+// Determinism: solver workspaces are per-worker-thread and fully reseeded
+// per solve; per-point sim seeds are sweep_point_seed(member seed, rate).
+// Nothing about scheduling order can change a byte of any row (the batch
+// determinism suite pins batch-vs-individual, thread counts and
+// warm/cold byte identity).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "quarc/api/result_set.hpp"
+#include "quarc/batch/artifact_cache.hpp"
+#include "quarc/batch/scenario_set.hpp"
+#include "quarc/sweep/sweep_cache.hpp"
+
+namespace quarc::batch {
+
+inline constexpr int kBatchStreamSchemaVersion = 1;
+
+struct BatchOptions {
+  /// parallel_for workers for the one shared pool (<=0: default).
+  int threads = -1;
+  /// Shared result store consulted before solving and fed after (may be
+  /// null: everything solves).
+  std::shared_ptr<SweepCache> cache;
+  /// Shared compiled-artifact cache; created internally when null. Pass
+  /// one in to share plans/flow graphs across BatchRunner instances (the
+  /// serve loop does).
+  std::shared_ptr<ArtifactCache> artifacts;
+};
+
+/// Aggregate counters for one run(); truthful across every path — cache
+/// hits and misses are summed over members exactly as merge_result_sets
+/// sums them over shards.
+struct BatchStats {
+  std::int64_t scenarios = 0;
+  std::int64_t points = 0;
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;
+  /// Fixed-point iterations spent on newly solved points only (served
+  /// rows carry their original solve's count but cost this run nothing) —
+  /// the serve loop's "a repeated request does zero solver work" counter.
+  std::int64_t solved_iterations = 0;
+  ArtifactCacheStats artifacts;
+  double elapsed_seconds = 0.0;
+};
+
+class BatchRunner {
+ public:
+  explicit BatchRunner(ScenarioSet set, BatchOptions options = {});
+
+  /// Runs the whole fleet. `stream` (may be null) receives one compact
+  /// JSON line per completed point in canonical order:
+  ///   {"schema":1,"scenario":<i>,"fp":"<hex>","row":{...}}
+  /// `progress` (may be null) receives per-scenario completion lines and
+  /// the aggregate summary. Returns one ResultSet per member, in member
+  /// order, byte-identical to the members' individual run_sweep documents.
+  std::vector<api::ResultSet> run(std::ostream* stream, std::ostream* progress);
+
+  /// Expands and validates the fleet WITHOUT solving anything: emits one
+  /// JSON line per member —
+  ///   {"schema":1,"scenario":<i>,"label":...,"fp":"<hex>","points":N}
+  /// then the artifact-dedup report —
+  ///   {"schema":1,"scenarios":N,"route_plans":M,"flow_graphs":K}
+  /// Auto-sweep members report their configured point count (the grid
+  /// itself would need saturation solves).
+  void dry_run(std::ostream& out);
+
+  /// Counters for the last run()/dry_run() (zeroed before each).
+  const BatchStats& stats() const { return stats_; }
+
+ private:
+  ScenarioSet set_;
+  BatchOptions options_;
+  BatchStats stats_;
+};
+
+}  // namespace quarc::batch

@@ -1,0 +1,206 @@
+#include "quarc/batch/scenario_set.hpp"
+
+#include <istream>
+#include <sstream>
+#include <utility>
+
+#include "quarc/util/error.hpp"
+#include "quarc/util/json.hpp"
+
+namespace quarc::batch {
+
+namespace {
+
+/// The scalar keys a spec line may carry (also the grid axes, for the
+/// first five). Kept in one place so the unknown-key check and the axis
+/// whitelist can't drift apart.
+constexpr std::string_view kAxisKeys[] = {"topology", "pattern", "alpha", "msg", "seed"};
+
+bool is_axis(std::string_view key) {
+  for (const std::string_view k : kAxisKeys) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+/// Applies one scalar key to the spec; false when the key is unknown.
+bool apply_key(ScenarioSpec& spec, const std::string& key, const json::Value& v) {
+  if (key == "topology") {
+    spec.topology = v.as_string();
+  } else if (key == "pattern") {
+    spec.pattern = v.as_string();
+  } else if (key == "alpha") {
+    spec.alpha = v.as_double();
+  } else if (key == "msg") {
+    spec.msg = static_cast<int>(v.as_int());
+  } else if (key == "seed") {
+    spec.seed = v.as_uint();
+  } else if (key == "pattern_seed") {
+    spec.pattern_seed = v.as_uint();
+    spec.pattern_seed_set = true;
+  } else if (key == "rates") {
+    spec.rates.clear();
+    for (const json::Value& r : v.as_array()) {
+      const double rate = r.as_double();
+      QUARC_REQUIRE(rate > 0.0, "scenario spec: rates must be positive");
+      spec.rates.push_back(rate);
+    }
+    QUARC_REQUIRE(!spec.rates.empty(), "scenario spec: rates must not be empty");
+  } else if (key == "sweep") {
+    spec.sweep_points = static_cast<int>(v.as_int());
+    QUARC_REQUIRE(spec.sweep_points >= 1, "scenario spec: sweep must be >= 1");
+  } else if (key == "fill") {
+    spec.fill = v.as_double();
+    QUARC_REQUIRE(spec.fill > 0.0 && spec.fill <= 1.0, "scenario spec: fill must be in (0,1]");
+  } else if (key == "sim") {
+    spec.sim = v.as_bool();
+  } else if (key == "warmup") {
+    spec.warmup = v.as_int();
+  } else if (key == "measure") {
+    spec.measure = v.as_int();
+  } else if (key == "solver_iteration") {
+    spec.solver_iteration = v.as_string();
+    QUARC_REQUIRE(spec.solver_iteration == "anderson" || spec.solver_iteration == "gauss-seidel",
+                  "scenario spec: solver_iteration must be anderson or gauss-seidel");
+  } else if (key == "assembly") {
+    spec.assembly = v.as_string();
+    QUARC_REQUIRE(spec.assembly == "stencil" || spec.assembly == "direct",
+                  "scenario spec: assembly must be stencil or direct");
+  } else if (key == "label") {
+    spec.label = v.as_string();
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// One parsed line -> one or (for grid lines) many members, appended in
+/// deterministic cross-product order.
+void expand_line(const json::Value& doc, ScenarioSet& out) {
+  QUARC_REQUIRE(doc.is_object(), "scenario spec: each line must be a JSON object");
+
+  ScenarioSpec base;
+  bool has_topology = false;
+  const json::Value* grid = nullptr;
+  for (const auto& [key, value] : doc.as_object()) {
+    if (key == "grid") {
+      QUARC_REQUIRE(value.is_object(), "scenario spec: grid must be an object of axis arrays");
+      grid = &value;
+      continue;
+    }
+    QUARC_REQUIRE(apply_key(base, key, value), "scenario spec: unknown key '" + key + "'");
+    if (key == "topology") has_topology = true;
+  }
+
+  if (grid == nullptr) {
+    QUARC_REQUIRE(has_topology, "scenario spec: topology is required");
+    out.add(std::move(base));
+    return;
+  }
+
+  // Collect the axes; reject anything that isn't one, anything that is
+  // also a top-level scalar, and empty arrays.
+  std::vector<std::pair<std::string_view, const std::vector<json::Value>*>> axes;
+  for (const std::string_view axis : kAxisKeys) {
+    const json::Value* values = grid->find(axis);
+    if (values == nullptr) continue;
+    QUARC_REQUIRE(doc.find(axis) == nullptr,
+                  "scenario spec: axis '" + std::string(axis) +
+                      "' given both at top level and inside grid");
+    QUARC_REQUIRE(values->is_array() && !values->as_array().empty(),
+                  "scenario spec: grid axis '" + std::string(axis) +
+                      "' must be a non-empty array");
+    axes.emplace_back(axis, &values->as_array());
+  }
+  for (const auto& [key, value] : grid->as_object()) {
+    (void)value;
+    QUARC_REQUIRE(is_axis(key), "scenario spec: unknown grid axis '" + key + "'");
+  }
+  QUARC_REQUIRE(has_topology || grid->find("topology") != nullptr,
+                "scenario spec: topology is required (top level or a grid axis)");
+
+  // Row-major nested expansion over the fixed kAxisKeys order: the last
+  // collected axis varies fastest. Iterative odometer over axis indices.
+  std::vector<std::size_t> index(axes.size(), 0);
+  while (true) {
+    ScenarioSpec member = base;
+    for (std::size_t a = 0; a < axes.size(); ++a) {
+      apply_key(member, std::string(axes[a].first), (*axes[a].second)[index[a]]);
+    }
+    out.add(std::move(member));
+    std::size_t a = axes.size();
+    while (a > 0) {
+      --a;
+      if (++index[a] < axes[a].second->size()) break;
+      index[a] = 0;
+      if (a == 0) return;
+    }
+    if (axes.empty()) return;
+  }
+}
+
+}  // namespace
+
+int ScenarioSpec::point_count() const {
+  return rates.empty() ? sweep_points : static_cast<int>(rates.size());
+}
+
+api::Scenario ScenarioSpec::make_scenario() const {
+  api::Scenario s;
+  // Unicast-only members never materialise a pattern (same normalisation
+  // the CLI applies), so grid members differing only in alpha=0 share one
+  // artifact and one fingerprint family.
+  s.topology(topology)
+      .pattern(alpha > 0.0 ? pattern : "none")
+      .alpha(alpha)
+      .message_length(msg)
+      .seed(seed)
+      .warmup(warmup)
+      .measure(measure)
+      .with_sim(sim);
+  if (pattern_seed_set) s.pattern_seed(pattern_seed);
+  s.model_options().solver.iteration = solver_iteration == "gauss-seidel"
+                                           ? SolverIteration::GaussSeidel
+                                           : SolverIteration::Anderson;
+  s.model_options().assembly =
+      assembly == "direct" ? LatencyAssembly::DirectWalk : LatencyAssembly::Stencil;
+  return s;
+}
+
+std::string ScenarioSpec::describe() const {
+  if (!label.empty()) return label;
+  std::ostringstream os;
+  os << topology << " " << pattern << " alpha=" << json::format_number(alpha) << " msg=" << msg
+     << " seed=" << seed;
+  return os.str();
+}
+
+void ScenarioSet::add(ScenarioSpec spec) {
+  QUARC_REQUIRE(!spec.topology.empty(), "scenario spec: topology is required");
+  members_.push_back(std::move(spec));
+}
+
+ScenarioSet ScenarioSet::parse(std::istream& in) {
+  ScenarioSet set;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Skip blanks and '#' comments so spec files can be annotated.
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    try {
+      expand_line(json::Value::parse(line), set);
+    } catch (const InvalidArgument& e) {
+      throw InvalidArgument("scenario spec line " + std::to_string(line_no) + ": " + e.what());
+    }
+  }
+  return set;
+}
+
+ScenarioSet ScenarioSet::parse_text(std::string_view text) {
+  std::istringstream is{std::string(text)};
+  return parse(is);
+}
+
+}  // namespace quarc::batch

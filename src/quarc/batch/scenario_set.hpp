@@ -1,0 +1,101 @@
+// ScenarioSet — a parsed fleet of scenarios: explicit members plus
+// `grid:` cross-product expansion, from a JSONL spec stream.
+//
+// One line per entry, each a JSON object. Two kinds of line:
+//
+//   {"topology":"quarc:16","pattern":"random:3","alpha":0.05,
+//    "rates":[0.002,0.004],"sim":true,"seed":42}
+//
+// names one scenario, and
+//
+//   {"grid":{"topology":["quarc:16","mesh:4x4"],"alpha":[0.05,0.1]},
+//    "pattern":"random:3","sweep":4}
+//
+// expands the cross-product of its axes (members of the "grid" object),
+// every other key acting as the shared default. Axes may be any of
+// topology / pattern / alpha / msg / seed; expansion order is fixed —
+// topology outermost, then pattern, alpha, msg, seed innermost — so the
+// member list (and with it every member index in streamed batch output)
+// is deterministic whatever order the JSON object spelled its keys in.
+//
+// Recognised keys (all optional except topology):
+//   topology   registry spec, e.g. "quarc:16"             [required]
+//   pattern    registry spec; "none" for unicast-only     ["none"]
+//   alpha      multicast fraction                         [0]
+//   msg        message length in flits                    [32]
+//   seed       run seed                                   [1]
+//   pattern_seed  pattern construction seed               [defaults to seed]
+//   rates      explicit rate grid (array of numbers)
+//   sweep      auto-grid point count (ignored when rates given)  [4]
+//   fill       auto-grid endpoint as a fraction of saturation    [0.85]
+//   sim        also run the flit-level simulator per point  [false]
+//   warmup / measure   simulator windows                  [5000 / 40000]
+//   solver_iteration   "anderson" | "gauss-seidel"        ["anderson"]
+//   assembly           "stencil" | "direct"               ["stencil"]
+//   label      display name for progress output           [auto]
+//
+// Unknown keys are errors (a typo must not silently drop a knob), as are
+// axis keys listed both at top level and inside "grid". Blank lines and
+// lines starting with '#' are skipped, so spec files can be commented.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "quarc/api/scenario.hpp"
+
+namespace quarc::batch {
+
+/// One fleet member, still in spec form (nothing compiled yet).
+struct ScenarioSpec {
+  std::string topology;
+  std::string pattern = "none";
+  double alpha = 0.0;
+  int msg = 32;
+  std::uint64_t seed = 1;
+  bool pattern_seed_set = false;
+  std::uint64_t pattern_seed = 0;
+  std::vector<double> rates;  ///< explicit grid; empty -> auto sweep
+  int sweep_points = 4;
+  double fill = 0.85;
+  bool sim = false;
+  std::int64_t warmup = 5000;
+  std::int64_t measure = 40000;
+  std::string solver_iteration = "anderson";
+  std::string assembly = "stencil";
+  std::string label;
+
+  /// Grid points this member evaluates (known without solving: explicit
+  /// rates count, or the configured sweep point count).
+  int point_count() const;
+
+  /// Assembles the api::Scenario this spec denotes (nothing validated or
+  /// compiled yet — attach caches first).
+  api::Scenario make_scenario() const;
+
+  /// Short display form, e.g. "quarc:16 random:3 alpha=0.05 msg=32 seed=42".
+  std::string describe() const;
+};
+
+class ScenarioSet {
+ public:
+  /// Parses a JSONL spec stream; throws InvalidArgument naming the line
+  /// on any malformed entry. Grid lines expand in place, in order.
+  static ScenarioSet parse(std::istream& in);
+  static ScenarioSet parse_text(std::string_view text);
+
+  void add(ScenarioSpec spec);
+
+  std::size_t size() const { return members_.size(); }
+  bool empty() const { return members_.empty(); }
+  const std::vector<ScenarioSpec>& members() const { return members_; }
+  const ScenarioSpec& operator[](std::size_t i) const { return members_[i]; }
+
+ private:
+  std::vector<ScenarioSpec> members_;
+};
+
+}  // namespace quarc::batch

@@ -1,0 +1,161 @@
+#include "quarc/batch/serve.hpp"
+
+#include <exception>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "quarc/batch/batch_runner.hpp"
+#include "quarc/batch/scenario_set.hpp"
+#include "quarc/util/error.hpp"
+#include "quarc/util/json.hpp"
+
+namespace quarc::batch {
+
+namespace {
+
+/// Request keys that are serve-layer, not scenario-spec: stripped before
+/// the remainder re-parses as a one-member ScenarioSet line.
+bool is_serve_key(const std::string& key) {
+  return key == "id" || key == "rate" || key == "cmd";
+}
+
+json::Value stats_response(const SweepCache& cache, const ArtifactCache& artifacts) {
+  const SweepCacheStats cs = cache.stats();
+  const ArtifactCacheStats as = artifacts.stats();
+  json::Value r = json::Value::object();
+  r.set("schema", kServeSchemaVersion);
+  r.set("cmd", "stats");
+  r.set("store_rows", static_cast<std::int64_t>(cache.size()));
+  r.set("store_hits", cs.hits);
+  r.set("store_misses", cs.misses);
+  r.set("store_stores", cs.stores);
+  r.set("store_loaded", cs.loaded_entries);
+  r.set("store_corrupt", cs.corrupt_entries);
+  r.set("store_evicted_rows", cs.evicted_rows);
+  r.set("plans_compiled", as.plans_compiled);
+  r.set("plans_reused", as.plans_reused);
+  r.set("flows_compiled", as.flows_compiled);
+  r.set("flows_reused", as.flows_reused);
+  return r;
+}
+
+}  // namespace
+
+int serve(std::istream& in, std::ostream& out, std::ostream& err, const ServeOptions& options) {
+  const std::shared_ptr<SweepCache> cache =
+      options.cache ? options.cache
+                    : (options.cache_dir.empty() ? std::make_shared<SweepCache>()
+                                                 : std::make_shared<SweepCache>(options.cache_dir));
+  if (options.memory_limit_rows > 0) cache->set_memory_limit_rows(options.memory_limit_rows);
+  const std::shared_ptr<ArtifactCache> artifacts =
+      options.artifacts ? options.artifacts : std::make_shared<ArtifactCache>();
+
+  err << "serve: ready (store="
+      << (cache->dir().empty() ? std::string("memory") : cache->dir());
+  if (options.memory_limit_rows > 0) err << ", memory-limit=" << options.memory_limit_rows;
+  err << ")\n";
+  err.flush();
+
+  std::string line;
+  std::int64_t request_no = 0;
+  while (std::getline(in, line)) {
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    ++request_no;
+
+    json::Value response = json::Value::object();
+    response.set("schema", kServeSchemaVersion);
+    const json::Value* id = nullptr;
+    json::Value request;
+    try {
+      request = json::Value::parse(line);
+      QUARC_REQUIRE(request.is_object(), "request must be a JSON object");
+      if ((id = request.find("id")) != nullptr) response.set("id", *id);
+
+      if (const json::Value* cmd = request.find("cmd")) {
+        const std::string& name = cmd->as_string();
+        if (name == "shutdown") {
+          response.set("cmd", "shutdown");
+          out << response.dump() << "\n";
+          out.flush();
+          err << "serve: shutdown after " << request_no << " requests\n";
+          return 0;
+        }
+        if (name == "stats") {
+          json::Value stats = stats_response(*cache, *artifacts);
+          if (id != nullptr) stats.set("id", *id);
+          out << stats.dump() << "\n";
+          out.flush();
+          continue;
+        }
+        throw InvalidArgument("unknown cmd '" + name + "'");
+      }
+
+      // Rebuild the scenario-spec half of the request: strip serve-layer
+      // keys, fold a scalar "rate" into "rates", reuse the ScenarioSet
+      // line parser so request and batch-file syntax can never diverge.
+      json::Value spec_doc = json::Value::object();
+      for (const auto& [key, value] : request.as_object()) {
+        if (!is_serve_key(key)) spec_doc.set(key, value);
+      }
+      if (const json::Value* rate = request.find("rate")) {
+        QUARC_REQUIRE(request.find("rates") == nullptr,
+                      "request carries both rate and rates");
+        json::Value rates = json::Value::array();
+        rates.push_back(*rate);
+        spec_doc.set("rates", std::move(rates));
+      }
+      ScenarioSet one;
+      {
+        std::istringstream spec_line(spec_doc.dump());
+        one = ScenarioSet::parse(spec_line);
+      }
+      QUARC_REQUIRE(one.size() == 1, "request must name exactly one scenario");
+
+      // Fingerprint through the shared artifact cache: the compile work
+      // (if any) is exactly what the runner below would do anyway.
+      api::Scenario keyed = one[0].make_scenario();
+      keyed.artifacts(artifacts);
+      const ScenarioFingerprint fp = keyed.fingerprint();
+
+      BatchOptions bo;
+      bo.threads = options.threads;
+      bo.cache = cache;
+      bo.artifacts = artifacts;
+      BatchRunner runner(std::move(one), bo);
+      std::vector<api::ResultSet> results = runner.run(nullptr, nullptr);
+      const api::ResultSet& rs = results.front();
+
+      json::Value rows = json::Value::array();
+      for (const api::ResultRow& row : rs.rows) rows.push_back(api::row_to_json(row));
+      response.set("fp", fp.hex());
+      response.set("rows", std::move(rows));
+      response.set("served", rs.cache_hits);
+      response.set("solved", rs.cache_misses);
+      response.set("iterations", runner.stats().solved_iterations);
+      out << response.dump() << "\n";
+      out.flush();
+      err << "serve: #" << request_no << " " << rs.topology << " " << rs.pattern
+          << " alpha=" << json::format_number(rs.alpha) << ": " << rs.rows.size()
+          << " rows, served=" << rs.cache_hits << " solved=" << rs.cache_misses
+          << " iterations=" << runner.stats().solved_iterations << "\n";
+      err.flush();
+    } catch (const std::exception& e) {
+      json::Value error = json::Value::object();
+      error.set("schema", kServeSchemaVersion);
+      if (id != nullptr) error.set("id", *id);
+      error.set("error", std::string(e.what()));
+      out << error.dump() << "\n";
+      out.flush();
+      err << "serve: #" << request_no << " error: " << e.what() << "\n";
+      err.flush();
+    }
+  }
+  err << "serve: eof after " << request_no << " requests\n";
+  return 0;
+}
+
+}  // namespace quarc::batch

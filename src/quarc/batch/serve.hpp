@@ -1,0 +1,64 @@
+// `quarcnoc serve` — a long-lived scenario service over stdin/stdout.
+//
+// The batch engine drains a fleet and exits; serve keeps the process —
+// and its warm caches — alive. One JSON request per input line, one JSON
+// response line per request, in order:
+//
+//   request   {"topology":"quarc:16","pattern":"random:3","alpha":0.05,
+//              "rates":[0.002,0.004],"sim":true,"id":7}
+//   response  {"schema":1,"id":7,"fp":"<hex>","rows":[{...},{...}],
+//              "served":1,"solved":1,"iterations":42}
+//
+// A request carries the same keys as a ScenarioSet member (scenario_set.hpp)
+// plus "rate" (single) or "rates" (grid) — or "sweep"/"fill" for an
+// auto grid — and an optional "id" echoed verbatim into the response.
+// Hits in the shared (fingerprint, rate) store are answered without a
+// solve ("served", zero added "iterations"); misses are solved on the
+// pool and stored, so the next identical request is pure lookup. Control
+// lines: {"cmd":"stats"} reports store/artifact counters without solving;
+// {"cmd":"shutdown"} ends the loop (EOF does too).
+//
+// Malformed lines get {"schema":1,"error":"..."} (with the id when one
+// parsed) and the loop keeps serving — one bad client request must not
+// take the service down.
+//
+// Storage: the result store is a SweepCache — disk-backed when cache_dir
+// is set, with flock-guarded appends so concurrent serve/batch processes
+// can share one directory — and its in-memory tier can be size-bounded
+// (memory_limit_rows) with LRU eviction; evicted rows reload from disk on
+// demand. Compiled artifacts (plans/flow graphs) are shared across
+// requests via one ArtifactCache for the life of the process.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "quarc/batch/artifact_cache.hpp"
+#include "quarc/sweep/sweep_cache.hpp"
+
+namespace quarc::batch {
+
+inline constexpr int kServeSchemaVersion = 1;
+
+struct ServeOptions {
+  /// parallel_for workers for miss solves (<=0: default).
+  int threads = -1;
+  /// Disk-backed store directory; empty keeps the store in memory only.
+  /// Ignored when `cache` is provided.
+  std::string cache_dir;
+  /// In-memory row bound for the store (0: unbounded); evictions are LRU
+  /// by fingerprint and reload from disk on demand.
+  std::size_t memory_limit_rows = 0;
+  /// Pre-built store/artifact caches (tests, embedding); built from the
+  /// fields above when null.
+  std::shared_ptr<SweepCache> cache;
+  std::shared_ptr<ArtifactCache> artifacts;
+};
+
+/// Runs the serve loop until EOF or {"cmd":"shutdown"}; responses to
+/// `out`, per-request log lines to `err`. Returns a process exit code.
+int serve(std::istream& in, std::ostream& out, std::ostream& err, const ServeOptions& options);
+
+}  // namespace quarc::batch

@@ -2,11 +2,16 @@
 
 #include <charconv>
 #include <cmath>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <vector>
 
 #include "quarc/api/registry.hpp"
+#include "quarc/batch/batch_runner.hpp"
+#include "quarc/batch/scenario_set.hpp"
+#include "quarc/batch/serve.hpp"
 #include "quarc/util/error.hpp"
 #include "quarc/util/table.hpp"
 
@@ -40,7 +45,23 @@ std::string usage() {
   return R"(quarcnoc — analytical model & flit-level simulator for wormhole NoC multicast
 (reproduction of Moadeli & Vanderbauwhede, IPDPS 2009)
 
-usage: quarcnoc [options]
+usage: quarcnoc [options]             evaluate one scenario
+       quarcnoc batch [options]       run a scenario fleet from a spec file
+       quarcnoc serve [options]       answer JSON requests over stdin
+
+fleet mode (batch/serve):
+  --file F           batch spec file, JSONL with grid: expansion
+                     (- reads stdin)                          [default -]
+  --dry-run          batch: print the expanded fleet with per-member
+                     fingerprints and the artifact-dedup report, solve
+                     nothing
+  --threads N        worker threads for the shared solve pool (also caps
+                     the single-scenario sweep)     [default QUARC_THREADS]
+  --memory-limit N   serve: bound the in-memory result store to N rows
+                     (LRU eviction; evicted rows reload from --cache-dir
+                     on demand)                       [default 0 = unbounded]
+  --cache-dir D      shared (fingerprint, rate) result store, safe for
+                     concurrent batch/serve processes
 
 topology (registry spec, e.g. --topology mesh:8x8):
 )" + api::describe_topologies() +
@@ -87,7 +108,12 @@ evaluation:
 
 Options parse(std::span<const std::string> args) {
   Options opts;
-  for (std::size_t i = 0; i < args.size(); ++i) {
+  std::size_t start = 0;
+  if (!args.empty() && (args[0] == "batch" || args[0] == "serve")) {
+    opts.command = args[0];
+    start = 1;
+  }
+  for (std::size_t i = start; i < args.size(); ++i) {
     const std::string& arg = args[i];
     auto next = [&](const char* what) -> const std::string& {
       QUARC_REQUIRE(i + 1 < args.size(), std::string(what) + " requires a value");
@@ -154,6 +180,22 @@ Options parse(std::span<const std::string> args) {
       opts.csv = true;
     } else if (arg == "--json") {
       opts.json = true;
+    } else if (arg == "--file") {
+      QUARC_REQUIRE(opts.command == "batch", "--file only applies to the batch subcommand");
+      opts.batch_file = next("--file");
+      QUARC_REQUIRE(!opts.batch_file.empty(), "--file requires a non-empty path");
+    } else if (arg == "--dry-run") {
+      QUARC_REQUIRE(opts.command == "batch", "--dry-run only applies to the batch subcommand");
+      opts.dry_run = true;
+    } else if (arg == "--threads") {
+      opts.threads = static_cast<int>(parse_int(arg, next("--threads")));
+      QUARC_REQUIRE(opts.threads >= 1, "--threads must be >= 1");
+    } else if (arg == "--memory-limit") {
+      QUARC_REQUIRE(opts.command == "serve",
+                    "--memory-limit only applies to the serve subcommand");
+      const long long limit = parse_int(arg, next("--memory-limit"));
+      QUARC_REQUIRE(limit >= 0, "--memory-limit must be >= 0");
+      opts.memory_limit = static_cast<std::size_t>(limit);
     } else {
       throw InvalidArgument("unknown option '" + arg + "' (try --help)");
     }
@@ -198,6 +240,7 @@ api::Scenario make_scenario(const Options& opts) {
   scenario.model_options().assembly =
       opts.assembly == "direct" ? LatencyAssembly::DirectWalk : LatencyAssembly::Stencil;
   if (!opts.cache_dir.empty()) scenario.cache_dir(opts.cache_dir);
+  if (opts.threads > 0) scenario.threads(opts.threads);
   return scenario;
 }
 
@@ -229,14 +272,58 @@ void print_table(const api::ResultSet& rs, std::ostream& out) {
   table.print(out);
 }
 
+/// `quarcnoc batch`: expand the fleet spec, then either report it
+/// (--dry-run) or drain every point on one pool, streaming JSONL to `out`
+/// and progress to `err`.
+int run_batch(const Options& opts, std::istream& in, std::ostream& out, std::ostream& err) {
+  batch::ScenarioSet set;
+  if (opts.batch_file == "-") {
+    set = batch::ScenarioSet::parse(in);
+  } else {
+    std::ifstream file(opts.batch_file);
+    QUARC_REQUIRE(file.is_open(), "batch: cannot open spec file '" + opts.batch_file + "'");
+    set = batch::ScenarioSet::parse(file);
+  }
+  QUARC_REQUIRE(!set.empty(), "batch: the spec expands to zero scenarios");
+  batch::BatchOptions bo;
+  bo.threads = opts.threads;
+  if (!opts.cache_dir.empty()) bo.cache = std::make_shared<SweepCache>(opts.cache_dir);
+  batch::BatchRunner runner(std::move(set), bo);
+  if (opts.dry_run) {
+    runner.dry_run(out);
+    return 0;
+  }
+  runner.run(&out, &err);
+  if (!opts.cache_dir.empty()) {
+    // Same machine-checkable shape as the single-scenario line (CI greps
+    // it), aggregated over the fleet.
+    const batch::BatchStats& s = runner.stats();
+    err << "sweep-cache: hits=" << s.cache_hits << " misses=" << s.cache_misses << " ("
+        << s.points << " points, dir=" << opts.cache_dir << ")\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
-int run(const Options& opts, std::ostream& out) { return run(opts, out, std::cerr); }
+int run(const Options& opts, std::ostream& out) { return run(opts, std::cin, out, std::cerr); }
 
 int run(const Options& opts, std::ostream& out, std::ostream& err) {
+  return run(opts, std::cin, out, err);
+}
+
+int run(const Options& opts, std::istream& in, std::ostream& out, std::ostream& err) {
   if (opts.help) {
     out << usage();
     return 0;
+  }
+  if (opts.command == "batch") return run_batch(opts, in, out, err);
+  if (opts.command == "serve") {
+    batch::ServeOptions so;
+    so.threads = opts.threads;
+    so.cache_dir = opts.cache_dir;
+    so.memory_limit_rows = opts.memory_limit;
+    return batch::serve(in, out, err, so);
   }
   api::Scenario scenario = make_scenario(opts);
 

@@ -18,6 +18,20 @@
 namespace quarc::cli {
 
 struct Options {
+  /// Subcommand: "" evaluates the single scenario below; "batch" runs a
+  /// scenario fleet from a spec file (batch/scenario_set.hpp); "serve"
+  /// answers JSON requests over stdin from a shared result store
+  /// (batch/serve.hpp).
+  std::string command;
+  /// Batch spec source ("-": read the input stream).
+  std::string batch_file = "-";
+  /// Batch: expand, fingerprint and report artifact dedup without solving.
+  bool dry_run = false;
+  /// Worker threads for batch/serve pools and the single-scenario sweep
+  /// (<=0: QUARC_THREADS or hardware default).
+  int threads = -1;
+  /// Serve: in-memory row bound for the result store (0: unbounded).
+  std::size_t memory_limit = 0;
   /// Topology registry spec. A bare name ("mesh") is completed from the
   /// dimension flags below; a full spec ("mesh:8x8") wins over them.
   std::string topology = "quarc";
@@ -76,10 +90,12 @@ std::unique_ptr<Topology> make_topology(const Options& opts);
 api::Scenario make_scenario(const Options& opts);
 
 /// Runs the tool end to end; returns a process exit code. Results go to
-/// `out` (aligned table, or ResultSet CSV/JSON per options); diagnostics
-/// that must not pollute machine-readable output — the sweep-cache
-/// hit/miss line — go to `err`.
-int run(const Options& opts, std::ostream& out, std::ostream& err);
-int run(const Options& opts, std::ostream& out);  ///< err -> std::cerr
+/// `out` (aligned table, or ResultSet CSV/JSON per options; JSONL streams
+/// for batch/serve); diagnostics that must not pollute machine-readable
+/// output — sweep-cache hit/miss, batch progress, serve logs — go to
+/// `err`. `in` feeds `batch --file -` and the serve request loop.
+int run(const Options& opts, std::istream& in, std::ostream& out, std::ostream& err);
+int run(const Options& opts, std::ostream& out, std::ostream& err);  ///< in -> std::cin
+int run(const Options& opts, std::ostream& out);  ///< in/err -> std::cin/std::cerr
 
 }  // namespace quarc::cli

@@ -1,5 +1,11 @@
 #include "quarc/sweep/sweep_cache.hpp"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
 #include <filesystem>
 #include <sstream>
 #include <utility>
@@ -14,6 +20,42 @@ namespace {
 /// round-trip text the serialisers use, so every representation of a rate
 /// maps to exactly one entry.
 std::string rate_key(double rate) { return json::format_number(rate); }
+
+/// Appends `line` (terminator included) to `path` as one record, safe
+/// against concurrent appenders in other processes: O_APPEND positions the
+/// write at the live end of file, and the exclusive flock spans the whole
+/// record so even a partial first write() can never interleave with
+/// another process's record — the retry loop finishes the line before the
+/// lock drops at close.
+void append_record(const std::string& path, const std::string& line) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+  QUARC_REQUIRE(fd >= 0, "SweepCache: cannot open '" + path + "' for append: " +
+                             std::strerror(errno));
+  int rc = 0;
+  do {
+    rc = ::flock(fd, LOCK_EX);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    const int saved = errno;
+    ::close(fd);
+    throw InvalidArgument("SweepCache: cannot lock '" + path + "': " + std::strerror(saved));
+  }
+  const char* data = line.data();
+  std::size_t remaining = line.size();
+  while (remaining > 0) {
+    const ::ssize_t n = ::write(fd, data, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int saved = errno;
+      ::close(fd);
+      throw InvalidArgument("SweepCache: write to '" + path + "' failed: " +
+                            std::strerror(saved));
+    }
+    data += n;
+    remaining -= static_cast<std::size_t>(n);
+  }
+  ::close(fd);  // releases the flock
+}
 
 }  // namespace
 
@@ -59,6 +101,7 @@ void SweepCache::load_from_disk(const ScenarioFingerprint& fp, Shard& shard) {
 
 SweepCache::Shard& SweepCache::shard_for(const ScenarioFingerprint& fp) {
   Shard& shard = by_fingerprint_[fp.canonical];
+  shard.last_used = ++use_counter_;
   if (!shard.loaded) {
     if (!dir_.empty()) load_from_disk(fp, shard);
     shard.loaded = true;
@@ -72,10 +115,13 @@ std::optional<api::ResultRow> SweepCache::lookup(const ScenarioFingerprint& fp, 
   const auto it = shard.rows.find(rate_key(rate));
   if (it == shard.rows.end()) {
     ++stats_.misses;
+    enforce_memory_limit(&shard);  // a cold disk load may have overflowed
     return std::nullopt;
   }
   ++stats_.hits;
-  return it->second;
+  api::ResultRow row = it->second;  // copy before eviction can touch the shard
+  enforce_memory_limit(&shard);
+  return row;
 }
 
 void SweepCache::store(const ScenarioFingerprint& fp, const api::ResultRow& row,
@@ -84,21 +130,61 @@ void SweepCache::store(const ScenarioFingerprint& fp, const api::ResultRow& row,
   Shard& shard = shard_for(fp);
   shard.rows.insert_or_assign(rate_key(row.rate), row);
   ++stats_.stores;
+  enforce_memory_limit(&shard);
   if (dir_.empty()) return;
   // Open-append-close per entry: a long-lived cache shared across many
   // fingerprints (the bench env cache) must not hold one fd per file, and
   // a crash can truncate at most the final line, which the loader detects
-  // and drops.
-  std::ofstream appender(file_path(fp), std::ios::app);
-  QUARC_REQUIRE(appender.is_open(),
-                "SweepCache: cannot open '" + file_path(fp) + "' for append");
+  // and drops. The flock-guarded single-record write makes the same file
+  // safe to share with concurrent batch/serve processes.
   json::Value entry = json::Value::object();
   entry.set("schema", kSweepCacheSchemaVersion);
   entry.set("fp", fp.hex());
   entry.set("c", fp.canonical);
   entry.set("mc", has_multicast);
   entry.set("row", api::row_to_json(row));
-  appender << entry.dump() << "\n";
+  append_record(file_path(fp), entry.dump() + "\n");
+}
+
+void SweepCache::set_memory_limit_rows(std::size_t max_rows) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  memory_limit_rows_ = max_rows;
+  enforce_memory_limit(nullptr);
+}
+
+std::size_t SweepCache::memory_limit_rows() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return memory_limit_rows_;
+}
+
+std::size_t SweepCache::total_rows_locked() const {
+  std::size_t n = 0;
+  for (const auto& [canonical, shard] : by_fingerprint_) n += shard.rows.size();
+  return n;
+}
+
+void SweepCache::enforce_memory_limit(const Shard* keep) {
+  if (memory_limit_rows_ == 0) return;
+  std::size_t total = total_rows_locked();
+  while (total > memory_limit_rows_) {
+    // LRU victim among the non-current shards. Never the shard being
+    // touched: a caller's reference must stay valid, and evicting the
+    // working set would thrash.
+    auto victim = by_fingerprint_.end();
+    for (auto it = by_fingerprint_.begin(); it != by_fingerprint_.end(); ++it) {
+      if (&it->second == keep || it->second.rows.empty()) continue;
+      if (victim == by_fingerprint_.end() || it->second.last_used < victim->second.last_used) {
+        victim = it;
+      }
+    }
+    if (victim == by_fingerprint_.end()) return;  // only the current shard left
+    total -= victim->second.rows.size();
+    stats_.evicted_rows += static_cast<std::int64_t>(victim->second.rows.size());
+    ++stats_.evictions;
+    // Erase the whole entry (not just the rows): the shard goes back to
+    // "never seen", so a later touch reloads the disk file on demand.
+    by_fingerprint_.erase(victim);
+  }
 }
 
 SweepCacheStats SweepCache::stats() const {

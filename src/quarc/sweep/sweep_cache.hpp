@@ -25,16 +25,29 @@
 // hash collision (two scenarios sharing a .jsonl file) can only ever
 // degrade to a re-solve — never serve another scenario's rows.
 //
-// Lines are appended and flushed one write() at a time, so a crash leaves
-// at most one truncated line. On load, any line that fails to parse, has
+// Appends are concurrent-WRITER-safe across processes: each record is one
+// complete line written by a single write(2) to an O_APPEND descriptor
+// under an exclusive flock(2), so two processes sharing a --cache-dir
+// (batch fleets, serve loops, CI shards) can never interleave partial
+// lines — the multi-writer stress test pins this. A crash still leaves at
+// most one truncated line. On load, any line that fails to parse, has
 // the wrong schema, or names a different fingerprint is counted in
 // stats().corrupt_entries and skipped — a corrupt entry is re-solved,
 // never served. Duplicate rates keep the last line (the freshest solve).
 //
+// Memory bound: set_memory_limit_rows(N) caps the in-memory tier; when an
+// insert or load pushes the total past N, least-recently-used fingerprint
+// shards are evicted (never the one being touched). Disk-backed entries
+// reload on the next lookup — eviction can cost a re-read, never an
+// answer; entries of a purely in-memory cache are gone and re-solve.
+// This is what lets a long-lived serve process hold a bounded working
+// set over an unbounded on-disk store.
+//
 // Thread safety: lookup/store are serialised by an internal mutex, so
 // concurrent Scenarios may share one cache; the parallel point solves
 // themselves never touch the cache (run_sweep consults it before and
-// stores after the fork-join).
+// stores after the fork-join; the batch runner stores from workers, which
+// the mutex serialises).
 #pragma once
 
 #include <cstdint>
@@ -57,6 +70,8 @@ struct SweepCacheStats {
   std::int64_t stores = 0;
   std::int64_t loaded_entries = 0;   ///< rows restored from disk
   std::int64_t corrupt_entries = 0;  ///< on-disk lines rejected and skipped
+  std::int64_t evicted_rows = 0;     ///< rows dropped by the memory bound
+  std::int64_t evictions = 0;        ///< fingerprint shards evicted
 };
 
 class SweepCache {
@@ -78,6 +93,12 @@ class SweepCache {
   SweepCacheStats stats() const;
   void reset_stats();
 
+  /// Caps the in-memory tier at `max_rows` rows (0: unbounded, the
+  /// default), evicting least-recently-used fingerprint shards on
+  /// overflow. Applies immediately to anything already held.
+  void set_memory_limit_rows(std::size_t max_rows);
+  std::size_t memory_limit_rows() const;
+
   /// Rows currently held in memory (loaded + stored).
   std::size_t size() const;
   /// Backing directory; empty for an in-memory cache.
@@ -86,17 +107,24 @@ class SweepCache {
  private:
   struct Shard {
     bool loaded = false;  ///< disk file (if any) has been read
+    std::uint64_t last_used = 0;  ///< LRU stamp (monotone use counter)
     std::unordered_map<std::string, api::ResultRow> rows;  ///< rate key -> row
   };
 
   Shard& shard_for(const ScenarioFingerprint& fp);
   void load_from_disk(const ScenarioFingerprint& fp, Shard& shard);
   std::string file_path(const ScenarioFingerprint& fp) const;
+  /// Evicts LRU shards (sparing `keep`) until the row total fits the
+  /// memory limit. Call with the mutex held.
+  void enforce_memory_limit(const Shard* keep);
+  std::size_t total_rows_locked() const;
 
   std::string dir_;
   /// Keyed by ScenarioFingerprint::canonical (not the hash) — see above.
   std::unordered_map<std::string, Shard> by_fingerprint_;
   SweepCacheStats stats_;
+  std::size_t memory_limit_rows_ = 0;  ///< 0: unbounded
+  std::uint64_t use_counter_ = 0;
   mutable std::mutex mutex_;
 };
 

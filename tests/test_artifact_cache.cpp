@@ -1,0 +1,122 @@
+#include "quarc/batch/artifact_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "quarc/api/scenario.hpp"
+#include "quarc/util/error.hpp"
+
+namespace quarc::batch {
+namespace {
+
+std::string to_json_text(const api::ResultSet& rs) {
+  std::ostringstream os;
+  rs.write_json(os);
+  return os.str();
+}
+
+api::Scenario make(const std::string& topology, double alpha) {
+  api::Scenario s;
+  s.topology(topology)
+      .pattern(alpha > 0.0 ? "random:3" : "none")
+      .alpha(alpha)
+      .message_length(16)
+      .seed(42)
+      .with_sim(false);
+  return s;
+}
+
+TEST(ArtifactCache, TopologyByAlphaGridCompilesEachArtifactOnce) {
+  // The acceptance shape: 3 topologies x 3 alphas. One RoutePlan per
+  // topology (pattern/seed/multicast shared), one FlowGraph per member
+  // (alpha is a flow-structure input).
+  const std::vector<std::string> topologies = {"quarc:16", "spidergon:16", "mesh:4x4"};
+  const std::vector<double> alphas = {0.05, 0.1, 0.2};
+  auto cache = std::make_shared<ArtifactCache>();
+  for (const std::string& t : topologies) {
+    for (const double a : alphas) {
+      api::Scenario s = make(t, a);
+      s.artifacts(cache);
+      s.validate();
+    }
+  }
+  const ArtifactCacheStats stats = cache->stats();
+  EXPECT_EQ(stats.plans_compiled, 3);
+  EXPECT_EQ(stats.plans_reused, 6);
+  EXPECT_EQ(stats.flows_compiled, 9);
+  EXPECT_EQ(stats.flows_reused, 0);
+  EXPECT_EQ(cache->plan_count(), 3u);
+  EXPECT_EQ(cache->flow_count(), 9u);
+}
+
+TEST(ArtifactCache, IdenticalScenariosShareTheExactObjects) {
+  auto cache = std::make_shared<ArtifactCache>();
+  api::Scenario a = make("quarc:16", 0.05);
+  api::Scenario b = make("quarc:16", 0.05);
+  a.artifacts(cache);
+  b.artifacts(cache);
+  // Pointer identity, not just equal bytes: both adopted the one compiled
+  // instance, so the fleet's memory cost is per-distinct-key.
+  EXPECT_EQ(&a.route_plan(), &b.route_plan());
+  EXPECT_EQ(&a.flow_graph(), &b.flow_graph());
+
+  api::Scenario c = make("quarc:16", 0.1);  // same plan, different flows
+  c.artifacts(cache);
+  EXPECT_EQ(&a.route_plan(), &c.route_plan());
+  EXPECT_NE(&a.flow_graph(), &c.flow_graph());
+}
+
+TEST(ArtifactCache, SharedArtifactsAreByteTransparent) {
+  // The load-bearing invariant: a Scenario attached to the cache produces
+  // the same document bytes and the same fingerprint as one compiling
+  // privately — for multicast, unicast-with-pattern-spec and sim runs.
+  const std::vector<double> rates = {0.002, 0.004};
+  auto cache = std::make_shared<ArtifactCache>();
+  for (const double alpha : {0.0, 0.05}) {
+    api::Scenario solo = make("quarc:16", alpha);
+    solo.warmup(500).measure(4000).with_sim(true);
+    api::Scenario shared = make("quarc:16", alpha);
+    shared.warmup(500).measure(4000).with_sim(true);
+    shared.artifacts(cache);
+    EXPECT_EQ(shared.fingerprint().canonical, solo.fingerprint().canonical);
+    EXPECT_EQ(to_json_text(shared.run_sweep(rates)), to_json_text(solo.run_sweep(rates)));
+  }
+}
+
+TEST(ArtifactCache, ArtifactsOutliveTheCache) {
+  api::Scenario s = make("quarc:16", 0.05);
+  {
+    auto cache = std::make_shared<ArtifactCache>();
+    s.artifacts(cache);
+    s.validate();
+    s.artifacts(nullptr);  // detach; the Scenario keeps its shared_ptrs
+  }  // cache destroyed
+  const api::ResultSet rs = s.run_sweep(std::vector<double>{0.002});
+  EXPECT_EQ(rs.rows.size(), 1u);
+}
+
+TEST(ArtifactCache, DistinctPatternSeedsDoNotShare) {
+  auto cache = std::make_shared<ArtifactCache>();
+  api::Scenario a = make("quarc:16", 0.05);
+  api::Scenario b = make("quarc:16", 0.05);
+  b.seed(7);  // pattern seed defaults to the run seed
+  a.artifacts(cache);
+  b.artifacts(cache);
+  EXPECT_NE(&a.route_plan(), &b.route_plan());
+  EXPECT_EQ(cache->stats().plans_compiled, 2);
+}
+
+TEST(ArtifactCache, RejectsBadSpecs) {
+  ArtifactCache cache;
+  PlanRequest req;
+  req.topology_spec = "not-a-topology:9";
+  req.pattern_spec = "none";
+  EXPECT_THROW(cache.plan(req), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace quarc::batch

@@ -1,0 +1,155 @@
+// Batch determinism suite: one fleet pool must be invisible in the bytes.
+//
+// The batch engine reschedules every member's points onto one shared pool
+// behind shared compiled artifacts and a shared result store. Each test
+// pins one way that rescheduling could leak into results: member-vs-solo
+// documents, thread counts, warm-vs-cold caches, and the streamed JSONL
+// order.
+#include "quarc/batch/batch_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "quarc/batch/scenario_set.hpp"
+#include "quarc/sweep/sweep_cache.hpp"
+#include "quarc/util/json.hpp"
+
+namespace quarc::batch {
+namespace {
+
+std::string to_json_text(const api::ResultSet& rs) {
+  std::ostringstream os;
+  rs.write_json(os);
+  return os.str();
+}
+
+/// Four members, three sharing quarc:16 (two alphas + one unicast), one
+/// simulating — small enough for CI, wide enough to cross every sharing
+/// boundary (plan reuse, flow reuse, pattern-less members, sim seeds).
+constexpr const char* kFleet =
+    "{\"topology\":\"quarc:16\",\"pattern\":\"random:3\",\"alpha\":0.05,"
+    "\"rates\":[0.002,0.004],\"msg\":16,\"seed\":42}\n"
+    "{\"topology\":\"quarc:16\",\"pattern\":\"random:3\",\"alpha\":0.1,"
+    "\"rates\":[0.002,0.004],\"msg\":16,\"seed\":42}\n"
+    "{\"topology\":\"quarc:16\",\"alpha\":0,\"rates\":[0.003],\"msg\":16,\"seed\":42}\n"
+    "{\"topology\":\"spidergon:16\",\"pattern\":\"random:3\",\"alpha\":0.05,"
+    "\"rates\":[0.002],\"msg\":16,\"seed\":42,\"sim\":true,"
+    "\"warmup\":500,\"measure\":4000}\n";
+
+struct BatchOutput {
+  std::vector<std::string> docs;  ///< one serialised ResultSet per member
+  std::string stream;             ///< the JSONL point stream
+  BatchStats stats;
+};
+
+BatchOutput run_fleet(int threads, std::shared_ptr<SweepCache> cache) {
+  BatchOptions options;
+  options.threads = threads;
+  options.cache = std::move(cache);
+  BatchRunner runner(ScenarioSet::parse_text(kFleet), options);
+  std::ostringstream stream;
+  BatchOutput out;
+  for (api::ResultSet& rs : runner.run(&stream, nullptr)) out.docs.push_back(to_json_text(rs));
+  out.stream = stream.str();
+  out.stats = runner.stats();
+  return out;
+}
+
+TEST(Batch, MatchesIndividualRunsByteForByte) {
+  const BatchOutput batch = run_fleet(/*threads=*/4, nullptr);
+  const ScenarioSet set = ScenarioSet::parse_text(kFleet);
+  ASSERT_EQ(batch.docs.size(), set.size());
+  for (std::size_t m = 0; m < set.size(); ++m) {
+    api::Scenario solo = set[m].make_scenario();  // no shared artifacts, own pool
+    EXPECT_EQ(batch.docs[m], to_json_text(solo.run_sweep(set[m].rates))) << "member " << m;
+  }
+}
+
+TEST(Batch, ThreadCountNeverChangesAByte) {
+  const BatchOutput serial = run_fleet(1, nullptr);
+  const BatchOutput pooled = run_fleet(4, nullptr);
+  EXPECT_EQ(serial.docs, pooled.docs);
+  EXPECT_EQ(serial.stream, pooled.stream);
+}
+
+TEST(Batch, WarmCacheReplaysTheColdBytes) {
+  auto cache = std::make_shared<SweepCache>();
+  const BatchOutput cold = run_fleet(4, cache);
+  EXPECT_EQ(cold.stats.cache_hits, 0);
+  EXPECT_EQ(cold.stats.cache_misses, 6);
+
+  const BatchOutput warm = run_fleet(4, cache);
+  EXPECT_EQ(warm.stats.cache_hits, 6);
+  EXPECT_EQ(warm.stats.cache_misses, 0);
+  EXPECT_EQ(warm.stats.solved_iterations, 0);  // zero solver work on replay
+  EXPECT_EQ(warm.docs, cold.docs);
+  EXPECT_EQ(warm.stream, cold.stream);  // reorder buffer: same canonical order
+
+  // And against a different thread count while warm.
+  EXPECT_EQ(run_fleet(1, cache).stream, cold.stream);
+}
+
+TEST(Batch, AggregateStatsAreTruthful) {
+  const BatchOutput out = run_fleet(4, std::make_shared<SweepCache>());
+  EXPECT_EQ(out.stats.scenarios, 4);
+  EXPECT_EQ(out.stats.points, 6);
+  EXPECT_EQ(out.stats.cache_hits + out.stats.cache_misses, out.stats.points);
+  // Three members share the quarc:16 multicast plan key; the unicast and
+  // spidergon members compile their own. Every member's alpha is a
+  // distinct flow key within its plan.
+  EXPECT_EQ(out.stats.artifacts.plans_compiled, 3);
+  EXPECT_EQ(out.stats.artifacts.plans_reused, 1);
+  EXPECT_EQ(out.stats.artifacts.flows_compiled, 4);
+  EXPECT_EQ(out.stats.artifacts.flows_reused, 0);
+  EXPECT_GT(out.stats.solved_iterations, 0);
+  EXPECT_GE(out.stats.elapsed_seconds, 0.0);
+}
+
+TEST(Batch, StreamIsOnePointPerLineInCanonicalOrder) {
+  const BatchOutput out = run_fleet(4, nullptr);
+  std::istringstream stream(out.stream);
+  std::string line;
+  std::vector<int> scenario_of_line;
+  while (std::getline(stream, line)) {
+    const json::Value v = json::Value::parse(line);
+    EXPECT_EQ(v.at("schema").as_int(), kBatchStreamSchemaVersion);
+    EXPECT_FALSE(v.at("fp").as_string().empty());
+    EXPECT_GT(v.at("row").at("rate").as_double(), 0.0);
+    scenario_of_line.push_back(static_cast<int>(v.at("scenario").as_int()));
+  }
+  EXPECT_EQ(scenario_of_line, (std::vector<int>{0, 0, 1, 1, 2, 3}));
+}
+
+TEST(Batch, DryRunReportsTheFleetWithoutSolving) {
+  BatchRunner runner(ScenarioSet::parse_text(kFleet), {});
+  std::ostringstream out;
+  runner.dry_run(out);
+
+  std::istringstream lines(out.str());
+  std::string line;
+  std::vector<json::Value> docs;
+  while (std::getline(lines, line)) docs.push_back(json::Value::parse(line));
+  ASSERT_EQ(docs.size(), 5u);  // 4 members + the report
+  EXPECT_EQ(docs[0].at("topology").as_string(), "quarc:16");
+  EXPECT_EQ(docs[0].at("points").as_int(), 2);
+  EXPECT_EQ(docs[2].at("pattern").as_string(), "none");  // alpha=0 normalised
+
+  const json::Value& report = docs.back();
+  EXPECT_EQ(report.at("scenarios").as_int(), 4);
+  EXPECT_EQ(report.at("points").as_int(), 6);
+  EXPECT_EQ(report.at("route_plans").as_int(), 3);
+  EXPECT_EQ(report.at("flow_graphs").as_int(), 4);
+  EXPECT_EQ(runner.stats().cache_misses, 0);  // nothing solved
+
+  // The fingerprints a dry run prints are the ones the real run uses.
+  const ScenarioSet set = ScenarioSet::parse_text(kFleet);
+  api::Scenario first = set[0].make_scenario();
+  EXPECT_EQ(docs[0].at("fp").as_string(), first.fingerprint().hex());
+}
+
+}  // namespace
+}  // namespace quarc::batch

@@ -195,5 +195,105 @@ TEST(Cli, SweepProducesRequestedPointCount) {
   EXPECT_EQ(data_lines, 5);
 }
 
+// ------------------------------------------------------- fleet subcommands
+
+TEST(Cli, ParsesBatchSubcommand) {
+  const Options o = parse_list({"batch", "--file", "fleet.jsonl", "--dry-run", "--threads", "3",
+                                "--cache-dir", "/tmp/c"});
+  EXPECT_EQ(o.command, "batch");
+  EXPECT_EQ(o.batch_file, "fleet.jsonl");
+  EXPECT_TRUE(o.dry_run);
+  EXPECT_EQ(o.threads, 3);
+  EXPECT_EQ(o.cache_dir, "/tmp/c");
+}
+
+TEST(Cli, ParsesServeSubcommand) {
+  const Options o = parse_list({"serve", "--memory-limit", "500", "--cache-dir", "/tmp/c"});
+  EXPECT_EQ(o.command, "serve");
+  EXPECT_EQ(o.memory_limit, 500u);
+  EXPECT_EQ(o.batch_file, "-");
+}
+
+TEST(Cli, FleetFlagsRequireTheirSubcommand) {
+  // Subcommands are positional: "batch" after flags is not a subcommand,
+  // and fleet flags outside their subcommand are rejected, not ignored.
+  EXPECT_THROW(parse_list({"--file", "fleet.jsonl"}), InvalidArgument);
+  EXPECT_THROW(parse_list({"--dry-run"}), InvalidArgument);
+  EXPECT_THROW(parse_list({"--memory-limit", "10"}), InvalidArgument);
+  EXPECT_THROW(parse_list({"batch", "--memory-limit", "10"}), InvalidArgument);
+  EXPECT_THROW(parse_list({"serve", "--dry-run"}), InvalidArgument);
+  EXPECT_THROW(parse_list({"--json", "batch"}), InvalidArgument);
+  EXPECT_THROW(parse_list({"batch", "--threads", "0"}), InvalidArgument);
+  EXPECT_THROW(parse_list({"serve", "--memory-limit", "-1"}), InvalidArgument);
+}
+
+TEST(Cli, ThreadsAppliesToSingleScenarioMode) {
+  const Options o = parse_list({"--threads", "2", "--sweep", "3"});
+  EXPECT_EQ(o.command, "");
+  EXPECT_EQ(o.threads, 2);
+  std::ostringstream out;
+  EXPECT_EQ(run(o, out), 0);  // sweeps fine with the capped pool
+}
+
+TEST(Cli, BatchRunsAFleetFromTheInputStream) {
+  Options o;
+  o.command = "batch";  // batch_file "-" reads the in stream
+  std::istringstream in(
+      "{\"topology\":\"quarc:16\",\"pattern\":\"random:3\",\"alpha\":0.05,"
+      "\"rates\":[0.002],\"msg\":16,\"seed\":42}\n"
+      "{\"topology\":\"quarc:16\",\"pattern\":\"random:3\",\"alpha\":0.1,"
+      "\"rates\":[0.002],\"msg\":16,\"seed\":42}\n");
+  std::ostringstream out, err;
+  EXPECT_EQ(run(o, in, out, err), 0);
+  // Two point lines on stdout, progress confined to stderr.
+  int lines = 0;
+  std::istringstream is(out.str());
+  std::string line;
+  while (std::getline(is, line)) {
+    EXPECT_EQ(line.rfind("{\"schema\":1,\"scenario\":", 0), 0u) << line;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2);
+  EXPECT_NE(err.str().find("batch: 2 scenarios"), std::string::npos) << err.str();
+}
+
+TEST(Cli, BatchDryRunSolvesNothing) {
+  Options o;
+  o.command = "batch";
+  o.dry_run = true;
+  std::istringstream in(
+      "{\"grid\":{\"alpha\":[0.05,0.1]},\"topology\":\"quarc:16\","
+      "\"pattern\":\"random:3\",\"rates\":[0.002,0.004],\"seed\":42}\n");
+  std::ostringstream out, err;
+  EXPECT_EQ(run(o, in, out, err), 0);
+  EXPECT_NE(out.str().find("\"route_plans\":1"), std::string::npos) << out.str();
+  EXPECT_NE(out.str().find("\"flow_graphs\":2"), std::string::npos) << out.str();
+}
+
+TEST(Cli, BatchRejectsEmptyAndUnreadableSpecs) {
+  Options o;
+  o.command = "batch";
+  std::ostringstream out, err;
+  std::istringstream empty("# only comments\n");
+  EXPECT_THROW(run(o, empty, out, err), InvalidArgument);
+  o.batch_file = "/nonexistent/fleet.jsonl";
+  std::istringstream unused;
+  EXPECT_THROW(run(o, unused, out, err), InvalidArgument);
+}
+
+TEST(Cli, ServeAnswersOverTheStreams) {
+  Options o;
+  o.command = "serve";
+  std::istringstream in(
+      "{\"topology\":\"quarc:16\",\"pattern\":\"random:3\",\"alpha\":0.05,"
+      "\"rate\":0.002,\"msg\":16,\"seed\":42,\"id\":1}\n"
+      "{\"cmd\":\"shutdown\"}\n");
+  std::ostringstream out, err;
+  EXPECT_EQ(run(o, in, out, err), 0);
+  EXPECT_EQ(out.str().rfind("{\"schema\":1,\"id\":1,", 0), 0u) << out.str();
+  EXPECT_NE(out.str().find("\"cmd\":\"shutdown\""), std::string::npos) << out.str();
+  EXPECT_NE(err.str().find("serve: ready"), std::string::npos) << err.str();
+}
+
 }  // namespace
 }  // namespace quarc::cli

@@ -273,6 +273,30 @@ TEST(ResultSet, MergeConcatenatesSortsAndSumsCounters) {
   EXPECT_EQ(a.str(), b.str());
 }
 
+TEST(ResultSet, MergeSumsCountersAcrossManyShards) {
+  // Three shards, counters nonzero in more than one — the batch engine's
+  // aggregate hit/miss stats lean on merge-style summation being exact.
+  const ResultSet full = sample_set();
+  ResultSet mid = full;
+  mid.rows = {full.rows[0]};
+  mid.rows[0].rate = 0.01;  // between the sample rates: stays sorted
+  ResultSet lo = full, hi = full;
+  lo.rows = {full.rows[0]};
+  hi.rows = {full.rows[1]};
+  lo.cache_hits = 2;
+  lo.cache_misses = 1;
+  mid.cache_hits = 3;
+  hi.cache_misses = 5;
+
+  const ResultSet merged = merge_result_sets(std::vector<ResultSet>{hi, mid, lo});
+  ASSERT_EQ(merged.rows.size(), 3u);
+  EXPECT_EQ(merged.rows[0].rate, 0.004);
+  EXPECT_EQ(merged.rows[1].rate, 0.01);
+  EXPECT_EQ(merged.rows[2].rate, 0.02);
+  EXPECT_EQ(merged.cache_hits, 5);
+  EXPECT_EQ(merged.cache_misses, 6);
+}
+
 TEST(ResultSet, MergeRejectsMismatchedScenarios) {
   const ResultSet a = sample_set();
   ResultSet b = sample_set();

@@ -1,0 +1,137 @@
+#include "quarc/batch/scenario_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "quarc/util/error.hpp"
+
+namespace quarc::batch {
+namespace {
+
+TEST(ScenarioSet, ParsesExplicitMembersInOrder) {
+  const ScenarioSet set = ScenarioSet::parse_text(
+      "{\"topology\":\"quarc:16\",\"pattern\":\"random:3\",\"alpha\":0.05,"
+      "\"rates\":[0.002,0.004],\"msg\":16,\"seed\":42,\"sim\":true}\n"
+      "{\"topology\":\"mesh:4x4\",\"sweep\":6,\"fill\":0.5}\n");
+  ASSERT_EQ(set.size(), 2u);
+
+  const ScenarioSpec& a = set[0];
+  EXPECT_EQ(a.topology, "quarc:16");
+  EXPECT_EQ(a.pattern, "random:3");
+  EXPECT_DOUBLE_EQ(a.alpha, 0.05);
+  EXPECT_EQ(a.rates, (std::vector<double>{0.002, 0.004}));
+  EXPECT_EQ(a.msg, 16);
+  EXPECT_EQ(a.seed, 42u);
+  EXPECT_TRUE(a.sim);
+  EXPECT_EQ(a.point_count(), 2);
+
+  const ScenarioSpec& b = set[1];
+  EXPECT_EQ(b.topology, "mesh:4x4");
+  EXPECT_EQ(b.pattern, "none");  // default
+  EXPECT_TRUE(b.rates.empty());
+  EXPECT_EQ(b.sweep_points, 6);
+  EXPECT_DOUBLE_EQ(b.fill, 0.5);
+  EXPECT_FALSE(b.sim);
+  EXPECT_EQ(b.point_count(), 6);
+}
+
+TEST(ScenarioSet, SkipsBlankAndCommentLines) {
+  const ScenarioSet set = ScenarioSet::parse_text(
+      "# fleet for the fig6 smoke lane\n"
+      "\n"
+      "   \t\n"
+      "{\"topology\":\"quarc:16\"}\n"
+      "  # trailing note\n");
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(ScenarioSet, GridExpandsTheCrossProductInFixedOrder) {
+  // Axis order is fixed (topology outermost ... seed innermost) no matter
+  // how the JSON spelled its keys — member indices must be deterministic
+  // because streamed batch output refers to members by index.
+  const ScenarioSet set = ScenarioSet::parse_text(
+      "{\"grid\":{\"seed\":[1,2],\"topology\":[\"quarc:16\",\"mesh:4x4\"],"
+      "\"alpha\":[0.05,0.1]},\"pattern\":\"random:3\",\"rates\":[0.002]}\n");
+  ASSERT_EQ(set.size(), 8u);
+  std::vector<std::string> got;
+  for (const ScenarioSpec& m : set.members()) got.push_back(m.describe());
+  const std::vector<std::string> want = {
+      "quarc:16 random:3 alpha=0.05 msg=32 seed=1",
+      "quarc:16 random:3 alpha=0.05 msg=32 seed=2",
+      "quarc:16 random:3 alpha=0.1 msg=32 seed=1",
+      "quarc:16 random:3 alpha=0.1 msg=32 seed=2",
+      "mesh:4x4 random:3 alpha=0.05 msg=32 seed=1",
+      "mesh:4x4 random:3 alpha=0.05 msg=32 seed=2",
+      "mesh:4x4 random:3 alpha=0.1 msg=32 seed=1",
+      "mesh:4x4 random:3 alpha=0.1 msg=32 seed=2",
+  };
+  EXPECT_EQ(got, want);
+}
+
+TEST(ScenarioSet, GridLinesAndExplicitLinesCompose) {
+  const ScenarioSet set = ScenarioSet::parse_text(
+      "{\"topology\":\"spidergon:16\"}\n"
+      "{\"grid\":{\"msg\":[16,32,64]},\"topology\":\"quarc:16\"}\n");
+  ASSERT_EQ(set.size(), 4u);
+  EXPECT_EQ(set[0].topology, "spidergon:16");
+  EXPECT_EQ(set[1].msg, 16);
+  EXPECT_EQ(set[2].msg, 32);
+  EXPECT_EQ(set[3].msg, 64);
+}
+
+TEST(ScenarioSet, LabelOverridesDescribe) {
+  const ScenarioSet set =
+      ScenarioSet::parse_text("{\"topology\":\"quarc:16\",\"label\":\"baseline\"}\n");
+  EXPECT_EQ(set[0].describe(), "baseline");
+}
+
+TEST(ScenarioSet, MakeScenarioNormalisesUnicastPattern) {
+  // alpha=0 members never materialise a pattern (the CLI's normalisation),
+  // so their fingerprints match a plain unicast run's.
+  const ScenarioSet set = ScenarioSet::parse_text(
+      "{\"topology\":\"quarc:16\",\"pattern\":\"random:3\",\"alpha\":0}\n");
+  api::Scenario s = set[0].make_scenario();
+  const std::string canonical = s.fingerprint().canonical;
+  EXPECT_EQ(canonical.find("random"), std::string::npos) << canonical;
+}
+
+TEST(ScenarioSet, ErrorsNameTheLine) {
+  try {
+    ScenarioSet::parse_text("{\"topology\":\"quarc:16\"}\n{\"oops\":1}\n");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("oops"), std::string::npos) << e.what();
+  }
+}
+
+TEST(ScenarioSet, RejectsMalformedSpecs) {
+  // Unknown key (typo protection).
+  EXPECT_THROW(ScenarioSet::parse_text("{\"topology\":\"quarc:16\",\"alhpa\":0.1}\n"),
+               InvalidArgument);
+  // Missing topology, bare and in a grid line.
+  EXPECT_THROW(ScenarioSet::parse_text("{\"alpha\":0.1}\n"), InvalidArgument);
+  EXPECT_THROW(ScenarioSet::parse_text("{\"grid\":{\"alpha\":[0.1]}}\n"), InvalidArgument);
+  // Non-object line.
+  EXPECT_THROW(ScenarioSet::parse_text("[1,2,3]\n"), InvalidArgument);
+  // Bad rates.
+  EXPECT_THROW(ScenarioSet::parse_text("{\"topology\":\"quarc:16\",\"rates\":[]}\n"),
+               InvalidArgument);
+  EXPECT_THROW(ScenarioSet::parse_text("{\"topology\":\"quarc:16\",\"rates\":[-0.1]}\n"),
+               InvalidArgument);
+  // Grid axis that isn't an axis, an empty axis, and an axis given twice.
+  EXPECT_THROW(
+      ScenarioSet::parse_text("{\"topology\":\"quarc:16\",\"grid\":{\"rates\":[[0.1]]}}\n"),
+      InvalidArgument);
+  EXPECT_THROW(
+      ScenarioSet::parse_text("{\"topology\":\"quarc:16\",\"grid\":{\"alpha\":[]}}\n"),
+      InvalidArgument);
+  EXPECT_THROW(ScenarioSet::parse_text(
+                   "{\"topology\":\"quarc:16\",\"grid\":{\"topology\":[\"mesh:4x4\"]}}\n"),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace quarc::batch

@@ -1,0 +1,150 @@
+#include "quarc/batch/serve.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "quarc/batch/batch_runner.hpp"
+#include "quarc/batch/scenario_set.hpp"
+#include "quarc/util/json.hpp"
+
+namespace quarc::batch {
+namespace {
+
+/// Runs the serve loop over scripted request lines; returns the parsed
+/// response lines (always one per request).
+std::vector<json::Value> serve_script(const std::string& requests,
+                                      const ServeOptions& options = {}) {
+  std::istringstream in(requests);
+  std::ostringstream out, err;
+  EXPECT_EQ(serve(in, out, err, options), 0);
+  std::vector<json::Value> responses;
+  std::istringstream lines(out.str());
+  std::string line;
+  while (std::getline(lines, line)) responses.push_back(json::Value::parse(line));
+  return responses;
+}
+
+constexpr const char* kRequest =
+    "{\"topology\":\"quarc:16\",\"pattern\":\"random:3\",\"alpha\":0.05,"
+    "\"rates\":[0.002,0.004],\"msg\":16,\"seed\":42}";
+
+TEST(Serve, AnswersMatchTheBatchEngine) {
+  // Three distinct requests; each response's rows must be byte-identical
+  // to what a batch run of the same spec produces (both are views of the
+  // same pure (fingerprint, rate) function).
+  const std::vector<std::string> specs = {
+      "{\"topology\":\"quarc:16\",\"pattern\":\"random:3\",\"alpha\":0.05,"
+      "\"rates\":[0.002,0.004],\"msg\":16,\"seed\":42}",
+      "{\"topology\":\"quarc:16\",\"pattern\":\"random:3\",\"alpha\":0.1,"
+      "\"rates\":[0.002],\"msg\":16,\"seed\":42}",
+      "{\"topology\":\"spidergon:16\",\"pattern\":\"random:3\",\"alpha\":0.05,"
+      "\"rates\":[0.004],\"msg\":16,\"seed\":42}",
+  };
+  std::string script;
+  std::string batch_spec;
+  for (const std::string& s : specs) {
+    script += s + "\n";
+    batch_spec += s + "\n";
+  }
+  const std::vector<json::Value> responses = serve_script(script);
+  ASSERT_EQ(responses.size(), specs.size());
+
+  BatchRunner runner(ScenarioSet::parse_text(batch_spec), {});
+  const std::vector<api::ResultSet> batch = runner.run(nullptr, nullptr);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const json::Value& rows = responses[i].at("rows");
+    ASSERT_EQ(rows.as_array().size(), batch[i].rows.size()) << "request " << i;
+    for (std::size_t r = 0; r < batch[i].rows.size(); ++r) {
+      EXPECT_EQ(rows.as_array()[r].dump(), api::row_to_json(batch[i].rows[r]).dump())
+          << "request " << i << " row " << r;
+    }
+  }
+}
+
+TEST(Serve, RepeatedRequestsAreServedWithoutSolving) {
+  const std::string script = std::string(kRequest) + "\n" + kRequest + "\n";
+  const std::vector<json::Value> responses = serve_script(script);
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_EQ(responses[0].at("solved").as_int(), 2);
+  EXPECT_EQ(responses[0].at("served").as_int(), 0);
+  EXPECT_GT(responses[0].at("iterations").as_int(), 0);
+  // The second identical request is pure lookup: same fingerprint, same
+  // rows, zero new solver iterations.
+  EXPECT_EQ(responses[1].at("solved").as_int(), 0);
+  EXPECT_EQ(responses[1].at("served").as_int(), 2);
+  EXPECT_EQ(responses[1].at("iterations").as_int(), 0);
+  EXPECT_EQ(responses[1].at("fp").as_string(), responses[0].at("fp").as_string());
+  EXPECT_EQ(responses[1].at("rows").dump(), responses[0].at("rows").dump());
+}
+
+TEST(Serve, ScalarRateAndIdAreHonoured) {
+  const std::vector<json::Value> responses = serve_script(
+      "{\"topology\":\"quarc:16\",\"pattern\":\"random:3\",\"alpha\":0.05,"
+      "\"rate\":0.002,\"msg\":16,\"seed\":42,\"id\":7}\n");
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].at("id").as_int(), 7);
+  ASSERT_EQ(responses[0].at("rows").as_array().size(), 1u);
+  EXPECT_DOUBLE_EQ(responses[0].at("rows").as_array()[0].at("rate").as_double(), 0.002);
+}
+
+TEST(Serve, BadRequestsKeepTheLoopAlive) {
+  const std::string script =
+      "not json at all\n"
+      "{\"topology\":\"quarc:16\",\"bogus\":1,\"id\":1}\n"
+      "{\"rate\":0.002,\"rates\":[0.002],\"topology\":\"quarc:16\",\"id\":2}\n"
+      "{\"cmd\":\"no-such-cmd\"}\n" +
+      std::string(kRequest) + "\n";
+  const std::vector<json::Value> responses = serve_script(script);
+  ASSERT_EQ(responses.size(), 5u);
+  EXPECT_NE(responses[0].find("error"), nullptr);
+  EXPECT_NE(responses[1].find("error"), nullptr);
+  EXPECT_EQ(responses[1].at("id").as_int(), 1);  // id echoed even on errors
+  EXPECT_NE(responses[2].find("error"), nullptr);
+  EXPECT_NE(responses[3].find("error"), nullptr);
+  // The loop survived four bad requests and still answered the good one.
+  EXPECT_EQ(responses[4].find("error"), nullptr);
+  EXPECT_EQ(responses[4].at("rows").as_array().size(), 2u);
+}
+
+TEST(Serve, StatsAndShutdownCommands) {
+  const std::string script =
+      std::string(kRequest) + "\n{\"cmd\":\"stats\",\"id\":9}\n{\"cmd\":\"shutdown\"}\n" +
+      kRequest + "\n";  // never reached
+  const std::vector<json::Value> responses = serve_script(script);
+  ASSERT_EQ(responses.size(), 3u);  // shutdown stops before the 4th line
+  const json::Value& stats = responses[1];
+  EXPECT_EQ(stats.at("cmd").as_string(), "stats");
+  EXPECT_EQ(stats.at("id").as_int(), 9);
+  EXPECT_EQ(stats.at("store_rows").as_int(), 2);
+  EXPECT_EQ(stats.at("plans_compiled").as_int(), 1);
+  EXPECT_EQ(responses[2].at("cmd").as_string(), "shutdown");
+}
+
+TEST(Serve, MemoryBoundedStoreStillAnswersFromDisk) {
+  const std::string dir = testing::TempDir() + "quarc_serve_lru";
+  std::filesystem::remove_all(dir);
+  ServeOptions options;
+  options.cache_dir = dir;
+  options.memory_limit_rows = 1;  // smaller than any response: constant churn
+
+  const std::string other =
+      "{\"topology\":\"quarc:16\",\"pattern\":\"random:3\",\"alpha\":0.1,"
+      "\"rates\":[0.003],\"msg\":16,\"seed\":42}";
+  // Solve A, displace it with B, then ask for A again — the store must
+  // reload A's rows from disk rather than re-solving.
+  const std::string script =
+      std::string(kRequest) + "\n" + other + "\n" + kRequest + "\n";
+  const std::vector<json::Value> responses = serve_script(script, options);
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_EQ(responses[2].at("served").as_int(), 2);
+  EXPECT_EQ(responses[2].at("iterations").as_int(), 0);
+  EXPECT_EQ(responses[2].at("rows").dump(), responses[0].at("rows").dump());
+}
+
+}  // namespace
+}  // namespace quarc::batch

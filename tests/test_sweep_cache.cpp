@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "quarc/api/scenario.hpp"
@@ -239,6 +240,144 @@ TEST_F(SweepCacheCorruption, FullyGarbledFileFallsBackToColdRun) {
   const api::ResultSet again = warm_run();
   EXPECT_EQ(again.cache_hits, 4);
   EXPECT_EQ(to_json_text(again), cold_json_);
+}
+
+// ---------------------------------------------------- concurrent writers
+//
+// Each SweepCache instance opens/flocks/appends/closes per store, so
+// separate instances over one directory model separate processes sharing
+// a --cache-dir (the batch/serve fleet deployment). Every line must land
+// whole: a fresh reload sees every row and zero corrupt entries.
+
+/// A synthetic model-only row; the cache never interprets the values.
+api::ResultRow synthetic_row(double rate) {
+  api::ResultRow r;
+  r.rate = rate;
+  r.model_run = true;
+  r.model_status = "converged";
+  r.model_unicast_latency = 20.0 + rate;
+  r.model_max_utilization = rate;
+  r.solver_iterations = 5;
+  return r;
+}
+
+TEST(SweepCache, ConcurrentWritersNeverInterleaveLines) {
+  const std::string dir = fresh_dir("multi_writer");
+  const ScenarioFingerprint fp = test_scenario().fingerprint();
+  constexpr int kWriters = 8;
+  constexpr int kRowsPerWriter = 25;
+
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      // Own instance per writer: no shared mutex, only the file lock —
+      // all contention is on the one .jsonl file.
+      SweepCache cache(dir);
+      for (int i = 0; i < kRowsPerWriter; ++i) {
+        const double rate = 0.001 * (w * kRowsPerWriter + i + 1);
+        cache.store(fp, synthetic_row(rate), /*has_multicast=*/false);
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+
+  SweepCache reload(dir);
+  for (int w = 0; w < kWriters; ++w) {
+    for (int i = 0; i < kRowsPerWriter; ++i) {
+      const double rate = 0.001 * (w * kRowsPerWriter + i + 1);
+      const std::optional<api::ResultRow> row = reload.lookup(fp, rate);
+      ASSERT_TRUE(row.has_value()) << "rate " << rate << " lost";
+      EXPECT_EQ(row->model_unicast_latency, 20.0 + rate);
+    }
+  }
+  EXPECT_EQ(reload.stats().loaded_entries, kWriters * kRowsPerWriter);
+  EXPECT_EQ(reload.stats().corrupt_entries, 0);
+}
+
+// ------------------------------------------------------- memory bounding
+//
+// set_memory_limit_rows caps the in-memory tier; LRU fingerprint shards
+// are evicted, never the one being touched, and disk-backed evictions
+// reload on demand — the bound costs re-reads, never answers.
+
+ScenarioFingerprint fingerprint_with_seed(std::uint64_t seed) {
+  api::Scenario s = test_scenario();
+  s.seed(seed);
+  return s.fingerprint();
+}
+
+TEST(SweepCache, DiskBackedEvictionReloadsOnDemand) {
+  const std::string dir = fresh_dir("lru_disk");
+  const ScenarioFingerprint a = fingerprint_with_seed(1);
+  const ScenarioFingerprint b = fingerprint_with_seed(2);
+
+  SweepCache cache(dir);
+  cache.set_memory_limit_rows(3);
+  for (const double rate : {0.001, 0.002, 0.003}) {
+    cache.store(a, synthetic_row(rate), false);
+  }
+  EXPECT_EQ(cache.size(), 3u);  // exactly at the bound: nothing evicted
+
+  cache.store(b, synthetic_row(0.004), false);  // overflow: a is the LRU shard
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_EQ(cache.stats().evicted_rows, 3);
+  EXPECT_EQ(cache.size(), 1u);
+
+  // The evicted shard reloads from its file; the answer survives the
+  // eviction, and the reload in turn evicts b to hold the bound.
+  const std::optional<api::ResultRow> row = cache.lookup(a, 0.002);
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(row->model_unicast_latency, 20.002);
+  EXPECT_EQ(cache.stats().loaded_entries, 3);
+  EXPECT_EQ(cache.stats().evictions, 2);
+  EXPECT_EQ(cache.stats().evicted_rows, 4);
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(SweepCache, InMemoryEvictionReSolves) {
+  // Without a backing directory an evicted row is simply gone — the bound
+  // trades recompute for memory, and lookups degrade to misses.
+  SweepCache cache;
+  cache.set_memory_limit_rows(2);
+  const ScenarioFingerprint a = fingerprint_with_seed(1);
+  const ScenarioFingerprint b = fingerprint_with_seed(2);
+  cache.store(a, synthetic_row(0.001), false);
+  cache.store(a, synthetic_row(0.002), false);
+  cache.store(b, synthetic_row(0.003), false);
+  EXPECT_EQ(cache.stats().evicted_rows, 2);
+  EXPECT_FALSE(cache.lookup(a, 0.001).has_value());
+  EXPECT_TRUE(cache.lookup(b, 0.003).has_value());
+}
+
+TEST(SweepCache, CurrentShardIsNeverEvicted) {
+  // One shard larger than the whole bound: the shard being written must
+  // stay resident (callers hold references into it mid-operation).
+  SweepCache cache;
+  cache.set_memory_limit_rows(2);
+  const ScenarioFingerprint a = fingerprint_with_seed(1);
+  for (const double rate : {0.001, 0.002, 0.003, 0.004}) {
+    cache.store(a, synthetic_row(rate), false);
+  }
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.stats().evictions, 0);
+}
+
+TEST(SweepCache, LoweringTheLimitEvictsRetroactively) {
+  SweepCache cache;
+  const ScenarioFingerprint a = fingerprint_with_seed(1);
+  const ScenarioFingerprint b = fingerprint_with_seed(2);
+  cache.store(a, synthetic_row(0.001), false);
+  cache.store(a, synthetic_row(0.002), false);
+  cache.store(b, synthetic_row(0.003), false);
+  cache.store(b, synthetic_row(0.004), false);
+  EXPECT_EQ(cache.size(), 4u);
+
+  cache.set_memory_limit_rows(2);  // a is least recently touched
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_EQ(cache.stats().evicted_rows, 2);
+  EXPECT_TRUE(cache.lookup(b, 0.004).has_value());
 }
 
 TEST(SweepCache, RejectsUncreatableDirectory) {
