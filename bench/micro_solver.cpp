@@ -19,6 +19,13 @@
 //                the zero-load seed — identical converged status, same
 //                tolerance, byte-compatible determinism contract
 //
+// A second section measures the saturation probe and the end-to-end curve
+// workflow it heads: the historical bisection probe vs the superlinear
+// fold-fit probe, and the historical two-probes-plus-unseeded-points curve
+// cost vs the memoized-probe + continuation-spine pipeline (see
+// ProbeStats). All solve/iteration counts there are deterministic
+// integers, which is what the CI smoke gates on.
+//
 // Emits BENCH_solver.json (path overridable as the last argument) with
 // the per-rate trajectories, so CI and future PRs can track the totals.
 //
@@ -136,10 +143,41 @@ struct PointStats {
   int anderson_iterations = 0;
 };
 
+/// Saturation-probe and end-to-end curve-workflow cost. The "workflow" is
+/// the standard curve-with-header call sequence `saturation_rate();
+/// run_sweep(points, 0.85)`: before the probe memoization landed, each of
+/// those calls re-ran the full probe from scratch (two probes per curve),
+/// and every rate point solved unseeded. The seeded workflow is the
+/// current pipeline: one superlinear probe, its converged solves retained
+/// as continuation-spine nodes, anchors filled, every point seeded by
+/// spine interpolation. All iteration/solve counts are deterministic
+/// integers — CI gates compare them exactly, no timing noise.
+struct ProbeStats {
+  int bisect_solves = 0;
+  long long bisect_iterations = 0;
+  double bisect_us = 0.0;
+  double bisect_rate = 0.0;
+  int ridders_solves = 0;
+  long long ridders_iterations = 0;
+  double ridders_us = 0.0;
+  double ridders_rate = 0.0;
+  int ridders_spine_nodes = 0;  ///< converged solves kept as spine nodes
+  /// Probe solves not amortised into the curve's spine (diverged
+  /// attempts): the probe-only overhead the curve actually pays.
+  int ridders_net_solves = 0;
+  long long workflow_cold_probe_solves = 0;  ///< two bisection probes
+  long long workflow_cold_iterations = 0;
+  double workflow_cold_us = 0.0;
+  long long workflow_seeded_probe_solves = 0;  ///< one memoized probe
+  long long workflow_seeded_iterations = 0;
+  double workflow_seeded_us = 0.0;
+};
+
 struct CellStats {
   std::string topology;
   std::string pattern;
   double compile_us = 0.0;  ///< one-off FlowGraph compile, amortised
+  ProbeStats probe;
   std::vector<PointStats> points;
 
   double total(double PointStats::* field) const {
@@ -256,6 +294,63 @@ CellStats run_cell(const std::string& topo_spec, const std::string& pattern_spec
 
     cell.points.push_back(p);
   }
+
+  // ---- saturation probe + end-to-end curve workflow (see ProbeStats) ----
+  ModelOptions ridders_model;  // production defaults: Anderson + superlinear probe
+  ModelOptions bisect_model;
+  bisect_model.probe = SaturationProbe::Bisection;
+  ProbeStats& pr = cell.probe;
+
+  auto start = Clock::now();
+  const SaturationProbeResult bisect_probe = probe_saturation_rate(flows, base, bisect_model);
+  pr.bisect_us = us_since(start);
+  pr.bisect_solves = bisect_probe.solves;
+  pr.bisect_iterations = bisect_probe.iterations;
+  pr.bisect_rate = bisect_probe.rate;
+
+  start = Clock::now();
+  const SaturationProbeResult ridders_probe = probe_saturation_rate(flows, base, ridders_model);
+  pr.ridders_us = us_since(start);
+  pr.ridders_solves = ridders_probe.solves;
+  pr.ridders_iterations = ridders_probe.iterations;
+  pr.ridders_rate = ridders_probe.rate;
+  pr.ridders_spine_nodes = static_cast<int>(ridders_probe.nodes.size());
+  pr.ridders_net_solves = pr.ridders_solves - pr.ridders_spine_nodes;
+
+  // Historical curve workflow: saturation_rate() and run_sweep(points,
+  // fill) each re-ran the bisection probe; every point solved unseeded.
+  start = Clock::now();
+  const SaturationProbeResult w1 = probe_saturation_rate(flows, base, bisect_model);
+  const SaturationProbeResult w2 = probe_saturation_rate(flows, base, bisect_model);
+  pr.workflow_cold_probe_solves = w1.solves + w2.solves;
+  pr.workflow_cold_iterations = w1.iterations + w2.iterations;
+  for (const double rate : rate_grid_from_saturation(w2.rate, points, 0.85)) {
+    Workload w = base;
+    w.message_rate = rate;
+    const ModelResult res = PerformanceModel(flows, w, stencil_model).evaluate(ws);
+    pr.workflow_cold_iterations += res.solver_iterations;
+    checksum += res.avg_unicast_latency;
+  }
+  pr.workflow_cold_us = us_since(start);
+
+  // Current workflow: one memoized probe, converged probe solves become
+  // spine nodes, anchors fill the gaps, every point seeds off the spine.
+  start = Clock::now();
+  const SaturationProbeResult sp = probe_saturation_rate(flows, base, ridders_model);
+  const auto spine = finalize_spine(flows, base, ridders_model, 4, sp);
+  pr.workflow_seeded_probe_solves = sp.solves;
+  pr.workflow_seeded_iterations = spine->build_iterations();
+  std::vector<double> x0;
+  for (const double rate : rate_grid_from_saturation(sp.rate, points, 0.85)) {
+    Workload w = base;
+    w.message_rate = rate;
+    spine->seed(rate, x0);
+    const ModelResult res = PerformanceModel(flows, w, stencil_model).evaluate(ws, x0);
+    pr.workflow_seeded_iterations += res.solver_iterations;
+    checksum += res.avg_unicast_latency;
+  }
+  pr.workflow_seeded_us = us_since(start);
+
   return cell;
 }
 
@@ -279,11 +374,49 @@ void print_cell(const CellStats& cell) {
             << std::setw(10) << direct_us / n << std::setw(10) << stencil_us / n << "\n";
 }
 
+void print_probe(const CellStats& cell) {
+  const ProbeStats& pr = cell.probe;
+  std::cout << std::left << std::setw(12) << cell.topology << std::right << std::setw(10)
+            << pr.bisect_solves << std::setw(11) << pr.ridders_solves << std::setw(9)
+            << pr.ridders_spine_nodes << std::setw(8) << pr.ridders_net_solves
+            << std::setw(10) << pr.workflow_cold_probe_solves << std::setw(10)
+            << pr.workflow_cold_iterations << std::setw(10)
+            << pr.workflow_seeded_probe_solves << std::setw(10)
+            << pr.workflow_seeded_iterations << std::fixed << std::setprecision(2)
+            << std::setw(8)
+            << pr.workflow_cold_us / std::max(pr.workflow_seeded_us, 1.0) << "x\n";
+}
+
+json::Value probe_to_json(const ProbeStats& pr) {
+  json::Value p = json::Value::object();
+  p.set("bisect_solves", pr.bisect_solves);
+  p.set("bisect_iterations", static_cast<std::int64_t>(pr.bisect_iterations));
+  p.set("bisect_us", pr.bisect_us);
+  p.set("bisect_rate", pr.bisect_rate);
+  p.set("ridders_solves", pr.ridders_solves);
+  p.set("ridders_iterations", static_cast<std::int64_t>(pr.ridders_iterations));
+  p.set("ridders_us", pr.ridders_us);
+  p.set("ridders_rate", pr.ridders_rate);
+  p.set("ridders_spine_nodes", pr.ridders_spine_nodes);
+  p.set("ridders_net_solves", pr.ridders_net_solves);
+  p.set("workflow_cold_probe_solves",
+        static_cast<std::int64_t>(pr.workflow_cold_probe_solves));
+  p.set("workflow_cold_iterations", static_cast<std::int64_t>(pr.workflow_cold_iterations));
+  p.set("workflow_cold_us", pr.workflow_cold_us);
+  p.set("workflow_seeded_probe_solves",
+        static_cast<std::int64_t>(pr.workflow_seeded_probe_solves));
+  p.set("workflow_seeded_iterations",
+        static_cast<std::int64_t>(pr.workflow_seeded_iterations));
+  p.set("workflow_seeded_us", pr.workflow_seeded_us);
+  return p;
+}
+
 json::Value cell_to_json(const CellStats& cell) {
   json::Value c = json::Value::object();
   c.set("topology", cell.topology);
   c.set("pattern", cell.pattern);
   c.set("flowgraph_compile_us", cell.compile_us);
+  c.set("probe", probe_to_json(cell.probe));
   c.set("total_rebuild_us", cell.total(&PointStats::rebuild_us));
   c.set("total_scaled_us", cell.total(&PointStats::scaled_us));
   c.set("total_cold_iterations", static_cast<std::int64_t>(
@@ -366,8 +499,40 @@ int main(int argc, char** argv) {
             << "x fewer); Eq. 7-16 assembly " << direct_eval / stencil_eval
             << "x faster stencil vs direct walk (checksum " << checksum << ")\n";
 
+  std::cout << "\nSaturation probe + end-to-end curve workflow (deterministic solve and\n"
+            << "iteration counts; cold = the historical curve call sequence, two bisection\n"
+            << "probes + unseeded points; seeded = one memoized superlinear probe whose\n"
+            << "converged solves become continuation-spine nodes + spine-seeded points;\n"
+            << "net sv = probe solves not harvested into the spine)\n\n"
+            << std::left << std::setw(12) << "topology" << std::right << std::setw(10)
+            << "bisect sv" << std::setw(11) << "ridders sv" << std::setw(9) << "spine nd"
+            << std::setw(8) << "net sv" << std::setw(10) << "cold sv" << std::setw(10)
+            << "cold it" << std::setw(10) << "seed sv" << std::setw(10) << "seed it"
+            << std::setw(9) << "wall\n";
+  long long probe_bisect = 0, probe_ridders = 0, probe_net = 0;
+  long long wf_cold_solves = 0, wf_cold_it = 0, wf_seed_solves = 0, wf_seed_it = 0;
+  for (const CellStats& c : cells) {
+    print_probe(c);
+    probe_bisect += c.probe.bisect_solves;
+    probe_ridders += c.probe.ridders_solves;
+    probe_net += c.probe.ridders_net_solves;
+    wf_cold_solves += c.probe.workflow_cold_probe_solves;
+    wf_cold_it += c.probe.workflow_cold_iterations;
+    wf_seed_solves += c.probe.workflow_seeded_probe_solves;
+    wf_seed_it += c.probe.workflow_seeded_iterations;
+  }
+  std::cout << "\nprobe totals: " << probe_bisect << " bisection solves -> " << probe_ridders
+            << " superlinear (" << probe_net << " net of spine harvest, "
+            << std::setprecision(1)
+            << static_cast<double>(wf_cold_solves) / static_cast<double>(std::max(probe_net, 1LL))
+            << "x fewer than the " << wf_cold_solves
+            << " the cold workflow re-solved); curve iterations " << wf_cold_it << " -> "
+            << wf_seed_it << " (" << std::setprecision(2)
+            << static_cast<double>(wf_cold_it) / static_cast<double>(std::max(wf_seed_it, 1LL))
+            << "x)\n";
+
   json::Value doc = json::Value::object();
-  doc.set("schema", "quarc-bench-solver-v1");
+  doc.set("schema", "quarc-bench-solver-v2");
   doc.set("grid_points_per_cell", points);
   json::Value arr = json::Value::array();
   for (const CellStats& c : cells) arr.push_back(cell_to_json(c));

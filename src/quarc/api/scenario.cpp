@@ -112,6 +112,12 @@ Scenario& Scenario::shards(int count) {
   return *this;
 }
 
+Scenario& Scenario::spine_points(int count) {
+  QUARC_REQUIRE(count >= 0, "spine_points must be non-negative");
+  sweep_.spine_points = count;
+  return *this;
+}
+
 Scenario& Scenario::cache(std::shared_ptr<SweepCache> cache) {
   cache_ = std::move(cache);
   return *this;
@@ -309,7 +315,20 @@ ResultSet Scenario::run_sweep(std::span<const double> rates) {
     task_rows.push_back(i);
   }
 
-  const auto points = sweep_tasks(*flows_, workload_, tasks, sweep_);
+  // Hand sweep_tasks the memoized continuation spine so the probe runs
+  // (at most) once per assembly instead of once per sweep call. All-hit
+  // runs skip even that; a failed probe degrades explicit-rate sweeps to
+  // unseeded solves (the error stays cached for saturation_rate()).
+  SweepConfig cfg = sweep_;
+  if (!tasks.empty() && cfg.spine_points > 0) {
+    try {
+      ensure_saturation();
+      cfg.spine = spine_;
+    } catch (const ComputationError&) {
+      cfg.spine_points = 0;  // keep sweep_tasks from re-probing
+    }
+  }
+  const auto points = sweep_tasks(*flows_, workload_, tasks, cfg);
   for (std::size_t j = 0; j < points.size(); ++j) {
     rs.rows[task_rows[j]] = ResultRow::from_point(points[j]);
     if (cache_) cache_->store(fp, rs.rows[task_rows[j]], workload_.multicast_fraction > 0.0);
@@ -322,14 +341,55 @@ ResultSet Scenario::run_sweep(int points, double fill) {
   return run_sweep(rates);
 }
 
-double Scenario::saturation_rate() {
+void Scenario::ensure_saturation() {
   validate();
-  return model_saturation_rate(*flows_, workload_, sweep_.model);
+  const bool fresh = sat_valid_ && sat_flows_ == flows_ &&
+                     sat_message_length_ == workload_.message_length &&
+                     sat_solver_ == sweep_.model.solver && sat_probe_kind_ == sweep_.model.probe &&
+                     sat_spine_points_ == sweep_.spine_points;
+  if (fresh) {
+    if (sat_failed_) throw ComputationError(sat_error_);
+    return;
+  }
+  sat_flows_ = flows_;
+  sat_message_length_ = workload_.message_length;
+  sat_solver_ = sweep_.model.solver;
+  sat_probe_kind_ = sweep_.model.probe;
+  sat_spine_points_ = sweep_.spine_points;
+  sat_valid_ = true;
+  sat_failed_ = false;
+  sat_error_.clear();
+  spine_.reset();
+  sat_rate_ = 0.0;
+  ++sat_probe_runs_;
+  try {
+    const SaturationProbeResult probe = probe_saturation_rate(*flows_, workload_, sweep_.model);
+    sat_rate_ = probe.rate;
+    spine_ = finalize_spine(*flows_, workload_, sweep_.model, sweep_.spine_points, probe);
+  } catch (const ComputationError& e) {
+    // Cache the failure too: repeated saturation_rate()/rate_grid() calls
+    // rethrow instead of re-running a probe that cannot succeed.
+    sat_failed_ = true;
+    sat_error_ = e.what();
+    throw;
+  }
+}
+
+double Scenario::saturation_rate() {
+  ensure_saturation();
+  return sat_rate_;
+}
+
+std::shared_ptr<const ContinuationSpine> Scenario::continuation_spine() {
+  ensure_saturation();
+  return spine_;
 }
 
 std::vector<double> Scenario::rate_grid(int points, double fill) {
-  validate();
-  return rate_grid_to_saturation(*flows_, workload_, points, fill, sweep_.model);
+  QUARC_REQUIRE(points >= 1, "grid needs at least one point");
+  QUARC_REQUIRE(fill > 0.0 && fill <= 1.0, "fill must be in (0,1]");
+  ensure_saturation();
+  return rate_grid_from_saturation(sat_rate_, points, fill);
 }
 
 ModelResult Scenario::run_model_raw() {

@@ -93,6 +93,11 @@ class Scenario {
   /// Contiguous shard count for sweep execution (default 1). Bit-identical
   /// for every count — see sweep.hpp's determinism contract.
   Scenario& shards(int count);
+  /// Continuation-spine anchor count (default 4; 0 disables continuation
+  /// seeding so every point solves from the zero-load seed). Fingerprinted
+  /// — it changes the x0 every sweep point is solved from.
+  Scenario& spine_points(int count);
+  int spine_points() const { return sweep_.spine_points; }
 
   // ---- caching ----
   /// Attaches a sweep cache (shared across Scenarios; nullptr detaches).
@@ -172,10 +177,27 @@ class Scenario {
   /// Auto grid: `points` rates evenly spaced in (0, fill * saturation].
   ResultSet run_sweep(int points, double fill = 0.85);
 
-  /// Largest rate for which the analytical model converges.
+  /// Largest rate for which the analytical model converges. Memoized:
+  /// the saturation probe (and the continuation spine compiled from its
+  /// trajectory) runs at most once per validated assembly — calling this,
+  /// rate_grid() and run_sweep(points, fill) in any order probes exactly
+  /// once, and it reruns only when a knob the probe reads changes
+  /// (topology/pattern/alpha/seed via the flow graph, message length,
+  /// solver options, probe kind, spine_points — not the configured rate).
+  /// Throws ComputationError when the model converges at no positive rate
+  /// (the historical probe silently reported 0 here).
   double saturation_rate();
   /// The auto grid run_sweep(points, fill) would use.
   std::vector<double> rate_grid(int points, double fill = 0.85);
+  /// How many times this Scenario has run the saturation probe (test and
+  /// diagnostic visibility for the memoization above).
+  int saturation_probe_runs() const { return sat_probe_runs_; }
+  /// The continuation spine sweep points seed their solves from — the
+  /// probe's converged trajectory plus spine_points() evenly spaced
+  /// anchors. Probes (memoized, with saturation_rate()) on first use;
+  /// shares its failure behavior. External schedulers (the batch runner)
+  /// use this to seed exactly as run_sweep would.
+  std::shared_ptr<const ContinuationSpine> continuation_spine();
 
   /// Raw single-run escape hatches (full result structs).
   ModelResult run_model_raw();
@@ -183,6 +205,10 @@ class Scenario {
 
  private:
   void ensure_topology();
+  /// Runs (or reuses) the saturation probe + continuation spine for the
+  /// current assembly — see saturation_rate()'s memoization contract.
+  /// Rethrows the cached ComputationError when the probe failed.
+  void ensure_saturation();
   ResultSet make_result_set();
   sim::SimConfig sim_config_for_run();
   /// fingerprint() minus the validate() — for callers that just validated.
@@ -205,6 +231,24 @@ class Scenario {
   /// The rate-invariant flow structure over plan_, compiled with it.
   std::shared_ptr<const FlowGraph> flows_;
   bool routes_dirty_ = true;  ///< pattern/plan/flow graph must be (re)compiled
+
+  // ---- memoized saturation probe + continuation spine ----
+  // Validity is keyed on a snapshot of everything the probe reads. The
+  // flow graph is held by shared_ptr (not raw pointer) so a recompiled
+  // graph reusing the old allocation's address can never masquerade as
+  // the snapshot; solver options compare by value because model_options()
+  // hands out a mutable reference that dirty flags cannot observe.
+  std::shared_ptr<const ContinuationSpine> spine_;
+  std::shared_ptr<const FlowGraph> sat_flows_;
+  double sat_rate_ = 0.0;
+  int sat_probe_runs_ = 0;
+  bool sat_valid_ = false;
+  bool sat_failed_ = false;
+  std::string sat_error_;
+  int sat_message_length_ = 0;
+  SolverOptions sat_solver_;
+  SaturationProbe sat_probe_kind_ = SaturationProbe::Ridders;
+  int sat_spine_points_ = 0;
 
   Workload workload_;
   std::uint64_t seed_ = 1;

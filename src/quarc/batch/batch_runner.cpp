@@ -28,6 +28,10 @@ struct Member {
   const FlowGraph* flows = nullptr;
   Workload workload;        ///< base workload (per-point rate applied on top)
   SweepConfig cfg;          ///< solver/sim knobs (threads/shards unused here)
+  /// The member's continuation spine (null: solve unseeded), shared by
+  /// every worker — the same spine a solo run_sweep would seed from, so
+  /// batched and individual runs stay byte-identical.
+  std::shared_ptr<const ContinuationSpine> spine;
   std::size_t first_point = 0;  ///< global index of this member's row 0
   std::size_t pending = 0;      ///< points not yet landed (for progress)
 };
@@ -85,6 +89,7 @@ std::vector<api::ResultSet> BatchRunner::run(std::ostream* stream, std::ostream*
     member.cfg.sim = member.scenario.sim_config();
     member.cfg.model = member.scenario.model_options();
     member.cfg.run_sim = spec.sim;
+    member.cfg.spine_points = member.scenario.spine_points();
     member.first_point = total_points;
     total_points += member.rates.size();
     members.push_back(std::move(member));
@@ -114,6 +119,17 @@ std::vector<api::ResultSet> BatchRunner::run(std::ostream* stream, std::ostream*
     }
     stats_.cache_hits += member.rs.cache_hits;
     stats_.cache_misses += member.rs.cache_misses;
+    // Continuation spine, only for members that actually solve (fully
+    // warm members must stay at zero solver work). Auto-grid members
+    // already probed inside rate_grid(); the memoized result is reused
+    // here, so the probe still runs at most once per member.
+    if (member.pending > 0 && member.cfg.spine_points > 0) {
+      try {
+        member.spine = member.scenario.continuation_spine();
+      } catch (const ComputationError&) {
+        member.spine = nullptr;  // degrade to unseeded, as run_sweep does
+      }
+    }
   }
 
   // ---- Phase 3: one pool over every miss of every member. Results land
@@ -165,7 +181,14 @@ std::vector<api::ResultSet> BatchRunner::run(std::ostream* stream, std::ostream*
         // Per-worker workspace, fully reseeded per solve — reuse across
         // members cannot change a byte (same contract as sweep_tasks).
         static thread_local SolverWorkspace ws;
-        point.model = PerformanceModel(*member.flows, w, member.cfg.model).evaluate(ws);
+        const PerformanceModel model(*member.flows, w, member.cfg.model);
+        if (member.spine != nullptr) {
+          static thread_local std::vector<double> x0;
+          member.spine->seed(gt.task.rate, x0);
+          point.model = model.evaluate(ws, x0);
+        } else {
+          point.model = model.evaluate(ws);
+        }
         if (member.cfg.run_sim) {
           sim::SimConfig sc = member.cfg.sim;
           sc.workload = w;

@@ -99,6 +99,12 @@ evaluation:
                      Eq. 7-16 latency assembly: the compiled
                      LatencyStencil or the per-route direct walk;
                      byte-identical results                [default stencil]
+  --probe ridders|bisect
+                     saturation search: the superlinear fold-fit probe
+                     (certifies ~2e-3 relative) or the historical
+                     doubling + bisection (~1e-3)         [default ridders]
+  --no-spine         disable continuation seeding (solve every sweep
+                     point from the zero-load seed)
   --csv              emit the ResultSet as CSV instead of a table
   --json             emit the ResultSet as a JSON document (schema v)" +
          std::to_string(api::kResultSchemaVersion) + R"()
@@ -176,6 +182,12 @@ Options parse(std::span<const std::string> args) {
       opts.assembly = next("--assembly");
       QUARC_REQUIRE(opts.assembly == "stencil" || opts.assembly == "direct",
                     "--assembly expects stencil or direct, got '" + opts.assembly + "'");
+    } else if (arg == "--probe") {
+      opts.probe = next("--probe");
+      QUARC_REQUIRE(opts.probe == "ridders" || opts.probe == "bisect",
+                    "--probe expects ridders or bisect, got '" + opts.probe + "'");
+    } else if (arg == "--no-spine") {
+      opts.no_spine = true;
     } else if (arg == "--csv") {
       opts.csv = true;
     } else if (arg == "--json") {
@@ -239,6 +251,9 @@ api::Scenario make_scenario(const Options& opts) {
                                                   : SolverIteration::Anderson;
   scenario.model_options().assembly =
       opts.assembly == "direct" ? LatencyAssembly::DirectWalk : LatencyAssembly::Stencil;
+  scenario.model_options().probe =
+      opts.probe == "bisect" ? SaturationProbe::Bisection : SaturationProbe::Ridders;
+  if (opts.no_spine) scenario.spine_points(0);
   if (!opts.cache_dir.empty()) scenario.cache_dir(opts.cache_dir);
   if (opts.threads > 0) scenario.threads(opts.threads);
   return scenario;

@@ -67,6 +67,12 @@ struct Options {
   /// Latency assembly: "stencil" (compiled walk, default) or "direct"
   /// (per-pair route walk; byte-identical — the equivalence oracle).
   std::string assembly = "stencil";
+  /// Saturation search: "ridders" (superlinear probe, default) or
+  /// "bisect" (the historical doubling + bisection fallback).
+  std::string probe = "ridders";
+  /// Disable continuation seeding: every sweep point solves from the
+  /// zero-load seed (equivalent to Scenario::spine_points(0)).
+  bool no_spine = false;
   bool csv = false;   ///< ResultSet CSV instead of the aligned table
   bool json = false;  ///< ResultSet JSON document instead of the table
   bool help = false;

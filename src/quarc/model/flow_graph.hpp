@@ -116,6 +116,15 @@ class FlowGraph {
   /// and idle channels). The zero-load service time of channel c is
   /// exactly message_length + steps_to_eject(c) — the solver's
   /// deterministic warm-start seed.
+  /// Closed-form zero-load service time of channel c for messages of
+  /// `message_length` flits: M + steps_to_eject(c) (exactly M for
+  /// ejection and idle channels, whose steps_to_eject is 0). This is the
+  /// solver's deterministic seed, the seeded solve's per-channel floor,
+  /// and the continuation spine's implicit rate-zero node — one
+  /// definition so all three agree byte-for-byte.
+  double zero_load_service(ChannelId c, int message_length) const {
+    return static_cast<double>(message_length) + steps_to_eject(c);
+  }
   double steps_to_eject(ChannelId c) const {
     return steps_to_eject_[static_cast<std::size_t>(c)];
   }

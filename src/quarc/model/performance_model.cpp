@@ -57,17 +57,32 @@ double PerformanceModel::path_waiting(const FlowGraph& flows,
   return total;
 }
 
+std::string to_string(SaturationProbe p) {
+  switch (p) {
+    case SaturationProbe::Ridders:
+      return "ridders";
+    case SaturationProbe::Bisection:
+      return "bisect";
+  }
+  return "unknown";
+}
+
 ModelResult PerformanceModel::evaluate() const {
   SolverWorkspace ws;
   return evaluate(ws);
 }
 
 ModelResult PerformanceModel::evaluate(SolverWorkspace& ws) const {
+  return evaluate(ws, std::span<const double>{});
+}
+
+ModelResult PerformanceModel::evaluate(SolverWorkspace& ws, std::span<const double> x0_seed) const {
   ModelResult result;
   const RoutePlan& plan = *plan_;
   const FlowGraph& flows = *flows_;
   ServiceTimeSolver solver(flows, load_.message_length, options_.solver);
-  result.status = solver.solve(load_.message_rate, ws);
+  result.status = x0_seed.empty() ? solver.solve(load_.message_rate, ws)
+                                  : solver.solve(load_.message_rate, ws, x0_seed);
   result.solver_iterations = solver.iterations_used();
   result.channels = ws.solution;
   result.max_utilization = solver.max_utilization(&result.bottleneck);

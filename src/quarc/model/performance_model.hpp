@@ -63,9 +63,31 @@ enum class LatencyAssembly {
   DirectWalk,
 };
 
+/// How the saturation rate is searched (sweep.hpp's probe functions; the
+/// knob lives here because ModelOptions is what every probe call takes).
+/// Both probes certify the same ~1e-3 relative precision and both only
+/// ever return a rate the solver actually converged at; they differ in
+/// cost, not contract — which is why the choice IS fingerprinted (the
+/// certified rate, and with it auto grids and the continuation spine,
+/// moves at the certification tolerance between them).
+enum class SaturationProbe {
+  /// Superlinear secant on the utilization-guard residual (default): the
+  /// bottleneck load rho(r) is superlinear in r, so r/rho(r) is close to
+  /// affine and a two-point fit of it predicts the rho = guard root with
+  /// Ridders-style safeguarding (any overshoot tightens a bracket that a
+  /// bisection fallback can always finish). O(4-6) solver runs.
+  Ridders,
+  /// The historical doubling + bisection search (~40 solver runs) — kept
+  /// as the safeguarded fallback and the bench/CI comparison baseline.
+  Bisection,
+};
+
+std::string to_string(SaturationProbe p);
+
 struct ModelOptions {
   SolverOptions solver;
   LatencyAssembly assembly = LatencyAssembly::Stencil;
+  SaturationProbe probe = SaturationProbe::Ridders;
 };
 
 struct ModelResult {
@@ -105,6 +127,11 @@ class PerformanceModel {
   /// Same, iterating in `ws` (fully reseeded — byte-identical to a fresh
   /// workspace; reuse saves the per-solve allocation on sweep hot paths).
   ModelResult evaluate(SolverWorkspace& ws) const;
+  /// Same, seeding the solver from an explicit per-channel x0 (the
+  /// continuation-spine hot path — see ServiceTimeSolver's seeded solve
+  /// for the clamping and determinism contract). An empty span falls back
+  /// to the closed-form zero-load seed.
+  ModelResult evaluate(SolverWorkspace& ws, std::span<const double> x0_seed) const;
 
   /// Mean waiting a message experiences along (injection, links..., eject),
   /// i.e. W_inj plus the self-discounted waits of every subsequent channel

@@ -120,6 +120,56 @@ SolveStatus ServiceTimeSolver::solve(double message_rate, SolverWorkspace& ws, S
     sol[c] = ChannelSolution{lambda, x0, 0.0, 0.0};
   }
 
+  return run_iteration(ws);
+}
+
+SolveStatus ServiceTimeSolver::solve(double message_rate, SolverWorkspace& ws,
+                                     std::span<const double> x0) {
+  const FlowGraph& flows = *flows_;
+  const std::size_t nch = flows.num_channels();
+  QUARC_REQUIRE(x0.size() == nch, "seeded solve: x0 must have one entry per channel");
+  const double msg = static_cast<double>(message_length_);
+
+  auto& sol = ws.solution;
+  sol.resize(nch);
+  last_ = &ws;
+
+  for (std::size_t c = 0; c < nch; ++c) {
+    const auto ch = static_cast<ChannelId>(c);
+    const double lambda = message_rate * flows.unit_lambda(ch);
+    // Ejection channels are pinned at x = msg and idle channels never
+    // iterate, exactly as in the closed-form seed; loaded channels take
+    // the hint, clamped between the zero-load floor and strictly inside
+    // the utilization guard. The upper clamp is what makes hints safe:
+    // saturation is only ever diagnosed from genuine iterates, never
+    // because an interpolated chord overshot rho past the guard before
+    // the first sweep ran.
+    double x = msg;
+    if (!flows.is_ejection(ch) && lambda > 0.0) {
+      x = x0[c];
+      const double floor = msg + flows.steps_to_eject(ch);
+      if (!(x >= floor)) x = floor;  // also catches NaN hints
+      const double ceiling = options_.utilization_guard * (1.0 - 1e-3) / lambda;
+      if (x > ceiling) x = std::max(floor, ceiling);
+    }
+    sol[c] = ChannelSolution{lambda, x, 0.0, 0.0};
+  }
+
+  const SolveStatus st = run_iteration(ws);
+  if (st == SolveStatus::Converged) return st;
+  // A hint must never make a solve report a WORSE status than the cold
+  // start would (a pathological hint clamped against the utilization
+  // ceiling can legitimately iterate into the guard even where the
+  // zero-load start converges). Fall back to the closed-form seed and
+  // keep both iteration counts on the bill — still a pure function of
+  // (rate, hint), so determinism is unaffected.
+  const int spent = iterations_used_;
+  const SolveStatus cold = solve(message_rate, ws, SolverSeed::ZeroLoad);
+  iterations_used_ += spent;
+  return cold;
+}
+
+SolveStatus ServiceTimeSolver::run_iteration(SolverWorkspace& ws) {
   iterations_used_ = 0;
   if (options_.iteration == SolverIteration::GaussSeidel) return solve_gauss_seidel(ws);
   return solve_anderson(ws);
@@ -208,6 +258,12 @@ SolveStatus ServiceTimeSolver::solve_anderson(SolverWorkspace& ws) {
   int head = 0;       // ring slot the next row is written to
   double beta = 1.0;  // adaptive mixing; shrinks when extrapolation misbehaves
   double prev_rnorm2 = std::numeric_limits<double>::infinity();
+  // Effective extrapolation depth. Fixed at the configured window
+  // historically; under auto-tuning it starts at secant depth and adapts
+  // to the measured contraction below — slow contraction (the
+  // near-saturation regime) earns a deeper window, fast contraction
+  // sheds history that the least-squares model would only overfit.
+  int w_eff = options_.anderson_auto_window ? 1 : window;
 
   const int nrows = static_cast<int>(rows);
   const auto row_f = [&](int r) { return ws.aa_f.data() + static_cast<std::size_t>(r) * na; };
@@ -249,11 +305,25 @@ SolveStatus ServiceTimeSolver::solve_anderson(SolverWorkspace& ws) {
     } else if (rnorm2 <= prev_rnorm2) {
       beta = std::min(1.0, 1.25 * beta);
     }
+    // Window auto-tuning from the measured contraction (norm ratio per
+    // sweep, compared in squared form): above 0.5 per sweep the plain
+    // sweep is slow — deepen the window toward the configured cap so the
+    // extrapolation has more directions to cancel the slow modes; below
+    // 0.1 the sweep is doing fine on its own and older rows describe a
+    // regime the iterate already left. A pure function of the residual
+    // trajectory, so solves stay deterministic.
+    if (options_.anderson_auto_window && std::isfinite(prev_rnorm2) && prev_rnorm2 > 0.0) {
+      if (rnorm2 > 0.25 * prev_rnorm2) {
+        w_eff = std::min(w_eff + 1, window);
+      } else if (rnorm2 < 0.01 * prev_rnorm2) {
+        w_eff = std::max(1, w_eff - 1);
+      }
+    }
     prev_rnorm2 = rnorm2;
     head = ring(head + 1);
     hist = std::min(hist + 1, static_cast<int>(rows));
 
-    const int cols = std::min(hist - 1, window);
+    const int cols = std::min(hist - 1, w_eff);
     if (cols < 1 || na == 0) continue;
 
     // Anderson mixing over the last `cols` residual differences:

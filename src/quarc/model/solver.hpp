@@ -64,6 +64,7 @@
 // handful of iterations instead of walking up from the drain-time floor.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -97,8 +98,20 @@ struct SolverOptions {
   /// always the effective one); ignored under GaussSeidel. Window 1 is
   /// secant-style AA(1) over the downwind sweep — still accelerated,
   /// just memoryless; use iteration = GaussSeidel for the plain
-  /// historical sweep.
+  /// historical sweep. Under anderson_auto_window this is the *cap*:
+  /// the effective depth adapts per solve.
   int anderson_window = 3;
+  /// Auto-tune the effective Anderson depth from the measured per-sweep
+  /// contraction (default): the window deepens (up to anderson_window)
+  /// while the residual contracts slowly — the regime where extrapolating
+  /// over more history pays — and shallows back to secant when the sweep
+  /// alone contracts fast, where stale rows only mislead the
+  /// least-squares model. Deterministic: the depth is a pure function of
+  /// the iterate trajectory, itself a pure function of (structure, rate,
+  /// options). Off = the historical fixed-depth window.
+  bool anderson_auto_window = true;
+
+  friend bool operator==(const SolverOptions&, const SolverOptions&) = default;
 };
 
 /// Initial x-vector family. Both are pure functions of (structure, rate),
@@ -153,6 +166,23 @@ class ServiceTimeSolver {
   /// depend on the workspace's previous contents). Deterministic.
   SolveStatus solve(double message_rate, SolverWorkspace& ws,
                     SolverSeed seed = SolverSeed::ZeroLoad);
+  /// Same iteration from an explicit per-channel initial x-vector (one
+  /// entry per channel) — the continuation-seeding hot path: a sweep
+  /// point starts from the interpolated spine solutions instead of the
+  /// zero-load closed form. The hint is sanitised per channel before the
+  /// first iteration: ejection channels stay pinned at M, idle channels
+  /// at the drain floor, and every loaded channel is clamped into
+  /// [zero-load floor, strictly inside the utilization guard] — so a
+  /// hint can never fake a saturation diagnosis (the first refresh sees
+  /// rho < guard by construction) and never undercuts the closed-form
+  /// seed. A seeded solve that still fails to converge falls back to the
+  /// zero-load start (iteration counts accumulate), so a hint can never
+  /// produce a worse status than the cold solve — only a cheaper path to
+  /// the same answer. Determinism: the result is a pure function of (structure,
+  /// rate, options, x0) — callers must derive x0 from fingerprinted
+  /// state only (the spine qualifies; "previous point on this thread"
+  /// does not).
+  SolveStatus solve(double message_rate, SolverWorkspace& ws, std::span<const double> x0);
   /// Compatibility: solves at the bound ChannelGraph's rate into an
   /// internal workspace; idempotent (re-running re-solves from scratch).
   SolveStatus solve();
@@ -174,8 +204,16 @@ class ServiceTimeSolver {
   /// Highest channel utilisation and the channel achieving it. Requires a
   /// prior solve() (throws InvalidArgument otherwise).
   double max_utilization(ChannelId* argmax = nullptr) const;
+  /// Signed utilization-guard residual of the most recent solve:
+  /// max_utilization() - utilization_guard. Negative for converged
+  /// points (how far inside the guard the bottleneck sits), >= 0 when
+  /// the solve tripped the guard. The saturation probe roots on this.
+  double guard_residual() const { return max_utilization() - options_.utilization_guard; }
+  const SolverOptions& options() const { return options_; }
 
  private:
+  /// Dispatches the configured iteration over an already-seeded ws.
+  SolveStatus run_iteration(SolverWorkspace& ws);
   SolveStatus solve_gauss_seidel(SolverWorkspace& ws);
   SolveStatus solve_anderson(SolverWorkspace& ws);
   /// Recomputes W/rho from the current x; true => a channel hit the guard.

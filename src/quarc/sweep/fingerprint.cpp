@@ -122,6 +122,14 @@ ScenarioFingerprint fingerprint_scenario(const FingerprintInputs& in) {
   // a constant line under GaussSeidel is harmless and keeps the canonical
   // format knob-for-knob (the oracle option itself is already a line).
   line("solver_anderson_window", std::to_string(so.anderson_window));
+  line("solver_anderson_auto", so.anderson_auto_window ? "true" : "false");
+  // Which probe certified the saturation rate and how many spine anchors
+  // seed the solves: both move solved bytes (the certified rate at the
+  // certification tolerance; the seeds at the solver tolerance), so both
+  // key the cache. The spine *pointer* (SweepConfig::spine) is excluded —
+  // it is only a precomputed copy of what these knobs determine.
+  line("saturation_probe", to_string(cfg.model.probe));
+  line("spine_points", std::to_string(cfg.spine_points));
 
   ScenarioFingerprint fp;
   fp.canonical = std::move(c);

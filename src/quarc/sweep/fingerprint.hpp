@@ -43,7 +43,14 @@ namespace quarc {
 // byte-identical by construction (pinned across every registered
 // topology spec by the stencil test-suite), so either may serve the
 // other's cache entries — same doctrine as thread and shard counts.
-inline constexpr int kFingerprintSchemaVersion = 3;
+// v4: superlinear saturation probe + continuation-seeded sweeps
+// (saturation_probe/spine_points lines added — the certified rate and
+// every point's x0 seed now depend on them) and the Anderson auto-window
+// (solver_anderson_auto line; the effective mixing depth trajectory
+// changes converged bytes at the tolerance level). SweepConfig::spine is
+// NOT an input: a supplied spine is byte-equal to the one these knobs
+// would build (pinned by the sweep determinism suite).
+inline constexpr int kFingerprintSchemaVersion = 4;
 
 struct ScenarioFingerprint {
   std::string canonical;   ///< key=value text, one knob per line

@@ -3,9 +3,11 @@
 // The paper's figures plot latency against the per-node message rate for a
 // fixed (N, M, alpha, pattern) configuration, with curves ending at the
 // saturation asymptote. This module (a) finds the model's saturation rate
-// by bisection so grids span the interesting region automatically, and
-// (b) evaluates model and simulator over a rate grid, one parallel task
-// per point.
+// with a superlinear probe (bisection kept as the safeguarded fallback) so
+// grids span the interesting region automatically, (b) compiles the
+// probe's converged solutions into a *continuation spine* that seeds every
+// real rate point, and (c) evaluates model and simulator over a rate grid,
+// one parallel task per point.
 //
 // Determinism contract: the result of a point is a pure function of
 // (topology, base workload, rate, per-point seed, solver/sim knobs). The
@@ -14,6 +16,15 @@
 // (scenario, rate) pair is solved bit-identically wherever it appears:
 // in any grid, in any shard split, on any thread count. That invariant is
 // what makes (fingerprint, rate) a sound cache key (see sweep_cache.hpp).
+//
+// Continuation seeding keeps that contract by construction: the spine is
+// derived purely from fingerprinted state — its nodes are the probe's
+// deterministic solve trajectory plus fixed fractional anchors of the
+// certified saturation rate, never the sweep's grid, thread count or
+// shard split — and a point's seed is a fixed interpolation of the two
+// bracketing spine solutions. Naive previous-point warm-starting would
+// break byte identity across shard splits and cache-hit patterns; the
+// spine is the version of warm-starting that cannot.
 //
 // Sharded execution (SweepConfig::shards) partitions the task list into K
 // contiguous slices and runs them one after another, each through the
@@ -33,6 +44,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -57,6 +69,8 @@ struct RatePointResult {
   double unicast_error() const;
 };
 
+class ContinuationSpine;
+
 struct SweepConfig {
   /// Simulator settings; the workload inside is ignored (the sweep's base
   /// workload with a per-point rate is used), the rest applies per point.
@@ -69,6 +83,19 @@ struct SweepConfig {
   /// grids can be chunked (and, via SweepTask, distributed) without
   /// changing any answer.
   int shards = 1;
+  /// Evenly spaced anchor count for the continuation spine built when no
+  /// precompiled `spine` is supplied (0: disable seeding entirely and
+  /// solve every point from the zero-load seed). Fingerprinted: it
+  /// changes which x0 every point is solved from, hence (potentially)
+  /// low-order bits of every solved value.
+  int spine_points = 4;
+  /// Precompiled continuation spine (see build_spine). Purely an
+  /// already-computed copy of what sweep_tasks would build itself from
+  /// (flows, base, model, spine_points) — which is why this pointer is
+  /// NOT fingerprinted while spine_points is. Callers (Scenario, batch)
+  /// set it so the probe+spine cost is paid once per scenario, not once
+  /// per sweep call.
+  std::shared_ptr<const ContinuationSpine> spine;
 };
 
 /// Deterministic per-point simulator seed: a fixed avalanche mix of the
@@ -84,17 +111,55 @@ struct SweepTask {
   std::uint64_t sim_seed = 0;
 };
 
+/// One converged solution harvested by the saturation probe: the rate and
+/// the per-channel service-time vector x the solver converged to there.
+struct SpineNode {
+  double rate = 0.0;
+  std::vector<double> service_time;  ///< one entry per channel
+};
+
+struct SaturationProbeResult {
+  /// Largest probed rate the model converged at. Bisection certifies a
+  /// converged/diverged bracket within 1e-3 relative; the superlinear
+  /// probe certifies to ~2e-3 (its fold-model certificate: the fitted
+  /// fold is within 2e-3 of this rate and a diverged rate was observed
+  /// within 2e-3 above the fit; tighter bracket and guard-residual
+  /// certificates apply when they fire first).
+  double rate = 0.0;
+  int solves = 0;               ///< solver runs spent by the probe
+  long long iterations = 0;     ///< fixed-point iterations across them
+  /// Every converged probe solve, sorted by rate ascending — free
+  /// continuation-spine nodes (see finalize_spine).
+  std::vector<SpineNode> nodes;
+};
+
+/// Finds the saturation rate per options.probe (superlinear fold-fit with
+/// Ridders-style safeguarding by default — saturation on these models is
+/// a fold bifurcation of the fixed point, so a sqrt fold model through
+/// the last three converged samples predicts it; every step stays inside
+/// the converged/diverged bracket, so the worst case is a bisection — or
+/// the historical doubling + bisection as fallback).
+/// Probes the solver directly from one reused workspace — no latency
+/// assembly, no per-probe graph build. Deterministic: a pure function of
+/// (flows, base shape, options). Throws ComputationError when the model
+/// does not converge even at vanishing rates (instead of silently
+/// reporting a zero saturation rate).
+SaturationProbeResult probe_saturation_rate(const FlowGraph& flows, const Workload& base,
+                                            ModelOptions options = {});
+
 /// Largest per-node message rate for which the analytical model still
-/// converges, found by doubling + bisection (relative precision ~1e-3).
-/// The FlowGraph overload probes the solver directly from one reused
-/// workspace — no latency assembly, no per-probe graph build; the
-/// plan/topology overloads compile the shared structure once per call.
+/// converges — probe_saturation_rate(...).rate. The plan/topology
+/// overloads compile the shared flow structure once per call.
 double model_saturation_rate(const FlowGraph& flows, const Workload& base,
                              ModelOptions options = {});
 double model_saturation_rate(const RoutePlan& plan, const Workload& base,
                              ModelOptions options = {});
 double model_saturation_rate(const Topology& topo, const Workload& base,
                              ModelOptions options = {});
+
+/// `points` rates evenly spaced in (0, fill * saturation] — the grid
+/// shape shared by rate_grid_to_saturation and Scenario::rate_grid.
+std::vector<double> rate_grid_from_saturation(double saturation, int points, double fill);
 
 /// `points` rates evenly spaced in (0, fill * saturation].
 std::vector<double> rate_grid_to_saturation(const FlowGraph& flows, const Workload& base,
@@ -106,6 +171,66 @@ std::vector<double> rate_grid_to_saturation(const RoutePlan& plan, const Workloa
 std::vector<double> rate_grid_to_saturation(const Topology& topo, const Workload& base,
                                             int points, double fill = 0.9,
                                             ModelOptions options = {});
+
+/// Sorted set of solved (rate, x) nodes a sweep interpolates solver seeds
+/// from. Immutable once built (insert() is for the builders below);
+/// shared read-only across threads, shards and sweep calls.
+///
+/// seed(rate, out) fills `out` with the linear interpolation of the two
+/// nodes bracketing `rate`, using the closed-form zero-load solution
+/// (FlowGraph::zero_load_service) as the implicit rate-0 node and
+/// clamping to the top node above it. A pure function of (spine, rate):
+/// grid position, thread count, shard split and cache-hit pattern cannot
+/// change a seed — the determinism contract's continuation clause.
+class ContinuationSpine {
+ public:
+  ContinuationSpine(const FlowGraph& flows, int message_length);
+
+  std::size_t num_channels() const { return floor_.size(); }
+  std::size_t size() const { return rates_.size(); }
+  /// Probe + anchor solver-run accounting (bench/CI visibility).
+  int build_solves() const { return build_solves_; }
+  long long build_iterations() const { return build_iterations_; }
+  void add_build_cost(int solves, long long iterations) {
+    build_solves_ += solves;
+    build_iterations_ += iterations;
+  }
+
+  /// Inserts a solved node, keeping nodes sorted by rate (duplicate rates
+  /// are ignored — first insertion wins).
+  void insert(double rate, std::span<const double> service_time);
+  /// True when some node's rate is within `tol` of `rate`.
+  bool has_node_within(double rate, double tol) const;
+
+  /// Interpolated solver seed at `rate` (resizes `out` to num_channels()).
+  void seed(double rate, std::vector<double>& out) const;
+
+ private:
+  std::vector<double> floor_;           ///< zero-load x (implicit rate-0 node)
+  std::vector<double> rates_;           ///< ascending
+  std::vector<std::vector<double>> x_;  ///< x_[i] pairs with rates_[i]
+  int build_solves_ = 0;
+  long long build_iterations_ = 0;
+};
+
+/// Compiles a spine from an already-run probe: harvests its converged
+/// nodes, then solves (seeded from the spine so far) evenly spaced
+/// anchors at saturation * i / spine_points wherever no harvested node
+/// already sits within half an anchor spacing. Deterministic for the same
+/// reason the probe is.
+std::shared_ptr<const ContinuationSpine> finalize_spine(const FlowGraph& flows,
+                                                        const Workload& base,
+                                                        const ModelOptions& options,
+                                                        int spine_points,
+                                                        const SaturationProbeResult& probe);
+
+/// probe_saturation_rate + finalize_spine; returns nullptr (sweeps then
+/// solve unseeded, exactly as before spines existed) when the probe
+/// cannot certify a saturation rate, instead of failing a sweep over
+/// explicit rates that may be perfectly solvable.
+std::shared_ptr<const ContinuationSpine> build_spine(const FlowGraph& flows, const Workload& base,
+                                                     const ModelOptions& options,
+                                                     int spine_points);
 
 /// Evaluates model (and optionally simulator) for every task, honouring
 /// cfg.shards and cfg.threads; cfg.sim.seed is ignored (each task carries

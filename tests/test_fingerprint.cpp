@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -31,7 +32,7 @@ TEST(Fingerprint, GoldenCanonicalTextForDefaultScenario) {
   api::Scenario s;  // quarc:16, no pattern, defaults everywhere
   const ScenarioFingerprint fp = s.fingerprint();
   EXPECT_EQ(fp.canonical,
-            "fp_schema=3\n"
+            "fp_schema=4\n"
             "topology=quarc:16\n"
             "topology_digest=spec\n"
             "pattern=none\n"
@@ -56,22 +57,25 @@ TEST(Fingerprint, GoldenCanonicalTextForDefaultScenario) {
             "solver_damping=0.5\n"
             "solver_utilization_guard=0.999999\n"
             "solver_iteration=anderson\n"
-            "solver_anderson_window=3\n");
+            "solver_anderson_window=3\n"
+            "solver_anderson_auto=true\n"
+            "saturation_probe=ridders\n"
+            "spine_points=4\n");
   EXPECT_EQ(fp.hash, fnv1a64(fp.canonical));
 }
 
 TEST(Fingerprint, GoldenDigests) {
   api::Scenario mesh = canonical_mesh();
-  EXPECT_EQ(mesh.fingerprint().hex(), "f8a32d48fdb66495");
+  EXPECT_EQ(mesh.fingerprint().hex(), "8249c801e22ee1fe");
 
   api::Scenario cube;
   cube.topology("hypercube:4").pattern("localized:0.2:0.8:6").alpha(0.1).message_length(32).seed(
       11);
-  EXPECT_EQ(cube.fingerprint().hex(), "4203a2b8ca24a03a");
+  EXPECT_EQ(cube.fingerprint().hex(), "8d54c093a0035033");
 
   api::Scenario quarc;
   quarc.topology("quarc:16").pattern("broadcast").alpha(0.05).message_length(16).seed(1);
-  EXPECT_EQ(quarc.fingerprint().hex(), "04bad86ca96d84bd");
+  EXPECT_EQ(quarc.fingerprint().hex(), "e4104d0fa53cd2c0");
 }
 
 // ----------------------------------------------------------- stability
@@ -132,6 +136,11 @@ TEST(Fingerprint, EverySingleKnobChangeChangesTheFingerprint) {
        [](api::Scenario& s) { s.model_options().solver.iteration = SolverIteration::GaussSeidel; }},
       {"solver_anderson_window",
        [](api::Scenario& s) { s.model_options().solver.anderson_window = 5; }},
+      {"solver_anderson_auto",
+       [](api::Scenario& s) { s.model_options().solver.anderson_auto_window = false; }},
+      {"saturation_probe",
+       [](api::Scenario& s) { s.model_options().probe = SaturationProbe::Bisection; }},
+      {"spine_points", [](api::Scenario& s) { s.spine_points(7); }},
   };
 
   const ScenarioFingerprint base = canonical_mesh().fingerprint();
@@ -204,6 +213,32 @@ TEST(Fingerprint, AdoptedTopologiesAreDigestedStructurally) {
   by_spec.topology("quarc:16");
   EXPECT_NE(adopted.fingerprint(), by_spec.fingerprint());  // "spec" vs digest
   EXPECT_NE(adopted.fingerprint().canonical.find("topology_digest="), std::string::npos);
+}
+
+TEST(Fingerprint, PrecompiledSpinePointerIsExcluded) {
+  // SweepConfig::spine is an already-computed copy of what the
+  // fingerprinted knobs (probe, spine_points, solver options) would build,
+  // never an independent input: supplying one must not move the
+  // fingerprint, or warm and cold sweeps of the same scenario would key
+  // different cache files. spine_points itself IS an input (covered by
+  // EverySingleKnobChangeChangesTheFingerprint).
+  const auto topo = api::make_topology("quarc:16");
+  Workload w;
+  w.message_length = 32;
+  const FlowGraph flows(*topo, w, FlowGating::RateInvariant);
+  SweepConfig with, without;
+  with.spine = std::make_shared<ContinuationSpine>(flows, 32);
+  auto inputs_for = [](const SweepConfig& cfg) {
+    FingerprintInputs in;
+    in.topology_spec = "quarc:16";
+    in.pattern_spec = "none";
+    in.num_nodes = 16;
+    in.message_length = 32;
+    in.seed = 1;
+    in.sweep = &cfg;
+    return in;
+  };
+  EXPECT_EQ(fingerprint_scenario(inputs_for(with)), fingerprint_scenario(inputs_for(without)));
 }
 
 TEST(Fingerprint, HexIsFixedWidthLowercase) {

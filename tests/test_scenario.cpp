@@ -173,6 +173,76 @@ TEST(Scenario, AdoptedTopologyAndExplicitPatternWork) {
   EXPECT_TRUE(std::isfinite(rs.rows.front().model_multicast_latency));
 }
 
+// The saturation probe is memoized: a whole auto-grid workflow —
+// saturation_rate(), rate_grid(), run_sweep(points, fill) — probes exactly
+// once. Only knobs the probe actually reads (flow structure, message
+// length, solver options, probe kind, spine_points) invalidate it; the
+// operating rate does not.
+TEST(Scenario, SaturationProbeRunsOncePerConfiguration) {
+  Scenario s = small_multicast();
+  s.with_sim(false);
+  EXPECT_EQ(s.saturation_probe_runs(), 0);
+  const double sat = s.saturation_rate();
+  EXPECT_GT(sat, 0.0);
+  EXPECT_EQ(s.saturation_probe_runs(), 1);
+
+  s.run_sweep(4, 0.85);  // auto grid + spine reuse the memoized probe
+  s.rate_grid(6, 0.9);
+  EXPECT_DOUBLE_EQ(s.saturation_rate(), sat);
+  EXPECT_EQ(s.saturation_probe_runs(), 1);
+
+  s.rate(0.01);  // the operating rate is not a probe input
+  EXPECT_DOUBLE_EQ(s.saturation_rate(), sat);
+  EXPECT_EQ(s.saturation_probe_runs(), 1);
+
+  s.message_length(24);  // changes the model: re-probe, once
+  EXPECT_NE(s.saturation_rate(), sat);
+  EXPECT_EQ(s.saturation_probe_runs(), 2);
+
+  s.model_options().probe = SaturationProbe::Bisection;  // probe kind is a key
+  s.saturation_rate();
+  EXPECT_EQ(s.saturation_probe_runs(), 3);
+}
+
+// A probe that cannot converge fails loudly (no silent zero saturation
+// rate, no all-zero grid), the failure itself is memoized, explicit-rate
+// sweeps degrade to unseeded instead of failing, and fixing the
+// configuration recovers.
+TEST(Scenario, SaturationFailureThrowsAndIsMemoized) {
+  Scenario s = small_multicast();
+  s.with_sim(false);
+  s.model_options().solver.max_iterations = 0;  // can never converge
+  EXPECT_THROW(s.saturation_rate(), ComputationError);
+  EXPECT_EQ(s.saturation_probe_runs(), 1);
+  EXPECT_THROW(s.saturation_rate(), ComputationError);  // cached failure
+  EXPECT_THROW(s.rate_grid(4, 0.85), ComputationError);
+  EXPECT_EQ(s.saturation_probe_runs(), 1);
+
+  // Explicit rates are still evaluable — the sweep runs unseeded and the
+  // per-row status reports the solver outcome honestly.
+  const std::vector<double> rates = {0.001};
+  const ResultSet rs = s.run_sweep(rates);
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_NE(rs.rows.front().model_status, "converged");
+
+  s.model_options().solver.max_iterations = 20000;  // solvable again
+  EXPECT_GT(s.saturation_rate(), 0.0);
+  EXPECT_EQ(s.saturation_probe_runs(), 2);
+}
+
+// spine_points is part of the probe's memo key (it shapes the spine the
+// probe result is compiled into) and 0 disables seeding without touching
+// the certified rate.
+TEST(Scenario, SpinePointsInvalidateTheMemoButNotTheRate) {
+  Scenario s = small_multicast();
+  s.with_sim(false);
+  const double sat = s.saturation_rate();
+  EXPECT_EQ(s.saturation_probe_runs(), 1);
+  s.spine_points(0);
+  EXPECT_DOUBLE_EQ(s.saturation_rate(), sat);  // same certified rate
+  EXPECT_EQ(s.saturation_probe_runs(), 2);     // but a fresh probe/spine
+}
+
 TEST(Scenario, SaturatedRatesReportSaturatedStatus) {
   Scenario s = small_multicast();
   s.with_sim(false);

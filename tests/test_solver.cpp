@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <vector>
+
 #include "quarc/sweep/sweep.hpp"
 #include "quarc/topo/quarc.hpp"
 #include "quarc/traffic/pattern.hpp"
@@ -233,6 +236,113 @@ TEST(Solver, GaussSeidelOptionReproducesTheHistoricalIterationExactly) {
   EXPECT_EQ(a.iterations_used(), b.iterations_used());
   for (const ChannelInfo& ch : topo.channels()) {
     EXPECT_EQ(a.channel(ch.id).service_time, b.channel(ch.id).service_time) << ch.label;
+  }
+}
+
+// Seeding with exactly the closed-form zero-load start must reproduce the
+// unseeded solve byte for byte: the seeded overload differs only in where
+// the iteration starts, and this start is the same.
+TEST(Solver, SeededSolveFromZeroLoadFloorIsByteIdenticalToUnseeded) {
+  QuarcTopology topo(16);
+  const Workload base = make_load(0.0, 0.05, 16, 16);
+  const FlowGraph flows(topo, base, FlowGating::RateInvariant);
+  ServiceTimeSolver solver(flows, 16);
+  std::vector<double> floor(flows.num_channels());
+  for (std::size_t c = 0; c < floor.size(); ++c) {
+    floor[c] = flows.zero_load_service(static_cast<ChannelId>(c), 16);
+  }
+  SolverWorkspace wa, wb;
+  ASSERT_EQ(solver.solve(0.005, wa), SolveStatus::Converged);
+  const int unseeded_iters = solver.iterations_used();
+  ASSERT_EQ(solver.solve(0.005, wb, floor), SolveStatus::Converged);
+  EXPECT_EQ(solver.iterations_used(), unseeded_iters);
+  ASSERT_EQ(wa.solution.size(), wb.solution.size());
+  for (std::size_t c = 0; c < wa.solution.size(); ++c) {
+    EXPECT_EQ(wa.solution[c].service_time, wb.solution[c].service_time) << c;
+    EXPECT_EQ(wa.solution[c].waiting_time, wb.solution[c].waiting_time) << c;
+    EXPECT_EQ(wa.solution[c].utilization, wb.solution[c].utilization) << c;
+  }
+}
+
+// Hostile hints — NaN, below the drain-time floor, far past the guard —
+// are clamped into the feasible band, so a seeded solve can neither
+// diagnose saturation from its seed nor converge to a different fixed
+// point than the unseeded oracle.
+TEST(Solver, SeededSolveClampsHostileHints) {
+  QuarcTopology topo(16);
+  const Workload base = make_load(0.0, 0.05, 16, 16);
+  const FlowGraph flows(topo, base, FlowGating::RateInvariant);
+  ServiceTimeSolver solver(flows, 16);
+  const double rate = 0.005;
+  SolverWorkspace reference;
+  ASSERT_EQ(solver.solve(rate, reference), SolveStatus::Converged);
+  const std::vector<ChannelSolution> expected = reference.solution;
+
+  const double kNaN = std::numeric_limits<double>::quiet_NaN();
+  for (const double hint : {kNaN, -5.0, 0.0, 1e300}) {
+    SCOPED_TRACE(hint);
+    const std::vector<double> x0(flows.num_channels(), hint);
+    SolverWorkspace ws;
+    ASSERT_EQ(solver.solve(rate, ws, x0), SolveStatus::Converged);
+    ASSERT_EQ(ws.solution.size(), expected.size());
+    for (std::size_t c = 0; c < expected.size(); ++c) {
+      EXPECT_NEAR(ws.solution[c].service_time, expected[c].service_time, 1e-6) << c;
+      EXPECT_NEAR(ws.solution[c].waiting_time, expected[c].waiting_time, 1e-6) << c;
+    }
+  }
+}
+
+// The continuation case the seeded overload exists for: restarting from a
+// converged neighbour's solution lands on the same fixed point in no more
+// iterations than the cold start.
+TEST(Solver, SeededSolveFromNeighbourSolutionIsNoWorseThanCold) {
+  QuarcTopology topo(16);
+  const Workload base = make_load(0.0, 0.05, 16, 16);
+  const FlowGraph flows(topo, base, FlowGating::RateInvariant);
+  ServiceTimeSolver solver(flows, 16);
+  SolverWorkspace ws;
+  ASSERT_EQ(solver.solve(0.006, ws), SolveStatus::Converged);
+  std::vector<double> hint(flows.num_channels());
+  for (std::size_t c = 0; c < hint.size(); ++c) hint[c] = ws.solution[c].service_time;
+
+  SolverWorkspace cold, warm;
+  ASSERT_EQ(solver.solve(0.0065, cold), SolveStatus::Converged);
+  const int cold_iters = solver.iterations_used();
+  ASSERT_EQ(solver.solve(0.0065, warm, hint), SolveStatus::Converged);
+  EXPECT_LE(solver.iterations_used(), cold_iters);
+  for (std::size_t c = 0; c < cold.solution.size(); ++c) {
+    EXPECT_NEAR(warm.solution[c].service_time, cold.solution[c].service_time, 1e-6) << c;
+  }
+}
+
+// The adaptive Anderson window is a pure function of the residual history,
+// so it keeps the fixed point (vs the fixed-window iteration) and stays
+// deterministic across workspace reuse; turning it off recovers the
+// fixed-window behaviour exactly.
+TEST(Solver, AutoWindowKeepsTheFixedPointAndIsDeterministic) {
+  QuarcTopology topo(16);
+  const Workload base = make_load(0.0, 0.05, 16, 16);
+  const FlowGraph flows(topo, base, FlowGating::RateInvariant);
+  SolverOptions fixed = iteration_options(SolverIteration::Anderson);
+  fixed.anderson_auto_window = false;
+  ServiceTimeSolver adaptive(flows, 16, iteration_options(SolverIteration::Anderson));
+  ServiceTimeSolver pinned(flows, 16, fixed);
+  SolverWorkspace wa, wp;
+  for (const double rate : {0.002, 0.005, 0.0068}) {
+    SCOPED_TRACE(rate);
+    ASSERT_EQ(adaptive.solve(rate, wa), SolveStatus::Converged);
+    ASSERT_EQ(pinned.solve(rate, wp), SolveStatus::Converged);
+    for (std::size_t c = 0; c < wa.solution.size(); ++c) {
+      EXPECT_NEAR(wa.solution[c].service_time, wp.solution[c].service_time, 1e-6) << c;
+    }
+    // Reused (dirty) vs fresh workspace under the adaptive window: the
+    // window trajectory restarts from 1 either way — byte identity.
+    SolverWorkspace fresh;
+    ASSERT_EQ(adaptive.solve(rate, fresh), SolveStatus::Converged);
+    for (std::size_t c = 0; c < wa.solution.size(); ++c) {
+      EXPECT_EQ(wa.solution[c].service_time, fresh.solution[c].service_time) << c;
+      EXPECT_EQ(wa.solution[c].waiting_time, fresh.solution[c].waiting_time) << c;
+    }
   }
 }
 

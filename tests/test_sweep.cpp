@@ -9,6 +9,7 @@
 #include "quarc/api/scenario.hpp"
 #include "quarc/topo/quarc.hpp"
 #include "quarc/traffic/pattern.hpp"
+#include "quarc/util/error.hpp"
 
 namespace quarc {
 namespace {
@@ -162,6 +163,161 @@ TEST(Sweep, PointSeedsAreRateKeyedAndWellMixed) {
     seeds.insert(sweep_point_seed(42, 1e-3 * i));
   }
   EXPECT_EQ(seeds.size(), 100u);  // no collisions across a realistic grid
+}
+
+// The seed mixes the rate's *bit pattern*, and -0.0 and 0.0 have different
+// bit patterns while comparing equal — a caller writing `-0.0` (or
+// computing a rate that rounds to negative zero) must get the same seed,
+// or the same point would simulate differently depending on how its rate
+// was spelled.
+TEST(Sweep, NegativeZeroRateSeedsLikePositiveZero) {
+  EXPECT_EQ(sweep_point_seed(42, -0.0), sweep_point_seed(42, 0.0));
+  EXPECT_EQ(sweep_point_seed(1, -0.0), sweep_point_seed(1, 0.0));
+}
+
+// The probe must never report a zero saturation rate silently: when the
+// model cannot converge even at vanishing rates it throws, downstream
+// auto-grids throw with it, and build_spine degrades to "no spine" so
+// explicit-rate sweeps keep working unseeded.
+TEST(Sweep, ProbeThrowsInsteadOfReportingZeroSaturation) {
+  QuarcTopology topo(16);
+  const Workload w = base_load(16);
+  const FlowGraph flows(topo, w, FlowGating::RateInvariant);
+  ModelOptions options;
+  options.solver.max_iterations = 0;  // the model can never converge
+  EXPECT_THROW(probe_saturation_rate(flows, w, options), ComputationError);
+  EXPECT_THROW(model_saturation_rate(flows, w, options), ComputationError);
+  EXPECT_THROW(rate_grid_to_saturation(flows, w, 4, 0.9, options), ComputationError);
+  EXPECT_EQ(build_spine(flows, w, options, 4), nullptr);
+  options.probe = SaturationProbe::Bisection;  // fallback errors the same way
+  EXPECT_THROW(probe_saturation_rate(flows, w, options), ComputationError);
+}
+
+// Both probe kinds certify the same ~1e-3-relative saturation rate; the
+// superlinear default gets there in a fraction of the solver runs. The
+// trajectory it hands back is a valid spine: converged rates, sorted
+// strictly ascending, none past the certified saturation, full-width
+// service-time vectors.
+TEST(Sweep, ProbeKindsAgreeAndRiddersIsCheaper) {
+  QuarcTopology topo(16);
+  const Workload w = base_load(16);
+  const FlowGraph flows(topo, w, FlowGating::RateInvariant);
+  ModelOptions ridders, bisect;
+  bisect.probe = SaturationProbe::Bisection;
+  const SaturationProbeResult a = probe_saturation_rate(flows, w, ridders);
+  const SaturationProbeResult b = probe_saturation_rate(flows, w, bisect);
+  ASSERT_GT(a.rate, 0.0);
+  ASSERT_GT(b.rate, 0.0);
+  // Both certify the same fold: bisection brackets to 1e-3, the fold-fit
+  // certificate is ~2e-3, so the two rates agree within their combined
+  // tolerance.
+  EXPECT_NEAR(a.rate, b.rate, 4e-3 * b.rate);
+  EXPECT_GT(a.solves, 0);
+  // The superlinear probe is strictly cheaper, and bounded: floor + ramp
+  // + fold-fit endgame stays in the low teens where the doubling +
+  // bisection comparator spends high teens (both are deterministic, so
+  // these are stable measurements, not flaky thresholds).
+  EXPECT_LT(a.solves, b.solves)
+      << "ridders " << a.solves << " solves vs bisection " << b.solves;
+  EXPECT_LE(a.solves, 13);
+  EXPECT_LE(a.iterations, b.iterations)
+      << "ridders " << a.iterations << " iterations vs bisection " << b.iterations;
+  ASSERT_FALSE(a.nodes.empty());
+  for (std::size_t i = 0; i < a.nodes.size(); ++i) {
+    EXPECT_GT(a.nodes[i].rate, 0.0) << i;
+    EXPECT_LE(a.nodes[i].rate, a.rate * (1.0 + 1e-12)) << i;
+    EXPECT_EQ(a.nodes[i].service_time.size(), flows.num_channels()) << i;
+    if (i > 0) {
+      EXPECT_GT(a.nodes[i].rate, a.nodes[i - 1].rate) << i;
+    }
+  }
+}
+
+// A supplied precompiled spine is purely an already-computed copy of what
+// sweep_tasks would build itself — handing one in (as Scenario and the
+// batch runner do) must not change a byte of any point.
+TEST(Sweep, SuppliedSpineIsByteIdenticalToInternallyBuiltSpine) {
+  QuarcTopology topo(16);
+  const Workload w = base_load(16);
+  const FlowGraph flows(topo, w, FlowGating::RateInvariant);
+  SweepConfig internal, supplied;
+  internal.run_sim = supplied.run_sim = false;
+  supplied.spine = build_spine(flows, w, supplied.model, supplied.spine_points);
+  ASSERT_NE(supplied.spine, nullptr);
+  const std::vector<double> rates = {0.001, 0.0025, 0.004};
+  const auto a = sweep_rates(flows, w, rates, internal);
+  const auto b = sweep_rates(flows, w, rates, supplied);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(a[i].model.status, b[i].model.status);
+    EXPECT_EQ(a[i].model.solver_iterations, b[i].model.solver_iterations);
+    EXPECT_EQ(a[i].model.avg_unicast_latency, b[i].model.avg_unicast_latency);
+    EXPECT_EQ(a[i].model.avg_multicast_latency, b[i].model.avg_multicast_latency);
+    ASSERT_EQ(a[i].model.channels.size(), b[i].model.channels.size());
+    for (std::size_t c = 0; c < a[i].model.channels.size(); ++c) {
+      EXPECT_EQ(a[i].model.channels[c].service_time, b[i].model.channels[c].service_time) << c;
+      EXPECT_EQ(a[i].model.channels[c].waiting_time, b[i].model.channels[c].waiting_time) << c;
+    }
+  }
+}
+
+// Continuation seeding changes where the solver starts, never where it
+// stops: seeded and unseeded runs land on the same fixed point (within
+// solver tolerance), agree on every status, and the seeded run never pays
+// more iterations. Exercised up to 95% of saturation, where seeding
+// matters most.
+TEST(Sweep, SeededAndUnseededSolvesAgreeOnTheFixedPoint) {
+  QuarcTopology topo(16);
+  const Workload w = base_load(16);
+  const FlowGraph flows(topo, w, FlowGating::RateInvariant);
+  SweepConfig seeded, unseeded;
+  seeded.run_sim = unseeded.run_sim = false;
+  unseeded.spine_points = 0;
+  const auto rates = rate_grid_to_saturation(flows, w, 6, 0.95);
+  const auto a = sweep_rates(flows, w, rates, seeded);
+  const auto b = sweep_rates(flows, w, rates, unseeded);
+  ASSERT_EQ(a.size(), b.size());
+  long long seeded_iters = 0, unseeded_iters = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE(rates[i]);
+    ASSERT_EQ(a[i].model.status, SolveStatus::Converged);
+    ASSERT_EQ(b[i].model.status, SolveStatus::Converged);
+    EXPECT_NEAR(a[i].model.avg_unicast_latency, b[i].model.avg_unicast_latency,
+                1e-5 * b[i].model.avg_unicast_latency);
+    EXPECT_NEAR(a[i].model.avg_multicast_latency, b[i].model.avg_multicast_latency,
+                1e-5 * b[i].model.avg_multicast_latency);
+    seeded_iters += a[i].model.solver_iterations;
+    unseeded_iters += b[i].model.solver_iterations;
+  }
+  EXPECT_LE(seeded_iters, unseeded_iters)
+      << "seeding made the curve dearer: " << seeded_iters << " vs " << unseeded_iters;
+}
+
+// The spine (and therefore every seed drawn from it) is a pure function of
+// fingerprinted state — re-running the spine-seeded sweep on a different
+// worker count reproduces the model bytes exactly.
+TEST(Sweep, SpineSeededSweepIsByteIdenticalAcrossThreadCounts) {
+  QuarcTopology topo(16);
+  const Workload w = base_load(16);
+  const FlowGraph flows(topo, w, FlowGating::RateInvariant);
+  SweepConfig serial, parallel;
+  serial.run_sim = parallel.run_sim = false;
+  serial.threads = 1;
+  parallel.threads = 4;
+  const auto rates = rate_grid_to_saturation(flows, w, 8, 0.9);
+  const auto a = sweep_rates(flows, w, rates, serial);
+  const auto b = sweep_rates(flows, w, rates, parallel);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(a[i].model.solver_iterations, b[i].model.solver_iterations);
+    ASSERT_EQ(a[i].model.channels.size(), b[i].model.channels.size());
+    for (std::size_t c = 0; c < a[i].model.channels.size(); ++c) {
+      EXPECT_EQ(a[i].model.channels[c].service_time, b[i].model.channels[c].service_time) << c;
+      EXPECT_EQ(a[i].model.channels[c].utilization, b[i].model.channels[c].utilization) << c;
+    }
+  }
 }
 
 // The seed's index-freedom made observable: the same rate solved inside
