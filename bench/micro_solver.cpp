@@ -173,11 +173,28 @@ struct ProbeStats {
   double workflow_seeded_us = 0.0;
 };
 
+/// The SoA lane-batched solve (solve_batch) against the scalar loop it
+/// replaces: the same 8-lane fig6 grid (0.85 x saturation), zero-load
+/// Anderson on both sides. `identical` is the exact (==) comparison of
+/// every lane's solution/status/iterations against its scalar solve —
+/// the byte-identity contract the CI bench gate enforces alongside the
+/// throughput floor.
+struct SoaStats {
+  int lanes = 0;
+  double scalar_us = 0.0;          ///< sum of per-lane scalar solves, mean of repeats
+  double batch_us = 0.0;           ///< one solve_batch pass, mean of repeats
+  long long scalar_iterations = 0; ///< summed over lanes (deterministic)
+  long long batch_iterations = 0;  ///< must equal scalar_iterations
+  bool identical = false;          ///< lane-for-lane byte identity held
+  double speedup = 0.0;            ///< scalar_us / batch_us
+};
+
 struct CellStats {
   std::string topology;
   std::string pattern;
   double compile_us = 0.0;  ///< one-off FlowGraph compile, amortised
   ProbeStats probe;
+  SoaStats soa;
   std::vector<PointStats> points;
 
   double total(double PointStats::* field) const {
@@ -351,6 +368,59 @@ CellStats run_cell(const std::string& topo_spec, const std::string& pattern_spec
   }
   pr.workflow_seeded_us = us_since(start);
 
+  // ---- SoA lane-batched solve vs the scalar loop (same grid shape the
+  // sweep batches: 8 lanes to 0.85 x saturation, zero-load Anderson) ----
+  {
+    SoaStats& soa = cell.soa;
+    const std::vector<double> lanes = rate_grid_from_saturation(ridders_probe.rate, 8, 0.85);
+    soa.lanes = static_cast<int>(lanes.size());
+    ServiceTimeSolver aa(flows, base.message_length, anderson_options);
+    CurveWorkspace cw;
+    // Warm both paths once so allocations stay out of the timed regions.
+    for (const double rate : lanes) checksum += aa.solve(rate, ws) == SolveStatus::Converged;
+    aa.solve_batch(lanes, cw);
+
+    start = Clock::now();
+    for (int r = 0; r < repeats; ++r) {
+      soa.scalar_iterations = 0;
+      for (const double rate : lanes) {
+        checksum += static_cast<double>(aa.solve(rate, ws) == SolveStatus::Converged);
+        soa.scalar_iterations += aa.iterations_used();
+      }
+    }
+    soa.scalar_us = us_since(start) / repeats;
+
+    start = Clock::now();
+    for (int r = 0; r < repeats; ++r) {
+      const auto res = aa.solve_batch(lanes, cw);
+      soa.batch_iterations = 0;
+      for (const LaneResult& lr : res) soa.batch_iterations += lr.iterations;
+      checksum += static_cast<double>(res[0].iterations);
+    }
+    soa.batch_us = us_since(start) / repeats;
+    soa.speedup = soa.scalar_us / std::max(soa.batch_us, 1e-9);
+
+    // Byte-identity audit: every lane against its scalar solve, exact ==.
+    soa.identical = true;
+    for (std::size_t l = 0; l < lanes.size(); ++l) {
+      const SolveStatus st = aa.solve(lanes[l], ws);
+      if (cw.results[l].status != st || cw.results[l].iterations != aa.iterations_used()) {
+        soa.identical = false;
+        break;
+      }
+      for (std::size_t c = 0; c < cw.channels; ++c) {
+        const std::size_t at = c * cw.lanes + l;
+        const ChannelSolution& sc = ws.solution[c];
+        if (cw.lambda[at] != sc.lambda || cw.service_time[at] != sc.service_time ||
+            cw.waiting_time[at] != sc.waiting_time || cw.utilization[at] != sc.utilization) {
+          soa.identical = false;
+          break;
+        }
+      }
+      if (!soa.identical) break;
+    }
+  }
+
   return cell;
 }
 
@@ -387,6 +457,28 @@ void print_probe(const CellStats& cell) {
             << pr.workflow_cold_us / std::max(pr.workflow_seeded_us, 1.0) << "x\n";
 }
 
+void print_soa(const CellStats& cell) {
+  const SoaStats& soa = cell.soa;
+  std::cout << std::left << std::setw(12) << cell.topology << std::right << std::setw(7)
+            << soa.lanes << std::fixed << std::setprecision(1) << std::setw(11)
+            << soa.scalar_us << std::setw(11) << soa.batch_us << std::setw(10)
+            << soa.scalar_iterations << std::setw(10) << soa.batch_iterations
+            << std::setprecision(2) << std::setw(9) << soa.speedup << "x"
+            << std::setw(6) << (soa.identical ? "yes" : "NO") << "\n";
+}
+
+json::Value soa_to_json(const SoaStats& soa) {
+  json::Value p = json::Value::object();
+  p.set("lanes", soa.lanes);
+  p.set("scalar_us", soa.scalar_us);
+  p.set("batch_us", soa.batch_us);
+  p.set("scalar_iterations", static_cast<std::int64_t>(soa.scalar_iterations));
+  p.set("batch_iterations", static_cast<std::int64_t>(soa.batch_iterations));
+  p.set("identical", soa.identical);
+  p.set("speedup", soa.speedup);
+  return p;
+}
+
 json::Value probe_to_json(const ProbeStats& pr) {
   json::Value p = json::Value::object();
   p.set("bisect_solves", pr.bisect_solves);
@@ -417,6 +509,7 @@ json::Value cell_to_json(const CellStats& cell) {
   c.set("pattern", cell.pattern);
   c.set("flowgraph_compile_us", cell.compile_us);
   c.set("probe", probe_to_json(cell.probe));
+  c.set("soa", soa_to_json(cell.soa));
   c.set("total_rebuild_us", cell.total(&PointStats::rebuild_us));
   c.set("total_scaled_us", cell.total(&PointStats::scaled_us));
   c.set("total_cold_iterations", static_cast<std::int64_t>(
@@ -531,8 +624,28 @@ int main(int argc, char** argv) {
             << static_cast<double>(wf_cold_it) / static_cast<double>(std::max(wf_seed_it, 1LL))
             << "x)\n";
 
+  std::cout << "\nSoA lane-batched solve (solve_batch): one downwind-sweep + Anderson pass\n"
+            << "advancing 8 rate lanes per channel visit vs the scalar per-point loop —\n"
+            << "same zero-load Anderson solves, byte-identical lanes (ident column is the\n"
+            << "exact per-double comparison the CI gate enforces)\n\n"
+            << std::left << std::setw(12) << "topology" << std::right << std::setw(7)
+            << "lanes" << std::setw(11) << "scalar us" << std::setw(11) << "batch us"
+            << std::setw(10) << "scal it" << std::setw(10) << "batch it" << std::setw(10)
+            << "speedup" << std::setw(6) << "ident\n";
+  double soa_scalar = 0.0, soa_batch = 0.0;
+  bool soa_identical = true;
+  for (const CellStats& c : cells) {
+    print_soa(c);
+    soa_scalar += c.soa.scalar_us;
+    soa_batch += c.soa.batch_us;
+    soa_identical = soa_identical && c.soa.identical;
+  }
+  std::cout << "\nsoa totals: " << std::setprecision(2) << soa_scalar / std::max(soa_batch, 1e-9)
+            << "x solve throughput over the scalar loop, lanes "
+            << (soa_identical ? "byte-identical" : "NOT IDENTICAL (bug!)") << "\n";
+
   json::Value doc = json::Value::object();
-  doc.set("schema", "quarc-bench-solver-v2");
+  doc.set("schema", "quarc-bench-solver-v3");
   doc.set("grid_points_per_cell", points);
   json::Value arr = json::Value::array();
   for (const CellStats& c : cells) arr.push_back(cell_to_json(c));

@@ -100,6 +100,16 @@ struct ResultSet {
   std::int64_t cache_hits = 0;
   std::int64_t cache_misses = 0;
 
+  /// Batched-solve diagnostics for the run that produced this set: how
+  /// many SoA lane groups were run, how many points rode in them, and the
+  /// solver iterations they retired. Runtime-only and NOT serialised for
+  /// the same reason as the cache counters — batching never changes a
+  /// byte of what an experiment reports (solve_batch's lane-identity
+  /// contract), so the document must not betray whether it was used.
+  std::int64_t solve_batches = 0;
+  std::int64_t solve_lanes = 0;
+  std::int64_t solve_lane_iterations = 0;
+
   bool has_multicast() const { return alpha > 0.0; }
   bool has_sim() const;
 

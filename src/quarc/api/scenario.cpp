@@ -118,6 +118,12 @@ Scenario& Scenario::spine_points(int count) {
   return *this;
 }
 
+Scenario& Scenario::batch_points(int count) {
+  QUARC_REQUIRE(count >= 1, "batch_points must be at least 1");
+  sweep_.batch_points = count;
+  return *this;
+}
+
 Scenario& Scenario::cache(std::shared_ptr<SweepCache> cache) {
   cache_ = std::move(cache);
   return *this;
@@ -328,7 +334,12 @@ ResultSet Scenario::run_sweep(std::span<const double> rates) {
       cfg.spine_points = 0;  // keep sweep_tasks from re-probing
     }
   }
+  auto solve_stats = std::make_shared<BatchSolveStats>();
+  cfg.solve_stats = solve_stats;
   const auto points = sweep_tasks(*flows_, workload_, tasks, cfg);
+  rs.solve_batches = solve_stats->batches.load();
+  rs.solve_lanes = solve_stats->lanes.load();
+  rs.solve_lane_iterations = solve_stats->lane_iterations.load();
   for (std::size_t j = 0; j < points.size(); ++j) {
     rs.rows[task_rows[j]] = ResultRow::from_point(points[j]);
     if (cache_) cache_->store(fp, rs.rows[task_rows[j]], workload_.multicast_fraction > 0.0);

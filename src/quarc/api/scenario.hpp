@@ -98,6 +98,14 @@ class Scenario {
   /// — it changes the x0 every sweep point is solved from.
   Scenario& spine_points(int count);
   int spine_points() const { return sweep_.spine_points; }
+  /// SoA lane count of the batched sweep solve (default 8; 1 restores the
+  /// historical one-scalar-solve-per-point path). Byte-identical for
+  /// every value — and therefore, like the assembly knob, deliberately
+  /// NOT fingerprinted (see sweep.hpp). The returned ResultSet's
+  /// solve_batches/solve_lanes/solve_lane_iterations counters report what
+  /// the run actually batched.
+  Scenario& batch_points(int count);
+  int batch_points() const { return sweep_.batch_points; }
 
   // ---- caching ----
   /// Attaches a sweep cache (shared across Scenarios; nullptr detaches).

@@ -1,8 +1,10 @@
 #include "quarc/batch/batch_runner.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <mutex>
 #include <ostream>
+#include <span>
 #include <utility>
 
 #include "quarc/model/performance_model.hpp"
@@ -169,45 +171,126 @@ std::vector<api::ResultSet> BatchRunner::run(std::ostream* stream, std::ostream*
     }
   }
 
+  // Simulates (if configured), caches and lands one modelled point — the
+  // per-point tail shared by the scalar and the batched solve paths.
+  auto finish_point = [&](const GlobalTask& gt, RatePointResult& point) {
+    Member& member = members[gt.member];
+    if (member.cfg.run_sim) {
+      sim::SimConfig sc = member.cfg.sim;
+      sc.workload = member.workload;
+      sc.workload.message_rate = gt.task.rate;
+      sc.seed = gt.task.sim_seed;
+      point.sim = sim::Simulator(member.flows->plan(), sc).run();
+      point.sim_run = true;
+    }
+    api::ResultRow row = api::ResultRow::from_point(point);
+    // Store before taking the land lock: SweepCache serialises itself,
+    // and landing must not hold two locks.
+    if (options_.cache) {
+      options_.cache->store(member.fp, row, member.workload.multicast_fraction > 0.0);
+    }
+    const std::lock_guard<std::mutex> lock(land_mutex);
+    stats_.solved_iterations += row.solver_iterations;
+    member.rs.rows[gt.row] = std::move(row);
+    landed[member.first_point + gt.row] = 1;
+    flush_ready();
+    if (--member.pending == 0) member_done(gt.member);
+  };
+  // The historical scalar solve — the batch_points <= 1 escape hatch and
+  // the fallback for rate <= 0 points.
+  auto solve_task = [&](std::size_t t) {
+    const GlobalTask& gt = tasks[t];
+    Member& member = members[gt.member];
+    RatePointResult point;
+    point.rate = gt.task.rate;
+    Workload w = member.workload;
+    w.message_rate = gt.task.rate;
+    // Per-worker workspace, fully reseeded per solve — reuse across
+    // members cannot change a byte (same contract as sweep_tasks).
+    static thread_local SolverWorkspace ws;
+    const PerformanceModel model(*member.flows, w, member.cfg.model);
+    if (member.spine != nullptr) {
+      static thread_local std::vector<double> x0;
+      member.spine->seed(gt.task.rate, x0);
+      point.model = model.evaluate(ws, x0);
+    } else {
+      point.model = model.evaluate(ws);
+    }
+    finish_point(gt, point);
+  };
+  // Solves tasks [begin, end) — same member, positive rates — as one SoA
+  // lane group; each lane is byte-identical to solve_task on it (pinned
+  // by the batch determinism suite).
+  auto solve_chunk = [&](std::size_t begin, std::size_t end) {
+    Member& member = members[tasks[begin].member];
+    const std::size_t width = end - begin;
+    static thread_local CurveWorkspace cw;
+    static thread_local std::vector<double> rates_buf;
+    static thread_local std::vector<double> x0_buf;
+    static thread_local std::vector<double> seed_buf;
+    rates_buf.resize(width);
+    for (std::size_t l = 0; l < width; ++l) rates_buf[l] = tasks[begin + l].task.rate;
+    Workload w = member.workload;
+    w.message_rate = rates_buf[0];  // shape only; evaluate_batch applies lane rates
+    const PerformanceModel model(*member.flows, w, member.cfg.model);
+    std::span<const double> x0{};
+    if (member.spine != nullptr) {
+      const std::size_t nch = member.flows->num_channels();
+      x0_buf.resize(width * nch);
+      for (std::size_t l = 0; l < width; ++l) {
+        member.spine->seed(rates_buf[l], seed_buf);
+        std::copy(seed_buf.begin(), seed_buf.end(),
+                  x0_buf.begin() + static_cast<std::ptrdiff_t>(l * nch));
+      }
+      x0 = x0_buf;
+    }
+    std::vector<ModelResult> res = model.evaluate_batch(rates_buf, cw, x0);
+    {
+      const std::lock_guard<std::mutex> lock(land_mutex);
+      ++stats_.solve_batches;
+      stats_.solve_lanes += static_cast<std::int64_t>(width);
+    }
+    for (std::size_t l = 0; l < width; ++l) {
+      RatePointResult point;
+      point.rate = rates_buf[l];
+      point.model = std::move(res[l]);
+      finish_point(tasks[begin + l], point);
+    }
+  };
+
+  // Lane-group chunking: consecutive miss tasks of the SAME member (phase
+  // 2 emits them in (member, grid-index) order, so same-member runs are
+  // contiguous) share a FlowGraph and can ride one solve_batch. The
+  // parallel grain becomes the chunk — pure per-point results make any
+  // grouping byte-neutral.
+  struct TaskChunk {
+    std::size_t begin, end;
+  };
+  std::vector<TaskChunk> chunks;
+  const std::size_t lane_cap = static_cast<std::size_t>(std::max(options_.batch_points, 1));
+  for (std::size_t t = 0; t < tasks.size();) {
+    if (lane_cap <= 1 || !(tasks[t].task.rate > 0.0)) {
+      chunks.push_back({t, t + 1});
+      ++t;
+      continue;
+    }
+    std::size_t j = t;
+    while (j < tasks.size() && j - t < lane_cap && tasks[j].member == tasks[t].member &&
+           tasks[j].task.rate > 0.0) {
+      ++j;
+    }
+    chunks.push_back({t, j});
+    t = j;
+  }
   parallel_for(
-      tasks.size(),
-      [&](std::size_t t) {
-        const GlobalTask& gt = tasks[t];
-        Member& member = members[gt.member];
-        RatePointResult point;
-        point.rate = gt.task.rate;
-        Workload w = member.workload;
-        w.message_rate = gt.task.rate;
-        // Per-worker workspace, fully reseeded per solve — reuse across
-        // members cannot change a byte (same contract as sweep_tasks).
-        static thread_local SolverWorkspace ws;
-        const PerformanceModel model(*member.flows, w, member.cfg.model);
-        if (member.spine != nullptr) {
-          static thread_local std::vector<double> x0;
-          member.spine->seed(gt.task.rate, x0);
-          point.model = model.evaluate(ws, x0);
+      chunks.size(),
+      [&](std::size_t c) {
+        const TaskChunk ch = chunks[c];
+        if (ch.end - ch.begin > 1 || (lane_cap > 1 && tasks[ch.begin].task.rate > 0.0)) {
+          solve_chunk(ch.begin, ch.end);
         } else {
-          point.model = model.evaluate(ws);
+          solve_task(ch.begin);
         }
-        if (member.cfg.run_sim) {
-          sim::SimConfig sc = member.cfg.sim;
-          sc.workload = w;
-          sc.seed = gt.task.sim_seed;
-          point.sim = sim::Simulator(member.flows->plan(), sc).run();
-          point.sim_run = true;
-        }
-        api::ResultRow row = api::ResultRow::from_point(point);
-        // Store before taking the land lock: SweepCache serialises itself,
-        // and landing must not hold two locks.
-        if (options_.cache) {
-          options_.cache->store(member.fp, row, member.workload.multicast_fraction > 0.0);
-        }
-        const std::lock_guard<std::mutex> lock(land_mutex);
-        stats_.solved_iterations += row.solver_iterations;
-        member.rs.rows[gt.row] = std::move(row);
-        landed[member.first_point + gt.row] = 1;
-        flush_ready();
-        if (--member.pending == 0) member_done(gt.member);
       },
       options_.threads);
 
@@ -226,6 +309,8 @@ std::vector<api::ResultSet> BatchRunner::run(std::ostream* stream, std::ostream*
   if (progress != nullptr) {
     *progress << "batch: " << stats_.scenarios << " scenarios, " << stats_.points
               << " points, hits=" << stats_.cache_hits << " misses=" << stats_.cache_misses
+              << ", solve batches=" << stats_.solve_batches
+              << " lanes=" << stats_.solve_lanes
               << ", plans compiled=" << stats_.artifacts.plans_compiled
               << " reused=" << stats_.artifacts.plans_reused
               << ", flows compiled=" << stats_.artifacts.flows_compiled

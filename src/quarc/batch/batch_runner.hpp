@@ -55,6 +55,12 @@ struct BatchOptions {
   /// one in to share plans/flow graphs across BatchRunner instances (the
   /// serve loop does).
   std::shared_ptr<ArtifactCache> artifacts;
+  /// SoA lane count of the batched solve: up to this many consecutive
+  /// same-member miss points go through one solve_batch lane group
+  /// (<= 1: the historical scalar path). Byte-identical for every value
+  /// — the batch determinism suite pins it — so like threads it never
+  /// appears in any fingerprint or document.
+  int batch_points = 8;
 };
 
 /// Aggregate counters for one run(); truthful across every path — cache
@@ -69,6 +75,10 @@ struct BatchStats {
   /// rows carry their original solve's count but cost this run nothing) —
   /// the serve loop's "a repeated request does zero solver work" counter.
   std::int64_t solved_iterations = 0;
+  /// SoA lane groups run and the points that rode in them (scalar-path
+  /// points — rate <= 0 or batch_points <= 1 — count in neither).
+  std::int64_t solve_batches = 0;
+  std::int64_t solve_lanes = 0;
   ArtifactCacheStats artifacts;
   double elapsed_seconds = 0.0;
 };

@@ -105,6 +105,10 @@ evaluation:
                      doubling + bisection (~1e-3)         [default ridders]
   --no-spine         disable continuation seeding (solve every sweep
                      point from the zero-load seed)
+  --batch-points K   solve up to K consecutive sweep points per SoA lane
+                     group (byte-identical for every K)        [default 8]
+  --no-batch         one scalar solve per point (the historical path;
+                     same bytes as any --batch-points value)
   --csv              emit the ResultSet as CSV instead of a table
   --json             emit the ResultSet as a JSON document (schema v)" +
          std::to_string(api::kResultSchemaVersion) + R"()
@@ -188,6 +192,11 @@ Options parse(std::span<const std::string> args) {
                     "--probe expects ridders or bisect, got '" + opts.probe + "'");
     } else if (arg == "--no-spine") {
       opts.no_spine = true;
+    } else if (arg == "--batch-points") {
+      opts.batch_points = static_cast<int>(parse_int(arg, next("--batch-points")));
+      QUARC_REQUIRE(opts.batch_points >= 1, "--batch-points must be >= 1");
+    } else if (arg == "--no-batch") {
+      opts.no_batch = true;
     } else if (arg == "--csv") {
       opts.csv = true;
     } else if (arg == "--json") {
@@ -254,6 +263,7 @@ api::Scenario make_scenario(const Options& opts) {
   scenario.model_options().probe =
       opts.probe == "bisect" ? SaturationProbe::Bisection : SaturationProbe::Ridders;
   if (opts.no_spine) scenario.spine_points(0);
+  scenario.batch_points(opts.no_batch ? 1 : opts.batch_points);
   if (!opts.cache_dir.empty()) scenario.cache_dir(opts.cache_dir);
   if (opts.threads > 0) scenario.threads(opts.threads);
   return scenario;
@@ -302,6 +312,7 @@ int run_batch(const Options& opts, std::istream& in, std::ostream& out, std::ost
   QUARC_REQUIRE(!set.empty(), "batch: the spec expands to zero scenarios");
   batch::BatchOptions bo;
   bo.threads = opts.threads;
+  bo.batch_points = opts.no_batch ? 1 : opts.batch_points;
   if (!opts.cache_dir.empty()) bo.cache = std::make_shared<SweepCache>(opts.cache_dir);
   batch::BatchRunner runner(std::move(set), bo);
   if (opts.dry_run) {
@@ -365,7 +376,8 @@ int run(const Options& opts, std::istream& in, std::ostream& out, std::ostream& 
     long long total_iterations = 0;
     for (const api::ResultRow& r : rs.rows) total_iterations += r.solver_iterations;
     err << "solver: points=" << rs.rows.size() << " total-iterations=" << total_iterations
-        << "\n";
+        << " batches=" << rs.solve_batches << " lanes=" << rs.solve_lanes
+        << " retired-iterations=" << rs.solve_lane_iterations << "\n";
   }
 
   if (opts.json) {

@@ -73,6 +73,12 @@ struct Options {
   /// Disable continuation seeding: every sweep point solves from the
   /// zero-load seed (equivalent to Scenario::spine_points(0)).
   bool no_spine = false;
+  /// SoA lane count of the batched solve (sweep and batch modes); every
+  /// value is byte-identical, this only tunes throughput.
+  int batch_points = 8;
+  /// Force the historical one-scalar-solve-per-point path (equivalent to
+  /// --batch-points 1; the byte-identity escape hatch CI compares against).
+  bool no_batch = false;
   bool csv = false;   ///< ResultSet CSV instead of the aligned table
   bool json = false;  ///< ResultSet JSON document instead of the table
   bool help = false;

@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "quarc/route/route_plan.hpp"
+#include "quarc/util/aligned.hpp"
 #include "quarc/topo/topology.hpp"
 #include "quarc/traffic/workload.hpp"
 
@@ -153,8 +154,8 @@ class FlowGraph {
   const LatencyStencil& stencil() const;
 
  private:
-  template <typename T>
-  std::span<const T> row(const std::vector<T>& pool, ChannelId i) const {
+  template <typename T, typename Alloc>
+  std::span<const T> row(const std::vector<T, Alloc>& pool, ChannelId i) const {
     const auto c = static_cast<std::size_t>(i);
     return std::span<const T>(pool).subspan(row_offset_[c], row_offset_[c + 1] - row_offset_[c]);
   }
@@ -168,13 +169,16 @@ class FlowGraph {
   const Topology* topo_;
   double alpha_ = 0.0;
 
-  std::vector<double> unit_lambda_;
+  // Cache-line-aligned pools (util/aligned.hpp): the solver streams these
+  // in CSR row order on every sweep of every lane group, so rows start on
+  // line boundaries instead of straddling them.
+  AlignedVector<double> unit_lambda_;
   std::vector<std::uint32_t> row_offset_;  ///< [nch + 1] into the edge pools
   std::vector<ChannelId> next_;            ///< sorted within each row
-  std::vector<double> unit_rate_;
-  std::vector<double> prob_;
-  std::vector<double> self_share_;
-  std::vector<double> steps_to_eject_;
+  AlignedVector<double> unit_rate_;
+  AlignedVector<double> prob_;
+  AlignedVector<double> self_share_;
+  AlignedVector<double> steps_to_eject_;
   std::vector<std::uint8_t> is_ejection_;
   std::vector<ChannelId> injection_;
   std::vector<ChannelId> sweep_order_;

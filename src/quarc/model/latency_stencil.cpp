@@ -97,6 +97,26 @@ double LatencyStencil::unicast_latency_sum(std::span<const ChannelSolution> chan
   return unicast_sum;
 }
 
+void LatencyStencil::unicast_latency_sum_lanes(const double* waiting, std::size_t lanes,
+                                               double msg, double* sums,
+                                               double* scratch) const {
+  for (std::size_t l = 0; l < lanes; ++l) sums[l] = 0.0;
+  for (const PathRec& p : unicast_) {
+    // scratch accumulates this path's wait per lane — a separate
+    // accumulator, like the scalar path_wait's `total`, so the final
+    // (waits + msg) + (hops + 1) addition order matches bit for bit.
+    const double* const w_inj = waiting + static_cast<std::size_t>(p.injection) * lanes;
+    for (std::size_t l = 0; l < lanes; ++l) scratch[l] = w_inj[l];
+    for (std::uint32_t e = p.begin; e < p.end; ++e) {
+      const double we = wait_w_[e];
+      const double* const w_ch = waiting + static_cast<std::size_t>(wait_ch_[e]) * lanes;
+      for (std::size_t l = 0; l < lanes; ++l) scratch[l] += we * w_ch[l];
+    }
+    const double hopsp1 = static_cast<double>(p.hops + 1);
+    for (std::size_t l = 0; l < lanes; ++l) sums[l] += scratch[l] + msg + hopsp1;
+  }
+}
+
 double LatencyStencil::multicast_latency(NodeId s, std::span<const ChannelSolution> channels,
                                          double msg, std::vector<double>& stream_waits) const {
   const std::uint32_t begin = mc_offset_[static_cast<std::size_t>(s)];

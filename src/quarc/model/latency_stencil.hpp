@@ -62,6 +62,17 @@ class LatencyStencil {
   /// by N(N-1) exactly as the direct walk does.
   double unicast_latency_sum(std::span<const ChannelSolution> channels, double msg) const;
 
+  /// The same Eq. 7 sum for K solved rate points at once, over a
+  /// CurveWorkspace-style SoA waiting-time pool (`waiting[c * lanes + l]`
+  /// = lane l's W of channel c): paths outer, lanes inner, so the
+  /// N(N-1)-path walk is amortised across the whole lane group and the
+  /// per-crossing multiply-add runs over K contiguous doubles. Per lane
+  /// the accumulation order is exactly unicast_latency_sum's, so
+  /// sums[l] is byte-identical to the scalar sum over lane l's channels.
+  /// `sums` and `scratch` are caller scratch of `lanes` doubles each.
+  void unicast_latency_sum_lanes(const double* waiting, std::size_t lanes, double msg,
+                                 double* sums, double* scratch) const;
+
   /// Whether source s initiates a multicast (its destination set is
   /// non-empty in the compiled plan).
   bool initiates_multicast(NodeId s) const {
@@ -106,7 +117,7 @@ class LatencyStencil {
   int num_nodes_ = 0;
   bool hardware_ = false;
   std::vector<ChannelId> wait_ch_;
-  std::vector<double> wait_w_;
+  AlignedVector<double> wait_w_;  ///< streamed per path per lane group
   std::vector<PathRec> unicast_;               ///< [s * (N-1) + rank(d)]
   std::vector<PathRec> mc_paths_;              ///< streams or software paths
   std::vector<std::uint32_t> mc_offset_;       ///< [N + 1] into mc_paths_

@@ -13,7 +13,18 @@
 // approximation sigma = x - msg (Eq. 5): the service time of a wormhole
 // channel varies between the pure drain time (msg flits) and the blocked
 // mean x.
+//
+// Header-inline: these three functions sit on the innermost lane loops of
+// both the scalar solve and the SoA batch sweep (one call per (channel,
+// lane) per iteration), where an out-of-line call is measurable. The
+// arithmetic is call-for-call identical to the historical out-of-line
+// definitions, so inlining moves no solved byte.
 #pragma once
+
+#include <algorithm>
+#include <limits>
+
+#include "quarc/util/error.hpp"
 
 namespace quarc {
 
@@ -21,13 +32,23 @@ namespace quarc {
 /// `mean` and service-time standard deviation `sigma`. Returns 0 for an
 /// idle channel (lambda <= 0) and +infinity at or beyond saturation
 /// (lambda * mean >= 1).
-double mg1_waiting_time(double lambda, double mean, double sigma);
+inline double mg1_waiting_time(double lambda, double mean, double sigma) {
+  QUARC_ASSERT(mean >= 0.0 && sigma >= 0.0, "negative service statistics");
+  if (lambda <= 0.0) return 0.0;
+  const double rho = lambda * mean;
+  if (rho >= 1.0) return std::numeric_limits<double>::infinity();
+  return lambda * (mean * mean + sigma * sigma) / (2.0 * (1.0 - rho));
+}
 
 /// Channel utilisation rho = lambda * mean (Eq. 4).
-double mg1_utilization(double lambda, double mean);
+inline double mg1_utilization(double lambda, double mean) {
+  return std::max(0.0, lambda * mean);
+}
 
 /// The paper's Eq. 5 variance approximation: sigma = service mean minus the
 /// message drain time, floored at zero (service can never beat the drain).
-double service_sigma(double service_mean, int message_length);
+inline double service_sigma(double service_mean, int message_length) {
+  return std::max(0.0, service_mean - static_cast<double>(message_length));
+}
 
 }  // namespace quarc

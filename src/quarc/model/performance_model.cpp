@@ -78,7 +78,6 @@ ModelResult PerformanceModel::evaluate(SolverWorkspace& ws) const {
 
 ModelResult PerformanceModel::evaluate(SolverWorkspace& ws, std::span<const double> x0_seed) const {
   ModelResult result;
-  const RoutePlan& plan = *plan_;
   const FlowGraph& flows = *flows_;
   ServiceTimeSolver solver(flows, load_.message_length, options_.solver);
   result.status = x0_seed.empty() ? solver.solve(load_.message_rate, ws)
@@ -87,11 +86,70 @@ ModelResult PerformanceModel::evaluate(SolverWorkspace& ws, std::span<const doub
   result.channels = ws.solution;
   result.max_utilization = solver.max_utilization(&result.bottleneck);
   result.has_multicast = load_.multicast_rate() > 0.0;
+  assemble_latencies(result, ws.stream_waits, nullptr);
+  return result;
+}
+
+std::vector<ModelResult> PerformanceModel::evaluate_batch(std::span<const double> rates,
+                                                          CurveWorkspace& cw,
+                                                          std::span<const double> x0_seeds) const {
+  const FlowGraph& flows = *flows_;
+  const std::size_t K = rates.size();
+  const double msg = static_cast<double>(load_.message_length);
+  ServiceTimeSolver solver(flows, load_.message_length, options_.solver);
+  const std::span<const LaneResult> lanes = solver.solve_batch(rates, cw, x0_seeds);
+
+  // Lane-strided Eq. 7 accumulation over the solved SoA waits: the
+  // dominant N(N-1)-path walk runs once for the whole lane group.
+  // Saturated lanes may hold non-finite waits; their sums are never read
+  // (assemble_latencies pins them to infinity first).
+  bool any_live = false;
+  for (std::size_t l = 0; l < K; ++l) any_live |= lanes[l].status != SolveStatus::Saturated;
+  const bool stencil_lanes = options_.assembly == LatencyAssembly::Stencil && any_live;
+  if (stencil_lanes) {
+    cw.unicast_sums.resize(K);
+    cw.path_scratch.resize(K);
+    flows.stencil().unicast_latency_sum_lanes(cw.waiting_time.data(), K, msg,
+                                              cw.unicast_sums.data(), cw.path_scratch.data());
+  }
+
+  std::vector<ModelResult> out(K);
+  for (std::size_t l = 0; l < K; ++l) {
+    ModelResult& result = out[l];
+    result.status = lanes[l].status;
+    result.solver_iterations = lanes[l].iterations;
+    cw.extract(l, cw.solution_scratch);
+    result.channels = cw.solution_scratch;
+    // The scalar max_utilization scan, over the same per-channel values.
+    double best = 0.0;
+    ChannelId best_id = kInvalidChannel;
+    for (std::size_t c = 0; c < result.channels.size(); ++c) {
+      if (result.channels[c].utilization > best) {
+        best = result.channels[c].utilization;
+        best_id = static_cast<ChannelId>(c);
+      }
+    }
+    result.max_utilization = best;
+    result.bottleneck = best_id;
+    // The scalar model for lane l carries message_rate = rates[l]:
+    // multicast_rate() = rate * alpha, so the gate is rate-positive AND
+    // alpha-positive (rates are all positive here).
+    result.has_multicast = rates[l] * load_.multicast_fraction > 0.0;
+    assemble_latencies(result, cw.stream_waits,
+                       stencil_lanes ? cw.unicast_sums.data() + l : nullptr);
+  }
+  return out;
+}
+
+void PerformanceModel::assemble_latencies(ModelResult& result, std::vector<double>& stream_waits,
+                                          const double* unicast_sum_override) const {
+  const RoutePlan& plan = *plan_;
+  const FlowGraph& flows = *flows_;
 
   if (result.status == SolveStatus::Saturated) {
     result.avg_unicast_latency = std::numeric_limits<double>::infinity();
     result.avg_multicast_latency = std::numeric_limits<double>::infinity();
-    return result;
+    return;
   }
 
   const int n = topo_->num_nodes();
@@ -101,7 +159,9 @@ ModelResult PerformanceModel::evaluate(SolverWorkspace& ws, std::span<const doub
 
   // ---- Unicast average (Eq. 7 over all pairs). ----
   double unicast_sum = 0.0;
-  if (stencil != nullptr) {
+  if (unicast_sum_override != nullptr) {
+    unicast_sum = *unicast_sum_override;  // lane-strided stencil pass
+  } else if (stencil != nullptr) {
     unicast_sum = stencil->unicast_latency_sum(result.channels, msg);
   } else {
     for (NodeId s = 0; s < n; ++s) {
@@ -117,7 +177,7 @@ ModelResult PerformanceModel::evaluate(SolverWorkspace& ws, std::span<const doub
   result.avg_unicast_latency = unicast_sum / (static_cast<double>(n) * (n - 1));
 
   // ---- Multicast average (Eq. 8-16). ----
-  if (!result.has_multicast) return result;
+  if (!result.has_multicast) return;
 
   result.per_node_multicast_latency.assign(static_cast<std::size_t>(n),
                                            std::numeric_limits<double>::quiet_NaN());
@@ -127,7 +187,7 @@ ModelResult PerformanceModel::evaluate(SolverWorkspace& ws, std::span<const doub
     double latency;
     if (stencil != nullptr) {
       if (!stencil->initiates_multicast(s)) continue;
-      latency = stencil->multicast_latency(s, result.channels, msg, ws.stream_waits);
+      latency = stencil->multicast_latency(s, result.channels, msg, stream_waits);
     } else {
       const std::span<const NodeId> dests = plan.multicast_dests(s);
       if (dests.empty()) continue;
@@ -142,7 +202,7 @@ ModelResult PerformanceModel::evaluate(SolverWorkspace& ws, std::span<const doub
         // Eq. 14-15. The waits land in the workspace's reused scratch and
         // the offset index is a scan of the already-seen streams — no
         // per-source allocation on this path either.
-        ws.stream_waits.clear();
+        stream_waits.clear();
         double deterministic_floor = 0.0;
         for (std::size_t c = 0; c < plan.stream_count(s); ++c) {
           const StreamView st = plan.stream(s, c);
@@ -151,13 +211,13 @@ ModelResult PerformanceModel::evaluate(SolverWorkspace& ws, std::span<const doub
             if (plan.stream(s, p).injection == st.injection) ++index;
           }
           const ChannelSolution& inj = result.channels[static_cast<std::size_t>(st.injection)];
-          ws.stream_waits.push_back(path_waiting(flows, result.channels, st.injection, st.links,
+          stream_waits.push_back(path_waiting(flows, result.channels, st.injection, st.links,
                                                  st.stops.back().ejection));
           deterministic_floor =
               std::max(deterministic_floor, static_cast<double>(index) * inj.service_time + msg +
                                                 static_cast<double>(st.hops() + 1));
         }
-        const double w_multicast = expected_max_from_means(ws.stream_waits);  // Eq. 12-13
+        const double w_multicast = expected_max_from_means(stream_waits);  // Eq. 12-13
         latency = w_multicast + deterministic_floor;                          // Eq. 14-15
       } else {
         // Software multicast: consecutive unicasts through the shared
@@ -183,7 +243,6 @@ ModelResult PerformanceModel::evaluate(SolverWorkspace& ws, std::span<const doub
   }
   QUARC_ASSERT(mc_nodes > 0, "multicast workload with no multicasting node");
   result.avg_multicast_latency = mc_sum / static_cast<double>(mc_nodes);  // Eq. 16
-  return result;
 }
 
 }  // namespace quarc

@@ -133,6 +133,18 @@ class PerformanceModel {
   /// to the closed-form zero-load seed.
   ModelResult evaluate(SolverWorkspace& ws, std::span<const double> x0_seed) const;
 
+  /// Evaluates K rate points over the shared FlowGraph in one SoA batch:
+  /// ServiceTimeSolver::solve_batch advances every lane per sweep, then
+  /// the stencil's lane-strided accumulation walks the N(N-1) unicast
+  /// paths once for the whole group. Element l of the returned vector is
+  /// BYTE-IDENTICAL to evaluate(ws, x0 slice l) on a model constructed
+  /// with message_rate = rates[l] (this model's own load rate is ignored;
+  /// its shape — pattern, alpha, message length — applies to every lane).
+  /// `x0_seeds` is empty or lane-major as in solve_batch. All rates must
+  /// be positive.
+  std::vector<ModelResult> evaluate_batch(std::span<const double> rates, CurveWorkspace& cw,
+                                          std::span<const double> x0_seeds = {}) const;
+
   /// Mean waiting a message experiences along (injection, links..., eject),
   /// i.e. W_inj plus the self-discounted waits of every subsequent channel
   /// (the sum-of-w_l of Eq. 7). Exposed for tests and diagnostics; requires
@@ -142,6 +154,14 @@ class PerformanceModel {
                              std::span<const ChannelId> links, ChannelId ejection);
 
  private:
+  /// The post-solve Eq. 7-16 assembly shared by evaluate and
+  /// evaluate_batch: expects result.status / channels / has_multicast
+  /// already set; fills the latency fields. `unicast_sum` overrides the
+  /// Eq. 7 sum when the caller already accumulated it (the lane-strided
+  /// stencil path); null computes it here (stencil or direct walk).
+  void assemble_latencies(ModelResult& result, std::vector<double>& stream_waits,
+                          const double* unicast_sum) const;
+
   std::shared_ptr<const FlowGraph> owned_flows_;  ///< set by the compat ctors
   const FlowGraph* flows_;
   const RoutePlan* plan_;

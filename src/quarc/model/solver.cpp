@@ -421,6 +421,690 @@ SolveStatus ServiceTimeSolver::solve_anderson(SolverWorkspace& ws) {
   return SolveStatus::MaxIterationsReached;
 }
 
+std::span<const LaneResult> ServiceTimeSolver::solve_batch(std::span<const double> rates,
+                                                           CurveWorkspace& cw,
+                                                           std::span<const double> x0) {
+  const FlowGraph& flows = *flows_;
+  const std::size_t K = rates.size();
+  const std::size_t nch = flows.num_channels();
+  QUARC_REQUIRE(K >= 1, "solve_batch needs at least one rate point");
+  for (const double r : rates) {
+    QUARC_REQUIRE(r > 0.0, "solve_batch lanes must have positive rates");
+  }
+  QUARC_REQUIRE(x0.empty() || x0.size() == K * nch,
+                "seeded solve_batch: x0 must be lane-major with one entry per (lane, channel)");
+  const double msg = static_cast<double>(message_length_);
+
+  cw.lanes = K;
+  cw.channels = nch;
+  cw.lambda.resize(nch * K);
+  cw.service_time.resize(nch * K);
+  cw.waiting_time.resize(nch * K);
+  cw.utilization.resize(nch * K);
+  cw.results.assign(K, LaneResult{});
+
+  // solve_batch leaves the scalar accessors alone: per-lane results live
+  // in the workspace, and a prior scalar solve's channels() must survive
+  // a batch (the GaussSeidel lane loop below reuses the scalar solve).
+  const SolverWorkspace* const saved_last = last_;
+  const int saved_iterations = iterations_used_;
+
+  if (options_.iteration == SolverIteration::GaussSeidel) {
+    // The historical oracle stays scalar per lane: it exists to BE the
+    // byte-identity baseline, so it runs the baseline.
+    for (std::size_t l = 0; l < K; ++l) {
+      const SolveStatus st =
+          x0.empty() ? solve(rates[l], cw.scalar)
+                     : solve(rates[l], cw.scalar, x0.subspan(l * nch, nch));
+      cw.results[l] = LaneResult{st, iterations_used_};
+      for (std::size_t c = 0; c < nch; ++c) {
+        const ChannelSolution& s = cw.scalar.solution[c];
+        const std::size_t at = c * K + l;
+        cw.lambda[at] = s.lambda;
+        cw.service_time[at] = s.service_time;
+        cw.waiting_time[at] = s.waiting_time;
+        cw.utilization[at] = s.utilization;
+      }
+    }
+    last_ = saved_last;
+    iterations_used_ = saved_iterations;
+    return {cw.results.data(), cw.results.size()};
+  }
+
+  // Seed every lane exactly as the scalar solves would.
+  for (std::size_t c = 0; c < nch; ++c) {
+    const auto ch = static_cast<ChannelId>(c);
+    const double ul = flows.unit_lambda(ch);
+    const double steps = flows.steps_to_eject(ch);
+    const bool ejection = flows.is_ejection(ch);
+    const std::size_t row = c * K;
+    for (std::size_t l = 0; l < K; ++l) {
+      const double lambda = rates[l] * ul;
+      double x = msg;
+      if (x0.empty()) {
+        if (lambda > 0.0) x = msg + steps;  // SolverSeed::ZeroLoad
+      } else if (!ejection && lambda > 0.0) {
+        x = x0[l * nch + c];
+        const double floor = msg + steps;
+        if (!(x >= floor)) x = floor;  // also catches NaN hints
+        const double ceiling = options_.utilization_guard * (1.0 - 1e-3) / lambda;
+        if (x > ceiling) x = std::max(floor, ceiling);
+      }
+      cw.lambda[row + l] = lambda;
+      cw.service_time[row + l] = x;
+      cw.waiting_time[row + l] = 0.0;
+      cw.utilization[row + l] = 0.0;
+    }
+  }
+
+  anderson_batch(cw);
+
+  if (!x0.empty()) {
+    // Per-lane seeded fallback: exactly the scalar seeded solve's "a hint
+    // can never worsen a status" clause — non-converged lanes re-solve as
+    // a zero-load sub-batch, iteration counts accumulating.
+    cw.retry_lanes.clear();
+    for (std::size_t l = 0; l < K; ++l) {
+      if (cw.results[l].status != SolveStatus::Converged) cw.retry_lanes.push_back(l);
+    }
+    if (!cw.retry_lanes.empty()) {
+      if (!cw.fallback) cw.fallback = std::make_unique<CurveWorkspace>();
+      const std::size_t Ksub = cw.retry_lanes.size();
+      cw.retry_rates.resize(Ksub);
+      for (std::size_t j = 0; j < Ksub; ++j) cw.retry_rates[j] = rates[cw.retry_lanes[j]];
+      const std::span<const LaneResult> sub = solve_batch(cw.retry_rates, *cw.fallback);
+      for (std::size_t c = 0; c < nch; ++c) {
+        const std::size_t src = c * Ksub;
+        const std::size_t dst = c * K;
+        for (std::size_t j = 0; j < Ksub; ++j) {
+          const std::size_t l = cw.retry_lanes[j];
+          cw.lambda[dst + l] = cw.fallback->lambda[src + j];
+          cw.service_time[dst + l] = cw.fallback->service_time[src + j];
+          cw.waiting_time[dst + l] = cw.fallback->waiting_time[src + j];
+          cw.utilization[dst + l] = cw.fallback->utilization[src + j];
+        }
+      }
+      for (std::size_t j = 0; j < Ksub; ++j) {
+        LaneResult& r = cw.results[cw.retry_lanes[j]];
+        r.status = sub[j].status;
+        r.iterations += sub[j].iterations;
+      }
+    }
+  }
+
+  last_ = saved_last;
+  iterations_used_ = saved_iterations;
+  return {cw.results.data(), cw.results.size()};
+}
+
+void ServiceTimeSolver::refresh_waits_batch(CurveWorkspace& cw,
+                                            const std::vector<std::uint8_t>& mask,
+                                            std::vector<std::uint8_t>& saturated) const {
+  const FlowGraph& flows = *flows_;
+  const std::size_t K = cw.lanes;
+  // Live-lane window: masks (active or conv) are only ever set inside it.
+  const std::size_t lo = cw.lane_lo;
+  const std::size_t hi = cw.lane_hi;
+  const double guard = options_.utilization_guard;
+  saturated.assign(K, 0);
+  auto& stopped = cw.stopped;
+  stopped.assign(K, 0);
+  std::size_t live = 0;
+  for (std::size_t l = lo; l < hi; ++l) live += mask[l] != 0;
+  const double* const __restrict lambda = cw.lambda.data();
+  double* const __restrict x = cw.service_time.data();
+  double* const __restrict w = cw.waiting_time.data();
+  double* const __restrict rho = cw.utilization.data();
+  const double msg = static_cast<double>(message_length_);
+  // Dense fast path: while the mask covers the whole window and no lane
+  // has stopped, the per-channel lane loops run mask-free and branch-free
+  // so the M/G/1 divisions vectorize across lanes. rho is stored for
+  // every lane first (exactly what the scalar order does — each lane
+  // stores rho before its guard check), then a cheap scalar scan decides
+  // whether any lane stops here; only then is W written. The first stop
+  // event falls back to the masked loop for the remaining channels —
+  // identical arithmetic, lane for lane.
+  bool clean = live == hi - lo && live > 0;
+  for (std::size_t c = 0; c < cw.channels && live > 0; ++c) {
+    const std::size_t row = c * K;
+    if (flows.unit_lambda(static_cast<ChannelId>(c)) <= 0.0) {
+      // lambda <= 0 in every lane (all rates positive): the scalar path's
+      // idle-channel reset, lane for lane.
+      if (clean) {
+        for (std::size_t l = lo; l < hi; ++l) {
+          w[row + l] = 0.0;
+          rho[row + l] = 0.0;
+        }
+        continue;
+      }
+      for (std::size_t l = lo; l < hi; ++l) {
+        if (mask[l] != 0 && stopped[l] == 0) {
+          w[row + l] = 0.0;
+          rho[row + l] = 0.0;
+        }
+      }
+      continue;
+    }
+    if (clean) {
+      for (std::size_t l = lo; l < hi; ++l) {
+        rho[row + l] = std::max(0.0, lambda[row + l] * x[row + l]);
+      }
+      bool guarded = false;
+      for (std::size_t l = lo; l < hi; ++l) guarded = guarded || rho[row + l] >= guard;
+      if (!guarded) {
+        // All lanes passed the guard: lambda > 0 and rho < guard <= 1
+        // make mg1_waiting_time exactly its closed form (the rho >= 1
+        // select covers a caller-widened guard), so the division runs
+        // once per vector of lanes.
+        const double inf = std::numeric_limits<double>::infinity();
+        for (std::size_t l = lo; l < hi; ++l) {
+          const double xv = x[row + l];
+          const double sig = std::max(0.0, xv - msg);
+          const double w_raw =
+              lambda[row + l] * (xv * xv + sig * sig) / (2.0 * (1.0 - rho[row + l]));
+          w[row + l] = rho[row + l] >= 1.0 ? inf : w_raw;
+        }
+        bool finite = true;
+        for (std::size_t l = lo; l < hi; ++l) finite = finite && std::isfinite(w[row + l]);
+        if (finite) continue;
+        for (std::size_t l = lo; l < hi; ++l) {
+          if (!std::isfinite(w[row + l])) {
+            stopped[l] = 1;
+            saturated[l] = 1;
+            --live;
+          }
+        }
+        clean = false;
+        continue;
+      }
+      // Some lane hit the guard at this channel: finish it lane by lane
+      // (rho is already stored with the scalar's values) and run the
+      // remaining channels masked.
+      for (std::size_t l = lo; l < hi; ++l) {
+        if (rho[row + l] >= guard) {
+          // The scalar early return: rho is stored, W stays stale, and
+          // no later channel of this lane is touched.
+          stopped[l] = 1;
+          saturated[l] = 1;
+          --live;
+          continue;
+        }
+        const double w_v = mg1_waiting_time(lambda[row + l], x[row + l],
+                                            service_sigma(x[row + l], message_length_));
+        w[row + l] = w_v;
+        if (!std::isfinite(w_v)) {
+          stopped[l] = 1;
+          saturated[l] = 1;
+          --live;
+        }
+      }
+      clean = false;
+      continue;
+    }
+    for (std::size_t l = lo; l < hi; ++l) {
+      if (mask[l] == 0 || stopped[l] != 0) continue;
+      const double rho_v = mg1_utilization(lambda[row + l], x[row + l]);
+      rho[row + l] = rho_v;
+      if (rho_v >= guard) {
+        // The scalar early return: rho is stored, W stays stale, and no
+        // later channel of this lane is touched.
+        stopped[l] = 1;
+        saturated[l] = 1;
+        --live;
+        continue;
+      }
+      const double w_v = mg1_waiting_time(lambda[row + l], x[row + l],
+                                          service_sigma(x[row + l], message_length_));
+      w[row + l] = w_v;
+      if (!std::isfinite(w_v)) {
+        stopped[l] = 1;
+        saturated[l] = 1;
+        --live;
+      }
+    }
+  }
+}
+
+void ServiceTimeSolver::ordered_sweep_batch(CurveWorkspace& cw) const {
+  const FlowGraph& flows = *flows_;
+  const std::size_t K = cw.lanes;
+  // Live-lane window: lanes outside it are retired; their upd would be
+  // computed and discarded, so the dense loops skip them outright.
+  const std::size_t lo = cw.lane_lo;
+  const std::size_t hi = cw.lane_hi;
+  const double guard = options_.utilization_guard;
+  const double* const __restrict lambda = cw.lambda.data();
+  double* const __restrict x = cw.service_time.data();
+  double* const __restrict w = cw.waiting_time.data();
+  double* const __restrict upd = cw.upd.data();
+  double* const __restrict delta = cw.delta.data();
+  const std::uint8_t* const __restrict active = cw.active.data();
+  const double msg = static_cast<double>(message_length_);
+  // Dense fast path: while every window lane is active, the commit loop
+  // below drops the per-lane mask and runs the M/G/1 update branch-free —
+  // mg1_utilization/service_sigma expand to max() and mg1_waiting_time to
+  // its closed form with its two early returns as selects (lambda <= 0
+  // => 0, rho >= 1 => +inf; both value-exact for every input) — so the
+  // whole commit, division included, vectorizes across lanes. Any
+  // retired lane inside the window forces the masked loop, which is the
+  // same arithmetic lane for lane.
+  bool dense = true;
+  for (std::size_t l = lo; l < hi; ++l) dense = dense && active[l] != 0;
+  const double inf = std::numeric_limits<double>::infinity();
+  for (std::size_t l = lo; l < hi; ++l) delta[l] = 0.0;
+  for (const ChannelId ch : flows.sweep_order()) {
+    const std::size_t row = static_cast<std::size_t>(ch) * K;
+    const auto next = flows.next(ch);
+    QUARC_ASSERT(!next.empty(), "loaded non-ejection channel has no next channel");
+    const auto prob = flows.prob(ch);
+    const auto share = flows.self_share(ch);
+    // The flops-dense lane loop: contiguous, unconditional within the
+    // window (retired in-window lanes compute and discard — their pools
+    // are never written), exactly the scalar accumulation order per lane.
+    for (std::size_t l = lo; l < hi; ++l) upd[l] = 0.0;
+    for (std::size_t k = 0; k < next.size(); ++k) {
+      const std::size_t trow = static_cast<std::size_t>(next[k]) * K;
+      const double pk = prob[k];
+      const double sk = 1.0 - share[k];
+      for (std::size_t l = lo; l < hi; ++l) {
+        upd[l] += pk * (sk * w[trow + l] + x[trow + l] + 1.0);
+      }
+    }
+    if (dense) {
+      for (std::size_t l = lo; l < hi; ++l) {
+        const double u = upd[l];
+        const double ad = std::abs(u - x[row + l]);
+        delta[l] = std::max(delta[l], ad);
+        x[row + l] = u;
+        const double lam = lambda[row + l];
+        const double rho = std::max(0.0, lam * u);
+        const double sig = std::max(0.0, u - msg);
+        const double w_raw = lam * (u * u + sig * sig) / (2.0 * (1.0 - rho));
+        const double w_v = lam <= 0.0 ? 0.0 : (rho >= 1.0 ? inf : w_raw);
+        w[row + l] = rho < guard ? w_v : w[row + l];
+      }
+      continue;
+    }
+    for (std::size_t l = lo; l < hi; ++l) {
+      if (active[l] == 0) continue;  // frozen lanes keep their bytes
+      const double u = upd[l];
+      delta[l] = std::max(delta[l], std::abs(u - x[row + l]));
+      x[row + l] = u;
+      if (mg1_utilization(lambda[row + l], u) < guard) {
+        w[row + l] = mg1_waiting_time(lambda[row + l], u, service_sigma(u, message_length_));
+      }
+    }
+  }
+}
+
+void ServiceTimeSolver::anderson_batch(CurveWorkspace& cw) {
+  // The scalar solve_anderson, lane-parallel. Anderson state splits two
+  // ways: the history ring HEAD advances unconditionally every iteration
+  // in the scalar algorithm, so it is a pure function of the iteration
+  // index and stays SHARED across lanes (all active lanes sit at the same
+  // iteration); everything adaptive — hist, beta, w_eff, prev_rnorm2 —
+  // depends on the lane's own residual trajectory and is per-lane. Rows
+  // are laid out [ring][k][lane] so the dot products and extrapolation
+  // run k-outer, lane-inner: per lane the accumulation order over k is
+  // exactly the scalar's.
+  const FlowGraph& flows = *flows_;
+  const std::size_t K = cw.lanes;
+  const double msg = static_cast<double>(message_length_);
+  const double guard = options_.utilization_guard;
+
+  // Active channel set: lane-invariant, because every lane's rate is
+  // positive (lambda > 0 iff unit_lambda > 0 — the solve_batch REQUIRE).
+  cw.aa_active.clear();
+  for (std::size_t c = 0; c < cw.channels; ++c) {
+    if (!flows.is_ejection(static_cast<ChannelId>(c)) &&
+        flows.unit_lambda(static_cast<ChannelId>(c)) > 0.0) {
+      cw.aa_active.push_back(static_cast<std::uint32_t>(c));
+    }
+  }
+  const std::size_t na = cw.aa_active.size();
+  const int window = options_.anderson_window;  // ctor-validated to [1, 8]
+  const std::size_t rows = static_cast<std::size_t>(window) + 1;
+  cw.aa_x.assign(na * K, 0.0);
+  cw.aa_g.assign(rows * na * K, 0.0);
+  cw.aa_f.assign(rows * na * K, 0.0);
+  cw.upd.resize(K);
+  cw.delta.resize(K);
+  cw.rnorm2.resize(K);
+  cw.nm_dot.resize(64 * K);
+  cw.nm_rhs.resize(8 * K);
+  cw.gamma.assign(8 * K, 0.0);
+  cw.dg_gamma.resize(K);
+  cw.df_gamma.resize(K);
+  cw.active.assign(K, 1);
+  cw.hist.assign(K, 0);
+  cw.beta.assign(K, 1.0);
+  cw.prev_rnorm2.assign(K, std::numeric_limits<double>::infinity());
+  cw.w_eff.assign(K, options_.anderson_auto_window ? 1 : window);
+  cw.cols.assign(K, 0);
+  cw.conv.resize(K);
+  cw.extrap.resize(K);
+  cw.valid.resize(K);
+  cw.lane_lo = 0;
+  cw.lane_hi = K;
+
+  // Re-tightens [lane_lo, lane_hi) to the smallest range holding every
+  // active lane; called after each retirement pass so the dense lane
+  // loops stop paying for lanes that are done. Purely a work-skipping
+  // bound — no live lane's arithmetic changes (see CurveWorkspace).
+  const auto shrink_window = [&cw, K] {
+    std::size_t lo = 0;
+    std::size_t hi = K;
+    while (lo < hi && cw.active[lo] == 0) ++lo;
+    while (hi > lo && cw.active[hi - 1] == 0) --hi;
+    cw.lane_lo = lo;
+    cw.lane_hi = hi;
+  };
+
+  int head = 0;
+  std::size_t remaining = K;
+  const int nrows = static_cast<int>(rows);
+  const auto ring = [nrows](int r) { return ((r % nrows) + nrows) % nrows; };
+  const auto row_g = [&](int r) {
+    return cw.aa_g.data() + static_cast<std::size_t>(r) * na * K;
+  };
+  const auto row_f = [&](int r) {
+    return cw.aa_f.data() + static_cast<std::size_t>(r) * na * K;
+  };
+
+  for (int iter = 0; iter < options_.max_iterations && remaining > 0; ++iter) {
+    for (std::size_t l = 0; l < K; ++l) {
+      if (cw.active[l] != 0) cw.results[l].iterations = iter + 1;
+    }
+    refresh_waits_batch(cw, cw.active, cw.saturated);
+    for (std::size_t l = 0; l < K; ++l) {
+      if (cw.active[l] != 0 && cw.saturated[l] != 0) {
+        cw.results[l].status = SolveStatus::Saturated;
+        cw.active[l] = 0;
+        --remaining;
+      }
+    }
+    if (remaining == 0) break;
+    shrink_window();
+    const std::size_t lo = cw.lane_lo;
+    const std::size_t hi = cw.lane_hi;
+
+    {
+      // Scoped __restrict: within this block aa_x is written only through
+      // `snap` and service_time read only through `xs` (distinct pools),
+      // so the lane loop vectorizes without runtime alias versioning.
+      double* const __restrict snap = cw.aa_x.data();
+      const double* const __restrict xs = cw.service_time.data();
+      for (std::size_t k = 0; k < na; ++k) {
+        const std::size_t row = static_cast<std::size_t>(cw.aa_active[k]) * K;
+        const std::size_t o = k * K;
+        for (std::size_t l = lo; l < hi; ++l) snap[o + l] = xs[row + l];
+      }
+    }
+    ordered_sweep_batch(cw);
+    bool any_conv = false;
+    for (std::size_t l = lo; l < hi; ++l) {
+      cw.conv[l] = static_cast<std::uint8_t>(cw.active[l] != 0 &&
+                                             cw.delta[l] < options_.tolerance);
+      any_conv = any_conv || cw.conv[l] != 0;
+    }
+    if (any_conv) {
+      // The scalar convergence path: one final wait refresh, which may
+      // still diagnose saturation. conv is only populated inside the
+      // window, and refresh reads masks through the window alone.
+      refresh_waits_batch(cw, cw.conv, cw.saturated);
+      for (std::size_t l = lo; l < hi; ++l) {
+        if (cw.conv[l] == 0) continue;
+        cw.results[l].status =
+            cw.saturated[l] != 0 ? SolveStatus::Saturated : SolveStatus::Converged;
+        cw.active[l] = 0;
+        --remaining;
+      }
+      if (remaining == 0) break;
+      shrink_window();
+    }
+
+    // The conv retirement may have tightened the window; the rest of the
+    // iteration works on the fresh bounds.
+    const std::size_t wlo = cw.lane_lo;
+    const std::size_t whi = cw.lane_hi;
+
+    // Record this sweep's (g, f) rows — written for every window lane
+    // (the lane stride keeps rows contiguous); retired lanes' rows are
+    // never read.
+    const int newest = head;
+    double* const g = row_g(newest);
+    double* const f = row_f(newest);
+    {
+      // Scoped __restrict: this block writes the newest aa_g/aa_f rows
+      // and rnorm2 through these pointers only, and reads distinct pools.
+      double* const __restrict gw = g;
+      double* const __restrict fw = f;
+      double* const __restrict rn2 = cw.rnorm2.data();
+      const double* const __restrict ax = cw.aa_x.data();
+      const double* const __restrict xs = cw.service_time.data();
+      for (std::size_t l = wlo; l < whi; ++l) rn2[l] = 0.0;
+      for (std::size_t k = 0; k < na; ++k) {
+        const std::size_t row = static_cast<std::size_t>(cw.aa_active[k]) * K;
+        const std::size_t o = k * K;
+        for (std::size_t l = wlo; l < whi; ++l) {
+          const double gv = xs[row + l];
+          gw[o + l] = gv;
+          const double fv = gv - ax[o + l];
+          fw[o + l] = fv;
+          rn2[l] += fv * fv;
+        }
+      }
+    }
+    int cmax = 0;
+    for (std::size_t l = 0; l < K; ++l) {
+      if (cw.active[l] == 0) {
+        cw.cols[l] = 0;
+        continue;
+      }
+      const double rn = cw.rnorm2[l];
+      const double prev = cw.prev_rnorm2[l];
+      if (rn > 4.0 * prev) {
+        cw.hist[l] = 0;
+        cw.beta[l] = std::max(0.25, 0.5 * cw.beta[l]);
+      } else if (rn <= prev) {
+        cw.beta[l] = std::min(1.0, 1.25 * cw.beta[l]);
+      }
+      if (options_.anderson_auto_window && std::isfinite(prev) && prev > 0.0) {
+        if (rn > 0.25 * prev) {
+          cw.w_eff[l] = std::min(cw.w_eff[l] + 1, window);
+        } else if (rn < 0.01 * prev) {
+          cw.w_eff[l] = std::max(1, cw.w_eff[l] - 1);
+        }
+      }
+      cw.prev_rnorm2[l] = rn;
+      cw.hist[l] = std::min(cw.hist[l] + 1, nrows);
+      cw.cols[l] = std::min(cw.hist[l] - 1, cw.w_eff[l]);
+      cmax = std::max(cmax, cw.cols[l]);
+    }
+    head = ring(head + 1);
+    if (cmax < 1 || na == 0) continue;
+
+    // Normal-equation dot products for every lane at once, k-outer with
+    // every (p,q) pair folded into the single channel pass: each history
+    // row segment is loaded once per channel instead of once per pair
+    // (the pairwise form re-streams the f rows ~(cmax+1)/2 times, and the
+    // history pool is the largest thing the solver touches). Per (p,q)
+    // and per lane the accumulation order over k is unchanged, and the
+    // difference tile holds exactly the values the pairwise loop
+    // recomputed, so every partial sum is byte-identical. Lanes with
+    // cols[l] < cmax simply ignore the extra entries.
+    double* const dot = cw.nm_dot.data();
+    double* const rhs = cw.nm_rhs.data();
+    const double* fa_rows[9];
+    const double* fb_rows[9];
+    for (int p = 1; p <= cmax; ++p) {
+      fa_rows[p] = row_f(ring(newest - p + 1));
+      fb_rows[p] = row_f(ring(newest - p));
+      for (int q = p; q <= cmax; ++q) {
+        double* const d = dot + (static_cast<std::size_t>(p - 1) * 8 + (q - 1)) * K;
+        for (std::size_t l = wlo; l < whi; ++l) d[l] = 0.0;
+      }
+      double* const r = rhs + static_cast<std::size_t>(p - 1) * K;
+      for (std::size_t l = wlo; l < whi; ++l) r[l] = 0.0;
+    }
+    for (std::size_t k = 0; k < na; ++k) {
+      const std::size_t o = k * K;
+      double diff[8][8];
+      for (int p = 1; p <= cmax; ++p) {
+        const double* const fa = fa_rows[p];
+        const double* const fb = fb_rows[p];
+        for (std::size_t l = wlo; l < whi; ++l) diff[p - 1][l] = fa[o + l] - fb[o + l];
+      }
+      for (int p = 1; p <= cmax; ++p) {
+        // Only the accumulators are __restrict: the f-row pointers may
+        // legitimately alias each other, but they are read-only here, so
+        // the promise that writes through `d`/`r` touch nothing else is
+        // all the vectorizer needs (no runtime alias versioning).
+        for (int q = p; q <= cmax; ++q) {
+          double* const __restrict d =
+              dot + (static_cast<std::size_t>(p - 1) * 8 + (q - 1)) * K;
+          for (std::size_t l = wlo; l < whi; ++l) d[l] += diff[p - 1][l] * diff[q - 1][l];
+        }
+        double* const __restrict r = rhs + static_cast<std::size_t>(p - 1) * K;
+        for (std::size_t l = wlo; l < whi; ++l) r[l] += diff[p - 1][l] * f[o + l];
+      }
+    }
+
+    // Tiny per-lane eliminations (cols x cols, cols <= 8): scalar code,
+    // lane-indexed reads. gamma rows are zero-padded to cmax so the
+    // shared extrapolation loop below adds an exact +0.0 for p > cols[l].
+    std::fill_n(cw.gamma.data(), static_cast<std::size_t>(cmax) * K, 0.0);
+    bool any_extrap = false;
+    for (std::size_t l = 0; l < K; ++l) {
+      cw.extrap[l] = 0;
+      if (cw.active[l] == 0 || cw.cols[l] < 1) continue;
+      const int cols = cw.cols[l];
+      double nm[8][9];
+      for (int p = 0; p < cols; ++p) {
+        for (int q = 0; q < cols; ++q) {
+          const int a = std::min(p, q);
+          const int b = std::max(p, q);
+          nm[p][q] = dot[(static_cast<std::size_t>(a) * 8 + b) * K + l];
+        }
+        nm[p][cols] = rhs[static_cast<std::size_t>(p) * K + l];
+      }
+      double diag_max = 0.0;
+      for (int p = 0; p < cols; ++p) diag_max = std::max(diag_max, nm[p][p]);
+      if (diag_max <= 0.0) continue;
+      for (int p = 0; p < cols; ++p) nm[p][p] += 1e-12 * diag_max;
+
+      bool singular = false;
+      for (int p = 0; p < cols && !singular; ++p) {
+        int pivot = p;
+        for (int r = p + 1; r < cols; ++r) {
+          if (std::abs(nm[r][p]) > std::abs(nm[pivot][p])) pivot = r;
+        }
+        if (std::abs(nm[pivot][p]) < 1e-30 * diag_max) {
+          singular = true;
+          break;
+        }
+        if (pivot != p) {
+          for (int q = p; q <= cols; ++q) std::swap(nm[p][q], nm[pivot][q]);
+        }
+        for (int r = p + 1; r < cols; ++r) {
+          const double factor = nm[r][p] / nm[p][p];
+          for (int q = p; q <= cols; ++q) nm[r][q] -= factor * nm[p][q];
+        }
+      }
+      if (singular) continue;
+      for (int p = cols - 1; p >= 0; --p) {
+        double v = nm[p][cols];
+        for (int q = p + 1; q < cols; ++q) {
+          v -= nm[p][q] * cw.gamma[static_cast<std::size_t>(q) * K + l];
+        }
+        cw.gamma[static_cast<std::size_t>(p) * K + l] = v / nm[p][p];
+      }
+      cw.extrap[l] = 1;
+      any_extrap = true;
+    }
+    if (!any_extrap) continue;
+
+    // Candidate iterates into aa_x, k-outer / p-middle / lane-inner: per
+    // lane the p accumulation order matches the scalar loop, and the
+    // zero-padded gamma makes p > cols[l] contribute an exact +0.0 (every
+    // history row is finite, so 0.0 * dgk is 0.0, never NaN).
+    for (std::size_t k = 0; k < na; ++k) {
+      const std::size_t o = k * K;
+      // Same __restrict discipline as the dot products: accumulators and
+      // the candidate target are written through these pointers only; the
+      // ring rows alias each other but are read-only.
+      double* const __restrict dg = cw.dg_gamma.data();
+      double* const __restrict df = cw.df_gamma.data();
+      for (std::size_t l = wlo; l < whi; ++l) {
+        dg[l] = 0.0;
+        df[l] = 0.0;
+      }
+      for (int p = 1; p <= cmax; ++p) {
+        const double* const fa = row_f(ring(newest - p + 1));
+        const double* const fb = row_f(ring(newest - p));
+        const double* const ga = row_g(ring(newest - p + 1));
+        const double* const gb = row_g(ring(newest - p));
+        const double* const gm = cw.gamma.data() + static_cast<std::size_t>(p - 1) * K;
+        for (std::size_t l = wlo; l < whi; ++l) {
+          dg[l] += gm[l] * (ga[o + l] - gb[o + l]);
+          df[l] += gm[l] * (fa[o + l] - fb[o + l]);
+        }
+      }
+      double* const __restrict ax = cw.aa_x.data();
+      const double* const __restrict bt = cw.beta.data();
+      for (std::size_t l = wlo; l < whi; ++l) {
+        const double accel_x = ax[o + l] - (dg[l] - df[l]);
+        const double accel_g = g[o + l] - dg[l];
+        ax[o + l] = (1.0 - bt[l]) * accel_x + bt[l] * accel_g;
+      }
+    }
+
+    // Safeguard per lane (the scalar loop short-circuits on the first
+    // invalid k; evaluating the rest is side-effect-free, so the verdict
+    // is identical).
+    for (std::size_t l = 0; l < K; ++l) cw.valid[l] = cw.extrap[l];
+    {
+      // Branchless per-lane verdict: the scalar loop short-circuits on
+      // the first invalid channel, but evaluating the remaining channels
+      // is side-effect-free, so folding the && chain into unconditional
+      // mask updates yields the identical verdict per lane.
+      std::uint8_t* const __restrict vd = cw.valid.data();
+      const double* const __restrict ax = cw.aa_x.data();
+      const double* const __restrict lam = cw.lambda.data();
+      for (std::size_t k = 0; k < na; ++k) {
+        const std::size_t row = static_cast<std::size_t>(cw.aa_active[k]) * K;
+        const std::size_t o = k * K;
+        for (std::size_t l = wlo; l < whi; ++l) {
+          const double v = ax[o + l];
+          const bool ok =
+              std::isfinite(v) && v >= msg && std::max(0.0, lam[row + l] * v) < guard;
+          vd[l] = static_cast<std::uint8_t>(vd[l] != 0 && ok);
+        }
+      }
+    }
+    for (std::size_t l = wlo; l < whi; ++l) {
+      if (cw.extrap[l] != 0 && cw.valid[l] == 0) {
+        cw.hist[l] = 1;  // keep only the newest pair; the window misled
+        cw.beta[l] = std::max(0.25, 0.5 * cw.beta[l]);
+      }
+    }
+    {
+      double* const __restrict xs = cw.service_time.data();
+      const double* const __restrict ax = cw.aa_x.data();
+      const std::uint8_t* const __restrict vd = cw.valid.data();
+      for (std::size_t k = 0; k < na; ++k) {
+        const std::size_t row = static_cast<std::size_t>(cw.aa_active[k]) * K;
+        const std::size_t o = k * K;
+        for (std::size_t l = wlo; l < whi; ++l) {
+          if (vd[l] != 0) xs[row + l] = ax[o + l];
+        }
+      }
+    }
+  }
+  // Lanes still active ran out of iterations; results were initialised to
+  // MaxIterationsReached and their counts already sit at max_iterations.
+}
+
 double ServiceTimeSolver::max_utilization(ChannelId* argmax) const {
   QUARC_REQUIRE(last_ != nullptr,
                 "ServiceTimeSolver::max_utilization() requires a prior solve()");

@@ -64,6 +64,7 @@
 // handful of iterations instead of walking up from the drain-time floor.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -71,6 +72,7 @@
 #include "quarc/model/channel_graph.hpp"
 #include "quarc/model/flow_graph.hpp"
 #include "quarc/topo/topology.hpp"
+#include "quarc/util/aligned.hpp"
 #include "quarc/util/error.hpp"
 
 namespace quarc {
@@ -151,6 +153,94 @@ struct SolverWorkspace {
   std::vector<double> stream_waits;
 };
 
+/// Per-lane outcome of a batched solve (solve_batch): the status and the
+/// iteration count the scalar solve of the same (rate, seed) would report.
+struct LaneResult {
+  SolveStatus status = SolveStatus::MaxIterationsReached;
+  int iterations = 0;
+};
+
+/// Reusable state for solve_batch: the per-channel solution of K rate
+/// points ("lanes") in channel-major, point-minor SoA layout — entry
+/// (channel c, lane l) of every pool lives at [c * lanes + l], so one
+/// channel visit of the sweep touches K contiguous doubles (64-byte
+/// aligned: a K = 8 lane group is exactly one cache line). Like
+/// SolverWorkspace, every entry is fully reseeded per solve_batch — reuse
+/// is purely an allocation saving.
+struct CurveWorkspace {
+  std::size_t lanes = 0;     ///< K of the most recent solve_batch
+  std::size_t channels = 0;  ///< channel count of the bound FlowGraph
+
+  // ---- SoA solution pools (the batched ChannelSolution fields) ----
+  AlignedVector<double> lambda;        ///< arrival rates
+  AlignedVector<double> service_time;  ///< x
+  AlignedVector<double> waiting_time;  ///< W
+  AlignedVector<double> utilization;   ///< rho
+
+  /// Per-lane statuses/iterations of the most recent solve_batch.
+  std::vector<LaneResult> results;
+
+  /// Scatters lane `lane` into the AoS form every scalar consumer reads;
+  /// byte-identical to the SolverWorkspace::solution the scalar solve of
+  /// that lane's rate would have produced.
+  void extract(std::size_t lane, std::vector<ChannelSolution>& out) const {
+    out.resize(channels);
+    for (std::size_t c = 0; c < channels; ++c) {
+      const std::size_t at = c * lanes + lane;
+      out[c] = ChannelSolution{lambda[at], service_time[at], waiting_time[at], utilization[at]};
+    }
+  }
+
+  // ---- latency-assembly scratch (performance_model.cpp) ----
+  std::vector<ChannelSolution> solution_scratch;  ///< extract() target
+  std::vector<double> stream_waits;               ///< Eq. 12-13 input
+  AlignedVector<double> unicast_sums;             ///< per-lane Eq. 7 sums
+  AlignedVector<double> path_scratch;             ///< per-path lane waits
+
+  // ---- solver-internal SoA iteration state (solver.cpp) ----
+  std::vector<std::uint32_t> aa_active;  ///< channels the sweep updates
+  AlignedVector<double> aa_x;            ///< [na * K] pre-sweep snapshots
+  AlignedVector<double> aa_g;            ///< [(window+1) * na * K] sweep results
+  AlignedVector<double> aa_f;            ///< [(window+1) * na * K] residuals
+  AlignedVector<double> upd;             ///< per-lane channel update scratch
+  AlignedVector<double> delta;           ///< per-lane sweep residuals
+  AlignedVector<double> rnorm2;          ///< per-lane residual norms
+  AlignedVector<double> nm_dot;          ///< [8 * 8 * K] normal-equation dots
+  AlignedVector<double> nm_rhs;          ///< [8 * K] normal-equation rhs
+  AlignedVector<double> gamma;           ///< [8 * K] per-lane mixing weights
+  AlignedVector<double> dg_gamma;        ///< per-lane dG*gamma scratch
+  AlignedVector<double> df_gamma;        ///< per-lane dF*gamma scratch
+  std::vector<double> beta;              ///< per-lane adaptive mixing
+  std::vector<double> prev_rnorm2;       ///< per-lane previous residual norm
+  std::vector<int> hist;                 ///< per-lane valid history rows
+  std::vector<int> w_eff;                ///< per-lane effective window depth
+  std::vector<int> cols;                 ///< per-lane extrapolation columns
+  std::vector<std::uint8_t> active;      ///< lanes still iterating
+  std::vector<std::uint8_t> stopped;     ///< refresh early-stop mask
+  std::vector<std::uint8_t> saturated;   ///< refresh saturation verdicts
+  std::vector<std::uint8_t> conv;        ///< lanes converging this sweep
+  std::vector<std::uint8_t> extrap;      ///< lanes with a usable gamma
+  std::vector<std::uint8_t> valid;       ///< lanes whose candidate passed
+  /// Live-lane window: the smallest index range [lane_lo, lane_hi)
+  /// containing every active lane, re-tightened whenever lanes retire.
+  /// The flops-dense lane loops run over this window instead of [0, K) —
+  /// lanes typically retire in rate order (low rates converge first,
+  /// saturated top lanes stop in the first sweeps), so the window tracks
+  /// the stragglers and the batch stops paying full-K work for retired
+  /// lanes. Byte-neutral: every lane's arithmetic is elementwise, and a
+  /// retired lane's pools are never written, so skipping its discarded
+  /// updates cannot move a byte of any live lane.
+  std::size_t lane_lo = 0;
+  std::size_t lane_hi = 0;
+  std::vector<std::size_t> retry_lanes;  ///< seeded-fallback lane ids
+  std::vector<double> retry_rates;       ///< seeded-fallback sub-batch rates
+  /// Sub-workspace for the seeded-fallback cold re-solve (one level deep:
+  /// the fallback itself is never seeded).
+  std::unique_ptr<CurveWorkspace> fallback;
+  /// Per-lane scratch for the GaussSeidel oracle path (solved scalar).
+  SolverWorkspace scalar;
+};
+
 class ServiceTimeSolver {
  public:
   /// Binds the rate-invariant structure; each solve() call supplies the
@@ -187,6 +277,25 @@ class ServiceTimeSolver {
   /// internal workspace; idempotent (re-running re-solves from scratch).
   SolveStatus solve();
 
+  /// Solves `rates.size()` rate points in one SoA pass: the downwind
+  /// sweep + Anderson mixing advance all lanes per channel visit, with
+  /// per-lane masks retiring converged/saturated lanes while stragglers
+  /// keep iterating. Vectorization is across lanes, never within one —
+  /// every lane executes the exact scalar arithmetic order, so lane l's
+  /// solution, status and iteration count are BYTE-IDENTICAL to
+  /// solve(rates[l], ws[, x0 slice l]) (pinned by tests and the
+  /// -march=native CI lane). `x0` is empty (zero-load seeds) or
+  /// lane-major: lane l's per-channel hint occupies
+  /// x0[l * num_channels, (l+1) * num_channels) and gets the scalar
+  /// seeded solve's clamps and cold-start fallback per lane. All rates
+  /// must be positive (lane-invariant channel gating; rate-0 points
+  /// belong on the scalar path). Under SolverIteration::GaussSeidel each
+  /// lane runs the scalar oracle directly. Does not touch channels() /
+  /// iterations_used() — per-lane results live in `cw` (the returned span
+  /// views cw.results). Deterministic, like every other solve.
+  std::span<const LaneResult> solve_batch(std::span<const double> rates, CurveWorkspace& cw,
+                                          std::span<const double> x0 = {});
+
   /// Per-channel quantities of the most recent solve (index = ChannelId).
   /// channels()/channel()/max_utilization() reference the workspace that
   /// solve ran in: after solve(rate, ws) they stay valid only while `ws`
@@ -216,6 +325,17 @@ class ServiceTimeSolver {
   SolveStatus run_iteration(SolverWorkspace& ws);
   SolveStatus solve_gauss_seidel(SolverWorkspace& ws);
   SolveStatus solve_anderson(SolverWorkspace& ws);
+  /// The batched Anderson iteration over already-seeded SoA lanes.
+  void anderson_batch(CurveWorkspace& cw);
+  /// Batched refresh_waits over the lanes in `mask`, replicating the
+  /// scalar early return per lane: a lane that hits the guard at channel
+  /// c stops there (its W at c and everything after stay untouched).
+  /// Writes per-lane saturation verdicts into `saturated`.
+  void refresh_waits_batch(CurveWorkspace& cw, const std::vector<std::uint8_t>& mask,
+                           std::vector<std::uint8_t>& saturated) const;
+  /// Batched ordered_sweep: per-lane residuals into cw.delta; retired
+  /// lanes are read but never written.
+  void ordered_sweep_batch(CurveWorkspace& cw) const;
   /// Recomputes W/rho from the current x; true => a channel hit the guard.
   bool refresh_waits(std::vector<ChannelSolution>& sol) const;
   /// One damped Gauss-Seidel sweep of Eq. 6 in channel-id order (the

@@ -130,6 +130,12 @@ ScenarioFingerprint fingerprint_scenario(const FingerprintInputs& in) {
   // it is only a precomputed copy of what these knobs determine.
   line("saturation_probe", to_string(cfg.model.probe));
   line("spine_points", std::to_string(cfg.spine_points));
+  // Deliberately excluded, like threads/shards and the assembly knob:
+  // SweepConfig::batch_points (and solve_stats). Every lane of a batched
+  // solve is byte-identical to the scalar solve of the same
+  // (fingerprint, rate) — solve_batch's lane-identity contract, pinned by
+  // tests/test_curve_solver.cpp and the determinism suites — so batching
+  // tunes throughput without moving a single cached byte.
 
   ScenarioFingerprint fp;
   fp.canonical = std::move(c);

@@ -397,34 +397,117 @@ std::vector<RatePointResult> sweep_tasks(const FlowGraph& flows, const Workload&
     spine = build_spine(flows, base, cfg.model, cfg.spine_points);
   }
   const ContinuationSpine* sp = spine.get();
+  BatchSolveStats* stats = cfg.solve_stats.get();
+  // Simulates task i into its already-modelled result row (the simulator
+  // is per-point either way; only the model solve batches).
+  auto sim_point = [&](std::size_t i) {
+    if (!cfg.run_sim) return;
+    sim::SimConfig sc = cfg.sim;
+    sc.workload = base;
+    sc.workload.message_rate = tasks[i].rate;
+    sc.seed = tasks[i].sim_seed;
+    sim::Simulator simulator(flows.plan(), sc);
+    out[i].sim = simulator.run();
+    out[i].sim_run = true;
+  };
+  // The historical one-scalar-solve-per-point body: the batch_points <= 1
+  // escape hatch and the fallback for rate <= 0 points, which the batched
+  // solve rejects (channel gating is lane-invariant only at positive
+  // rates).
+  auto solve_point = [&](std::size_t i) {
+    RatePointResult& point = out[i];
+    point.rate = tasks[i].rate;
+    Workload w = base;
+    w.message_rate = tasks[i].rate;
+    // One workspace per worker thread, reused across every point the
+    // thread solves. solve() fully reseeds it, so reuse cannot change
+    // a byte (the sweep determinism suites pin this).
+    static thread_local SolverWorkspace ws;
+    const PerformanceModel model(flows, w, cfg.model);
+    if (sp != nullptr) {
+      static thread_local std::vector<double> x0;
+      sp->seed(tasks[i].rate, x0);
+      point.model = model.evaluate(ws, x0);
+    } else {
+      point.model = model.evaluate(ws);
+    }
+    sim_point(i);
+  };
+  // Solves tasks [chunk_begin, chunk_end) — all with positive rates — in
+  // one SoA lane group. Byte-identical to solve_point on each (pinned by
+  // the determinism suites), just one sweep for the whole group.
+  auto solve_chunk = [&](std::size_t chunk_begin, std::size_t chunk_end) {
+    const std::size_t width = chunk_end - chunk_begin;
+    static thread_local CurveWorkspace cw;
+    static thread_local std::vector<double> rates_buf;
+    static thread_local std::vector<double> x0_buf;
+    static thread_local std::vector<double> seed_buf;
+    rates_buf.resize(width);
+    for (std::size_t l = 0; l < width; ++l) rates_buf[l] = tasks[chunk_begin + l].rate;
+    // The model carries the base shape; evaluate_batch substitutes each
+    // lane's rate itself (its contract), so the workload rate is inert.
+    Workload w = base;
+    w.message_rate = rates_buf[0];
+    const PerformanceModel model(flows, w, cfg.model);
+    std::span<const double> x0{};
+    if (sp != nullptr) {
+      const std::size_t nch = flows.num_channels();
+      x0_buf.resize(width * nch);
+      for (std::size_t l = 0; l < width; ++l) {
+        sp->seed(rates_buf[l], seed_buf);
+        std::copy(seed_buf.begin(), seed_buf.end(),
+                  x0_buf.begin() + static_cast<std::ptrdiff_t>(l * nch));
+      }
+      x0 = x0_buf;
+    }
+    std::vector<ModelResult> res = model.evaluate_batch(rates_buf, cw, x0);
+    long long iters = 0;
+    for (std::size_t l = 0; l < width; ++l) {
+      out[chunk_begin + l].rate = rates_buf[l];
+      iters += res[l].solver_iterations;
+      out[chunk_begin + l].model = std::move(res[l]);
+      sim_point(chunk_begin + l);
+    }
+    if (stats != nullptr) {
+      stats->batches.fetch_add(1, std::memory_order_relaxed);
+      stats->lanes.fetch_add(static_cast<long long>(width), std::memory_order_relaxed);
+      stats->lane_iterations.fetch_add(iters, std::memory_order_relaxed);
+    }
+  };
+  const std::size_t lane_cap = static_cast<std::size_t>(std::max(cfg.batch_points, 1));
   auto run_slice = [&](std::size_t begin, std::size_t end) {
+    if (lane_cap <= 1) {
+      parallel_for(end - begin, [&](std::size_t k) { solve_point(begin + k); }, cfg.threads);
+      return;
+    }
+    // Chunk the slice into lane groups of up to batch_points consecutive
+    // positive-rate tasks; rate <= 0 tasks become scalar singletons. The
+    // parallel grain is the chunk — grouping cannot change a byte (every
+    // point is a pure function of its task), only the work distribution.
+    struct Chunk {
+      std::size_t begin, end;
+      bool batched;
+    };
+    std::vector<Chunk> chunks;
+    for (std::size_t i = begin; i < end;) {
+      if (!(tasks[i].rate > 0.0)) {
+        chunks.push_back({i, i + 1, false});
+        ++i;
+        continue;
+      }
+      std::size_t j = i;
+      while (j < end && j - i < lane_cap && tasks[j].rate > 0.0) ++j;
+      chunks.push_back({i, j, true});
+      i = j;
+    }
     parallel_for(
-        end - begin,
-        [&](std::size_t k) {
-          const std::size_t i = begin + k;
-          RatePointResult& point = out[i];
-          point.rate = tasks[i].rate;
-          Workload w = base;
-          w.message_rate = tasks[i].rate;
-          // One workspace per worker thread, reused across every point the
-          // thread solves. solve() fully reseeds it, so reuse cannot change
-          // a byte (the sweep determinism suites pin this).
-          static thread_local SolverWorkspace ws;
-          const PerformanceModel model(flows, w, cfg.model);
-          if (sp != nullptr) {
-            static thread_local std::vector<double> x0;
-            sp->seed(tasks[i].rate, x0);
-            point.model = model.evaluate(ws, x0);
+        chunks.size(),
+        [&](std::size_t c) {
+          const Chunk ch = chunks[c];
+          if (ch.batched) {
+            solve_chunk(ch.begin, ch.end);
           } else {
-            point.model = model.evaluate(ws);
-          }
-          if (cfg.run_sim) {
-            sim::SimConfig sc = cfg.sim;
-            sc.workload = w;
-            sc.seed = tasks[i].sim_seed;
-            sim::Simulator simulator(flows.plan(), sc);
-            point.sim = simulator.run();
-            point.sim_run = true;
+            solve_point(ch.begin);
           }
         },
         cfg.threads);

@@ -43,6 +43,7 @@
 // byte — see solver.hpp).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -71,6 +72,16 @@ struct RatePointResult {
 
 class ContinuationSpine;
 
+/// Counters describing how a sweep's solves were batched (CLI/bench
+/// visibility). Purely observational — the values never feed back into
+/// any result. Accumulated atomically by worker threads when a
+/// SweepConfig carries a stats pointer.
+struct BatchSolveStats {
+  std::atomic<long long> batches{0};          ///< solve_batch lane groups run
+  std::atomic<long long> lanes{0};            ///< rate points solved in them
+  std::atomic<long long> lane_iterations{0};  ///< solver iterations across lanes
+};
+
 struct SweepConfig {
   /// Simulator settings; the workload inside is ignored (the sweep's base
   /// workload with a per-point rate is used), the rest applies per point.
@@ -96,6 +107,20 @@ struct SweepConfig {
   /// set it so the probe+spine cost is paid once per scenario, not once
   /// per sweep call.
   std::shared_ptr<const ContinuationSpine> spine;
+  /// SoA lane count of the batched solve: up to this many consecutive
+  /// sweep points are solved per ServiceTimeSolver::solve_batch pass
+  /// (<= 1: the historical one-scalar-solve-per-point path). Every lane
+  /// of a batch is byte-identical to the scalar solve of the same
+  /// (fingerprint, rate) — pinned by tests/test_curve_solver.cpp and the
+  /// sweep determinism suites — so, like LatencyAssembly, this knob is
+  /// deliberately NOT fingerprinted: it changes how fast a curve is
+  /// solved, never a byte of it. Points with rate <= 0 fall back to the
+  /// scalar path (channel gating is lane-invariant only at positive
+  /// rates).
+  int batch_points = 8;
+  /// Optional batched-solve counters, accumulated during the sweep when
+  /// set (the CLI's "solver:" stderr line). Never affects results.
+  std::shared_ptr<BatchSolveStats> solve_stats;
 };
 
 /// Deterministic per-point simulator seed: a fixed avalanche mix of the

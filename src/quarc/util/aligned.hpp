@@ -1,0 +1,56 @@
+// Cache-line-aligned allocation for the SoA hot-path pools.
+//
+// The batched curve solver (solver.hpp's CurveWorkspace) lays per-channel
+// state out channel-major, point-minor: lane l of channel c lives at
+// pool[c * lanes + l], so one channel visit touches K contiguous doubles.
+// Aligning every pool to the 64-byte cache line keeps a K = 8 lane group
+// inside exactly one line (no straddle, no split loads/stores for aligned
+// vector widths up to AVX-512). FlowGraph's CSR pools and the stencil
+// weight pool adopt the same allocator: they are read once per lane group
+// in the same inner loops, so line-aligned starts keep the streaming reads
+// predictable too.
+//
+// AlignedVector is std::vector with this allocator — same interface, same
+// value semantics, just a stronger alignment guarantee on data(). Spans
+// view it like any other contiguous range.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace quarc {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+template <typename T, std::size_t Alignment = kCacheLineBytes>
+struct AlignedAllocator {
+  static_assert(Alignment >= alignof(T), "alignment must not weaken the type's own");
+  static_assert((Alignment & (Alignment - 1)) == 0, "alignment must be a power of two");
+
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    return static_cast<T*>(::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Alignment});
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) { return true; }
+};
+
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace quarc

@@ -1,0 +1,322 @@
+// Byte-identity of the SoA multi-point curve solver against the scalar
+// solve — the contract that lets sweeps batch K rate points per sweep
+// while every serialised artifact stays byte-for-byte unchanged:
+// lane l of solve_batch must reproduce solve(rates[l]) exactly — same
+// doubles, same status, same iteration count — across every registered
+// topology family, seeded and unseeded, converged and saturated alike.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <span>
+#include <sstream>
+#include <vector>
+
+#include "quarc/api/registry.hpp"
+#include "quarc/api/scenario.hpp"
+#include "quarc/model/performance_model.hpp"
+#include "quarc/model/solver.hpp"
+#include "quarc/sweep/sweep.hpp"
+#include "quarc/util/rng.hpp"
+
+namespace quarc {
+namespace {
+
+struct Cell {
+  std::shared_ptr<const Topology> topo;
+  Workload load;
+  std::unique_ptr<RoutePlan> plan;
+  std::unique_ptr<FlowGraph> flows;
+};
+
+Cell make_cell(const std::string& topo_spec, double alpha, int msg = 32) {
+  Cell cell;
+  cell.topo = api::make_topology(topo_spec);
+  Rng rng(11);
+  cell.load.message_rate = 0.001;  // shape only; solves pass explicit rates
+  cell.load.multicast_fraction = alpha;
+  cell.load.message_length = msg;
+  if (alpha > 0.0) cell.load.pattern = api::make_pattern("random:3", cell.topo->num_nodes(), rng);
+  cell.plan = std::make_unique<RoutePlan>(*cell.topo,
+                                          alpha > 0.0 ? cell.load.pattern.get() : nullptr);
+  cell.flows = std::make_unique<FlowGraph>(*cell.plan, cell.load);
+  return cell;
+}
+
+/// Expects lane `lane` of `cw` to be byte-identical to the scalar solve
+/// recorded in (`status`, `iters`, `sol`). NaN/inf compare by bit pattern
+/// via ==, which is what we want: saturated lanes legitimately hold inf.
+void expect_lane_equals_scalar(const CurveWorkspace& cw, std::size_t lane, SolveStatus status,
+                               int iters, const std::vector<ChannelSolution>& sol) {
+  ASSERT_EQ(cw.results[lane].status, status);
+  EXPECT_EQ(cw.results[lane].iterations, iters);
+  ASSERT_EQ(cw.channels, sol.size());
+  for (std::size_t c = 0; c < sol.size(); ++c) {
+    const std::size_t at = c * cw.lanes + lane;
+    EXPECT_EQ(cw.lambda[at], sol[c].lambda) << "lambda ch " << c;
+    EXPECT_EQ(cw.service_time[at], sol[c].service_time) << "x ch " << c;
+    // Waits can be non-finite on saturated lanes; require the same bits.
+    const bool w_same = cw.waiting_time[at] == sol[c].waiting_time ||
+                        (std::isnan(cw.waiting_time[at]) && std::isnan(sol[c].waiting_time));
+    EXPECT_TRUE(w_same) << "W ch " << c << ": " << cw.waiting_time[at] << " vs "
+                        << sol[c].waiting_time;
+    EXPECT_EQ(cw.utilization[at], sol[c].utilization) << "rho ch " << c;
+  }
+}
+
+/// Solves each rate scalar-side and batch-side with identical options and
+/// expects lane-for-lane byte identity. `x0` is empty or lane-major.
+void expect_batch_matches_scalar(const FlowGraph& flows, int msg,
+                                 const std::vector<double>& rates, SolverOptions opts = {},
+                                 std::span<const double> x0 = {}) {
+  CurveWorkspace cw;
+  ServiceTimeSolver batch_solver(flows, msg, opts);
+  const auto lanes = batch_solver.solve_batch(rates, cw, x0);
+  ASSERT_EQ(lanes.size(), rates.size());
+
+  const std::size_t nch = flows.num_channels();
+  SolverWorkspace ws;
+  for (std::size_t l = 0; l < rates.size(); ++l) {
+    SCOPED_TRACE("lane " + std::to_string(l) + " rate " + std::to_string(rates[l]));
+    ServiceTimeSolver scalar(flows, msg, opts);
+    const SolveStatus status =
+        x0.empty() ? scalar.solve(rates[l], ws)
+                   : scalar.solve(rates[l], ws, x0.subspan(l * nch, nch));
+    expect_lane_equals_scalar(cw, l, status, scalar.iterations_used(), ws.solution);
+  }
+}
+
+TEST(CurveSolver, SingleLaneMatchesScalarAcrossAllRegisteredTopologies) {
+  // K = 1 is the degenerate batch: every masked loop runs with one lane,
+  // so any divergence here is a plain transcription bug, caught on every
+  // registered family (hardware streams, software multicast, unicast).
+  for (const api::RegistryEntry& e : api::TopologyRegistry::instance().entries()) {
+    for (double alpha : {0.0, 0.05}) {
+      SCOPED_TRACE(e.example + " alpha=" + std::to_string(alpha));
+      Cell cell = make_cell(e.example, alpha);
+      expect_batch_matches_scalar(*cell.flows, cell.load.message_length, {0.0005});
+      expect_batch_matches_scalar(*cell.flows, cell.load.message_length, {0.003});
+    }
+  }
+}
+
+TEST(CurveSolver, FullLaneGroupMatchesScalarOnSaturationGrid) {
+  // The production shape: an 8-lane group over a fig6-style grid climbing
+  // to 90% of saturation, where Anderson restarts, adaptive windows and
+  // per-lane convergence at different sweeps all fire.
+  Cell cell = make_cell("quarc:16", 0.05);
+  const std::vector<double> grid =
+      rate_grid_to_saturation(*cell.flows, cell.load, 8, 0.9);
+  ASSERT_EQ(grid.size(), 8u);
+  expect_batch_matches_scalar(*cell.flows, cell.load.message_length, grid);
+}
+
+TEST(CurveSolver, RaggedTailMatchesScalar) {
+  // Lane counts that are not a SIMD multiple (5, 3, 1) must work — sweep
+  // chunking produces ragged tails whenever K does not divide the grid.
+  Cell cell = make_cell("spidergon:16", 0.0);
+  const std::vector<double> grid =
+      rate_grid_to_saturation(*cell.flows, cell.load, 5, 0.85);
+  expect_batch_matches_scalar(*cell.flows, cell.load.message_length, grid);
+  expect_batch_matches_scalar(*cell.flows, cell.load.message_length,
+                              {grid[0], grid[2], grid[4]});
+}
+
+TEST(CurveSolver, MixedStatusesInOneBatch) {
+  // One batch carrying all three outcomes: a comfortably converged lane, a
+  // saturated lane (1.5x the certified rate), and — with the iteration
+  // budget strangled — a MaxIterationsReached lane. Retired lanes must not
+  // perturb the lanes still iterating.
+  Cell cell = make_cell("quarc:16", 0.05);
+  const double sat = model_saturation_rate(*cell.flows, cell.load);
+  ASSERT_GT(sat, 0.0);
+
+  SolverOptions opts;
+  opts.max_iterations = 6;  // enough for low load, not for near-saturation
+  const std::vector<double> rates = {0.3 * sat, 0.97 * sat, 1.5 * sat};
+  expect_batch_matches_scalar(*cell.flows, cell.load.message_length, rates, opts);
+
+  // And confirm the batch really does carry three distinct statuses.
+  CurveWorkspace cw;
+  ServiceTimeSolver solver(*cell.flows, cell.load.message_length, opts);
+  const auto lanes = solver.solve_batch(rates, cw);
+  EXPECT_EQ(lanes[0].status, SolveStatus::Converged);
+  EXPECT_EQ(lanes[1].status, SolveStatus::MaxIterationsReached);
+  EXPECT_EQ(lanes[2].status, SolveStatus::Saturated);
+}
+
+TEST(CurveSolver, SeededBatchMatchesSeededScalar) {
+  // The continuation-spine hot path: every lane gets the spine's
+  // interpolated x0, clamped and (on failure) cold-restarted exactly as
+  // the scalar seeded solve does.
+  Cell cell = make_cell("quarc:16", 0.05);
+  const auto spine = build_spine(*cell.flows, cell.load, ModelOptions{}, 4);
+  ASSERT_NE(spine, nullptr);
+
+  const std::vector<double> grid =
+      rate_grid_to_saturation(*cell.flows, cell.load, 6, 0.9);
+  const std::size_t nch = cell.flows->num_channels();
+  std::vector<double> x0(grid.size() * nch);
+  std::vector<double> one;
+  for (std::size_t l = 0; l < grid.size(); ++l) {
+    spine->seed(grid[l], one);
+    std::copy(one.begin(), one.end(), x0.begin() + static_cast<std::ptrdiff_t>(l * nch));
+  }
+  expect_batch_matches_scalar(*cell.flows, cell.load.message_length, grid, SolverOptions{}, x0);
+}
+
+TEST(CurveSolver, SeededFallbackLaneMatchesScalar) {
+  // A hopeless hint (drain-time floor everywhere, near saturation) forces
+  // the seeded solve through its zero-load fallback; the batched fallback
+  // sub-solve must accumulate iterations exactly like the scalar one.
+  Cell cell = make_cell("quarc:16", 0.0);
+  const double sat = model_saturation_rate(*cell.flows, cell.load);
+  SolverOptions opts;
+  opts.max_iterations = 25;
+  const std::vector<double> rates = {0.2 * sat, 0.95 * sat};
+  const std::size_t nch = cell.flows->num_channels();
+  std::vector<double> x0(rates.size() * nch,
+                         static_cast<double>(cell.load.message_length));
+  expect_batch_matches_scalar(*cell.flows, cell.load.message_length, rates, opts, x0);
+}
+
+TEST(CurveSolver, GaussSeidelOracleMatchesScalar) {
+  // Under the historical iteration each lane runs the scalar oracle
+  // directly — identity is trivially required and pins the dispatch.
+  Cell cell = make_cell("mesh:4x4", 0.0);
+  SolverOptions opts;
+  opts.iteration = SolverIteration::GaussSeidel;
+  const std::vector<double> grid =
+      rate_grid_to_saturation(*cell.flows, cell.load, 3, 0.8, ModelOptions{});
+  expect_batch_matches_scalar(*cell.flows, cell.load.message_length, grid, opts);
+}
+
+TEST(CurveSolver, WorkspaceReuseIsByteIdentical) {
+  // A warm CurveWorkspace (previous batch of different width and rates)
+  // must yield the same bytes as a cold one — reuse is an allocation
+  // saving, never a state leak.
+  Cell cell = make_cell("quarc:16", 0.05);
+  ServiceTimeSolver solver(*cell.flows, cell.load.message_length);
+  const std::vector<double> first = {0.001, 0.002, 0.003, 0.004, 0.005};
+  const std::vector<double> second = {0.0045, 0.0015};
+
+  CurveWorkspace warm;
+  solver.solve_batch(first, warm);
+  solver.solve_batch(second, warm);
+
+  CurveWorkspace cold;
+  solver.solve_batch(second, cold);
+
+  ASSERT_EQ(warm.lanes, cold.lanes);
+  ASSERT_EQ(warm.channels, cold.channels);
+  for (std::size_t i = 0; i < warm.lanes * warm.channels; ++i) {
+    EXPECT_EQ(warm.service_time[i], cold.service_time[i]);
+    EXPECT_EQ(warm.utilization[i], cold.utilization[i]);
+  }
+  for (std::size_t l = 0; l < warm.lanes; ++l) {
+    EXPECT_EQ(warm.results[l].status, cold.results[l].status);
+    EXPECT_EQ(warm.results[l].iterations, cold.results[l].iterations);
+  }
+}
+
+TEST(CurveSolver, RejectsNonPositiveRates) {
+  Cell cell = make_cell("quarc:16", 0.0);
+  ServiceTimeSolver solver(*cell.flows, cell.load.message_length);
+  CurveWorkspace cw;
+  EXPECT_THROW(solver.solve_batch(std::vector<double>{0.001, 0.0}, cw), InvalidArgument);
+  EXPECT_THROW(solver.solve_batch(std::vector<double>{}, cw), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// evaluate_batch: the full model path (solve + Eq. 7-16 assembly).
+// ---------------------------------------------------------------------------
+
+void expect_model_results_equal(const ModelResult& a, const ModelResult& b) {
+  ASSERT_EQ(a.status, b.status);
+  EXPECT_EQ(a.solver_iterations, b.solver_iterations);
+  EXPECT_EQ(a.avg_unicast_latency, b.avg_unicast_latency);
+  EXPECT_EQ(a.has_multicast, b.has_multicast);
+  EXPECT_EQ(a.avg_multicast_latency, b.avg_multicast_latency);
+  EXPECT_EQ(a.max_utilization, b.max_utilization);
+  EXPECT_EQ(a.bottleneck, b.bottleneck);
+  ASSERT_EQ(a.per_node_multicast_latency.size(), b.per_node_multicast_latency.size());
+  for (std::size_t s = 0; s < a.per_node_multicast_latency.size(); ++s) {
+    const double x = a.per_node_multicast_latency[s];
+    const double y = b.per_node_multicast_latency[s];
+    EXPECT_TRUE(x == y || (std::isnan(x) && std::isnan(y))) << "node " << s;
+  }
+  ASSERT_EQ(a.channels.size(), b.channels.size());
+  for (std::size_t c = 0; c < a.channels.size(); ++c) {
+    EXPECT_EQ(a.channels[c].service_time, b.channels[c].service_time) << "ch " << c;
+  }
+}
+
+void expect_evaluate_batch_matches_evaluate(const std::string& topo_spec, double alpha,
+                                            LatencyAssembly assembly) {
+  SCOPED_TRACE(topo_spec + " alpha=" + std::to_string(alpha) + " " +
+               (assembly == LatencyAssembly::Stencil ? "stencil" : "direct"));
+  Cell cell = make_cell(topo_spec, alpha);
+  ModelOptions mo;
+  mo.assembly = assembly;
+  std::vector<double> grid = rate_grid_to_saturation(*cell.flows, cell.load, 5, 0.9, mo);
+  grid.push_back(grid.back() * 2.0);  // one saturated lane in the group
+
+  PerformanceModel batch_model(*cell.flows, cell.load, mo);
+  CurveWorkspace cw;
+  const std::vector<ModelResult> got = batch_model.evaluate_batch(grid, cw);
+  ASSERT_EQ(got.size(), grid.size());
+
+  SolverWorkspace ws;
+  for (std::size_t l = 0; l < grid.size(); ++l) {
+    SCOPED_TRACE("lane " + std::to_string(l));
+    Workload w = cell.load;
+    w.message_rate = grid[l];
+    const ModelResult want = PerformanceModel(*cell.flows, w, mo).evaluate(ws);
+    expect_model_results_equal(got[l], want);
+  }
+}
+
+TEST(CurveSolver, EvaluateBatchMatchesEvaluateStencil) {
+  expect_evaluate_batch_matches_evaluate("quarc:16", 0.05, LatencyAssembly::Stencil);
+  expect_evaluate_batch_matches_evaluate("quarc:16", 0.0, LatencyAssembly::Stencil);
+  expect_evaluate_batch_matches_evaluate("spidergon:16", 0.05, LatencyAssembly::Stencil);
+  expect_evaluate_batch_matches_evaluate("mesh-ham:4x4", 1.0, LatencyAssembly::Stencil);
+}
+
+TEST(CurveSolver, EvaluateBatchMatchesEvaluateDirectWalk) {
+  // The lane-strided stencil sum is bypassed; assemble_latencies computes
+  // Eq. 7 from the extracted AoS channels — same answer either way.
+  expect_evaluate_batch_matches_evaluate("quarc:16", 0.05, LatencyAssembly::DirectWalk);
+  expect_evaluate_batch_matches_evaluate("torus:4x4", 0.05, LatencyAssembly::DirectWalk);
+}
+
+TEST(CurveSolver, EvaluateBatchSeededMatchesSeededEvaluate) {
+  Cell cell = make_cell("quarc:16", 0.05);
+  const auto spine = build_spine(*cell.flows, cell.load, ModelOptions{}, 4);
+  ASSERT_NE(spine, nullptr);
+  const std::vector<double> grid =
+      rate_grid_to_saturation(*cell.flows, cell.load, 4, 0.9);
+  const std::size_t nch = cell.flows->num_channels();
+  std::vector<double> x0(grid.size() * nch);
+  std::vector<double> one;
+  for (std::size_t l = 0; l < grid.size(); ++l) {
+    spine->seed(grid[l], one);
+    std::copy(one.begin(), one.end(), x0.begin() + static_cast<std::ptrdiff_t>(l * nch));
+  }
+
+  PerformanceModel batch_model(*cell.flows, cell.load);
+  CurveWorkspace cw;
+  const std::vector<ModelResult> got = batch_model.evaluate_batch(grid, cw, x0);
+
+  SolverWorkspace ws;
+  for (std::size_t l = 0; l < grid.size(); ++l) {
+    SCOPED_TRACE("lane " + std::to_string(l));
+    Workload w = cell.load;
+    w.message_rate = grid[l];
+    const ModelResult want = PerformanceModel(*cell.flows, w)
+                                 .evaluate(ws, std::span<const double>(x0).subspan(l * nch, nch));
+    expect_model_results_equal(got[l], want);
+  }
+}
+
+}  // namespace
+}  // namespace quarc
