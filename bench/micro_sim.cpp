@@ -1,10 +1,13 @@
 // Experiment E9b — simulator throughput microbenchmarks (google-benchmark):
-// cycles per second across network sizes and traffic classes, so sweep
-// budgets in the figure benches can be sized knowingly.
+// cycles per second across network sizes, traffic classes and engines, so
+// sweep budgets in the figure benches can be sized knowingly.
 //
 // Fixtures come from a Scenario; the timed bodies construct and run
 // sim::Simulator directly because engine construction/throughput is the
-// measured quantity.
+// measured quantity. Each run-benchmark carries a per-phase breakdown
+// (arrivals/allocation/movement wall-clock shares plus executed vs
+// skipped cycles and channel-visit counts from SimProfile), so a
+// throughput regression points at the phase that caused it.
 #include <benchmark/benchmark.h>
 
 #include "quarc/api/scenario.hpp"
@@ -32,52 +35,92 @@ api::Scenario micro_scenario(int n, double alpha) {
   return s;
 }
 
-sim::SimConfig config_of(api::Scenario& scenario) {
+sim::SimConfig config_of(api::Scenario& scenario, sim::SimEngine engine) {
   sim::SimConfig c = scenario.sim_config();
   c.workload = scenario.build_workload();
   c.seed = 99;
+  c.engine = engine;
+  // Wall-clock per phase costs two clock reads per phase per cycle; that
+  // perturbs absolute throughput by a few percent but splits identically
+  // across engines, so the phase *shares* stay meaningful.
+  c.profile_phases = true;
   return c;
+}
+
+/// Runs the (topology, config) fixture under the benchmark loop and
+/// reports cycles/s plus the accumulated per-phase breakdown.
+void run_sim_benchmark(benchmark::State& state, const Topology& topo, const sim::SimConfig& cfg) {
+  std::int64_t cycles = 0;
+  sim::SimProfile total;
+  for (auto _ : state) {
+    sim::Simulator simulator(topo, cfg);
+    const auto r = simulator.run();
+    cycles += r.cycles_run;
+    benchmark::DoNotOptimize(r.avg_active_worms);
+    const sim::SimProfile& p = simulator.profile();
+    total.arrivals_ns += p.arrivals_ns;
+    total.allocation_ns += p.allocation_ns;
+    total.movement_ns += p.movement_ns;
+    total.cycles_executed += p.cycles_executed;
+    total.cycles_skipped += p.cycles_skipped;
+    total.channel_visits += p.channel_visits;
+    total.source_polls += p.source_polls;
+  }
+  state.counters["cycles/s"] =
+      benchmark::Counter(static_cast<double>(cycles), benchmark::Counter::kIsRate);
+  const double phase_ns = total.arrivals_ns + total.allocation_ns + total.movement_ns;
+  if (phase_ns > 0.0) {
+    state.counters["arrivals%"] = 100.0 * total.arrivals_ns / phase_ns;
+    state.counters["alloc%"] = 100.0 * total.allocation_ns / phase_ns;
+    state.counters["movement%"] = 100.0 * total.movement_ns / phase_ns;
+  }
+  if (cycles > 0) {
+    state.counters["skipped%"] =
+        100.0 * static_cast<double>(total.cycles_skipped) / static_cast<double>(cycles);
+    state.counters["visits/cycle"] =
+        static_cast<double>(total.channel_visits) / static_cast<double>(cycles);
+    state.counters["polls/cycle"] =
+        static_cast<double>(total.source_polls) / static_cast<double>(cycles);
+  }
 }
 
 void BM_SimulatorUnicast(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   api::Scenario scenario = micro_scenario(n, 0.0);
   const Topology& topo = scenario.built_topology();
-  const sim::SimConfig cfg = config_of(scenario);
-  std::int64_t cycles = 0;
-  for (auto _ : state) {
-    sim::Simulator simulator(topo, cfg);
-    const auto r = simulator.run();
-    cycles += r.cycles_run;
-    benchmark::DoNotOptimize(r.unicast_latency.mean);
-  }
-  state.counters["cycles/s"] =
-      benchmark::Counter(static_cast<double>(cycles), benchmark::Counter::kIsRate);
+  run_sim_benchmark(state, topo, config_of(scenario, sim::SimEngine::Active));
 }
 BENCHMARK(BM_SimulatorUnicast)->Arg(16)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
+
+void BM_SimulatorUnicastReference(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  api::Scenario scenario = micro_scenario(n, 0.0);
+  const Topology& topo = scenario.built_topology();
+  run_sim_benchmark(state, topo, config_of(scenario, sim::SimEngine::Reference));
+}
+BENCHMARK(BM_SimulatorUnicastReference)->Arg(16)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
 
 void BM_SimulatorMulticast(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   api::Scenario scenario = micro_scenario(n, 0.1);
   const Topology& topo = scenario.built_topology();
-  const sim::SimConfig cfg = config_of(scenario);
-  std::int64_t cycles = 0;
-  for (auto _ : state) {
-    sim::Simulator simulator(topo, cfg);
-    const auto r = simulator.run();
-    cycles += r.cycles_run;
-    benchmark::DoNotOptimize(r.multicast_latency.mean);
-  }
-  state.counters["cycles/s"] =
-      benchmark::Counter(static_cast<double>(cycles), benchmark::Counter::kIsRate);
+  run_sim_benchmark(state, topo, config_of(scenario, sim::SimEngine::Active));
 }
 BENCHMARK(BM_SimulatorMulticast)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_SimulatorMulticastReference(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  api::Scenario scenario = micro_scenario(n, 0.1);
+  const Topology& topo = scenario.built_topology();
+  run_sim_benchmark(state, topo, config_of(scenario, sim::SimEngine::Reference));
+}
+BENCHMARK(BM_SimulatorMulticastReference)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
 
 void BM_SimulatorConstruction(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   api::Scenario scenario = micro_scenario(n, 0.1);
   const Topology& topo = scenario.built_topology();
-  const sim::SimConfig cfg = config_of(scenario);
+  const sim::SimConfig cfg = config_of(scenario, sim::SimEngine::Active);
   for (auto _ : state) {
     sim::Simulator simulator(topo, cfg);
     benchmark::DoNotOptimize(&simulator);

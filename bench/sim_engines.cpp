@@ -1,0 +1,223 @@
+// Experiment E9c — engine head-to-head: the event/activity-driven active
+// engine vs the historical every-channel-every-cycle reference loop, over
+// the regimes the figure benches actually spend their cycles in.
+//
+// Each cell runs the SAME (topology, workload, seed) under both engines
+// and reports simulated cycles per wall-clock second, the speedup, and —
+// the part CI gates hardest on — whether the two SimResults serialize
+// byte-identically (debug_serialize prints doubles as hexfloats, so the
+// `identical` flag is bit equality of every statistic). A fast engine
+// that moves a result byte is a broken engine.
+//
+// Cells:
+//   fig7-*       localized multicast near the fig7 operating points, the
+//                blocking-heavy regime the paper's Fig. 7 sweeps. CI
+//                enforces speedup >= 1.5 on these (gate: "fig7").
+//   fig6         random multicast at a fig6 operating point.
+//   low-rate     near-idle broadcast traffic: the idle-cycle fast-forward
+//                dominates (skipped% is the share of cycles never stepped).
+//   unicast      unicast-only traffic (no streams, no clone taps).
+//   sw-mcast     Spidergon software multicast (batched-unicast fallback).
+//   unstable     queue blow-up abort; identity audit only (wall time is
+//                dominated by the abort checkpoint, not steady state).
+//   drain-cap    drain-cap abort; identity audit only.
+//
+// Emits BENCH_sim.json (schema quarc-bench-sim-v1; path overridable as
+// the last argument) for the CI gate and future PRs to track.
+//
+// Run: ./build/bench_sim_engines [--quick] [out.json]
+#include <chrono>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "quarc/api/scenario.hpp"
+#include "quarc/sim/simulator.hpp"
+#include "quarc/util/json.hpp"
+
+namespace {
+
+using namespace quarc;
+using Clock = std::chrono::steady_clock;
+
+struct CellSpec {
+  std::string name;
+  std::string topo;
+  std::string pattern;  // "none" for unicast-only
+  double rate;
+  double alpha;
+  int msg;
+  Cycle warmup;
+  Cycle measure;
+  /// Overrides for the abort-regime cells (0 = leave the default).
+  Cycle drain_cap = 0;
+  std::size_t max_queue = 0;
+  /// CI enforces the >= 1.5x speedup floor on gated (fig7) cells; the
+  /// others contribute to the identity audit and the printed table only.
+  bool gated = false;
+};
+
+struct CellResult {
+  CellSpec spec;
+  Cycle cycles_run = 0;
+  Cycle cycles_skipped = 0;  // active engine
+  double reference_cps = 0.0;
+  double active_cps = 0.0;
+  double speedup = 0.0;
+  bool identical = false;
+};
+
+sim::SimConfig config_for(const CellSpec& cell, api::Scenario& scenario) {
+  sim::SimConfig c = scenario.sim_config();
+  c.workload = scenario.build_workload();
+  c.seed = 1234;
+  if (cell.drain_cap > 0) c.drain_cap_cycles = cell.drain_cap;
+  if (cell.max_queue > 0) c.max_queue_length = cell.max_queue;
+  return c;
+}
+
+/// Best-of-`repeats` wall time of one construct+run under `engine`;
+/// the serialized result (identical across repeats — runs are pure
+/// functions of the config) and profile land in the out-params.
+double best_seconds(const Topology& topo, sim::SimConfig cfg, sim::SimEngine engine, int repeats,
+                    std::string& serialized, sim::SimResult& result, Cycle& skipped) {
+  cfg.engine = engine;
+  double best = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    const Clock::time_point start = Clock::now();
+    sim::Simulator simulator(topo, cfg);
+    result = simulator.run();
+    const double s = std::chrono::duration<double>(Clock::now() - start).count();
+    if (s < best) best = s;
+    skipped = simulator.profile().cycles_skipped;
+  }
+  serialized = sim::debug_serialize(result);
+  return best;
+}
+
+CellResult run_cell(const CellSpec& cell, int repeats) {
+  api::Scenario scenario;
+  scenario.topology(cell.topo)
+      .pattern(cell.alpha > 0.0 ? cell.pattern : "none")
+      .rate(cell.rate)
+      .alpha(cell.alpha)
+      .message_length(cell.msg)
+      .seed(1234)
+      .warmup(cell.warmup)
+      .measure(cell.measure);
+  const Topology& topo = scenario.built_topology();
+  const sim::SimConfig cfg = config_for(cell, scenario);
+
+  CellResult out;
+  out.spec = cell;
+  std::string ref_ser, act_ser;
+  sim::SimResult ref, act;
+  Cycle ref_skipped = 0;
+  const double ref_s = best_seconds(topo, cfg, sim::SimEngine::Reference, repeats, ref_ser, ref,
+                                    ref_skipped);
+  const double act_s =
+      best_seconds(topo, cfg, sim::SimEngine::Active, repeats, act_ser, act, out.cycles_skipped);
+  out.cycles_run = ref.cycles_run;
+  out.reference_cps = static_cast<double>(ref.cycles_run) / ref_s;
+  out.active_cps = static_cast<double>(act.cycles_run) / act_s;
+  out.speedup = ref_s / act_s;
+  out.identical = ref_ser == act_ser;
+  return out;
+}
+
+void print_cell(const CellResult& r) {
+  const double skipped_pct = r.cycles_run > 0 ? 100.0 * static_cast<double>(r.cycles_skipped) /
+                                                    static_cast<double>(r.cycles_run)
+                                              : 0.0;
+  std::cout << std::left << std::setw(12) << r.spec.name << std::right << std::fixed
+            << std::setprecision(2) << std::setw(12) << r.reference_cps / 1e6 << std::setw(12)
+            << r.active_cps / 1e6 << std::setw(9) << r.speedup << "x" << std::setw(9)
+            << std::setprecision(1) << skipped_pct << "%" << std::setw(7)
+            << (r.identical ? "yes" : "NO") << (r.spec.gated ? "   fig7>=1.5x" : "") << "\n";
+}
+
+json::Value cell_to_json(const CellResult& r) {
+  json::Value c = json::Value::object();
+  c.set("name", r.spec.name);
+  c.set("topology", r.spec.topo);
+  c.set("pattern", r.spec.alpha > 0.0 ? r.spec.pattern : "none");
+  c.set("rate", r.spec.rate);
+  c.set("alpha", r.spec.alpha);
+  c.set("message_length", r.spec.msg);
+  c.set("cycles_run", static_cast<std::int64_t>(r.cycles_run));
+  c.set("cycles_skipped", static_cast<std::int64_t>(r.cycles_skipped));
+  c.set("reference_cycles_per_second", r.reference_cps);
+  c.set("active_cycles_per_second", r.active_cps);
+  c.set("speedup", r.speedup);
+  c.set("identical", r.identical);
+  c.set("gated", r.spec.gated);
+  return c;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_sim.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else {
+      out_path = arg;
+    }
+  }
+  const int repeats = quick ? 1 : 3;
+  const Cycle measure = quick ? 20000 : 60000;
+
+  // Rates sit at the operating points the figure benches sweep: the fig7
+  // cells are in the blocking-dominated shoulder of the localized-multicast
+  // curve (below saturation — the run must stay stable so the cell measures
+  // steady-state engine throughput, not abort behaviour).
+  const std::vector<CellSpec> cells_spec = {
+      {"fig7-mid", "quarc:16", "localized:0.2:0.8:3", 0.004, 0.05, 32, 2000, measure, 0, 0, true},
+      {"fig7-high", "quarc:16", "localized:0.2:0.8:3", 0.006, 0.05, 32, 2000, measure, 0, 0,
+       true},
+      {"fig6", "quarc:16", "random:3", 0.004, 0.05, 32, 2000, measure},
+      {"low-rate", "quarc:16", "broadcast", 0.0002, 0.1, 16, 2000, 2 * measure},
+      {"unicast", "quarc:16", "none", 0.004, 0.0, 32, 2000, measure},
+      {"sw-mcast", "spidergon:16", "random:3", 0.002, 0.05, 32, 2000, measure},
+      {"unstable", "quarc:16", "random:3", 0.5, 0.05, 16, 300, 4000, 0, 64},
+      {"drain-cap", "quarc:16", "random:3", 0.01, 0.05, 16, 300, 2500, 5, 0},
+  };
+
+  std::cout << "Simulator engine head-to-head (simulated Mcycles per wall-clock second,\n"
+            << "best of " << repeats << "; identical = bit equality of every SimResult field)\n\n"
+            << std::left << std::setw(12) << "cell" << std::right << std::setw(12) << "ref Mc/s"
+            << std::setw(12) << "active Mc/s" << std::setw(10) << "speedup" << std::setw(10)
+            << "skipped" << std::setw(7) << "ident\n";
+
+  std::vector<CellResult> cells;
+  bool all_identical = true;
+  bool gate_ok = true;
+  for (const CellSpec& spec : cells_spec) {
+    cells.push_back(run_cell(spec, repeats));
+    print_cell(cells.back());
+    all_identical = all_identical && cells.back().identical;
+    if (spec.gated && cells.back().speedup < 1.5) gate_ok = false;
+  }
+
+  std::cout << "\nidentity audit: " << (all_identical ? "all cells byte-identical" : "MISMATCH (bug!)")
+            << "; fig7 speedup floor (>=1.5x): " << (gate_ok ? "met" : "NOT MET") << "\n";
+
+  json::Value doc = json::Value::object();
+  doc.set("schema", "quarc-bench-sim-v1");
+  doc.set("repeats", repeats);
+  doc.set("all_identical", all_identical);
+  doc.set("fig7_gate_met", gate_ok);
+  json::Value arr = json::Value::array();
+  for (const CellResult& c : cells) arr.push_back(cell_to_json(c));
+  doc.set("cells", std::move(arr));
+  std::ofstream out(out_path);
+  doc.write(out, 2);
+  out << "\n";
+  std::cout << "(written to " << out_path << ")\n";
+  return (all_identical && gate_ok) ? 0 : 1;
+}

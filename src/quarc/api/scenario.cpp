@@ -102,6 +102,11 @@ Scenario& Scenario::with_sim(bool enabled) {
   return *this;
 }
 
+Scenario& Scenario::sim_engine(sim::SimEngine engine) {
+  sweep_.sim.engine = engine;
+  return *this;
+}
+
 Scenario& Scenario::threads(int count) {
   sweep_.threads = count;
   return *this;

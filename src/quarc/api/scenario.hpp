@@ -88,6 +88,11 @@ class Scenario {
   Scenario& measure(Cycle cycles);
   /// Whether run_sweep() also simulates each point (default true).
   Scenario& with_sim(bool enabled = true);
+  /// Simulator engine for every sim this scenario runs (default: the
+  /// active engine, or QUARC_SIM_ENGINE). Byte-transparent — both engines
+  /// emit identical results — so, like the assembly knob, deliberately
+  /// NOT fingerprinted.
+  Scenario& sim_engine(sim::SimEngine engine);
   /// parallel_for workers for sweeps (<= 0: default).
   Scenario& threads(int count);
   /// Contiguous shard count for sweep execution (default 1). Bit-identical

@@ -12,6 +12,7 @@
 #include "quarc/batch/batch_runner.hpp"
 #include "quarc/batch/scenario_set.hpp"
 #include "quarc/batch/serve.hpp"
+#include "quarc/sim/engine.hpp"
 #include "quarc/util/error.hpp"
 #include "quarc/util/table.hpp"
 
@@ -79,6 +80,10 @@ workload:
 
 evaluation:
   --sim              also run the flit-level simulator
+  --sim-engine active|reference
+                     simulator engine: the event-driven active-set
+                     engine, or the historical every-channel loop
+                     (the byte-identity oracle)          [default active]
   --warmup C         simulator warmup cycles                   [default 5000]
   --measure C        simulator measurement window              [default 40000]
   --sweep P          sweep P rates up to --fill * saturation instead of
@@ -153,6 +158,9 @@ Options parse(std::span<const std::string> args) {
       opts.seed = static_cast<std::uint64_t>(parse_int(arg, next("--seed")));
     } else if (arg == "--sim") {
       opts.run_sim = true;
+    } else if (arg == "--sim-engine") {
+      opts.sim_engine = next("--sim-engine");
+      sim::parse_sim_engine(opts.sim_engine);  // validate at parse time
     } else if (arg == "--warmup") {
       opts.warmup = parse_int(arg, next("--warmup"));
     } else if (arg == "--measure") {
@@ -262,6 +270,7 @@ api::Scenario make_scenario(const Options& opts) {
       opts.assembly == "direct" ? LatencyAssembly::DirectWalk : LatencyAssembly::Stencil;
   scenario.model_options().probe =
       opts.probe == "bisect" ? SaturationProbe::Bisection : SaturationProbe::Ridders;
+  if (!opts.sim_engine.empty()) scenario.sim_engine(sim::parse_sim_engine(opts.sim_engine));
   if (opts.no_spine) scenario.spine_points(0);
   scenario.batch_points(opts.no_batch ? 1 : opts.batch_points);
   if (!opts.cache_dir.empty()) scenario.cache_dir(opts.cache_dir);

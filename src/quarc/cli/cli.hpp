@@ -46,6 +46,10 @@ struct Options {
   std::string pattern = "broadcast";
   std::uint64_t seed = 1;
   bool run_sim = false;
+  /// Simulator engine: "active" (event-driven default) or "reference"
+  /// (the historical loop, the byte-identity oracle). Empty defers to
+  /// SimConfig's default (QUARC_SIM_ENGINE, else active).
+  std::string sim_engine;
   std::int64_t warmup = 5000;
   std::int64_t measure = 40000;
   /// 0 = evaluate the single rate above; otherwise sweep this many points

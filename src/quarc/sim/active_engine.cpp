@@ -1,0 +1,618 @@
+#include "quarc/sim/active_engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <iterator>
+#include <limits>
+
+#include "quarc/util/error.hpp"
+
+namespace quarc::sim {
+
+ActiveEngine::ActiveEngine(const Topology& topo, SimConfig config)
+    : topo_(&topo),
+      config_(std::move(config)),
+      metrics_(config_.batch_count, topo.num_ports(), config_.collect_stream_samples) {
+  // Compiled in the body from config_ (already owned by this instance) —
+  // same evaluation-order note as the reference engine's constructor.
+  const RoutePlan plan(topo, config_.workload.multicast_rate() > 0.0
+                                 ? config_.workload.pattern.get()
+                                 : nullptr);
+  build(plan);
+}
+
+ActiveEngine::ActiveEngine(const RoutePlan& plan, SimConfig config)
+    : topo_(&plan.topology()),
+      config_(std::move(config)),
+      metrics_(config_.batch_count, topo_->num_ports(), config_.collect_stream_samples) {
+  build(plan);
+}
+
+void ActiveEngine::build(const RoutePlan& plan) {
+  const Topology& topo = *topo_;
+  config_.workload.validate(topo);
+  QUARC_REQUIRE(config_.workload.multicast_rate() == 0.0 ||
+                    plan.pattern() == config_.workload.pattern.get(),
+                "route plan was compiled with a different multicast pattern");
+  QUARC_REQUIRE(config_.buffer_depth >= 1, "buffer depth must be positive");
+  QUARC_REQUIRE(config_.warmup_cycles >= 0 && config_.measure_cycles > 0,
+                "warmup must be >= 0 and measurement window positive");
+
+  const int n = topo.num_nodes();
+
+  channel_state_.resize(static_cast<std::size_t>(topo.num_channels()));
+  for (const ChannelInfo& ch : topo.channels()) {
+    channel_state_[static_cast<std::size_t>(ch.id)].vcs.resize(static_cast<std::size_t>(ch.vcs));
+  }
+  in_active_.assign(channel_state_.size(), 0);
+
+  // Independent deterministic source per node (identical construction
+  // order to the reference engine, so the RNG streams match).
+  Rng master(config_.seed);
+  sources_.reserve(static_cast<std::size_t>(n));
+  for (NodeId i = 0; i < n; ++i) {
+    sources_.emplace_back(i, config_.workload, n, master.split());
+  }
+  Cycle next = std::numeric_limits<Cycle>::max();
+  for (const TrafficSource& src : sources_) next = std::min(next, src.next_arrival_cycle());
+  next_arrival_cycle_ = next;
+
+  protos_ = std::make_unique<ProtoTable>(plan, config_.workload);
+  arena_ = std::make_unique<WormArena>(*protos_, config_.workload.message_length);
+}
+
+void ActiveEngine::mark_active(ChannelId ch) {
+  std::uint8_t& flag = in_active_[static_cast<std::size_t>(ch)];
+  if (flag == 0) {
+    flag = 1;
+    newly_active_.push_back(ch);
+  }
+}
+
+std::int32_t ActiveEngine::alloc_group(const Group& g) {
+  if (!group_free_.empty()) {
+    const std::int32_t slot = group_free_.back();
+    group_free_.pop_back();
+    groups_[static_cast<std::size_t>(slot)] = g;
+    return slot;
+  }
+  groups_.push_back(g);
+  return static_cast<std::int32_t>(groups_.size() - 1);
+}
+
+void ActiveEngine::spawn(std::uint32_t proto_index, std::int32_t group_slot, bool measured) {
+  QUARC_ASSERT(proto_index != ProtoTable::kNoProto, "spawn from a missing prototype");
+  PooledWorm* w = arena_->acquire(proto_index);
+  w->id = next_worm_id_++;
+  w->group = group_slot;
+  w->created = cycle_;
+  w->measured = measured;
+  w->live_slot = live_.size();
+  live_.push_back(w);
+  ++active_worms_;
+  request(w->stages[0], static_cast<int>(w->stage_vc[0]), AClaim{w, 0, nullptr});
+}
+
+void ActiveEngine::create_multicast(NodeId s, bool measured) {
+  const double floor = static_cast<double>(config_.workload.message_length +
+                                           protos_->multicast_max_hops(s) + 1);
+  const std::int32_t slot =
+      alloc_group(Group{cycle_, protos_->multicast_stop_count(s), measured, floor});
+  if (topo_->supports_multicast()) {
+    for (std::uint32_t pi = protos_->stream_begin(s); pi < protos_->stream_end(s); ++pi) {
+      spawn(pi, slot, measured);
+    }
+  } else {
+    for (NodeId d : config_.workload.pattern->destinations(s)) {
+      spawn(protos_->unicast(s, d), slot, measured);
+    }
+  }
+}
+
+void ActiveEngine::arrivals_phase() {
+  // No source can fire before next_arrival_cycle_, and a poll that yields
+  // nothing consumes no RNG — skipping it wholesale is a strict no-op.
+  if (cycle_ < next_arrival_cycle_) return;
+  const Cycle window_start = config_.warmup_cycles;
+  const Cycle window_end = config_.warmup_cycles + config_.measure_cycles;
+  const bool in_window = cycle_ >= window_start && cycle_ < window_end;
+  profile_.source_polls += topo_->num_nodes();
+  for (NodeId s = 0; s < topo_->num_nodes(); ++s) {
+    arrival_scratch_.clear();
+    sources_[static_cast<std::size_t>(s)].poll(cycle_, arrival_scratch_);
+    for (const Arrival& a : arrival_scratch_) {
+      metrics_.on_created(a.multicast, in_window);
+      if (a.multicast) {
+        create_multicast(s, in_window);
+      } else {
+        spawn(protos_->unicast(s, a.unicast_dest), -1, in_window);
+      }
+    }
+  }
+  Cycle next = std::numeric_limits<Cycle>::max();
+  for (const TrafficSource& src : sources_) next = std::min(next, src.next_arrival_cycle());
+  next_arrival_cycle_ = next;
+}
+
+void ActiveEngine::request(ChannelId ch, int vc, AClaim claim) {
+  const ChannelInfo& info = topo_->channels()[static_cast<std::size_t>(ch)];
+  if (info.dedicated) {
+    // Conflict-free absorption path: no allocation, immediately usable.
+    channel_state_[static_cast<std::size_t>(ch)].absorbers.push_back(claim);
+    mark_active(ch);
+    if (claim.is_tap()) {
+      claim.tap->allocated = true;
+    } else {
+      QUARC_ASSERT(claim.stage == claim.worm->allocated_through + 1,
+                   "out-of-order stage allocation");
+      claim.worm->allocated_through = claim.stage;
+    }
+    return;
+  }
+  AVcState& v = channel_state_[static_cast<std::size_t>(ch)].vcs[static_cast<std::size_t>(vc)];
+  if (v.is_free() && v.waiters.empty()) {
+    grant(ch, vc, claim);
+  } else {
+    v.waiters.push_back(claim);
+    // Injection watermark: count the queue exactly when it crosses the
+    // stability limit (pushes grow by one, so == detects every crossing).
+    if (info.kind == ChannelKind::Injection && vc == 0 &&
+        v.waiters.size() == config_.max_queue_length + 1) {
+      ++injection_over_;
+    }
+  }
+}
+
+void ActiveEngine::grant(ChannelId ch, int vc, AClaim claim) {
+  AVcState& v = channel_state_[static_cast<std::size_t>(ch)].vcs[static_cast<std::size_t>(vc)];
+  QUARC_ASSERT(v.is_free(), "grant on an occupied virtual channel");
+  v.owner = claim;
+  mark_active(ch);
+  if (claim.is_tap()) {
+    claim.tap->allocated = true;
+    return;
+  }
+  PooledWorm& w = *claim.worm;
+  QUARC_ASSERT(claim.stage == w.allocated_through + 1, "out-of-order stage allocation");
+  w.allocated_through = claim.stage;
+  // Acquire the absorb-and-forward tap strictly after the forward channel
+  // (ejection channels are leaf resources; see DESIGN.md deadlock note).
+  if (claim.stage >= 1) {
+    if (TapState* tp = w.tap_at_boundary(claim.stage - 1)) {
+      request(tp->eject, 0, AClaim{&w, -1, tp});
+    }
+  }
+}
+
+void ActiveEngine::release(ChannelId ch, int vc) {
+  AVcState& v = channel_state_[static_cast<std::size_t>(ch)].vcs[static_cast<std::size_t>(vc)];
+  QUARC_ASSERT(!v.is_free(), "release of a free virtual channel");
+  v.owner = AClaim{};
+  if (!v.waiters.empty()) pending_grants_.emplace_back(ch, vc);
+}
+
+void ActiveEngine::allocation_phase() {
+  // Grants take effect at the start of the cycle following the release.
+  // Double-buffered (capacity-preserving) form of the reference move:
+  // nothing pushes pending grants during this loop, and new ones land in
+  // the (now empty) pending_grants_ either way.
+  pending_scratch_.swap(pending_grants_);
+  for (const auto& [ch, vc] : pending_scratch_) {
+    AVcState& v = channel_state_[static_cast<std::size_t>(ch)].vcs[static_cast<std::size_t>(vc)];
+    if (v.is_free() && !v.waiters.empty()) {
+      AClaim claim = v.waiters.front();
+      v.waiters.pop_front();
+      if (topo_->channels()[static_cast<std::size_t>(ch)].kind == ChannelKind::Injection &&
+          vc == 0 && v.waiters.size() == config_.max_queue_length) {
+        --injection_over_;
+      }
+      grant(ch, vc, claim);
+    }
+  }
+  pending_scratch_.clear();
+}
+
+bool ActiveEngine::transfer_candidate(const AClaim& o) const {
+  if (o.worm == nullptr || o.is_tap()) return false;
+  const PooledWorm& w = *o.worm;
+  const int s = o.stage;
+  if (s == 0) {
+    if (w.flits_to_inject == 0) return false;
+  } else if (!w.dyn[static_cast<std::size_t>(s - 1)].avail(cycle_)) {
+    return false;
+  }
+  if (w.dyn[static_cast<std::size_t>(s)].occ_at_start(cycle_) >= config_.buffer_depth) return false;
+  if (s >= 1 && w.num_taps != 0) {
+    // The boundary into stage s clones into a tap when the node after link
+    // s-1 is an absorbing stop.
+    if (const TapState* tp = w.tap_at_boundary(s - 1)) {
+      if (!tp->allocated) return false;
+      if (tp->buf.occ_at_start(cycle_) >= config_.buffer_depth) return false;
+    }
+  }
+  return true;
+}
+
+void ActiveEngine::do_transfer(const AClaim& o) {
+  PooledWorm& w = *o.worm;
+  const int s = o.stage;
+  if (s == 0) {
+    --w.flits_to_inject;
+    ++flits_injected_;
+  } else {
+    StageDyn& up = w.dyn[static_cast<std::size_t>(s - 1)];
+    up.on_exit(cycle_);
+    if (TapState* tp = w.tap_at_boundary(s - 1)) {
+      tp->buf.on_enter(cycle_);
+      ++tp->cloned;
+      ++channel_state_[static_cast<std::size_t>(tp->eject)].flits_crossed;
+    }
+    if (up.exited == static_cast<std::uint32_t>(w.msg_len)) {
+      release(w.stages[s - 1], static_cast<int>(w.stage_vc[s - 1]));
+    }
+  }
+  w.dyn[static_cast<std::size_t>(s)].on_enter(cycle_);
+  if (s > w.head_stage) {
+    w.head_stage = s;
+    if (s + 1 <= w.last_stage()) {
+      request(w.stages[s + 1], static_cast<int>(w.stage_vc[s + 1]), AClaim{&w, s + 1, nullptr});
+    }
+  }
+}
+
+void ActiveEngine::on_stop_complete(PooledWorm& w) {
+  QUARC_ASSERT(w.group >= 0, "stop completion for a unicast worm");
+  Group& g = groups_[static_cast<std::size_t>(w.group)];
+  QUARC_ASSERT(g.stops_left > 0, "stop completion for a completed group");
+  if (--g.stops_left == 0) {
+    const Cycle latency = cycle_ - g.created;
+    metrics_.on_multicast_done(latency, g.measured);
+    metrics_.on_group_wait(static_cast<double>(latency) - g.zero_load_floor, g.measured);
+    group_free_.push_back(w.group);
+    ++multicast_groups_delivered_total_;
+  }
+}
+
+void ActiveEngine::on_stream_absorbed(PooledWorm& w) {
+  // Empirical W_{j,c}: stream latency minus its zero-load floor
+  // M + D_c + 1 (D_c = last_stage - 1 external hops).
+  const double wait =
+      static_cast<double>(cycle_ - w.created) - static_cast<double>(w.msg_len + w.last_stage());
+  metrics_.on_stream_done(w.port, wait, w.measured);
+}
+
+void ActiveEngine::maybe_destroy(PooledWorm* w) {
+  if (!w->fully_absorbed() || !w->taps_done()) return;
+  QUARC_ASSERT(w->flits_to_inject == 0, "destroying a worm with unsent flits");
+  for (std::int32_t i = 0; i < w->num_stages; ++i) {
+    QUARC_ASSERT(w->dyn[i].occ == 0, "destroying a worm with in-flight flits");
+  }
+  if (w->measured) worm_sojourn_.add(static_cast<double>(cycle_ - w->created));
+  const std::size_t slot = w->live_slot;
+  if (slot + 1 != live_.size()) {
+    live_[slot] = live_.back();
+    live_[slot]->live_slot = slot;
+  }
+  live_.pop_back();
+  --active_worms_;
+  arena_->release(w);
+}
+
+void ActiveEngine::movement_phase() {
+  // Fold in channels activated since the last sweep. Mid-sweep activations
+  // are deferred on purpose: a flit that entered its buffer this cycle has
+  // last_enter == cycle_, so the reference loop's visit of that channel
+  // later in the same cycle is a guaranteed no-op (snapshot semantics) —
+  // visiting it first next cycle produces identical bytes.
+  if (!newly_active_.empty()) {
+    std::sort(newly_active_.begin(), newly_active_.end());
+    merge_scratch_.clear();
+    merge_scratch_.reserve(active_.size() + newly_active_.size());
+    std::merge(active_.begin(), active_.end(), newly_active_.begin(), newly_active_.end(),
+               std::back_inserter(merge_scratch_));
+    active_.swap(merge_scratch_);
+    newly_active_.clear();
+  }
+  profile_.channel_visits += static_cast<std::int64_t>(active_.size());
+
+  bool moved = false;
+  const auto& channels = topo_->channels();
+  std::size_t out = 0;
+  for (std::size_t idx = 0; idx < active_.size(); ++idx) {
+    const ChannelId c = active_[idx];
+    const auto uc = static_cast<std::size_t>(c);
+    AChannelState& cs = channel_state_[uc];
+    const ChannelInfo& info = channels[uc];
+
+    // Dedicated ejection channels: each in-progress absorption advances
+    // independently (crossing-in for final stages, then a sink pull),
+    // with start-of-cycle snapshot semantics keeping the two separate.
+    if (info.kind == ChannelKind::Ejection && info.dedicated) {
+      auto& absorbers = cs.absorbers;
+      for (std::size_t i = 0; i < absorbers.size();) {
+        const AClaim a = absorbers[i];
+        bool removed = false;
+        if (a.is_tap()) {
+          TapState& tp = *a.tap;
+          if (tp.buf.avail(cycle_)) {
+            tp.buf.on_exit(cycle_);
+            ++tp.absorbed;
+            ++flits_absorbed_;
+            moved = true;
+            if (tp.absorbed == a.worm->msg_len) {
+              absorbers[i] = absorbers.back();
+              absorbers.pop_back();
+              removed = true;
+              on_stop_complete(*a.worm);
+              maybe_destroy(a.worm);
+            }
+          }
+        } else {
+          PooledWorm* w = a.worm;
+          if (transfer_candidate(a)) {  // crossing-in from the last link
+            do_transfer(a);
+            ++cs.flits_crossed;
+            moved = true;
+          }
+          StageDyn& last = w->dyn[static_cast<std::size_t>(w->last_stage())];
+          if (last.avail(cycle_)) {
+            last.on_exit(cycle_);
+            ++w->absorbed;
+            ++flits_absorbed_;
+            moved = true;
+            if (w->fully_absorbed()) {
+              absorbers[i] = absorbers.back();
+              absorbers.pop_back();
+              removed = true;
+              if (w->group < 0) {
+                metrics_.on_unicast_done(cycle_ - w->created, w->measured);
+                ++unicast_delivered_total_;
+              } else {
+                on_stream_absorbed(*w);
+                on_stop_complete(*w);
+              }
+              maybe_destroy(w);
+            }
+          }
+        }
+        if (!removed) ++i;
+      }
+    } else {
+      // Shared (one-port) ejection channels: sink consumption for the worm
+      // or tap currently holding the channel.
+      if (info.kind == ChannelKind::Ejection) {
+        AVcState& v = cs.vcs[0];
+        if (!v.is_free()) {
+          if (v.owner.is_tap()) {
+            TapState& tp = *v.owner.tap;
+            if (tp.buf.avail(cycle_)) {
+              PooledWorm* w = v.owner.worm;
+              tp.buf.on_exit(cycle_);
+              ++tp.absorbed;
+              ++flits_absorbed_;
+              moved = true;
+              if (tp.absorbed == w->msg_len) {
+                release(info.id, 0);
+                on_stop_complete(*w);
+                maybe_destroy(w);
+              }
+            }
+          } else if (v.owner.stage == v.owner.worm->last_stage()) {
+            PooledWorm* w = v.owner.worm;
+            StageDyn& last = w->dyn[static_cast<std::size_t>(w->last_stage())];
+            if (last.avail(cycle_)) {
+              last.on_exit(cycle_);
+              ++w->absorbed;
+              ++flits_absorbed_;
+              moved = true;
+              if (w->fully_absorbed()) {
+                release(info.id, 0);
+                if (w->group < 0) {
+                  metrics_.on_unicast_done(cycle_ - w->created, w->measured);
+                  ++unicast_delivered_total_;
+                } else {
+                  on_stream_absorbed(*w);
+                  on_stop_complete(*w);
+                }
+                maybe_destroy(w);
+              }
+            }
+          }
+        }
+      }
+
+      // At most one flit crosses the physical channel per cycle;
+      // round-robin among virtual channels with a movable flit.
+      const int nv = static_cast<int>(cs.vcs.size());
+      int chosen = -1;
+      for (int k = 1; k <= nv; ++k) {
+        const int vc = static_cast<int>((cs.rr + static_cast<std::uint32_t>(k)) %
+                                        static_cast<std::uint32_t>(nv));
+        if (transfer_candidate(cs.vcs[static_cast<std::size_t>(vc)].owner)) {
+          chosen = vc;
+          break;
+        }
+      }
+      if (chosen >= 0) {
+        do_transfer(cs.vcs[static_cast<std::size_t>(chosen)].owner);
+        cs.rr = static_cast<std::uint32_t>(chosen);
+        ++cs.flits_crossed;
+        moved = true;
+      }
+    }
+
+    // Lazy removal: keep the channel while it owns any claim or hosts an
+    // absorption; otherwise unmark and drop (a later grant re-adds it).
+    // A channel with waiters but no owner always has a pending grant
+    // queued, so dropping it here can never strand a waiter.
+    bool alive = !cs.absorbers.empty();
+    if (!alive) {
+      for (const AVcState& v : cs.vcs) {
+        if (!v.is_free()) {
+          alive = true;
+          break;
+        }
+      }
+    }
+    if (alive) {
+      active_[out++] = c;
+    } else {
+      in_active_[uc] = 0;
+    }
+  }
+  active_.resize(out);
+  if (moved) last_movement_ = cycle_;
+}
+
+void ActiveEngine::validate_state() const {
+  // Per-worm flit conservation and buffer bounds.
+  for (const PooledWorm* wp : live_) {
+    const PooledWorm& w = *wp;
+    int in_buffers = 0;
+    for (std::int32_t i = 0; i < w.num_stages; ++i) {
+      QUARC_ASSERT(w.dyn[i].occ <= config_.buffer_depth, "stage buffer over capacity");
+      in_buffers += w.dyn[i].occ;
+    }
+    QUARC_ASSERT(w.flits_to_inject + in_buffers + w.absorbed == w.msg_len,
+                 "worm flit conservation violated");
+    QUARC_ASSERT(w.head_stage <= w.allocated_through, "header ahead of its allocations");
+    QUARC_ASSERT(w.allocated_through <= w.head_stage + 1,
+                 "worm holds a stage more than one ahead of its header");
+    for (std::int32_t i = 0; i < w.num_taps; ++i) {
+      const TapState& tp = w.taps[i];
+      QUARC_ASSERT(tp.cloned - tp.absorbed == tp.buf.occ, "tap clone conservation violated");
+      QUARC_ASSERT(tp.cloned <= w.msg_len, "tap cloned more flits than the message has");
+      QUARC_ASSERT(tp.allocated || tp.cloned == 0, "tap cloned before allocation");
+    }
+  }
+  // Allocation consistency: every VC owner names the channel it occupies.
+  for (std::size_t c = 0; c < channel_state_.size(); ++c) {
+    const AChannelState& cs = channel_state_[c];
+    for (const AVcState& v : cs.vcs) {
+      if (v.is_free()) continue;
+      if (v.owner.is_tap()) {
+        QUARC_ASSERT(v.owner.tap->eject == static_cast<ChannelId>(c),
+                     "tap owns a channel that is not its ejection channel");
+      } else {
+        const PooledWorm& w = *v.owner.worm;
+        QUARC_ASSERT(v.owner.stage >= 0 && v.owner.stage <= w.last_stage(),
+                     "owner stage out of range");
+        QUARC_ASSERT(w.stages[v.owner.stage] == static_cast<ChannelId>(c),
+                     "VC owner does not match the worm's route");
+      }
+    }
+    for (const AClaim& a : cs.absorbers) {
+      QUARC_ASSERT(a.worm != nullptr, "null absorber claim");
+      if (a.is_tap()) {
+        QUARC_ASSERT(a.tap->eject == static_cast<ChannelId>(c), "absorber channel mismatch");
+      } else {
+        QUARC_ASSERT(a.worm->stages[a.stage] == static_cast<ChannelId>(c),
+                     "absorber channel mismatch");
+      }
+    }
+    // Activity-set consistency: any channel with work is tracked.
+    const bool busy = !cs.absorbers.empty() ||
+                      std::any_of(cs.vcs.begin(), cs.vcs.end(),
+                                  [](const AVcState& v) { return !v.is_free(); });
+    QUARC_ASSERT(!busy || in_active_[c] != 0, "busy channel missing from the active set");
+  }
+}
+
+SimResult ActiveEngine::run() {
+  const Cycle window_end = config_.warmup_cycles + config_.measure_cycles;
+  const Cycle hard_cap = window_end + config_.drain_cap_cycles;
+  bool completed = false;
+
+  using Clock = std::chrono::steady_clock;
+  const bool prof = config_.profile_phases;
+  auto timed = [prof](auto&& fn, double& acc) {
+    if (!prof) {
+      fn();
+      return;
+    }
+    const auto t0 = Clock::now();
+    fn();
+    acc += static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0).count());
+  };
+
+  for (cycle_ = 0;; ++cycle_) {
+    timed([this] { arrivals_phase(); }, profile_.arrivals_ns);
+    timed([this] { allocation_phase(); }, profile_.allocation_ns);
+    timed([this] { movement_phase(); }, profile_.movement_ns);
+    ++profile_.cycles_executed;
+    active_worm_integral_ += static_cast<double>(active_worms_);
+
+    if (cycle_ + 1 >= window_end && metrics_.all_measured_done()) {
+      completed = true;
+      break;
+    }
+    if (cycle_ >= hard_cap) break;
+    if (config_.check_invariants && cycle_ % config_.invariant_check_interval == 0) {
+      validate_state();
+    }
+    if ((cycle_ & 0xFF) == 0 && injection_over_ > 0) {
+      stable_ = false;
+      break;
+    }
+    if (active_worms_ > 0 && cycle_ - last_movement_ > config_.stall_watchdog) {
+      QUARC_ASSERT(false, "simulation stalled: deadlock canary tripped");
+    }
+
+    if (active_worms_ == 0) {
+      // Idle fast-forward. With no worm in flight every cycle before the
+      // next arrival is a reference-loop no-op: the arrivals phase cannot
+      // fire, allocation/movement are empty, all queues are empty (so the
+      // watermark break and the watchdog cannot trip), invariant checks
+      // pass vacuously, and each cycle adds exactly zero to the
+      // active-worm integral. The first break the reference could take is
+      // the window-completion check at window_end - 1 (only when all
+      // measured messages are already done) or the drain hard cap — so
+      // jump straight to the earliest of those and the next arrival.
+      Cycle target = next_arrival_cycle_;
+      const Cycle bound = metrics_.all_measured_done() ? window_end - 1 : hard_cap;
+      target = std::min(target, bound);
+      if (target > cycle_ + 1) {
+        const Cycle span = target - (cycle_ + 1);
+        active_worm_integral_ +=
+            static_cast<double>(active_worms_) * static_cast<double>(span);
+        profile_.cycles_skipped += span;
+        cycle_ = target - 1;  // the loop increment lands on `target`
+      }
+    }
+  }
+
+  SimResult result;
+  result.unicast_latency = metrics_.unicast_summary();
+  result.multicast_latency = metrics_.multicast_summary();
+  result.stream_wait_by_port = metrics_.stream_wait_by_port();
+  result.multicast_wait = metrics_.group_wait_summary();
+  result.stream_wait_samples = metrics_.stream_wait_samples();
+  result.avg_active_worms = active_worm_integral_ / static_cast<double>(cycle_ + 1);
+  {
+    StatSummary sj;
+    sj.count = worm_sojourn_.count();
+    sj.mean = worm_sojourn_.mean();
+    sj.min = worm_sojourn_.empty() ? 0.0 : worm_sojourn_.min();
+    sj.max = worm_sojourn_.empty() ? 0.0 : worm_sojourn_.max();
+    result.worm_sojourn = sj;
+  }
+  result.unicast_delivered_total = unicast_delivered_total_;
+  result.multicast_groups_delivered_total = multicast_groups_delivered_total_;
+  result.messages_generated = metrics_.total_created();
+  result.cycles_run = cycle_ + 1;
+  result.completed = completed && stable_;
+  result.stable = stable_;
+  result.flits_injected = flits_injected_;
+  result.flits_absorbed = flits_absorbed_;
+  result.channel_utilization.resize(channel_state_.size(), 0.0);
+  const auto cycles = static_cast<double>(result.cycles_run);
+  for (std::size_t c = 0; c < channel_state_.size(); ++c) {
+    result.channel_utilization[c] = static_cast<double>(channel_state_[c].flits_crossed) / cycles;
+    result.max_channel_utilization =
+        std::max(result.max_channel_utilization, result.channel_utilization[c]);
+  }
+  return result;
+}
+
+}  // namespace quarc::sim

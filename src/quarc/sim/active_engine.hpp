@@ -1,0 +1,160 @@
+// The event/activity-driven simulator engine (SimEngine::Active, default).
+//
+// Same algorithm as the reference engine — the movement/allocation bodies
+// are line-for-line the reference code — but executed over activity
+// structures that skip provably-inert work:
+//
+//   * Active channel set: the movement phase drains a sorted worklist of
+//     channels that own claims or host absorptions instead of scanning
+//     every channel. Channels activated *during* a movement phase (a grant
+//     or absorber added mid-sweep) are buffered and merged at the next
+//     phase — by the snapshot semantics their first visit would be a
+//     no-op this cycle (the entering flit has last_enter == now), so
+//     deferring them changes no byte. A visited channel with no owners
+//     and no absorbers leaves the set lazily.
+//   * Injection watermark: request/allocation maintain a count of
+//     injection queues over max_queue_length, so the stability check is
+//     O(1) instead of a scan (values identical at every checkpoint).
+//   * Arrival gating + idle fast-forward: sources expose their next
+//     arrival cycle; the arrivals phase is skipped entirely while no
+//     source can fire (a skipped poll consumes no RNG), and when no worm
+//     is in flight the cycle counter jumps straight to the next arrival
+//     (or the measurement-window/drain boundary), with the active-worm
+//     integral advanced by the skipped span (adding exactly the zeros the
+//     reference would have added).
+//   * Worm arena + dense groups: PooledWorm slots from worm_pool.hpp
+//     replace per-message heap allocation; multicast groups live in a
+//     slot-map vector with a freelist instead of an unordered_map.
+//
+// Byte-identity with the reference engine — every SimResult field,
+// including batch-means CIs and per-channel utilization — is pinned by
+// tests/test_sim_engine.cpp across all registered topologies, traffic
+// classes and stability regimes, and audited again by the BENCH_sim lane.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "quarc/sim/metrics.hpp"
+#include "quarc/sim/simulator.hpp"
+#include "quarc/sim/source.hpp"
+#include "quarc/sim/worm_pool.hpp"
+
+namespace quarc::sim {
+
+/// Claim/VC/channel state over PooledWorm — the active-engine mirror of
+/// network_state.hpp's Claim/VcState/ChannelState (deliberately duplicated
+/// rather than templated; the identity suite pins the two engines to each
+/// other, which is a stronger guarantee than sharing the code).
+struct AClaim {
+  PooledWorm* worm = nullptr;
+  int stage = -1;
+  TapState* tap = nullptr;  ///< non-null for tap claims
+
+  bool is_tap() const { return tap != nullptr; }
+};
+
+struct AVcState {
+  AClaim owner;
+  std::deque<AClaim> waiters;
+
+  bool is_free() const { return owner.worm == nullptr; }
+};
+
+struct AChannelState {
+  std::vector<AVcState> vcs;
+  std::vector<AClaim> absorbers;  ///< dedicated ejection channels only
+  std::uint32_t rr = 0;
+  std::int64_t flits_crossed = 0;
+};
+
+class ActiveEngine final : public detail::EngineBase {
+ public:
+  ActiveEngine(const Topology& topo, SimConfig config);
+  ActiveEngine(const RoutePlan& plan, SimConfig config);
+
+  SimResult run() override;
+  const SimProfile& profile() const override { return profile_; }
+
+ private:
+  struct Group {
+    Cycle created = 0;
+    int stops_left = 0;
+    bool measured = false;
+    double zero_load_floor = 0.0;
+  };
+
+  void build(const RoutePlan& plan);
+
+  void arrivals_phase();
+  void allocation_phase();
+  void movement_phase();
+
+  void spawn(std::uint32_t proto_index, std::int32_t group_slot, bool measured);
+  void create_multicast(NodeId s, bool measured);
+  std::int32_t alloc_group(const Group& g);
+
+  void request(ChannelId ch, int vc, AClaim claim);
+  void grant(ChannelId ch, int vc, AClaim claim);
+  void release(ChannelId ch, int vc);
+
+  bool transfer_candidate(const AClaim& o) const;
+  void do_transfer(const AClaim& o);
+  void on_stop_complete(PooledWorm& w);
+  void on_stream_absorbed(PooledWorm& w);
+  void maybe_destroy(PooledWorm* w);
+
+  /// Adds ch to the movement worklist (effective from the next merge) if
+  /// it is not already tracked.
+  void mark_active(ChannelId ch);
+  /// Aborts (QUARC_ASSERT) if any engine invariant is violated.
+  void validate_state() const;
+
+  const Topology* topo_;
+  SimConfig config_;
+
+  std::vector<AChannelState> channel_state_;
+  std::vector<std::pair<ChannelId, int>> pending_grants_;
+  std::vector<std::pair<ChannelId, int>> pending_scratch_;
+  std::vector<TrafficSource> sources_;
+  std::vector<Arrival> arrival_scratch_;
+  Metrics metrics_;
+
+  std::unique_ptr<ProtoTable> protos_;
+  std::unique_ptr<WormArena> arena_;
+  std::vector<PooledWorm*> live_;  ///< swap-removed; PooledWorm::live_slot
+
+  std::vector<Group> groups_;            ///< dense slot map
+  std::vector<std::int32_t> group_free_;
+
+  // Movement worklist: `active_` is the sorted membership drained each
+  // phase; activations land in `newly_active_` and merge at the next
+  // phase start. `in_active_[ch]` == 1 iff ch is in exactly one of them.
+  std::vector<ChannelId> active_;
+  std::vector<ChannelId> newly_active_;
+  std::vector<ChannelId> merge_scratch_;
+  std::vector<std::uint8_t> in_active_;
+
+  /// Injection queues currently over max_queue_length (the incremental
+  /// form of the reference scan).
+  std::int64_t injection_over_ = 0;
+  /// Earliest cycle any source can fire (Cycle max when none can).
+  Cycle next_arrival_cycle_ = 0;
+
+  Cycle cycle_ = 0;
+  Cycle last_movement_ = 0;
+  double active_worm_integral_ = 0.0;
+  RunningStats worm_sojourn_;
+  std::int64_t unicast_delivered_total_ = 0;
+  std::int64_t multicast_groups_delivered_total_ = 0;
+  std::int64_t next_worm_id_ = 0;
+  std::int64_t flits_injected_ = 0;
+  std::int64_t flits_absorbed_ = 0;
+  std::size_t active_worms_ = 0;
+  bool stable_ = true;
+  SimProfile profile_;
+};
+
+}  // namespace quarc::sim

@@ -1,0 +1,33 @@
+#include "quarc/sim/engine.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "quarc/util/error.hpp"
+
+namespace quarc::sim {
+
+const char* to_string(SimEngine engine) {
+  switch (engine) {
+    case SimEngine::Active:
+      return "active";
+    case SimEngine::Reference:
+      return "reference";
+  }
+  return "?";
+}
+
+SimEngine parse_sim_engine(std::string_view text) {
+  if (text == "active") return SimEngine::Active;
+  if (text == "reference") return SimEngine::Reference;
+  QUARC_REQUIRE(false, "unknown sim engine '" + std::string(text) + "' (active|reference)");
+  return SimEngine::Active;  // unreachable
+}
+
+SimEngine default_sim_engine() {
+  const char* env = std::getenv("QUARC_SIM_ENGINE");
+  if (env == nullptr || *env == '\0') return SimEngine::Active;
+  return parse_sim_engine(env);
+}
+
+}  // namespace quarc::sim

@@ -1,0 +1,39 @@
+// Simulator engine selection.
+//
+// Two engines execute SimConfig runs:
+//   * Active    — the event/activity-driven engine (active channel sets,
+//                 pooled worm arena, idle-cycle fast-forward). The default.
+//   * Reference — the historical every-channel-every-cycle loop, kept as
+//                 the byte-identity oracle (the SolverIteration::GaussSeidel
+//                 pattern applied to the simulator).
+//
+// The engines are byte-transparent: both produce bit-identical SimResults
+// for every (topology, config) — pinned by tests/test_sim_engine.cpp — so
+// the knob, like the solver's assembly knob, is deliberately NOT part of
+// the scenario fingerprint.
+//
+// Selection: SimConfig::engine defaults to default_sim_engine(), which
+// reads the QUARC_SIM_ENGINE environment variable ("active"|"reference");
+// unset means Active. The CLI exposes --sim-engine, and CI runs the whole
+// sim test suite once per engine through the env knob.
+#pragma once
+
+#include <string_view>
+
+namespace quarc::sim {
+
+enum class SimEngine {
+  Active,
+  Reference,
+};
+
+const char* to_string(SimEngine engine);
+
+/// Parses "active" / "reference"; throws InvalidArgument otherwise.
+SimEngine parse_sim_engine(std::string_view text);
+
+/// The engine SimConfig defaults to: QUARC_SIM_ENGINE when set (throws
+/// InvalidArgument on an unrecognized value), Active otherwise.
+SimEngine default_sim_engine();
+
+}  // namespace quarc::sim

@@ -1,0 +1,102 @@
+// The historical every-channel-every-cycle simulator loop, preserved as
+// the byte-identity oracle for the active engine (SimEngine::Reference).
+//
+// This is the seed implementation moved verbatim out of simulator.cpp:
+// every cycle polls every source, the movement phase visits every channel
+// in ascending id, worms are individually heap-allocated, and multicast
+// groups live in an unordered_map. Its value is exactly that simplicity —
+// the active engine's worklists, arena and idle-skip must reproduce this
+// loop's SimResult bit-for-bit (tests/test_sim_engine.cpp), the same
+// oracle pattern as SolverIteration::GaussSeidel and
+// LatencyAssembly::DirectWalk.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "quarc/sim/metrics.hpp"
+#include "quarc/sim/network_state.hpp"
+#include "quarc/sim/simulator.hpp"
+#include "quarc/sim/source.hpp"
+
+namespace quarc::sim {
+
+class ReferenceEngine final : public detail::EngineBase {
+ public:
+  ReferenceEngine(const Topology& topo, SimConfig config);
+  ReferenceEngine(const RoutePlan& plan, SimConfig config);
+
+  SimResult run() override;
+  const SimProfile& profile() const override { return profile_; }
+
+ private:
+  struct Group {
+    Cycle created = 0;
+    int stops_left = 0;
+    bool measured = false;
+    /// Zero-load group latency M + max_c D_c + 1 (for wait extraction).
+    double zero_load_floor = 0.0;
+  };
+
+  /// Shared construction tail: validates config_ (which must already be
+  /// owned by this instance) and builds channel state, sources and worm
+  /// prototypes from the plan's views. The plan is only read here, never
+  /// retained.
+  void build(const RoutePlan& plan);
+
+  void arrivals_phase();
+  void allocation_phase();
+  void movement_phase();
+
+  void spawn(const Worm& proto, std::int64_t group, bool measured);
+  void create_multicast(NodeId s, bool measured);
+
+  void request(ChannelId ch, int vc, Claim claim);
+  void grant(ChannelId ch, int vc, Claim claim);
+  void release(ChannelId ch, int vc);
+
+  bool transfer_candidate(const Claim& o) const;
+  void do_transfer(const Claim& o);
+  void on_stop_complete(Worm& w);
+  void on_stream_absorbed(Worm& w);
+  void maybe_destroy(Worm* w);
+  bool injection_queues_exceeded() const;
+  /// Aborts (QUARC_ASSERT) if any engine invariant is violated.
+  void validate_state() const;
+
+  const Topology* topo_;
+  SimConfig config_;
+
+  std::vector<ChannelState> channel_state_;
+  std::vector<std::pair<ChannelId, int>> pending_grants_;
+  std::vector<std::unique_ptr<Worm>> worms_;
+  std::unordered_map<std::int64_t, Group> groups_;
+  std::vector<TrafficSource> sources_;
+  std::vector<Arrival> arrival_scratch_;
+  Metrics metrics_;
+
+  // Precomputed prototypes (zeroed dynamic state, full flit budget).
+  std::vector<std::vector<Worm>> unicast_proto_;        // [s][dest index]
+  std::vector<std::vector<Worm>> multicast_protos_;     // [s][stream]
+  std::vector<int> multicast_stop_count_;               // [s]
+  std::vector<int> multicast_max_hops_;                 // [s]
+  std::vector<ChannelId> injection_channels_;
+
+  Cycle cycle_ = 0;
+  Cycle last_movement_ = 0;
+  double active_worm_integral_ = 0.0;
+  RunningStats worm_sojourn_;
+  std::int64_t unicast_delivered_total_ = 0;
+  std::int64_t multicast_groups_delivered_total_ = 0;
+  std::int64_t next_worm_id_ = 0;
+  std::int64_t next_group_id_ = 0;
+  std::int64_t flits_injected_ = 0;
+  std::int64_t flits_absorbed_ = 0;
+  std::size_t active_worms_ = 0;
+  bool stable_ = true;
+  SimProfile profile_;
+};
+
+}  // namespace quarc::sim

@@ -1,539 +1,99 @@
 #include "quarc/sim/simulator.hpp"
 
-#include <algorithm>
+#include <cstdio>
 
-#include "quarc/util/error.hpp"
+#include "quarc/sim/active_engine.hpp"
+#include "quarc/sim/reference_engine.hpp"
 
 namespace quarc::sim {
 
-Simulator::Simulator(const Topology& topo, SimConfig config)
-    : topo_(&topo),
-      config_(std::move(config)),
-      metrics_(config_.batch_count, topo.num_ports(), config_.collect_stream_samples) {
-  // The throwaway plan is compiled in the body, from config_ — which this
-  // instance already owns — so no constructor-argument evaluation-order
-  // hazard exists. (The delegating-ctor formulation this replaces had to
-  // pass config by copy: a move could have stolen workload.pattern before
-  // the plan temporary compiled from it, argument evaluation order being
-  // unspecified.)
-  const RoutePlan plan(topo, config_.workload.multicast_rate() > 0.0
-                                 ? config_.workload.pattern.get()
-                                 : nullptr);
-  build(plan);
+namespace {
+
+std::unique_ptr<detail::EngineBase> make_engine(const Topology& topo, SimConfig config) {
+  if (config.engine == SimEngine::Reference) {
+    return std::make_unique<ReferenceEngine>(topo, std::move(config));
+  }
+  return std::make_unique<ActiveEngine>(topo, std::move(config));
 }
+
+std::unique_ptr<detail::EngineBase> make_engine(const RoutePlan& plan, SimConfig config) {
+  if (config.engine == SimEngine::Reference) {
+    return std::make_unique<ReferenceEngine>(plan, std::move(config));
+  }
+  return std::make_unique<ActiveEngine>(plan, std::move(config));
+}
+
+}  // namespace
+
+Simulator::Simulator(const Topology& topo, SimConfig config)
+    : engine_(make_engine(topo, std::move(config))) {}
 
 Simulator::Simulator(const RoutePlan& plan, SimConfig config)
-    : topo_(&plan.topology()),
-      config_(std::move(config)),
-      metrics_(config_.batch_count, topo_->num_ports(), config_.collect_stream_samples) {
-  build(plan);
+    : engine_(make_engine(plan, std::move(config))) {}
+
+Simulator::~Simulator() = default;
+Simulator::Simulator(Simulator&&) noexcept = default;
+Simulator& Simulator::operator=(Simulator&&) noexcept = default;
+
+SimResult Simulator::run() { return engine_->run(); }
+
+const SimProfile& Simulator::profile() const { return engine_->profile(); }
+
+namespace {
+
+std::string hexfloat(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
 }
 
-void Simulator::build(const RoutePlan& plan) {
-  const Topology& topo = *topo_;
-  config_.workload.validate(topo);
-  QUARC_REQUIRE(config_.workload.multicast_rate() == 0.0 ||
-                    plan.pattern() == config_.workload.pattern.get(),
-                "route plan was compiled with a different multicast pattern");
-  QUARC_REQUIRE(config_.buffer_depth >= 1, "buffer depth must be positive");
-  QUARC_REQUIRE(config_.warmup_cycles >= 0 && config_.measure_cycles > 0,
-                "warmup must be >= 0 and measurement window positive");
-
-  const int n = topo.num_nodes();
-  const int msg = config_.workload.message_length;
-
-  channel_state_.resize(static_cast<std::size_t>(topo.num_channels()));
-  for (const ChannelInfo& ch : topo.channels()) {
-    channel_state_[static_cast<std::size_t>(ch.id)].vcs.resize(static_cast<std::size_t>(ch.vcs));
-    if (ch.kind == ChannelKind::Injection) injection_channels_.push_back(ch.id);
-  }
-
-  // Independent deterministic source per node.
-  Rng master(config_.seed);
-  sources_.reserve(static_cast<std::size_t>(n));
-  for (NodeId i = 0; i < n; ++i) {
-    sources_.emplace_back(i, config_.workload, n, master.split());
-  }
-
-  // Worm prototypes from the plan's views: unicast for every pair,
-  // multicast streams per source. Prototypes own their stage arrays, so
-  // the plan is not referenced after construction.
-  unicast_proto_.resize(static_cast<std::size_t>(n));
-  for (NodeId s = 0; s < n; ++s) {
-    auto& row = unicast_proto_[static_cast<std::size_t>(s)];
-    row.resize(static_cast<std::size_t>(n));
-    for (NodeId d = 0; d < n; ++d) {
-      if (d == s) continue;
-      row[static_cast<std::size_t>(d)] = Worm::from_route(plan.route(s, d), msg);
-    }
-  }
-  if (config_.workload.multicast_rate() > 0.0) {
-    multicast_protos_.resize(static_cast<std::size_t>(n));
-    multicast_stop_count_.resize(static_cast<std::size_t>(n), 0);
-    multicast_max_hops_.resize(static_cast<std::size_t>(n), 0);
-    for (NodeId s = 0; s < n; ++s) {
-      if (plan.multicast_dests(s).empty()) continue;
-      multicast_stop_count_[static_cast<std::size_t>(s)] = plan.multicast_stop_count(s);
-      multicast_max_hops_[static_cast<std::size_t>(s)] = plan.multicast_max_hops(s);
-      if (plan.hardware_streams()) {
-        for (std::size_t c = 0; c < plan.stream_count(s); ++c) {
-          multicast_protos_[static_cast<std::size_t>(s)].push_back(
-              Worm::from_stream(plan.stream(s, c), msg));
-        }
-      }
-      // Software multicast spawns from the unicast prototypes in
-      // destination order (create_multicast); nothing extra to build.
-    }
-  }
+void put_summary(std::string& out, const std::string& key, const StatSummary& s) {
+  out += key + ".count=" + std::to_string(s.count) + '\n';
+  out += key + ".mean=" + hexfloat(s.mean) + '\n';
+  out += key + ".ci95=" + hexfloat(s.ci95) + '\n';
+  out += key + ".min=" + hexfloat(s.min) + '\n';
+  out += key + ".max=" + hexfloat(s.max) + '\n';
 }
 
-void Simulator::spawn(const Worm& proto, std::int64_t group, bool measured) {
-  auto w = std::make_unique<Worm>(proto);  // fresh dynamic state by construction
-  w->id = next_worm_id_++;
-  w->group = group;
-  w->created = cycle_;
-  w->measured = measured;
-  w->slot = worms_.size();
-  Worm* p = w.get();
-  worms_.push_back(std::move(w));
-  ++active_worms_;
-  request(p->stages[0], p->stage_vc[0], Claim{p, 0, nullptr});
-}
+}  // namespace
 
-void Simulator::create_multicast(NodeId s, bool measured) {
-  const auto us = static_cast<std::size_t>(s);
-  const std::int64_t gid = next_group_id_++;
-  const double floor =
-      static_cast<double>(config_.workload.message_length + multicast_max_hops_[us] + 1);
-  groups_[gid] = Group{cycle_, multicast_stop_count_[us], measured, floor};
-  if (topo_->supports_multicast()) {
-    for (const Worm& proto : multicast_protos_[us]) spawn(proto, gid, measured);
-  } else {
-    for (NodeId d : config_.workload.pattern->destinations(s)) {
-      spawn(unicast_proto_[us][static_cast<std::size_t>(d)], gid, measured);
+std::string debug_serialize(const SimResult& r) {
+  std::string out;
+  out.reserve(1024 + 32 * r.channel_utilization.size());
+  put_summary(out, "unicast_latency", r.unicast_latency);
+  put_summary(out, "multicast_latency", r.multicast_latency);
+  out += "stream_wait_by_port.size=" + std::to_string(r.stream_wait_by_port.size()) + '\n';
+  for (std::size_t p = 0; p < r.stream_wait_by_port.size(); ++p) {
+    put_summary(out, "stream_wait_by_port[" + std::to_string(p) + ']', r.stream_wait_by_port[p]);
+  }
+  put_summary(out, "multicast_wait", r.multicast_wait);
+  out += "stream_wait_samples.size=" + std::to_string(r.stream_wait_samples.size()) + '\n';
+  for (std::size_t p = 0; p < r.stream_wait_samples.size(); ++p) {
+    const auto& v = r.stream_wait_samples[p];
+    out += "stream_wait_samples[" + std::to_string(p) + "].size=" + std::to_string(v.size()) + '\n';
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      out += "stream_wait_samples[" + std::to_string(p) + "][" + std::to_string(i) +
+             "]=" + hexfloat(v[i]) + '\n';
     }
   }
-}
-
-void Simulator::arrivals_phase() {
-  const Cycle window_start = config_.warmup_cycles;
-  const Cycle window_end = config_.warmup_cycles + config_.measure_cycles;
-  const bool in_window = cycle_ >= window_start && cycle_ < window_end;
-  for (NodeId s = 0; s < topo_->num_nodes(); ++s) {
-    arrival_scratch_.clear();
-    sources_[static_cast<std::size_t>(s)].poll(cycle_, arrival_scratch_);
-    for (const Arrival& a : arrival_scratch_) {
-      metrics_.on_created(a.multicast, in_window);
-      if (a.multicast) {
-        create_multicast(s, in_window);
-      } else {
-        spawn(unicast_proto_[static_cast<std::size_t>(s)][static_cast<std::size_t>(a.unicast_dest)],
-              -1, in_window);
-      }
-    }
+  out += "avg_active_worms=" + hexfloat(r.avg_active_worms) + '\n';
+  put_summary(out, "worm_sojourn", r.worm_sojourn);
+  out += "unicast_delivered_total=" + std::to_string(r.unicast_delivered_total) + '\n';
+  out += "multicast_groups_delivered_total=" +
+         std::to_string(r.multicast_groups_delivered_total) + '\n';
+  out += "messages_generated=" + std::to_string(r.messages_generated) + '\n';
+  out += "cycles_run=" + std::to_string(r.cycles_run) + '\n';
+  out += std::string("completed=") + (r.completed ? "true" : "false") + '\n';
+  out += std::string("stable=") + (r.stable ? "true" : "false") + '\n';
+  out += "max_channel_utilization=" + hexfloat(r.max_channel_utilization) + '\n';
+  out += "channel_utilization.size=" + std::to_string(r.channel_utilization.size()) + '\n';
+  for (std::size_t c = 0; c < r.channel_utilization.size(); ++c) {
+    out += "channel_utilization[" + std::to_string(c) + "]=" + hexfloat(r.channel_utilization[c]) +
+           '\n';
   }
-}
-
-void Simulator::request(ChannelId ch, int vc, Claim claim) {
-  const ChannelInfo& info = topo_->channels()[static_cast<std::size_t>(ch)];
-  if (info.dedicated) {
-    // Conflict-free absorption path: no allocation, immediately usable.
-    channel_state_[static_cast<std::size_t>(ch)].absorbers.push_back(claim);
-    if (claim.is_tap()) {
-      claim.tap->allocated = true;
-    } else {
-      QUARC_ASSERT(claim.stage == claim.worm->allocated_through + 1,
-                   "out-of-order stage allocation");
-      claim.worm->allocated_through = claim.stage;
-    }
-    return;
-  }
-  VcState& v = channel_state_[static_cast<std::size_t>(ch)].vcs[static_cast<std::size_t>(vc)];
-  if (v.is_free() && v.waiters.empty()) {
-    grant(ch, vc, claim);
-  } else {
-    v.waiters.push_back(claim);
-  }
-}
-
-void Simulator::grant(ChannelId ch, int vc, Claim claim) {
-  VcState& v = channel_state_[static_cast<std::size_t>(ch)].vcs[static_cast<std::size_t>(vc)];
-  QUARC_ASSERT(v.is_free(), "grant on an occupied virtual channel");
-  v.owner = claim;
-  if (claim.is_tap()) {
-    claim.tap->allocated = true;
-    return;
-  }
-  Worm& w = *claim.worm;
-  QUARC_ASSERT(claim.stage == w.allocated_through + 1, "out-of-order stage allocation");
-  w.allocated_through = claim.stage;
-  // Acquire the absorb-and-forward tap strictly after the forward channel
-  // (ejection channels are leaf resources; see DESIGN.md deadlock note).
-  if (claim.stage >= 1) {
-    if (TapState* tp = w.tap_at_boundary(claim.stage - 1)) {
-      request(tp->eject, 0, Claim{&w, -1, tp});
-    }
-  }
-}
-
-void Simulator::release(ChannelId ch, int vc) {
-  VcState& v = channel_state_[static_cast<std::size_t>(ch)].vcs[static_cast<std::size_t>(vc)];
-  QUARC_ASSERT(!v.is_free(), "release of a free virtual channel");
-  v.owner = Claim{};
-  if (!v.waiters.empty()) pending_grants_.emplace_back(ch, vc);
-}
-
-void Simulator::allocation_phase() {
-  // Grants take effect at the start of the cycle following the release.
-  auto pending = std::move(pending_grants_);
-  pending_grants_.clear();
-  for (const auto& [ch, vc] : pending) {
-    VcState& v = channel_state_[static_cast<std::size_t>(ch)].vcs[static_cast<std::size_t>(vc)];
-    if (v.is_free() && !v.waiters.empty()) {
-      Claim claim = v.waiters.front();
-      v.waiters.pop_front();
-      grant(ch, vc, claim);
-      if (!v.waiters.empty()) {
-        // Remaining waiters get their chance when this owner releases.
-      }
-    }
-  }
-}
-
-bool Simulator::transfer_candidate(const Claim& o) const {
-  if (o.worm == nullptr || o.is_tap()) return false;
-  const Worm& w = *o.worm;
-  const int s = o.stage;
-  if (s == 0) {
-    if (w.flits_to_inject == 0) return false;
-  } else if (!w.dyn[static_cast<std::size_t>(s - 1)].avail(cycle_)) {
-    return false;
-  }
-  if (w.dyn[static_cast<std::size_t>(s)].occ_at_start(cycle_) >= config_.buffer_depth) return false;
-  if (s >= 1 && !w.taps.empty()) {
-    // The boundary into stage s clones into a tap when the node after link
-    // s-1 is an absorbing stop.
-    if (const TapState* tp = w.tap_at_boundary(s - 1)) {
-      if (!tp->allocated) return false;
-      if (tp->buf.occ_at_start(cycle_) >= config_.buffer_depth) return false;
-    }
-  }
-  return true;
-}
-
-void Simulator::do_transfer(const Claim& o) {
-  Worm& w = *o.worm;
-  const int s = o.stage;
-  if (s == 0) {
-    --w.flits_to_inject;
-    ++flits_injected_;
-  } else {
-    StageDyn& up = w.dyn[static_cast<std::size_t>(s - 1)];
-    up.on_exit(cycle_);
-    if (TapState* tp = w.tap_at_boundary(s - 1)) {
-      tp->buf.on_enter(cycle_);
-      ++tp->cloned;
-      ++channel_state_[static_cast<std::size_t>(tp->eject)].flits_crossed;
-    }
-    if (up.exited == static_cast<std::uint32_t>(w.msg_len)) {
-      release(w.stages[static_cast<std::size_t>(s - 1)], w.stage_vc[static_cast<std::size_t>(s - 1)]);
-    }
-  }
-  w.dyn[static_cast<std::size_t>(s)].on_enter(cycle_);
-  if (s > w.head_stage) {
-    w.head_stage = s;
-    if (s + 1 <= w.last_stage()) {
-      request(w.stages[static_cast<std::size_t>(s + 1)], w.stage_vc[static_cast<std::size_t>(s + 1)],
-              Claim{&w, s + 1, nullptr});
-    }
-  }
-}
-
-void Simulator::on_stop_complete(Worm& w) {
-  auto it = groups_.find(w.group);
-  QUARC_ASSERT(it != groups_.end(), "stop completion for unknown group");
-  Group& g = it->second;
-  if (--g.stops_left == 0) {
-    const Cycle latency = cycle_ - g.created;
-    metrics_.on_multicast_done(latency, g.measured);
-    metrics_.on_group_wait(static_cast<double>(latency) - g.zero_load_floor, g.measured);
-    groups_.erase(it);
-    ++multicast_groups_delivered_total_;
-  }
-}
-
-void Simulator::on_stream_absorbed(Worm& w) {
-  // Empirical W_{j,c}: stream latency minus its zero-load floor
-  // M + D_c + 1 (D_c = last_stage - 1 external hops).
-  const double wait =
-      static_cast<double>(cycle_ - w.created) - static_cast<double>(w.msg_len + w.last_stage());
-  metrics_.on_stream_done(w.port, wait, w.measured);
-}
-
-void Simulator::maybe_destroy(Worm* w) {
-  if (!w->fully_absorbed() || !w->taps_done()) return;
-  QUARC_ASSERT(w->flits_to_inject == 0, "destroying a worm with unsent flits");
-  for (const StageDyn& d : w->dyn) {
-    QUARC_ASSERT(d.occ == 0, "destroying a worm with in-flight flits");
-  }
-  if (w->measured) worm_sojourn_.add(static_cast<double>(cycle_ - w->created));
-  const std::size_t slot = w->slot;
-  if (slot + 1 != worms_.size()) {
-    worms_[slot] = std::move(worms_.back());
-    worms_[slot]->slot = slot;
-  }
-  worms_.pop_back();
-  --active_worms_;
-}
-
-void Simulator::movement_phase() {
-  bool moved = false;
-  const auto& channels = topo_->channels();
-  for (std::size_t c = 0; c < channel_state_.size(); ++c) {
-    ChannelState& cs = channel_state_[c];
-    const ChannelInfo& info = channels[c];
-
-    // Dedicated ejection channels: each in-progress absorption advances
-    // independently (crossing-in for final stages, then a sink pull),
-    // with start-of-cycle snapshot semantics keeping the two separate.
-    if (info.kind == ChannelKind::Ejection && info.dedicated) {
-      auto& absorbers = cs.absorbers;
-      for (std::size_t i = 0; i < absorbers.size();) {
-        const Claim a = absorbers[i];
-        bool removed = false;
-        if (a.is_tap()) {
-          TapState& tp = *a.tap;
-          if (tp.buf.avail(cycle_)) {
-            tp.buf.on_exit(cycle_);
-            ++tp.absorbed;
-            ++flits_absorbed_;
-            moved = true;
-            if (tp.absorbed == a.worm->msg_len) {
-              absorbers[i] = absorbers.back();
-              absorbers.pop_back();
-              removed = true;
-              on_stop_complete(*a.worm);
-              maybe_destroy(a.worm);
-            }
-          }
-        } else {
-          Worm* w = a.worm;
-          if (transfer_candidate(a)) {  // crossing-in from the last link
-            do_transfer(a);
-            ++cs.flits_crossed;
-            moved = true;
-          }
-          StageDyn& last = w->dyn[static_cast<std::size_t>(w->last_stage())];
-          if (last.avail(cycle_)) {
-            last.on_exit(cycle_);
-            ++w->absorbed;
-            ++flits_absorbed_;
-            moved = true;
-            if (w->fully_absorbed()) {
-              absorbers[i] = absorbers.back();
-              absorbers.pop_back();
-              removed = true;
-              if (w->group < 0) {
-                metrics_.on_unicast_done(cycle_ - w->created, w->measured);
-                ++unicast_delivered_total_;
-              } else {
-                on_stream_absorbed(*w);
-                on_stop_complete(*w);
-              }
-              maybe_destroy(w);
-            }
-          }
-        }
-        if (!removed) ++i;
-      }
-      continue;  // no VC allocation machinery on dedicated sinks
-    }
-
-    // Shared (one-port) ejection channels: sink consumption for the worm
-    // or tap currently holding the channel.
-    if (info.kind == ChannelKind::Ejection) {
-      VcState& v = cs.vcs[0];
-      if (!v.is_free()) {
-        if (v.owner.is_tap()) {
-          TapState& tp = *v.owner.tap;
-          if (tp.buf.avail(cycle_)) {
-            Worm* w = v.owner.worm;
-            tp.buf.on_exit(cycle_);
-            ++tp.absorbed;
-            ++flits_absorbed_;
-            moved = true;
-            if (tp.absorbed == w->msg_len) {
-              release(info.id, 0);
-              on_stop_complete(*w);
-              maybe_destroy(w);
-            }
-          }
-        } else if (v.owner.stage == v.owner.worm->last_stage()) {
-          Worm* w = v.owner.worm;
-          StageDyn& last = w->dyn[static_cast<std::size_t>(w->last_stage())];
-          if (last.avail(cycle_)) {
-            last.on_exit(cycle_);
-            ++w->absorbed;
-            ++flits_absorbed_;
-            moved = true;
-            if (w->fully_absorbed()) {
-              release(info.id, 0);
-              if (w->group < 0) {
-                metrics_.on_unicast_done(cycle_ - w->created, w->measured);
-                ++unicast_delivered_total_;
-              } else {
-                on_stream_absorbed(*w);
-                on_stop_complete(*w);
-              }
-              maybe_destroy(w);
-            }
-          }
-        }
-      }
-    }
-
-    // At most one flit crosses the physical channel per cycle; round-robin
-    // among virtual channels with a movable flit.
-    const int nv = static_cast<int>(cs.vcs.size());
-    int chosen = -1;
-    for (int k = 1; k <= nv; ++k) {
-      const int vc = static_cast<int>((cs.rr + static_cast<std::uint32_t>(k)) %
-                                      static_cast<std::uint32_t>(nv));
-      if (transfer_candidate(cs.vcs[static_cast<std::size_t>(vc)].owner)) {
-        chosen = vc;
-        break;
-      }
-    }
-    if (chosen >= 0) {
-      do_transfer(cs.vcs[static_cast<std::size_t>(chosen)].owner);
-      cs.rr = static_cast<std::uint32_t>(chosen);
-      ++cs.flits_crossed;
-      moved = true;
-    }
-  }
-  if (moved) last_movement_ = cycle_;
-}
-
-void Simulator::validate_state() const {
-  // Per-worm flit conservation and buffer bounds.
-  for (const auto& wp : worms_) {
-    const Worm& w = *wp;
-    int in_buffers = 0;
-    for (const StageDyn& d : w.dyn) {
-      QUARC_ASSERT(d.occ <= config_.buffer_depth, "stage buffer over capacity");
-      in_buffers += d.occ;
-    }
-    QUARC_ASSERT(w.flits_to_inject + in_buffers + w.absorbed == w.msg_len,
-                 "worm flit conservation violated");
-    QUARC_ASSERT(w.head_stage <= w.allocated_through, "header ahead of its allocations");
-    QUARC_ASSERT(w.allocated_through <= w.head_stage + 1,
-                 "worm holds a stage more than one ahead of its header");
-    for (const TapState& tp : w.taps) {
-      QUARC_ASSERT(tp.cloned - tp.absorbed == tp.buf.occ, "tap clone conservation violated");
-      QUARC_ASSERT(tp.cloned <= w.msg_len, "tap cloned more flits than the message has");
-      QUARC_ASSERT(tp.allocated || tp.cloned == 0, "tap cloned before allocation");
-    }
-  }
-  // Allocation consistency: every VC owner names the channel it occupies,
-  // and a worm's stage is owned by at most one VC.
-  for (std::size_t c = 0; c < channel_state_.size(); ++c) {
-    const ChannelState& cs = channel_state_[c];
-    for (const VcState& v : cs.vcs) {
-      if (v.is_free()) continue;
-      if (v.owner.is_tap()) {
-        QUARC_ASSERT(v.owner.tap->eject == static_cast<ChannelId>(c),
-                     "tap owns a channel that is not its ejection channel");
-      } else {
-        const Worm& w = *v.owner.worm;
-        QUARC_ASSERT(v.owner.stage >= 0 && v.owner.stage <= w.last_stage(),
-                     "owner stage out of range");
-        QUARC_ASSERT(w.stages[static_cast<std::size_t>(v.owner.stage)] ==
-                         static_cast<ChannelId>(c),
-                     "VC owner does not match the worm's route");
-      }
-    }
-    for (const Claim& a : cs.absorbers) {
-      QUARC_ASSERT(a.worm != nullptr, "null absorber claim");
-      if (a.is_tap()) {
-        QUARC_ASSERT(a.tap->eject == static_cast<ChannelId>(c), "absorber channel mismatch");
-      } else {
-        QUARC_ASSERT(a.worm->stages[static_cast<std::size_t>(a.stage)] ==
-                         static_cast<ChannelId>(c),
-                     "absorber channel mismatch");
-      }
-    }
-  }
-}
-
-bool Simulator::injection_queues_exceeded() const {
-  for (ChannelId ch : injection_channels_) {
-    if (channel_state_[static_cast<std::size_t>(ch)].vcs[0].waiters.size() >
-        config_.max_queue_length) {
-      return true;
-    }
-  }
-  return false;
-}
-
-SimResult Simulator::run() {
-  const Cycle window_end = config_.warmup_cycles + config_.measure_cycles;
-  const Cycle hard_cap = window_end + config_.drain_cap_cycles;
-  bool completed = false;
-
-  for (cycle_ = 0;; ++cycle_) {
-    arrivals_phase();
-    allocation_phase();
-    movement_phase();
-    active_worm_integral_ += static_cast<double>(active_worms_);
-
-    if (cycle_ + 1 >= window_end && metrics_.all_measured_done()) {
-      completed = true;
-      break;
-    }
-    if (cycle_ >= hard_cap) break;
-    if (config_.check_invariants && cycle_ % config_.invariant_check_interval == 0) {
-      validate_state();
-    }
-    if ((cycle_ & 0xFF) == 0 && injection_queues_exceeded()) {
-      stable_ = false;
-      break;
-    }
-    if (active_worms_ > 0 && cycle_ - last_movement_ > config_.stall_watchdog) {
-      QUARC_ASSERT(false, "simulation stalled: deadlock canary tripped");
-    }
-  }
-
-  SimResult result;
-  result.unicast_latency = metrics_.unicast_summary();
-  result.multicast_latency = metrics_.multicast_summary();
-  result.stream_wait_by_port = metrics_.stream_wait_by_port();
-  result.multicast_wait = metrics_.group_wait_summary();
-  result.stream_wait_samples = metrics_.stream_wait_samples();
-  result.avg_active_worms = active_worm_integral_ / static_cast<double>(cycle_ + 1);
-  {
-    StatSummary sj;
-    sj.count = worm_sojourn_.count();
-    sj.mean = worm_sojourn_.mean();
-    sj.min = worm_sojourn_.empty() ? 0.0 : worm_sojourn_.min();
-    sj.max = worm_sojourn_.empty() ? 0.0 : worm_sojourn_.max();
-    result.worm_sojourn = sj;
-  }
-  result.unicast_delivered_total = unicast_delivered_total_;
-  result.multicast_groups_delivered_total = multicast_groups_delivered_total_;
-  result.messages_generated = metrics_.total_created();
-  result.cycles_run = cycle_ + 1;
-  result.completed = completed && stable_;
-  result.stable = stable_;
-  result.flits_injected = flits_injected_;
-  result.flits_absorbed = flits_absorbed_;
-  result.channel_utilization.resize(channel_state_.size(), 0.0);
-  const auto cycles = static_cast<double>(result.cycles_run);
-  for (std::size_t c = 0; c < channel_state_.size(); ++c) {
-    result.channel_utilization[c] = static_cast<double>(channel_state_[c].flits_crossed) / cycles;
-    result.max_channel_utilization =
-        std::max(result.max_channel_utilization, result.channel_utilization[c]);
-  }
-  return result;
+  out += "flits_injected=" + std::to_string(r.flits_injected) + '\n';
+  out += "flits_absorbed=" + std::to_string(r.flits_absorbed) + '\n';
+  return out;
 }
 
 }  // namespace quarc::sim

@@ -11,18 +11,27 @@
 //
 // Determinism: a run is a pure function of (topology, config). Sweeps may
 // run many Simulator instances concurrently (one per parameter point).
+//
+// Simulator is a facade over two interchangeable engines (engine.hpp):
+// the event/activity-driven ActiveEngine (default) and the historical
+// ReferenceEngine oracle. Both produce bit-identical SimResults; the
+// engine knob tunes throughput without moving a single result byte.
 #pragma once
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
+#include <string>
 #include <vector>
 
-#include "quarc/sim/metrics.hpp"
-#include "quarc/sim/network_state.hpp"
-#include "quarc/sim/source.hpp"
+#include "quarc/sim/engine.hpp"
 #include "quarc/traffic/workload.hpp"
 #include "quarc/util/stats.hpp"
+#include "quarc/util/types.hpp"
+
+namespace quarc {
+class RoutePlan;
+class Topology;
+}  // namespace quarc
 
 namespace quarc::sim {
 
@@ -59,6 +68,14 @@ struct SimConfig {
   /// the stress test-suite runs with it on.
   bool check_invariants = false;
   Cycle invariant_check_interval = 64;
+  /// Which engine executes the run. Byte-transparent — both engines emit
+  /// bit-identical SimResults (tests/test_sim_engine.cpp) — so this knob,
+  /// like the solver's assembly knob, is NOT fingerprinted.
+  SimEngine engine = default_sim_engine();
+  /// Collect per-phase wall-clock in SimProfile (diagnostic only; activity
+  /// counters are always maintained, timing costs two clock reads per
+  /// phase per cycle and is off by default).
+  bool profile_phases = false;
 };
 
 struct SimResult {
@@ -95,6 +112,30 @@ struct SimResult {
   std::int64_t flits_absorbed = 0;  ///< includes multicast clone absorptions
 };
 
+/// Engine activity counters (and, when SimConfig::profile_phases, per-phase
+/// wall-clock). Diagnostic only: never part of SimResult or its
+/// serialization, so profiling can never perturb the identity contract.
+struct SimProfile {
+  double arrivals_ns = 0.0;    ///< wall-clock in the arrivals phase
+  double allocation_ns = 0.0;  ///< wall-clock in the allocation phase
+  double movement_ns = 0.0;    ///< wall-clock in the movement phase
+  Cycle cycles_executed = 0;   ///< cycles the engine actually stepped
+  Cycle cycles_skipped = 0;    ///< idle cycles fast-forwarded (active engine)
+  std::int64_t channel_visits = 0;  ///< movement-phase channel visits
+  std::int64_t source_polls = 0;    ///< arrivals-phase source polls
+};
+
+namespace detail {
+/// Interface the facade dispatches through; one concrete engine per
+/// SimEngine value (reference_engine.hpp, active_engine.hpp).
+class EngineBase {
+ public:
+  virtual ~EngineBase() = default;
+  virtual SimResult run() = 0;
+  virtual const SimProfile& profile() const = 0;
+};
+}  // namespace detail
+
 class Simulator {
  public:
   /// The workload is validated against the topology; worm prototypes are
@@ -106,76 +147,26 @@ class Simulator {
   /// prototypes own their storage — so it need not outlive the simulator,
   /// but its topology must.
   Simulator(const RoutePlan& plan, SimConfig config);
+  ~Simulator();
+  Simulator(Simulator&&) noexcept;
+  Simulator& operator=(Simulator&&) noexcept;
 
   /// Runs to completion and returns the measurements. One-shot: construct a
   /// fresh Simulator per run.
   SimResult run();
 
+  /// Activity counters of the last run() (wall-clock fields populated only
+  /// when SimConfig::profile_phases).
+  const SimProfile& profile() const;
+
  private:
-  struct Group {
-    Cycle created = 0;
-    int stops_left = 0;
-    bool measured = false;
-    /// Zero-load group latency M + max_c D_c + 1 (for wait extraction).
-    double zero_load_floor = 0.0;
-  };
-
-  /// Shared construction tail: validates config_ (which must already be
-  /// owned by this instance) and builds channel state, sources and worm
-  /// prototypes from the plan's views. The plan is only read here, never
-  /// retained.
-  void build(const RoutePlan& plan);
-
-  void arrivals_phase();
-  void allocation_phase();
-  void movement_phase();
-
-  void spawn(const Worm& proto, std::int64_t group, bool measured);
-  void create_multicast(NodeId s, bool measured);
-
-  void request(ChannelId ch, int vc, Claim claim);
-  void grant(ChannelId ch, int vc, Claim claim);
-  void release(ChannelId ch, int vc);
-
-  bool transfer_candidate(const Claim& o) const;
-  void do_transfer(const Claim& o);
-  void on_stop_complete(Worm& w);
-  void on_stream_absorbed(Worm& w);
-  void maybe_destroy(Worm* w);
-  bool injection_queues_exceeded() const;
-  /// Aborts (QUARC_ASSERT) if any engine invariant is violated.
-  void validate_state() const;
-
-  const Topology* topo_;
-  SimConfig config_;
-
-  std::vector<ChannelState> channel_state_;
-  std::vector<std::pair<ChannelId, int>> pending_grants_;
-  std::vector<std::unique_ptr<Worm>> worms_;
-  std::unordered_map<std::int64_t, Group> groups_;
-  std::vector<TrafficSource> sources_;
-  std::vector<Arrival> arrival_scratch_;
-  Metrics metrics_;
-
-  // Precomputed prototypes (zeroed dynamic state, full flit budget).
-  std::vector<std::vector<Worm>> unicast_proto_;        // [s][dest index]
-  std::vector<std::vector<Worm>> multicast_protos_;     // [s][stream]
-  std::vector<int> multicast_stop_count_;               // [s]
-  std::vector<int> multicast_max_hops_;                 // [s]
-  std::vector<ChannelId> injection_channels_;
-
-  Cycle cycle_ = 0;
-  Cycle last_movement_ = 0;
-  double active_worm_integral_ = 0.0;
-  RunningStats worm_sojourn_;
-  std::int64_t unicast_delivered_total_ = 0;
-  std::int64_t multicast_groups_delivered_total_ = 0;
-  std::int64_t next_worm_id_ = 0;
-  std::int64_t next_group_id_ = 0;
-  std::int64_t flits_injected_ = 0;
-  std::int64_t flits_absorbed_ = 0;
-  std::size_t active_worms_ = 0;
-  bool stable_ = true;
+  std::unique_ptr<detail::EngineBase> engine_;
 };
+
+/// Lossless text serialization of every SimResult field — doubles printed
+/// as hexfloats, so two results serialize identically iff they are
+/// bit-identical. The medium of the engine byte-identity contract (tests
+/// and the BENCH_sim identity audit compare these strings).
+std::string debug_serialize(const SimResult& result);
 
 }  // namespace quarc::sim

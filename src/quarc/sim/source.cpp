@@ -17,6 +17,13 @@ TrafficSource::TrafficSource(NodeId node, const Workload& load, int num_nodes, R
                               : std::numeric_limits<double>::infinity();
 }
 
+Cycle TrafficSource::next_arrival_cycle() const {
+  // Guard the cast: infinity (zero rate) and astronomically distant
+  // arrivals both mean "never" on any realizable horizon.
+  if (!(next_arrival_ < 9.0e18)) return std::numeric_limits<Cycle>::max();
+  return static_cast<Cycle>(next_arrival_);
+}
+
 void TrafficSource::poll(Cycle t, std::vector<Arrival>& out) {
   while (next_arrival_ < static_cast<double>(t + 1)) {
     Arrival a;

@@ -30,6 +30,13 @@ class TrafficSource {
   /// Must be called with strictly increasing t.
   void poll(Cycle t, std::vector<Arrival>& out);
 
+  /// The earliest cycle poll() could report an arrival for, given the
+  /// current stream position (Cycle max when the source can never fire).
+  /// A poll on any earlier cycle returns nothing and consumes no
+  /// randomness, so callers may skip those cycles outright — the active
+  /// engine's arrival gating and idle fast-forward rest on this.
+  Cycle next_arrival_cycle() const;
+
  private:
   NodeId node_;
   int num_nodes_;

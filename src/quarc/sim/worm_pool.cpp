@@ -1,0 +1,119 @@
+#include "quarc/sim/worm_pool.hpp"
+
+#include <algorithm>
+
+#include "quarc/util/error.hpp"
+
+namespace quarc::sim {
+
+std::uint32_t ProtoTable::append(const Worm& w) {
+  Proto p;
+  p.stage_off = static_cast<std::uint32_t>(stage_pool_.size());
+  p.tap_off = static_cast<std::uint32_t>(tap_pool_.size());
+  p.num_stages = static_cast<std::uint16_t>(w.stages.size());
+  p.num_taps = static_cast<std::uint16_t>(w.taps.size());
+  p.source = w.source;
+  p.port = w.port;
+  stage_pool_.insert(stage_pool_.end(), w.stages.begin(), w.stages.end());
+  vc_pool_.insert(vc_pool_.end(), w.stage_vc.begin(), w.stage_vc.end());
+  for (const TapState& tp : w.taps) {
+    tap_pool_.push_back(TapProto{tp.boundary, tp.node, tp.eject});
+  }
+  max_stages_ = std::max(max_stages_, static_cast<int>(w.stages.size()));
+  max_taps_ = std::max(max_taps_, static_cast<int>(w.taps.size()));
+  protos_.push_back(p);
+  return static_cast<std::uint32_t>(protos_.size() - 1);
+}
+
+ProtoTable::ProtoTable(const RoutePlan& plan, const Workload& load) {
+  const Topology& topo = plan.topology();
+  const int n = topo.num_nodes();
+  num_nodes_ = n;
+  const int msg = load.message_length;
+
+  // Same skip rule as the reference engine's build(): the n^2 table exists
+  // only when a unicast worm can actually spawn from it.
+  const bool need_unicast =
+      load.unicast_rate() > 0.0 || (load.multicast_rate() > 0.0 && !topo.supports_multicast());
+  if (need_unicast) {
+    unicast_index_.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), kNoProto);
+    for (NodeId s = 0; s < n; ++s) {
+      for (NodeId d = 0; d < n; ++d) {
+        if (d == s) continue;
+        unicast_index_[static_cast<std::size_t>(s) * static_cast<std::size_t>(n) +
+                       static_cast<std::size_t>(d)] = append(Worm::from_route(plan.route(s, d), msg));
+      }
+    }
+  }
+
+  stream_off_.assign(static_cast<std::size_t>(n) + 1, 0);
+  multicast_stop_count_.assign(static_cast<std::size_t>(n), 0);
+  multicast_max_hops_.assign(static_cast<std::size_t>(n), 0);
+  for (NodeId s = 0; s < n; ++s) {
+    stream_off_[static_cast<std::size_t>(s)] = static_cast<std::uint32_t>(protos_.size());
+    if (load.multicast_rate() <= 0.0 || plan.multicast_dests(s).empty()) continue;
+    multicast_stop_count_[static_cast<std::size_t>(s)] = plan.multicast_stop_count(s);
+    multicast_max_hops_[static_cast<std::size_t>(s)] = plan.multicast_max_hops(s);
+    if (plan.hardware_streams()) {
+      for (std::size_t c = 0; c < plan.stream_count(s); ++c) {
+        append(Worm::from_stream(plan.stream(s, c), msg));
+      }
+    }
+  }
+  stream_off_[static_cast<std::size_t>(n)] = static_cast<std::uint32_t>(protos_.size());
+}
+
+WormArena::WormArena(const ProtoTable& protos, int msg_len)
+    : protos_(&protos),
+      msg_len_(msg_len),
+      dyn_stride_(static_cast<std::size_t>(protos.max_stages())),
+      tap_stride_(static_cast<std::size_t>(protos.max_taps())) {}
+
+void WormArena::add_chunk() {
+  auto chunk = std::make_unique<Chunk>();
+  chunk->worms.resize(kChunkWorms);
+  chunk->dyn.resize(kChunkWorms * dyn_stride_);
+  chunk->taps.resize(kChunkWorms * tap_stride_);
+  for (std::size_t i = 0; i < kChunkWorms; ++i) {
+    PooledWorm& w = chunk->worms[i];
+    w.dyn = dyn_stride_ != 0 ? chunk->dyn.data() + i * dyn_stride_ : nullptr;
+    w.taps = tap_stride_ != 0 ? chunk->taps.data() + i * tap_stride_ : nullptr;
+  }
+  // The Chunk object is heap-allocated, so these pointers survive the move
+  // of its owning unique_ptr. Push in reverse so slots hand out ascending.
+  for (std::size_t i = kChunkWorms; i-- > 0;) free_.push_back(&chunk->worms[i]);
+  chunks_.push_back(std::move(chunk));
+}
+
+PooledWorm* WormArena::acquire(std::uint32_t proto_index) {
+  if (free_.empty()) add_chunk();
+  PooledWorm* w = free_.back();
+  free_.pop_back();
+
+  const ProtoTable::Proto& p = protos_->proto(proto_index);
+  QUARC_ASSERT(p.num_stages >= 2, "prototype must span injection and ejection");
+  w->stages = protos_->stages(p);
+  w->stage_vc = protos_->stage_vcs(p);
+  w->num_stages = p.num_stages;
+  w->num_taps = p.num_taps;
+  w->msg_len = msg_len_;
+  w->source = p.source;
+  w->port = p.port;
+  std::fill_n(w->dyn, p.num_stages, StageDyn{});
+  const ProtoTable::TapProto* tp = protos_->taps(p);
+  for (std::uint16_t i = 0; i < p.num_taps; ++i) {
+    TapState t;
+    t.boundary = tp[i].boundary;
+    t.node = tp[i].node;
+    t.eject = tp[i].eject;
+    w->taps[i] = t;
+  }
+  w->group = -1;
+  w->flits_to_inject = msg_len_;
+  w->head_stage = -1;
+  w->allocated_through = -1;
+  w->absorbed = 0;
+  return w;
+}
+
+}  // namespace quarc::sim

@@ -1,0 +1,184 @@
+// Pooled worm storage for the active simulator engine.
+//
+// The reference engine heap-allocates one Worm (plus three std::vectors)
+// per message and stores per-(source, dest) prototype vectors. At sweep
+// scale that is millions of small allocations per run and an n^2 table of
+// owned stage arrays per Simulator. This header flattens both:
+//
+//   * ProtoTable — every prototype's stages/stage_vc/taps live as spans
+//     into three shared pools (one ChannelId pool, one vc pool, one tap
+//     pool), built once per Simulator from the RoutePlan's views via the
+//     exact Worm::from_route/from_stream builders, so stage construction
+//     logic exists in one place.
+//   * WormArena — a freelist of fixed-slot PooledWorms over 64-byte-aligned
+//     chunked storage (util/aligned.hpp). Every slot owns a dyn/taps span
+//     sized for the largest prototype; activation resets the spans and
+//     points stages/stage_vc at the prototype pools. Chunks never move, so
+//     PooledWorm* stays stable for the engine's Claim queues.
+//
+// PooledWorm mirrors Worm's dynamic fields and helpers one-for-one; the
+// active engine's movement code is line-for-line the reference algorithm
+// over this layout (byte-identity pinned by tests/test_sim_engine.cpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "quarc/route/route_plan.hpp"
+#include "quarc/sim/network_state.hpp"
+#include "quarc/traffic/workload.hpp"
+#include "quarc/util/aligned.hpp"
+#include "quarc/util/types.hpp"
+
+namespace quarc::sim {
+
+class ProtoTable {
+ public:
+  struct TapProto {
+    int boundary = 0;
+    NodeId node = kInvalidNode;
+    ChannelId eject = kInvalidChannel;
+  };
+  struct Proto {
+    std::uint32_t stage_off = 0;  ///< into stage/vc pools
+    std::uint32_t tap_off = 0;    ///< into the tap pool
+    std::uint16_t num_stages = 0;
+    std::uint16_t num_taps = 0;
+    NodeId source = kInvalidNode;
+    PortId port = 0;
+  };
+
+  static constexpr std::uint32_t kNoProto = 0xFFFFFFFFu;
+
+  /// Builds exactly the prototypes a run with this workload can spawn:
+  /// the n^2 unicast table only when unicast arrivals can occur or
+  /// software multicast spawns from it (the reference engine's skip rule),
+  /// and per-source hardware stream prototypes when the plan carries them.
+  ProtoTable(const RoutePlan& plan, const Workload& load);
+
+  bool has_unicast() const { return !unicast_index_.empty(); }
+  std::uint32_t unicast(NodeId s, NodeId d) const {
+    return unicast_index_[static_cast<std::size_t>(s) * static_cast<std::size_t>(num_nodes_) +
+                          static_cast<std::size_t>(d)];
+  }
+  /// Hardware stream prototypes of source s: [stream_begin(s), stream_end(s)).
+  std::uint32_t stream_begin(NodeId s) const { return stream_off_[static_cast<std::size_t>(s)]; }
+  std::uint32_t stream_end(NodeId s) const { return stream_off_[static_cast<std::size_t>(s) + 1]; }
+
+  int multicast_stop_count(NodeId s) const {
+    return multicast_stop_count_[static_cast<std::size_t>(s)];
+  }
+  int multicast_max_hops(NodeId s) const {
+    return multicast_max_hops_[static_cast<std::size_t>(s)];
+  }
+
+  const Proto& proto(std::uint32_t i) const { return protos_[i]; }
+  const ChannelId* stages(const Proto& p) const { return stage_pool_.data() + p.stage_off; }
+  const std::uint8_t* stage_vcs(const Proto& p) const { return vc_pool_.data() + p.stage_off; }
+  const TapProto* taps(const Proto& p) const { return tap_pool_.data() + p.tap_off; }
+
+  int max_stages() const { return max_stages_; }
+  int max_taps() const { return max_taps_; }
+
+ private:
+  /// Flattens one built Worm prototype into the pools; returns its index.
+  std::uint32_t append(const Worm& w);
+
+  int num_nodes_ = 0;
+  int max_stages_ = 0;
+  int max_taps_ = 0;
+  std::vector<Proto> protos_;
+  AlignedVector<ChannelId> stage_pool_;
+  AlignedVector<std::uint8_t> vc_pool_;
+  AlignedVector<TapProto> tap_pool_;
+  std::vector<std::uint32_t> unicast_index_;  ///< [s*n+d], kNoProto off-diagonal gaps
+  std::vector<std::uint32_t> stream_off_;     ///< [n+1] prefix into protos_
+  std::vector<int> multicast_stop_count_;     ///< [n] (0 when no multicast state)
+  std::vector<int> multicast_max_hops_;       ///< [n]
+};
+
+/// One in-flight message in the active engine. Same dynamic state and
+/// helpers as Worm, but stages/stage_vc alias the ProtoTable pools and
+/// dyn/taps alias fixed arena spans.
+struct alignas(kCacheLineBytes) PooledWorm {
+  const ChannelId* stages = nullptr;
+  const std::uint8_t* stage_vc = nullptr;
+  StageDyn* dyn = nullptr;  ///< arena-backed, fixed per slot
+  TapState* taps = nullptr; ///< arena-backed, fixed per slot
+  std::int32_t num_stages = 0;
+  std::int32_t num_taps = 0;
+  std::int32_t msg_len = 0;
+  NodeId source = kInvalidNode;
+  PortId port = 0;
+
+  std::int64_t id = 0;
+  /// Index in the engine's live list (maintained on swap-remove).
+  std::size_t live_slot = 0;
+  /// Dense group slot (the active engine's slot-map id); -1 for unicast.
+  std::int32_t group = -1;
+  Cycle created = 0;
+  bool measured = false;
+
+  std::int32_t flits_to_inject = 0;
+  std::int32_t head_stage = -1;
+  std::int32_t allocated_through = -1;
+  std::int32_t absorbed = 0;
+
+  int last_stage() const { return num_stages - 1; }
+  bool fully_absorbed() const { return absorbed == msg_len; }
+  bool taps_done() const {
+    for (std::int32_t i = 0; i < num_taps; ++i) {
+      if (taps[i].absorbed != msg_len) return false;
+    }
+    return true;
+  }
+  TapState* tap_at_boundary(int boundary) {
+    for (std::int32_t i = 0; i < num_taps; ++i) {
+      if (taps[i].boundary == boundary) return &taps[i];
+    }
+    return nullptr;
+  }
+  const TapState* tap_at_boundary(int boundary) const {
+    for (std::int32_t i = 0; i < num_taps; ++i) {
+      if (taps[i].boundary == boundary) return &taps[i];
+    }
+    return nullptr;
+  }
+};
+
+class WormArena {
+ public:
+  /// Slots are sized for the table's largest prototype; msg_len is the
+  /// run-wide message length (one Workload knob, constant per run).
+  WormArena(const ProtoTable& protos, int msg_len);
+
+  /// Activates a fresh worm from prototype `proto_index`: spans wired,
+  /// dynamic state reset (full flit budget, taps unallocated). The pointer
+  /// is stable until release().
+  PooledWorm* acquire(std::uint32_t proto_index);
+  void release(PooledWorm* w) { free_.push_back(w); }
+
+  /// Total slots ever materialized (high-water diagnostic).
+  std::size_t capacity() const { return chunks_.size() * kChunkWorms; }
+
+ private:
+  static constexpr std::size_t kChunkWorms = 64;
+
+  struct Chunk {
+    AlignedVector<PooledWorm> worms;
+    AlignedVector<StageDyn> dyn;
+    AlignedVector<TapState> taps;
+  };
+
+  void add_chunk();
+
+  const ProtoTable* protos_;
+  int msg_len_;
+  std::size_t dyn_stride_;
+  std::size_t tap_stride_;
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  std::vector<PooledWorm*> free_;
+};
+
+}  // namespace quarc::sim

@@ -49,6 +49,16 @@ TEST(Cli, ParsesFullCommandLine) {
 
 TEST(Cli, RejectsUnknownOption) { EXPECT_THROW(parse_list({"--bogus"}), InvalidArgument); }
 
+TEST(Cli, ParsesSimEngine) {
+  EXPECT_EQ(parse_list({}).sim_engine, "");  // defer to SimConfig's default
+  EXPECT_EQ(parse_list({"--sim-engine", "reference"}).sim_engine, "reference");
+  EXPECT_EQ(parse_list({"--sim-engine", "active"}).sim_engine, "active");
+  EXPECT_THROW(parse_list({"--sim-engine", "turbo"}), InvalidArgument);
+  const Options o = parse_list({"--sim-engine", "reference"});
+  api::Scenario s = make_scenario(o);
+  EXPECT_EQ(s.sim_config().engine, sim::SimEngine::Reference);
+}
+
 TEST(Cli, RejectsMissingValue) { EXPECT_THROW(parse_list({"--nodes"}), InvalidArgument); }
 
 TEST(Cli, RejectsMalformedNumbers) {

@@ -124,5 +124,33 @@ TEST(SimAccounting, ActiveWormsGrowWithLoad) {
   EXPECT_GT(hi.avg_active_worms, 2.0 * lo.avg_active_worms);
 }
 
+TEST(SimAccounting, TimeAveragesExactUnderIdleSkip) {
+  // avg_active_worms and channel_utilization are time integrals divided by
+  // cycles_run. The active engine fast-forwards idle stretches instead of
+  // stepping them, so this pins that the skipped spans contribute to the
+  // integrals exactly as the reference's cycle-by-cycle accumulation does
+  // (bitwise, not approximately): x + 0.0 * span == x after += 0.0 spans.
+  QuarcTopology topo(16);
+  SimConfig c = base_config(0.0003, 0.1, 16);
+  c.measure_cycles = 30000;
+
+  c.engine = sim::SimEngine::Reference;
+  const SimResult ref = Simulator(topo, c).run();
+  c.engine = sim::SimEngine::Active;
+  Simulator active(topo, c);
+  const SimResult act = active.run();
+
+  // The fast path must actually have engaged, or this test pins nothing.
+  ASSERT_GT(active.profile().cycles_skipped, 0);
+  ASSERT_TRUE(ref.completed);
+  EXPECT_EQ(ref.cycles_run, act.cycles_run);
+  EXPECT_EQ(ref.avg_active_worms, act.avg_active_worms);
+  EXPECT_EQ(ref.max_channel_utilization, act.max_channel_utilization);
+  ASSERT_EQ(ref.channel_utilization.size(), act.channel_utilization.size());
+  for (std::size_t ch = 0; ch < ref.channel_utilization.size(); ++ch) {
+    EXPECT_EQ(ref.channel_utilization[ch], act.channel_utilization[ch]) << "channel " << ch;
+  }
+}
+
 }  // namespace
 }  // namespace quarc

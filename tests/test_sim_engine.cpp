@@ -1,0 +1,201 @@
+// Byte-identity of the active (event-driven) engine against the reference
+// every-channel-every-cycle oracle — the property that lets
+// SimConfig::engine stay out of the scenario fingerprint: the two engines
+// must agree not merely statistically but bit-for-bit on every SimResult
+// field, across every registered topology family, every traffic class
+// (unicast-only, mixed, multicast-only; hardware streams and software
+// batched-unicast fallback), and every termination regime (stable,
+// unstable abort, drain-cap abort). debug_serialize prints doubles as
+// hexfloats, so string equality below IS bit equality.
+#include "quarc/sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "quarc/api/registry.hpp"
+#include "quarc/api/scenario.hpp"
+#include "quarc/sim/simulator.hpp"
+#include "quarc/topo/topology.hpp"
+#include "quarc/util/error.hpp"
+#include "quarc/util/rng.hpp"
+
+namespace quarc {
+namespace {
+
+using sim::SimConfig;
+using sim::SimEngine;
+using sim::Simulator;
+using sim::SimResult;
+
+/// A short but non-trivial run: long enough for grants, blocking, stream
+/// interleaving and (at alpha > 0) clone-tap absorption to all occur.
+SimConfig config_for(const Topology& topo, double rate, double alpha, int msg) {
+  SimConfig c;
+  c.workload.message_rate = rate;
+  c.workload.multicast_fraction = alpha;
+  c.workload.message_length = msg;
+  if (alpha > 0.0) {
+    Rng rng(11);
+    c.workload.pattern = api::make_pattern("random:3", topo.num_nodes(), rng);
+  }
+  c.warmup_cycles = 300;
+  c.measure_cycles = 2500;
+  c.seed = 7;
+  return c;
+}
+
+std::string serialized_run(const Topology& topo, SimConfig c, SimEngine engine) {
+  c.engine = engine;
+  return sim::debug_serialize(Simulator(topo, c).run());
+}
+
+/// Runs one (topology, config) cell under both engines and expects the
+/// serialized results to match byte for byte.
+void expect_engines_identical(const Topology& topo, const SimConfig& c) {
+  const std::string ref = serialized_run(topo, c, SimEngine::Reference);
+  const std::string act = serialized_run(topo, c, SimEngine::Active);
+  EXPECT_EQ(ref, act);
+}
+
+TEST(SimEngine, IdenticalAcrossAllRegisteredTopologies) {
+  // Every registered family via its own example spec: Quarc all-port and
+  // one-port (hardware streams), mesh-ham (hardware), Spidergon, mesh,
+  // torus, hypercube (software batched-unicast fallback). Unicast-only,
+  // mixed, and multicast-only traffic per family.
+  for (const api::RegistryEntry& e : api::TopologyRegistry::instance().entries()) {
+    SCOPED_TRACE(e.example);
+    const auto topo = api::make_topology(e.example);
+    expect_engines_identical(*topo, config_for(*topo, 0.004, 0.0, 16));
+    expect_engines_identical(*topo, config_for(*topo, 0.003, 0.05, 16));
+    expect_engines_identical(*topo, config_for(*topo, 0.0015, 1.0, 16));
+  }
+}
+
+TEST(SimEngine, IdenticalWhenUnstable) {
+  // Offered load far above capacity with a small queue bound: both engines
+  // must detect the blow-up at the same checkpoint cycle and abort with
+  // the same truncated counters.
+  for (const api::RegistryEntry& e : api::TopologyRegistry::instance().entries()) {
+    SCOPED_TRACE(e.example);
+    const auto topo = api::make_topology(e.example);
+    SimConfig c = config_for(*topo, 0.5, 0.05, 16);
+    c.measure_cycles = 4000;
+    c.max_queue_length = 64;
+    c.engine = SimEngine::Reference;
+    const SimResult r = Simulator(*topo, c).run();
+    ASSERT_FALSE(r.stable);
+    expect_engines_identical(*topo, c);
+  }
+}
+
+TEST(SimEngine, IdenticalWhenDrainCapped) {
+  // A drain cap too small for in-flight messages to finish: both engines
+  // must give up after the same cycle with completed == false.
+  for (const api::RegistryEntry& e : api::TopologyRegistry::instance().entries()) {
+    SCOPED_TRACE(e.example);
+    const auto topo = api::make_topology(e.example);
+    SimConfig c = config_for(*topo, 0.01, 0.05, 16);
+    c.drain_cap_cycles = 5;
+    c.engine = SimEngine::Reference;
+    const SimResult r = Simulator(*topo, c).run();
+    ASSERT_FALSE(r.completed);
+    expect_engines_identical(*topo, c);
+  }
+}
+
+TEST(SimEngine, IdenticalWithStreamSamplesAndInvariantChecks) {
+  // Sample capture ordering and the invariant-scan cadence must not
+  // differ between engines (the scan itself is pure, but it pins that
+  // both engines hold a valid state on the same cycles).
+  const auto topo = api::make_topology("quarc:16");
+  SimConfig c = config_for(*topo, 0.003, 0.3, 16);
+  c.collect_stream_samples = true;
+  c.check_invariants = true;
+  expect_engines_identical(*topo, c);
+}
+
+TEST(SimEngine, IdenticalUnderIdleFastForward) {
+  // A near-idle workload: the active engine skips most cycles outright
+  // (profile().cycles_skipped below proves the fast path engaged), yet
+  // every time-averaged statistic still matches the reference, which
+  // stepped each skipped cycle one by one.
+  const auto topo = api::make_topology("quarc:16");
+  SimConfig c = config_for(*topo, 0.0002, 0.1, 16);
+  c.measure_cycles = 20000;
+
+  c.engine = SimEngine::Active;
+  Simulator active(*topo, c);
+  const SimResult act = active.run();
+  EXPECT_GT(active.profile().cycles_skipped, 0);
+  EXPECT_LT(active.profile().cycles_executed, act.cycles_run);
+
+  c.engine = SimEngine::Reference;
+  Simulator reference(*topo, c);
+  const SimResult ref = reference.run();
+  EXPECT_EQ(reference.profile().cycles_skipped, 0);
+  EXPECT_EQ(sim::debug_serialize(ref), sim::debug_serialize(act));
+}
+
+TEST(SimEngine, SweepJsonIsByteIdenticalAcrossEngines) {
+  // End to end through Scenario/ResultSet: the serialised sweep document
+  // (what artifact caches, baselines and quarc-diff consume) must not
+  // change by a byte when the engine switches. This is the invariant that
+  // justifies excluding the engine knob from the fingerprint.
+  auto run_with = [](SimEngine engine) {
+    api::Scenario s;
+    s.topology("quarc:16").pattern("random:4").alpha(0.05).message_length(16).seed(5);
+    s.warmup(200).measure(1500).with_sim(true);
+    s.sim_config().engine = engine;
+    std::ostringstream os;
+    s.run_sweep(std::vector<double>{0.001, 0.003}).write_json(os);
+    return os.str();
+  };
+  EXPECT_EQ(run_with(SimEngine::Active), run_with(SimEngine::Reference));
+}
+
+TEST(SimEngine, FingerprintExcludesEngine) {
+  api::Scenario a;
+  a.topology("quarc:16").pattern("random:4").alpha(0.05);
+  api::Scenario b;
+  b.topology("quarc:16").pattern("random:4").alpha(0.05);
+  a.sim_config().engine = SimEngine::Active;
+  b.sim_config().engine = SimEngine::Reference;
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(SimEngine, ParseAndFormat) {
+  EXPECT_EQ(sim::parse_sim_engine("active"), SimEngine::Active);
+  EXPECT_EQ(sim::parse_sim_engine("reference"), SimEngine::Reference);
+  EXPECT_STREQ(sim::to_string(SimEngine::Active), "active");
+  EXPECT_STREQ(sim::to_string(SimEngine::Reference), "reference");
+  EXPECT_THROW(sim::parse_sim_engine("fast"), InvalidArgument);
+  EXPECT_THROW(sim::parse_sim_engine(""), InvalidArgument);
+}
+
+TEST(SimEngine, DefaultEngineFollowsEnvironment) {
+  // The env knob is what CI's reference escape-hatch lane uses to run the
+  // whole sim suite against the oracle without touching any test code.
+  const char* saved = std::getenv("QUARC_SIM_ENGINE");
+  const std::string restore = saved ? saved : "";
+
+  ::unsetenv("QUARC_SIM_ENGINE");
+  EXPECT_EQ(sim::default_sim_engine(), SimEngine::Active);
+  ::setenv("QUARC_SIM_ENGINE", "reference", 1);
+  EXPECT_EQ(sim::default_sim_engine(), SimEngine::Reference);
+  ::setenv("QUARC_SIM_ENGINE", "active", 1);
+  EXPECT_EQ(sim::default_sim_engine(), SimEngine::Active);
+  ::setenv("QUARC_SIM_ENGINE", "turbo", 1);
+  EXPECT_THROW(sim::default_sim_engine(), InvalidArgument);
+
+  if (saved) {
+    ::setenv("QUARC_SIM_ENGINE", restore.c_str(), 1);
+  } else {
+    ::unsetenv("QUARC_SIM_ENGINE");
+  }
+}
+
+}  // namespace
+}  // namespace quarc
