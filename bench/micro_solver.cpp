@@ -434,7 +434,7 @@ void print_cell(const CellStats& cell) {
   const double anderson_us = cell.total(&PointStats::anderson_solve_us);
   const double direct_us = cell.total(&PointStats::direct_eval_us);
   const double stencil_us = cell.total(&PointStats::stencil_eval_us);
-  const std::size_t n = cell.points.size();
+  const double n = static_cast<double>(cell.points.size());
   std::cout << std::left << std::setw(12) << cell.topology << std::right << std::fixed
             << std::setprecision(1) << std::setw(11) << rebuild / n << std::setw(11)
             << scaled / n << std::setprecision(0) << std::setw(9)

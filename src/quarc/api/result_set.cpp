@@ -211,7 +211,9 @@ ResultSet ResultSet::from_json(const json::Value& doc) {
   rs.seed = sc.at("seed").as_uint();
   rs.workload = sc.at("workload").as_string();
 
-  for (const json::Value& row : doc.at("rows").as_array()) {
+  const auto& row_values = doc.at("rows").as_array();
+  rs.rows.reserve(row_values.size());
+  for (const json::Value& row : row_values) {
     rs.rows.push_back(row_from_json(row, rs.alpha > 0.0));
   }
   return rs;
@@ -285,8 +287,10 @@ Cell sim_latency_cell(const ResultRow& row, bool multicast) {
   const double mean = multicast ? row.sim_multicast_latency : row.sim_unicast_latency;
   const double ci = multicast ? row.sim_multicast_ci95 : row.sim_unicast_ci95;
   std::ostringstream os;
-  os.precision(2);
-  os << std::fixed << mean;
+  // Human table cell, never serialized state (the CSV/JSON writers below
+  // go through json::format_number exclusively).
+  os.precision(2);  // lint: display-only
+  os << std::fixed << mean;  // lint: display-only
   if (std::isfinite(ci)) os << " +-" << ci;
   return os.str();
 }

@@ -42,7 +42,7 @@ LatencyStencil::LatencyStencil(const FlowGraph& flows) {
   hardware_ = plan.hardware_streams();
 
   // ---- Eq. 7: all ordered pairs, (s, d)-major — the direct walk's order.
-  unicast_.reserve(static_cast<std::size_t>(n) * (n - 1));
+  unicast_.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(n - 1));
   for (NodeId s = 0; s < n; ++s) {
     for (NodeId d = 0; d < n; ++d) {
       if (s == d) continue;

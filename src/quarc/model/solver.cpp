@@ -941,7 +941,8 @@ void ServiceTimeSolver::anderson_batch(CurveWorkspace& cw) {
       fa_rows[p] = row_f(ring(newest - p + 1));
       fb_rows[p] = row_f(ring(newest - p));
       for (int q = p; q <= cmax; ++q) {
-        double* const d = dot + (static_cast<std::size_t>(p - 1) * 8 + (q - 1)) * K;
+        double* const d =
+            dot + (static_cast<std::size_t>(p - 1) * 8 + static_cast<std::size_t>(q - 1)) * K;
         for (std::size_t l = wlo; l < whi; ++l) d[l] = 0.0;
       }
       double* const r = rhs + static_cast<std::size_t>(p - 1) * K;
@@ -962,7 +963,8 @@ void ServiceTimeSolver::anderson_batch(CurveWorkspace& cw) {
         // all the vectorizer needs (no runtime alias versioning).
         for (int q = p; q <= cmax; ++q) {
           double* const __restrict d =
-              dot + (static_cast<std::size_t>(p - 1) * 8 + (q - 1)) * K;
+              dot +
+              (static_cast<std::size_t>(p - 1) * 8 + static_cast<std::size_t>(q - 1)) * K;
           for (std::size_t l = wlo; l < whi; ++l) d[l] += diff[p - 1][l] * diff[q - 1][l];
         }
         double* const __restrict r = rhs + static_cast<std::size_t>(p - 1) * K;
@@ -984,7 +986,7 @@ void ServiceTimeSolver::anderson_batch(CurveWorkspace& cw) {
         for (int q = 0; q < cols; ++q) {
           const int a = std::min(p, q);
           const int b = std::max(p, q);
-          nm[p][q] = dot[(static_cast<std::size_t>(a) * 8 + b) * K + l];
+          nm[p][q] = dot[(static_cast<std::size_t>(a) * 8 + static_cast<std::size_t>(b)) * K + l];
         }
         nm[p][cols] = rhs[static_cast<std::size_t>(p) * K + l];
       }

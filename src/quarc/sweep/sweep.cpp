@@ -516,8 +516,8 @@ std::vector<RatePointResult> sweep_tasks(const FlowGraph& flows, const Workload&
   // change any point's result (each is a pure function of its task), so
   // every shard count yields the same bytes.
   const std::size_t n = tasks.size();
-  const std::size_t shards =
-      std::min<std::size_t>(std::max(cfg.shards, 1), n == 0 ? std::size_t{1} : n);
+  const std::size_t shards = std::min(static_cast<std::size_t>(std::max(cfg.shards, 1)),
+                                      n == 0 ? std::size_t{1} : n);
   for (std::size_t s = 0; s < shards; ++s) {
     const std::size_t begin = n * s / shards;
     const std::size_t end = n * (s + 1) / shards;

@@ -159,6 +159,7 @@ std::size_t SweepCache::memory_limit_rows() const {
 
 std::size_t SweepCache::total_rows_locked() const {
   std::size_t n = 0;
+  // lint: order-independent — a commutative row-count sum over all shards.
   for (const auto& [canonical, shard] : by_fingerprint_) n += shard.rows.size();
   return n;
 }
@@ -171,6 +172,9 @@ void SweepCache::enforce_memory_limit(const Shard* keep) {
     // touched: a caller's reference must stay valid, and evicting the
     // working set would thrash.
     auto victim = by_fingerprint_.end();
+    // use_counter_ is strictly monotonic, so last_used stamps are unique and
+    // every visit order selects the same victim; eviction never reaches
+    // serialized bytes.  lint: order-independent — argmin over unique stamps
     for (auto it = by_fingerprint_.begin(); it != by_fingerprint_.end(); ++it) {
       if (&it->second == keep || it->second.rows.empty()) continue;
       if (victim == by_fingerprint_.end() || it->second.last_used < victim->second.last_used) {
@@ -200,6 +204,7 @@ void SweepCache::reset_stats() {
 std::size_t SweepCache::size() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   std::size_t n = 0;
+  // lint: order-independent — a commutative row-count sum over all shards.
   for (const auto& [hex, shard] : by_fingerprint_) n += shard.rows.size();
   return n;
 }

@@ -19,7 +19,7 @@ struct Workload {
   /// Messages generated per node per cycle (Poisson rate).
   double message_rate = 0.005;
   /// Fraction of generated messages that are multicasts (paper's alpha).
-  double multicast_fraction = 0.0;
+  double multicast_fraction = 0.0;  // lint: fingerprint=alpha
   /// Message length in flits (paper: 16/32/48/64; must exceed the network
   /// diameter per the paper's assumptions — validated, not assumed).
   int message_length = 32;

@@ -1,0 +1,22 @@
+// Corpus: banned nondeterminism sources in a solver-path file. Never
+// compiled — linter input only.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+double jitter() {
+  std::random_device rd;  // VIOLATION: random_device outside the seeding module
+  const auto wall = std::chrono::system_clock::now();  // VIOLATION: wall clock
+  (void)wall;
+  std::srand(static_cast<unsigned>(std::time(nullptr)));  // VIOLATIONS: srand + time
+  return static_cast<double>(std::rand()) + static_cast<double>(rd());  // VIOLATION: rand
+}
+
+double fine() {
+  // steady_clock is allowed (monotonic, diagnostics only) and
+  // waiting_time(...) must not trip the 'time' call ban.
+  const auto t = std::chrono::steady_clock::now();
+  (void)t;
+  return 0.0;
+}

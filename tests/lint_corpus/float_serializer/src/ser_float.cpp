@@ -1,0 +1,17 @@
+// Corpus: iostream float formatting in a serializer TU. Never compiled —
+// linter input only.
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+std::string serialize(double v) {
+  std::ostringstream os;
+  os << std::setprecision(17) << v;  // VIOLATION: stream-state float text
+  return os.str();
+}
+
+std::string table_cell(double v) {
+  std::ostringstream os;
+  os << std::fixed << v;  // lint: display-only — human table, not serialized
+  return os.str();
+}

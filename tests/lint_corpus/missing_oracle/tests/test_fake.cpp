@@ -1,0 +1,15 @@
+// Corpus: a test tree that pins only two of the three historical oracles —
+// SimEngine::Reference has lost its pin. Never compiled — linter input only.
+
+void pin_solver_oracle() {
+  auto it = SolverIteration::GaussSeidel;  // pinned
+  (void)it;
+}
+
+void pin_assembly_oracle() {
+  auto as = LatencyAssembly::DirectWalk;  // pinned
+  (void)as;
+}
+
+// SimEngine::Referen/* not a reference: split by a comment */ce — and this
+// mention lives in a comment anyway: SimEngine::Reference must not count.

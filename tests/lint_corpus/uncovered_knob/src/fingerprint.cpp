@@ -1,0 +1,17 @@
+// Corpus: the fake fingerprint TU. Reads covered_knob and nested_knob,
+// and emits the alias_line token aliased_knob points at. Never compiled.
+#include <string>
+
+#include "knobs.hpp"
+
+std::string alias_line(int v) { return "alias=" + std::to_string(v); }
+
+std::string fingerprint(const FakeOptions& o) {
+  std::string c;
+  c += "covered=" + std::to_string(o.covered_knob) + "\n";
+  c += alias_line(o.aliased_knob) + "\n";
+  c += "nested=" + std::to_string(o.nested.nested_knob) + "\n";
+  // NB: uncovered_knob is mentioned only in this comment — comment tokens
+  // must NOT count as coverage.
+  return c;
+}

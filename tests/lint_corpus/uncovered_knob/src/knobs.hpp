@@ -1,0 +1,19 @@
+// Corpus: knob structs with every coverage fate represented. Never
+// compiled — linter input only.
+#pragma once
+
+struct NestedOptions {
+  int nested_knob = 9;  // read by fingerprint.cpp through the composite
+};
+
+struct FakeOptions {
+  int covered_knob = 1;      // read directly by fingerprint.cpp
+  double uncovered_knob = 0.5;  // VIOLATION: no decided fingerprint fate
+  int allowlisted_knob = 2;  // listed in allowlist.txt
+  int aliased_knob = 3;      // lint: fingerprint=alias_line
+  int bad_alias_knob = 4;    // lint: fingerprint=no_such_token  (VIOLATION)
+  NestedOptions nested;      // composite: covered by scanning NestedOptions
+
+  bool helper() const { return covered_knob > 0; }  // member fn: skipped
+  friend bool operator==(const FakeOptions&, const FakeOptions&) = default;
+};

@@ -1,0 +1,27 @@
+// Corpus: unordered-container iteration inside a serializer TU. Never
+// compiled — linter input only.
+#include <string>
+#include <unordered_map>
+
+struct FakeSerializer {
+  std::unordered_map<std::string, int> index_;
+
+  std::string dump() const {
+    std::string out;
+    for (const auto& [key, value] : index_) out += key;  // VIOLATION
+    return out;
+  }
+
+  int total() const {
+    int n = 0;
+    // lint: order-independent — commutative sum, serialized bytes untouched.
+    for (const auto& [key, value] : index_) n += value;
+    return n;
+  }
+
+  int iterator_walk() const {
+    int n = 0;
+    for (auto it = index_.begin(); it != index_.end(); ++it) ++n;  // VIOLATION
+    return n;
+  }
+};

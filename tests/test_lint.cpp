@@ -1,0 +1,197 @@
+// quarc-lint's own test suite: the engine's scanner primitives, the real
+// tree (which must be clean), and the seeded-violation corpus under
+// tests/lint_corpus/ (each violation must be flagged, each waiver
+// respected).
+//
+// NB: oracle tokens are assembled by concatenation throughout — this file
+// is itself one of the test TUs check 4 scans, and a verbatim token here
+// would pin an oracle vacuously.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace {
+
+using quarc::lint::Check;
+using quarc::lint::Finding;
+using quarc::lint::LintConfig;
+using quarc::lint::LintReport;
+using quarc::lint::run_lint;
+
+const std::string kRoot = QUARC_SOURCE_ROOT;
+const std::string kCorpus = kRoot + "/tests/lint_corpus";
+
+std::string dump(const LintReport& rep) { return quarc::lint::format_report(rep); }
+
+int count_check(const LintReport& rep, Check c) {
+  return static_cast<int>(std::count_if(rep.findings.begin(), rep.findings.end(),
+                                        [&](const Finding& f) { return f.check == c; }));
+}
+
+bool has_finding(const LintReport& rep, Check c, const std::string& needle) {
+  return std::any_of(rep.findings.begin(), rep.findings.end(), [&](const Finding& f) {
+    return f.check == c && f.message.find(needle) != std::string::npos;
+  });
+}
+
+// ---------------------------------------------------------------- engine
+
+TEST(QuarcLintEngine, StripCommentsRemovesCommentsKeepsStringsAndLayout) {
+  const std::string src =
+      "int a = 1; // trailing\n"
+      "/* block\n   spans */ int b = 2;\n"
+      "const char* s = \"// not a comment\";\n"
+      "char c = '\\''; int d = 3; // tail\n";
+  const std::string out = quarc::lint::strip_comments(src);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), std::count(src.begin(), src.end(), '\n'));
+  EXPECT_EQ(out.size(), src.size());  // offsets preserved one-for-one
+  EXPECT_EQ(out.find("trailing"), std::string::npos);
+  EXPECT_EQ(out.find("spans"), std::string::npos);
+  EXPECT_NE(out.find("int b = 2;"), std::string::npos);
+  EXPECT_NE(out.find("\"// not a comment\""), std::string::npos);
+  EXPECT_NE(out.find("int d = 3;"), std::string::npos);
+}
+
+TEST(QuarcLintEngine, HasTokenRespectsIdentifierBoundaries) {
+  EXPECT_TRUE(quarc::lint::has_token("x = rand();", "rand"));
+  EXPECT_TRUE(quarc::lint::has_token("std::rand()", "rand"));
+  EXPECT_FALSE(quarc::lint::has_token("srand(7)", "rand"));
+  EXPECT_FALSE(quarc::lint::has_token("randomized", "rand"));
+  EXPECT_TRUE(quarc::lint::has_token("a::b::c", "a::b"));
+  EXPECT_FALSE(quarc::lint::has_token("", "rand"));
+}
+
+TEST(QuarcLintEngine, ParsesRealSolverOptionsFields) {
+  std::ifstream in(kRoot + "/src/quarc/model/solver.hpp");
+  ASSERT_TRUE(in.is_open());
+  std::string content((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  const auto fields = quarc::lint::parse_struct_fields(content, "SolverOptions", {});
+  std::vector<std::string> names;
+  names.reserve(fields.size());
+  for (const auto& f : fields) names.push_back(f.name);
+  const std::vector<std::string> expected = {
+      "max_iterations",  "tolerance",       "damping",
+      "utilization_guard", "iteration",     "anderson_window",
+      "anderson_auto_window"};
+  EXPECT_EQ(names, expected);  // exact: a parser regression must be loud
+}
+
+TEST(QuarcLintEngine, ParsesRealSimConfigIncludingFunctionInitializedField) {
+  std::ifstream in(kRoot + "/src/quarc/sim/simulator.hpp");
+  ASSERT_TRUE(in.is_open());
+  std::string content((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  const auto fields =
+      quarc::lint::parse_struct_fields(content, "SimConfig", {"Workload"});
+  std::vector<std::string> names;
+  for (const auto& f : fields) names.push_back(f.name);
+  // engine's initializer is a function call — the parser must still see it.
+  EXPECT_NE(std::find(names.begin(), names.end(), "engine"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "profile_phases"), names.end());
+  const auto workload = std::find_if(fields.begin(), fields.end(),
+                                     [](const auto& f) { return f.name == "workload"; });
+  ASSERT_NE(workload, fields.end());
+  EXPECT_TRUE(workload->composite);  // Workload is scanned in its own right
+}
+
+// ------------------------------------------------------------- clean tree
+
+TEST(QuarcLint, CleanTreeHasZeroFindings) {
+  const LintReport rep = run_lint(quarc::lint::default_config(kRoot));
+  EXPECT_TRUE(rep.findings.empty()) << dump(rep);
+  EXPECT_GT(rep.files_scanned, 100);  // the scan actually covered the tree
+}
+
+// ----------------------------------------------------------------- corpus
+
+TEST(QuarcLintCorpus, UncoveredKnobFieldAndBadAllowlistAreFlagged) {
+  LintConfig cfg;
+  cfg.root = kCorpus + "/uncovered_knob";
+  cfg.knob_structs = {{"src/knobs.hpp", "FakeOptions"}, {"src/knobs.hpp", "NestedOptions"}};
+  cfg.fingerprint_tu = "src/fingerprint.cpp";
+  cfg.allowlist = "allowlist.txt";
+  const LintReport rep = run_lint(cfg);
+
+  EXPECT_TRUE(has_finding(rep, Check::FingerprintCoverage, "FakeOptions::uncovered_knob"))
+      << dump(rep);
+  EXPECT_TRUE(has_finding(rep, Check::FingerprintCoverage, "no_such_token")) << dump(rep);
+  EXPECT_TRUE(has_finding(rep, Check::FingerprintCoverage, "FakeOptions::ghost_knob"))
+      << dump(rep);
+  EXPECT_TRUE(has_finding(rep, Check::FingerprintCoverage, "UnknownStruct::any_field"))
+      << dump(rep);
+  // Covered, aliased, allowlisted and composite fields are all clean.
+  // NB "::covered_knob", because plain "covered_knob" is a substring of the
+  // expected uncovered_knob finding.
+  EXPECT_FALSE(has_finding(rep, Check::FingerprintCoverage, "::covered_knob")) << dump(rep);
+  EXPECT_FALSE(has_finding(rep, Check::FingerprintCoverage, "aliased_knob")) << dump(rep);
+  EXPECT_FALSE(has_finding(rep, Check::FingerprintCoverage, "allowlisted_knob")) << dump(rep);
+  EXPECT_FALSE(has_finding(rep, Check::FingerprintCoverage, "::nested")) << dump(rep);
+  EXPECT_FALSE(has_finding(rep, Check::FingerprintCoverage, "nested_knob")) << dump(rep);
+  EXPECT_EQ(count_check(rep, Check::FingerprintCoverage), 4) << dump(rep);
+}
+
+TEST(QuarcLintCorpus, UnorderedSerializerIterationIsFlaggedWaiverRespected) {
+  LintConfig cfg;
+  cfg.root = kCorpus + "/unordered_serializer";
+  cfg.ordered_iteration_tus = {"src/ser.cpp"};
+  const LintReport rep = run_lint(cfg);
+  EXPECT_EQ(count_check(rep, Check::OrderedIteration), 2) << dump(rep);
+  // The range-for and the .begin() walk are flagged; the waived sum is not.
+  std::vector<int> lines;
+  for (const Finding& f : rep.findings) lines.push_back(f.line);
+  EXPECT_TRUE(std::is_sorted(lines.begin(), lines.end()));
+  EXPECT_TRUE(has_finding(rep, Check::OrderedIteration, "index_")) << dump(rep);
+}
+
+TEST(QuarcLintCorpus, BannedRandomnessAndWallClockAreFlagged) {
+  LintConfig cfg;
+  cfg.root = kCorpus + "/banned_random";
+  cfg.hygiene_dirs = {"src"};
+  const LintReport rep = run_lint(cfg);
+  EXPECT_TRUE(has_finding(rep, Check::DeterminismHygiene, "'rand()'")) << dump(rep);
+  EXPECT_TRUE(has_finding(rep, Check::DeterminismHygiene, "'srand()'")) << dump(rep);
+  EXPECT_TRUE(has_finding(rep, Check::DeterminismHygiene, "'time()'")) << dump(rep);
+  EXPECT_TRUE(has_finding(rep, Check::DeterminismHygiene, "system_clock")) << dump(rep);
+  EXPECT_TRUE(has_finding(rep, Check::DeterminismHygiene, "random_device")) << dump(rep);
+  // steady_clock and *_time( identifiers are clean.
+  EXPECT_EQ(count_check(rep, Check::DeterminismHygiene), 5) << dump(rep);
+}
+
+TEST(QuarcLintCorpus, RandomDeviceIsAllowedInExemptSeedingModule) {
+  LintConfig cfg;
+  cfg.root = kCorpus + "/banned_random";
+  cfg.hygiene_dirs = {"src"};
+  cfg.hygiene_exempt = {"src/solver_bits.cpp"};
+  const LintReport rep = run_lint(cfg);
+  EXPECT_FALSE(has_finding(rep, Check::DeterminismHygiene, "random_device")) << dump(rep);
+  EXPECT_EQ(count_check(rep, Check::DeterminismHygiene), 4) << dump(rep);
+}
+
+TEST(QuarcLintCorpus, IostreamFloatFormattingInSerializerIsFlaggedWaiverRespected) {
+  LintConfig cfg;
+  cfg.root = kCorpus + "/float_serializer";
+  cfg.serializer_tus = {"src/ser_float.cpp"};
+  const LintReport rep = run_lint(cfg);
+  EXPECT_EQ(count_check(rep, Check::DeterminismHygiene), 1) << dump(rep);
+  EXPECT_TRUE(has_finding(rep, Check::DeterminismHygiene, "setprecision")) << dump(rep);
+}
+
+TEST(QuarcLintCorpus, MissingOraclePinIsFlagged) {
+  LintConfig cfg;
+  cfg.root = kCorpus + "/missing_oracle";
+  cfg.test_dir = "tests";
+  // Assembled by concatenation: see the file comment.
+  const std::string sim_oracle = std::string("SimEngine::Refer") + "ence";
+  cfg.oracle_tokens = {std::string("SolverIteration::GaussSei") + "del",
+                       std::string("LatencyAssembly::DirectW") + "alk", sim_oracle};
+  const LintReport rep = run_lint(cfg);
+  EXPECT_EQ(count_check(rep, Check::OraclePinning), 1) << dump(rep);
+  EXPECT_TRUE(has_finding(rep, Check::OraclePinning, sim_oracle)) << dump(rep);
+}
+
+}  // namespace

@@ -163,7 +163,7 @@ INSTANTIATE_TEST_SUITE_P(
                   [](int n) -> std::shared_ptr<const MulticastPattern> {
                     return RingRelativePattern::broadcast(n);
                   }}),
-    [](const ::testing::TestParamInfo<ModelCase>& info) { return info.param.name; });
+    [](const ::testing::TestParamInfo<ModelCase>& tpi) { return tpi.param.name; });
 
 }  // namespace
 }  // namespace quarc

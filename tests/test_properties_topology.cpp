@@ -159,7 +159,7 @@ INSTANTIATE_TEST_SUITE_P(
         TopologyCase{"torus5x4", [] { return std::make_unique<TorusTopology>(5, 4); }},
         TopologyCase{"hypercube3", [] { return std::make_unique<HypercubeTopology>(3); }},
         TopologyCase{"hypercube5", [] { return std::make_unique<HypercubeTopology>(5); }}),
-    [](const ::testing::TestParamInfo<TopologyCase>& info) { return info.param.name; });
+    [](const ::testing::TestParamInfo<TopologyCase>& tpi) { return tpi.param.name; });
 
 }  // namespace
 }  // namespace quarc

@@ -146,7 +146,7 @@ INSTANTIATE_TEST_SUITE_P(
         ZeroLoadCase{"torus5x5_m32", [] { return std::make_unique<TorusTopology>(5, 5); }, 32},
         ZeroLoadCase{"hypercube4_m16", [] { return std::make_unique<HypercubeTopology>(4); }, 16},
         ZeroLoadCase{"hypercube6_m32", [] { return std::make_unique<HypercubeTopology>(6); }, 32}),
-    [](const ::testing::TestParamInfo<ZeroLoadCase>& info) { return info.param.name; });
+    [](const ::testing::TestParamInfo<ZeroLoadCase>& tpi) { return tpi.param.name; });
 
 }  // namespace
 }  // namespace quarc

@@ -1,0 +1,724 @@
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace quarc::lint {
+
+namespace fs = std::filesystem;
+
+std::string to_string(Check c) {
+  switch (c) {
+    case Check::Config: return "config";
+    case Check::FingerprintCoverage: return "fingerprint-coverage";
+    case Check::OrderedIteration: return "ordered-iteration";
+    case Check::DeterminismHygiene: return "determinism-hygiene";
+    case Check::OraclePinning: return "oracle-pinning";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// A loaded source file: raw text (waivers and annotations live in
+/// comments) and comment-stripped text (all matching runs on this), both
+/// split into lines. Offsets agree between the two because strip_comments
+/// replaces comment characters with spaces one-for-one.
+struct FileText {
+  std::string path;  ///< repo-relative (for findings)
+  std::string raw;
+  std::string code;
+  std::vector<std::string> raw_lines;
+  std::vector<std::string> code_lines;
+  bool ok = false;
+};
+
+std::vector<std::string> split_lines(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : s) {
+    if (c == '\n') {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+FileText load_file(const std::string& root, const std::string& rel) {
+  FileText f;
+  f.path = rel;
+  std::ifstream in(fs::path(root) / rel, std::ios::binary);
+  if (!in.is_open()) return f;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  f.raw = buf.str();
+  f.code = strip_comments(f.raw);
+  f.raw_lines = split_lines(f.raw);
+  f.code_lines = split_lines(f.code);
+  f.ok = true;
+  return f;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+bool starts_with_word(const std::string& s, const std::string& word) {
+  if (s.size() < word.size() || s.compare(0, word.size(), word) != 0) return false;
+  return s.size() == word.size() || !ident_char(s[word.size()]);
+}
+
+/// `token` occurs in `code` immediately (modulo whitespace) followed by
+/// '(' — i.e. it is used as a call.
+bool has_call_token(const std::string& code, const std::string& token) {
+  std::size_t pos = 0;
+  while ((pos = code.find(token, pos)) != std::string::npos) {
+    const std::size_t end = pos + token.size();
+    const bool lb = pos == 0 || !ident_char(code[pos - 1]);  // "std::" qualification is fine
+    bool rb = end >= code.size() || !ident_char(code[end]);
+    if (lb && rb) {
+      std::size_t p = end;
+      while (p < code.size() && (code[p] == ' ' || code[p] == '\t')) ++p;
+      if (p < code.size() && code[p] == '(') return true;
+    }
+    pos = end;
+  }
+  return false;
+}
+
+/// True when a waiver phrase appears in the raw text of line `line` (0-based)
+/// or the line above it — waivers are comments, so they are matched against
+/// the unstripped source.
+bool waived(const FileText& f, std::size_t line, const std::string& phrase) {
+  const auto has = [&](std::size_t i) {
+    return i < f.raw_lines.size() && f.raw_lines[i].find(phrase) != std::string::npos;
+  };
+  return has(line) || (line > 0 && has(line - 1));
+}
+
+/// Names of variables/members declared with an unordered container type
+/// anywhere in `code`: after "unordered_map</unordered_set<...>" the next
+/// identifier is the declared name. Template-argument nesting is matched;
+/// `#include <unordered_map>` has no '<' after the token and is skipped.
+std::vector<std::string> unordered_decl_names(const std::string& code) {
+  std::vector<std::string> names;
+  for (const char* kw : {"unordered_map", "unordered_set"}) {
+    const std::string token(kw);
+    std::size_t pos = 0;
+    while ((pos = code.find(token, pos)) != std::string::npos) {
+      const std::size_t end = pos + token.size();
+      const bool lb = pos == 0 || !ident_char(code[pos - 1]);  // "std::" qualification is fine
+      if (!lb || (end < code.size() && ident_char(code[end]))) {
+        pos = end;
+        continue;
+      }
+      std::size_t p = end;
+      while (p < code.size() && std::isspace(static_cast<unsigned char>(code[p])) != 0) ++p;
+      if (p >= code.size() || code[p] != '<') {
+        pos = end;
+        continue;
+      }
+      int depth = 0;
+      while (p < code.size()) {
+        if (code[p] == '<') ++depth;
+        if (code[p] == '>') {
+          --depth;
+          if (depth == 0) break;
+        }
+        ++p;
+      }
+      if (p >= code.size()) break;
+      ++p;  // past the closing '>'
+      // Skip reference/pointer/const decoration between type and name.
+      while (p < code.size() &&
+             (std::isspace(static_cast<unsigned char>(code[p])) != 0 || code[p] == '&' ||
+              code[p] == '*')) {
+        ++p;
+      }
+      // "const" can only precede the type here, but skip defensively.
+      std::size_t q = p;
+      while (q < code.size() && ident_char(code[q])) ++q;
+      if (q > p) {
+        const std::string name = code.substr(p, q - p);
+        if (std::find(names.begin(), names.end(), name) == names.end()) names.push_back(name);
+      }
+      pos = end;
+    }
+  }
+  return names;
+}
+
+struct AllowEntry {
+  std::string struct_name;
+  std::string field;
+  int line = 0;
+  bool used = false;
+};
+
+}  // namespace
+
+std::string strip_comments(const std::string& src) {
+  std::string out = src;
+  enum class State { Code, Line, Block, Str, Chr } st = State::Code;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char n = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (st) {
+      case State::Code:
+        if (c == '/' && n == '/') {
+          st = State::Line;
+          out[i] = ' ';
+        } else if (c == '/' && n == '*') {
+          st = State::Block;
+          out[i] = ' ';
+        } else if (c == '"') {
+          st = State::Str;
+        } else if (c == '\'') {
+          st = State::Chr;
+        }
+        break;
+      case State::Line:
+        if (c == '\n') {
+          st = State::Code;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::Block:
+        if (c == '*' && n == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          st = State::Code;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::Str:
+        if (c == '\\') {
+          ++i;  // skip the escaped character
+        } else if (c == '"') {
+          st = State::Code;
+        }
+        break;
+      case State::Chr:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          st = State::Code;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+bool has_token(const std::string& code, const std::string& token) {
+  if (token.empty()) return false;
+  std::size_t pos = 0;
+  while ((pos = code.find(token, pos)) != std::string::npos) {
+    const std::size_t end = pos + token.size();
+    const bool lb = pos == 0 || !ident_char(code[pos - 1]);
+    const bool rb = end >= code.size() || !ident_char(code[end]);
+    if (lb && rb) return true;
+    pos = end;
+  }
+  return false;
+}
+
+std::vector<FieldInfo> parse_struct_fields(const std::string& content,
+                                           const std::string& struct_name,
+                                           const std::vector<std::string>& composite_types) {
+  std::vector<FieldInfo> fields;
+  const std::string code = strip_comments(content);
+  const std::vector<std::string> raw_lines = split_lines(content);
+
+  // Locate "struct <name>" (token match, "struct" immediately preceding).
+  std::size_t body = std::string::npos;
+  std::size_t pos = 0;
+  while ((pos = code.find(struct_name, pos)) != std::string::npos) {
+    const std::size_t end = pos + struct_name.size();
+    const bool lb = pos == 0 || !ident_char(code[pos - 1]);
+    const bool rb = end >= code.size() || !ident_char(code[end]);
+    if (lb && rb) {
+      std::size_t p = pos;
+      while (p > 0 && std::isspace(static_cast<unsigned char>(code[p - 1])) != 0) --p;
+      if (p >= 6 && code.compare(p - 6, 6, "struct") == 0) {
+        std::size_t b = code.find('{', end);
+        if (b != std::string::npos) {
+          body = b + 1;
+          break;
+        }
+      }
+    }
+    pos = end;
+  }
+  if (body == std::string::npos) return fields;
+
+  int line = 1 + static_cast<int>(std::count(code.begin(), code.begin() + static_cast<long>(body), '\n'));
+
+  // Statement assembly at struct-body depth: ';' ends a declaration, a
+  // nested '{...}' (member function body, nested type) is skipped and
+  // discards whatever preceded it — member definitions need no ';'.
+  std::string stmt;
+  int stmt_start_line = line;
+  int depth = 1;
+  const auto flush = [&](int end_line) {
+    const std::string t = trim(stmt);
+    stmt.clear();
+    if (t.empty()) return;
+    for (const char* skip : {"friend", "using", "static", "typedef", "template", "public",
+                             "private", "protected", "enum", "struct", "class"}) {
+      if (starts_with_word(t, skip)) return;
+    }
+    if (t.find("operator") != std::string::npos) return;
+    // Find a single '=' (an initializer) outside comparison operators.
+    std::size_t eq = std::string::npos;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i] != '=') continue;
+      const char prev = i > 0 ? t[i - 1] : '\0';
+      const char next = i + 1 < t.size() ? t[i + 1] : '\0';
+      if (next == '=' || prev == '=' || prev == '<' || prev == '>' || prev == '!') continue;
+      eq = i;
+      break;
+    }
+    std::size_t name_end;
+    if (eq != std::string::npos) {
+      name_end = eq;
+    } else if (t.find('(') != std::string::npos) {
+      return;  // function declaration without initializer
+    } else {
+      name_end = t.size();
+    }
+    // The field name is the last identifier before name_end.
+    std::size_t e = name_end;
+    while (e > 0 && !ident_char(t[e - 1])) --e;
+    std::size_t b = e;
+    while (b > 0 && ident_char(t[b - 1])) --b;
+    if (b == e) return;
+    FieldInfo f;
+    f.name = t.substr(b, e - b);
+    f.line = stmt_start_line;
+    const std::string type_part = t.substr(0, b);
+    for (const std::string& comp : composite_types) {
+      if (comp != struct_name && has_token(type_part, comp)) {
+        f.composite = true;
+        break;
+      }
+    }
+    // Alias annotation: a trailing comment anywhere in the declaration's
+    // raw line span: `// lint: fingerprint=TOKEN`.
+    for (int ln = stmt_start_line; ln <= end_line && ln <= static_cast<int>(raw_lines.size());
+         ++ln) {
+      const std::string& rl = raw_lines[static_cast<std::size_t>(ln - 1)];
+      const std::size_t at = rl.find("lint: fingerprint=");
+      if (at == std::string::npos) continue;
+      std::size_t vb = at + std::string("lint: fingerprint=").size();
+      std::size_t ve = vb;
+      while (ve < rl.size() && ident_char(rl[ve])) ++ve;
+      f.annotation = rl.substr(vb, ve - vb);
+      break;
+    }
+    fields.push_back(std::move(f));
+  };
+
+  bool in_stmt = false;
+  for (std::size_t i = body; i < code.size(); ++i) {
+    const char c = code[i];
+    if (c == '\n') ++line;
+    if (c == '{') {
+      ++depth;
+      continue;
+    }
+    if (c == '}') {
+      --depth;
+      if (depth == 0) break;  // end of struct body
+      if (depth == 1) {
+        // A member function body / nested type just closed: discard.
+        stmt.clear();
+        in_stmt = false;
+      }
+      continue;
+    }
+    if (depth != 1) continue;
+    if (c == ';') {
+      flush(line);
+      in_stmt = false;
+      continue;
+    }
+    if (!in_stmt && std::isspace(static_cast<unsigned char>(c)) == 0) {
+      in_stmt = true;
+      stmt_start_line = line;
+    }
+    if (in_stmt) stmt.push_back(c);
+  }
+  return fields;
+}
+
+namespace {
+
+// ---------------------------------------------------------------- check 1
+
+void check_fingerprint_coverage(const LintConfig& cfg, LintReport& rep) {
+  if (cfg.fingerprint_tu.empty()) return;  // check disabled for this config
+  const FileText fp = load_file(cfg.root, cfg.fingerprint_tu);
+  if (!fp.ok) {
+    rep.findings.push_back({Check::Config, cfg.fingerprint_tu, 0,
+                            "fingerprint TU is missing or unreadable"});
+    return;
+  }
+  ++rep.files_scanned;
+
+  // Allowlist: "Struct::field" per line, '#' starts a comment.
+  std::vector<AllowEntry> allow;
+  {
+    std::ifstream in(fs::path(cfg.root) / cfg.allowlist);
+    if (!in.is_open()) {
+      rep.findings.push_back(
+          {Check::Config, cfg.allowlist, 0, "byte-transparent allowlist is missing"});
+    } else {
+      std::string line;
+      int ln = 0;
+      while (std::getline(in, line)) {
+        ++ln;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos) line.erase(hash);
+        const std::string entry = trim(line);
+        if (entry.empty()) continue;
+        const std::size_t sep = entry.find("::");
+        if (sep == std::string::npos || sep == 0 || sep + 2 >= entry.size()) {
+          rep.findings.push_back({Check::Config, cfg.allowlist, ln,
+                                  "malformed allowlist entry '" + entry +
+                                      "' (expected Struct::field)"});
+          continue;
+        }
+        allow.push_back({entry.substr(0, sep), entry.substr(sep + 2), ln, false});
+      }
+    }
+  }
+
+  std::vector<std::string> struct_names;
+  struct_names.reserve(cfg.knob_structs.size());
+  for (const KnobStruct& ks : cfg.knob_structs) struct_names.push_back(ks.name);
+
+  for (const KnobStruct& ks : cfg.knob_structs) {
+    const FileText header = load_file(cfg.root, ks.header);
+    if (!header.ok) {
+      rep.findings.push_back(
+          {Check::Config, ks.header, 0, "knob header is missing or unreadable"});
+      continue;
+    }
+    ++rep.files_scanned;
+    const std::vector<FieldInfo> fields =
+        parse_struct_fields(header.raw, ks.name, struct_names);
+    if (fields.empty()) {
+      rep.findings.push_back({Check::Config, ks.header, 0,
+                              "struct " + ks.name + " not found (or has no data members)"});
+      continue;
+    }
+    for (const FieldInfo& f : fields) {
+      if (f.composite) continue;  // covered by scanning the nested struct itself
+      const auto allowed = std::find_if(allow.begin(), allow.end(), [&](const AllowEntry& a) {
+        return a.struct_name == ks.name && a.field == f.name;
+      });
+      if (allowed != allow.end()) {
+        allowed->used = true;
+        if (!f.annotation.empty()) {
+          rep.findings.push_back(
+              {Check::FingerprintCoverage, ks.header, f.line,
+               ks.name + "::" + f.name +
+                   " is both allowlisted and fingerprint-annotated — pick one fate"});
+        }
+        continue;
+      }
+      const std::string token = f.annotation.empty() ? f.name : f.annotation;
+      if (has_token(fp.code, token)) continue;
+      std::string msg = "knob field " + ks.name + "::" + f.name;
+      if (!f.annotation.empty()) {
+        msg += " claims `lint: fingerprint=" + f.annotation + "` but '" + f.annotation +
+               "' is not read by " + cfg.fingerprint_tu;
+      } else {
+        msg += " is not read by " + cfg.fingerprint_tu +
+               " — fingerprint it, annotate `// lint: fingerprint=TOKEN`, or add " + ks.name +
+               "::" + f.name + " to " + cfg.allowlist + " with a justification";
+      }
+      rep.findings.push_back({Check::FingerprintCoverage, ks.header, f.line, std::move(msg)});
+    }
+    // Stale allowlist entries for this struct (typo'd or removed fields).
+    for (AllowEntry& a : allow) {
+      if (a.struct_name != ks.name || a.used) continue;
+      const bool exists = std::any_of(fields.begin(), fields.end(),
+                                      [&](const FieldInfo& f) { return f.name == a.field; });
+      if (!exists) {
+        rep.findings.push_back({Check::FingerprintCoverage, cfg.allowlist, a.line,
+                                "stale allowlist entry " + a.struct_name + "::" + a.field +
+                                    " (no such field)"});
+        a.used = true;  // reported once
+      }
+    }
+  }
+  // Entries naming a struct the lint does not scan are typos by definition.
+  for (const AllowEntry& a : allow) {
+    if (a.used) continue;
+    const bool known = std::find(struct_names.begin(), struct_names.end(), a.struct_name) !=
+                       struct_names.end();
+    if (!known) {
+      rep.findings.push_back({Check::FingerprintCoverage, cfg.allowlist, a.line,
+                              "allowlist entry " + a.struct_name + "::" + a.field +
+                                  " names a struct quarc-lint does not scan"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------- check 2
+
+void check_ordered_iteration(const LintConfig& cfg, LintReport& rep) {
+  // Group hpp/cpp pairs by stem so members declared in the header are
+  // tracked through the implementation file.
+  std::vector<std::pair<std::string, std::vector<FileText>>> groups;
+  for (const std::string& rel : cfg.ordered_iteration_tus) {
+    FileText f = load_file(cfg.root, rel);
+    if (!f.ok) continue;  // a TU may legitimately not exist (header-only pair)
+    ++rep.files_scanned;
+    const std::string stem = fs::path(rel).stem().string();
+    auto it = std::find_if(groups.begin(), groups.end(),
+                           [&](const auto& g) { return g.first == stem; });
+    if (it == groups.end()) {
+      groups.push_back({stem, {}});
+      it = groups.end() - 1;
+    }
+    it->second.push_back(std::move(f));
+  }
+  for (const auto& [stem, files] : groups) {
+    std::vector<std::string> names;
+    for (const FileText& f : files) {
+      for (std::string& n : unordered_decl_names(f.code)) {
+        if (std::find(names.begin(), names.end(), n) == names.end()) names.push_back(std::move(n));
+      }
+    }
+    if (names.empty()) continue;
+    for (const FileText& f : files) {
+      for (std::size_t i = 0; i < f.code_lines.size(); ++i) {
+        const std::string& cl = f.code_lines[i];
+        for (const std::string& n : names) {
+          if (!has_token(cl, n)) continue;
+          const bool range_or_iter_for = has_token(cl, "for");
+          const bool begin_call = cl.find(n + ".begin(") != std::string::npos ||
+                                  cl.find(n + ".cbegin(") != std::string::npos;
+          if (!range_or_iter_for && !begin_call) continue;
+          if (waived(f, i, "lint: order-independent")) continue;
+          rep.findings.push_back(
+              {Check::OrderedIteration, f.path, static_cast<int>(i + 1),
+               "iteration over unordered container '" + n +
+                   "' in a serialization/fingerprint TU — iterate a sorted copy, or waive "
+                   "with `// lint: order-independent <why>`"});
+          break;  // one finding per line
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------- check 3
+
+void check_hygiene(const LintConfig& cfg, LintReport& rep) {
+  std::vector<std::string> files;
+  for (const std::string& dir : cfg.hygiene_dirs) {
+    const fs::path base = fs::path(cfg.root) / dir;
+    std::error_code ec;
+    for (fs::recursive_directory_iterator it(base, ec), end; !ec && it != end;
+         it.increment(ec)) {
+      if (!it->is_regular_file()) continue;
+      const std::string ext = it->path().extension().string();
+      if (ext != ".cpp" && ext != ".hpp" && ext != ".h") continue;
+      files.push_back(fs::relative(it->path(), cfg.root).generic_string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  static const char* kBannedCalls[] = {"rand",  "srand",     "time",
+                                       "clock", "localtime", "gmtime"};
+  static const char* kBannedNames[] = {"system_clock", "high_resolution_clock"};
+
+  for (const std::string& rel : files) {
+    const FileText f = load_file(cfg.root, rel);
+    if (!f.ok) continue;
+    ++rep.files_scanned;
+    const bool rng_exempt =
+        std::any_of(cfg.hygiene_exempt.begin(), cfg.hygiene_exempt.end(),
+                    [&](const std::string& e) { return rel == e; });
+    for (std::size_t i = 0; i < f.code_lines.size(); ++i) {
+      const std::string& cl = f.code_lines[i];
+      if (waived(f, i, "lint: nondeterminism-ok")) continue;
+      for (const char* call : kBannedCalls) {
+        if (has_call_token(cl, call)) {
+          rep.findings.push_back({Check::DeterminismHygiene, rel, static_cast<int>(i + 1),
+                                  std::string("call to banned nondeterminism source '") + call +
+                                      "()' — results must be pure functions of seeds"});
+        }
+      }
+      for (const char* name : kBannedNames) {
+        if (has_token(cl, name)) {
+          rep.findings.push_back({Check::DeterminismHygiene, rel, static_cast<int>(i + 1),
+                                  std::string("use of '") + name +
+                                      "' — wall-clock time must not reach solver/sim/sweep "
+                                      "paths (steady_clock is fine for diagnostics)"});
+        }
+      }
+      if (!rng_exempt && has_token(cl, "random_device")) {
+        rep.findings.push_back({Check::DeterminismHygiene, rel, static_cast<int>(i + 1),
+                                "std::random_device outside the seeding module — every "
+                                "stochastic draw must come from an explicitly seeded Rng"});
+      }
+    }
+  }
+
+  // Float formatting through iostream state in serializer TUs: the
+  // project serializes doubles via json::format_number (shortest round
+  // trip) so JSON/CSV/cache bytes can never depend on stream state.
+  static const char* kFloatFormat[] = {"std::fixed",       "std::scientific",
+                                       "std::hexfloat",    "std::defaultfloat",
+                                       "setprecision",     ".precision("};
+  for (const std::string& rel : cfg.serializer_tus) {
+    const FileText f = load_file(cfg.root, rel);
+    if (!f.ok) continue;
+    ++rep.files_scanned;
+    for (std::size_t i = 0; i < f.code_lines.size(); ++i) {
+      const std::string& cl = f.code_lines[i];
+      for (const char* pat : kFloatFormat) {
+        if (cl.find(pat) == std::string::npos) continue;
+        if (waived(f, i, "lint: display-only")) continue;
+        rep.findings.push_back(
+            {Check::DeterminismHygiene, rel, static_cast<int>(i + 1),
+             std::string("iostream float formatting ('") + pat +
+                 "') in a serializer TU — use json::format_number, or waive a "
+                 "human-display path with `// lint: display-only`"});
+        break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------- check 4
+
+void check_oracles(const LintConfig& cfg, LintReport& rep) {
+  if (cfg.oracle_tokens.empty()) return;  // check disabled for this config
+  std::string all_tests;
+  int scanned = 0;
+  const fs::path base = fs::path(cfg.root) / cfg.test_dir;
+  std::error_code ec;
+  for (fs::directory_iterator it(base, ec), end; !ec && it != end; it.increment(ec)) {
+    if (!it->is_regular_file() || it->path().extension() != ".cpp") continue;
+    const FileText f =
+        load_file(cfg.root, fs::relative(it->path(), cfg.root).generic_string());
+    if (!f.ok) continue;
+    ++scanned;
+    all_tests += f.code;
+    all_tests.push_back('\n');
+  }
+  rep.files_scanned += scanned;
+  if (scanned == 0) {
+    rep.findings.push_back(
+        {Check::Config, cfg.test_dir, 0, "no test TUs found to scan for oracle pins"});
+    return;
+  }
+  for (const std::string& oracle : cfg.oracle_tokens) {
+    if (!has_token(all_tests, oracle)) {
+      rep.findings.push_back(
+          {Check::OraclePinning, cfg.test_dir, 0,
+           "historical oracle " + oracle +
+               " is not referenced by any test TU — the byte-for-byte equivalence "
+               "baseline has lost its pin"});
+    }
+  }
+}
+
+}  // namespace
+
+LintConfig default_config(std::string root) {
+  LintConfig cfg;
+  cfg.root = std::move(root);
+  cfg.knob_structs = {
+      {"src/quarc/model/solver.hpp", "SolverOptions"},
+      {"src/quarc/sim/simulator.hpp", "SimConfig"},
+      {"src/quarc/sweep/sweep.hpp", "SweepConfig"},
+      {"src/quarc/model/performance_model.hpp", "ModelOptions"},
+      {"src/quarc/traffic/workload.hpp", "Workload"},
+      {"src/quarc/sweep/fingerprint.hpp", "FingerprintInputs"},
+  };
+  cfg.fingerprint_tu = "src/quarc/sweep/fingerprint.cpp";
+  cfg.allowlist = "tools/lint/byte_transparent_allowlist.txt";
+  cfg.ordered_iteration_tus = {
+      "src/quarc/sweep/sweep_cache.hpp",    "src/quarc/sweep/sweep_cache.cpp",
+      "src/quarc/batch/artifact_cache.hpp", "src/quarc/batch/artifact_cache.cpp",
+      "src/quarc/api/result_set.hpp",       "src/quarc/api/result_set.cpp",
+      "src/quarc/sweep/fingerprint.hpp",    "src/quarc/sweep/fingerprint.cpp",
+      "src/quarc/batch/scenario_set.hpp",   "src/quarc/batch/scenario_set.cpp",
+      "src/quarc/batch/serve.hpp",          "src/quarc/batch/serve.cpp",
+      "src/quarc/util/json.hpp",            "src/quarc/util/json.cpp",
+  };
+  cfg.hygiene_dirs = {
+      "src/quarc/model", "src/quarc/sim",     "src/quarc/sweep", "src/quarc/route",
+      "src/quarc/batch", "src/quarc/traffic", "src/quarc/topo",  "src/quarc/util",
+  };
+  cfg.hygiene_exempt = {"src/quarc/util/rng.hpp", "src/quarc/util/rng.cpp"};
+  cfg.serializer_tus = {
+      "src/quarc/api/result_set.cpp",   "src/quarc/sweep/sweep_cache.cpp",
+      "src/quarc/sweep/fingerprint.cpp", "src/quarc/batch/artifact_cache.cpp",
+      "src/quarc/batch/scenario_set.cpp", "src/quarc/batch/serve.cpp",
+      "src/quarc/util/json.cpp",
+  };
+  cfg.oracle_tokens = {
+      "SolverIteration::GaussSeidel",
+      "LatencyAssembly::DirectWalk",
+      "SimEngine::Reference",
+  };
+  cfg.test_dir = "tests";
+  return cfg;
+}
+
+LintReport run_lint(const LintConfig& cfg) {
+  LintReport rep;
+  check_fingerprint_coverage(cfg, rep);
+  check_ordered_iteration(cfg, rep);
+  check_hygiene(cfg, rep);
+  check_oracles(cfg, rep);
+  std::stable_sort(rep.findings.begin(), rep.findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     return a.line < b.line;
+                   });
+  return rep;
+}
+
+std::string format_report(const LintReport& report) {
+  std::string out;
+  for (const Finding& f : report.findings) {
+    out += f.file;
+    if (f.line > 0) {
+      out += ':';
+      out += std::to_string(f.line);
+    }
+    out += ": [" + to_string(f.check) + "] " + f.message + "\n";
+  }
+  out += "quarc-lint: " + std::to_string(report.findings.size()) + " finding(s) over " +
+         std::to_string(report.files_scanned) + " file(s)\n";
+  return out;
+}
+
+}  // namespace quarc::lint

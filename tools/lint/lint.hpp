@@ -1,0 +1,140 @@
+// quarc-lint — dependency-free static determinism auditor for this repo.
+//
+// The project's core promise — byte-identical sweeps across threads,
+// shards and caches, with the scenario fingerprint a pure function of
+// every result-affecting knob — is a *convention* until something checks
+// it mechanically. This linter is that check. It runs over the repo's own
+// sources (no compiler, no AST: a small comment-aware token scanner) and
+// enforces four invariants:
+//
+//   1. Fingerprint coverage. Every field of the knob structs
+//      (SolverOptions, SimConfig, SweepConfig, ModelOptions, Workload,
+//      FingerprintInputs) must have a *decided* fingerprint fate: either
+//      its identifier is read by src/quarc/sweep/fingerprint.cpp, or the
+//      field carries a `// lint: fingerprint=TOKEN` alias annotation whose
+//      TOKEN is read there, or `Struct::field` is listed in
+//      tools/lint/byte_transparent_allowlist.txt (the deliberate
+//      byte-transparent exclusions: engine, batch_points, assembly,
+//      threads, shards, ...). Adding a knob without deciding its fate
+//      fails CI. Stale or misspelled allowlist entries fail too.
+//
+//   2. Ordered iteration. Serialization / fingerprint / digest TUs must
+//      not iterate `unordered_map`/`unordered_set` (iteration order is
+//      implementation-defined, so any serialized output derived from it
+//      is nondeterministic) unless the loop line carries a
+//      `// lint: order-independent` waiver stating why the fold is
+//      order-insensitive.
+//
+//   3. Determinism hygiene. `rand`/`srand`, `time()`/`clock()`-family
+//      calls, `std::chrono::system_clock`/`high_resolution_clock` are
+//      banned in model/sim/sweep/route/batch paths (`steady_clock` is
+//      allowed: it is monotonic and only ever feeds diagnostics);
+//      `std::random_device` is banned outside the seeding module
+//      (util/rng). Serializer TUs must not format floating point through
+//      iostream state (std::fixed/scientific/setprecision/...) — doubles
+//      serialize via json::format_number, the shortest-round-trip form —
+//      unless the line carries `// lint: display-only` (human tables).
+//
+//   4. Oracle pinning. The three historical equivalence oracles —
+//      SolverIteration::GaussSeidel, LatencyAssembly::DirectWalk,
+//      SimEngine::Reference — must each be referenced from at least one
+//      test TU, so the byte-for-byte baselines can never silently rot.
+//
+// The engine is a library (this header + lint.cpp) so the gtest suite can
+// run it against both the real tree (zero findings required) and the
+// seeded-violation corpus under tests/lint_corpus/.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace quarc::lint {
+
+enum class Check {
+  Config,               ///< unreadable files, malformed allowlist entries
+  FingerprintCoverage,  ///< knob field with an undecided fingerprint fate
+  OrderedIteration,     ///< unordered-container iteration in a serializer
+  DeterminismHygiene,   ///< banned randomness/time/float-format source
+  OraclePinning,        ///< historical oracle no longer referenced by tests
+};
+
+std::string to_string(Check c);
+
+struct Finding {
+  Check check = Check::Config;
+  std::string file;  ///< repo-root-relative path ("" for tree-level findings)
+  int line = 0;      ///< 1-based; 0 when the finding is not line-anchored
+  std::string message;
+};
+
+/// One knob struct the coverage check parses: the header that declares it
+/// (repo-root-relative) and the struct's name.
+struct KnobStruct {
+  std::string header;
+  std::string name;
+};
+
+struct LintConfig {
+  std::string root;  ///< repo root every path below is relative to
+
+  // -- check 1: fingerprint coverage --
+  std::vector<KnobStruct> knob_structs;
+  std::string fingerprint_tu;  ///< the TU whose tokens define "covered"
+  std::string allowlist;       ///< Struct::field lines; '#' comments
+
+  // -- check 2: ordered iteration --
+  /// TUs scanned for unordered-container iteration. Files sharing a stem
+  /// (foo.hpp + foo.cpp) are scanned as one group, so a member declared in
+  /// the header is tracked through the implementation file.
+  std::vector<std::string> ordered_iteration_tus;
+
+  // -- check 3: determinism hygiene --
+  std::vector<std::string> hygiene_dirs;    ///< scanned recursively (*.hpp/*.cpp/*.h)
+  std::vector<std::string> hygiene_exempt;  ///< paths where random_device is legal (seeding)
+  std::vector<std::string> serializer_tus;  ///< iostream float-format ban scope
+
+  // -- check 4: oracle pinning --
+  std::vector<std::string> oracle_tokens;
+  std::string test_dir;  ///< *.cpp scanned non-recursively
+};
+
+/// The real repository configuration (the one CI runs).
+LintConfig default_config(std::string root);
+
+struct LintReport {
+  std::vector<Finding> findings;
+  int files_scanned = 0;
+};
+
+LintReport run_lint(const LintConfig& cfg);
+
+/// "file:line: [check] message" lines plus a summary tail.
+std::string format_report(const LintReport& report);
+
+// ---- exposed internals (unit-tested directly) ----
+
+/// Replaces comments with spaces, preserving offsets/newlines; string and
+/// character literals are kept verbatim (a "//" inside a string is code).
+std::string strip_comments(const std::string& src);
+
+/// Whole-token occurrence test: `token` present in `code` with no
+/// identifier character on either side. Tokens may contain "::".
+bool has_token(const std::string& code, const std::string& token);
+
+/// One parsed knob-struct field.
+struct FieldInfo {
+  std::string name;
+  int line = 0;           ///< declaration line (1-based)
+  std::string annotation; ///< TOKEN of a `lint: fingerprint=TOKEN` alias ("" if none)
+  bool composite = false; ///< the field's type is itself a scanned knob struct
+};
+
+/// Parses the data members of `struct struct_name { ... }` out of `content`
+/// (member functions, friends, using-declarations and access specifiers are
+/// skipped). `composite_types` lists the other knob structs so nested knob
+/// carriers (e.g. SweepConfig::sim) are marked covered-by-recursion.
+std::vector<FieldInfo> parse_struct_fields(const std::string& content,
+                                           const std::string& struct_name,
+                                           const std::vector<std::string>& composite_types);
+
+}  // namespace quarc::lint

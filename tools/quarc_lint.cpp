@@ -1,0 +1,33 @@
+// quarc-lint — the repo's determinism auditor (see tools/lint/lint.hpp for
+// the check catalogue). Run from the repository root, or pass it:
+//
+//   quarc-lint [REPO_ROOT]
+//
+// Prints one "file:line: [check] message" per finding and exits 1 when the
+// tree is dirty (2 on configuration errors), so CI can gate on it.
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "lint/lint.hpp"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf("usage: quarc-lint [REPO_ROOT]\n");
+      return 0;
+    }
+    root = arg;
+  }
+  try {
+    const quarc::lint::LintConfig cfg = quarc::lint::default_config(root);
+    const quarc::lint::LintReport rep = quarc::lint::run_lint(cfg);
+    std::fputs(quarc::lint::format_report(rep).c_str(), stdout);
+    return rep.findings.empty() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "quarc-lint: fatal: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# clang-tidy lane driver. Runs the checked-in .clang-tidy policy over every
+# production TU in src/ using build/compile_commands.json, then enforces a
+# finding budget: the lane is non-blocking on individual findings but blocks
+# the moment the total count exceeds the budget, so the count can only go
+# down. Lower QUARC_TIDY_BUDGET as findings are fixed; never raise it.
+#
+# Usage: tools/run_clang_tidy.sh [BUILD_DIR]   (default: build)
+set -u -o pipefail
+
+BUILD_DIR="${1:-build}"
+BUDGET="${QUARC_TIDY_BUDGET:-0}"
+TIDY="${CLANG_TIDY:-clang-tidy}"
+
+if ! command -v "$TIDY" > /dev/null 2>&1; then
+  echo "run_clang_tidy: $TIDY not found — install clang-tidy or set CLANG_TIDY" >&2
+  exit 2
+fi
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "run_clang_tidy: $BUILD_DIR/compile_commands.json missing — configure with a preset first" >&2
+  exit 2
+fi
+
+LOG="$(mktemp)"
+trap 'rm -f "$LOG"' EXIT
+
+# One TU at a time keeps the output deterministic; the TU list is sorted so
+# the log diffs cleanly between runs.
+mapfile -t TUS < <(find src -name '*.cpp' | sort)
+STATUS=0
+for tu in "${TUS[@]}"; do
+  "$TIDY" -p "$BUILD_DIR" --quiet "$tu" >> "$LOG" 2> /dev/null || STATUS=$?
+done
+
+grep -E 'warning:|error:' "$LOG" | sort -u > "$LOG.findings" || true
+COUNT="$(wc -l < "$LOG.findings")"
+cat "$LOG.findings"
+rm -f "$LOG.findings"
+
+echo "run_clang_tidy: ${COUNT} finding(s) across ${#TUS[@]} TU(s), budget ${BUDGET}"
+if [ "$COUNT" -gt "$BUDGET" ]; then
+  echo "run_clang_tidy: finding count exceeds budget — fix the new findings or NOLINT(<check>) with a reason" >&2
+  exit 1
+fi
+exit 0
